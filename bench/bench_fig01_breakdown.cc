@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 1a: time and energy breakdown of baseline video streaming.
+ *
+ * Paper reference points: the hardware video pipeline (VD + display)
+ * and the memory system take ~49.9% / ~37.5% of the time and
+ * ~29.7% / ~45.8% of the energy; together ~75% of energy, making
+ * them the optimization targets.  (Our simulator models only the
+ * video-pipeline components - no CPU/GPU/radio - so the shares here
+ * are of the modelled subsystem; the paper's remaining ~25% "other"
+ * is out of scope by construction.)
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vstream;
+    using namespace vstream::bench;
+
+    header("Fig. 1a: baseline time/energy breakdown",
+           "video pipeline ~29.7% / memory ~45.8% of energy; "
+           "VD busy most of the frame time");
+
+    EnergyBreakdown energy;
+    TimeBreakdown vd_time;
+    Tick span = 0;
+
+    for (const auto &key : videoMix()) {
+        const PipelineResult r = simulateScheme(
+            benchWorkload(key), SchemeConfig::make(Scheme::kBaseline));
+        energy += r.energy;
+        vd_time += r.vd_time;
+        span += r.span;
+    }
+
+    const double total = energy.total();
+    std::cout << "energy shares (of modelled system):\n";
+    std::cout << "  video decoder (proc+slack+sleep+trans): "
+              << pct((energy.vd_processing + energy.short_slack +
+                      energy.sleep + energy.transition) /
+                     total)
+              << "\n";
+    std::cout << "  display controller:                     "
+              << pct(energy.dc / total) << "\n";
+    std::cout << "  memory (act/pre + burst + background):  "
+              << pct(energy.memoryTotal() / total) << "\n";
+    std::cout << "    act/pre    " << pct(energy.mem_act_pre / total)
+              << "\n";
+    std::cout << "    burst      " << pct(energy.mem_burst / total)
+              << "\n";
+    std::cout << "    background " << pct(energy.mem_background / total)
+              << "\n";
+
+    std::cout << "\nVD time shares (of playback span):\n";
+    const double span_s = ticksToSeconds(span);
+    std::cout << "  executing   "
+              << pct(ticksToSeconds(vd_time.execution) / span_s) << "\n";
+    std::cout << "  short slack "
+              << pct(ticksToSeconds(vd_time.short_slack) / span_s)
+              << "\n";
+    std::cout << "  transitions "
+              << pct(ticksToSeconds(vd_time.transition) / span_s)
+              << "\n";
+    std::cout << "  S1 sleep    "
+              << pct(ticksToSeconds(vd_time.s1) / span_s) << "\n";
+    std::cout << "  S3 sleep    "
+              << pct(ticksToSeconds(vd_time.s3) / span_s) << "\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fig. 2b-e: CDFs of per-frame decode time and energy, baseline vs
+ * 16-frame batching, with the Region I-IV classification.
+ *
+ * Paper reference points (baseline, ~5000 frames):
+ *   Region I   (dropped)            ~4%
+ *   Region II  (short slack only)   ~12%
+ *   Region III (S1-capable)         ~37%
+ *   Region IV  (S3-capable)         ~40%+
+ * Batching: transition overhead amortized ~16x (~0.2 ms/frame) and
+ * the accumulated slack spent in one long S3 dwell.
+ */
+
+#include "bench_util.hh"
+
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace vstream;
+using namespace vstream::bench;
+
+struct Regions
+{
+    std::uint64_t dropped = 0;
+    std::uint64_t short_slack = 0;
+    std::uint64_t s1 = 0;
+    std::uint64_t s3 = 0;
+    std::uint64_t frames = 0;
+};
+
+void
+report(const char *name, const std::vector<PipelineResult> &runs)
+{
+    Regions reg;
+    stats::SampleSeries exec_ms("exec");
+    stats::SampleSeries frame_energy_mj("energy");
+    Tick trans_total = 0;
+
+    for (const auto &r : runs) {
+        for (const auto &rec : r.frame_records) {
+            ++reg.frames;
+            if (rec.dropped)
+                ++reg.dropped;
+            else if (rec.s3 > 0)
+                ++reg.s3;
+            else if (rec.s1 > 0)
+                ++reg.s1;
+            else
+                ++reg.short_slack;
+            exec_ms.sample(ticksToMs(rec.exec));
+            frame_energy_mj.sample((rec.e_exec + rec.e_slack +
+                                    rec.e_trans + rec.e_sleep) *
+                                   1e3);
+            trans_total += rec.transition;
+        }
+    }
+
+    const auto n = static_cast<double>(reg.frames);
+    std::cout << name << " (" << reg.frames << " frames)\n";
+    std::cout << "  Region I   dropped      " << pct(reg.dropped / n)
+              << "\n";
+    std::cout << "  Region II  short slack  "
+              << pct(reg.short_slack / n) << "\n";
+    std::cout << "  Region III S1           " << pct(reg.s1 / n) << "\n";
+    std::cout << "  Region IV  S3           " << pct(reg.s3 / n) << "\n";
+    std::cout << "  transition time/frame   " << std::fixed
+              << std::setprecision(3)
+              << ticksToMs(trans_total) / n << " ms\n";
+
+    std::cout << "  decode-time CDF (ms):  ";
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.96, 1.0})
+        std::cout << "p" << static_cast<int>(q * 100) << "="
+                  << std::setprecision(2) << exec_ms.percentile(q)
+                  << " ";
+    std::cout << "\n  frames over 16.6 ms:   "
+              << pct(exec_ms.fractionAbove(16.6)) << "\n";
+    std::cout << "  VD frame-energy CDF (mJ): ";
+    for (double q : {0.1, 0.5, 0.9, 1.0})
+        std::cout << "p" << static_cast<int>(q * 100) << "="
+                  << std::setprecision(2)
+                  << frame_energy_mj.percentile(q) << " ";
+    std::cout << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig. 2b-e: per-frame time/energy CDFs and regions",
+           "baseline regions ~4/12/37/40+%; batching cuts "
+           "transitions ~16x");
+
+    std::vector<PipelineResult> base, batched;
+    for (const auto &key : videoMix()) {
+        const VideoProfile p = benchWorkload(key, 120);
+        base.push_back(
+            simulateScheme(p, SchemeConfig::make(Scheme::kBaseline)));
+        batched.push_back(
+            simulateScheme(p, SchemeConfig::make(Scheme::kBatching, 16)));
+    }
+
+    report("Baseline (Fig. 2b/2c)", base);
+    report("Batching x16 (Fig. 2d/2e)", batched);
+    return 0;
+}

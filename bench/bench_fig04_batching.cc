@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fig. 4: effects of Batch Decoding, Racing, and Race-to-Sleep on
+ * the per-frame time/energy state mix.
+ *
+ * Paper reference points: batching 16 frames cuts transition energy
+ * ~86% and decoder energy ~20% (Fig. 4a/b); racing increases the
+ * transition share a lot, race-to-sleep removes it again and spends
+ * the most time in S3 (Fig. 4c/d).
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace vstream;
+using namespace vstream::bench;
+
+struct Agg
+{
+    TimeBreakdown time;
+    double e_exec = 0.0;
+    double e_sleep = 0.0;
+    double e_slack = 0.0;
+    double e_trans = 0.0;
+    std::uint64_t frames = 0;
+    std::uint64_t drops = 0;
+};
+
+Agg
+runScheme(Scheme s)
+{
+    Agg agg;
+    for (const auto &key : videoMix()) {
+        const PipelineResult r =
+            simulateScheme(benchWorkload(key),
+                           SchemeConfig::make(s, 16));
+        agg.time += r.vd_time;
+        agg.e_exec += r.energy.vd_processing;
+        agg.e_sleep += r.energy.sleep;
+        agg.e_slack += r.energy.short_slack;
+        agg.e_trans += r.energy.transition;
+        agg.frames += r.frames;
+        agg.drops += r.drops;
+    }
+    return agg;
+}
+
+void
+row(const char *name, const Agg &a)
+{
+    const auto n = static_cast<double>(a.frames);
+    std::cout << std::left << std::setw(15) << name << std::right
+              << std::fixed << std::setprecision(3) << std::setw(9)
+              << ticksToMs(a.time.execution) / n << std::setw(9)
+              << ticksToMs(a.time.short_slack) / n << std::setw(9)
+              << ticksToMs(a.time.transition) / n << std::setw(9)
+              << ticksToMs(a.time.s1) / n << std::setw(9)
+              << ticksToMs(a.time.s3) / n << "  |" << std::setw(9)
+              << 1e3 * a.e_exec / n << std::setw(9)
+              << 1e3 * a.e_slack / n << std::setw(9)
+              << 1e3 * a.e_trans / n << std::setw(9)
+              << 1e3 * a.e_sleep / n << std::setw(7) << a.drops
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig. 4: Batching / Racing / Race-to-Sleep state mix",
+           "batching cuts transition energy ~86%; racing inflates it; "
+           "race-to-sleep maximizes S3 time");
+
+    std::cout << std::left << std::setw(15) << "scheme" << std::right
+              << std::setw(9) << "exec" << std::setw(9) << "slack"
+              << std::setw(9) << "trans" << std::setw(9) << "S1"
+              << std::setw(9) << "S3" << "  |" << std::setw(9)
+              << "eExec" << std::setw(9) << "eSlack" << std::setw(9)
+              << "eTrans" << std::setw(9) << "eSleep" << std::setw(7)
+              << "drops" << "\n"
+              << std::left << std::setw(15) << " " << std::right
+              << "  (ms per frame)                             |"
+              << "  (mJ per frame)\n";
+
+    const Agg base = runScheme(Scheme::kBaseline);
+    const Agg batch = runScheme(Scheme::kBatching);
+    const Agg race = runScheme(Scheme::kRacing);
+    const Agg rts = runScheme(Scheme::kRaceToSleep);
+
+    row("Baseline", base);
+    row("Batching x16", batch);
+    row("Racing", race);
+    row("Race-to-Sleep", rts);
+
+    std::cout << "\nbatching transition-energy cut: "
+              << pct(1.0 - batch.e_trans / base.e_trans)
+              << " (paper ~86%)\n";
+    std::cout << "racing transition-energy growth: "
+              << std::fixed << std::setprecision(1)
+              << race.e_trans / base.e_trans << "x\n";
+    std::cout << "race-to-sleep S3 time per frame: "
+              << ticksToMs(rts.time.s3) /
+                     static_cast<double>(rts.frames)
+              << " ms vs baseline "
+              << ticksToMs(base.time.s3) /
+                     static_cast<double>(base.frames)
+              << " ms\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fig. 5: memory access pattern and energy at low vs high decoder
+ * frequency.
+ *
+ * Paper reference points: at the high frequency, consecutive
+ * decoder accesses land within the row-buffer hold window, so the
+ * same traffic needs fewer Act/Pre pairs; racing spends ~0.5 mJ more
+ * per frame at the VD but saves ~1 mJ on the memory side, cutting
+ * memory Act/Pre energy ~20%.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vstream;
+    using namespace vstream::bench;
+
+    header("Fig. 5: Act/Pre behaviour, low vs high VD frequency",
+           "high frequency cuts Act/Pre energy ~20% for the same "
+           "traffic; VD power rises ~0.5 mJ/frame");
+
+    struct Agg
+    {
+        DramActivityCounts vd;
+        double act_pre_j = 0.0;
+        double burst_j = 0.0;
+        double vd_proc_j = 0.0;
+        std::uint64_t frames = 0;
+    };
+
+    auto runFreq = [&](Scheme s) {
+        Agg agg;
+        for (const auto &key : videoMix()) {
+            const PipelineResult r =
+                simulateScheme(benchWorkload(key),
+                               SchemeConfig::make(s));
+            agg.vd += r.dram_vd;
+            agg.act_pre_j += r.energy.mem_act_pre;
+            agg.burst_j += r.energy.mem_burst;
+            agg.vd_proc_j += r.energy.vd_processing;
+            agg.frames += r.frames;
+        }
+        return agg;
+    };
+
+    const Agg low = runFreq(Scheme::kBaseline); // 150 MHz
+    const Agg high = runFreq(Scheme::kRacing);  // 300 MHz
+
+    auto print = [](const char *name, const Agg &a) {
+        const auto n = static_cast<double>(a.frames);
+        const double row_hit_rate =
+            static_cast<double>(a.vd.row_hits) /
+            static_cast<double>(a.vd.read_bursts +
+                                a.vd.write_bursts);
+        std::cout << std::left << std::setw(18) << name << std::right
+                  << std::fixed << std::setprecision(1) << std::setw(12)
+                  << static_cast<double>(a.vd.activations) / n
+                  << std::setw(12) << 100.0 * row_hit_rate
+                  << std::setprecision(3) << std::setw(12)
+                  << 1e3 * a.act_pre_j / n << std::setw(12)
+                  << 1e3 * a.burst_j / n << std::setw(12)
+                  << 1e3 * a.vd_proc_j / n << "\n";
+    };
+
+    std::cout << std::left << std::setw(18) << "VD frequency"
+              << std::right << std::setw(12) << "acts/frame"
+              << std::setw(12) << "rowHit%" << std::setw(12)
+              << "actPre mJ" << std::setw(12) << "burst mJ"
+              << std::setw(12) << "vdProc mJ" << "\n";
+    print("150 MHz (low)", low);
+    print("300 MHz (high)", high);
+
+    const double act_cut = 1.0 - high.act_pre_j / low.act_pre_j;
+    const double vd_extra =
+        1e3 * (high.vd_proc_j - low.vd_proc_j) /
+        static_cast<double>(high.frames);
+    const double mem_saved =
+        1e3 *
+        ((low.act_pre_j + low.burst_j) -
+         (high.act_pre_j + high.burst_j)) /
+        static_cast<double>(high.frames);
+
+    std::cout << "\nAct/Pre energy cut by racing: " << pct(act_cut)
+              << " (paper ~20%)\n";
+    std::cout << "VD energy increase: " << std::fixed
+              << std::setprecision(3) << vd_extra
+              << " mJ/frame (paper ~0.5 mJ)\n";
+    std::cout << "memory dynamic energy saved: " << mem_saved
+              << " mJ/frame (paper ~1 mJ)\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fig. 7: address locality vs value locality.
+ *
+ * (a) Sweeping the VD cache from 32 KB to 512 KB helps the decoding
+ *     (compute/MC) accesses but cannot help the frame writeback
+ *     stream, which has no address reuse - paper Sec. 4.1.
+ * (b) Content similarity: ~42% of mabs recur within their own frame,
+ *     ~15% within the previous 16 frames, ~43% never; matches beyond
+ *     16 frames are <1%.
+ */
+
+#include "bench_util.hh"
+
+#include "cache/set_assoc_cache.hh"
+#include "core/pipeline_config.hh"
+#include "video/similarity.hh"
+
+namespace
+{
+
+using namespace vstream;
+using namespace vstream::bench;
+
+/** Part (a): read-side miss rate from real pipeline runs; write-side
+ * miss rate from replaying the writeback stream through a
+ * write-allocating cache of the same size. */
+void
+cacheSweep()
+{
+    std::cout << "Fig. 7a: VD cache size sweep\n";
+    std::cout << std::left << std::setw(12) << "size(KB)" << std::right
+              << std::setw(18) << "computeMiss%" << std::setw(18)
+              << "writebackMiss%" << "\n";
+
+    for (std::uint32_t kb : {32u, 64u, 128u, 256u, 512u}) {
+        // Read side: the real decoder with this cache.
+        double read_miss = 0.0;
+        int n = 0;
+        for (const auto &key : videoMix()) {
+            PipelineConfig cfg;
+            cfg.profile = benchWorkload(key, 48);
+            cfg.scheme = SchemeConfig::make(Scheme::kBaseline);
+            cfg.decoder.cache.size_bytes = kb * 1024;
+            VideoPipeline pipe(std::move(cfg));
+            read_miss += pipe.run().vd_cache_miss_rate;
+            ++n;
+        }
+        read_miss /= n;
+
+        // Write side: the decoded-frame store stream (sequential,
+        // never re-read by the decoder) through a write-allocating
+        // cache: capacity cannot create reuse that is not there.
+        CacheConfig wcfg;
+        wcfg.size_bytes = kb * 1024;
+        wcfg.line_bytes = 64;
+        wcfg.assoc = 4;
+        wcfg.write_allocate = true;
+        SetAssocCache wcache("wb", wcfg);
+        // Distinct buffers per frame, as at 4K where a single frame
+        // (24 MB) dwarfs any cache: there is no reuse to find.
+        const VideoProfile p = benchWorkload("V8", 8);
+        const std::uint64_t frame_bytes = p.mabsPerFrame() * 48ULL;
+        for (std::uint32_t f = 0; f < 8; ++f) {
+            const Addr base = static_cast<Addr>(f) * frame_bytes;
+            for (Addr a = 0; a < frame_bytes; a += 48)
+                wcache.access(base + a, 48, MemOp::kWrite);
+        }
+
+        std::cout << std::left << std::setw(12) << kb << std::right
+                  << std::fixed << std::setprecision(2) << std::setw(18)
+                  << 100.0 * read_miss << std::setw(18)
+                  << 100.0 * wcache.missRate() << "\n";
+    }
+    std::cout << "(compute misses shrink with capacity; writeback "
+                 "misses stay put - paper Fig. 7a)\n\n";
+}
+
+/** Part (b): content similarity across all 16 videos. */
+void
+similaritySweep()
+{
+    std::cout << "Fig. 7b: macroblock content similarity (window 16)\n";
+    std::uint64_t mabs = 0, intra = 0, inter = 0, none = 0;
+    std::vector<std::uint64_t> age_hist(16, 0);
+
+    for (const auto &wp : workloadTable()) {
+        const SimilarityReport r = analyzeSimilarity(
+            scaledWorkload(wp.key, frames(48)), 0, 16);
+        mabs += r.mabs;
+        intra += r.intra_exact;
+        inter += r.inter_exact;
+        none += r.none_exact;
+        for (std::size_t a = 0; a < age_hist.size(); ++a)
+            age_hist[a] += r.inter_age_hist[a];
+    }
+
+    const auto n = static_cast<double>(mabs);
+    std::cout << "  Intra-Match " << pct(intra / n)
+              << "   (paper ~42%)\n";
+    std::cout << "  Inter-Match " << pct(inter / n)
+              << "   (paper ~15%)\n";
+    std::cout << "  No Match    " << pct(none / n)
+              << "   (paper ~43%)\n";
+
+    std::cout << "  inter matches by age (frames back): ";
+    for (std::size_t a = 0; a < 8; ++a)
+        std::cout << a + 1 << ":"
+                  << pct(static_cast<double>(age_hist[a]) / n) << " ";
+    std::uint64_t old_matches = 0;
+    for (std::size_t a = 8; a < 16; ++a)
+        old_matches += age_hist[a];
+    std::cout << "9-16:" << pct(static_cast<double>(old_matches) / n)
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig. 7: address locality vs value locality",
+           "bigger caches fix compute reads, not the writeback "
+           "stream; 57% of mabs recur in the last 16 frames");
+    cacheSweep();
+    similaritySweep();
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): throughput of the hot paths -
+ * digests, the gradient transform, MACH lookups, DRAM-model accesses,
+ * cache accesses, DCC, and synthetic-frame generation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/set_assoc_cache.hh"
+#include "core/dcc.hh"
+#include "core/mach_array.hh"
+#include "hash/hasher.hh"
+#include "mem/dram_controller.hh"
+#include "sim/random.hh"
+#include "video/macroblock.hh"
+#include "video/synthetic_video.hh"
+#include "video/workloads.hh"
+
+namespace
+{
+
+using namespace vstream;
+
+Macroblock
+randomMab(Random &rng)
+{
+    Macroblock m(4);
+    for (auto &b : m.bytes())
+        b = static_cast<std::uint8_t>(rng.next());
+    return m;
+}
+
+void
+BM_Digest(benchmark::State &state, HashKind kind)
+{
+    Random rng(1);
+    const Macroblock m = randomMab(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            digest32(kind, m.bytes().data(), m.bytes().size()));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * m.bytes().size()));
+}
+
+BENCHMARK_CAPTURE(BM_Digest, crc32, HashKind::kCrc32);
+BENCHMARK_CAPTURE(BM_Digest, md5, HashKind::kMd5);
+BENCHMARK_CAPTURE(BM_Digest, sha1, HashKind::kSha1);
+
+void
+BM_GradientTransform(benchmark::State &state)
+{
+    Random rng(2);
+    const Macroblock m = randomMab(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.gradient());
+}
+BENCHMARK(BM_GradientTransform);
+
+void
+BM_MachLookup(benchmark::State &state)
+{
+    MachConfig cfg;
+    MachArray machs(cfg);
+    machs.beginFrame();
+    Random rng(3);
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
+        entries;
+    for (int i = 0; i < 2048; ++i) {
+        const Macroblock m = randomMab(rng);
+        const std::uint32_t d = m.digest(HashKind::kCrc32);
+        machs.insertUnique(d, 0, i * 48, m.bytes(), false);
+        entries.emplace_back(d, m.bytes());
+        if (i % 256 == 255)
+            machs.beginFrame();
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &[d, truth] = entries[i++ % entries.size()];
+        benchmark::DoNotOptimize(machs.lookup(d, 0, truth));
+    }
+}
+BENCHMARK(BM_MachLookup);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    DramController ctrl{DramConfig{}};
+    Tick t = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        const MemResult r = ctrl.access(
+            MemRequest{a, 64, MemOp::kRead, Requester::kVideoDecoder},
+            t);
+        benchmark::DoNotOptimize(r);
+        t = r.finish_tick;
+        a = (a + 64) % (64ULL << 20);
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 64 * 1024;
+    SetAssocCache cache("bm", cfg);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a, 48, MemOp::kRead));
+        a = (a + 48) % (256 * 1024);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DccCompress(benchmark::State &state)
+{
+    Random rng(4);
+    std::vector<Macroblock> mabs;
+    for (int i = 0; i < 64; ++i)
+        mabs.push_back(randomMab(rng));
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dccCompress(mabs[i++ % mabs.size()]));
+}
+BENCHMARK(BM_DccCompress);
+
+void
+BM_SyntheticFrame(benchmark::State &state)
+{
+    VideoProfile p = workload("V8");
+    p.frame_count = 1000000;
+    SyntheticVideo video(p);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(video.nextFrame());
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * p.mabsPerFrame()));
+}
+BENCHMARK(BM_SyntheticFrame);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench honours VSTREAM_FRAMES / VSTREAM_WIDTH / VSTREAM_HEIGHT
+ * so the whole harness can be re-run at higher fidelity.
+ */
+
+#ifndef VSTREAM_BENCH_BENCH_UTIL_HH
+#define VSTREAM_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/video_pipeline.hh"
+#include "video/workloads.hh"
+
+namespace vstream
+{
+namespace bench
+{
+
+inline std::uint32_t
+envU32(const char *name, std::uint32_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? static_cast<std::uint32_t>(std::atoi(v))
+                        : fallback;
+}
+
+inline std::uint32_t
+frames(std::uint32_t fallback = 96)
+{
+    return envU32("VSTREAM_FRAMES", fallback);
+}
+
+/** Profile for @p key at the bench resolution and frame cap. */
+inline VideoProfile
+benchWorkload(const std::string &key, std::uint32_t fallback_frames = 96)
+{
+    return scaledWorkload(key, frames(fallback_frames),
+                          envU32("VSTREAM_WIDTH", 0),
+                          envU32("VSTREAM_HEIGHT", 0));
+}
+
+/** A representative 4-video mix: test card, trailer, best case,
+ * heavy game - used by the non-headline figures. */
+inline std::vector<std::string>
+videoMix()
+{
+    return {"V1", "V5", "V8", "V12"};
+}
+
+inline void
+header(const std::string &title, const std::string &paper_note)
+{
+    std::cout << "=== " << title << " ===\n";
+    if (!paper_note.empty())
+        std::cout << "(paper: " << paper_note << ")\n";
+    std::cout << "\n";
+}
+
+inline std::string
+pct(double x, int precision = 1)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << 100.0 * x
+       << "%";
+    return os.str();
+}
+
+} // namespace bench
+} // namespace vstream
+
+#endif // VSTREAM_BENCH_BENCH_UTIL_HH

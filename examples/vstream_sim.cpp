@@ -1,0 +1,200 @@
+/**
+ * @file
+ * vstream_sim - the command-line front end to the simulator.
+ *
+ * The one binary a downstream user drives: pick a workload (or a
+ * fully custom geometry), a scheme, and any of the optional
+ * mechanisms, and get the full result summary - optionally with the
+ * per-component statistics dump and the per-frame CSV.
+ *
+ * Usage:
+ *   vstream_sim [options]
+ *     --video KEY        workload V1..V16 (default V8)
+ *     --frames N         frame cap (default 300)
+ *     --width W --height H  simulated resolution
+ *     --scheme X         L|B|R|S|M|G (default G)
+ *     --batch N          batch depth (default 16)
+ *     --dcc              add Delta Color Compression
+ *     --co-mach          add the CO-MACH collision detector
+ *     --te               add checksum transaction elimination
+ *     --dvfs             history-based DVFS instead of fixed freq
+ *     --machs N          number of MACHs (default 8)
+ *     --entries N        entries per MACH (default 256)
+ *     --write-queue N    DRAM posted-write queue depth (default 0)
+ *     --stats FILE       dump per-component statistics
+ *     --csv FILE         dump per-frame records
+ *     --seed N           content seed override
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/video_pipeline.hh"
+#include "video/workloads.hh"
+
+namespace
+{
+
+using namespace vstream;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--video V1..V16] [--frames N] [--width W] "
+                 "[--height H]\n"
+                 "  [--scheme L|B|R|S|M|G] [--batch N] [--dcc] "
+                 "[--co-mach] [--te] [--dvfs]\n"
+                 "  [--machs N] [--entries N] [--write-queue N]\n"
+                 "  [--stats FILE] [--csv FILE] [--seed N]\n";
+    std::exit(2);
+}
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "L")
+        return Scheme::kBaseline;
+    if (s == "B")
+        return Scheme::kBatching;
+    if (s == "R")
+        return Scheme::kRacing;
+    if (s == "S")
+        return Scheme::kRaceToSleep;
+    if (s == "M")
+        return Scheme::kMab;
+    if (s == "G")
+        return Scheme::kGab;
+    std::cerr << "unknown scheme '" << s << "'\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string video = "V8";
+    std::uint32_t frames = 300, width = 0, height = 0, batch = 16;
+    std::uint32_t machs = 8, entries = 256, write_queue = 0;
+    Scheme scheme = Scheme::kGab;
+    bool dcc = false, co_mach = false, te = false, dvfs = false;
+    std::string stats_file, csv_file;
+    std::uint64_t seed = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--video")
+            video = next();
+        else if (arg == "--frames")
+            frames = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (arg == "--width")
+            width = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (arg == "--height")
+            height = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (arg == "--scheme")
+            scheme = parseScheme(next());
+        else if (arg == "--batch")
+            batch = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (arg == "--dcc")
+            dcc = true;
+        else if (arg == "--co-mach")
+            co_mach = true;
+        else if (arg == "--te")
+            te = true;
+        else if (arg == "--dvfs")
+            dvfs = true;
+        else if (arg == "--machs")
+            machs = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (arg == "--entries")
+            entries = static_cast<std::uint32_t>(std::atoi(next()));
+        else if (arg == "--write-queue")
+            write_queue =
+                static_cast<std::uint32_t>(std::atoi(next()));
+        else if (arg == "--stats")
+            stats_file = next();
+        else if (arg == "--csv")
+            csv_file = next();
+        else if (arg == "--seed")
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else
+            usage(argv[0]);
+    }
+
+    PipelineConfig cfg;
+    cfg.profile = scaledWorkload(video, frames, width, height);
+    if (seed != 0)
+        cfg.profile.seed = seed;
+    cfg.scheme = SchemeConfig::make(scheme, batch);
+    cfg.scheme.dcc = dcc;
+    cfg.scheme.co_mach = co_mach;
+    cfg.scheme.transaction_elimination = te;
+    cfg.scheme.dvfs_slack = dvfs;
+    cfg.mach.num_machs = machs;
+    cfg.mach.entries = entries;
+    cfg.dram.write_queue_depth = write_queue;
+
+    std::unique_ptr<std::ofstream> stats_os, csv_os;
+    if (!stats_file.empty()) {
+        stats_os = std::make_unique<std::ofstream>(stats_file);
+        cfg.stats_out = stats_os.get();
+    }
+    if (!csv_file.empty()) {
+        csv_os = std::make_unique<std::ofstream>(csv_file);
+        cfg.frame_csv = csv_os.get();
+    }
+
+    std::cout << "vstream_sim: " << cfg.profile.key << " ("
+              << cfg.profile.name << "), "
+              << cfg.profile.frame_count << " frames @ "
+              << cfg.profile.width << "x" << cfg.profile.height
+              << ", scheme " << schemeName(scheme) << " (batch "
+              << batch << ")\n";
+
+    VideoPipeline pipe(std::move(cfg));
+    const PipelineResult r = pipe.run();
+
+    std::cout << std::fixed << std::setprecision(2);
+    std::cout << "  energy            " << r.totalEnergy() * 1e3
+              << " mJ (" << r.totalEnergy() * 1e3 / r.frames
+              << " mJ/frame)\n";
+    std::cout << "  breakdown (mJ)    "
+              << EnergyBreakdown::headerRow() << "\n"
+              << "                    "
+              << r.energy.normalizedTo(1e-3).row() << "\n";
+    std::cout << "  drops             " << r.drops << " / " << r.frames
+              << "\n";
+    std::cout << "  S3 residency      " << 100.0 * r.s3Residency()
+              << " %\n";
+    std::cout << "  sleep events      " << r.sleep_events << "\n";
+    std::cout << "  peak buffers      " << r.peak_buffers << "\n";
+    if (r.mach.lookups > 0) {
+        std::cout << "  MACH hit rate     "
+                  << 100.0 * r.mach.hitRate() << " % ("
+                  << r.mach.intra_hits << " intra, "
+                  << r.mach.inter_hits << " inter)\n";
+        std::cout << "  writeback saved   "
+                  << 100.0 * r.writeback.savings(48) << " %\n";
+    }
+    std::cout << "  DC requests       " << r.display.dram_requests
+              << " (" << r.display.eliminated_frames
+              << " frames eliminated)\n";
+    std::cout << "  verified          "
+              << (r.all_verified ? "yes" : "no") << " ("
+              << r.mach.collisions_undetected
+              << " undetected collisions)\n";
+    if (!stats_file.empty())
+        std::cout << "  stats dump        " << stats_file << "\n";
+    if (!csv_file.empty())
+        std::cout << "  frame CSV         " << csv_file << "\n";
+    return 0;
+}

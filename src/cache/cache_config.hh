@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Configuration for the generic set-associative cache model.
+ */
+
+#ifndef VSTREAM_CACHE_CACHE_CONFIG_HH
+#define VSTREAM_CACHE_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vstream
+{
+
+/** Replacement policies supported by SetAssocCache. */
+enum class ReplPolicy
+{
+    kLru,
+    kFifo,
+    kRandom,
+};
+
+std::string replPolicyName(ReplPolicy p);
+
+/** Geometry and behaviour of a cache instance. */
+struct CacheConfig
+{
+    /** Total data capacity, bytes. */
+    std::uint64_t size_bytes = 32 * 1024;
+    /** Line size, bytes. */
+    std::uint32_t line_bytes = 64;
+    /** Ways per set; 1 = direct-mapped. */
+    std::uint32_t assoc = 4;
+    ReplPolicy policy = ReplPolicy::kLru;
+    /** Allocate lines on write misses? Streaming writers disable
+     * this so frame writeback does not thrash the cache. */
+    bool write_allocate = true;
+    /** Dirty lines written back on eviction (vs write-through). */
+    bool write_back = true;
+
+    std::uint32_t numLines() const;
+    std::uint32_t numSets() const;
+
+    /** Abort if sizes are not consistent powers of two. */
+    void validate() const;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_CACHE_CACHE_CONFIG_HH

@@ -1,0 +1,54 @@
+#include "cache/replacement.hh"
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+ReplacementState::ReplacementState(ReplPolicy policy, std::uint32_t sets,
+                                   std::uint32_t ways, std::uint64_t seed)
+    : policy_(policy), ways_(ways),
+      stamps_(static_cast<std::size_t>(sets) * ways, 0), rng_(seed)
+{
+    vs_assert(sets > 0 && ways > 0, "empty replacement state");
+}
+
+std::uint64_t &
+ReplacementState::stamp(std::uint32_t set, std::uint32_t way)
+{
+    return stamps_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+void
+ReplacementState::touch(std::uint32_t set, std::uint32_t way)
+{
+    if (policy_ == ReplPolicy::kLru)
+        stamp(set, way) = ++clock_;
+    // FIFO and Random ignore hits.
+}
+
+void
+ReplacementState::fill(std::uint32_t set, std::uint32_t way)
+{
+    if (policy_ != ReplPolicy::kRandom)
+        stamp(set, way) = ++clock_;
+}
+
+std::uint32_t
+ReplacementState::victim(std::uint32_t set)
+{
+    if (policy_ == ReplPolicy::kRandom)
+        return static_cast<std::uint32_t>(rng_.uniformInt(0, ways_ - 1));
+
+    std::uint32_t best = 0;
+    std::uint64_t best_stamp = stamp(set, 0);
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (stamp(set, w) < best_stamp) {
+            best_stamp = stamp(set, w);
+            best = w;
+        }
+    }
+    return best;
+}
+
+} // namespace vstream

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Victim selection for one cache set.
+ */
+
+#ifndef VSTREAM_CACHE_REPLACEMENT_HH
+#define VSTREAM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "sim/random.hh"
+
+namespace vstream
+{
+
+/**
+ * Per-way recency/insertion metadata for victim selection.
+ *
+ * One instance serves all sets of a cache; callers pass the slice of
+ * way-state for the set being operated on.
+ */
+class ReplacementState
+{
+  public:
+    ReplacementState(ReplPolicy policy, std::uint32_t sets,
+                     std::uint32_t ways, std::uint64_t seed = 0x5eedULL);
+
+    /** Note a hit on (set, way). */
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    /** Note a fill into (set, way). */
+    void fill(std::uint32_t set, std::uint32_t way);
+
+    /** Choose the victim way in @p set (all ways assumed valid). */
+    std::uint32_t victim(std::uint32_t set);
+
+    ReplPolicy policy() const { return policy_; }
+
+  private:
+    std::uint64_t &stamp(std::uint32_t set, std::uint32_t way);
+
+    ReplPolicy policy_;
+    std::uint32_t ways_;
+    std::vector<std::uint64_t> stamps_;
+    std::uint64_t clock_ = 0;
+    Random rng_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_CACHE_REPLACEMENT_HH

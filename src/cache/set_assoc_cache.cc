@@ -1,0 +1,259 @@
+#include "cache/set_assoc_cache.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace vstream
+{
+
+namespace
+{
+
+std::uint32_t
+log2u(std::uint64_t v)
+{
+    std::uint32_t bits = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(std::string name, const CacheConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg), sets_(cfg.numSets()),
+      ways_(cfg.assoc), line_shift_(log2u(cfg.line_bytes)),
+      lines_(static_cast<std::size_t>(cfg.numLines())),
+      repl_(cfg.policy, sets_, ways_)
+{
+    cfg_.validate();
+}
+
+std::uint32_t
+SetAssocCache::setIndex(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>((line_addr >> line_shift_) &
+                                      (sets_ - 1));
+}
+
+std::uint64_t
+SetAssocCache::tagOf(Addr line_addr) const
+{
+    return (line_addr >> line_shift_) / sets_;
+}
+
+Addr
+SetAssocCache::lineAddr(std::uint32_t set, std::uint64_t tag) const
+{
+    return ((tag * sets_) + set) << line_shift_;
+}
+
+SetAssocCache::Line &
+SetAssocCache::line(std::uint32_t set, std::uint32_t way)
+{
+    return lines_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+const SetAssocCache::Line &
+SetAssocCache::line(std::uint32_t set, std::uint32_t way) const
+{
+    return lines_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+bool
+SetAssocCache::accessLine(Addr line_addr, MemOp op,
+                          CacheAccessSummary &summary)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    const std::uint64_t tag = tagOf(line_addr);
+
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Line &l = line(set, w);
+        if (l.valid && l.tag == tag) {
+            ++hits_;
+            repl_.touch(set, w);
+            if (op == MemOp::kWrite)
+                l.dirty = cfg_.write_back;
+            return true;
+        }
+    }
+
+    ++misses_;
+
+    if (op == MemOp::kWrite && !cfg_.write_allocate) {
+        // Streaming store: bypass, no state change.
+        return false;
+    }
+
+    // Find an invalid way; otherwise evict the policy's victim.
+    std::uint32_t victim_way = ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!line(set, w).valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way == ways_) {
+        victim_way = repl_.victim(set);
+        Line &v = line(set, victim_way);
+        ++evictions_;
+        if (v.dirty) {
+            ++writebacks_;
+            summary.writebacks.push_back(lineAddr(set, v.tag));
+        }
+    }
+
+    Line &l = line(set, victim_way);
+    l.valid = true;
+    l.tag = tag;
+    l.dirty = (op == MemOp::kWrite) && cfg_.write_back;
+    repl_.fill(set, victim_way);
+
+    if (op == MemOp::kRead || !cfg_.write_back) {
+        // A read miss (or write-through write) fetches the line.
+        summary.fills.push_back(line_addr);
+    } else if (op == MemOp::kWrite) {
+        // Write-allocate: fetch-on-write (whole line brought in).
+        summary.fills.push_back(line_addr);
+    }
+    return false;
+}
+
+CacheAccessSummary
+SetAssocCache::access(Addr addr, std::uint32_t size, MemOp op)
+{
+    vs_assert(size > 0, "zero-size cache access");
+
+    CacheAccessSummary summary;
+    const Addr first = addr >> line_shift_;
+    const Addr last = (addr + size - 1) >> line_shift_;
+    for (Addr l = first; l <= last; ++l) {
+        ++summary.lines;
+        if (accessLine(l << line_shift_, op, summary))
+            ++summary.hits;
+        else
+            ++summary.misses;
+    }
+    return summary;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const Addr line_addr = addr >> line_shift_ << line_shift_;
+    const std::uint32_t set = setIndex(line_addr);
+    const std::uint64_t tag = tagOf(line_addr);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const Line &l = line(set, w);
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::invalidateAll()
+{
+    for (auto &l : lines_) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+std::uint64_t
+SetAssocCache::invalidateRange(Addr addr, std::uint64_t size)
+{
+    if (size == 0)
+        return 0;
+    std::uint64_t invalidated = 0;
+    const Addr first = addr >> line_shift_;
+    const Addr last = (addr + size - 1) >> line_shift_;
+
+    // For ranges larger than the cache, walking the cache itself is
+    // cheaper than walking the address range.
+    if (last - first + 1 >= lines_.size()) {
+        for (std::uint32_t set = 0; set < sets_; ++set) {
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                Line &l = line(set, w);
+                if (!l.valid)
+                    continue;
+                const Addr la = lineAddr(set, l.tag);
+                if (la >= (first << line_shift_) &&
+                    la <= (last << line_shift_)) {
+                    l.valid = false;
+                    l.dirty = false;
+                    ++invalidated;
+                }
+            }
+        }
+        return invalidated;
+    }
+
+    for (Addr ln = first; ln <= last; ++ln) {
+        const Addr line_addr = ln << line_shift_;
+        const std::uint32_t set = setIndex(line_addr);
+        const std::uint64_t tag = tagOf(line_addr);
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            Line &l = line(set, w);
+            if (l.valid && l.tag == tag) {
+                l.valid = false;
+                l.dirty = false;
+                ++invalidated;
+            }
+        }
+    }
+    return invalidated;
+}
+
+std::vector<Addr>
+SetAssocCache::flush()
+{
+    std::vector<Addr> dirty_lines;
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            Line &l = line(set, w);
+            if (l.valid && l.dirty)
+                dirty_lines.push_back(lineAddr(set, l.tag));
+            l.valid = false;
+            l.dirty = false;
+        }
+    }
+    writebacks_ += dirty_lines.size();
+    return dirty_lines;
+}
+
+double
+SetAssocCache::missRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+    writebacks_ = 0;
+}
+
+void
+SetAssocCache::dumpStats(std::ostream &os) const
+{
+    stats::printStat(os, name_ + ".hits", static_cast<double>(hits_));
+    stats::printStat(os, name_ + ".misses", static_cast<double>(misses_));
+    stats::printStat(os, name_ + ".missRate", missRate());
+    stats::printStat(os, name_ + ".evictions",
+                     static_cast<double>(evictions_));
+    stats::printStat(os, name_ + ".writebacks",
+                     static_cast<double>(writebacks_));
+}
+
+} // namespace vstream

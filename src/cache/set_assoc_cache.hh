@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Generic address-indexed set-associative cache model.
+ *
+ * Instantiated as the video decoder's internal cache (Fig. 7a sweeps
+ * it from 32 KB to 512 KB) and, with assoc=1, as the 16 KB display
+ * cache.  The model tracks tags and dirty bits only; data correctness
+ * is the client's concern (the simulator keeps pixel data in Frame
+ * objects).
+ */
+
+#ifndef VSTREAM_CACHE_SET_ASSOC_CACHE_HH
+#define VSTREAM_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "cache/replacement.hh"
+#include "mem/mem_request.hh"
+
+namespace vstream
+{
+
+/** Outcome of a (possibly multi-line) cache access. */
+struct CacheAccessSummary
+{
+    std::uint32_t lines = 0;
+    std::uint32_t hits = 0;
+    std::uint32_t misses = 0;
+    /** Line addresses of dirty victims that must be written back. */
+    std::vector<Addr> writebacks;
+    /** Line addresses that must be fetched from memory. */
+    std::vector<Addr> fills;
+
+    bool allHit() const { return misses == 0; }
+};
+
+/** Tag-only set-associative cache. */
+class SetAssocCache
+{
+  public:
+    SetAssocCache(std::string name, const CacheConfig &cfg);
+
+    /**
+     * Access [addr, addr+size) with operation @p op.
+     *
+     * Reads allocate on miss.  Writes allocate only when the config
+     * enables write_allocate; otherwise write misses bypass the cache
+     * entirely (streaming store).
+     */
+    CacheAccessSummary access(Addr addr, std::uint32_t size, MemOp op);
+
+    /** Probe without updating any state. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate everything (dirty contents dropped). */
+    void invalidateAll();
+
+    /**
+     * Invalidate every line covering [addr, addr+size) (dirty data
+     * dropped) - the coherence action for a DMA engine overwriting
+     * memory behind the cache.
+     *
+     * @return number of lines invalidated.
+     */
+    std::uint64_t invalidateRange(Addr addr, std::uint64_t size);
+
+    /**
+     * Flush: returns dirty line addresses and leaves the cache
+     * clean+empty.
+     */
+    std::vector<Addr> flush();
+
+    const CacheConfig &config() const { return cfg_; }
+    const std::string &name() const { return name_; }
+
+    std::uint64_t hitCount() const { return hits_; }
+    std::uint64_t missCount() const { return misses_; }
+    std::uint64_t evictionCount() const { return evictions_; }
+    std::uint64_t writebackCount() const { return writebacks_; }
+    double missRate() const;
+
+    void resetStats();
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+    };
+
+    std::uint32_t setIndex(Addr line_addr) const;
+    std::uint64_t tagOf(Addr line_addr) const;
+    Addr lineAddr(std::uint32_t set, std::uint64_t tag) const;
+    Line &line(std::uint32_t set, std::uint32_t way);
+    const Line &line(std::uint32_t set, std::uint32_t way) const;
+
+    /** Access a single line; returns hit, may add to summary. */
+    bool accessLine(Addr line_addr, MemOp op, CacheAccessSummary &summary);
+
+    std::string name_;
+    CacheConfig cfg_;
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint32_t line_shift_;
+    std::vector<Line> lines_;
+    ReplacementState repl_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_CACHE_SET_ASSOC_CACHE_HH

@@ -1,0 +1,35 @@
+#include "core/co_mach.hh"
+
+namespace vstream
+{
+
+CoMach::CoMach(const MachConfig &cfg)
+    : cfg_(cfg),
+      cache_(std::make_unique<MachCache>(cfg, cfg.co_mach_entries,
+                                         /*full_tags=*/true))
+{
+}
+
+void
+CoMach::beginFrame()
+{
+    cache_ = std::make_unique<MachCache>(cfg_, cfg_.co_mach_entries,
+                                         /*full_tags=*/true);
+}
+
+MachProbe
+CoMach::lookup(std::uint32_t digest, std::uint16_t aux,
+               const std::vector<std::uint8_t> &truth)
+{
+    return cache_->lookup(digest, aux, truth);
+}
+
+void
+CoMach::insert(std::uint32_t digest, std::uint16_t aux, Addr ptr,
+               const std::vector<std::uint8_t> &truth)
+{
+    ++inserts_;
+    cache_->insert(digest, aux, ptr, truth);
+}
+
+} // namespace vstream

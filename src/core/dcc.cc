@@ -1,0 +1,61 @@
+#include "core/dcc.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace vstream
+{
+
+namespace
+{
+
+/** Bits needed to hold a signed value in [-256, 255]. */
+std::uint32_t
+signedBits(int v)
+{
+    if (v == 0)
+        return 0;
+    const unsigned mag = static_cast<unsigned>(std::abs(v));
+    std::uint32_t bits = 0;
+    while ((1u << bits) <= mag)
+        ++bits;
+    return bits + 1; // sign bit
+}
+
+} // namespace
+
+DccResult
+dccCompress(const Macroblock &mab)
+{
+    const Pixel base = mab.base();
+    const std::uint32_t n = mab.pixelCount();
+
+    std::uint32_t bits_r = 0, bits_g = 0, bits_b = 0;
+    for (std::uint32_t i = 1; i < n; ++i) {
+        const Pixel p = mab.pixel(i);
+        bits_r = std::max(bits_r, signedBits(static_cast<int>(p.r) -
+                                             static_cast<int>(base.r)));
+        bits_g = std::max(bits_g, signedBits(static_cast<int>(p.g) -
+                                             static_cast<int>(base.g)));
+        bits_b = std::max(bits_b, signedBits(static_cast<int>(p.b) -
+                                             static_cast<int>(base.b)));
+    }
+
+    const std::uint32_t header = 2;  // 3x 4-bit widths + mode flag
+    const std::uint32_t payload_bits =
+        (n - 1) * (bits_r + bits_g + bits_b);
+    const std::uint32_t packed =
+        header + kBytesPerPixel + (payload_bits + 7) / 8;
+
+    DccResult result;
+    if (packed < mab.sizeBytes()) {
+        result.compressed = true;
+        result.compressed_bytes = packed;
+    } else {
+        result.compressed = false;
+        result.compressed_bytes = mab.sizeBytes() + 1;
+    }
+    return result;
+}
+
+} // namespace vstream

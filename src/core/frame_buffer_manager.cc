@@ -1,0 +1,142 @@
+#include "core/frame_buffer_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+FrameBufferManager::FrameBufferManager(MemorySystem &mem,
+                                       std::uint32_t mab_count,
+                                       std::uint32_t mab_bytes,
+                                       std::uint64_t mach_dump_bytes)
+    : mem_(mem),
+      // Worst-case metadata: a 4 B pointer/digest stream and a 3 B
+      // base stream (kept in disjoint halves with slack so the two
+      // write-combining cursors never collide) plus the 1 bit/mab
+      // pointer-vs-digest bitmap.
+      meta_capacity_(static_cast<std::uint64_t>(mab_count) * 9 +
+                     (mab_count + 7) / 8 + 128),
+      data_capacity_(static_cast<std::uint64_t>(mab_count) * mab_bytes),
+      mach_dump_capacity_(mach_dump_bytes)
+{
+}
+
+BufferSlot &
+FrameBufferManager::acquire(std::uint64_t frame_index)
+{
+    for (auto &slot : slots_) {
+        if (!slot.in_use) {
+            slot.in_use = true;
+            slot.frame_index = frame_index;
+            slot.blocks.clear();
+            return slot;
+        }
+    }
+
+    BufferSlot slot;
+    slot.meta_base = mem_.allocate(meta_capacity_, "fb.meta");
+    slot.data_base = mem_.allocate(data_capacity_, "fb.data");
+    slot.mach_dump_base =
+        mach_dump_capacity_
+            ? mem_.allocate(mach_dump_capacity_, "fb.machdump")
+            : 0;
+    slot.meta_capacity = meta_capacity_;
+    slot.data_capacity = data_capacity_;
+    slot.mach_dump_capacity = mach_dump_capacity_;
+    slot.in_use = true;
+    slot.frame_index = frame_index;
+    slots_.push_back(std::move(slot));
+    return slots_.back();
+}
+
+void
+FrameBufferManager::release(std::uint64_t frame_index)
+{
+    for (auto &slot : slots_) {
+        if (slot.in_use && slot.frame_index == frame_index) {
+            slot.in_use = false;
+            return;
+        }
+    }
+}
+
+BufferSlot *
+FrameBufferManager::find(std::uint64_t frame_index)
+{
+    for (auto &slot : slots_)
+        if (slot.in_use && slot.frame_index == frame_index)
+            return &slot;
+    return nullptr;
+}
+
+const BufferSlot *
+FrameBufferManager::find(std::uint64_t frame_index) const
+{
+    for (const auto &slot : slots_)
+        if (slot.in_use && slot.frame_index == frame_index)
+            return &slot;
+    return nullptr;
+}
+
+BufferSlot *
+FrameBufferManager::slotContaining(Addr addr)
+{
+    for (auto &slot : slots_) {
+        if (addr >= slot.data_base &&
+            addr < slot.data_base + slot.data_capacity) {
+            return &slot;
+        }
+    }
+    return nullptr;
+}
+
+const BufferSlot *
+FrameBufferManager::slotContaining(Addr addr) const
+{
+    for (const auto &slot : slots_) {
+        if (addr >= slot.data_base &&
+            addr < slot.data_base + slot.data_capacity) {
+            return &slot;
+        }
+    }
+    return nullptr;
+}
+
+void
+FrameBufferManager::storeBlock(Addr addr,
+                               const std::vector<std::uint8_t> &bytes)
+{
+    BufferSlot *slot = slotContaining(addr);
+    vs_assert(slot != nullptr,
+              "block store outside any frame buffer: addr=", addr);
+    slot->blocks[addr] = bytes;
+}
+
+const std::vector<std::uint8_t> *
+FrameBufferManager::loadBlock(Addr addr) const
+{
+    const BufferSlot *slot = slotContaining(addr);
+    if (slot == nullptr)
+        return nullptr;
+    const auto it = slot->blocks.find(addr);
+    return it == slot->blocks.end() ? nullptr : &it->second;
+}
+
+std::uint32_t
+FrameBufferManager::slotsInUse() const
+{
+    std::uint32_t n = 0;
+    for (const auto &slot : slots_)
+        if (slot.in_use)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+FrameBufferManager::poolBytes() const
+{
+    return static_cast<std::uint64_t>(slots_.size()) *
+           (meta_capacity_ + data_capacity_ + mach_dump_capacity_);
+}
+
+} // namespace vstream

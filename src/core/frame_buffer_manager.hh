@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Frame-buffer pool and simulated block store.
+ *
+ * Allocates per-frame buffer slots (metadata + data regions) out of
+ * simulated DRAM, recycles them once a frame is both displayed and
+ * outside the MACH reference window, and tracks the peak number of
+ * simultaneously live buffers - the quantity behind the paper's
+ * memory-capacity discussion (5.3x for 16-frame batching, Fig. 12a's
+ * extra-buffer counts).
+ *
+ * The manager also plays the role of "what the bytes in DRAM are":
+ * block contents written by the decoder are stored here so the
+ * display model can reconstruct frames and the test suite can verify
+ * losslessness end to end.
+ */
+
+#ifndef VSTREAM_CORE_FRAME_BUFFER_MANAGER_HH
+#define VSTREAM_CORE_FRAME_BUFFER_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory_system.hh"
+
+namespace vstream
+{
+
+/** One reusable frame-buffer slot. */
+struct BufferSlot
+{
+    Addr meta_base = 0;
+    Addr data_base = 0;
+    Addr mach_dump_base = 0;
+    std::uint64_t meta_capacity = 0;
+    std::uint64_t data_capacity = 0;
+    std::uint64_t mach_dump_capacity = 0;
+    bool in_use = false;
+    std::uint64_t frame_index = 0;
+    /** Simulated contents: block address -> block bytes. */
+    std::unordered_map<Addr, std::vector<std::uint8_t>> blocks;
+};
+
+/** Pool of frame buffers plus the simulated block store. */
+class FrameBufferManager
+{
+  public:
+    /**
+     * @param mem             owner of the simulated address space
+     * @param mab_count       mabs per frame
+     * @param mab_bytes       decoded bytes per mab
+     * @param mach_dump_bytes capacity reserved for a MACH dump image
+     */
+    FrameBufferManager(MemorySystem &mem, std::uint32_t mab_count,
+                       std::uint32_t mab_bytes,
+                       std::uint64_t mach_dump_bytes);
+
+    /** Acquire a slot for @p frame_index (recycles a free slot or
+     * grows the pool). */
+    BufferSlot &acquire(std::uint64_t frame_index);
+
+    /** Release the slot holding @p frame_index (no-op if absent). */
+    void release(std::uint64_t frame_index);
+
+    /** Slot currently holding @p frame_index, or nullptr. */
+    BufferSlot *find(std::uint64_t frame_index);
+    const BufferSlot *find(std::uint64_t frame_index) const;
+
+    /** Record block bytes at @p addr (must fall inside some slot). */
+    void storeBlock(Addr addr, const std::vector<std::uint8_t> &bytes);
+
+    /** Fetch block bytes at @p addr; nullptr when nothing stored. */
+    const std::vector<std::uint8_t> *loadBlock(Addr addr) const;
+
+    /** Slots ever allocated (== peak simultaneous buffers). */
+    std::uint32_t slotsAllocated() const
+    {
+        return static_cast<std::uint32_t>(slots_.size());
+    }
+
+    /** Slots currently holding live frames. */
+    std::uint32_t slotsInUse() const;
+
+    /** Total DRAM footprint of the pool, bytes. */
+    std::uint64_t poolBytes() const;
+
+    /** Per-slot worst-case decoded size (the data region size). */
+    std::uint64_t dataCapacity() const { return data_capacity_; }
+
+  private:
+    BufferSlot *slotContaining(Addr addr);
+    const BufferSlot *slotContaining(Addr addr) const;
+
+    MemorySystem &mem_;
+    std::uint64_t meta_capacity_;
+    std::uint64_t data_capacity_;
+    std::uint64_t mach_dump_capacity_;
+    /** Deque: growth must not invalidate references handed out. */
+    std::deque<BufferSlot> slots_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_CORE_FRAME_BUFFER_MANAGER_HH

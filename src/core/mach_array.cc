@@ -1,0 +1,162 @@
+#include "core/mach_array.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace vstream
+{
+
+MachArray::MachArray(const MachConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    current_ = std::make_unique<MachCache>(cfg_);
+    if (cfg_.co_mach)
+        co_mach_ = std::make_unique<CoMach>(cfg_);
+}
+
+void
+MachArray::beginFrame()
+{
+    if (current_->validCount() > 0 || !history_.empty()) {
+        current_->freeze();
+        history_.push_front(std::move(*current_));
+        while (history_.size() > cfg_.num_machs - 1)
+            history_.pop_back();
+    }
+    current_ = std::make_unique<MachCache>(cfg_);
+    if (co_mach_)
+        co_mach_->beginFrame();
+}
+
+MachLookupResult
+MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
+                  const std::vector<std::uint8_t> &truth)
+{
+    ++stats_.lookups;
+    MachLookupResult result;
+
+    // Current frame first (intra), then history newest-to-oldest.
+    MachProbe probe = current_->lookup(digest, aux, truth);
+    if (probe.collision_detected)
+        result.collision_detected = true;
+    if (probe.hit) {
+        result.hit = true;
+        result.inter = false;
+        result.frame_age = 0;
+        result.ptr = probe.ptr;
+        result.collision_undetected = probe.collision_undetected;
+    } else {
+        std::uint32_t age = 1;
+        for (auto &mach : history_) {
+            probe = mach.lookup(digest, aux, truth);
+            if (probe.collision_detected)
+                result.collision_detected = true;
+            if (probe.hit) {
+                result.hit = true;
+                result.inter = true;
+                result.frame_age = age;
+                result.ptr = probe.ptr;
+                result.collision_undetected = probe.collision_undetected;
+                break;
+            }
+            ++age;
+        }
+    }
+
+    // CO-MACH covers the current frame's collided blocks.
+    if (!result.hit && co_mach_) {
+        probe = co_mach_->lookup(digest, aux, truth);
+        if (probe.hit) {
+            result.hit = true;
+            result.inter = false;
+            result.frame_age = 0;
+            result.ptr = probe.ptr;
+            result.collision_undetected = probe.collision_undetected;
+        }
+    }
+
+    if (result.hit) {
+        if (result.inter)
+            ++stats_.inter_hits;
+        else
+            ++stats_.intra_hits;
+        ++match_counts_[digest];
+    } else {
+        ++stats_.misses;
+    }
+    if (result.collision_detected)
+        ++stats_.collisions_detected;
+    if (result.collision_undetected)
+        ++stats_.collisions_undetected;
+    return result;
+}
+
+void
+MachArray::insertUnique(std::uint32_t digest, std::uint16_t aux, Addr ptr,
+                        const std::vector<std::uint8_t> &truth,
+                        bool collided)
+{
+    ++stats_.inserts;
+    if (collided && co_mach_) {
+        co_mach_->insert(digest, aux, ptr, truth);
+        return;
+    }
+    current_->insert(digest, aux, ptr, truth);
+}
+
+const MachCache &
+MachArray::current() const
+{
+    return *current_;
+}
+
+std::uint64_t
+MachArray::currentDumpBytes() const
+{
+    return current_->dumpBytes();
+}
+
+std::vector<double>
+MachArray::topMatchShares(std::size_t k) const
+{
+    std::vector<std::uint64_t> counts;
+    counts.reserve(match_counts_.size());
+    std::uint64_t total = 0;
+    for (const auto &[digest, n] : match_counts_) {
+        counts.push_back(n);
+        total += n;
+    }
+    std::sort(counts.begin(), counts.end(),
+              std::greater<std::uint64_t>());
+
+    std::vector<double> shares;
+    for (std::size_t i = 0; i < k && i < counts.size(); ++i) {
+        shares.push_back(total ? static_cast<double>(counts[i]) /
+                                     static_cast<double>(total)
+                               : 0.0);
+    }
+    return shares;
+}
+
+void
+MachArray::dumpStats(std::ostream &os, const std::string &prefix) const
+{
+    stats::printStat(os, prefix + ".lookups",
+                     static_cast<double>(stats_.lookups));
+    stats::printStat(os, prefix + ".intraHits",
+                     static_cast<double>(stats_.intra_hits));
+    stats::printStat(os, prefix + ".interHits",
+                     static_cast<double>(stats_.inter_hits));
+    stats::printStat(os, prefix + ".misses",
+                     static_cast<double>(stats_.misses));
+    stats::printStat(os, prefix + ".hitRate", stats_.hitRate());
+    stats::printStat(os, prefix + ".collisionsDetected",
+                     static_cast<double>(stats_.collisions_detected));
+    stats::printStat(os, prefix + ".collisionsUndetected",
+                     static_cast<double>(stats_.collisions_undetected));
+}
+
+} // namespace vstream

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The array of per-frame MACHs held by the video decoder.
+ *
+ * The decoder keeps the MACH of the frame being decoded plus the
+ * frozen MACHs of the previous num_machs-1 frames; a lookup searches
+ * all of them (and CO-MACH when enabled).  A hit in the current
+ * frame's MACH is an intra-match, a hit in an older MACH an
+ * inter-match - the distinction decides whether the frame-buffer
+ * layout stores a pointer or a digest (Sec. 5.1).
+ */
+
+#ifndef VSTREAM_CORE_MACH_ARRAY_HH
+#define VSTREAM_CORE_MACH_ARRAY_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <unordered_map>
+
+#include "core/co_mach.hh"
+#include "core/mach_cache.hh"
+
+namespace vstream
+{
+
+/** Combined outcome of searching all MACHs. */
+struct MachLookupResult
+{
+    bool hit = false;
+    /** Hit in a previous frame's MACH (else the current frame's). */
+    bool inter = false;
+    /** Age of the owning MACH: 0 = current frame, 1 = previous, ... */
+    std::uint32_t frame_age = 0;
+    Addr ptr = 0;
+    bool collision_detected = false;
+    bool collision_undetected = false;
+};
+
+/** Running statistics of the MACH array. */
+struct MachStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t intra_hits = 0;
+    std::uint64_t inter_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t collisions_detected = 0;
+    std::uint64_t collisions_undetected = 0;
+    std::uint64_t inserts = 0;
+
+    std::uint64_t hits() const { return intra_hits + inter_hits; }
+    double hitRate() const
+    {
+        return lookups ? static_cast<double>(hits()) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+};
+
+/** Current + historical MACHs, plus CO-MACH. */
+class MachArray
+{
+  public:
+    explicit MachArray(const MachConfig &cfg);
+
+    /**
+     * Start a new frame: freeze the current MACH into the history
+     * (dropping the oldest beyond num_machs-1) and clear CO-MACH.
+     */
+    void beginFrame();
+
+    /** Search every cache for @p digest. */
+    MachLookupResult lookup(std::uint32_t digest, std::uint16_t aux,
+                            const std::vector<std::uint8_t> &truth);
+
+    /**
+     * Record a freshly written unique block.
+     *
+     * Inserts into the current MACH, or into CO-MACH when the lookup
+     * that preceded this call detected a digest collision.
+     */
+    void insertUnique(std::uint32_t digest, std::uint16_t aux, Addr ptr,
+                      const std::vector<std::uint8_t> &truth,
+                      bool collided);
+
+    /** The MACH of the frame being decoded. */
+    const MachCache &current() const;
+
+    /** Frozen MACHs, newest first. */
+    const std::deque<MachCache> &history() const { return history_; }
+
+    /** Metadata image size of the current MACH when dumped. */
+    std::uint64_t currentDumpBytes() const;
+
+    const MachStats &stats() const { return stats_; }
+    const MachConfig &config() const { return cfg_; }
+    std::uint64_t coMachInserts() const
+    {
+        return co_mach_ ? co_mach_->insertCount() : 0;
+    }
+
+    void dumpStats(std::ostream &os, const std::string &prefix) const;
+
+    /** Matches per digest (Fig. 9b's "top digests" distribution). */
+    const std::unordered_map<std::uint32_t, std::uint64_t> &
+    matchCounts() const
+    {
+        return match_counts_;
+    }
+
+    /**
+     * Shares of total matches contributed by the top @p k digests,
+     * descending (Fig. 9b's x-axis).
+     */
+    std::vector<double> topMatchShares(std::size_t k) const;
+
+  private:
+    MachConfig cfg_;
+    std::unordered_map<std::uint32_t, std::uint64_t> match_counts_;
+    std::unique_ptr<MachCache> current_;
+    std::deque<MachCache> history_;
+    std::unique_ptr<CoMach> co_mach_;
+    MachStats stats_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_CORE_MACH_ARRAY_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * One per-frame MACH: a digest-indexed, set-associative cache mapping
+ * macroblock digests to the memory addresses of their (unique) data.
+ *
+ * Entries carry the 32-bit primary digest as the tag, an optional
+ * 16-bit auxiliary CRC16 (CO-MACH collision detection), the pointer
+ * to the block in the frame buffer, and - simulation only - a copy of
+ * the true block bytes so hash collisions can be counted exactly.
+ *
+ * A MACH is mutable while its frame is being decoded and is frozen
+ * afterwards; frozen MACHs serve lookups from younger frames and are
+ * dumped to memory for the display's MACH buffer.
+ */
+
+#ifndef VSTREAM_CORE_MACH_CACHE_HH
+#define VSTREAM_CORE_MACH_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "core/mach_config.hh"
+#include "mem/mem_request.hh"
+
+namespace vstream
+{
+
+/** One MACH entry. */
+struct MachEntry
+{
+    bool valid = false;
+    std::uint32_t digest = 0;
+    std::uint16_t aux = 0;
+    Addr ptr = 0;
+    /** Ground-truth bytes (simulation-side collision verification). */
+    std::vector<std::uint8_t> truth;
+};
+
+/** Result of probing one MACH. */
+struct MachProbe
+{
+    bool hit = false;
+    Addr ptr = 0;
+    /**
+     * The tag matched but the stored content differs: a digest
+     * collision.  With CO-MACH the CRC16 usually catches it (the
+     * probe then reports a miss with collision_detected); without,
+     * the hit stands and the display would show the wrong block
+     * (collision_undetected).
+     */
+    bool collision_detected = false;
+    bool collision_undetected = false;
+};
+
+/** A single per-frame macroblock cache. */
+class MachCache
+{
+  public:
+    /**
+     * @param cfg        geometry and behaviour
+     * @param entries    entry count override (CO-MACH reuses this
+     *                   class with its own size); 0 = cfg.entries
+     * @param full_tags  compare aux (CRC16) as part of the tag
+     */
+    explicit MachCache(const MachConfig &cfg, std::uint32_t entries = 0,
+                       bool full_tags = false);
+
+    /**
+     * Probe for @p digest (and @p aux when CO-MACH is on).
+     *
+     * @param truth  actual block bytes, for collision accounting.
+     */
+    MachProbe lookup(std::uint32_t digest, std::uint16_t aux,
+                     const std::vector<std::uint8_t> &truth);
+
+    /** Insert a mapping digest -> ptr (evicts LRU if needed). */
+    void insert(std::uint32_t digest, std::uint16_t aux, Addr ptr,
+                const std::vector<std::uint8_t> &truth);
+
+    /** Freeze: further insert() calls panic. */
+    void freeze() { frozen_ = true; }
+    bool frozen() const { return frozen_; }
+
+    /** Number of valid entries. */
+    std::uint32_t validCount() const;
+
+    /** Size of the dumped metadata image in memory (digest+pointer
+     * per valid entry). */
+    std::uint64_t dumpBytes() const;
+
+    /** All valid entries (for the display-side MACH-buffer load). */
+    std::vector<const MachEntry *> validEntries() const;
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+
+  private:
+    MachEntry &entry(std::uint32_t set, std::uint32_t way);
+    const MachEntry &entry(std::uint32_t set, std::uint32_t way) const;
+    std::uint32_t setOf(std::uint32_t digest) const;
+
+    const MachConfig &cfg_;
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    bool full_tags_;
+    bool frozen_ = false;
+    std::vector<MachEntry> entries_;
+    ReplacementState repl_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_CORE_MACH_CACHE_HH

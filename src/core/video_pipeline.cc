@@ -1,0 +1,498 @@
+#include "core/video_pipeline.hh"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "decoder/video_decoder.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "video/synthetic_video.hh"
+
+namespace vstream
+{
+
+double
+PipelineResult::s3Residency() const
+{
+    return span ? static_cast<double>(vd_time.s3) /
+                      static_cast<double>(span)
+                : 0.0;
+}
+
+double
+PipelineResult::dropRate() const
+{
+    return frames ? static_cast<double>(drops) /
+                        static_cast<double>(frames)
+                  : 0.0;
+}
+
+VideoPipeline::VideoPipeline(PipelineConfig cfg) : cfg_(std::move(cfg))
+{
+    cfg_.finalize();
+}
+
+namespace
+{
+
+/** Mutable state of one playback simulation. */
+struct Playback
+{
+    const PipelineConfig &cfg;
+    EventQueue queue;
+    MemorySystem mem;
+    FrameBufferManager fbm;
+    std::unique_ptr<MachArray> machs;
+    std::unique_ptr<WritebackStage> wb;
+    VideoDecoder vd;
+    DisplayController dc;
+    SleepGovernor governor;
+    SyntheticVideo video;
+
+    // Static schedule parameters.
+    std::uint32_t frames;
+    Tick period;
+    Tick t0;
+    std::uint32_t chunk_frames;
+    std::uint32_t window;
+    std::uint32_t pool_cap;
+    bool baseline_pacing;
+
+    // Decode bookkeeping.
+    std::vector<Tick> finishes;
+    std::vector<FrameLayout> layouts;
+    std::vector<BufferSlot *> slot_of;
+    std::deque<std::uint64_t> live_slots;
+    Tick decoder_free = 0;
+    std::uint32_t decoded = 0;
+    /** EWMA of decode busy time normalized to the low P-state, for
+     * the history-based DVFS predictor. */
+    double ewma_low_busy_s = 0.0;
+
+    PipelineResult result;
+
+    explicit Playback(const PipelineConfig &c)
+        : cfg(c), mem("mem", &queue, c.dram),
+          fbm(mem, c.profile.mabsPerFrame(),
+              c.profile.mab_dim * c.profile.mab_dim * kBytesPerPixel,
+              c.scheme.mach
+                  ? static_cast<std::uint64_t>(c.mach.entries) *
+                        (c.mach.digest_bytes + c.mach.pointer_bytes)
+                  : 0),
+          vd("vd", &queue, mem, c.decoder, c.profile),
+          dc("dc", &queue, mem, fbm, c.display),
+          governor(c.decoder.power), video(c.profile),
+          frames(c.profile.frame_count),
+          period(c.profile.framePeriodTicks()),
+          t0(static_cast<Tick>(c.startup_vsyncs) *
+             c.profile.framePeriodTicks()),
+          chunk_frames(std::max<std::uint32_t>(
+              1, static_cast<std::uint32_t>(
+                     (c.buffer_interval * c.profile.fps) /
+                     sim_clock::s))),
+          window(c.scheme.mach ? c.mach.num_machs - 1 : 0),
+          pool_cap(std::max<std::uint32_t>(3, c.scheme.batch + 2) +
+                   (c.scheme.mach ? c.mach.num_machs - 1 : 0)),
+          baseline_pacing(c.scheme.batch == 1)
+    {
+        if (c.scheme.mach) {
+            machs = std::make_unique<MachArray>(c.mach);
+            wb = std::make_unique<MachWriteback>(
+                mem, fbm, *machs, c.scheme.layout, c.scheme.dcc);
+        } else {
+            wb = std::make_unique<LinearWriteback>(mem, fbm);
+        }
+        vd.setFrequency(c.scheme.freq);
+
+        finishes.assign(frames, maxTick);
+        slot_of.assign(frames, nullptr);
+        layouts.reserve(frames);
+        result.frame_records.resize(frames);
+        result.video_key = c.profile.key;
+        result.scheme = c.scheme.scheme;
+        result.frames = frames;
+    }
+
+    Tick vsync(std::uint64_t v) const { return t0 + v * period; }
+
+    /** Network-arrival tick of frame @p i. */
+    Tick
+    arrival(std::uint32_t i) const
+    {
+        if (i < cfg.preroll_frames)
+            return 0;
+        const std::uint64_t chunk =
+            (i - cfg.preroll_frames) / chunk_frames;
+        return (chunk + 1) * cfg.buffer_interval;
+    }
+
+    /** Tick at which frame @p j's buffer may be recycled. */
+    Tick
+    releaseTick(std::uint64_t j) const
+    {
+        return vsync(j + 2 + window);
+    }
+
+    /** Earliest tick a buffer slot is free for frame @p i. */
+    Tick
+    slotFreeTick() const
+    {
+        if (live_slots.size() < pool_cap)
+            return 0;
+        return releaseTick(live_slots.front());
+    }
+
+    /** Earliest tick a whole batch's worth of slots is free: the
+     * wake-up hysteresis that lets the decoder sleep through an
+     * entire batch window instead of trickling one frame per vsync. */
+    Tick
+    batchSlotFreeTick() const
+    {
+        const std::uint64_t need =
+            live_slots.size() + cfg.scheme.batch;
+        if (need <= pool_cap)
+            return 0;
+        const std::uint64_t kth = need - pool_cap - 1;
+        if (kth >= live_slots.size())
+            return releaseTick(live_slots.back());
+        return releaseTick(live_slots[kth]);
+    }
+
+    /** Earliest allowed start of decoding frame @p i. */
+    Tick
+    nextStart(std::uint32_t i) const
+    {
+        const Tick earliest =
+            std::max({decoder_free, arrival(i), slotFreeTick()});
+        if (baseline_pacing) {
+            // One frame per period, woken by the application.
+            const Tick slot_time =
+                vsync(i) >= period ? vsync(i) - period : 0;
+            return std::max(earliest, slot_time);
+        }
+        // Batched race-to-sleep: while work is buffered (and a frame
+        // buffer is free), keep draining it back-to-back; the paper's
+        // scheme is explicitly adaptive to however many frames the
+        // network has delivered (Sec. 3.3).
+        if (arrival(i) <= decoder_free &&
+            slotFreeTick() <= decoder_free) {
+            return earliest;
+        }
+        // Buffer empty or pool blocked: sleep until a full batch of
+        // frames has arrived AND a full batch of buffers is free -
+        // but wake no later than one period before the baseline
+        // would have started this frame, so the first frame after a
+        // sleep still has a cushion against a heavy tail.
+        const std::uint32_t j_last =
+            std::min(i + cfg.scheme.batch, frames) - 1;
+        const Tick prefer =
+            std::max(arrival(j_last), batchSlotFreeTick());
+        const Tick guard =
+            vsync(i) >= 2 * period ? vsync(i) - 2 * period : 0;
+        return std::max(earliest, std::min(prefer, guard));
+    }
+
+    /** Spend the idle window [from, to) per the sleep governor and
+     * attribute it to frames [first, last]. */
+    void
+    spendIdle(Tick from, Tick to, std::uint32_t first, std::uint32_t last)
+    {
+        if (to <= from)
+            return;
+        const Tick window_ticks = to - from;
+        const SleepDecision d =
+            governor.decide(window_ticks, vd.frequency());
+
+        result.vd_time.transition += d.transition_time;
+        result.energy.transition += d.transition_energy_j;
+        const double dwell_energy = d.energy_j - d.transition_energy_j;
+        if (d.state == PowerState::kSleepS1) {
+            result.vd_time.s1 += d.sleep_time;
+            result.energy.sleep += dwell_energy;
+            ++result.sleep_events;
+        } else if (d.state == PowerState::kSleepS3) {
+            result.vd_time.s3 += d.sleep_time;
+            result.energy.sleep += dwell_energy;
+            ++result.sleep_events;
+        } else {
+            result.vd_time.short_slack += window_ticks;
+            result.energy.short_slack += d.energy_j;
+        }
+
+        if (last < first || last >= frames)
+            return;
+        const auto n = static_cast<double>(last - first + 1);
+        for (std::uint32_t f = first; f <= last; ++f) {
+            FrameStateRecord &rec = result.frame_records[f];
+            rec.transition +=
+                static_cast<Tick>(d.transition_time / n);
+            rec.e_trans += d.transition_energy_j / n;
+            if (d.state == PowerState::kSleepS1) {
+                rec.s1 += static_cast<Tick>(d.sleep_time / n);
+                rec.e_sleep += dwell_energy / n;
+            } else if (d.state == PowerState::kSleepS3) {
+                rec.s3 += static_cast<Tick>(d.sleep_time / n);
+                rec.e_sleep += dwell_energy / n;
+            } else {
+                rec.slack += static_cast<Tick>(window_ticks / n);
+                rec.e_slack += d.energy_j / n;
+            }
+        }
+    }
+
+    /** Drop the record payload of a recycled frame's layout (bounds
+     * host memory on long runs; the frame can no longer be shown). */
+    void
+    dropLayoutPayload(std::uint64_t j)
+    {
+        if (j < layouts.size()) {
+            layouts[j] = FrameLayout(j, layouts[j].kind(), 0,
+                                     layouts[j].mabBytes(),
+                                     layouts[j].gradientMode());
+        }
+    }
+
+    /** Decode frame @p i starting no earlier than @p start. */
+    void
+    decodeOne(std::uint32_t i, Tick start)
+    {
+        // Recycle every slot whose hold time has expired; block on
+        // the pool if it is still full.
+        while (!live_slots.empty() &&
+               releaseTick(live_slots.front()) <= start) {
+            fbm.release(live_slots.front());
+            dropLayoutPayload(live_slots.front());
+            live_slots.pop_front();
+        }
+        while (live_slots.size() >= pool_cap) {
+            start = std::max(start, releaseTick(live_slots.front()));
+            fbm.release(live_slots.front());
+            dropLayoutPayload(live_slots.front());
+            live_slots.pop_front();
+        }
+
+        const Frame frame = video.nextFrame();
+        BufferSlot &slot = fbm.acquire(i);
+        slot_of[i] = &slot;
+        live_slots.push_back(i);
+
+        const BufferSlot *prev =
+            i > 0 ? slot_of[i - 1] : nullptr;
+
+        // History-based DVFS: drop to the low P-state when the EWMA
+        // of recent decode times predicts comfortable slack.
+        if (cfg.scheme.dvfs_slack) {
+            const double period_s = ticksToSeconds(period);
+            const bool safe =
+                ewma_low_busy_s > 0.0 &&
+                ewma_low_busy_s <= cfg.scheme.dvfs_margin * period_s;
+            vd.setFrequency(safe ? VdFrequency::kLow
+                                 : VdFrequency::kHigh);
+        }
+
+        const FrameDecodeResult r =
+            vd.decodeFrame(frame, *wb, slot, prev, start);
+        layouts.push_back(wb->finishFrame(r.finish));
+
+        if (cfg.scheme.dvfs_slack) {
+            const double low_equiv_s =
+                ticksToSeconds(r.busy()) *
+                (cfg.decoder.power.frequencyHz(vd.frequency()) /
+                 cfg.decoder.power.freq_low_hz);
+            ewma_low_busy_s = ewma_low_busy_s == 0.0
+                                  ? low_equiv_s
+                                  : 0.7 * ewma_low_busy_s +
+                                        0.3 * low_equiv_s;
+        }
+
+        finishes[i] = r.finish;
+        decoder_free = r.finish;
+        ++decoded;
+
+        FrameStateRecord &rec = result.frame_records[i];
+        rec.start = r.start;
+        rec.finish = r.finish;
+        rec.deadline = vsync(i);
+        rec.exec = r.busy();
+        rec.e_exec = cfg.decoder.power.activePower(vd.frequency()) *
+                     ticksToSeconds(r.busy());
+        result.vd_time.execution += r.busy();
+        result.energy.vd_processing += rec.e_exec;
+    }
+};
+
+} // namespace
+
+PipelineResult
+VideoPipeline::run()
+{
+    vs_assert(!ran_, "VideoPipeline::run() may only be called once");
+    ran_ = true;
+
+    Playback p(cfg_);
+    const std::uint32_t n = p.frames;
+
+    std::uint32_t i = 0;          // next frame to decode
+    std::int64_t last_shown = -1; // last frame on screen
+    Tick prev_free = 0;           // decoder idle-window start
+    std::uint32_t prev_batch_first = 0;
+
+    for (std::uint32_t v = 0; v < n; ++v) {
+        // Decode everything that starts at or before this vsync.
+        while (i < n) {
+            const Tick start = p.nextStart(i);
+            if (start > p.vsync(v))
+                break;
+
+            // A sleep gap ends the previous "batch" (the run of
+            // back-to-back decodes); its idle window is attributed
+            // across the frames of that run.
+            if (i > 0 && start > prev_free) {
+                p.spendIdle(prev_free, start, prev_batch_first,
+                            i - 1);
+                prev_batch_first = i;
+            }
+            p.decodeOne(i, start);
+            prev_free = p.decoder_free;
+            ++i;
+        }
+
+        // Scan-out at this vsync.
+        const Tick now = p.vsync(v);
+        std::int64_t shown = last_shown;
+        if (v < p.decoded && p.finishes[v] <= now)
+            shown = v;
+
+        if (shown != static_cast<std::int64_t>(v)) {
+            ++p.result.drops;
+            p.result.frame_records[v].dropped = true;
+        }
+        if (shown >= 0) {
+            // Re-rendering a frame older than the retention window
+            // would read a recycled buffer; show it without traffic.
+            const bool stale =
+                shown + 2 + static_cast<std::int64_t>(p.window) <=
+                static_cast<std::int64_t>(v);
+            if (!stale) {
+                const ScanStats scan = p.dc.scanOut(
+                    p.layouts[static_cast<std::size_t>(shown)], now,
+                    shown != static_cast<std::int64_t>(v));
+                if (cfg_.verify_display && !scan.verified)
+                    p.result.all_verified = false;
+            }
+        }
+        last_shown = shown;
+    }
+
+    // Close the decoder's final idle window at end of playback.
+    const Tick span = p.vsync(n - 1) + p.period;
+    if (p.decoder_free < span) {
+        p.spendIdle(std::max(prev_free, p.vsync(0)), span,
+                    prev_batch_first, n - 1);
+    }
+    // Idle time before the very first decode (startup).
+    if (n > 0 && !p.result.frame_records.empty()) {
+        const Tick first_start = p.result.frame_records[0].start;
+        if (first_start > 0)
+            p.spendIdle(0, first_start, 1, 0); // totals only
+    }
+
+    // ---- assemble the result -----------------------------------------
+    p.mem.flushWrites(span);
+    PipelineResult &r = p.result;
+    r.span = span;
+    const double span_s = ticksToSeconds(span);
+    const double scale = cfg_.trafficEnergyScale();
+
+    r.energy.mem_act_pre =
+        p.mem.energy().actPreEnergyTotal() * scale;
+    r.energy.mem_burst = p.mem.energy().burstEnergyTotal() * scale;
+    r.energy.mem_background = cfg_.dram.background_watts * span_s;
+    r.energy.dc = cfg_.display.power_w * span_s;
+
+    double overhead_w = 0.0;
+    if (cfg_.scheme.mach)
+        overhead_w += cfg_.mach.mach_power_w;
+    if (cfg_.scheme.display_cache)
+        overhead_w += cfg_.mach.display_cache_power_w;
+    if (cfg_.scheme.mach_buffer)
+        overhead_w += cfg_.mach.mach_buffer_power_w;
+    if (cfg_.scheme.co_mach)
+        overhead_w += cfg_.mach.co_mach_power_w;
+    r.energy.mach_overhead = overhead_w * span_s;
+
+    r.writeback = p.wb->totals();
+    r.display = p.dc.totals();
+    if (p.machs) {
+        r.mach = p.machs->stats();
+        r.top_match_shares = p.machs->topMatchShares(32);
+        r.co_mach_inserts = p.machs->coMachInserts();
+    }
+    r.dram_vd = p.mem.energy().counts(Requester::kVideoDecoder);
+    r.dram_dc = p.mem.energy().counts(Requester::kDisplayController);
+    r.dram_total = p.mem.energy().totalCounts();
+    r.peak_buffers = p.fbm.slotsAllocated();
+    r.pool_bytes = p.fbm.poolBytes();
+    r.vd_cache_miss_rate = p.vd.cache().missRate();
+    if (p.dc.displayCache() != nullptr) {
+        r.display_cache_hits = p.dc.displayCache()->hitCount();
+        r.display_cache_misses = p.dc.displayCache()->missCount();
+    }
+    if (p.dc.machBuffer() != nullptr) {
+        r.mach_buffer_hits = p.dc.machBuffer()->hitCount();
+        r.mach_buffer_misses = p.dc.machBuffer()->missCount();
+    }
+
+    if (cfg_.frame_csv != nullptr) {
+        std::ostream &os = *cfg_.frame_csv;
+        os << "frame,start_ms,finish_ms,deadline_ms,exec_ms,slack_ms,"
+              "trans_ms,s1_ms,s3_ms,e_exec_mj,e_slack_mj,e_trans_mj,"
+              "e_sleep_mj,dropped\n";
+        for (std::size_t f = 0; f < r.frame_records.size(); ++f) {
+            const FrameStateRecord &rec = r.frame_records[f];
+            os << f << ',' << ticksToMs(rec.start) << ','
+               << ticksToMs(rec.finish) << ','
+               << ticksToMs(rec.deadline) << ','
+               << ticksToMs(rec.exec) << ',' << ticksToMs(rec.slack)
+               << ',' << ticksToMs(rec.transition) << ','
+               << ticksToMs(rec.s1) << ',' << ticksToMs(rec.s3) << ','
+               << rec.e_exec * 1e3 << ',' << rec.e_slack * 1e3 << ','
+               << rec.e_trans * 1e3 << ',' << rec.e_sleep * 1e3 << ','
+               << (rec.dropped ? 1 : 0) << '\n';
+        }
+    }
+
+    if (cfg_.stats_out != nullptr) {
+        std::ostream &os = *cfg_.stats_out;
+        os << "---- " << cfg_.profile.key << " / "
+           << schemeName(cfg_.scheme.scheme) << " ----\n";
+        p.vd.dumpStats(os);
+        p.dc.dumpStats(os);
+        p.mem.dumpStats(os);
+        if (p.machs)
+            p.machs->dumpStats(os, "vd.mach");
+        stats::printStat(os, "pipeline.drops",
+                         static_cast<double>(r.drops));
+        stats::printStat(os, "pipeline.peakBuffers",
+                         static_cast<double>(r.peak_buffers));
+        stats::printStat(os, "pipeline.energyJ", r.energy.total());
+        stats::printStat(os, "pipeline.spanSeconds",
+                         ticksToSeconds(r.span));
+    }
+    return r;
+}
+
+PipelineResult
+simulateScheme(const VideoProfile &profile, const SchemeConfig &scheme)
+{
+    PipelineConfig cfg;
+    cfg.profile = profile;
+    cfg.scheme = scheme;
+    VideoPipeline pipeline(std::move(cfg));
+    return pipeline.run();
+}
+
+} // namespace vstream

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * End-to-end video streaming pipeline.
+ *
+ * Wires the substrates together - synthetic video source, stream
+ * buffering, video decoder (with its writeback stage and optional
+ * MACH), frame-buffer pool, LPDDR3 memory, display controller - and
+ * simulates the playback of one video under one scheme on a single
+ * timeline: the decoder wakes per its scheduling policy (frame-by-
+ * frame or batched, low or high frequency), the display scans out at
+ * every vsync, drops are detected, the sleep governor spends the idle
+ * windows, and every joule is attributed to the nine Fig. 11
+ * categories.
+ */
+
+#ifndef VSTREAM_CORE_VIDEO_PIPELINE_HH
+#define VSTREAM_CORE_VIDEO_PIPELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mach_array.hh"
+#include "core/pipeline_config.hh"
+#include "core/writeback_stage.hh"
+#include "display/display_controller.hh"
+#include "mem/dram_energy.hh"
+#include "power/energy_breakdown.hh"
+#include "power/sleep_governor.hh"
+
+namespace vstream
+{
+
+/** Per-frame decoder-state attribution (Fig. 2/4 CDFs). */
+struct FrameStateRecord
+{
+    Tick start = 0;
+    Tick finish = 0;
+    Tick deadline = 0;
+    Tick exec = 0;
+    Tick slack = 0;
+    Tick transition = 0;
+    Tick s1 = 0;
+    Tick s3 = 0;
+    double e_exec = 0.0;
+    double e_slack = 0.0;
+    double e_trans = 0.0;
+    double e_sleep = 0.0;
+    bool dropped = false;
+
+    Tick
+    stateTotal() const
+    {
+        return exec + slack + transition + s1 + s3;
+    }
+};
+
+/** Everything a bench needs from one simulated playback. */
+struct PipelineResult
+{
+    std::string video_key;
+    Scheme scheme = Scheme::kBaseline;
+    std::uint32_t frames = 0;
+    std::uint32_t drops = 0;
+    Tick span = 0;
+
+    EnergyBreakdown energy;
+    TimeBreakdown vd_time;
+    std::vector<FrameStateRecord> frame_records;
+
+    WritebackTotals writeback;
+    DisplayTotals display;
+    MachStats mach;
+    std::vector<double> top_match_shares;
+
+    DramActivityCounts dram_vd;
+    DramActivityCounts dram_dc;
+    DramActivityCounts dram_total;
+
+    std::uint32_t peak_buffers = 0;
+    std::uint64_t pool_bytes = 0;
+    std::uint64_t sleep_events = 0;
+    std::uint64_t co_mach_inserts = 0;
+    std::uint64_t display_cache_hits = 0;
+    std::uint64_t display_cache_misses = 0;
+    std::uint64_t mach_buffer_hits = 0;
+    std::uint64_t mach_buffer_misses = 0;
+    double vd_cache_miss_rate = 0.0;
+    bool all_verified = true;
+
+    double totalEnergy() const { return energy.total(); }
+    /** Fraction of the span the decoder spent in S3. */
+    double s3Residency() const;
+    /** Fraction of frames dropped. */
+    double dropRate() const;
+};
+
+/** One-shot pipeline simulator. */
+class VideoPipeline
+{
+  public:
+    /** @param cfg finalized by the constructor (finalize() called). */
+    explicit VideoPipeline(PipelineConfig cfg);
+
+    /** Simulate the full playback; may be called once per object. */
+    PipelineResult run();
+
+    const PipelineConfig &config() const { return cfg_; }
+
+  private:
+    PipelineConfig cfg_;
+    bool ran_ = false;
+};
+
+/** Convenience: simulate @p profile under @p scheme. */
+PipelineResult simulateScheme(const VideoProfile &profile,
+                              const SchemeConfig &scheme);
+
+} // namespace vstream
+
+#endif // VSTREAM_CORE_VIDEO_PIPELINE_HH

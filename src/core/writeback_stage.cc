@@ -1,0 +1,265 @@
+#include "core/writeback_stage.hh"
+
+#include "core/dcc.hh"
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+double
+WritebackTotals::savings(std::uint32_t mab_bytes) const
+{
+    const auto baseline = baselineBytes(mab_bytes);
+    if (baseline == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(totalBytes()) /
+                     static_cast<double>(baseline);
+}
+
+// ---------------------------------------------------------------------
+// LinearWriteback
+// ---------------------------------------------------------------------
+
+LinearWriteback::LinearWriteback(MemorySystem &mem, FrameBufferManager &fbm)
+    : mem_(mem), fbm_(fbm),
+      data_buf_("wb.linear.data", 64,
+                [this](Addr addr, std::uint32_t size, Tick now) {
+                    mem_.write(addr, size, Requester::kVideoDecoder, now);
+                    ++totals_.dram_write_requests;
+                })
+{
+}
+
+void
+LinearWriteback::beginFrame(const Frame &frame, BufferSlot &slot, Tick now)
+{
+    slot_ = &slot;
+    mab_bytes_ = frame.mab(0).sizeBytes();
+    layout_.emplace(frame.index(), LayoutKind::kLinear, frame.mabCount(),
+                    mab_bytes_, /*gradient_mode=*/false);
+    layout_->setDataBase(slot.data_base);
+    layout_->setMetaBase(slot.meta_base);
+    layout_->setSourceChecksum(frame.contentChecksum());
+    data_buf_.rebase(slot.data_base);
+    last_tick_ = now;
+}
+
+void
+LinearWriteback::writeMab(const Macroblock &mab, std::uint32_t idx,
+                          Tick now)
+{
+    vs_assert(layout_.has_value(), "writeMab outside a frame");
+    const Addr addr =
+        slot_->data_base + static_cast<Addr>(idx) * mab_bytes_;
+    fbm_.storeBlock(addr, mab.bytes());
+
+    MabRecord &rec = layout_->record(idx);
+    rec.storage = MabStorage::kUnique;
+    rec.data_addr = addr;
+    rec.base = mab.base();
+
+    data_buf_.append(mab.sizeBytes(), now);
+    ++totals_.mabs;
+    ++totals_.unique_blocks;
+    totals_.data_bytes += mab.sizeBytes();
+    last_tick_ = now;
+}
+
+FrameLayout
+LinearWriteback::finishFrame(Tick now)
+{
+    vs_assert(layout_.has_value(), "finishFrame outside a frame");
+    data_buf_.flush(now);
+    layout_->setDataBytes(static_cast<std::uint64_t>(
+                              layout_->mabCount()) *
+                          mab_bytes_);
+    layout_->setMetaBytes(0);
+    FrameLayout out = std::move(*layout_);
+    layout_.reset();
+    slot_ = nullptr;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// MachWriteback
+// ---------------------------------------------------------------------
+
+MachWriteback::MachWriteback(MemorySystem &mem, FrameBufferManager &fbm,
+                             MachArray &machs, LayoutKind layout_kind,
+                             bool use_dcc)
+    : mem_(mem), fbm_(fbm), machs_(machs), layout_kind_(layout_kind),
+      use_dcc_(use_dcc),
+      data_buf_("wb.mach.data", machs.config().coalesce_bytes,
+                [this](Addr addr, std::uint32_t size, Tick now) {
+                    mem_.write(addr, size, Requester::kVideoDecoder, now);
+                    ++totals_.dram_write_requests;
+                }),
+      meta_buf_("wb.mach.meta", machs.config().coalesce_bytes,
+                [this](Addr addr, std::uint32_t size, Tick now) {
+                    mem_.write(addr, size, Requester::kVideoDecoder, now);
+                    ++totals_.dram_write_requests;
+                }),
+      base_buf_("wb.mach.base", machs.config().coalesce_bytes,
+                [this](Addr addr, std::uint32_t size, Tick now) {
+                    mem_.write(addr, size, Requester::kVideoDecoder, now);
+                    ++totals_.dram_write_requests;
+                })
+{
+    vs_assert(layout_kind_ != LayoutKind::kLinear,
+              "MachWriteback requires a pointer-based layout");
+}
+
+void
+MachWriteback::beginFrame(const Frame &frame, BufferSlot &slot, Tick now)
+{
+    slot_ = &slot;
+    mab_bytes_ = frame.mab(0).sizeBytes();
+    machs_.beginFrame();
+    layout_.emplace(frame.index(), layout_kind_, frame.mabCount(),
+                    mab_bytes_, machs_.config().use_gradient);
+    layout_->setDataBase(slot.data_base);
+    layout_->setMetaBase(slot.meta_base);
+    layout_->setMachDumpBase(slot.mach_dump_base);
+    layout_->setSourceChecksum(frame.contentChecksum());
+
+    data_buf_.rebase(slot.data_base);
+    // Pointer/digest stream first, bases behind it (both live in the
+    // metadata region; exact packing is immaterial to the model).
+    meta_buf_.rebase(slot.meta_base);
+    base_buf_.rebase(slot.meta_base +
+                     static_cast<Addr>(frame.mabCount()) * 5);
+
+    frame_data_bytes_ = 0;
+    frame_meta_bytes_ = 0;
+    last_tick_ = now;
+}
+
+void
+MachWriteback::writeMab(const Macroblock &mab, std::uint32_t idx, Tick now)
+{
+    vs_assert(layout_.has_value(), "writeMab outside a frame");
+    const MachConfig &cfg = machs_.config();
+    const bool gab_mode = cfg.use_gradient;
+
+    // Representation stored in memory: the gab in gradient mode.
+    const Macroblock repr = gab_mode ? mab.gradient() : mab;
+    const std::uint32_t digest = repr.digest(cfg.hash);
+    const std::uint16_t aux = cfg.co_mach ? repr.auxDigest() : 0;
+
+    MabRecord &rec = layout_->record(idx);
+    rec.digest = digest;
+    rec.base = mab.base();
+
+    const MachLookupResult hit = machs_.lookup(digest, aux, repr.bytes());
+
+    ++totals_.mabs;
+
+    if (hit.hit) {
+        // Match: store only the pointer (layout ii) or, for
+        // inter-matches in layout iii, the digest.
+        const bool as_digest =
+            layout_kind_ == LayoutKind::kPointerDigest && hit.inter;
+        rec.storage = as_digest
+                          ? MabStorage::kInterDigest
+                          : (hit.inter ? MabStorage::kInterPointer
+                                       : MabStorage::kIntraPointer);
+        rec.data_addr = hit.ptr;
+
+        const std::uint32_t meta =
+            (as_digest ? cfg.digest_bytes : cfg.pointer_bytes);
+        meta_buf_.append(meta, now);
+        frame_meta_bytes_ += meta;
+        if (gab_mode) {
+            base_buf_.append(cfg.base_bytes, now);
+            frame_meta_bytes_ += cfg.base_bytes;
+        }
+        if (hit.inter)
+            ++totals_.inter_matches;
+        else
+            ++totals_.intra_matches;
+        last_tick_ = now;
+        return;
+    }
+
+    // No match: append the block to the compacted data region.
+    const Addr addr = slot_->data_base + frame_data_bytes_;
+    std::uint32_t stored_bytes = repr.sizeBytes();
+    if (use_dcc_) {
+        const DccResult dcc = dccCompress(repr);
+        totals_.dcc_saved_bytes +=
+            repr.sizeBytes() > dcc.compressed_bytes
+                ? repr.sizeBytes() - dcc.compressed_bytes
+                : 0;
+        stored_bytes = std::min(dcc.compressed_bytes, repr.sizeBytes());
+    }
+    fbm_.storeBlock(addr, repr.bytes());
+
+    rec.storage = MabStorage::kUnique;
+    rec.data_addr = addr;
+
+    data_buf_.append(stored_bytes, now);
+    frame_data_bytes_ += stored_bytes;
+    totals_.data_bytes += stored_bytes;
+
+    // The unique block also stores its pointer (Fig. 8a: 52 bytes).
+    meta_buf_.append(cfg.pointer_bytes, now);
+    frame_meta_bytes_ += cfg.pointer_bytes;
+    if (gab_mode) {
+        base_buf_.append(cfg.base_bytes, now);
+        frame_meta_bytes_ += cfg.base_bytes;
+    }
+
+    machs_.insertUnique(digest, aux, addr, repr.bytes(),
+                        hit.collision_detected);
+    ++totals_.unique_blocks;
+    last_tick_ = now;
+}
+
+FrameLayout
+MachWriteback::finishFrame(Tick now)
+{
+    vs_assert(layout_.has_value(), "finishFrame outside a frame");
+    const MachConfig &cfg = machs_.config();
+
+    data_buf_.flush(now);
+    meta_buf_.flush(now);
+    base_buf_.flush(now);
+
+    // The pointer-vs-digest bitmap (layout iii): 1 bit per mab.
+    if (layout_kind_ == LayoutKind::kPointerDigest) {
+        const std::uint32_t bitmap_bytes =
+            (layout_->mabCount() + 7) / 8;
+        mem_.write(slot_->meta_base + slot_->meta_capacity -
+                       bitmap_bytes,
+                   bitmap_bytes, Requester::kVideoDecoder, now);
+        ++totals_.dram_write_requests;
+        frame_meta_bytes_ += bitmap_bytes;
+
+        // Dump the frozen MACH image for the display's MACH buffer.
+        std::vector<std::pair<std::uint32_t, Addr>> dump;
+        for (const MachEntry *e : machs_.current().validEntries())
+            dump.emplace_back(e->digest, e->ptr);
+        const std::uint64_t dump_bytes =
+            dump.size() * (cfg.digest_bytes + cfg.pointer_bytes);
+        if (dump_bytes > 0) {
+            mem_.write(slot_->mach_dump_base,
+                       static_cast<std::uint32_t>(dump_bytes),
+                       Requester::kVideoDecoder, now);
+            ++totals_.dram_write_requests;
+        }
+        layout_->setMachDump(std::move(dump));
+        layout_->setMachDumpBytes(dump_bytes);
+        totals_.dump_bytes += dump_bytes;
+    }
+
+    totals_.meta_bytes += frame_meta_bytes_;
+    layout_->setDataBytes(frame_data_bytes_);
+    layout_->setMetaBytes(frame_meta_bytes_);
+
+    FrameLayout out = std::move(*layout_);
+    layout_.reset();
+    slot_ = nullptr;
+    return out;
+}
+
+} // namespace vstream

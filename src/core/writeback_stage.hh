@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Decoded-macroblock writeback paths.
+ *
+ * The decoder hands every decoded mab to a WritebackStage, which owns
+ * how the frame reaches memory:
+ *  - LinearWriteback:  the baseline streaming store (48 B per mab,
+ *    write-combined into 64 B transactions, layout Fig. 9c(i));
+ *  - MachWriteback:    the paper's content cache; unique blocks are
+ *    appended to a compacted data region while matches store only a
+ *    pointer or digest plus (in gab mode) the 3 B base
+ *    (layouts Fig. 9c(ii)/(iii)), with CO-MACH and DCC options.
+ */
+
+#ifndef VSTREAM_CORE_WRITEBACK_STAGE_HH
+#define VSTREAM_CORE_WRITEBACK_STAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/coalescing_buffer.hh"
+#include "core/frame_buffer_manager.hh"
+#include "core/framebuffer_layout.hh"
+#include "core/mach_array.hh"
+#include "video/frame.hh"
+
+namespace vstream
+{
+
+/** Cumulative writeback statistics across all frames. */
+struct WritebackTotals
+{
+    std::uint64_t mabs = 0;
+    std::uint64_t unique_blocks = 0;
+    std::uint64_t intra_matches = 0;
+    std::uint64_t inter_matches = 0;
+    std::uint64_t data_bytes = 0;
+    std::uint64_t meta_bytes = 0;
+    std::uint64_t dump_bytes = 0;
+    std::uint64_t dram_write_requests = 0;
+    /** Bytes DCC removed from unique-block writes. */
+    std::uint64_t dcc_saved_bytes = 0;
+
+    /** Total bytes this stage put into memory. */
+    std::uint64_t totalBytes() const
+    {
+        return data_bytes + meta_bytes + dump_bytes;
+    }
+
+    /** Bytes the baseline layout would have written. */
+    std::uint64_t
+    baselineBytes(std::uint32_t mab_bytes) const
+    {
+        return mabs * mab_bytes;
+    }
+
+    /** Fractional saving vs the baseline (positive = fewer bytes). */
+    double savings(std::uint32_t mab_bytes) const;
+};
+
+/** Abstract writeback path. */
+class WritebackStage
+{
+  public:
+    virtual ~WritebackStage() = default;
+
+    /** Begin writing @p frame into @p slot. */
+    virtual void beginFrame(const Frame &frame, BufferSlot &slot,
+                            Tick now) = 0;
+
+    /** Write mab @p idx of the current frame (posted; no stall). */
+    virtual void writeMab(const Macroblock &mab, std::uint32_t idx,
+                          Tick now) = 0;
+
+    /** Finish the frame; returns its layout for the display. */
+    virtual FrameLayout finishFrame(Tick now) = 0;
+
+    const WritebackTotals &totals() const { return totals_; }
+
+  protected:
+    WritebackTotals totals_;
+};
+
+/** Baseline layout (i): every mab streamed to its linear address. */
+class LinearWriteback : public WritebackStage
+{
+  public:
+    LinearWriteback(MemorySystem &mem, FrameBufferManager &fbm);
+
+    void beginFrame(const Frame &frame, BufferSlot &slot,
+                    Tick now) override;
+    void writeMab(const Macroblock &mab, std::uint32_t idx,
+                  Tick now) override;
+    FrameLayout finishFrame(Tick now) override;
+
+  private:
+    MemorySystem &mem_;
+    FrameBufferManager &fbm_;
+    CoalescingBuffer data_buf_;
+    std::optional<FrameLayout> layout_;
+    BufferSlot *slot_ = nullptr;
+    std::uint32_t mab_bytes_ = 0;
+    Tick last_tick_ = 0;
+};
+
+/** MACH-compacted layouts (ii)/(iii). */
+class MachWriteback : public WritebackStage
+{
+  public:
+    /**
+     * @param layout_kind kPointer (layout ii) or kPointerDigest
+     *                    (layout iii, required for the MACH buffer)
+     * @param use_dcc     additionally DCC-compress unique blocks
+     */
+    MachWriteback(MemorySystem &mem, FrameBufferManager &fbm,
+                  MachArray &machs, LayoutKind layout_kind,
+                  bool use_dcc = false);
+
+    void beginFrame(const Frame &frame, BufferSlot &slot,
+                    Tick now) override;
+    void writeMab(const Macroblock &mab, std::uint32_t idx,
+                  Tick now) override;
+    FrameLayout finishFrame(Tick now) override;
+
+    MachArray &machs() { return machs_; }
+
+  private:
+    MemorySystem &mem_;
+    FrameBufferManager &fbm_;
+    MachArray &machs_;
+    LayoutKind layout_kind_;
+    bool use_dcc_;
+
+    CoalescingBuffer data_buf_;
+    CoalescingBuffer meta_buf_;
+    CoalescingBuffer base_buf_;
+
+    std::optional<FrameLayout> layout_;
+    BufferSlot *slot_ = nullptr;
+    std::uint32_t mab_bytes_ = 0;
+    std::uint64_t frame_data_bytes_ = 0;
+    std::uint64_t frame_meta_bytes_ = 0;
+    Tick last_tick_ = 0;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_CORE_WRITEBACK_STAGE_HH

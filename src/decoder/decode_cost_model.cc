@@ -1,0 +1,64 @@
+#include "decoder/decode_cost_model.hh"
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+DecodeCostModel::DecodeCostModel(const VideoProfile &profile,
+                                 const VdPowerConfig &power,
+                                 const DecodeCostParams &params)
+    : params_(params), power_(power),
+      mabs_per_frame_(profile.mabsPerFrame())
+{
+    const GopStructure gop(profile.gop_pattern);
+    mean_type_weight_ = gop.typeFraction(FrameType::kI) * params_.weight_i +
+                        gop.typeFraction(FrameType::kP) * params_.weight_p +
+                        gop.typeFraction(FrameType::kB) * params_.weight_b;
+    vs_assert(mean_type_weight_ > 0.0, "degenerate GOP weights");
+
+    // Calibrate: mean frame compute time at the low frequency must be
+    // mean_decode_frac of the frame period.
+    const double period_s = 1.0 / profile.fps;
+    const double target_s = profile.mean_decode_frac * period_s;
+    base_cycles_ = target_s * power_.freq_low_hz /
+                   (static_cast<double>(mabs_per_frame_) *
+                    mean_type_weight_);
+}
+
+double
+DecodeCostModel::typeWeight(FrameType t) const
+{
+    switch (t) {
+      case FrameType::kI:
+        return params_.weight_i;
+      case FrameType::kP:
+        return params_.weight_p;
+      case FrameType::kB:
+        return params_.weight_b;
+    }
+    return 1.0;
+}
+
+double
+DecodeCostModel::mabCycles(FrameType type, double frame_complexity,
+                           double jitter_factor) const
+{
+    return base_cycles_ * typeWeight(type) * frame_complexity *
+           jitter_factor;
+}
+
+double
+DecodeCostModel::meanFrameSeconds(VdFrequency f) const
+{
+    return base_cycles_ * mean_type_weight_ *
+           static_cast<double>(mabs_per_frame_) / power_.frequencyHz(f);
+}
+
+double
+DecodeCostModel::meanMabSeconds(VdFrequency f) const
+{
+    return meanFrameSeconds(f) / static_cast<double>(mabs_per_frame_);
+}
+
+} // namespace vstream

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-macroblock decode-cost model.
+ *
+ * The hardware decoder's work per mab depends on the frame type
+ * (I mabs run intra prediction, P/B mabs motion compensation), the
+ * frame's residual complexity, and per-mab jitter.  The base cycle
+ * count is auto-calibrated so that the mean frame decode time at the
+ * low frequency equals the profile's mean_decode_frac of the frame
+ * period - the knob that reproduces the paper's Fig. 2b region
+ * structure at any simulated resolution.
+ */
+
+#ifndef VSTREAM_DECODER_DECODE_COST_MODEL_HH
+#define VSTREAM_DECODER_DECODE_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "power/power_state.hh"
+#include "video/gop.hh"
+#include "video/video_profile.hh"
+
+namespace vstream
+{
+
+/** Relative cost weights of the decode pipeline stages. */
+struct DecodeCostParams
+{
+    /** Frame-type weights (I: intra prediction + large residuals). */
+    double weight_i = 1.25;
+    double weight_p = 1.0;
+    double weight_b = 0.9;
+    /** Per-mab multiplicative jitter half-range (uniform). */
+    double jitter = 0.35;
+};
+
+/** Calibrated cycles-per-mab calculator. */
+class DecodeCostModel
+{
+  public:
+    DecodeCostModel(const VideoProfile &profile, const VdPowerConfig &power,
+                    const DecodeCostParams &params = {});
+
+    /** Compute cycles for one mab. */
+    double mabCycles(FrameType type, double frame_complexity,
+                     double jitter_factor) const;
+
+    /** Calibrated base cycles per mab (complexity 1, weight 1). */
+    double baseCycles() const { return base_cycles_; }
+
+    /** Expected compute seconds for a complexity-1 frame at @p f. */
+    double meanFrameSeconds(VdFrequency f) const;
+
+    /** Mean time between consecutive mab completions at @p f,
+     * seconds (drives the row-open-timeout calibration). */
+    double meanMabSeconds(VdFrequency f) const;
+
+    const DecodeCostParams &params() const { return params_; }
+
+  private:
+    double typeWeight(FrameType t) const;
+
+    DecodeCostParams params_;
+    VdPowerConfig power_;
+    std::uint32_t mabs_per_frame_;
+    double mean_type_weight_;
+    double base_cycles_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_DECODER_DECODE_COST_MODEL_HH

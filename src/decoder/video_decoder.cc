@@ -1,0 +1,150 @@
+#include "decoder/video_decoder.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace vstream
+{
+
+VideoDecoder::VideoDecoder(std::string name, EventQueue *queue,
+                           MemorySystem &mem, const DecoderConfig &cfg,
+                           const VideoProfile &profile)
+    : SimObject(std::move(name), queue), mem_(mem), cfg_(cfg),
+      profile_(profile), cost_(profile, cfg.power, cfg.cost)
+{
+    cfg_.validate();
+    cache_ = std::make_unique<SetAssocCache>(this->name() + ".cache",
+                                             cfg_.cache);
+    encoded_region_ =
+        mem_.allocate(cfg_.encoded_ring_bytes, "vd.encoded_ring");
+}
+
+Tick
+VideoDecoder::readThroughCache(Addr addr, std::uint32_t size, Tick now,
+                               Tick *stall)
+{
+    // Widen the access to the prefetch granularity: the read engines
+    // (bitstream DMA, MC fetcher) fill whole aligned regions in one
+    // dense burst, so fills of one region row-hit each other.
+    const Addr pf = cfg_.read_prefetch_bytes;
+    const Addr lo = addr / pf * pf;
+    const Addr hi = (addr + size + pf - 1) / pf * pf;
+
+    const CacheAccessSummary s = cache_->access(
+        lo, static_cast<std::uint32_t>(hi - lo), MemOp::kRead);
+    Tick t = now;
+    for (Addr fill : s.fills) {
+        const MemResult r = mem_.read(fill, cfg_.cache.line_bytes,
+                                      Requester::kVideoDecoder, t);
+        *stall += r.finish_tick - t;
+        t = r.finish_tick;
+    }
+    return t;
+}
+
+Tick
+VideoDecoder::readEncoded(std::uint64_t bytes, Tick now, Tick *stall)
+{
+    // Sequential walk of the encoded ring through the VD cache.
+    const Addr addr =
+        encoded_region_ + encoded_cursor_ % cfg_.encoded_ring_bytes;
+    encoded_cursor_ += bytes;
+    return readThroughCache(addr, static_cast<std::uint32_t>(bytes), now,
+                            stall);
+}
+
+Tick
+VideoDecoder::readReference(const BufferSlot &prev, std::uint32_t idx,
+                            std::uint32_t mab_count,
+                            std::int32_t reach_off, Tick now, Tick *stall)
+{
+    // Motion vectors are short: the reference block sits near the
+    // same position in the previous frame, giving MC reads the
+    // address locality that makes the VD cache effective (Fig. 7a).
+    std::int64_t ref_idx = static_cast<std::int64_t>(idx) + reach_off;
+    if (ref_idx < 0)
+        ref_idx = 0;
+    if (ref_idx >= static_cast<std::int64_t>(mab_count))
+        ref_idx = mab_count - 1;
+
+    const std::uint32_t mab_bytes =
+        profile_.mab_dim * profile_.mab_dim * kBytesPerPixel;
+    const Addr addr = prev.data_base +
+                      static_cast<Addr>(ref_idx) * mab_bytes;
+
+    return readThroughCache(addr, mab_bytes, now, stall);
+}
+
+FrameDecodeResult
+VideoDecoder::decodeFrame(const Frame &frame, WritebackStage &wb,
+                          BufferSlot &slot, const BufferSlot *prev_slot,
+                          Tick start)
+{
+    FrameDecodeResult result;
+    result.start = start;
+    result.mabs = frame.mabCount();
+    result.encoded_bytes = frame.encodedBytes();
+
+    // Per-frame deterministic jitter stream: identical across
+    // schemes/frequencies so comparisons see the same video.
+    Random jitter_rng(profile_.seed ^
+                      (frame.index() * 0x9e3779b97f4a7c15ULL));
+
+    // The writeback engine is a DMA master behind the cache: lines
+    // covering the buffer being overwritten must be invalidated or
+    // later MC reads would hit stale data from the slot's previous
+    // occupant.
+    cache_->invalidateRange(slot.data_base, slot.data_capacity);
+
+    wb.beginFrame(frame, slot, start);
+
+    const double hz = cfg_.power.frequencyHz(freq_);
+    const std::uint32_t mab_count = frame.mabCount();
+    const std::uint64_t enc_per_mab =
+        std::max<std::uint64_t>(1, frame.encodedBytes() / mab_count);
+    const bool needs_mc = frame.type() != FrameType::kI;
+
+    Tick t = start;
+    for (std::uint32_t i = 0; i < mab_count; ++i) {
+        // 1. Fetch this mab's slice of the encoded stream.
+        t = readEncoded(enc_per_mab, t, &result.mem_stall);
+
+        // 2. Motion compensation reference (P/B mabs).
+        if (needs_mc && prev_slot != nullptr) {
+            const auto off = static_cast<std::int32_t>(
+                jitter_rng.uniformInt(0, 2 * cfg_.mc_reach_mabs)) -
+                static_cast<std::int32_t>(cfg_.mc_reach_mabs);
+            t = readReference(*prev_slot, i, mab_count, off, t,
+                              &result.mem_stall);
+            ++result.mc_reads;
+        }
+
+        // 3. Compute: entropy decode + IQ/iDCT + reconstruction.
+        const double jitter_factor = jitter_rng.uniform(
+            1.0 - cfg_.cost.jitter, 1.0 + cfg_.cost.jitter);
+        const double cycles =
+            cost_.mabCycles(frame.type(), frame.complexity(),
+                            jitter_factor);
+        t += cyclesToTicks(static_cast<std::uint64_t>(cycles), hz);
+
+        // 4. Writeback (posted; does not stall the pipeline).
+        wb.writeMab(frame.mab(i), i, t);
+    }
+
+    result.finish = t;
+    ++frames_decoded_;
+    return result;
+}
+
+void
+VideoDecoder::dumpStats(std::ostream &os) const
+{
+    stats::printStat(os, name() + ".framesDecoded",
+                     static_cast<double>(frames_decoded_));
+    cache_->dumpStats(os);
+}
+
+} // namespace vstream

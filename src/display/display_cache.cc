@@ -1,0 +1,27 @@
+#include "display/display_cache.hh"
+
+namespace vstream
+{
+
+DisplayCache::DisplayCache(const CacheConfig &cfg)
+    : cache_(std::make_unique<SetAssocCache>("dc.displayCache", cfg))
+{
+}
+
+std::vector<Addr>
+DisplayCache::access(Addr addr, std::uint32_t size)
+{
+    const CacheAccessSummary s = cache_->access(addr, size, MemOp::kRead);
+    return s.fills;
+}
+
+std::uint32_t
+DisplayCache::lineSpan(Addr addr, std::uint32_t size) const
+{
+    const std::uint32_t line = cache_->config().line_bytes;
+    const Addr first = addr / line;
+    const Addr last = (addr + size - 1) / line;
+    return static_cast<std::uint32_t>(last - first + 1);
+}
+
+} // namespace vstream

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The display cache (Sec. 5.1): a small direct-mapped cache in the
+ * display controller, indexed by any pointer, caching the 64 B memory
+ * lines the DC fetched recently.  Recovers the locality the pointer
+ * indirection destroys: repeated intra-matches and the second halves
+ * of fragmented (line-straddling) block fetches hit here instead of
+ * going to DRAM.
+ */
+
+#ifndef VSTREAM_DISPLAY_DISPLAY_CACHE_HH
+#define VSTREAM_DISPLAY_DISPLAY_CACHE_HH
+
+#include <memory>
+#include <ostream>
+
+#include "cache/set_assoc_cache.hh"
+
+namespace vstream
+{
+
+/** Address-indexed line cache at the DC. */
+class DisplayCache
+{
+  public:
+    explicit DisplayCache(const CacheConfig &cfg);
+
+    /**
+     * Access the lines covering [addr, addr+size).
+     *
+     * @return line addresses that missed and must be read from DRAM.
+     */
+    std::vector<Addr> access(Addr addr, std::uint32_t size);
+
+    /** Number of lines [addr, addr+size) spans. */
+    std::uint32_t lineSpan(Addr addr, std::uint32_t size) const;
+
+    std::uint64_t hitCount() const { return cache_->hitCount(); }
+    std::uint64_t missCount() const { return cache_->missCount(); }
+    double missRate() const { return cache_->missRate(); }
+
+    void invalidateAll() { cache_->invalidateAll(); }
+    void dumpStats(std::ostream &os) const { cache_->dumpStats(os); }
+
+    const CacheConfig &config() const { return cache_->config(); }
+
+  private:
+    std::unique_ptr<SetAssocCache> cache_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_DISPLAY_DISPLAY_CACHE_HH

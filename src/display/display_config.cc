@@ -1,0 +1,21 @@
+#include "display/display_config.hh"
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+void
+DisplayConfig::validate() const
+{
+    if (refresh_hz == 0)
+        vs_fatal("refresh rate must be non-zero");
+    display_cache.validate();
+    if (use_mach_buffer &&
+        (mach_buffer_entries == 0 || mach_buffer_ways == 0 ||
+         mach_buffer_entries % mach_buffer_ways != 0)) {
+        vs_fatal("bad MACH buffer geometry");
+    }
+}
+
+} // namespace vstream

@@ -1,0 +1,250 @@
+#include "display/display_controller.hh"
+
+#include <utility>
+
+#include "display/frame_reconstructor.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace vstream
+{
+
+DisplayController::DisplayController(std::string name, EventQueue *queue,
+                                     MemorySystem &mem,
+                                     FrameBufferManager &fbm,
+                                     const DisplayConfig &cfg)
+    : SimObject(std::move(name), queue), mem_(mem), fbm_(fbm), cfg_(cfg)
+{
+    cfg_.validate();
+    if (cfg_.use_display_cache)
+        display_cache_ = std::make_unique<DisplayCache>(cfg_.display_cache);
+    if (cfg_.use_mach_buffer) {
+        mach_buffer_ = std::make_unique<MachBuffer>(
+            cfg_.mach_buffer_entries, cfg_.mach_buffer_ways);
+    }
+}
+
+Tick
+DisplayController::streamRead(Addr base, std::uint64_t bytes, Tick now,
+                              ScanStats &stats)
+{
+    // Sequential stream: one 64 B request per line, issued
+    // back-to-back (the DC prefetches through a deep FIFO).
+    constexpr std::uint32_t kLine = 64;
+    Tick t = now;
+    for (std::uint64_t off = 0; off < bytes; off += kLine) {
+        const auto size = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(kLine, bytes - off));
+        const MemResult r = mem_.read(base + off, size,
+                                      Requester::kDisplayController, t);
+        t = r.finish_tick;
+        ++stats.dram_requests;
+        stats.bytes_read += size;
+    }
+    return t;
+}
+
+Tick
+DisplayController::fetchBlock(Addr addr, std::uint32_t size, Tick now,
+                              ScanStats &stats)
+{
+    Tick t = now;
+    const std::uint32_t span =
+        display_cache_ ? display_cache_->lineSpan(addr, size)
+                       : (static_cast<std::uint32_t>(
+                             (addr + size - 1) / 64 - addr / 64 + 1));
+    if (span > 1)
+        ++stats.fragmented_fetches;
+
+    if (display_cache_) {
+        const std::vector<Addr> fills = display_cache_->access(addr, size);
+        stats.display_cache_hits += span - fills.size();
+        stats.display_cache_misses += fills.size();
+        for (Addr line : fills) {
+            const MemResult r = mem_.read(
+                line, display_cache_->config().line_bytes,
+                Requester::kDisplayController, t);
+            t = r.finish_tick;
+            ++stats.dram_requests;
+            stats.bytes_read += display_cache_->config().line_bytes;
+        }
+    } else {
+        // No display cache: every line of the block hits DRAM.
+        const Addr first = addr / 64 * 64;
+        for (std::uint32_t i = 0; i < span; ++i) {
+            const MemResult r = mem_.read(first + i * 64ULL, 64,
+                                          Requester::kDisplayController,
+                                          t);
+            t = r.finish_tick;
+            ++stats.dram_requests;
+            stats.bytes_read += 64;
+        }
+    }
+    return t;
+}
+
+const std::vector<std::uint8_t> *
+DisplayController::resolveDigestMiss(const FrameLayout &layout,
+                                     std::uint32_t digest, Tick &now,
+                                     ScanStats &stats)
+{
+    // The digest is not resident in the MACH buffer: consult the
+    // dumped MACH images (one extra metadata read), then fetch the
+    // block through the display-cache path.
+    const MemResult meta = mem_.read(layout.machDumpBase(), 64,
+                                     Requester::kDisplayController, now);
+    now = meta.finish_tick;
+    ++stats.dram_requests;
+    stats.bytes_read += 64;
+
+    for (const auto &dump : dumps_) {
+        for (const auto &[d, ptr] : dump) {
+            if (d == digest) {
+                now = fetchBlock(ptr, layout.mabBytes(), now, stats);
+                return fbm_.loadBlock(ptr);
+            }
+        }
+    }
+    return nullptr;
+}
+
+ScanStats
+DisplayController::scanOut(const FrameLayout &layout, Tick now,
+                           bool re_render)
+{
+    ScanStats stats;
+    stats.start = now;
+    Tick t = now;
+
+    // Transaction elimination: the frame on the panel already shows
+    // exactly this content - skip the whole scan.
+    if (cfg_.transaction_elimination &&
+        on_screen_checksum_ == layout.sourceChecksum()) {
+        stats.finish = now;
+        stats.verified = true;
+        stats.eliminated = true;
+        ++totals_.frames_shown;
+        ++totals_.eliminated_frames;
+        if (re_render)
+            ++totals_.re_renders;
+        return stats;
+    }
+
+    std::vector<Macroblock> shown;
+    shown.reserve(layout.mabCount());
+
+    if (layout.kind() == LayoutKind::kLinear) {
+        // Baseline: stream the whole decoded frame.
+        const std::uint64_t frame_bytes =
+            static_cast<std::uint64_t>(layout.mabCount()) *
+            layout.mabBytes();
+        t = streamRead(layout.dataBase(), frame_bytes, t, stats);
+        for (std::uint32_t i = 0; i < layout.mabCount(); ++i) {
+            const auto *stored =
+                fbm_.loadBlock(layout.record(i).data_addr);
+            vs_assert(stored != nullptr, "linear block missing");
+            shown.push_back(FrameReconstructor::rebuildMab(
+                *stored, layout.record(i), false));
+        }
+    } else {
+        // Metadata stream: pointers/digests (+ bases + bitmap).
+        t = streamRead(layout.metaBase(), layout.metaBytes(), t, stats);
+        stats.meta_bytes = layout.metaBytes();
+
+        // Pick up this frame's MACH dump for future digest lookups.
+        if (layout.kind() == LayoutKind::kPointerDigest &&
+            layout.machDumpBytes() > 0 && !re_render) {
+            t = streamRead(layout.machDumpBase(), layout.machDumpBytes(),
+                           t, stats);
+            stats.meta_bytes += layout.machDumpBytes();
+            dumps_.push_front(layout.machDump());
+            while (dumps_.size() > cfg_.mach_window)
+                dumps_.pop_back();
+        }
+
+        // Digests present in this frame's dump: unique blocks worth
+        // inserting into the MACH buffer as they stream past.
+        std::unordered_set<std::uint32_t> dump_digests;
+        for (const auto &[d, ptr] : layout.machDump())
+            dump_digests.insert(d);
+
+        for (std::uint32_t i = 0; i < layout.mabCount(); ++i) {
+            const MabRecord &rec = layout.record(i);
+            const std::vector<std::uint8_t> *stored = nullptr;
+
+            if (rec.storage == MabStorage::kInterDigest && mach_buffer_) {
+                ++stats.digest_records;
+                stored = mach_buffer_->lookup(rec.digest);
+                if (stored != nullptr) {
+                    ++stats.mach_buffer_hits;
+                } else {
+                    ++stats.mach_buffer_misses;
+                    stored =
+                        resolveDigestMiss(layout, rec.digest, t, stats);
+                    if (stored == nullptr) {
+                        // Dump aged out too: fall back to the block
+                        // pointer the record still carries.
+                        t = fetchBlock(rec.data_addr,
+                                       layout.mabBytes(), t, stats);
+                        stored = fbm_.loadBlock(rec.data_addr);
+                    }
+                }
+            } else {
+                ++stats.pointer_records;
+                t = fetchBlock(rec.data_addr, layout.mabBytes(), t,
+                               stats);
+                stored = fbm_.loadBlock(rec.data_addr);
+                if (stored != nullptr && mach_buffer_ &&
+                    rec.storage == MabStorage::kUnique &&
+                    dump_digests.count(rec.digest) > 0) {
+                    mach_buffer_->insert(rec.digest, *stored);
+                }
+            }
+
+            vs_assert(stored != nullptr,
+                      "display could not locate block for mab ", i,
+                      " of frame ", layout.frameIndex());
+            shown.push_back(FrameReconstructor::rebuildMab(
+                *stored, rec, layout.gradientMode()));
+        }
+    }
+
+    stats.finish = t;
+    stats.verified =
+        FrameReconstructor::checksum(shown) == layout.sourceChecksum();
+    on_screen_checksum_ = layout.sourceChecksum();
+
+    ++totals_.frames_shown;
+    if (re_render)
+        ++totals_.re_renders;
+    totals_.dram_requests += stats.dram_requests;
+    totals_.bytes_read += stats.bytes_read;
+    totals_.meta_bytes += stats.meta_bytes;
+    totals_.digest_records += stats.digest_records;
+    totals_.pointer_records += stats.pointer_records;
+    totals_.fragmented_fetches += stats.fragmented_fetches;
+    if (!stats.verified)
+        ++totals_.verify_failures;
+    return stats;
+}
+
+void
+DisplayController::dumpStats(std::ostream &os) const
+{
+    stats::printStat(os, name() + ".framesShown",
+                     static_cast<double>(totals_.frames_shown));
+    stats::printStat(os, name() + ".reRenders",
+                     static_cast<double>(totals_.re_renders));
+    stats::printStat(os, name() + ".dramRequests",
+                     static_cast<double>(totals_.dram_requests));
+    stats::printStat(os, name() + ".bytesRead",
+                     static_cast<double>(totals_.bytes_read));
+    stats::printStat(os, name() + ".verifyFailures",
+                     static_cast<double>(totals_.verify_failures));
+    if (display_cache_)
+        display_cache_->dumpStats(os);
+    if (mach_buffer_)
+        mach_buffer_->dumpStats(os, name() + ".machBuffer");
+}
+
+} // namespace vstream

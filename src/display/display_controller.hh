@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Display controller (DC) IP model.
+ *
+ * Every vsync the DC scans out one frame from memory.  With the
+ * baseline linear layout it streams the frame buffer sequentially;
+ * with MACH layouts it walks the per-mab metadata, chases pointers
+ * through the display cache, serves digest records from the MACH
+ * buffer, re-adds gab bases, and reconstructs a pixel-exact frame.
+ * All DRAM traffic, fragmentation, and cache statistics the paper
+ * reports in Sec. 5/Fig. 10 are collected here.
+ */
+
+#ifndef VSTREAM_DISPLAY_DISPLAY_CONTROLLER_HH
+#define VSTREAM_DISPLAY_DISPLAY_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <unordered_set>
+
+#include "core/frame_buffer_manager.hh"
+#include "core/framebuffer_layout.hh"
+#include "display/display_cache.hh"
+#include "display/display_config.hh"
+#include "display/mach_buffer.hh"
+#include "mem/memory_system.hh"
+#include "sim/sim_object.hh"
+
+namespace vstream
+{
+
+/** Statistics of one frame scan-out. */
+struct ScanStats
+{
+    Tick start = 0;
+    Tick finish = 0;
+    std::uint64_t dram_requests = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t meta_bytes = 0;
+    std::uint64_t display_cache_hits = 0;
+    std::uint64_t display_cache_misses = 0;
+    std::uint64_t mach_buffer_hits = 0;
+    std::uint64_t mach_buffer_misses = 0;
+    std::uint64_t digest_records = 0;
+    std::uint64_t pointer_records = 0;
+    std::uint64_t fragmented_fetches = 0;
+    /** Frame checksum matched the decode-time checksum. */
+    bool verified = false;
+    /** Scan skipped entirely (transaction elimination). */
+    bool eliminated = false;
+};
+
+/** Cumulative DC statistics. */
+struct DisplayTotals
+{
+    std::uint64_t frames_shown = 0;
+    std::uint64_t re_renders = 0;
+    std::uint64_t dram_requests = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t meta_bytes = 0;
+    std::uint64_t digest_records = 0;
+    std::uint64_t pointer_records = 0;
+    std::uint64_t fragmented_fetches = 0;
+    std::uint64_t verify_failures = 0;
+    /** Scans skipped by transaction elimination. */
+    std::uint64_t eliminated_frames = 0;
+};
+
+/** The DC IP. */
+class DisplayController : public SimObject
+{
+  public:
+    DisplayController(std::string name, EventQueue *queue,
+                      MemorySystem &mem, FrameBufferManager &fbm,
+                      const DisplayConfig &cfg);
+
+    /**
+     * Scan out @p layout starting at @p now (a vsync tick).
+     *
+     * @param re_render true when the frame is being shown again
+     *        because its successor missed the deadline.
+     */
+    ScanStats scanOut(const FrameLayout &layout, Tick now,
+                      bool re_render = false);
+
+    const DisplayConfig &config() const { return cfg_; }
+    const DisplayTotals &totals() const { return totals_; }
+    DisplayCache *displayCache() { return display_cache_.get(); }
+    MachBuffer *machBuffer() { return mach_buffer_.get(); }
+
+    /** Frame period in ticks. */
+    Tick framePeriod() const { return sim_clock::s / cfg_.refresh_hz; }
+
+    void dumpStats(std::ostream &os) const override;
+
+  private:
+    /** Stream @p bytes sequentially from @p base; returns end tick. */
+    Tick streamRead(Addr base, std::uint64_t bytes, Tick now,
+                    ScanStats &stats);
+
+    /** Fetch one block through the display cache. */
+    Tick fetchBlock(Addr addr, std::uint32_t size, Tick now,
+                    ScanStats &stats);
+
+    /** Resolve a digest record on a MACH-buffer miss. */
+    const std::vector<std::uint8_t> *
+    resolveDigestMiss(const FrameLayout &layout, std::uint32_t digest,
+                      Tick &now, ScanStats &stats);
+
+    MemorySystem &mem_;
+    FrameBufferManager &fbm_;
+    DisplayConfig cfg_;
+    std::unique_ptr<DisplayCache> display_cache_;
+    std::unique_ptr<MachBuffer> mach_buffer_;
+
+    /** MACH dumps of recent frames (digest -> ptr), newest first. */
+    std::deque<std::vector<std::pair<std::uint32_t, Addr>>> dumps_;
+
+    /** Checksum of the frame currently on the panel (transaction
+     * elimination); ~0 when nothing has been shown yet. */
+    std::uint64_t on_screen_checksum_ = ~0ULL;
+
+    DisplayTotals totals_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_DISPLAY_DISPLAY_CONTROLLER_HH

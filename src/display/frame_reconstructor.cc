@@ -1,0 +1,38 @@
+#include "display/frame_reconstructor.hh"
+
+#include "hash/crc.hh"
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+Macroblock
+FrameReconstructor::rebuildMab(const std::vector<std::uint8_t> &stored,
+                               const MabRecord &rec, bool gradient_mode)
+{
+    // Infer the block dimension from the stored byte count.
+    std::uint32_t dim = 1;
+    while (static_cast<std::size_t>(dim) * dim * kBytesPerPixel <
+           stored.size()) {
+        ++dim;
+    }
+    vs_assert(static_cast<std::size_t>(dim) * dim * kBytesPerPixel ==
+                  stored.size(),
+              "stored block is not a square pixel block");
+
+    Macroblock block(dim, stored);
+    if (!gradient_mode)
+        return block;
+    return Macroblock::fromGradient(block, rec.base);
+}
+
+std::uint32_t
+FrameReconstructor::checksum(const std::vector<Macroblock> &mabs)
+{
+    Crc32 crc;
+    for (const auto &m : mabs)
+        crc.update(m.bytes().data(), m.bytes().size());
+    return crc.digest();
+}
+
+} // namespace vstream

@@ -1,0 +1,83 @@
+#include "hash/crc.hh"
+
+#include <array>
+
+namespace vstream
+{
+
+namespace
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint16_t, 256>
+makeCrc16Table()
+{
+    std::array<std::uint16_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint16_t c = static_cast<std::uint16_t>(i << 8);
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 0x8000u)
+                    ? static_cast<std::uint16_t>((c << 1) ^ 0x1021u)
+                    : static_cast<std::uint16_t>(c << 1);
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+const auto crc32_table = makeCrc32Table();
+const auto crc16_table = makeCrc16Table();
+
+} // namespace
+
+void
+Crc32::update(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < len; ++i)
+        c = crc32_table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    state_ = c;
+}
+
+std::uint32_t
+Crc32::compute(const void *data, std::size_t len)
+{
+    Crc32 crc;
+    crc.update(data, len);
+    return crc.digest();
+}
+
+void
+Crc16::update(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint16_t c = state_;
+    for (std::size_t i = 0; i < len; ++i) {
+        c = static_cast<std::uint16_t>(
+            (c << 8) ^ crc16_table[((c >> 8) ^ p[i]) & 0xffu]);
+    }
+    state_ = c;
+}
+
+std::uint16_t
+Crc16::compute(const void *data, std::size_t len)
+{
+    Crc16 crc;
+    crc.update(data, len);
+    return crc.digest();
+}
+
+} // namespace vstream

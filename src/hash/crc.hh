@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cyclic-redundancy-check digests.
+ *
+ * CRC32 (IEEE 802.3 reflected polynomial 0xEDB88320) produces the
+ * 32-bit macroblock digest used to tag MACH entries; CRC16-CCITT
+ * provides the auxiliary 16-bit field of the CO-MACH collision
+ * detector (Sec. 6.3 of the paper).
+ */
+
+#ifndef VSTREAM_HASH_CRC_HH
+#define VSTREAM_HASH_CRC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vstream
+{
+
+/** Incremental CRC32 (IEEE, reflected). */
+class Crc32
+{
+  public:
+    Crc32() = default;
+
+    /** Absorb @p len bytes. */
+    void update(const void *data, std::size_t len);
+
+    /** Final digest of everything absorbed so far. */
+    std::uint32_t digest() const { return ~state_; }
+
+    /** Restart. */
+    void reset() { state_ = 0xffffffffu; }
+
+    /** One-shot convenience. */
+    static std::uint32_t compute(const void *data, std::size_t len);
+
+  private:
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+/** Incremental CRC16-CCITT (polynomial 0x1021, init 0xFFFF). */
+class Crc16
+{
+  public:
+    Crc16() = default;
+
+    void update(const void *data, std::size_t len);
+    std::uint16_t digest() const { return state_; }
+    void reset() { state_ = 0xffffu; }
+
+    static std::uint16_t compute(const void *data, std::size_t len);
+
+  private:
+    std::uint16_t state_ = 0xffffu;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_HASH_CRC_HH

@@ -1,0 +1,57 @@
+#include "hash/hasher.hh"
+
+#include "hash/crc.hh"
+#include "hash/md5.hh"
+#include "hash/sha1.hh"
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+std::string
+hashKindName(HashKind kind)
+{
+    switch (kind) {
+      case HashKind::kCrc32:
+        return "crc32";
+      case HashKind::kMd5:
+        return "md5";
+      case HashKind::kSha1:
+        return "sha1";
+    }
+    return "unknown";
+}
+
+HashKind
+hashKindFromName(const std::string &name)
+{
+    if (name == "crc32")
+        return HashKind::kCrc32;
+    if (name == "md5")
+        return HashKind::kMd5;
+    if (name == "sha1")
+        return HashKind::kSha1;
+    vs_fatal("unknown hash kind '", name, "'");
+}
+
+std::uint32_t
+digest32(HashKind kind, const void *data, std::size_t len)
+{
+    switch (kind) {
+      case HashKind::kCrc32:
+        return Crc32::compute(data, len);
+      case HashKind::kMd5:
+        return Md5::compute32(data, len);
+      case HashKind::kSha1:
+        return Sha1::compute32(data, len);
+    }
+    vs_panic("unreachable hash kind");
+}
+
+std::uint16_t
+auxDigest16(const void *data, std::size_t len)
+{
+    return Crc16::compute(data, len);
+}
+
+} // namespace vstream

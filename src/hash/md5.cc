@@ -1,0 +1,183 @@
+#include "hash/md5.hh"
+
+#include <cstring>
+
+namespace vstream
+{
+
+namespace
+{
+
+constexpr std::array<std::uint32_t, 64> kTable = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu, 0xf57c0fafu,
+    0x4787c62au, 0xa8304613u, 0xfd469501u, 0x698098d8u, 0x8b44f7afu,
+    0xffff5bb1u, 0x895cd7beu, 0x6b901122u, 0xfd987193u, 0xa679438eu,
+    0x49b40821u, 0xf61e2562u, 0xc040b340u, 0x265e5a51u, 0xe9b6c7aau,
+    0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u, 0x21e1cde6u,
+    0xc33707d6u, 0xf4d50d87u, 0x455a14edu, 0xa9e3e905u, 0xfcefa3f8u,
+    0x676f02d9u, 0x8d2a4c8au, 0xfffa3942u, 0x8771f681u, 0x6d9d6122u,
+    0xfde5380cu, 0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u,
+    0x289b7ec6u, 0xeaa127fau, 0xd4ef3085u, 0x04881d05u, 0xd9d4d039u,
+    0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u, 0xf4292244u, 0x432aff97u,
+    0xab9423a7u, 0xfc93a039u, 0x655b59c3u, 0x8f0ccc92u, 0xffeff47du,
+    0x85845dd1u, 0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u,
+};
+
+constexpr std::array<std::uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+inline std::uint32_t
+rotl(std::uint32_t x, std::uint32_t n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+} // namespace
+
+void
+Md5::reset()
+{
+    state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+    total_len_ = 0;
+    buffer_len_ = 0;
+}
+
+void
+Md5::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+        m[i] = static_cast<std::uint32_t>(block[i * 4]) |
+               (static_cast<std::uint32_t>(block[i * 4 + 1]) << 8) |
+               (static_cast<std::uint32_t>(block[i * 4 + 2]) << 16) |
+               (static_cast<std::uint32_t>(block[i * 4 + 3]) << 24);
+    }
+
+    std::uint32_t a = state_[0];
+    std::uint32_t b = state_[1];
+    std::uint32_t c = state_[2];
+    std::uint32_t d = state_[3];
+
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        std::uint32_t f, g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) & 15u;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) & 15u;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) & 15u;
+        }
+        const std::uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = b + rotl(a + f + kTable[i] + m[g], kShift[i]);
+        a = tmp;
+    }
+
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+}
+
+void
+Md5::update(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    total_len_ += len;
+
+    if (buffer_len_ > 0) {
+        const std::size_t need = 64 - buffer_len_;
+        const std::size_t take = std::min(need, len);
+        std::memcpy(buffer_.data() + buffer_len_, p, take);
+        buffer_len_ += take;
+        p += take;
+        len -= take;
+        if (buffer_len_ == 64) {
+            processBlock(buffer_.data());
+            buffer_len_ = 0;
+        }
+    }
+    while (len >= 64) {
+        processBlock(p);
+        p += 64;
+        len -= 64;
+    }
+    if (len > 0) {
+        std::memcpy(buffer_.data(), p, len);
+        buffer_len_ = len;
+    }
+}
+
+std::array<std::uint8_t, 16>
+Md5::digest()
+{
+    const std::uint64_t bit_len = total_len_ * 8;
+
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0x00;
+    while (buffer_len_ != 56)
+        update(&zero, 1);
+
+    std::uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i)
+        len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+    // Bypass update() so total_len_ accounting does not matter here.
+    std::memcpy(buffer_.data() + 56, len_bytes, 8);
+    processBlock(buffer_.data());
+    buffer_len_ = 0;
+
+    std::array<std::uint8_t, 16> out{};
+    for (int i = 0; i < 4; ++i) {
+        out[i * 4] = static_cast<std::uint8_t>(state_[i]);
+        out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 8);
+        out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 16);
+        out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i] >> 24);
+    }
+    return out;
+}
+
+std::array<std::uint8_t, 16>
+Md5::compute(const void *data, std::size_t len)
+{
+    Md5 md5;
+    md5.update(data, len);
+    return md5.digest();
+}
+
+std::uint32_t
+Md5::compute32(const void *data, std::size_t len)
+{
+    const auto d = compute(data, len);
+    return static_cast<std::uint32_t>(d[0]) |
+           (static_cast<std::uint32_t>(d[1]) << 8) |
+           (static_cast<std::uint32_t>(d[2]) << 16) |
+           (static_cast<std::uint32_t>(d[3]) << 24);
+}
+
+std::string
+Md5::toHex(const std::array<std::uint8_t, 16> &d)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (std::uint8_t byte : d) {
+        out.push_back(hex[byte >> 4]);
+        out.push_back(hex[byte & 0xf]);
+    }
+    return out;
+}
+
+} // namespace vstream

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * MD5 message digest (RFC 1321), used in the Fig. 12d hash-function
+ * sensitivity study.
+ */
+
+#ifndef VSTREAM_HASH_MD5_HH
+#define VSTREAM_HASH_MD5_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vstream
+{
+
+/** Incremental MD5. */
+class Md5
+{
+  public:
+    Md5() { reset(); }
+
+    void reset();
+    void update(const void *data, std::size_t len);
+
+    /** Finalize and return the 16-byte digest (object then unusable
+     * until reset()). */
+    std::array<std::uint8_t, 16> digest();
+
+    /** One-shot digest. */
+    static std::array<std::uint8_t, 16> compute(const void *data,
+                                                std::size_t len);
+
+    /** One-shot digest truncated to 32 bits (for MACH tag studies). */
+    static std::uint32_t compute32(const void *data, std::size_t len);
+
+    /** Lower-case hex string of a digest. */
+    static std::string toHex(const std::array<std::uint8_t, 16> &d);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 4> state_{};
+    std::uint64_t total_len_ = 0;
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffer_len_ = 0;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_HASH_MD5_HH

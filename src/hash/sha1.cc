@@ -1,0 +1,165 @@
+#include "hash/sha1.hh"
+
+#include <cstring>
+
+namespace vstream
+{
+
+namespace
+{
+
+inline std::uint32_t
+rotl(std::uint32_t x, std::uint32_t n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+} // namespace
+
+void
+Sha1::reset()
+{
+    state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u,
+              0xc3d2e1f0u};
+    total_len_ = 0;
+    buffer_len_ = 0;
+}
+
+void
+Sha1::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+               (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+               (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+               static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = state_[0];
+    std::uint32_t b = state_[1];
+    std::uint32_t c = state_[2];
+    std::uint32_t d = state_[3];
+    std::uint32_t e = state_[4];
+
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5a827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdcu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6u;
+        }
+        const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = tmp;
+    }
+
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+}
+
+void
+Sha1::update(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    total_len_ += len;
+
+    if (buffer_len_ > 0) {
+        const std::size_t need = 64 - buffer_len_;
+        const std::size_t take = std::min(need, len);
+        std::memcpy(buffer_.data() + buffer_len_, p, take);
+        buffer_len_ += take;
+        p += take;
+        len -= take;
+        if (buffer_len_ == 64) {
+            processBlock(buffer_.data());
+            buffer_len_ = 0;
+        }
+    }
+    while (len >= 64) {
+        processBlock(p);
+        p += 64;
+        len -= 64;
+    }
+    if (len > 0) {
+        std::memcpy(buffer_.data(), p, len);
+        buffer_len_ = len;
+    }
+}
+
+std::array<std::uint8_t, 20>
+Sha1::digest()
+{
+    const std::uint64_t bit_len = total_len_ * 8;
+
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0x00;
+    while (buffer_len_ != 56)
+        update(&zero, 1);
+
+    std::uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i)
+        len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+    std::memcpy(buffer_.data() + 56, len_bytes, 8);
+    processBlock(buffer_.data());
+    buffer_len_ = 0;
+
+    std::array<std::uint8_t, 20> out{};
+    for (int i = 0; i < 5; ++i) {
+        out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+        out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+        out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+        out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+    }
+    return out;
+}
+
+std::array<std::uint8_t, 20>
+Sha1::compute(const void *data, std::size_t len)
+{
+    Sha1 sha;
+    sha.update(data, len);
+    return sha.digest();
+}
+
+std::uint32_t
+Sha1::compute32(const void *data, std::size_t len)
+{
+    const auto d = compute(data, len);
+    return (static_cast<std::uint32_t>(d[0]) << 24) |
+           (static_cast<std::uint32_t>(d[1]) << 16) |
+           (static_cast<std::uint32_t>(d[2]) << 8) |
+           static_cast<std::uint32_t>(d[3]);
+}
+
+std::string
+Sha1::toHex(const std::array<std::uint8_t, 20> &d)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(40);
+    for (std::uint8_t byte : d) {
+        out.push_back(hex[byte >> 4]);
+        out.push_back(hex[byte & 0xf]);
+    }
+    return out;
+}
+
+} // namespace vstream

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SHA-1 (FIPS 180-1), used in the Fig. 12d hash-function sensitivity
+ * study.
+ */
+
+#ifndef VSTREAM_HASH_SHA1_HH
+#define VSTREAM_HASH_SHA1_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vstream
+{
+
+/** Incremental SHA-1. */
+class Sha1
+{
+  public:
+    Sha1() { reset(); }
+
+    void reset();
+    void update(const void *data, std::size_t len);
+
+    /** Finalize and return the 20-byte digest. */
+    std::array<std::uint8_t, 20> digest();
+
+    static std::array<std::uint8_t, 20> compute(const void *data,
+                                                std::size_t len);
+
+    /** One-shot digest truncated to 32 bits (for MACH tag studies). */
+    static std::uint32_t compute32(const void *data, std::size_t len);
+
+    static std::string toHex(const std::array<std::uint8_t, 20> &d);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 5> state_{};
+    std::uint64_t total_len_ = 0;
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffer_len_ = 0;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_HASH_SHA1_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * RoRaBaCoCh physical-address interleaving (paper Table 2).
+ *
+ * From most- to least-significant bits a physical address decomposes
+ * as Row : Rank : Bank : Column : Channel, with the burst offset
+ * below the channel bits.  Channel interleaving at burst granularity
+ * spreads streaming traffic across both LPDDR3 channels.
+ */
+
+#ifndef VSTREAM_MEM_ADDRESS_MAP_HH
+#define VSTREAM_MEM_ADDRESS_MAP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "mem/dram_config.hh"
+#include "mem/mem_request.hh"
+
+namespace vstream
+{
+
+/** Fully decomposed DRAM coordinates of an address. */
+struct DramCoord
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    std::uint32_t column = 0;
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank &&
+               row == o.row && column == o.column;
+    }
+};
+
+/** Maps addresses to DRAM coordinates under a configurable
+ * interleaving order (paper default: RoRaBaCoCh). */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const DramConfig &cfg);
+
+    /** Decompose @p addr (wraps modulo capacity). */
+    DramCoord decompose(Addr addr) const;
+
+    /** Recompose coordinates back to the canonical address. */
+    Addr compose(const DramCoord &coord) const;
+
+    /** Columns (bursts) per row. */
+    std::uint32_t columnsPerRow() const { return columns_per_row_; }
+
+    AddrMapOrder order() const { return order_; }
+
+  private:
+    enum class Field
+    {
+        kChannel,
+        kColumn,
+        kBank,
+        kRank,
+    };
+
+    static std::uint32_t log2OfPow2(std::uint64_t v);
+    std::array<Field, 4> fieldOrder() const;
+    std::uint32_t fieldBits(Field f) const;
+
+    std::uint32_t burst_shift_;
+    std::uint32_t channel_bits_;
+    std::uint32_t column_bits_;
+    std::uint32_t bank_bits_;
+    std::uint32_t rank_bits_;
+    std::uint64_t capacity_;
+    std::uint32_t columns_per_row_;
+    AddrMapOrder order_ = AddrMapOrder::kRoRaBaCoCh;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_MEM_ADDRESS_MAP_HH

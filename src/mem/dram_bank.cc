@@ -1,0 +1,55 @@
+#include "mem/dram_bank.hh"
+
+namespace vstream
+{
+
+bool
+DramBank::expireRow(Tick now, Tick timeout)
+{
+    if (!row_open_)
+        return false;
+    if (now <= last_access_ || now - last_access_ <= timeout)
+        return false;
+    // The controller closed the row at last_access_ + timeout; by
+    // `now` the precharge has long completed.
+    row_open_ = false;
+    return true;
+}
+
+void
+DramBank::activate(std::uint64_t row, Tick when)
+{
+    row_open_ = true;
+    open_row_ = row;
+    opened_at_ = when;
+    last_access_ = when;
+    ready_at_ = when;
+}
+
+void
+DramBank::precharge(Tick ready)
+{
+    row_open_ = false;
+    ready_at_ = ready;
+}
+
+void
+DramBank::touch(Tick when)
+{
+    if (when > last_access_)
+        last_access_ = when;
+    if (when > ready_at_)
+        ready_at_ = when;
+}
+
+void
+DramBank::reset()
+{
+    row_open_ = false;
+    open_row_ = 0;
+    ready_at_ = 0;
+    last_access_ = 0;
+    opened_at_ = 0;
+}
+
+} // namespace vstream

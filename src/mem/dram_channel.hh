@@ -1,0 +1,55 @@
+/**
+ * @file
+ * One LPDDR3 channel: a set of banks sharing a data bus.
+ */
+
+#ifndef VSTREAM_MEM_DRAM_CHANNEL_HH
+#define VSTREAM_MEM_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/dram_bank.hh"
+#include "sim/ticks.hh"
+
+namespace vstream
+{
+
+/** Banks plus shared-bus occupancy for one channel. */
+class DramChannel
+{
+  public:
+    DramChannel(std::uint32_t ranks, std::uint32_t banks_per_rank);
+
+    /** Bank object for (rank, bank). */
+    DramBank &bank(std::uint32_t rank, std::uint32_t bank_idx);
+    const DramBank &bank(std::uint32_t rank, std::uint32_t bank_idx) const;
+
+    /** Earliest tick the data bus is free. */
+    Tick busFreeAt() const { return bus_free_at_; }
+
+    /**
+     * Occupy the bus for @p duration starting no earlier than
+     * @p earliest.
+     *
+     * @return the tick the transfer completes.
+     */
+    Tick occupyBus(Tick earliest, Tick duration);
+
+    std::uint32_t bankCount() const
+    {
+        return static_cast<std::uint32_t>(banks_.size());
+    }
+
+    /** Reset all banks and the bus. */
+    void reset();
+
+  private:
+    std::uint32_t banks_per_rank_;
+    std::vector<DramBank> banks_;
+    Tick bus_free_at_ = 0;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_MEM_DRAM_CHANNEL_HH

@@ -1,0 +1,201 @@
+#include "mem/dram_controller.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+DramController::DramController(const DramConfig &cfg)
+    : cfg_(cfg), map_(cfg_), energy_(cfg_)
+{
+    cfg_.validate();
+    channels_.reserve(cfg_.channels);
+    for (std::uint32_t c = 0; c < cfg_.channels; ++c)
+        channels_.emplace_back(cfg_.ranks_per_channel, cfg_.banks_per_rank);
+    write_queues_.resize(static_cast<std::size_t>(cfg_.channels) *
+                         cfg_.ranks_per_channel * cfg_.banks_per_rank);
+    next_refresh_.assign(cfg_.channels, cfg_.t_refi);
+}
+
+std::size_t
+DramController::bankIndex(const DramCoord &coord) const
+{
+    return (static_cast<std::size_t>(coord.channel) *
+                cfg_.ranks_per_channel +
+            coord.rank) *
+               cfg_.banks_per_rank +
+           coord.bank;
+}
+
+Tick
+DramController::applyRefresh(std::uint32_t channel, Tick t)
+{
+    if (!cfg_.refresh_enabled)
+        return t;
+    Tick &next = next_refresh_[channel];
+    if (t < next)
+        return t;
+    // Jump to the refresh epoch containing t; refreshes the device
+    // performed while idle did not block anyone.
+    const std::uint64_t missed = (t - next) / cfg_.t_refi;
+    next += missed * cfg_.t_refi;
+    ++refreshes_;
+    if (t < next + cfg_.t_rfc)
+        t = next + cfg_.t_rfc;
+    next += cfg_.t_refi;
+    return t;
+}
+
+Tick
+DramController::accessBurst(const DramCoord &coord, MemOp op, Requester r,
+                            Tick now, bool &row_hit, bool &activated)
+{
+    DramChannel &channel = channels_[coord.channel];
+    DramBank &bank = channel.bank(coord.rank, coord.bank);
+
+    now = applyRefresh(coord.channel, now);
+
+    // Starvation bound: rows idle past the timeout were closed by the
+    // controller in the meantime.  The precharge is attributed to the
+    // requester whose access left the row open.
+    if (bank.expireRow(now, cfg_.row_open_timeout))
+        energy_.recordPrecharge(r);
+
+    Tick t = std::max(now, bank.readyAt());
+    row_hit = false;
+    activated = false;
+
+    if (bank.rowOpen() && bank.openRow() == coord.row) {
+        row_hit = true;
+    } else {
+        if (bank.rowOpen()) {
+            // Conflict: close the old row first (tRAS honored).
+            const Tick pre_start =
+                std::max(t, bank.openedAt() + cfg_.t_ras);
+            t = pre_start + cfg_.t_rp;
+            bank.precharge(t);
+            energy_.recordPrecharge(r);
+        }
+        t += cfg_.t_rcd;
+        bank.activate(coord.row, t);
+        energy_.recordActivation(r);
+        activated = true;
+    }
+
+    // Column access: CAS latency then the data burst on the shared
+    // bus.  Writes use the same envelope (write latency differences
+    // are second-order for this study).
+    const Tick data_start = t + cfg_.t_cl;
+    const Tick finish = channel.occupyBus(data_start, cfg_.burstTime());
+    bank.touch(finish);
+
+    // Closed-page: auto-precharge after the access; the next access
+    // to this bank activates unconditionally (tRP off the critical
+    // path, the precharge energy booked with the activation pair).
+    if (cfg_.page_policy == PagePolicy::kClosedPage)
+        bank.precharge(finish);
+
+    energy_.recordBurst(r, op, cfg_.bytesPerBurst());
+    if (row_hit)
+        energy_.recordRowHit(r);
+    return finish;
+}
+
+void
+DramController::drainBank(std::size_t bank_idx, Tick now)
+{
+    auto &queue = write_queues_[bank_idx];
+    if (queue.empty())
+        return;
+
+    // Row-sorted service order: one activation per distinct row in
+    // the batch instead of one per scattered write.
+    std::stable_sort(queue.begin(), queue.end(),
+                     [](const PendingWrite &a, const PendingWrite &b) {
+                         return a.coord.row < b.coord.row;
+                     });
+    // All burst/Act/Pre energy and bank timing for posted writes is
+    // charged here, at drain time.
+    bool row_hit = false;
+    bool activated = false;
+    Tick t = now;
+    for (const PendingWrite &w : queue) {
+        t = accessBurst(w.coord, MemOp::kWrite, w.requester, t,
+                        row_hit, activated);
+    }
+    queue.clear();
+}
+
+MemResult
+DramController::access(const MemRequest &req, Tick now)
+{
+    vs_assert(req.size > 0, "zero-size memory request");
+
+    const std::uint32_t burst_bytes = cfg_.bytesPerBurst();
+    const Addr first = req.addr / burst_bytes * burst_bytes;
+    const Addr last = (req.addr + req.size - 1) / burst_bytes * burst_bytes;
+
+    const bool queue_writes =
+        cfg_.write_queue_depth > 0 && req.op == MemOp::kWrite;
+
+    MemResult result;
+    Tick finish = now;
+    for (Addr a = first;; a += burst_bytes) {
+        const DramCoord coord = map_.decompose(a);
+        ++result.bursts;
+
+        if (queue_writes) {
+            // Posted write: enqueue and drain in batches.
+            auto &queue = write_queues_[bankIndex(coord)];
+            queue.push_back(PendingWrite{coord, req.requester});
+            if (queue.size() >= cfg_.write_queue_depth)
+                drainBank(bankIndex(coord), now);
+        } else {
+            bool row_hit = false;
+            bool activated = false;
+            const Tick burst_finish = accessBurst(
+                coord, req.op, req.requester, now, row_hit, activated);
+            finish = std::max(finish, burst_finish);
+            if (row_hit)
+                ++result.row_hits;
+            if (activated)
+                ++result.activations;
+        }
+        if (a == last)
+            break;
+    }
+    result.finish_tick = finish;
+    return result;
+}
+
+void
+DramController::flushWrites(Tick now)
+{
+    for (std::size_t i = 0; i < write_queues_.size(); ++i)
+        drainBank(i, now);
+}
+
+std::uint64_t
+DramController::pendingWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : write_queues_)
+        n += q.size();
+    return n;
+}
+
+void
+DramController::reset()
+{
+    for (auto &c : channels_)
+        c.reset();
+    for (auto &q : write_queues_)
+        q.clear();
+    next_refresh_.assign(cfg_.channels, cfg_.t_refi);
+    refreshes_ = 0;
+    energy_.reset();
+}
+
+} // namespace vstream

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Open-page DRAM controller (transaction-level timing).
+ *
+ * Requests are serviced burst-by-burst against per-bank row-buffer
+ * state.  The model is transaction-level rather than cycle-level: a
+ * request arrives with its issue tick, the controller walks the
+ * affected banks/columns, charges tRP/tRCD/tCL/tBurst as applicable,
+ * arbitrates the per-channel data bus, applies the row-open timeout
+ * (starvation bound), and returns the completion tick plus row-hit
+ * statistics.  This is the granularity at which the paper's
+ * Act/Pre-vs-burst energy argument (Sec. 3.2, Fig. 5) operates.
+ */
+
+#ifndef VSTREAM_MEM_DRAM_CONTROLLER_HH
+#define VSTREAM_MEM_DRAM_CONTROLLER_HH
+
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "mem/dram_channel.hh"
+#include "mem/dram_config.hh"
+#include "mem/dram_energy.hh"
+#include "mem/mem_request.hh"
+
+namespace vstream
+{
+
+/** The banked timing model behind MemorySystem. */
+class DramController
+{
+  public:
+    explicit DramController(const DramConfig &cfg);
+
+    /**
+     * Service @p req whose first command may issue at @p now.
+     *
+     * Splits the request into bursts, walks bank state, and records
+     * energy events in the ledger.  With a non-zero
+     * write_queue_depth, write bursts are posted into per-bank
+     * queues and drained in row-sorted batches.
+     *
+     * @return completion tick and per-request burst statistics.
+     */
+    MemResult access(const MemRequest &req, Tick now);
+
+    /** Drain every pending posted write (end of simulation). */
+    void flushWrites(Tick now);
+
+    /** Posted writes currently queued. */
+    std::uint64_t pendingWrites() const;
+
+    /** All-bank refreshes performed (refresh_enabled only). */
+    std::uint64_t refreshCount() const { return refreshes_; }
+
+    const DramConfig &config() const { return cfg_; }
+    const AddressMap &addressMap() const { return map_; }
+    DramEnergy &energy() { return energy_; }
+    const DramEnergy &energy() const { return energy_; }
+
+    /** Reset bank/bus state and the energy ledger. */
+    void reset();
+
+  private:
+    struct PendingWrite
+    {
+        DramCoord coord;
+        Requester requester;
+    };
+
+    /** Service one burst at @p coord; returns its completion tick. */
+    Tick accessBurst(const DramCoord &coord, MemOp op, Requester r,
+                     Tick now, bool &row_hit, bool &activated);
+
+    /** Stall @p t over any refresh window it lands in. */
+    Tick applyRefresh(std::uint32_t channel, Tick t);
+
+    /** Global bank index of @p coord. */
+    std::size_t bankIndex(const DramCoord &coord) const;
+
+    /** Drain one bank's posted writes in row-sorted order. */
+    void drainBank(std::size_t bank_idx, Tick now);
+
+    DramConfig cfg_;
+    AddressMap map_;
+    DramEnergy energy_;
+    std::vector<DramChannel> channels_;
+    std::vector<std::vector<PendingWrite>> write_queues_;
+    std::vector<Tick> next_refresh_;
+    std::uint64_t refreshes_ = 0;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_MEM_DRAM_CONTROLLER_HH

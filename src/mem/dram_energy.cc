@@ -1,0 +1,151 @@
+#include "mem/dram_energy.hh"
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace vstream
+{
+
+DramActivityCounts &
+DramActivityCounts::operator+=(const DramActivityCounts &o)
+{
+    activations += o.activations;
+    precharges += o.precharges;
+    read_bursts += o.read_bursts;
+    write_bursts += o.write_bursts;
+    row_hits += o.row_hits;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+}
+
+DramEnergy::DramEnergy(const DramConfig &cfg) : cfg_(cfg) {}
+
+std::size_t
+DramEnergy::index(Requester r)
+{
+    return static_cast<std::size_t>(r);
+}
+
+void
+DramEnergy::recordActivation(Requester r)
+{
+    ++per_requester_[index(r)].activations;
+}
+
+void
+DramEnergy::recordPrecharge(Requester r)
+{
+    ++per_requester_[index(r)].precharges;
+}
+
+void
+DramEnergy::recordBurst(Requester r, MemOp op, std::uint32_t bytes)
+{
+    auto &c = per_requester_[index(r)];
+    if (op == MemOp::kRead) {
+        ++c.read_bursts;
+        c.bytes_read += bytes;
+    } else {
+        ++c.write_bursts;
+        c.bytes_written += bytes;
+    }
+}
+
+void
+DramEnergy::recordRowHit(Requester r)
+{
+    ++per_requester_[index(r)].row_hits;
+}
+
+const DramActivityCounts &
+DramEnergy::counts(Requester r) const
+{
+    return per_requester_[index(r)];
+}
+
+DramActivityCounts
+DramEnergy::totalCounts() const
+{
+    DramActivityCounts total;
+    for (const auto &c : per_requester_)
+        total += c;
+    return total;
+}
+
+double
+DramEnergy::actPreEnergy(Requester r) const
+{
+    const auto &c = per_requester_[index(r)];
+    // Energy is booked per act/pre *pair*; an activation implies a
+    // matching (possibly future) precharge, so count activations.
+    return static_cast<double>(c.activations) * cfg_.e_act_pre_pj * 1e-12;
+}
+
+double
+DramEnergy::actPreEnergyTotal() const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < per_requester_.size(); ++i)
+        sum += actPreEnergy(static_cast<Requester>(i));
+    return sum;
+}
+
+double
+DramEnergy::burstEnergy(Requester r) const
+{
+    const auto &c = per_requester_[index(r)];
+    return (static_cast<double>(c.read_bursts) * cfg_.e_read_burst_pj +
+            static_cast<double>(c.write_bursts) * cfg_.e_write_burst_pj) *
+           1e-12;
+}
+
+double
+DramEnergy::burstEnergyTotal() const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < per_requester_.size(); ++i)
+        sum += burstEnergy(static_cast<Requester>(i));
+    return sum;
+}
+
+double
+DramEnergy::backgroundEnergy(Tick span) const
+{
+    return cfg_.background_watts * ticksToSeconds(span);
+}
+
+double
+DramEnergy::dynamicEnergyTotal() const
+{
+    return actPreEnergyTotal() + burstEnergyTotal();
+}
+
+void
+DramEnergy::reset()
+{
+    for (auto &c : per_requester_)
+        c = DramActivityCounts{};
+}
+
+void
+DramEnergy::dump(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < per_requester_.size(); ++i) {
+        const auto r = static_cast<Requester>(i);
+        const auto &c = per_requester_[i];
+        const std::string prefix = "dram." + requesterName(r) + ".";
+        stats::printStat(os, prefix + "activations",
+                         static_cast<double>(c.activations));
+        stats::printStat(os, prefix + "rowHits",
+                         static_cast<double>(c.row_hits));
+        stats::printStat(os, prefix + "bytesRead",
+                         static_cast<double>(c.bytes_read));
+        stats::printStat(os, prefix + "bytesWritten",
+                         static_cast<double>(c.bytes_written));
+        stats::printStat(os, prefix + "actPreEnergyJ", actPreEnergy(r));
+        stats::printStat(os, prefix + "burstEnergyJ", burstEnergy(r));
+    }
+}
+
+} // namespace vstream

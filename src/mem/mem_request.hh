@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory request types shared by the DRAM model and its clients.
+ */
+
+#ifndef VSTREAM_MEM_MEM_REQUEST_HH
+#define VSTREAM_MEM_MEM_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace vstream
+{
+
+/** Simulated physical address. */
+using Addr = std::uint64_t;
+
+/** Direction of a memory operation. */
+enum class MemOp
+{
+    kRead,
+    kWrite,
+};
+
+/** SoC agents that generate DRAM traffic in the video flow. */
+enum class Requester
+{
+    kVideoDecoder,
+    kDisplayController,
+    kStreamBuffer,
+    kOther,
+};
+
+/** Short name for a requester ("vd", "dc", ...). */
+std::string requesterName(Requester r);
+
+/** A single client-level memory request (any size/alignment). */
+struct MemRequest
+{
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    MemOp op = MemOp::kRead;
+    Requester requester = Requester::kOther;
+};
+
+/** Result of servicing one request. */
+struct MemResult
+{
+    /** Tick at which the last burst of data completes. */
+    Tick finish_tick = 0;
+    /** DRAM bursts issued on behalf of the request. */
+    std::uint32_t bursts = 0;
+    /** Row-buffer hits among those bursts. */
+    std::uint32_t row_hits = 0;
+    /** Row activations performed. */
+    std::uint32_t activations = 0;
+};
+
+inline std::string
+requesterName(Requester r)
+{
+    switch (r) {
+      case Requester::kVideoDecoder:
+        return "vd";
+      case Requester::kDisplayController:
+        return "dc";
+      case Requester::kStreamBuffer:
+        return "net";
+      case Requester::kOther:
+        return "other";
+    }
+    return "?";
+}
+
+} // namespace vstream
+
+#endif // VSTREAM_MEM_MEM_REQUEST_HH

@@ -1,0 +1,75 @@
+#include "mem/memory_system.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace vstream
+{
+
+MemorySystem::MemorySystem(std::string name, EventQueue *queue,
+                           const DramConfig &cfg)
+    : SimObject(std::move(name), queue), ctrl_(cfg)
+{
+}
+
+MemResult
+MemorySystem::access(const MemRequest &req, Tick now)
+{
+    ++request_count_;
+    return ctrl_.access(req, now);
+}
+
+MemResult
+MemorySystem::read(Addr addr, std::uint32_t size, Requester r, Tick now)
+{
+    return access(MemRequest{addr, size, MemOp::kRead, r}, now);
+}
+
+MemResult
+MemorySystem::write(Addr addr, std::uint32_t size, Requester r, Tick now)
+{
+    return access(MemRequest{addr, size, MemOp::kWrite, r}, now);
+}
+
+Addr
+MemorySystem::allocate(std::uint64_t bytes, const std::string &label)
+{
+    constexpr std::uint64_t kAlign = 64;
+    const std::uint64_t aligned = (bytes + kAlign - 1) / kAlign * kAlign;
+    if (next_free_ + aligned > config().capacity_bytes) {
+        vs_fatal("out of simulated DRAM allocating ", aligned,
+                 " bytes for '", label, "' (", next_free_, " of ",
+                 config().capacity_bytes, " used)");
+    }
+    const Addr base = next_free_;
+    next_free_ += aligned;
+    peak_allocated_ = std::max(peak_allocated_, next_free_);
+    return base;
+}
+
+double
+MemorySystem::backgroundEnergy(Tick span) const
+{
+    return ctrl_.energy().backgroundEnergy(span);
+}
+
+void
+MemorySystem::resetStats()
+{
+    ctrl_.energy().reset();
+    request_count_ = 0;
+}
+
+void
+MemorySystem::dumpStats(std::ostream &os) const
+{
+    stats::printStat(os, name() + ".requests",
+                     static_cast<double>(request_count_));
+    stats::printStat(os, name() + ".allocatedBytes",
+                     static_cast<double>(next_free_));
+    ctrl_.energy().dump(os);
+}
+
+} // namespace vstream

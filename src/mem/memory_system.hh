@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memory-system front end.
+ *
+ * Owns the DRAM controller, hands out address regions (frame buffers,
+ * encoded-stream buffers, MACH metadata dumps), and exposes a simple
+ * access() interface to the IP models.  All statistics needed by the
+ * paper's figures (row hits, Act/Pre counts, burst counts, energy per
+ * requester) are collected here.
+ */
+
+#ifndef VSTREAM_MEM_MEMORY_SYSTEM_HH
+#define VSTREAM_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "mem/dram_controller.hh"
+#include "mem/mem_request.hh"
+#include "sim/sim_object.hh"
+
+namespace vstream
+{
+
+/** Top-level simulated memory. */
+class MemorySystem : public SimObject
+{
+  public:
+    MemorySystem(std::string name, EventQueue *queue,
+                 const DramConfig &cfg);
+
+    /**
+     * Service a request issued at @p now.
+     *
+     * @return timing and row-hit outcome; also updates the ledger.
+     */
+    MemResult access(const MemRequest &req, Tick now);
+
+    /** Shorthand: read @p size bytes at @p addr. */
+    MemResult read(Addr addr, std::uint32_t size, Requester r, Tick now);
+
+    /** Shorthand: write @p size bytes at @p addr. */
+    MemResult write(Addr addr, std::uint32_t size, Requester r, Tick now);
+
+    /**
+     * Allocate a contiguous region of @p bytes (64 B aligned).
+     *
+     * This is a simulation-level bump allocator; regions are never
+     * freed individually (frame buffers are recycled by their
+     * owners).
+     */
+    Addr allocate(std::uint64_t bytes, const std::string &label);
+
+    /** Bytes handed out so far. */
+    std::uint64_t allocatedBytes() const { return next_free_; }
+
+    /** High-water mark of simultaneously allocated bytes. */
+    std::uint64_t peakAllocatedBytes() const { return peak_allocated_; }
+
+    const DramConfig &config() const { return ctrl_.config(); }
+    DramController &controller() { return ctrl_; }
+    const DramEnergy &energy() const { return ctrl_.energy(); }
+
+    /** Drain any posted writes (see DramConfig::write_queue_depth). */
+    void flushWrites(Tick now) { ctrl_.flushWrites(now); }
+
+    /** Background energy over a window of @p span ticks, joules. */
+    double backgroundEnergy(Tick span) const;
+
+    /** Total requests serviced. */
+    std::uint64_t requestCount() const { return request_count_; }
+
+    void resetStats() override;
+    void dumpStats(std::ostream &os) const override;
+
+  private:
+    DramController ctrl_;
+    std::uint64_t next_free_ = 0;
+    std::uint64_t peak_allocated_ = 0;
+    std::uint64_t request_count_ = 0;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_MEM_MEMORY_SYSTEM_HH

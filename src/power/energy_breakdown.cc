@@ -1,0 +1,116 @@
+#include "power/energy_breakdown.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace vstream
+{
+
+double
+EnergyBreakdown::total() const
+{
+    return dc + mem_background + vd_processing + sleep + short_slack +
+           mem_burst + mem_act_pre + transition + mach_overhead;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    dc += o.dc;
+    mem_background += o.mem_background;
+    vd_processing += o.vd_processing;
+    sleep += o.sleep;
+    short_slack += o.short_slack;
+    mem_burst += o.mem_burst;
+    mem_act_pre += o.mem_act_pre;
+    transition += o.transition;
+    mach_overhead += o.mach_overhead;
+    return *this;
+}
+
+EnergyBreakdown
+EnergyBreakdown::operator+(const EnergyBreakdown &o) const
+{
+    EnergyBreakdown r = *this;
+    r += o;
+    return r;
+}
+
+EnergyBreakdown
+EnergyBreakdown::normalizedTo(double denom) const
+{
+    EnergyBreakdown r = *this;
+    if (denom > 0.0) {
+        r.dc /= denom;
+        r.mem_background /= denom;
+        r.vd_processing /= denom;
+        r.sleep /= denom;
+        r.short_slack /= denom;
+        r.mem_burst /= denom;
+        r.mem_act_pre /= denom;
+        r.transition /= denom;
+        r.mach_overhead /= denom;
+    }
+    return r;
+}
+
+std::string
+EnergyBreakdown::headerRow()
+{
+    return "dc\tmem_bg\tvd_proc\tsleep\tslack\tburst\tact_pre\ttrans\t"
+           "mach\ttotal";
+}
+
+std::string
+EnergyBreakdown::row() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(4);
+    os << dc << '\t' << mem_background << '\t' << vd_processing << '\t'
+       << sleep << '\t' << short_slack << '\t' << mem_burst << '\t'
+       << mem_act_pre << '\t' << transition << '\t' << mach_overhead
+       << '\t' << total();
+    return os.str();
+}
+
+TimeBreakdown &
+TimeBreakdown::operator+=(const TimeBreakdown &o)
+{
+    execution += o.execution;
+    short_slack += o.short_slack;
+    transition += o.transition;
+    s1 += o.s1;
+    s3 += o.s3;
+    return *this;
+}
+
+std::string
+TimeBreakdown::headerRow()
+{
+    return "exec_ms\tslack_ms\ttrans_ms\ts1_ms\ts3_ms\ttotal_ms";
+}
+
+std::string
+TimeBreakdown::row() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    os << ticksToMs(execution) << '\t' << ticksToMs(short_slack) << '\t'
+       << ticksToMs(transition) << '\t' << ticksToMs(s1) << '\t'
+       << ticksToMs(s3) << '\t' << ticksToMs(total());
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const EnergyBreakdown &e)
+{
+    return os << e.row();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const TimeBreakdown &t)
+{
+    return os << t.row();
+}
+
+} // namespace vstream

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * System-level energy and time ledgers.
+ *
+ * EnergyBreakdown carries the nine categories the paper stacks in
+ * Fig. 11 (DC, memory background, VD processing, sleep, short slack,
+ * memory burst, memory Act/Pre, power-state transitions, MACH
+ * overheads); TimeBreakdown carries the five states of the frame-time
+ * CDFs (Figs. 2 and 4).
+ */
+
+#ifndef VSTREAM_POWER_ENERGY_BREAKDOWN_HH
+#define VSTREAM_POWER_ENERGY_BREAKDOWN_HH
+
+#include <ostream>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace vstream
+{
+
+/** Energy per category, joules. */
+struct EnergyBreakdown
+{
+    double dc = 0.0;
+    double mem_background = 0.0;
+    double vd_processing = 0.0;
+    double sleep = 0.0;
+    double short_slack = 0.0;
+    double mem_burst = 0.0;
+    double mem_act_pre = 0.0;
+    double transition = 0.0;
+    double mach_overhead = 0.0;
+
+    double total() const;
+
+    /** Everything attributable to DRAM. */
+    double memoryTotal() const
+    {
+        return mem_background + mem_burst + mem_act_pre;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+    EnergyBreakdown operator+(const EnergyBreakdown &o) const;
+
+    /** Component-wise division by @p total (for normalized plots). */
+    EnergyBreakdown normalizedTo(double denom) const;
+
+    /** One header line matching row(). */
+    static std::string headerRow();
+
+    /** Tab-separated values, in the Fig. 11 stacking order. */
+    std::string row() const;
+};
+
+/** Decoder time per power state, ticks. */
+struct TimeBreakdown
+{
+    Tick execution = 0;
+    Tick short_slack = 0;
+    Tick transition = 0;
+    Tick s1 = 0;
+    Tick s3 = 0;
+
+    Tick total() const
+    {
+        return execution + short_slack + transition + s1 + s3;
+    }
+
+    TimeBreakdown &operator+=(const TimeBreakdown &o);
+
+    static std::string headerRow();
+    std::string row() const;
+};
+
+std::ostream &operator<<(std::ostream &os, const EnergyBreakdown &e);
+std::ostream &operator<<(std::ostream &os, const TimeBreakdown &t);
+
+} // namespace vstream
+
+#endif // VSTREAM_POWER_ENERGY_BREAKDOWN_HH

@@ -1,0 +1,97 @@
+#include "power/power_state.hh"
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+std::string
+powerStateName(PowerState s)
+{
+    switch (s) {
+      case PowerState::kActive:
+        return "active";
+      case PowerState::kShortSlack:
+        return "short-slack";
+      case PowerState::kTransition:
+        return "transition";
+      case PowerState::kSleepS1:
+        return "S1";
+      case PowerState::kSleepS3:
+        return "S3";
+    }
+    return "?";
+}
+
+double
+VdPowerConfig::activePower(VdFrequency f) const
+{
+    return f == VdFrequency::kHigh ? p_active_high_w : p_active_low_w;
+}
+
+double
+VdPowerConfig::frequencyHz(VdFrequency f) const
+{
+    return f == VdFrequency::kHigh ? freq_high_hz : freq_low_hz;
+}
+
+Tick
+VdPowerConfig::roundTripLatency(PowerState sleep_state) const
+{
+    switch (sleep_state) {
+      case PowerState::kSleepS1:
+        return s1_enter + s1_exit;
+      case PowerState::kSleepS3:
+        return s3_enter + s3_exit;
+      default:
+        return 0;
+    }
+}
+
+double
+VdPowerConfig::roundTripEnergy(PowerState sleep_state,
+                               VdFrequency f) const
+{
+    const double factor =
+        f == VdFrequency::kHigh ? trans_high_factor : 1.0;
+    switch (sleep_state) {
+      case PowerState::kSleepS1:
+        return e_s1_round_j * factor;
+      case PowerState::kSleepS3:
+        return e_s3_round_j * factor;
+      default:
+        return 0.0;
+    }
+}
+
+double
+VdPowerConfig::sleepPower(PowerState sleep_state) const
+{
+    switch (sleep_state) {
+      case PowerState::kSleepS1:
+        return p_s1_w;
+      case PowerState::kSleepS3:
+        return p_s3_w;
+      default:
+        return p_short_slack_w;
+    }
+}
+
+void
+VdPowerConfig::validate() const
+{
+    if (freq_low_hz <= 0 || freq_high_hz < freq_low_hz)
+        vs_fatal("bad VD frequency configuration");
+    if (p_s3_w > p_s1_w || p_s1_w > p_short_slack_w ||
+        p_short_slack_w > p_active_low_w ||
+        p_active_low_w > p_active_high_w) {
+        vs_fatal("VD power levels must be ordered "
+                 "S3 <= S1 <= short-slack <= P-low <= P-high");
+    }
+    if (roundTripLatency(PowerState::kSleepS3) <=
+        roundTripLatency(PowerState::kSleepS1)) {
+        vs_fatal("S3 transitions must be slower than S1");
+    }
+}
+
+} // namespace vstream

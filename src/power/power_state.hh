@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Power states and transition costs of the video decoder IP.
+ *
+ * Mirrors the Medfield-style state machine in the paper's Fig. 2a:
+ * active P-states (low/high frequency), a light sleep S1 and a deep
+ * sleep S3, with round-trip transition latencies of 0.8 ms / 1.6 ms
+ * and transition energies calibrated to the paper's "extra 3.6% /
+ * 10.2% of the 5 mJ frame energy" measurements.
+ */
+
+#ifndef VSTREAM_POWER_POWER_STATE_HH
+#define VSTREAM_POWER_POWER_STATE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace vstream
+{
+
+/** Decoder power states. */
+enum class PowerState : std::uint8_t
+{
+    kActive,     // executing at the current P-state
+    kShortSlack, // idle but not asleep (clock-gated wait)
+    kTransition, // entering or leaving a sleep state
+    kSleepS1,    // light sleep
+    kSleepS3,    // deep sleep
+};
+
+std::string powerStateName(PowerState s);
+
+/** Decoder frequency levels (the "race" knob). */
+enum class VdFrequency : std::uint8_t
+{
+    kLow,  // 150 MHz
+    kHigh, // 300 MHz
+};
+
+/** Static power/latency parameters of the VD power state machine. */
+struct VdPowerConfig
+{
+    double freq_low_hz = 150e6;
+    double freq_high_hz = 300e6;
+
+    /** Active power at each P-state (paper Table 2, [99]). */
+    double p_active_low_w = 0.30;
+    double p_active_high_w = 0.69;
+
+    /** Clock-gated idle power while waiting without sleeping. */
+    double p_short_slack_w = 0.28;
+
+    /** Sleep-state powers. */
+    double p_s1_w = 0.050;
+    double p_s3_w = 0.003;
+
+    /** One-way transition latencies. */
+    Tick s1_enter = static_cast<Tick>(0.3 * sim_clock::ms);
+    Tick s1_exit = static_cast<Tick>(0.5 * sim_clock::ms);
+    Tick s3_enter = static_cast<Tick>(0.6 * sim_clock::ms);
+    Tick s3_exit = static_cast<Tick>(1.0 * sim_clock::ms);
+
+    /** Round-trip transition energies (enter + exit), joules, when
+     * transitioning to/from the low P-state. */
+    double e_s1_round_j = 0.53e-3;
+    double e_s3_round_j = 0.72e-3;
+    /**
+     * Transition-energy multiplier when the active state is the high
+     * P-state: ramping the boosted voltage/frequency domain costs
+     * more (the paper's Racing observation, Sec. 6.2).
+     */
+    double trans_high_factor = 4.0;
+
+    double activePower(VdFrequency f) const;
+    double frequencyHz(VdFrequency f) const;
+
+    Tick roundTripLatency(PowerState sleep_state) const;
+    double roundTripEnergy(PowerState sleep_state,
+                           VdFrequency f = VdFrequency::kLow) const;
+    double sleepPower(PowerState sleep_state) const;
+
+    void validate() const;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_POWER_POWER_STATE_HH

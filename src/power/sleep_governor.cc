@@ -1,0 +1,74 @@
+#include "power/sleep_governor.hh"
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+SleepGovernor::SleepGovernor(const VdPowerConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+double
+SleepGovernor::windowEnergy(PowerState state, Tick slack,
+                            VdFrequency freq) const
+{
+    if (state == PowerState::kShortSlack)
+        return cfg_.p_short_slack_w * ticksToSeconds(slack);
+
+    const Tick trans = cfg_.roundTripLatency(state);
+    vs_assert(slack >= trans, "window does not cover the transition");
+    const Tick dwell = slack - trans;
+    return cfg_.roundTripEnergy(state, freq) +
+           cfg_.sleepPower(state) * ticksToSeconds(dwell);
+}
+
+SleepDecision
+SleepGovernor::decide(Tick slack, VdFrequency freq) const
+{
+    SleepDecision best;
+    best.state = PowerState::kShortSlack;
+    best.sleep_time = 0;
+    best.transition_time = 0;
+    best.energy_j =
+        windowEnergy(PowerState::kShortSlack, slack, freq);
+    best.transition_energy_j = 0.0;
+
+    for (PowerState s : {PowerState::kSleepS1, PowerState::kSleepS3}) {
+        const Tick trans = cfg_.roundTripLatency(s);
+        if (slack < trans)
+            continue;
+        const double e = windowEnergy(s, slack, freq);
+        if (e < best.energy_j) {
+            best.state = s;
+            best.sleep_time = slack - trans;
+            best.transition_time = trans;
+            best.energy_j = e;
+            best.transition_energy_j = cfg_.roundTripEnergy(s, freq);
+        }
+    }
+    return best;
+}
+
+Tick
+SleepGovernor::breakEvenSlack(PowerState state, VdFrequency freq) const
+{
+    vs_assert(state == PowerState::kSleepS1 ||
+                  state == PowerState::kSleepS3,
+              "break-even defined for sleep states only");
+
+    // Solve P_idle * T == E_round + P_sleep * (T - trans) for T.
+    const Tick trans = cfg_.roundTripLatency(state);
+    const double e_round = cfg_.roundTripEnergy(state, freq);
+    const double p_idle = cfg_.p_short_slack_w;
+    const double p_sleep = cfg_.sleepPower(state);
+    const double trans_s = ticksToSeconds(trans);
+
+    const double t =
+        (e_round - p_sleep * trans_s) / (p_idle - p_sleep);
+    const Tick t_ticks = secondsToTicks(t);
+    return std::max(t_ticks, trans);
+}
+
+} // namespace vstream

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Break-even sleep-state selection.
+ *
+ * Implements the decision rule the paper's baseline power manager
+ * uses (Sec. 2.2): before entering S1/S3, check that the sleep window
+ * is long enough to cover the transition latency AND that the energy
+ * saved relative to idling exceeds the transition energy; otherwise
+ * stay awake in the short-slack state.
+ */
+
+#ifndef VSTREAM_POWER_SLEEP_GOVERNOR_HH
+#define VSTREAM_POWER_SLEEP_GOVERNOR_HH
+
+#include "power/power_state.hh"
+#include "sim/ticks.hh"
+
+namespace vstream
+{
+
+/** Outcome of a sleep decision for an idle window. */
+struct SleepDecision
+{
+    /** Chosen state: kShortSlack, kSleepS1 or kSleepS3. */
+    PowerState state = PowerState::kShortSlack;
+    /** Time spent in the sleep state proper. */
+    Tick sleep_time = 0;
+    /** Time spent transitioning (0 for short slack). */
+    Tick transition_time = 0;
+    /** Energy consumed across the whole window, joules. */
+    double energy_j = 0.0;
+    /** Of which, transition energy. */
+    double transition_energy_j = 0.0;
+};
+
+/** Chooses the best power state for an idle window. */
+class SleepGovernor
+{
+  public:
+    explicit SleepGovernor(const VdPowerConfig &cfg);
+
+    /**
+     * Decide how to spend an idle window of @p slack ticks.
+     *
+     * Picks the state minimizing total window energy; sleep states
+     * are only eligible when the window covers their round-trip
+     * latency.  @p freq selects the P-state the decoder returns to,
+     * which scales the transition energy.
+     */
+    SleepDecision decide(Tick slack,
+                         VdFrequency freq = VdFrequency::kLow) const;
+
+    /**
+     * Smallest slack for which @p state beats staying awake.
+     *
+     * Used by the region analysis of Fig. 2b (region III = slack
+     * above the S1 threshold, region IV = above the S3 threshold).
+     */
+    Tick breakEvenSlack(PowerState state,
+                        VdFrequency freq = VdFrequency::kLow) const;
+
+    const VdPowerConfig &config() const { return cfg_; }
+
+  private:
+    double windowEnergy(PowerState state, Tick slack,
+                        VdFrequency freq) const;
+
+    VdPowerConfig cfg_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_POWER_SLEEP_GOVERNOR_HH

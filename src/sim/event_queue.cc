@@ -1,0 +1,106 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+Event::Event(std::string name, int priority)
+    : name_(std::move(name)), priority_(priority)
+{
+}
+
+Event::~Event()
+{
+    // Destroying a still-scheduled event would leave a dangling
+    // pointer in the queue; the owner must deschedule first.
+    vs_assert(!scheduled_, "event '", name_, "' destroyed while scheduled");
+}
+
+LambdaEvent::LambdaEvent(std::string name, std::function<void()> fn,
+                         int priority)
+    : Event(std::move(name), priority), fn_(std::move(fn))
+{
+}
+
+void
+LambdaEvent::process()
+{
+    fn_();
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    vs_assert(ev != nullptr, "null event");
+    vs_assert(!ev->scheduled_, "event '", ev->name(), "' already scheduled");
+    vs_assert(when >= cur_tick_, "event '", ev->name(),
+              "' scheduled in the past: ", when, " < ", cur_tick_);
+
+    ev->scheduled_ = true;
+    ev->when_ = when;
+    ev->sequence_ = next_sequence_++;
+    heap_.push(Entry{when, ev->priority(), ev->sequence_, ev});
+    ++live_count_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    vs_assert(ev != nullptr && ev->scheduled_,
+              "descheduling an event that is not scheduled");
+    // Lazy deletion: mark the event idle; the stale heap entry is
+    // recognized and skipped when popped.
+    ev->scheduled_ = false;
+    --live_count_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry top = heap_.top();
+        heap_.pop();
+        Event *ev = top.event;
+        // Skip entries invalidated by deschedule()/reschedule().
+        if (!ev->scheduled_ || ev->sequence_ != top.sequence)
+            continue;
+        vs_assert(top.when >= cur_tick_, "time went backwards");
+        cur_tick_ = top.when;
+        ev->scheduled_ = false;
+        --live_count_;
+        ++processed_;
+        ev->process();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (!top.event->scheduled_ ||
+            top.event->sequence_ != top.sequence) {
+            heap_.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        step();
+    }
+    return cur_tick_;
+}
+
+} // namespace vstream

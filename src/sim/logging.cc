@@ -1,0 +1,65 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace vstream
+{
+namespace detail
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> warn_counter{0};
+std::atomic<bool> quiet_mode{false};
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")"
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")"
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warn_counter.fetch_add(1, std::memory_order_relaxed);
+    if (!quiet_mode.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet_mode.load(std::memory_order_relaxed))
+        std::cout << "info: " << msg << std::endl;
+}
+
+std::uint64_t
+warnCount()
+{
+    return warn_counter.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quiet_mode.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace detail
+} // namespace vstream

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Error and status reporting, modelled on gem5's base/logging.hh.
+ *
+ * panic()  - an internal invariant was violated (simulator bug);
+ *            aborts the process.
+ * fatal()  - the user supplied an impossible configuration; exits
+ *            with an error code.
+ * warn()   - something is questionable but simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef VSTREAM_SIM_LOGGING_HH
+#define VSTREAM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace vstream
+{
+
+namespace detail
+{
+
+/** Append the string form of each argument to @p os. */
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename First, typename... Rest>
+void
+formatInto(std::ostringstream &os, const First &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Number of warn() calls so far (inspectable from tests). */
+std::uint64_t warnCount();
+
+/** Silence or re-enable warn()/inform() output (used by benches). */
+void setQuiet(bool quiet);
+
+} // namespace detail
+
+/** Build a message string from a variadic argument pack. */
+template <typename... Args>
+std::string
+logFormat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace vstream
+
+#define vs_panic(...)                                                       \
+    ::vstream::detail::panicImpl(__FILE__, __LINE__,                        \
+                                 ::vstream::logFormat(__VA_ARGS__))
+
+#define vs_fatal(...)                                                       \
+    ::vstream::detail::fatalImpl(__FILE__, __LINE__,                        \
+                                 ::vstream::logFormat(__VA_ARGS__))
+
+#define vs_warn(...)                                                        \
+    ::vstream::detail::warnImpl(::vstream::logFormat(__VA_ARGS__))
+
+#define vs_inform(...)                                                      \
+    ::vstream::detail::informImpl(::vstream::logFormat(__VA_ARGS__))
+
+/** Panic when a runtime invariant does not hold. */
+#define vs_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::vstream::detail::panicImpl(                                   \
+                __FILE__, __LINE__,                                         \
+                ::vstream::logFormat("assertion '" #cond "' failed: ",     \
+                                     ##__VA_ARGS__));                       \
+        }                                                                   \
+    } while (0)
+
+#endif // VSTREAM_SIM_LOGGING_HH

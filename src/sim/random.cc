@@ -1,0 +1,139 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Random::Random(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Random::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    have_spare_ = false;
+    spare_ = 0.0;
+}
+
+std::uint64_t
+Random::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Random::uniform()
+{
+    // 53 bits of mantissa, standard conversion.
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Random::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Random::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    vs_assert(lo <= hi, "uniformInt range inverted");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0)  // [0, 2^64-1]: full range
+        return next();
+    const std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % span);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + v % span;
+}
+
+bool
+Random::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Random::gaussian()
+{
+    if (have_spare_) {
+        have_spare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+}
+
+double
+Random::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Random::logNormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+std::uint64_t
+Random::burstLength(double continue_prob, std::uint64_t cap)
+{
+    std::uint64_t len = 1;
+    while (len < cap && chance(continue_prob))
+        ++len;
+    return len;
+}
+
+} // namespace vstream

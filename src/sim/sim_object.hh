@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Base class for named, stat-bearing simulation models.
+ */
+
+#ifndef VSTREAM_SIM_SIM_OBJECT_HH
+#define VSTREAM_SIM_SIM_OBJECT_HH
+
+#include <ostream>
+#include <string>
+
+namespace vstream
+{
+
+class EventQueue;
+
+/**
+ * A named component of the simulated SoC.
+ *
+ * SimObjects share one EventQueue and report statistics through
+ * dumpStats().  Construction order establishes the component tree; the
+ * name is a dotted path such as "soc.vd.cache".
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue *queue);
+    virtual ~SimObject();
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** The shared timeline this object schedules on. */
+    EventQueue *eventQueue() const { return queue_; }
+
+    /** Called once before simulation begins. */
+    virtual void startup() {}
+
+    /** Reset statistics (not architectural state). */
+    virtual void resetStats() {}
+
+    /** Pretty-print statistics. */
+    virtual void dumpStats(std::ostream &os) const { (void)os; }
+
+  private:
+    std::string name_;
+    EventQueue *queue_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_SIM_SIM_OBJECT_HH

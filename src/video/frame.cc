@@ -1,0 +1,55 @@
+#include "video/frame.hh"
+
+#include "hash/crc.hh"
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+Frame::Frame(std::uint64_t index, FrameType type, std::uint32_t mabs_x,
+             std::uint32_t mabs_y, std::uint32_t mab_dim)
+    : index_(index), type_(type), mabs_x_(mabs_x), mabs_y_(mabs_y),
+      mab_dim_(mab_dim),
+      mabs_(static_cast<std::size_t>(mabs_x) * mabs_y, Macroblock(mab_dim)),
+      origins_(static_cast<std::size_t>(mabs_x) * mabs_y,
+               MabOrigin::kUnique)
+{
+    vs_assert(mabs_x_ > 0 && mabs_y_ > 0, "empty frame");
+}
+
+std::uint64_t
+Frame::decodedBytes() const
+{
+    return static_cast<std::uint64_t>(mabCount()) * mab_dim_ * mab_dim_ *
+           kBytesPerPixel;
+}
+
+const Macroblock &
+Frame::mab(std::uint32_t i) const
+{
+    return mabs_.at(i);
+}
+
+Macroblock &
+Frame::mab(std::uint32_t i)
+{
+    return mabs_.at(i);
+}
+
+const Macroblock &
+Frame::mabAt(std::uint32_t x, std::uint32_t y) const
+{
+    vs_assert(x < mabs_x_ && y < mabs_y_, "mab coordinates out of range");
+    return mabs_[static_cast<std::size_t>(y) * mabs_x_ + x];
+}
+
+std::uint32_t
+Frame::contentChecksum() const
+{
+    Crc32 crc;
+    for (const auto &m : mabs_)
+        crc.update(m.bytes().data(), m.bytes().size());
+    return crc.digest();
+}
+
+} // namespace vstream

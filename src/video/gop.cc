@@ -1,0 +1,62 @@
+#include "video/gop.hh"
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+char
+frameTypeChar(FrameType t)
+{
+    switch (t) {
+      case FrameType::kI:
+        return 'I';
+      case FrameType::kP:
+        return 'P';
+      case FrameType::kB:
+        return 'B';
+    }
+    return '?';
+}
+
+GopStructure::GopStructure(const std::string &pattern) : pattern_(pattern)
+{
+    if (pattern_.empty())
+        vs_fatal("empty GOP pattern");
+    bool has_i = false;
+    for (char c : pattern_) {
+        if (c != 'I' && c != 'P' && c != 'B')
+            vs_fatal("bad GOP pattern character '", c, "'");
+        if (c == 'I')
+            has_i = true;
+    }
+    if (!has_i)
+        vs_fatal("GOP pattern must contain at least one I frame");
+}
+
+FrameType
+GopStructure::frameType(std::uint64_t index) const
+{
+    if (index == 0)
+        return FrameType::kI;
+    switch (pattern_[index % pattern_.size()]) {
+      case 'I':
+        return FrameType::kI;
+      case 'P':
+        return FrameType::kP;
+      default:
+        return FrameType::kB;
+    }
+}
+
+double
+GopStructure::typeFraction(FrameType t) const
+{
+    std::uint32_t n = 0;
+    for (char c : pattern_)
+        if (c == frameTypeChar(t))
+            ++n;
+    return static_cast<double>(n) / static_cast<double>(pattern_.size());
+}
+
+} // namespace vstream

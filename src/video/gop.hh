@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Group-of-pictures structure (I/P/B frame pattern).
+ */
+
+#ifndef VSTREAM_VIDEO_GOP_HH
+#define VSTREAM_VIDEO_GOP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vstream
+{
+
+/** Encoded frame types. */
+enum class FrameType : std::uint8_t
+{
+    kI,
+    kP,
+    kB,
+};
+
+char frameTypeChar(FrameType t);
+
+/**
+ * A cyclic GOP pattern, e.g. "IPPPPPPP" or "IBBPBBPBB".
+ *
+ * Frame 0 is always forced to I (a stream must start with a
+ * self-contained frame regardless of the cycle position).
+ */
+class GopStructure
+{
+  public:
+    /** Parse @p pattern; fatal on characters other than I/P/B or an
+     * empty/I-less pattern. */
+    explicit GopStructure(const std::string &pattern = "IPPPPPPP");
+
+    /** Type of frame @p index in display order. */
+    FrameType frameType(std::uint64_t index) const;
+
+    std::uint32_t period() const
+    {
+        return static_cast<std::uint32_t>(pattern_.size());
+    }
+
+    const std::string &pattern() const { return pattern_; }
+
+    /** Fraction of frames of type @p t over one period. */
+    double typeFraction(FrameType t) const;
+
+  private:
+    std::string pattern_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_VIDEO_GOP_HH

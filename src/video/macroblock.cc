@@ -1,0 +1,111 @@
+#include "video/macroblock.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+Macroblock::Macroblock(std::uint32_t dim)
+    : dim_(dim), bytes_(static_cast<std::size_t>(dim) * dim * kBytesPerPixel,
+                        0)
+{
+    vs_assert(dim_ > 0, "zero-dimension macroblock");
+}
+
+Macroblock::Macroblock(std::uint32_t dim, std::vector<std::uint8_t> bytes)
+    : dim_(dim), bytes_(std::move(bytes))
+{
+    vs_assert(bytes_.size() ==
+                  static_cast<std::size_t>(dim_) * dim_ * kBytesPerPixel,
+              "macroblock byte count does not match dimension");
+}
+
+Pixel
+Macroblock::pixel(std::uint32_t i) const
+{
+    vs_assert(i < pixelCount(), "pixel index out of range");
+    const std::size_t off = static_cast<std::size_t>(i) * kBytesPerPixel;
+    return Pixel{bytes_[off], bytes_[off + 1], bytes_[off + 2]};
+}
+
+void
+Macroblock::setPixel(std::uint32_t i, const Pixel &p)
+{
+    vs_assert(i < pixelCount(), "pixel index out of range");
+    const std::size_t off = static_cast<std::size_t>(i) * kBytesPerPixel;
+    bytes_[off] = p.r;
+    bytes_[off + 1] = p.g;
+    bytes_[off + 2] = p.b;
+}
+
+void
+Macroblock::fill(const Pixel &p)
+{
+    for (std::uint32_t i = 0; i < pixelCount(); ++i)
+        setPixel(i, p);
+}
+
+std::uint32_t
+Macroblock::digest(HashKind kind) const
+{
+    return digest32(kind, bytes_.data(), bytes_.size());
+}
+
+std::uint16_t
+Macroblock::auxDigest() const
+{
+    return auxDigest16(bytes_.data(), bytes_.size());
+}
+
+Macroblock
+Macroblock::gradient() const
+{
+    const Pixel b = base();
+    Macroblock gab(dim_);
+    for (std::size_t i = 0; i < bytes_.size(); i += kBytesPerPixel) {
+        gab.bytes_[i] = static_cast<std::uint8_t>(bytes_[i] - b.r);
+        gab.bytes_[i + 1] = static_cast<std::uint8_t>(bytes_[i + 1] - b.g);
+        gab.bytes_[i + 2] = static_cast<std::uint8_t>(bytes_[i + 2] - b.b);
+    }
+    return gab;
+}
+
+std::uint32_t
+Macroblock::gradientDigest(HashKind kind) const
+{
+    return gradient().digest(kind);
+}
+
+Macroblock
+Macroblock::fromGradient(const Macroblock &gab, const Pixel &p)
+{
+    Macroblock mab(gab.dim_);
+    for (std::size_t i = 0; i < gab.bytes_.size(); i += kBytesPerPixel) {
+        mab.bytes_[i] = static_cast<std::uint8_t>(gab.bytes_[i] + p.r);
+        mab.bytes_[i + 1] = static_cast<std::uint8_t>(gab.bytes_[i + 1] + p.g);
+        mab.bytes_[i + 2] = static_cast<std::uint8_t>(gab.bytes_[i + 2] + p.b);
+    }
+    return mab;
+}
+
+Macroblock
+Macroblock::shifted(std::uint8_t dr, std::uint8_t dg, std::uint8_t db) const
+{
+    Macroblock out(dim_);
+    for (std::size_t i = 0; i < bytes_.size(); i += kBytesPerPixel) {
+        out.bytes_[i] = static_cast<std::uint8_t>(bytes_[i] + dr);
+        out.bytes_[i + 1] = static_cast<std::uint8_t>(bytes_[i + 1] + dg);
+        out.bytes_[i + 2] = static_cast<std::uint8_t>(bytes_[i + 2] + db);
+    }
+    return out;
+}
+
+bool
+Macroblock::operator==(const Macroblock &o) const
+{
+    return dim_ == o.dim_ && bytes_ == o.bytes_;
+}
+
+} // namespace vstream

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * RGB pixel type.
+ *
+ * The paper assumes frames reach the frame buffer in RGB (Android
+ * gralloc framebuffer format), 3 bytes per pixel; the MACH technique
+ * itself is colour-space agnostic.
+ */
+
+#ifndef VSTREAM_VIDEO_PIXEL_HH
+#define VSTREAM_VIDEO_PIXEL_HH
+
+#include <cstdint>
+
+namespace vstream
+{
+
+/** One 24-bit RGB pixel. */
+struct Pixel
+{
+    std::uint8_t r = 0;
+    std::uint8_t g = 0;
+    std::uint8_t b = 0;
+
+    bool
+    operator==(const Pixel &o) const
+    {
+        return r == o.r && g == o.g && b == o.b;
+    }
+};
+
+/** Bytes per pixel in the frame buffer. */
+constexpr std::uint32_t kBytesPerPixel = 3;
+
+} // namespace vstream
+
+#endif // VSTREAM_VIDEO_PIXEL_HH

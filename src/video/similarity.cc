@@ -1,0 +1,189 @@
+#include "video/similarity.hh"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "video/synthetic_video.hh"
+
+namespace vstream
+{
+
+double
+SimilarityReport::intraFraction() const
+{
+    return mabs ? static_cast<double>(intra_exact) /
+                      static_cast<double>(mabs)
+                : 0.0;
+}
+
+double
+SimilarityReport::interFraction() const
+{
+    return mabs ? static_cast<double>(inter_exact) /
+                      static_cast<double>(mabs)
+                : 0.0;
+}
+
+double
+SimilarityReport::noneFraction() const
+{
+    return mabs ? static_cast<double>(none_exact) /
+                      static_cast<double>(mabs)
+                : 0.0;
+}
+
+double
+SimilarityReport::gabMatchFraction() const
+{
+    return mabs ? static_cast<double>(intra_gab + inter_gab) /
+                      static_cast<double>(mabs)
+                : 0.0;
+}
+
+namespace
+{
+
+std::string
+keyOf(const std::vector<std::uint8_t> &bytes)
+{
+    return std::string(reinterpret_cast<const char *>(bytes.data()),
+                       bytes.size());
+}
+
+std::vector<double>
+shares(const std::unordered_map<std::string, std::uint64_t> &counts,
+       std::size_t k)
+{
+    std::vector<std::uint64_t> sorted;
+    sorted.reserve(counts.size());
+    std::uint64_t total = 0;
+    for (const auto &[key, n] : counts) {
+        sorted.push_back(n);
+        total += n;
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              std::greater<std::uint64_t>());
+    std::vector<double> out;
+    for (std::size_t i = 0; i < k && i < sorted.size(); ++i) {
+        out.push_back(total ? static_cast<double>(sorted[i]) /
+                                  static_cast<double>(total)
+                            : 0.0);
+    }
+    return out;
+}
+
+} // namespace
+
+SimilarityReport
+analyzeSimilarity(const VideoProfile &profile, std::uint32_t max_frames,
+                  std::uint32_t window, std::size_t top_k)
+{
+    VideoProfile p = profile;
+    if (max_frames > 0 && p.frame_count > max_frames)
+        p.frame_count = max_frames;
+
+    SyntheticVideo video(p);
+    SimilarityReport report;
+    report.inter_age_hist.assign(window, 0);
+
+    // Per-frame content sets for the window, newest at the front.
+    std::deque<std::unordered_set<std::string>> exact_window;
+    std::deque<std::unordered_set<std::string>> gab_window;
+
+    std::unordered_map<std::string, std::uint64_t> mab_match_counts;
+    std::unordered_map<std::string, std::uint64_t> gab_match_counts;
+
+    // Optimal (unbounded) dedup byte counters.
+    std::uint64_t opt_mab_bytes = 0;
+    std::uint64_t opt_gab_bytes = 0;
+    const std::uint64_t mab_bytes =
+        static_cast<std::uint64_t>(p.mab_dim) * p.mab_dim *
+        kBytesPerPixel;
+
+    while (!video.done()) {
+        const Frame frame = video.nextFrame();
+        std::unordered_set<std::string> cur_exact;
+        std::unordered_set<std::string> cur_gab;
+
+        for (std::uint32_t i = 0; i < frame.mabCount(); ++i) {
+            ++report.mabs;
+            const std::string mk = keyOf(frame.mab(i).bytes());
+            const std::string gk = keyOf(frame.mab(i).gradient().bytes());
+
+            // --- exact (mab) matching ------------------------------
+            bool matched = false;
+            if (cur_exact.count(mk)) {
+                ++report.intra_exact;
+                matched = true;
+            } else {
+                std::uint32_t age = 0;
+                for (const auto &s : exact_window) {
+                    if (s.count(mk)) {
+                        ++report.inter_exact;
+                        ++report.inter_age_hist[age];
+                        matched = true;
+                        break;
+                    }
+                    ++age;
+                }
+            }
+            if (matched) {
+                ++mab_match_counts[mk];
+                opt_mab_bytes += 4; // pointer
+            } else {
+                ++report.none_exact;
+                opt_mab_bytes += mab_bytes + 4;
+            }
+
+            // --- gradient (gab) matching ---------------------------
+            bool gab_matched = false;
+            if (cur_gab.count(gk)) {
+                ++report.intra_gab;
+                gab_matched = true;
+            } else {
+                for (const auto &s : gab_window) {
+                    if (s.count(gk)) {
+                        ++report.inter_gab;
+                        gab_matched = true;
+                        break;
+                    }
+                }
+            }
+            if (gab_matched) {
+                ++gab_match_counts[gk];
+                opt_gab_bytes += 4 + 3; // pointer + base
+            } else {
+                ++report.none_gab;
+                opt_gab_bytes += mab_bytes + 4 + 3;
+            }
+
+            cur_exact.insert(mk);
+            cur_gab.insert(gk);
+        }
+
+        exact_window.push_front(std::move(cur_exact));
+        gab_window.push_front(std::move(cur_gab));
+        while (exact_window.size() > window) {
+            exact_window.pop_back();
+            gab_window.pop_back();
+        }
+    }
+
+    const double baseline =
+        static_cast<double>(report.mabs) *
+        static_cast<double>(mab_bytes);
+    if (baseline > 0.0) {
+        report.optimal_mab_savings =
+            1.0 - static_cast<double>(opt_mab_bytes) / baseline;
+        report.optimal_gab_savings =
+            1.0 - static_cast<double>(opt_gab_bytes) / baseline;
+    }
+    report.top_mab_shares = shares(mab_match_counts, top_k);
+    report.top_gab_shares = shares(gab_match_counts, top_k);
+    return report;
+}
+
+} // namespace vstream

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Offline content-similarity analysis (paper Sec. 4.1).
+ *
+ * Measures, with unbounded memory (no cache-capacity effects), how
+ * many macroblocks of a video recur exactly within the same frame
+ * (intra), within the previous N frames (inter), or not at all - the
+ * Fig. 7b experiment - plus the gab-level equivalents, the digest
+ * match-concentration curves of Fig. 9b, and the "optimal" savings
+ * bound of Fig. 9a that a perfectly managed MACH could reach.
+ */
+
+#ifndef VSTREAM_VIDEO_SIMILARITY_HH
+#define VSTREAM_VIDEO_SIMILARITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "video/video_profile.hh"
+
+namespace vstream
+{
+
+/** Results of a full-video similarity sweep. */
+struct SimilarityReport
+{
+    std::uint64_t mabs = 0;
+
+    /** Exact-content (mab) matches. */
+    std::uint64_t intra_exact = 0;
+    std::uint64_t inter_exact = 0;
+    std::uint64_t none_exact = 0;
+
+    /** Gradient-block (gab) matches. */
+    std::uint64_t intra_gab = 0;
+    std::uint64_t inter_gab = 0;
+    std::uint64_t none_gab = 0;
+
+    /** Exact inter-matches by age (index 0 = previous frame). */
+    std::vector<std::uint64_t> inter_age_hist;
+
+    /** Shares of total matches of the top-k contents, descending. */
+    std::vector<double> top_mab_shares;
+    std::vector<double> top_gab_shares;
+
+    /** Savings of an unbounded (optimal) dedup store, incl. 4 B
+     * pointers and (gab) 3 B bases. */
+    double optimal_mab_savings = 0.0;
+    double optimal_gab_savings = 0.0;
+
+    double intraFraction() const;
+    double interFraction() const;
+    double noneFraction() const;
+    double gabMatchFraction() const;
+};
+
+/**
+ * Analyze @p profile (optionally capped to @p max_frames frames)
+ * against a copy window of @p window frames.
+ */
+SimilarityReport analyzeSimilarity(const VideoProfile &profile,
+                                   std::uint32_t max_frames = 0,
+                                   std::uint32_t window = 16,
+                                   std::size_t top_k = 32);
+
+} // namespace vstream
+
+#endif // VSTREAM_VIDEO_SIMILARITY_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic video source.
+ *
+ * Generates decoded frames whose macroblock-level content statistics
+ * are controlled by a VideoProfile: exact intra-frame repeats, exact
+ * inter-frame repeats (within a bounded window), constant-offset
+ * "gradient" repeats that only the gab representation can catch,
+ * pure-colour and smooth-ramp blocks, and unique noise blocks.
+ * Deterministic for a given profile (seed included).
+ */
+
+#ifndef VSTREAM_VIDEO_SYNTHETIC_VIDEO_HH
+#define VSTREAM_VIDEO_SYNTHETIC_VIDEO_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/random.hh"
+#include "video/frame.hh"
+#include "video/video_profile.hh"
+
+namespace vstream
+{
+
+/** Stream of synthetic decoded frames. */
+class SyntheticVideo
+{
+  public:
+    explicit SyntheticVideo(const VideoProfile &profile);
+
+    /** All frames emitted? */
+    bool done() const { return next_index_ >= profile_.frame_count; }
+
+    /** Generate the next frame (fatal when done()). */
+    Frame nextFrame();
+
+    std::uint64_t framesEmitted() const { return next_index_; }
+
+    /** Restart the stream from frame 0 (same content). */
+    void reset();
+
+    const VideoProfile &profile() const { return profile_; }
+
+  private:
+    Pixel paletteColor();
+    Macroblock uniqueMab();
+    Macroblock smoothMab();
+    /** Index of an earlier mab of the current frame to copy from
+     * (locality-biased). */
+    std::uint32_t intraSource(std::uint32_t i);
+    /** A mab from a recent window frame, near position @p i. */
+    const Macroblock &windowMabNear(std::uint32_t i);
+
+    VideoProfile profile_;
+    Random rng_;
+    std::uint64_t next_index_ = 0;
+    /** Most recent inter_window frames, newest at the back. */
+    std::deque<Frame> window_;
+    /** Cached ramp patterns (gradient blocks with zero base). */
+    std::vector<Macroblock> ramps_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_VIDEO_SYNTHETIC_VIDEO_HH

@@ -1,0 +1,200 @@
+#include "video/trace.hh"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "video/synthetic_video.hh"
+
+namespace vstream
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'V', 'S', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+/**
+ * CRC32 with the raw (pre-complement) state threaded through, so the
+ * reader and writer can accumulate across many fields and finalize
+ * once for the trailer.
+ */
+std::uint32_t
+crcUpdate(std::uint32_t state, const void *data, std::size_t len)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i)
+        state = table[(state ^ p[i]) & 0xffu] ^ (state >> 8);
+    return state;
+}
+
+template <typename T>
+void
+writePod(std::ostream &os, std::uint32_t &crc_state, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+    crc_state = crcUpdate(crc_state, &value, sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is, std::uint32_t &crc_state)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        vs_fatal("truncated video trace");
+    crc_state = crcUpdate(crc_state, &value, sizeof(T));
+    return value;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(std::ostream &os, const VideoProfile &profile,
+                         std::uint32_t frame_count)
+    : os_(os), expected_frames_(frame_count), mabs_x_(profile.mabsX()),
+      mabs_y_(profile.mabsY()), mab_dim_(profile.mab_dim),
+      running_crc_state_(0xffffffffu)
+{
+    os_.write(kMagic, sizeof(kMagic));
+    writePod(os_, running_crc_state_, kVersion);
+    writePod(os_, running_crc_state_, frame_count);
+    writePod(os_, running_crc_state_, mabs_x_);
+    writePod(os_, running_crc_state_, mabs_y_);
+    writePod(os_, running_crc_state_, mab_dim_);
+    writePod(os_, running_crc_state_, profile.fps);
+}
+
+void
+TraceWriter::append(const Frame &frame)
+{
+    vs_assert(!finished_, "append after finish()");
+    vs_assert(frames_written_ < expected_frames_,
+              "more frames than the header announced");
+    vs_assert(frame.mabsX() == mabs_x_ && frame.mabsY() == mabs_y_ &&
+                  frame.mabDim() == mab_dim_,
+              "frame geometry does not match the trace header");
+
+    writePod(os_, running_crc_state_,
+             static_cast<std::uint8_t>(frame.type()));
+    writePod(os_, running_crc_state_, frame.complexity());
+    writePod(os_, running_crc_state_, frame.encodedBytes());
+    for (std::uint32_t i = 0; i < frame.mabCount(); ++i) {
+        const auto &bytes = frame.mab(i).bytes();
+        os_.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        running_crc_state_ =
+            crcUpdate(running_crc_state_, bytes.data(), bytes.size());
+    }
+    ++frames_written_;
+}
+
+void
+TraceWriter::finish()
+{
+    vs_assert(!finished_, "finish() called twice");
+    vs_assert(frames_written_ == expected_frames_,
+              "header announced ", expected_frames_,
+              " frames but only ", frames_written_, " were appended");
+    const std::uint32_t digest = ~running_crc_state_;
+    os_.write(reinterpret_cast<const char *>(&digest), sizeof(digest));
+    finished_ = true;
+}
+
+TraceReader::TraceReader(std::istream &is)
+    : is_(is), running_crc_state_(0xffffffffu)
+{
+    char magic[4];
+    is_.read(magic, sizeof(magic));
+    if (!is_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        vs_fatal("not a vstream video trace (bad magic)");
+    const auto version = readPod<std::uint32_t>(is_, running_crc_state_);
+    if (version != kVersion)
+        vs_fatal("unsupported trace version ", version);
+    frame_count_ = readPod<std::uint32_t>(is_, running_crc_state_);
+    mabs_x_ = readPod<std::uint32_t>(is_, running_crc_state_);
+    mabs_y_ = readPod<std::uint32_t>(is_, running_crc_state_);
+    mab_dim_ = readPod<std::uint32_t>(is_, running_crc_state_);
+    fps_ = readPod<std::uint32_t>(is_, running_crc_state_);
+    if (mabs_x_ == 0 || mabs_y_ == 0 || mab_dim_ == 0)
+        vs_fatal("degenerate trace geometry");
+}
+
+Frame
+TraceReader::nextFrame()
+{
+    vs_assert(!done(), "trace exhausted");
+
+    const auto type = static_cast<FrameType>(
+        readPod<std::uint8_t>(is_, running_crc_state_));
+    const auto complexity = readPod<double>(is_, running_crc_state_);
+    const auto encoded = readPod<std::uint64_t>(is_, running_crc_state_);
+
+    Frame frame(frames_read_, type, mabs_x_, mabs_y_, mab_dim_);
+    frame.setComplexity(complexity);
+    frame.setEncodedBytes(encoded);
+
+    const std::size_t mab_bytes =
+        static_cast<std::size_t>(mab_dim_) * mab_dim_ * kBytesPerPixel;
+    std::vector<std::uint8_t> buf(mab_bytes);
+    for (std::uint32_t i = 0; i < frame.mabCount(); ++i) {
+        is_.read(reinterpret_cast<char *>(buf.data()),
+                 static_cast<std::streamsize>(buf.size()));
+        if (!is_)
+            vs_fatal("truncated video trace in frame ", frames_read_);
+        running_crc_state_ =
+            crcUpdate(running_crc_state_, buf.data(), buf.size());
+        frame.mab(i) = Macroblock(mab_dim_, buf);
+    }
+    ++frames_read_;
+    return frame;
+}
+
+bool
+TraceReader::verifyTrailer()
+{
+    vs_assert(done(), "trailer read before the last frame");
+    std::uint32_t stored = 0;
+    is_.read(reinterpret_cast<char *>(&stored), sizeof(stored));
+    if (!is_)
+        return false;
+    return stored == ~running_crc_state_;
+}
+
+void
+writeTrace(std::ostream &os, const VideoProfile &profile)
+{
+    SyntheticVideo video(profile);
+    TraceWriter writer(os, profile, profile.frame_count);
+    while (!video.done())
+        writer.append(video.nextFrame());
+    writer.finish();
+}
+
+std::vector<Frame>
+readTrace(std::istream &is)
+{
+    TraceReader reader(is);
+    std::vector<Frame> frames;
+    frames.reserve(reader.frameCount());
+    while (!reader.done())
+        frames.push_back(reader.nextFrame());
+    if (!reader.verifyTrailer())
+        vs_fatal("video trace failed its integrity check");
+    return frames;
+}
+
+} // namespace vstream

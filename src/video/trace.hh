@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Video trace serialization.
+ *
+ * The paper drives its simulator from macroblock traces captured
+ * with FFmpeg + Pin; this module provides the equivalent workflow
+ * for ours: a generated (or externally produced) sequence of decoded
+ * frames can be written to a compact binary trace and replayed later,
+ * decoupling content production from simulation and allowing traces
+ * to be shared between experiments.
+ *
+ * Format (little-endian):
+ *   header:  magic "VSTR", u32 version, u32 frame_count,
+ *            u32 mabs_x, u32 mabs_y, u32 mab_dim, u32 fps
+ *   frame:   u8 frame_type, f64 complexity, u64 encoded_bytes,
+ *            raw pixel bytes (mabs * dim * dim * 3)
+ *   trailer: u32 CRC32 over everything after the magic
+ */
+
+#ifndef VSTREAM_VIDEO_TRACE_HH
+#define VSTREAM_VIDEO_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "video/frame.hh"
+#include "video/video_profile.hh"
+
+namespace vstream
+{
+
+class SyntheticVideo;
+
+/** Writes frames to a binary trace stream. */
+class TraceWriter
+{
+  public:
+    /**
+     * @param os        destination stream (binary)
+     * @param profile   geometry/fps metadata recorded in the header
+     * @param frame_count number of frames that will be appended
+     */
+    TraceWriter(std::ostream &os, const VideoProfile &profile,
+                std::uint32_t frame_count);
+
+    /** Append one frame (must match the header geometry). */
+    void append(const Frame &frame);
+
+    /** Write the integrity trailer; no appends afterwards. */
+    void finish();
+
+    std::uint32_t framesWritten() const { return frames_written_; }
+
+  private:
+    std::ostream &os_;
+    std::uint32_t expected_frames_;
+    std::uint32_t frames_written_ = 0;
+    std::uint32_t mabs_x_;
+    std::uint32_t mabs_y_;
+    std::uint32_t mab_dim_;
+    std::uint32_t running_crc_state_;
+    bool finished_ = false;
+};
+
+/** Reads frames back from a binary trace stream. */
+class TraceReader
+{
+  public:
+    /** Parses the header; fatal on a malformed stream. */
+    explicit TraceReader(std::istream &is);
+
+    std::uint32_t frameCount() const { return frame_count_; }
+    std::uint32_t mabsX() const { return mabs_x_; }
+    std::uint32_t mabsY() const { return mabs_y_; }
+    std::uint32_t mabDim() const { return mab_dim_; }
+    std::uint32_t fps() const { return fps_; }
+
+    bool done() const { return frames_read_ >= frame_count_; }
+
+    /** Read the next frame (fatal when done or corrupt). */
+    Frame nextFrame();
+
+    /**
+     * After the last frame, validates the CRC trailer.
+     *
+     * @return true when the trace is intact.
+     */
+    bool verifyTrailer();
+
+  private:
+    std::istream &is_;
+    std::uint32_t frame_count_ = 0;
+    std::uint32_t mabs_x_ = 0;
+    std::uint32_t mabs_y_ = 0;
+    std::uint32_t mab_dim_ = 0;
+    std::uint32_t fps_ = 0;
+    std::uint32_t frames_read_ = 0;
+    std::uint32_t running_crc_state_;
+};
+
+/** Convenience: generate @p profile's video and trace it to @p os. */
+void writeTrace(std::ostream &os, const VideoProfile &profile);
+
+/**
+ * Convenience: load a whole trace into memory.
+ *
+ * @return frames, in display order (fatal on corruption).
+ */
+std::vector<Frame> readTrace(std::istream &is);
+
+} // namespace vstream
+
+#endif // VSTREAM_VIDEO_TRACE_HH

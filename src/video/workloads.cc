@@ -1,0 +1,264 @@
+#include "video/workloads.hh"
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+namespace
+{
+
+VideoProfile
+baseProfile(const std::string &key, const std::string &name,
+            const std::string &desc, std::uint32_t frames,
+            std::uint64_t seed)
+{
+    VideoProfile p;
+    p.key = key;
+    p.name = name;
+    p.description = desc;
+    p.frame_count = frames;
+    p.seed = seed;
+    return p;
+}
+
+std::vector<VideoProfile>
+buildTable()
+{
+    std::vector<VideoProfile> t;
+
+    // V1: satellite TV test card - static synthetic patterns, large
+    // flat regions, but the most demanding bitstream.
+    {
+        auto p = baseProfile("V1", "SES Astra", "TV Test Video", 6507, 101);
+        p.intra_match_rate = 0.40;
+        p.inter_match_rate = 0.18;
+        p.gradient_shift_rate = 0.06;
+        p.pure_color_rate = 0.28;
+        p.color_palette = 128;
+        p.mean_decode_frac = 0.78;
+        p.complexity_sigma = 0.14;
+        p.gop_pattern = "IPPPPPPP";
+        t.push_back(p);
+    }
+    // V2: 120 fps time-lapse - rapid global change, little reuse.
+    {
+        auto p = baseProfile("V2", "Honey Bees", "Timelapse @ 120 fps",
+                             5461, 102);
+        p.intra_match_rate = 0.27;
+        p.inter_match_rate = 0.07;
+        p.gradient_shift_rate = 0.07;
+        p.pure_color_rate = 0.12;
+        p.mean_decode_frac = 0.75;
+        p.complexity_sigma = 0.22;
+        t.push_back(p);
+    }
+    // V3: macro-lens home video - heavy bokeh, smooth gradients.
+    {
+        auto p = baseProfile("V3", "Puppies Bath",
+                             "Home Video; Macro Lens.", 3593, 103);
+        p.intra_match_rate = 0.31;
+        p.inter_match_rate = 0.12;
+        p.gradient_shift_rate = 0.14;
+        p.pure_color_rate = 0.16;
+        p.smooth_rate = 0.30;
+        p.mean_decode_frac = 0.70;
+        p.complexity_sigma = 0.18;
+        t.push_back(p);
+    }
+    // V4: NASA web-cam - mostly black space, but heavy frames with
+    // short slacks (the paper notes batching alone barely helps).
+    {
+        auto p = baseProfile("V4", "NASA", "NASA WebCam", 1758, 104);
+        p.intra_match_rate = 0.36;
+        p.inter_match_rate = 0.20;
+        p.gradient_shift_rate = 0.04;
+        p.pure_color_rate = 0.30;
+        p.color_palette = 96;
+        p.mean_decode_frac = 0.86;
+        p.complexity_sigma = 0.10;
+        p.gop_pattern = "IPPPPPPP";
+        t.push_back(p);
+    }
+    // V5-V8: movie trailers - letterbox bars, scene cuts.
+    {
+        auto p = baseProfile("V5", "Elysium", "2013 Movie Trailer",
+                             3176, 105);
+        p.intra_match_rate = 0.35;
+        p.inter_match_rate = 0.12;
+        p.gradient_shift_rate = 0.11;
+        p.pure_color_rate = 0.22;
+        p.scene_change_rate = 0.02;
+        p.mean_decode_frac = 0.72;
+        p.complexity_sigma = 0.20;
+        t.push_back(p);
+    }
+    {
+        auto p = baseProfile("V6", "Gone Girl", "2014 Movie Trailer",
+                             3591, 106);
+        p.intra_match_rate = 0.33;
+        p.inter_match_rate = 0.10;
+        p.gradient_shift_rate = 0.10;
+        p.pure_color_rate = 0.20;
+        p.scene_change_rate = 0.02;
+        p.mean_decode_frac = 0.74;
+        p.complexity_sigma = 0.22;
+        t.push_back(p);
+    }
+    {
+        auto p = baseProfile("V7", "Interstellar", "2014 Movie Trailer",
+                             2429, 107);
+        p.intra_match_rate = 0.37;
+        p.inter_match_rate = 0.14;
+        p.gradient_shift_rate = 0.11;
+        p.pure_color_rate = 0.28;
+        p.scene_change_rate = 0.015;
+        p.mean_decode_frac = 0.72;
+        p.complexity_sigma = 0.20;
+        t.push_back(p);
+    }
+    {
+        // The paper's best case for GAB (33% energy saving).
+        auto p = baseProfile("V8", "007 Skyfall", "2012 Movie Trailer",
+                             3676, 108);
+        p.intra_match_rate = 0.40;
+        p.inter_match_rate = 0.16;
+        p.gradient_shift_rate = 0.16;
+        p.pure_color_rate = 0.30;
+        p.color_palette = 192;
+        p.smooth_rate = 0.28;
+        p.mean_decode_frac = 0.70;
+        p.complexity_sigma = 0.18;
+        t.push_back(p);
+    }
+    // V9-V16: 4K game captures.
+    {
+        // The paper notes MAB barely pays for itself on V9.
+        auto p = baseProfile("V9", "Batman Origins",
+                             "Adventure Game Video", 4702, 109);
+        p.intra_match_rate = 0.10;
+        p.inter_match_rate = 0.05;
+        p.gradient_shift_rate = 0.06;
+        p.pure_color_rate = 0.06;
+        p.smooth_rate = 0.09;
+        p.mean_decode_frac = 0.72;
+        p.complexity_sigma = 0.20;
+        t.push_back(p);
+    }
+    {
+        auto p = baseProfile("V10", "Battlefield", "Shooter Game Video",
+                             2899, 110);
+        p.intra_match_rate = 0.29;
+        p.inter_match_rate = 0.12;
+        p.gradient_shift_rate = 0.10;
+        p.pure_color_rate = 0.14;
+        p.mean_decode_frac = 0.74;
+        p.complexity_sigma = 0.21;
+        t.push_back(p);
+    }
+    {
+        auto p = baseProfile("V11", "Call of Duty", "Action Game Video",
+                             5799, 111);
+        p.intra_match_rate = 0.31;
+        p.inter_match_rate = 0.14;
+        p.gradient_shift_rate = 0.11;
+        p.pure_color_rate = 0.15;
+        p.mean_decode_frac = 0.73;
+        p.complexity_sigma = 0.20;
+        t.push_back(p);
+    }
+    {
+        auto p = baseProfile("V12", "Crysis 3", "Survival Game Video",
+                             10147, 112);
+        p.intra_match_rate = 0.27;
+        p.inter_match_rate = 0.12;
+        p.gradient_shift_rate = 0.11;
+        p.pure_color_rate = 0.12;
+        p.mean_decode_frac = 0.75;
+        p.complexity_sigma = 0.22;
+        t.push_back(p);
+    }
+    {
+        auto p = baseProfile("V13", "Dear Esther",
+                             "Exploration Game Video", 1699, 113);
+        p.intra_match_rate = 0.37;
+        p.inter_match_rate = 0.17;
+        p.gradient_shift_rate = 0.13;
+        p.pure_color_rate = 0.19;
+        p.mean_decode_frac = 0.68;
+        p.complexity_sigma = 0.16;
+        t.push_back(p);
+    }
+    {
+        auto p = baseProfile("V14", "Metro LastNight",
+                             "Atmospheric Game Video", 4981, 114);
+        p.intra_match_rate = 0.33;
+        p.inter_match_rate = 0.14;
+        p.gradient_shift_rate = 0.11;
+        p.pure_color_rate = 0.17;
+        p.mean_decode_frac = 0.72;
+        p.complexity_sigma = 0.19;
+        t.push_back(p);
+    }
+    {
+        auto p = baseProfile("V15", "Tomb Raider",
+                             "Protagonist Game Video", 5981, 115);
+        p.intra_match_rate = 0.31;
+        p.inter_match_rate = 0.13;
+        p.gradient_shift_rate = 0.11;
+        p.pure_color_rate = 0.15;
+        p.mean_decode_frac = 0.73;
+        p.complexity_sigma = 0.20;
+        t.push_back(p);
+    }
+    {
+        auto p = baseProfile("V16", "Watch Dogs", "Hacking Game Video",
+                             3806, 116);
+        p.intra_match_rate = 0.30;
+        p.inter_match_rate = 0.12;
+        p.gradient_shift_rate = 0.10;
+        p.pure_color_rate = 0.14;
+        p.mean_decode_frac = 0.74;
+        p.complexity_sigma = 0.21;
+        t.push_back(p);
+    }
+
+    for (const auto &p : t)
+        p.validate();
+    return t;
+}
+
+} // namespace
+
+const std::vector<VideoProfile> &
+workloadTable()
+{
+    static const std::vector<VideoProfile> table = buildTable();
+    return table;
+}
+
+VideoProfile
+workload(const std::string &key)
+{
+    for (const auto &p : workloadTable())
+        if (p.key == key)
+            return p;
+    vs_fatal("unknown workload '", key, "'");
+}
+
+VideoProfile
+scaledWorkload(const std::string &key, std::uint32_t max_frames,
+               std::uint32_t width, std::uint32_t height)
+{
+    VideoProfile p = workload(key);
+    if (max_frames > 0 && p.frame_count > max_frames)
+        p.frame_count = max_frames;
+    if (width > 0)
+        p.width = width;
+    if (height > 0)
+        p.height = height;
+    p.validate();
+    return p;
+}
+
+} // namespace vstream

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The 16 workload videos of paper Table 1, as synthetic profiles.
+ *
+ * Each profile's similarity/complexity knobs are chosen to mimic the
+ * character the paper describes (TV test pattern, time-lapse, macro
+ * lens, web-cam, movie trailers, game captures) and the per-video
+ * behaviours called out in the evaluation (e.g. V4's short slacks,
+ * V8's best-case GAB savings, V9's marginal MAB benefit).
+ */
+
+#ifndef VSTREAM_VIDEO_WORKLOADS_HH
+#define VSTREAM_VIDEO_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "video/video_profile.hh"
+
+namespace vstream
+{
+
+/** All 16 profiles (V1..V16), full-length. */
+const std::vector<VideoProfile> &workloadTable();
+
+/** Profile by key ("V1".."V16"); fatal on unknown keys. */
+VideoProfile workload(const std::string &key);
+
+/**
+ * Profile resized for fast simulation: the frame count is capped at
+ * @p max_frames and the resolution overridden (0 keeps the default).
+ */
+VideoProfile scaledWorkload(const std::string &key,
+                            std::uint32_t max_frames,
+                            std::uint32_t width = 0,
+                            std::uint32_t height = 0);
+
+} // namespace vstream
+
+#endif // VSTREAM_VIDEO_WORKLOADS_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the generic set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cache/set_assoc_cache.hh"
+
+namespace vstream
+{
+namespace
+{
+
+CacheConfig
+tinyCache(std::uint32_t size = 1024, std::uint32_t assoc = 2,
+          bool write_alloc = true)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = size;
+    cfg.line_bytes = 64;
+    cfg.assoc = assoc;
+    cfg.write_allocate = write_alloc;
+    return cfg;
+}
+
+TEST(CacheConfig, Geometry)
+{
+    const CacheConfig cfg = tinyCache();
+    EXPECT_EQ(cfg.numLines(), 16u);
+    EXPECT_EQ(cfg.numSets(), 8u);
+    cfg.validate();
+}
+
+TEST(CacheConfigDeath, NonPow2Sets)
+{
+    CacheConfig cfg = tinyCache(1024, 1);
+    cfg.size_bytes = 64 * 12; // 12 sets
+    EXPECT_DEATH(cfg.validate(), "power of two");
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c("c", tinyCache());
+    const auto first = c.access(0, 64, MemOp::kRead);
+    EXPECT_EQ(first.misses, 1u);
+    EXPECT_EQ(first.fills.size(), 1u);
+    const auto second = c.access(0, 64, MemOp::kRead);
+    EXPECT_EQ(second.hits, 1u);
+    EXPECT_TRUE(second.fills.empty());
+    EXPECT_EQ(c.hitCount(), 1u);
+    EXPECT_EQ(c.missCount(), 1u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST(Cache, MultiLineAccessCountsEachLine)
+{
+    SetAssocCache c("c", tinyCache());
+    // 100 bytes starting at 60 spans lines 0,1,2.
+    const auto s = c.access(60, 100, MemOp::kRead);
+    EXPECT_EQ(s.lines, 3u);
+    EXPECT_EQ(s.misses, 3u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 2-way: fill a set with 2 lines, touch the first, insert a
+    // third; the second (least recent) must be the victim.
+    SetAssocCache c("c", tinyCache(1024, 2));
+    const Addr set_stride = 8 * 64; // sets * line
+    c.access(0, 64, MemOp::kRead);            // A
+    c.access(set_stride, 64, MemOp::kRead);   // B, same set
+    c.access(0, 64, MemOp::kRead);            // touch A
+    c.access(2 * set_stride, 64, MemOp::kRead); // C evicts B
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(set_stride));
+    EXPECT_TRUE(c.contains(2 * set_stride));
+    EXPECT_EQ(c.evictionCount(), 1u);
+}
+
+TEST(Cache, FifoIgnoresTouches)
+{
+    CacheConfig cfg = tinyCache(1024, 2);
+    cfg.policy = ReplPolicy::kFifo;
+    SetAssocCache c("c", cfg);
+    const Addr set_stride = 8 * 64;
+    c.access(0, 64, MemOp::kRead);            // A
+    c.access(set_stride, 64, MemOp::kRead);   // B
+    c.access(0, 64, MemOp::kRead);            // touch A (ignored)
+    c.access(2 * set_stride, 64, MemOp::kRead); // evicts A (oldest)
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(set_stride));
+}
+
+TEST(Cache, WriteNoAllocateBypasses)
+{
+    SetAssocCache c("c", tinyCache(1024, 2, /*write_alloc=*/false));
+    const auto s = c.access(0, 64, MemOp::kWrite);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(s.fills.empty());
+    // Write hits still update state.
+    c.access(0, 64, MemOp::kRead);
+    const auto s2 = c.access(0, 64, MemOp::kWrite);
+    EXPECT_EQ(s2.hits, 1u);
+}
+
+TEST(Cache, DirtyEvictionProducesWriteback)
+{
+    SetAssocCache c("c", tinyCache(1024, 1)); // direct-mapped
+    const Addr set_stride = 16 * 64;
+    c.access(0, 64, MemOp::kWrite); // allocate dirty
+    const auto s = c.access(set_stride, 64, MemOp::kRead); // conflict
+    ASSERT_EQ(s.writebacks.size(), 1u);
+    EXPECT_EQ(s.writebacks[0], 0u);
+    EXPECT_EQ(c.writebackCount(), 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    SetAssocCache c("c", tinyCache(1024, 1));
+    const Addr set_stride = 16 * 64;
+    c.access(0, 64, MemOp::kRead);
+    const auto s = c.access(set_stride, 64, MemOp::kRead);
+    EXPECT_TRUE(s.writebacks.empty());
+}
+
+TEST(Cache, WriteThroughNeverDirty)
+{
+    CacheConfig cfg = tinyCache(1024, 1);
+    cfg.write_back = false;
+    SetAssocCache c("c", cfg);
+    c.access(0, 64, MemOp::kWrite);
+    const Addr set_stride = 16 * 64;
+    const auto s = c.access(set_stride, 64, MemOp::kRead);
+    EXPECT_TRUE(s.writebacks.empty());
+}
+
+TEST(Cache, FlushReturnsDirtyLinesOnly)
+{
+    SetAssocCache c("c", tinyCache());
+    c.access(0, 64, MemOp::kWrite);
+    c.access(64, 64, MemOp::kRead);
+    c.access(128, 64, MemOp::kWrite);
+    auto dirty = c.flush();
+    std::sort(dirty.begin(), dirty.end());
+    EXPECT_EQ(dirty, (std::vector<Addr>{0, 128}));
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.contains(64));
+}
+
+TEST(Cache, InvalidateDropsEverything)
+{
+    SetAssocCache c("c", tinyCache());
+    c.access(0, 64, MemOp::kWrite);
+    c.invalidateAll();
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.flush().empty()); // dirty data dropped
+}
+
+TEST(Cache, ContainsDoesNotPerturb)
+{
+    SetAssocCache c("c", tinyCache());
+    c.access(0, 64, MemOp::kRead);
+    const auto hits_before = c.hitCount();
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(1 << 20));
+    EXPECT_EQ(c.hitCount(), hits_before);
+}
+
+TEST(Cache, StreamingWorkingSetLargerThanCacheThrashes)
+{
+    SetAssocCache c("c", tinyCache(1024, 2));
+    // Two passes over 4 KB > 1 KB cache: second pass misses too.
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr a = 0; a < 4096; a += 64)
+            c.access(a, 64, MemOp::kRead);
+    EXPECT_GT(c.missRate(), 0.9);
+}
+
+TEST(Cache, SmallWorkingSetFitsAfterWarmup)
+{
+    SetAssocCache c("c", tinyCache(1024, 2));
+    for (int pass = 0; pass < 10; ++pass)
+        for (Addr a = 0; a < 512; a += 64)
+            c.access(a, 64, MemOp::kRead);
+    // 8 cold misses out of 80 accesses.
+    EXPECT_NEAR(c.missRate(), 0.1, 1e-9);
+}
+
+class AssocSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(AssocSweep, HigherAssociativityNeverHurtsThisPattern)
+{
+    // A cyclic pattern over assoc+? lines in one set region.
+    const std::uint32_t assoc = GetParam();
+    SetAssocCache c("c", tinyCache(4096, assoc));
+    const std::uint32_t sets = c.config().numSets();
+    // Touch `assoc` lines mapping to set 0 repeatedly: always fits.
+    for (int pass = 0; pass < 5; ++pass)
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            c.access(static_cast<Addr>(w) * sets * 64, 64, MemOp::kRead);
+    EXPECT_EQ(c.missCount(), assoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, AssocSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+class SizeSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SizeSweep, MissRateMonotoneInSizeForLoopingPattern)
+{
+    // Fig. 7a's premise: bigger caches help looping (compute-side)
+    // access patterns.
+    const std::uint32_t size_kb = GetParam();
+    SetAssocCache c("c", tinyCache(size_kb * 1024, 4));
+    for (int pass = 0; pass < 4; ++pass)
+        for (Addr a = 0; a < 64 * 1024; a += 64)
+            c.access(a, 64, MemOp::kRead);
+    RecordProperty("missRate", c.missRate());
+    if (size_kb >= 64)
+        EXPECT_NEAR(c.missRate(), 0.25, 0.01); // cold misses only
+    else
+        EXPECT_GT(c.missRate(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(16u, 32u, 64u, 128u));
+
+} // namespace
+} // namespace vstream

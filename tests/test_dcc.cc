@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the Delta Color Compression model (the paper's Sec. 6.2
+ * comparator).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dcc.hh"
+#include "sim/random.hh"
+
+namespace vstream
+{
+namespace
+{
+
+Macroblock
+pure(std::uint8_t r, std::uint8_t g, std::uint8_t b)
+{
+    Macroblock m(4);
+    m.fill(Pixel{r, g, b});
+    return m;
+}
+
+TEST(Dcc, PureColorCompressesToHeaderPlusBase)
+{
+    const DccResult r = dccCompress(pure(120, 0, 255));
+    EXPECT_TRUE(r.compressed);
+    // 2 B header + 3 B base + 0 payload bits.
+    EXPECT_EQ(r.compressed_bytes, 5u);
+    EXPECT_LT(r.ratio(48), 0.15);
+}
+
+TEST(Dcc, SmallDeltasPackTightly)
+{
+    Macroblock m(4);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        const auto v = static_cast<std::uint8_t>(100 + (i % 2));
+        m.setPixel(i, Pixel{v, v, v});
+    }
+    const DccResult r = dccCompress(m);
+    EXPECT_TRUE(r.compressed);
+    // Delta of 1 -> 2 signed bits per channel; 15 pixels * 6 bits.
+    EXPECT_EQ(r.compressed_bytes, 2u + 3u + (15u * 6u + 7u) / 8u);
+}
+
+TEST(Dcc, RandomNoiseIsIncompressible)
+{
+    Random rng(21);
+    int incompressible = 0;
+    for (int t = 0; t < 50; ++t) {
+        Macroblock m(4);
+        for (auto &b : m.bytes())
+            b = static_cast<std::uint8_t>(rng.next());
+        const DccResult r = dccCompress(m);
+        if (!r.compressed) {
+            // Raw fallback: original size plus the mode byte.
+            EXPECT_EQ(r.compressed_bytes, 49u);
+            ++incompressible;
+        }
+    }
+    EXPECT_GT(incompressible, 40);
+}
+
+TEST(Dcc, GradientRampCompresses)
+{
+    Macroblock m(4);
+    for (std::uint32_t y = 0; y < 4; ++y)
+        for (std::uint32_t x = 0; x < 4; ++x) {
+            const auto v = static_cast<std::uint8_t>(50 + 4 * x + y);
+            m.setPixel(y * 4 + x, Pixel{v, v, v});
+        }
+    const DccResult r = dccCompress(m);
+    EXPECT_TRUE(r.compressed);
+    // Max delta 15 -> 5 signed bits/channel: 34 of 48 bytes.
+    EXPECT_LT(r.ratio(48), 0.75);
+}
+
+TEST(Dcc, NeverLargerThanRawPlusHeader)
+{
+    Random rng(22);
+    for (int t = 0; t < 200; ++t) {
+        Macroblock m(4);
+        for (auto &b : m.bytes())
+            b = static_cast<std::uint8_t>(rng.next());
+        const DccResult r = dccCompress(m);
+        EXPECT_LE(r.compressed_bytes, 49u);
+        EXPECT_GE(r.compressed_bytes, 5u);
+    }
+}
+
+TEST(Dcc, LargerBlocksAmortizeTheBase)
+{
+    // 8x8 pure-colour block: still 5 bytes.
+    Macroblock m(8);
+    m.fill(Pixel{1, 2, 3});
+    const DccResult r = dccCompress(m);
+    EXPECT_EQ(r.compressed_bytes, 5u);
+    EXPECT_LT(r.ratio(m.sizeBytes()), 0.03);
+}
+
+TEST(Dcc, RatioOfZeroRawIsOne)
+{
+    DccResult r;
+    r.compressed_bytes = 10;
+    EXPECT_DOUBLE_EQ(r.ratio(0), 1.0);
+}
+
+} // namespace
+} // namespace vstream

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the MACH content cache: per-frame caches, the 8-deep
+ * array, LRU within sets, intra/inter classification, digest-match
+ * bookkeeping, and the CO-MACH collision detector (including a real
+ * brute-forced CRC32 collision).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/co_mach.hh"
+#include "core/mach_array.hh"
+#include "core/mach_cache.hh"
+#include "hash/crc.hh"
+#include "sim/random.hh"
+
+namespace vstream
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+blockOf(std::uint8_t fill, std::size_t n = 48)
+{
+    return std::vector<std::uint8_t>(n, fill);
+}
+
+MachConfig
+smallConfig()
+{
+    MachConfig cfg;
+    cfg.num_machs = 4;
+    cfg.entries = 16;
+    cfg.ways = 4;
+    return cfg;
+}
+
+TEST(MachConfig, DefaultsMatchPaperDesignPoint)
+{
+    MachConfig cfg;
+    EXPECT_EQ(cfg.num_machs, 8u);
+    EXPECT_EQ(cfg.entries, 256u);
+    EXPECT_EQ(cfg.ways, 4u);
+    EXPECT_EQ(cfg.sets(), 64u); // 6 index bits, as in Sec. 4.4
+    cfg.validate();
+}
+
+TEST(MachConfigDeath, BadGeometry)
+{
+    MachConfig cfg;
+    cfg.entries = 100; // 25 sets: not a power of two
+    EXPECT_DEATH(cfg.validate(), "power of two");
+}
+
+TEST(MachCache, InsertThenLookup)
+{
+    const MachConfig cfg = smallConfig();
+    MachCache cache(cfg);
+    const auto truth = blockOf(7);
+    cache.insert(0x1234, 0, 0xf00, truth);
+    const MachProbe p = cache.lookup(0x1234, 0, truth);
+    EXPECT_TRUE(p.hit);
+    EXPECT_EQ(p.ptr, 0xf00u);
+    EXPECT_FALSE(p.collision_undetected);
+    EXPECT_EQ(cache.validCount(), 1u);
+}
+
+TEST(MachCache, MissOnAbsentDigest)
+{
+    MachCache cache(smallConfig());
+    EXPECT_FALSE(cache.lookup(0xdead, 0, blockOf(1)).hit);
+}
+
+TEST(MachCache, LruEvictionWithinSet)
+{
+    const MachConfig cfg = smallConfig(); // 4 sets, 4 ways
+    MachCache cache(cfg);
+    const std::uint32_t sets = cfg.sets();
+    // Five digests mapping to set 0.
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        cache.insert(i * sets, 0, i,
+                     blockOf(static_cast<std::uint8_t>(i)));
+    }
+    // The first (LRU) entry must be gone; the rest present.
+    EXPECT_FALSE(cache.lookup(0, 0, blockOf(0)).hit);
+    for (std::uint32_t i = 1; i < 5; ++i)
+        EXPECT_TRUE(cache.lookup(i * sets, 0,
+                                 blockOf(static_cast<std::uint8_t>(i)))
+                        .hit);
+}
+
+TEST(MachCache, LookupRefreshesLru)
+{
+    const MachConfig cfg = smallConfig();
+    MachCache cache(cfg);
+    const std::uint32_t sets = cfg.sets();
+    for (std::uint32_t i = 0; i < 4; ++i)
+        cache.insert(i * sets, 0, i,
+                     blockOf(static_cast<std::uint8_t>(i)));
+    // Touch entry 0, then insert a fifth: victim must be entry 1.
+    cache.lookup(0, 0, blockOf(0));
+    cache.insert(4 * sets, 0, 4, blockOf(4));
+    EXPECT_TRUE(cache.lookup(0, 0, blockOf(0)).hit);
+    EXPECT_FALSE(cache.lookup(sets, 0, blockOf(1)).hit);
+}
+
+TEST(MachCache, UndetectedCollisionFlagged)
+{
+    // Same digest, different content, no CO-MACH: the probe hits the
+    // wrong block and reports collision_undetected.
+    MachCache cache(smallConfig());
+    cache.insert(0xabcd, 0, 1, blockOf(1));
+    const MachProbe p = cache.lookup(0xabcd, 0, blockOf(2));
+    EXPECT_TRUE(p.hit);
+    EXPECT_TRUE(p.collision_undetected);
+}
+
+TEST(MachCache, CoMachAuxDetectsCollision)
+{
+    MachConfig cfg = smallConfig();
+    cfg.co_mach = true;
+    MachCache cache(cfg);
+    cache.insert(0xabcd, /*aux=*/0x11, 1, blockOf(1));
+    // Same CRC32, different CRC16: detected, treated as a miss.
+    const MachProbe p = cache.lookup(0xabcd, 0x22, blockOf(2));
+    EXPECT_FALSE(p.hit);
+    EXPECT_TRUE(p.collision_detected);
+}
+
+TEST(MachCache, FullTagsCompareAux)
+{
+    MachConfig cfg = smallConfig();
+    MachCache cache(cfg, cfg.entries, /*full_tags=*/true);
+    cache.insert(0xabcd, 0x11, 1, blockOf(1));
+    EXPECT_FALSE(cache.lookup(0xabcd, 0x22, blockOf(2)).hit);
+    EXPECT_TRUE(cache.lookup(0xabcd, 0x11, blockOf(1)).hit);
+}
+
+TEST(MachCacheDeath, FrozenInsertPanics)
+{
+    MachCache cache(smallConfig());
+    cache.freeze();
+    EXPECT_DEATH(cache.insert(1, 0, 1, blockOf(1)), "frozen");
+}
+
+TEST(MachCache, DumpBytesCountsValidEntries)
+{
+    const MachConfig cfg = smallConfig();
+    MachCache cache(cfg);
+    EXPECT_EQ(cache.dumpBytes(), 0u);
+    cache.insert(1, 0, 10, blockOf(1));
+    cache.insert(2, 0, 20, blockOf(2));
+    EXPECT_EQ(cache.dumpBytes(),
+              2u * (cfg.digest_bytes + cfg.pointer_bytes));
+    EXPECT_EQ(cache.validEntries().size(), 2u);
+}
+
+TEST(MachArray, IntraVsInterClassification)
+{
+    MachArray arr(smallConfig());
+    arr.beginFrame();
+    arr.insertUnique(0x10, 0, 100, blockOf(1), false);
+
+    // Same frame: intra.
+    auto r = arr.lookup(0x10, 0, blockOf(1));
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.inter);
+    EXPECT_EQ(r.frame_age, 0u);
+    EXPECT_EQ(r.ptr, 100u);
+
+    // Next frame: the old MACH freezes into history -> inter.
+    arr.beginFrame();
+    r = arr.lookup(0x10, 0, blockOf(1));
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.inter);
+    EXPECT_EQ(r.frame_age, 1u);
+
+    EXPECT_EQ(arr.stats().intra_hits, 1u);
+    EXPECT_EQ(arr.stats().inter_hits, 1u);
+}
+
+TEST(MachArray, HistoryBoundedByNumMachs)
+{
+    MachConfig cfg = smallConfig();
+    cfg.num_machs = 3; // current + 2 previous
+    MachArray arr(cfg);
+    arr.beginFrame();
+    arr.insertUnique(0x42, 0, 1, blockOf(9), false);
+    // Age the entry past the window.
+    for (int i = 0; i < 3; ++i)
+        arr.beginFrame();
+    EXPECT_FALSE(arr.lookup(0x42, 0, blockOf(9)).hit);
+    EXPECT_LE(arr.history().size(), 2u);
+}
+
+TEST(MachArray, CurrentFrameWinsOverHistory)
+{
+    MachArray arr(smallConfig());
+    arr.beginFrame();
+    arr.insertUnique(0x7, 0, 111, blockOf(3), false);
+    arr.beginFrame();
+    arr.insertUnique(0x7, 0, 222, blockOf(3), false);
+    const auto r = arr.lookup(0x7, 0, blockOf(3));
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.inter); // found in the current frame first
+    EXPECT_EQ(r.ptr, 222u);
+}
+
+TEST(MachArray, MatchCountsFeedTopShares)
+{
+    MachArray arr(smallConfig());
+    arr.beginFrame();
+    arr.insertUnique(0xa, 0, 1, blockOf(1), false);
+    arr.insertUnique(0xb, 0, 2, blockOf(2), false);
+    for (int i = 0; i < 3; ++i)
+        arr.lookup(0xa, 0, blockOf(1));
+    arr.lookup(0xb, 0, blockOf(2));
+    const auto shares = arr.topMatchShares(4);
+    ASSERT_EQ(shares.size(), 2u);
+    EXPECT_DOUBLE_EQ(shares[0], 0.75);
+    EXPECT_DOUBLE_EQ(shares[1], 0.25);
+}
+
+TEST(MachArray, MissesCounted)
+{
+    MachArray arr(smallConfig());
+    arr.beginFrame();
+    arr.lookup(0x1, 0, blockOf(1));
+    arr.lookup(0x2, 0, blockOf(2));
+    EXPECT_EQ(arr.stats().misses, 2u);
+    EXPECT_EQ(arr.stats().lookups, 2u);
+    EXPECT_DOUBLE_EQ(arr.stats().hitRate(), 0.0);
+}
+
+TEST(CoMach, PerFrameReset)
+{
+    MachConfig cfg = smallConfig();
+    cfg.co_mach = true;
+    CoMach co(cfg);
+    co.insert(0x1, 0x2, 99, blockOf(5));
+    EXPECT_TRUE(co.lookup(0x1, 0x2, blockOf(5)).hit);
+    co.beginFrame();
+    EXPECT_FALSE(co.lookup(0x1, 0x2, blockOf(5)).hit);
+    EXPECT_EQ(co.insertCount(), 1u);
+}
+
+TEST(MachArray, CollidedInsertGoesToCoMach)
+{
+    MachConfig cfg = smallConfig();
+    cfg.co_mach = true;
+    MachArray arr(cfg);
+    arr.beginFrame();
+    arr.insertUnique(0x99, 0x01, 1, blockOf(1), false);
+    // Pretend a lookup detected a collision; the new block lands in
+    // CO-MACH under its full 48-bit tag.
+    arr.insertUnique(0x99, 0x02, 2, blockOf(2), true);
+    EXPECT_EQ(arr.coMachInserts(), 1u);
+    // Both are now findable (different aux).
+    EXPECT_EQ(arr.lookup(0x99, 0x01, blockOf(1)).ptr, 1u);
+    EXPECT_EQ(arr.lookup(0x99, 0x02, blockOf(2)).ptr, 2u);
+}
+
+/** Brute-force a genuine CRC32 collision between distinct 48-byte
+ * blocks and check the CO-MACH mechanism end to end. */
+TEST(CoMach, RealCrc32CollisionIsDetected)
+{
+    Random rng(2024);
+    std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> seen;
+    std::vector<std::uint8_t> a, b;
+    for (int i = 0; i < 500000; ++i) {
+        std::vector<std::uint8_t> block(48);
+        for (auto &byte : block)
+            byte = static_cast<std::uint8_t>(rng.next());
+        const std::uint32_t d = Crc32::compute(block.data(), 48);
+        auto [it, fresh] = seen.emplace(d, block);
+        if (!fresh && it->second != block) {
+            a = it->second;
+            b = block;
+            break;
+        }
+    }
+    ASSERT_FALSE(a.empty()) << "no CRC32 collision found (unlucky seed)";
+    ASSERT_NE(a, b);
+    const std::uint32_t d = Crc32::compute(a.data(), 48);
+    ASSERT_EQ(d, Crc32::compute(b.data(), 48));
+
+    // CRC16s differ with overwhelming probability.
+    const std::uint16_t aux_a = Crc16::compute(a.data(), 48);
+    const std::uint16_t aux_b = Crc16::compute(b.data(), 48);
+    ASSERT_NE(aux_a, aux_b) << "CRC16 also collided; astronomically "
+                               "unlikely";
+
+    MachConfig cfg;
+    cfg.co_mach = true;
+    MachArray arr(cfg);
+    arr.beginFrame();
+    arr.insertUnique(d, aux_a, 10, a, false);
+
+    const auto r = arr.lookup(d, aux_b, b);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.collision_detected);
+
+    // Without CO-MACH the same lookup silently returns block a.
+    MachConfig plain;
+    plain.co_mach = false;
+    MachArray bad(plain);
+    bad.beginFrame();
+    bad.insertUnique(d, 0, 10, a, false);
+    const auto rb = bad.lookup(d, 0, b);
+    EXPECT_TRUE(rb.hit);
+    EXPECT_TRUE(rb.collision_undetected);
+}
+
+class MachWaySweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(MachWaySweep, CapacityIsEntriesRegardlessOfWays)
+{
+    MachConfig cfg;
+    cfg.entries = 64;
+    cfg.ways = GetParam();
+    cfg.validate();
+    MachCache cache(cfg);
+    // Insert exactly `entries` digests with distinct set indices
+    // spread uniformly: all must be resident.
+    for (std::uint32_t i = 0; i < cfg.entries; ++i)
+        cache.insert(i, 0, i, blockOf(static_cast<std::uint8_t>(i)));
+    EXPECT_EQ(cache.validCount(), cfg.entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, MachWaySweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace
+} // namespace vstream

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the power-state machine and the break-even sleep
+ * governor (the baseline decision logic of paper Sec. 2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_breakdown.hh"
+#include "power/power_state.hh"
+#include "power/sleep_governor.hh"
+
+namespace vstream
+{
+namespace
+{
+
+TEST(VdPowerConfig, DefaultsAreOrderedAndValid)
+{
+    VdPowerConfig cfg;
+    cfg.validate();
+    EXPECT_LT(cfg.p_s3_w, cfg.p_s1_w);
+    EXPECT_LT(cfg.p_s1_w, cfg.p_short_slack_w);
+    EXPECT_LT(cfg.p_short_slack_w, cfg.p_active_low_w);
+    EXPECT_LT(cfg.p_active_low_w, cfg.p_active_high_w);
+}
+
+TEST(VdPowerConfig, ActivePowerPerFrequency)
+{
+    VdPowerConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.activePower(VdFrequency::kLow), 0.30);
+    EXPECT_DOUBLE_EQ(cfg.activePower(VdFrequency::kHigh), 0.69);
+    EXPECT_DOUBLE_EQ(cfg.frequencyHz(VdFrequency::kLow), 150e6);
+    EXPECT_DOUBLE_EQ(cfg.frequencyHz(VdFrequency::kHigh), 300e6);
+}
+
+TEST(VdPowerConfig, RoundTripLatencies)
+{
+    VdPowerConfig cfg;
+    // Paper: S1 round trip 0.8 ms, S3 1.6 ms.
+    EXPECT_EQ(cfg.roundTripLatency(PowerState::kSleepS1),
+              static_cast<Tick>(0.8 * sim_clock::ms));
+    EXPECT_EQ(cfg.roundTripLatency(PowerState::kSleepS3),
+              static_cast<Tick>(1.6 * sim_clock::ms));
+    EXPECT_EQ(cfg.roundTripLatency(PowerState::kShortSlack), 0u);
+}
+
+TEST(VdPowerConfig, HighFrequencyTransitionsCostMore)
+{
+    VdPowerConfig cfg;
+    EXPECT_GT(cfg.roundTripEnergy(PowerState::kSleepS1,
+                                  VdFrequency::kHigh),
+              cfg.roundTripEnergy(PowerState::kSleepS1,
+                                  VdFrequency::kLow));
+    EXPECT_DOUBLE_EQ(
+        cfg.roundTripEnergy(PowerState::kSleepS3, VdFrequency::kHigh),
+        cfg.e_s3_round_j * cfg.trans_high_factor);
+}
+
+TEST(VdPowerConfigDeath, UnorderedPowersFatal)
+{
+    VdPowerConfig cfg;
+    cfg.p_s1_w = cfg.p_short_slack_w + 0.1;
+    EXPECT_DEATH(cfg.validate(), "ordered");
+}
+
+TEST(PowerState, Names)
+{
+    EXPECT_EQ(powerStateName(PowerState::kSleepS3), "S3");
+    EXPECT_EQ(powerStateName(PowerState::kShortSlack), "short-slack");
+}
+
+TEST(SleepGovernor, TinySlackStaysAwake)
+{
+    SleepGovernor gov{VdPowerConfig{}};
+    const SleepDecision d = gov.decide(sim_clock::us * 100);
+    EXPECT_EQ(d.state, PowerState::kShortSlack);
+    EXPECT_EQ(d.sleep_time, 0u);
+    EXPECT_DOUBLE_EQ(d.transition_energy_j, 0.0);
+}
+
+TEST(SleepGovernor, HugeSlackDeepSleeps)
+{
+    SleepGovernor gov{VdPowerConfig{}};
+    const SleepDecision d = gov.decide(200 * sim_clock::ms);
+    EXPECT_EQ(d.state, PowerState::kSleepS3);
+    EXPECT_EQ(d.transition_time,
+              gov.config().roundTripLatency(PowerState::kSleepS3));
+    EXPECT_EQ(d.sleep_time + d.transition_time, 200 * sim_clock::ms);
+}
+
+TEST(SleepGovernor, ChoosesMinimumEnergyState)
+{
+    const VdPowerConfig cfg;
+    SleepGovernor gov(cfg);
+    for (Tick slack = sim_clock::ms / 10; slack < 50 * sim_clock::ms;
+         slack += sim_clock::ms / 4) {
+        const SleepDecision d = gov.decide(slack);
+        // The decision must never cost more than staying awake.
+        const double awake =
+            cfg.p_short_slack_w * ticksToSeconds(slack);
+        EXPECT_LE(d.energy_j, awake + 1e-12) << "slack " << slack;
+    }
+}
+
+TEST(SleepGovernor, DecisionEnergyIsSelfConsistent)
+{
+    const VdPowerConfig cfg;
+    SleepGovernor gov(cfg);
+    const Tick slack = 30 * sim_clock::ms;
+    const SleepDecision d = gov.decide(slack);
+    ASSERT_EQ(d.state, PowerState::kSleepS3);
+    const double expected =
+        cfg.e_s3_round_j + cfg.p_s3_w * ticksToSeconds(d.sleep_time);
+    EXPECT_NEAR(d.energy_j, expected, 1e-12);
+    EXPECT_DOUBLE_EQ(d.transition_energy_j, cfg.e_s3_round_j);
+}
+
+TEST(SleepGovernor, BreakEvenMatchesDecisionFlip)
+{
+    const VdPowerConfig cfg;
+    SleepGovernor gov(cfg);
+    for (PowerState s :
+         {PowerState::kSleepS1, PowerState::kSleepS3}) {
+        const Tick be = gov.breakEvenSlack(s);
+        // Just below break-even, state s must not beat short slack.
+        const double below_sleep_cost =
+            cfg.roundTripEnergy(s) +
+            cfg.sleepPower(s) *
+                ticksToSeconds(be * 99 / 100 -
+                               cfg.roundTripLatency(s));
+        const double below_awake_cost =
+            cfg.p_short_slack_w * ticksToSeconds(be * 99 / 100);
+        EXPECT_GE(below_sleep_cost, below_awake_cost * 0.999);
+        // Well above it, sleeping wins.
+        const SleepDecision d = gov.decide(be * 3);
+        EXPECT_NE(d.state, PowerState::kShortSlack);
+    }
+}
+
+TEST(SleepGovernor, HighFrequencyRaisesTheBar)
+{
+    SleepGovernor gov{VdPowerConfig{}};
+    EXPECT_GT(
+        gov.breakEvenSlack(PowerState::kSleepS1, VdFrequency::kHigh),
+        gov.breakEvenSlack(PowerState::kSleepS1, VdFrequency::kLow));
+}
+
+TEST(SleepGovernor, WindowBelowLatencyCannotSleep)
+{
+    const VdPowerConfig cfg;
+    SleepGovernor gov(cfg);
+    const Tick slack =
+        cfg.roundTripLatency(PowerState::kSleepS1) - 1;
+    EXPECT_EQ(gov.decide(slack).state, PowerState::kShortSlack);
+}
+
+TEST(EnergyBreakdown, TotalSumsAllCategories)
+{
+    EnergyBreakdown e;
+    e.dc = 1;
+    e.mem_background = 2;
+    e.vd_processing = 3;
+    e.sleep = 4;
+    e.short_slack = 5;
+    e.mem_burst = 6;
+    e.mem_act_pre = 7;
+    e.transition = 8;
+    e.mach_overhead = 9;
+    EXPECT_DOUBLE_EQ(e.total(), 45.0);
+    EXPECT_DOUBLE_EQ(e.memoryTotal(), 15.0);
+}
+
+TEST(EnergyBreakdown, AdditionAndNormalization)
+{
+    EnergyBreakdown a;
+    a.dc = 2.0;
+    EnergyBreakdown b;
+    b.mem_burst = 4.0;
+    const EnergyBreakdown sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.total(), 6.0);
+    const EnergyBreakdown norm = sum.normalizedTo(2.0);
+    EXPECT_DOUBLE_EQ(norm.dc, 1.0);
+    EXPECT_DOUBLE_EQ(norm.mem_burst, 2.0);
+    // Normalizing by zero leaves values untouched.
+    EXPECT_DOUBLE_EQ(sum.normalizedTo(0.0).total(), 6.0);
+}
+
+TEST(EnergyBreakdown, RowHasTenColumns)
+{
+    EnergyBreakdown e;
+    e.dc = 1.0;
+    std::string row = e.row();
+    int tabs = 0;
+    for (char c : row)
+        if (c == '\t')
+            ++tabs;
+    EXPECT_EQ(tabs, 9);
+}
+
+TEST(TimeBreakdown, TotalAndAccumulate)
+{
+    TimeBreakdown t;
+    t.execution = 10;
+    t.s3 = 5;
+    TimeBreakdown u;
+    u.transition = 3;
+    t += u;
+    EXPECT_EQ(t.total(), 18u);
+}
+
+class SlackSweep : public ::testing::TestWithParam<Tick>
+{
+};
+
+TEST_P(SlackSweep, StateTimesPartitionTheWindow)
+{
+    SleepGovernor gov{VdPowerConfig{}};
+    const Tick slack = GetParam();
+    const SleepDecision d = gov.decide(slack);
+    if (d.state == PowerState::kShortSlack) {
+        EXPECT_EQ(d.sleep_time, 0u);
+        EXPECT_EQ(d.transition_time, 0u);
+    } else {
+        EXPECT_EQ(d.sleep_time + d.transition_time, slack);
+    }
+    EXPECT_GE(d.energy_j, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, SlackSweep,
+    ::testing::Values(Tick(1) * sim_clock::us,
+                      Tick(500) * sim_clock::us,
+                      Tick(1) * sim_clock::ms,
+                      Tick(2) * sim_clock::ms,
+                      Tick(4) * sim_clock::ms,
+                      Tick(8) * sim_clock::ms,
+                      Tick(16) * sim_clock::ms,
+                      Tick(160) * sim_clock::ms));
+
+} // namespace
+} // namespace vstream

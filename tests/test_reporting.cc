@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the pipeline's component-statistics reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/video_pipeline.hh"
+
+namespace vstream
+{
+namespace
+{
+
+VideoProfile
+tinyProfile()
+{
+    VideoProfile p;
+    p.key = "RPT";
+    p.width = 64;
+    p.height = 32;
+    p.frame_count = 12;
+    p.seed = 5;
+    return p;
+}
+
+TEST(Reporting, DumpContainsEveryComponent)
+{
+    std::ostringstream os;
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.scheme = SchemeConfig::make(Scheme::kGab);
+    cfg.stats_out = &os;
+    VideoPipeline pipe(std::move(cfg));
+    const PipelineResult r = pipe.run();
+
+    const std::string dump = os.str();
+    EXPECT_NE(dump.find("vd.framesDecoded"), std::string::npos);
+    EXPECT_NE(dump.find("vd.cache.missRate"), std::string::npos);
+    EXPECT_NE(dump.find("dc.framesShown"), std::string::npos);
+    EXPECT_NE(dump.find("dc.machBuffer.hits"), std::string::npos);
+    EXPECT_NE(dump.find("mem.requests"), std::string::npos);
+    EXPECT_NE(dump.find("dram.vd.activations"), std::string::npos);
+    EXPECT_NE(dump.find("vd.mach.hitRate"), std::string::npos);
+    EXPECT_NE(dump.find("pipeline.energyJ"), std::string::npos);
+    EXPECT_NE(dump.find("pipeline.drops"), std::string::npos);
+    EXPECT_GT(r.totalEnergy(), 0.0);
+}
+
+TEST(Reporting, BaselineDumpOmitsMach)
+{
+    std::ostringstream os;
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.scheme = SchemeConfig::make(Scheme::kBaseline);
+    cfg.stats_out = &os;
+    VideoPipeline pipe(std::move(cfg));
+    pipe.run();
+
+    const std::string dump = os.str();
+    EXPECT_EQ(dump.find("vd.mach."), std::string::npos);
+    EXPECT_NE(dump.find("vd.framesDecoded"), std::string::npos);
+}
+
+TEST(Reporting, NoStreamNoDump)
+{
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    VideoPipeline pipe(std::move(cfg));
+    // Just verifies the null default does not crash.
+    EXPECT_GT(pipe.run().totalEnergy(), 0.0);
+}
+
+TEST(Reporting, StatsHeaderNamesRun)
+{
+    std::ostringstream os;
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.scheme = SchemeConfig::make(Scheme::kRaceToSleep);
+    cfg.stats_out = &os;
+    VideoPipeline pipe(std::move(cfg));
+    pipe.run();
+    EXPECT_NE(os.str().find("RPT / Race-to-Sleep"), std::string::npos);
+}
+
+} // namespace
+} // namespace vstream

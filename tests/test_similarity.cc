@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the offline similarity analyzer (Fig. 7b machinery) and
+ * cross-workload similarity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "video/similarity.hh"
+#include "video/workloads.hh"
+
+namespace vstream
+{
+namespace
+{
+
+VideoProfile
+craftedProfile()
+{
+    VideoProfile p;
+    p.key = "C";
+    p.width = 64;
+    p.height = 32;
+    p.frame_count = 12;
+    p.seed = 9;
+    return p;
+}
+
+TEST(Similarity, AllUniqueContentHasNoMatches)
+{
+    VideoProfile p = craftedProfile();
+    p.intra_match_rate = 0.0;
+    p.inter_match_rate = 0.0;
+    p.gradient_shift_rate = 0.0;
+    p.pure_color_rate = 0.0;
+    p.smooth_rate = 0.0;
+    const SimilarityReport r = analyzeSimilarity(p);
+    EXPECT_GT(r.noneFraction(), 0.99);
+    EXPECT_EQ(r.intra_exact, 0u);
+    EXPECT_EQ(r.inter_exact, 0u);
+    EXPECT_NEAR(r.optimal_mab_savings, -4.0 / 48.0,
+                1e-3); // pure pointer overhead
+}
+
+TEST(Similarity, PureColorOnlyIsAlmostAllIntra)
+{
+    VideoProfile p = craftedProfile();
+    p.intra_match_rate = 0.0;
+    p.inter_match_rate = 0.0;
+    p.gradient_shift_rate = 0.0;
+    p.pure_color_rate = 1.0;
+    p.smooth_rate = 0.0;
+    p.color_palette = 4;
+    const SimilarityReport r = analyzeSimilarity(p);
+    // With 4 colours and 128 mabs per frame, almost everything
+    // repeats within the frame.
+    EXPECT_GT(r.intraFraction(), 0.9);
+    EXPECT_GT(r.optimal_mab_savings, 0.8);
+    // All pure colours share the zero gab: one dominant digest.
+    ASSERT_FALSE(r.top_gab_shares.empty());
+    EXPECT_GT(r.top_gab_shares[0], 0.99);
+}
+
+TEST(Similarity, GradientShiftsOnlyVisibleToGab)
+{
+    VideoProfile p = craftedProfile();
+    p.intra_match_rate = 0.0;
+    p.inter_match_rate = 0.0;
+    p.gradient_shift_rate = 0.6;
+    p.pure_color_rate = 0.0;
+    p.smooth_rate = 0.0;
+    const SimilarityReport r = analyzeSimilarity(p);
+    EXPECT_GT(r.gabMatchFraction(), r.intraFraction() +
+                                        r.interFraction() + 0.2);
+    EXPECT_GT(r.optimal_gab_savings, r.optimal_mab_savings + 0.1);
+}
+
+TEST(Similarity, InterWindowRespected)
+{
+    VideoProfile p = craftedProfile();
+    p.frame_count = 24;
+    p.inter_match_rate = 0.4;
+    p.intra_match_rate = 0.0;
+    const SimilarityReport near =
+        analyzeSimilarity(p, 0, /*window=*/16);
+    const SimilarityReport none =
+        analyzeSimilarity(p, 0, /*window=*/1);
+    // Shrinking the window can only lose inter matches.
+    EXPECT_LE(none.inter_exact, near.inter_exact);
+    EXPECT_EQ(near.inter_age_hist.size(), 16u);
+    // Recency bias: age-1 matches dominate.
+    EXPECT_GT(near.inter_age_hist[0], near.inter_age_hist[8]);
+}
+
+TEST(Similarity, FractionsPartitionUnity)
+{
+    const VideoProfile p = scaledWorkload("V5", 16, 64, 32);
+    const SimilarityReport r = analyzeSimilarity(p);
+    EXPECT_NEAR(r.intraFraction() + r.interFraction() +
+                    r.noneFraction(),
+                1.0, 1e-12);
+    EXPECT_EQ(r.intra_gab + r.inter_gab + r.none_gab, r.mabs);
+}
+
+TEST(Similarity, MaxFramesCapsWork)
+{
+    const VideoProfile p = scaledWorkload("V5", 0, 64, 32);
+    const SimilarityReport r = analyzeSimilarity(p, 8);
+    EXPECT_EQ(r.mabs, 8u * 128u);
+}
+
+class WorkloadSimilarity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WorkloadSimilarity, GabAlwaysMatchesAtLeastMab)
+{
+    // A mab-exact match is also a gab match, so gab match fractions
+    // dominate - the property behind Fig. 9's gab > mab result.
+    const auto &p0 = workloadTable()[GetParam()];
+    const VideoProfile p = scaledWorkload(p0.key, 12, 64, 32);
+    const SimilarityReport r = analyzeSimilarity(p);
+    EXPECT_GE(r.intra_gab + r.inter_gab,
+              r.intra_exact + r.inter_exact);
+    EXPECT_GE(r.optimal_gab_savings, r.optimal_mab_savings - 1e-9);
+}
+
+TEST_P(WorkloadSimilarity, TopSharesDescendAndSumBelowOne)
+{
+    const auto &p0 = workloadTable()[GetParam()];
+    const VideoProfile p = scaledWorkload(p0.key, 12, 64, 32);
+    const SimilarityReport r = analyzeSimilarity(p);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < r.top_gab_shares.size(); ++i) {
+        if (i > 0)
+            EXPECT_LE(r.top_gab_shares[i], r.top_gab_shares[i - 1]);
+        sum += r.top_gab_shares[i];
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVideos, WorkloadSimilarity,
+                         ::testing::Range(0, 16));
+
+} // namespace
+} // namespace vstream

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for video-trace serialization: byte-exact round trips,
+ * integrity checking, and corruption detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "video/synthetic_video.hh"
+#include "video/trace.hh"
+
+namespace vstream
+{
+namespace
+{
+
+VideoProfile
+traceProfile(std::uint32_t frames = 6)
+{
+    VideoProfile p;
+    p.key = "TR";
+    p.width = 64;
+    p.height = 32;
+    p.frame_count = frames;
+    p.seed = 2718;
+    return p;
+}
+
+TEST(Trace, RoundTripIsByteExact)
+{
+    const VideoProfile p = traceProfile();
+    std::stringstream buf;
+    writeTrace(buf, p);
+
+    SyntheticVideo original(p);
+    const std::vector<Frame> loaded = readTrace(buf);
+    ASSERT_EQ(loaded.size(), p.frame_count);
+
+    for (const Frame &got : loaded) {
+        const Frame want = original.nextFrame();
+        EXPECT_EQ(got.contentChecksum(), want.contentChecksum());
+        EXPECT_EQ(got.type(), want.type());
+        EXPECT_DOUBLE_EQ(got.complexity(), want.complexity());
+        EXPECT_EQ(got.encodedBytes(), want.encodedBytes());
+        EXPECT_EQ(got.mabCount(), want.mabCount());
+        for (std::uint32_t i = 0; i < got.mabCount(); ++i)
+            ASSERT_EQ(got.mab(i), want.mab(i));
+    }
+}
+
+TEST(Trace, HeaderMetadataPreserved)
+{
+    const VideoProfile p = traceProfile(3);
+    std::stringstream buf;
+    writeTrace(buf, p);
+
+    TraceReader reader(buf);
+    EXPECT_EQ(reader.frameCount(), 3u);
+    EXPECT_EQ(reader.mabsX(), p.mabsX());
+    EXPECT_EQ(reader.mabsY(), p.mabsY());
+    EXPECT_EQ(reader.mabDim(), p.mab_dim);
+    EXPECT_EQ(reader.fps(), p.fps);
+    EXPECT_FALSE(reader.done());
+}
+
+TEST(Trace, IncrementalReaderMatchesBulk)
+{
+    const VideoProfile p = traceProfile(4);
+    std::stringstream a, b;
+    writeTrace(a, p);
+    writeTrace(b, p);
+
+    TraceReader reader(a);
+    const std::vector<Frame> bulk = readTrace(b);
+    std::size_t i = 0;
+    while (!reader.done()) {
+        const Frame f = reader.nextFrame();
+        ASSERT_LT(i, bulk.size());
+        EXPECT_EQ(f.contentChecksum(), bulk[i].contentChecksum());
+        ++i;
+    }
+    EXPECT_TRUE(reader.verifyTrailer());
+}
+
+TEST(Trace, CorruptionDetectedByTrailer)
+{
+    const VideoProfile p = traceProfile(2);
+    std::stringstream buf;
+    writeTrace(buf, p);
+    std::string bytes = buf.str();
+    // Flip a pixel byte somewhere in the middle of the payload.
+    bytes[bytes.size() / 2] ^= 0x40;
+
+    std::stringstream corrupt(bytes);
+    TraceReader reader(corrupt);
+    while (!reader.done())
+        reader.nextFrame();
+    EXPECT_FALSE(reader.verifyTrailer());
+}
+
+TEST(Trace, TruncationIsFatal)
+{
+    const VideoProfile p = traceProfile(2);
+    std::stringstream buf;
+    writeTrace(buf, p);
+    std::string bytes = buf.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    EXPECT_DEATH(readTrace(truncated), "truncated");
+}
+
+TEST(Trace, BadMagicIsFatal)
+{
+    std::stringstream junk("not a trace at all, sorry");
+    EXPECT_DEATH(TraceReader reader(junk), "bad magic");
+}
+
+TEST(TraceDeath, GeometryMismatchOnAppend)
+{
+    const VideoProfile p = traceProfile(1);
+    std::stringstream buf;
+    TraceWriter writer(buf, p, 1);
+    Frame wrong(0, FrameType::kI, 2, 2, 4); // not p's geometry
+    EXPECT_DEATH(writer.append(wrong), "geometry");
+}
+
+TEST(TraceDeath, FinishRequiresAllFrames)
+{
+    const VideoProfile p = traceProfile(2);
+    std::stringstream buf;
+    TraceWriter writer(buf, p, 2);
+    SyntheticVideo video(p);
+    writer.append(video.nextFrame());
+    EXPECT_DEATH(writer.finish(), "announced");
+}
+
+TEST(Trace, LargeFrameCountStreamsWithoutBloat)
+{
+    // 20 frames of 64x32: the trace should be close to the raw pixel
+    // payload (plus small per-frame headers).
+    VideoProfile p = traceProfile(20);
+    std::stringstream buf;
+    writeTrace(buf, p);
+    const std::size_t payload =
+        static_cast<std::size_t>(p.frame_count) *
+        p.decodedFrameBytes();
+    EXPECT_LT(buf.str().size(), payload + 1024);
+    EXPECT_GT(buf.str().size(), payload);
+}
+
+} // namespace
+} // namespace vstream

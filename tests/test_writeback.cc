@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for the writeback stages, the coalescing buffers, the frame
+ * buffer manager, and the layout bookkeeping the display relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/coalescing_buffer.hh"
+#include "core/frame_buffer_manager.hh"
+#include "core/writeback_stage.hh"
+#include "sim/event_queue.hh"
+#include "video/synthetic_video.hh"
+
+namespace vstream
+{
+namespace
+{
+
+struct Rig
+{
+    EventQueue queue;
+    MemorySystem mem;
+    FrameBufferManager fbm;
+
+    explicit Rig(std::uint32_t mabs = 32)
+        : mem("mem", &queue, DramConfig{}),
+          fbm(mem, mabs, 48, 4096)
+    {
+    }
+};
+
+Frame
+frameOfMabs(const std::vector<Macroblock> &mabs, std::uint64_t index = 0)
+{
+    Frame f(index, FrameType::kI,
+            static_cast<std::uint32_t>(mabs.size()), 1, mabs[0].dim());
+    for (std::uint32_t i = 0; i < mabs.size(); ++i)
+        f.mab(i) = mabs[i];
+    return f;
+}
+
+Macroblock
+pure(std::uint8_t r, std::uint8_t g, std::uint8_t b)
+{
+    Macroblock m(4);
+    m.fill(Pixel{r, g, b});
+    return m;
+}
+
+// ---------------------------------------------------------------------
+// CoalescingBuffer
+// ---------------------------------------------------------------------
+
+TEST(CoalescingBuffer, IssuesOnlyWhenFull)
+{
+    std::vector<std::pair<Addr, std::uint32_t>> writes;
+    CoalescingBuffer buf("t", 64,
+                         [&](Addr a, std::uint32_t s, Tick) {
+                             writes.emplace_back(a, s);
+                         });
+    buf.rebase(1000);
+    for (int i = 0; i < 15; ++i)
+        buf.append(4, 0); // 60 bytes: below capacity
+    EXPECT_TRUE(writes.empty());
+    buf.append(4, 0); // 64th byte
+    ASSERT_EQ(writes.size(), 1u);
+    EXPECT_EQ(writes[0], std::make_pair(Addr(1000), 64u));
+    EXPECT_EQ(buf.cursor(), 1064u);
+}
+
+TEST(CoalescingBuffer, FlushWritesResidue)
+{
+    std::vector<std::uint32_t> sizes;
+    CoalescingBuffer buf("t", 64,
+                         [&](Addr, std::uint32_t s, Tick) {
+                             sizes.push_back(s);
+                         });
+    buf.rebase(0);
+    buf.append(10, 0);
+    buf.flush(0);
+    buf.flush(0); // second flush is a no-op
+    EXPECT_EQ(sizes, (std::vector<std::uint32_t>{10}));
+    EXPECT_EQ(buf.bytesAppended(), 10u);
+    EXPECT_EQ(buf.writesIssued(), 1u);
+}
+
+TEST(CoalescingBuffer, LargeAppendSplits)
+{
+    int writes = 0;
+    CoalescingBuffer buf("t", 64,
+                         [&](Addr, std::uint32_t, Tick) { ++writes; });
+    buf.rebase(0);
+    buf.append(200, 0); // 3 full buffers + 8 residue
+    EXPECT_EQ(writes, 3);
+    buf.flush(0);
+    EXPECT_EQ(writes, 4);
+}
+
+TEST(CoalescingBufferDeath, RebaseWithResiduePanics)
+{
+    CoalescingBuffer buf("t", 64, [](Addr, std::uint32_t, Tick) {});
+    buf.rebase(0);
+    buf.append(1, 0);
+    EXPECT_DEATH(buf.rebase(64), "unflushed");
+}
+
+// ---------------------------------------------------------------------
+// FrameBufferManager
+// ---------------------------------------------------------------------
+
+TEST(FrameBufferManager, AcquireReleaseRecycles)
+{
+    Rig rig;
+    BufferSlot &a = rig.fbm.acquire(0);
+    const Addr data0 = a.data_base;
+    rig.fbm.release(0);
+    BufferSlot &b = rig.fbm.acquire(1);
+    EXPECT_EQ(b.data_base, data0); // recycled slot
+    EXPECT_EQ(rig.fbm.slotsAllocated(), 1u);
+    EXPECT_EQ(rig.fbm.slotsInUse(), 1u);
+}
+
+TEST(FrameBufferManager, GrowsWhenAllBusy)
+{
+    Rig rig;
+    rig.fbm.acquire(0);
+    rig.fbm.acquire(1);
+    EXPECT_EQ(rig.fbm.slotsAllocated(), 2u);
+    EXPECT_GT(rig.fbm.poolBytes(), 0u);
+}
+
+TEST(FrameBufferManager, BlockStoreRoundTrip)
+{
+    Rig rig;
+    BufferSlot &slot = rig.fbm.acquire(0);
+    const std::vector<std::uint8_t> bytes(48, 0x5a);
+    rig.fbm.storeBlock(slot.data_base + 96, bytes);
+    const auto *loaded = rig.fbm.loadBlock(slot.data_base + 96);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(*loaded, bytes);
+    EXPECT_EQ(rig.fbm.loadBlock(slot.data_base + 97), nullptr);
+}
+
+TEST(FrameBufferManager, RecycleClearsBlocks)
+{
+    Rig rig;
+    BufferSlot &slot = rig.fbm.acquire(0);
+    rig.fbm.storeBlock(slot.data_base, std::vector<std::uint8_t>(48, 1));
+    rig.fbm.release(0);
+    rig.fbm.acquire(5);
+    EXPECT_EQ(rig.fbm.loadBlock(slot.data_base), nullptr);
+}
+
+TEST(FrameBufferManagerDeath, StoreOutsideSlotsPanics)
+{
+    Rig rig;
+    EXPECT_DEATH(rig.fbm.storeBlock(0xdeadbeef,
+                                    std::vector<std::uint8_t>(48, 1)),
+                 "outside any frame buffer");
+}
+
+TEST(FrameBufferManager, FindBySlotIndex)
+{
+    Rig rig;
+    rig.fbm.acquire(3);
+    EXPECT_NE(rig.fbm.find(3), nullptr);
+    EXPECT_EQ(rig.fbm.find(4), nullptr);
+    rig.fbm.release(3);
+    EXPECT_EQ(rig.fbm.find(3), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// LinearWriteback
+// ---------------------------------------------------------------------
+
+TEST(LinearWriteback, WritesEveryMabAtItsLinearAddress)
+{
+    Rig rig(4);
+    LinearWriteback wb(rig.mem, rig.fbm);
+    const auto mabs = std::vector<Macroblock>{
+        pure(1, 1, 1), pure(1, 1, 1), pure(2, 2, 2), pure(3, 3, 3)};
+    const Frame f = frameOfMabs(mabs);
+
+    BufferSlot &slot = rig.fbm.acquire(0);
+    wb.beginFrame(f, slot, 0);
+    for (std::uint32_t i = 0; i < f.mabCount(); ++i)
+        wb.writeMab(f.mab(i), i, 0);
+    const FrameLayout layout = wb.finishFrame(0);
+
+    EXPECT_EQ(layout.kind(), LayoutKind::kLinear);
+    EXPECT_EQ(layout.dataBytes(), 4u * 48u);
+    EXPECT_EQ(layout.metaBytes(), 0u);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(layout.record(i).storage, MabStorage::kUnique);
+        EXPECT_EQ(layout.record(i).data_addr,
+                  slot.data_base + i * 48u);
+        // Duplicates are NOT deduplicated in the baseline.
+        EXPECT_NE(rig.fbm.loadBlock(layout.record(i).data_addr),
+                  nullptr);
+    }
+    EXPECT_EQ(wb.totals().unique_blocks, 4u);
+    EXPECT_DOUBLE_EQ(wb.totals().savings(48), 0.0);
+    EXPECT_EQ(layout.sourceChecksum(), f.contentChecksum());
+}
+
+// ---------------------------------------------------------------------
+// MachWriteback
+// ---------------------------------------------------------------------
+
+TEST(MachWriteback, DeduplicatesExactRepeats)
+{
+    Rig rig(4);
+    MachConfig mcfg;
+    MachArray machs(mcfg);
+    MachWriteback wb(rig.mem, rig.fbm, machs, LayoutKind::kPointer);
+
+    const auto mabs = std::vector<Macroblock>{
+        pure(1, 1, 1), pure(2, 2, 2), pure(1, 1, 1), pure(1, 1, 1)};
+    const Frame f = frameOfMabs(mabs);
+
+    BufferSlot &slot = rig.fbm.acquire(0);
+    wb.beginFrame(f, slot, 0);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        wb.writeMab(f.mab(i), i, 0);
+    const FrameLayout layout = wb.finishFrame(0);
+
+    EXPECT_EQ(wb.totals().unique_blocks, 2u);
+    EXPECT_EQ(wb.totals().intra_matches, 2u);
+    EXPECT_EQ(layout.record(0).storage, MabStorage::kUnique);
+    EXPECT_EQ(layout.record(2).storage, MabStorage::kIntraPointer);
+    EXPECT_EQ(layout.record(2).data_addr, layout.record(0).data_addr);
+    // 2 unique blocks of 48 B; 4 pointers of 4 B.
+    EXPECT_EQ(layout.dataBytes(), 96u);
+    EXPECT_EQ(layout.metaBytes(), 16u);
+    EXPECT_GT(wb.totals().savings(48), 0.0);
+}
+
+TEST(MachWriteback, AllUniqueFramePaysMetadataOverhead)
+{
+    // Paper Fig. 8a/8b: with no matches, MACH writes 52 B per 48 B
+    // mab - a net overhead.
+    Rig rig(4);
+    MachConfig mcfg;
+    MachArray machs(mcfg);
+    MachWriteback wb(rig.mem, rig.fbm, machs, LayoutKind::kPointer);
+
+    Random rng(5);
+    std::vector<Macroblock> mabs;
+    for (int i = 0; i < 4; ++i) {
+        Macroblock m(4);
+        for (auto &b : m.bytes())
+            b = static_cast<std::uint8_t>(rng.next());
+        mabs.push_back(m);
+    }
+    const Frame f = frameOfMabs(mabs);
+    BufferSlot &slot = rig.fbm.acquire(0);
+    wb.beginFrame(f, slot, 0);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        wb.writeMab(f.mab(i), i, 0);
+    wb.finishFrame(0);
+    EXPECT_LT(wb.totals().savings(48), 0.0);
+    EXPECT_EQ(wb.totals().totalBytes(), 4u * 52u);
+}
+
+TEST(MachWriteback, GabCatchesShiftedBlocks)
+{
+    Rig rig(3);
+    MachConfig mcfg;
+    mcfg.use_gradient = true;
+    MachArray machs(mcfg);
+    MachWriteback wb(rig.mem, rig.fbm, machs, LayoutKind::kPointer);
+
+    Random rng(6);
+    Macroblock base(4);
+    for (auto &b : base.bytes())
+        b = static_cast<std::uint8_t>(rng.next());
+    const auto mabs = std::vector<Macroblock>{
+        base, base.shifted(10, 20, 30), base.shifted(1, 1, 1)};
+    const Frame f = frameOfMabs(mabs);
+
+    BufferSlot &slot = rig.fbm.acquire(0);
+    wb.beginFrame(f, slot, 0);
+    for (std::uint32_t i = 0; i < 3; ++i)
+        wb.writeMab(f.mab(i), i, 0);
+    const FrameLayout layout = wb.finishFrame(0);
+
+    EXPECT_EQ(wb.totals().unique_blocks, 1u);
+    EXPECT_EQ(wb.totals().intra_matches, 2u);
+    // gab metadata: 4 B pointer + 3 B base per mab.
+    EXPECT_EQ(layout.metaBytes(), 3u * (4u + 3u));
+    // Bases preserved per record for reconstruction.
+    EXPECT_EQ(layout.record(1).base, mabs[1].base());
+    EXPECT_TRUE(layout.gradientMode());
+}
+
+TEST(MachWriteback, MabModeMissesShiftedBlocks)
+{
+    Rig rig(2);
+    MachConfig mcfg; // mab mode
+    MachArray machs(mcfg);
+    MachWriteback wb(rig.mem, rig.fbm, machs, LayoutKind::kPointer);
+
+    Macroblock base = pure(5, 5, 5);
+    const auto mabs =
+        std::vector<Macroblock>{base, base.shifted(1, 2, 3)};
+    const Frame f = frameOfMabs(mabs);
+    BufferSlot &slot = rig.fbm.acquire(0);
+    wb.beginFrame(f, slot, 0);
+    wb.writeMab(f.mab(0), 0, 0);
+    wb.writeMab(f.mab(1), 1, 0);
+    wb.finishFrame(0);
+    EXPECT_EQ(wb.totals().unique_blocks, 2u);
+    EXPECT_EQ(wb.totals().intra_matches, 0u);
+}
+
+TEST(MachWriteback, InterMatchesBecomeDigestsInLayoutIii)
+{
+    Rig rig(2);
+    MachConfig mcfg;
+    MachArray machs(mcfg);
+    MachWriteback wb(rig.mem, rig.fbm, machs,
+                     LayoutKind::kPointerDigest);
+
+    const auto mabs0 =
+        std::vector<Macroblock>{pure(9, 9, 9), pure(8, 8, 8)};
+    const Frame f0 = frameOfMabs(mabs0, 0);
+    BufferSlot &s0 = rig.fbm.acquire(0);
+    wb.beginFrame(f0, s0, 0);
+    wb.writeMab(f0.mab(0), 0, 0);
+    wb.writeMab(f0.mab(1), 1, 0);
+    const FrameLayout l0 = wb.finishFrame(0);
+    EXPECT_EQ(l0.machDump().size(), 2u);
+    EXPECT_GT(l0.machDumpBytes(), 0u);
+
+    // Frame 1 repeats frame 0's content: inter matches as digests.
+    const Frame f1 = frameOfMabs(mabs0, 1);
+    BufferSlot &s1 = rig.fbm.acquire(1);
+    wb.beginFrame(f1, s1, 0);
+    wb.writeMab(f1.mab(0), 0, 0);
+    wb.writeMab(f1.mab(1), 1, 0);
+    const FrameLayout l1 = wb.finishFrame(0);
+
+    EXPECT_EQ(l1.record(0).storage, MabStorage::kInterDigest);
+    EXPECT_EQ(l1.record(1).storage, MabStorage::kInterDigest);
+    EXPECT_EQ(wb.totals().inter_matches, 2u);
+    EXPECT_EQ(l1.countStorage(MabStorage::kInterDigest), 2u);
+}
+
+TEST(MachWriteback, DccShrinksUniqueBlocks)
+{
+    Rig rig(2);
+    MachConfig mcfg;
+    MachArray machs(mcfg);
+    MachWriteback wb(rig.mem, rig.fbm, machs, LayoutKind::kPointer,
+                     /*use_dcc=*/true);
+
+    const auto mabs =
+        std::vector<Macroblock>{pure(4, 4, 4), pure(200, 1, 7)};
+    const Frame f = frameOfMabs(mabs);
+    BufferSlot &slot = rig.fbm.acquire(0);
+    wb.beginFrame(f, slot, 0);
+    wb.writeMab(f.mab(0), 0, 0);
+    wb.writeMab(f.mab(1), 1, 0);
+    const FrameLayout layout = wb.finishFrame(0);
+
+    // Pure-colour blocks compress to a handful of bytes.
+    EXPECT_LT(layout.dataBytes(), 2u * 48u / 2);
+    EXPECT_GT(wb.totals().dcc_saved_bytes, 60u);
+}
+
+TEST(MachWritebackDeath, LinearLayoutRejected)
+{
+    Rig rig(2);
+    MachConfig mcfg;
+    MachArray machs(mcfg);
+    EXPECT_DEATH(MachWriteback(rig.mem, rig.fbm, machs,
+                               LayoutKind::kLinear),
+                 "pointer-based layout");
+}
+
+TEST(WritebackTotals, SavingsArithmetic)
+{
+    WritebackTotals t;
+    t.mabs = 100;
+    t.data_bytes = 2400; // 50 blocks
+    t.meta_bytes = 400;
+    EXPECT_EQ(t.baselineBytes(48), 4800u);
+    EXPECT_EQ(t.totalBytes(), 2800u);
+    EXPECT_NEAR(t.savings(48), 1.0 - 2800.0 / 4800.0, 1e-12);
+}
+
+} // namespace
+} // namespace vstream
