@@ -48,8 +48,9 @@ main()
             drops += r.drops;
             frames += r.frames;
         }
-        if (order == AddrMapOrder::kRoRaBaCoCh)
+        if (order == AddrMapOrder::kRoRaBaCoCh) {
             baseline = energy;
+        }
 
         std::cout << std::left << std::setw(14)
                   << addrMapOrderName(order) << std::right

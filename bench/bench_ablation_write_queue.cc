@@ -53,8 +53,9 @@ main()
                 }
             }
         }
-        if (depth == 0)
+        if (depth == 0) {
             l0 = le;
+        }
 
         std::cout << std::left << std::setw(8) << depth << std::right
                   << std::fixed << std::setprecision(4) << std::setw(11)

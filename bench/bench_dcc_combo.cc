@@ -27,8 +27,9 @@ plainDccBytes(const VideoProfile &p)
     std::uint64_t bytes = 0;
     while (!video.done()) {
         const Frame f = video.nextFrame();
-        for (std::uint32_t i = 0; i < f.mabCount(); ++i)
+        for (std::uint32_t i = 0; i < f.mabCount(); ++i) {
             bytes += dccCompress(f.mab(i)).compressed_bytes;
+        }
     }
     return bytes;
 }

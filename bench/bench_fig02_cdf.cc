@@ -42,14 +42,15 @@ report(const char *name, const std::vector<PipelineResult> &runs)
     for (const auto &r : runs) {
         for (const auto &rec : r.frame_records) {
             ++reg.frames;
-            if (rec.dropped)
+            if (rec.dropped) {
                 ++reg.dropped;
-            else if (rec.s3 > 0)
+            } else if (rec.s3 > 0) {
                 ++reg.s3;
-            else if (rec.s1 > 0)
+            } else if (rec.s1 > 0) {
                 ++reg.s1;
-            else
+            } else {
                 ++reg.short_slack;
+            }
             exec_ms.sample(ticksToMs(rec.exec));
             frame_energy_mj.sample((rec.e_exec + rec.e_slack +
                                     rec.e_trans + rec.e_sleep) *
@@ -71,17 +72,19 @@ report(const char *name, const std::vector<PipelineResult> &runs)
               << ticksToMs(trans_total) / n << " ms\n";
 
     std::cout << "  decode-time CDF (ms):  ";
-    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.96, 1.0})
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.96, 1.0}) {
         std::cout << "p" << static_cast<int>(q * 100) << "="
                   << std::setprecision(2) << exec_ms.percentile(q)
                   << " ";
+    }
     std::cout << "\n  frames over 16.6 ms:   "
               << pct(exec_ms.fractionAbove(16.6)) << "\n";
     std::cout << "  VD frame-energy CDF (mJ): ";
-    for (double q : {0.1, 0.5, 0.9, 1.0})
+    for (double q : {0.1, 0.5, 0.9, 1.0}) {
         std::cout << "p" << static_cast<int>(q * 100) << "="
                   << std::setprecision(2)
                   << frame_energy_mj.percentile(q) << " ";
+    }
     std::cout << "\n\n";
 }
 

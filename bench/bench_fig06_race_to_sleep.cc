@@ -49,8 +49,9 @@ main()
             high.batch = b;
             high_e += simulateScheme(p, high).totalEnergy();
         }
-        if (b == 1)
+        if (b == 1) {
             baseline = low_e;
+        }
 
         std::cout << std::left << std::setw(10) << b << std::right
                   << std::fixed << std::setprecision(4) << std::setw(14)

@@ -63,8 +63,9 @@ cacheSweep()
         const std::uint64_t frame_bytes = p.mabsPerFrame() * 48ULL;
         for (std::uint32_t f = 0; f < 8; ++f) {
             const Addr base = static_cast<Addr>(f) * frame_bytes;
-            for (Addr a = 0; a < frame_bytes; a += 48)
+            for (Addr a = 0; a < frame_bytes; a += 48) {
                 wcache.access(base + a, 48, MemOp::kWrite);
+            }
         }
 
         std::cout << std::left << std::setw(12) << kb << std::right
@@ -91,8 +92,9 @@ similaritySweep()
         intra += r.intra_exact;
         inter += r.inter_exact;
         none += r.none_exact;
-        for (std::size_t a = 0; a < age_hist.size(); ++a)
+        for (std::size_t a = 0; a < age_hist.size(); ++a) {
             age_hist[a] += r.inter_age_hist[a];
+        }
     }
 
     const auto n = static_cast<double>(mabs);
@@ -104,12 +106,14 @@ similaritySweep()
               << "   (paper ~43%)\n";
 
     std::cout << "  inter matches by age (frames back): ";
-    for (std::size_t a = 0; a < 8; ++a)
+    for (std::size_t a = 0; a < 8; ++a) {
         std::cout << a + 1 << ":"
                   << pct(static_cast<double>(age_hist[a]) / n) << " ";
+    }
     std::uint64_t old_matches = 0;
-    for (std::size_t a = 8; a < 16; ++a)
+    for (std::size_t a = 8; a < 16; ++a) {
         old_matches += age_hist[a];
+    }
     std::cout << "9-16:" << pct(static_cast<double>(old_matches) / n)
               << "\n";
 }

@@ -70,10 +70,12 @@ main()
         top_mab += t1m;
         top_gab += t1g;
         for (std::size_t k = 0; k < mab_topk.size(); ++k) {
-            if (k < m.top_match_shares.size())
+            if (k < m.top_match_shares.size()) {
                 mab_topk[k] += m.top_match_shares[k];
-            if (k < g.top_match_shares.size())
+            }
+            if (k < g.top_match_shares.size()) {
                 gab_topk[k] += g.top_match_shares[k];
+            }
         }
         ++n;
     }

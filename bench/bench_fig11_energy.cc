@@ -99,8 +99,9 @@ main()
     };
 
     std::cout << std::left << std::setw(5) << "key" << std::right;
-    for (Scheme s : schemes)
+    for (Scheme s : schemes) {
         std::cout << std::setw(9) << schemeKey(s);
+    }
     std::cout << std::setw(10) << "drops(L)" << std::setw(10)
               << "drops(S)" << "\n";
 
@@ -126,8 +127,9 @@ main()
                 drops_l = r.drops;
                 baseline_total_all += baseline;
             }
-            if (s == Scheme::kRaceToSleep)
+            if (s == Scheme::kRaceToSleep) {
                 drops_s = r.drops;
+            }
             norm_sum[s] += r.totalEnergy() / baseline;
             breakdown_sum[s] += r.energy;
             collisions += r.mach.collisions_undetected;
@@ -144,8 +146,9 @@ main()
 
     const double n = static_cast<double>(workloadTable().size());
     std::cout << std::left << std::setw(5) << "Avg" << std::right;
-    for (Scheme s : schemes)
+    for (Scheme s : schemes) {
         std::cout << std::setw(9) << norm_sum[s] / n;
+    }
     std::cout << "\n\npaper avg:  L 1.000, B ~0.93, R ~1.12, S 0.887, "
                  "M 0.875, G 0.790\n";
 

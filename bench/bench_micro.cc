@@ -26,8 +26,9 @@ Macroblock
 randomMab(Random &rng)
 {
     Macroblock m(4);
-    for (auto &b : m.bytes())
+    for (auto &b : m.bytes()) {
         b = static_cast<std::uint8_t>(rng.next());
+    }
     return m;
 }
 
@@ -36,9 +37,10 @@ BM_Digest(benchmark::State &state, HashKind kind)
 {
     Random rng(1);
     const Macroblock m = randomMab(rng);
-    for (auto _ : state)
+    for (auto _ : state) {
         benchmark::DoNotOptimize(
             digest32(kind, m.bytes().data(), m.bytes().size()));
+    }
     state.SetBytesProcessed(static_cast<std::int64_t>(
         state.iterations() * m.bytes().size()));
 }
@@ -52,8 +54,9 @@ BM_GradientTransform(benchmark::State &state)
 {
     Random rng(2);
     const Macroblock m = randomMab(rng);
-    for (auto _ : state)
+    for (auto _ : state) {
         benchmark::DoNotOptimize(m.gradient());
+    }
 }
 BENCHMARK(BM_GradientTransform);
 
@@ -71,8 +74,9 @@ BM_MachLookup(benchmark::State &state)
         const std::uint32_t d = m.digest(HashKind::kCrc32);
         machs.insertUnique(d, 0, i * 48, m.bytes(), false);
         entries.emplace_back(d, m.bytes());
-        if (i % 256 == 255)
+        if (i % 256 == 255) {
             machs.beginFrame();
+        }
     }
     std::size_t i = 0;
     for (auto _ : state) {
@@ -118,11 +122,13 @@ BM_DccCompress(benchmark::State &state)
 {
     Random rng(4);
     std::vector<Macroblock> mabs;
-    for (int i = 0; i < 64; ++i)
+    for (int i = 0; i < 64; ++i) {
         mabs.push_back(randomMab(rng));
+    }
     std::size_t i = 0;
-    for (auto _ : state)
+    for (auto _ : state) {
         benchmark::DoNotOptimize(dccCompress(mabs[i++ % mabs.size()]));
+    }
 }
 BENCHMARK(BM_DccCompress);
 
@@ -132,8 +138,9 @@ BM_SyntheticFrame(benchmark::State &state)
     VideoProfile p = workload("V8");
     p.frame_count = 1000000;
     SyntheticVideo video(p);
-    for (auto _ : state)
+    for (auto _ : state) {
         benchmark::DoNotOptimize(video.nextFrame());
+    }
     state.SetItemsProcessed(static_cast<std::int64_t>(
         state.iterations() * p.mabsPerFrame()));
 }

@@ -58,8 +58,9 @@ inline void
 header(const std::string &title, const std::string &paper_note)
 {
     std::cout << "=== " << title << " ===\n";
-    if (!paper_note.empty())
+    if (!paper_note.empty()) {
         std::cout << "(paper: " << paper_note << ")\n";
+    }
     std::cout << "\n";
 }
 

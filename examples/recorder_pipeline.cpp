@@ -64,8 +64,9 @@ main(int argc, char **argv)
             fbm.release(slot_cycle >= 4 ? slot_cycle - 4 : ~0ULL);
             BufferSlot &slot = fbm.acquire(slot_cycle++);
             camera.beginFrame(frame, slot, now);
-            for (std::uint32_t i = 0; i < frame.mabCount(); ++i)
+            for (std::uint32_t i = 0; i < frame.mabCount(); ++i) {
                 camera.writeMab(frame.mab(i), i, now);
+            }
             camera.finishFrame(now);
             now += frame_period;
         }

@@ -57,18 +57,24 @@ usage(const char *argv0)
 Scheme
 parseScheme(const std::string &s)
 {
-    if (s == "L")
+    if (s == "L") {
         return Scheme::kBaseline;
-    if (s == "B")
+    }
+    if (s == "B") {
         return Scheme::kBatching;
-    if (s == "R")
+    }
+    if (s == "R") {
         return Scheme::kRacing;
-    if (s == "S")
+    }
+    if (s == "S") {
         return Scheme::kRaceToSleep;
-    if (s == "M")
+    }
+    if (s == "M") {
         return Scheme::kMab;
-    if (s == "G")
+    }
+    if (s == "G") {
         return Scheme::kGab;
+    }
     std::cerr << "unknown scheme '" << s << "'\n";
     std::exit(2);
 }
@@ -89,51 +95,54 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
+            if (i + 1 >= argc) {
                 usage(argv[0]);
+            }
             return argv[++i];
         };
-        if (arg == "--video")
+        if (arg == "--video") {
             video = next();
-        else if (arg == "--frames")
+        } else if (arg == "--frames") {
             frames = static_cast<std::uint32_t>(std::atoi(next()));
-        else if (arg == "--width")
+        } else if (arg == "--width") {
             width = static_cast<std::uint32_t>(std::atoi(next()));
-        else if (arg == "--height")
+        } else if (arg == "--height") {
             height = static_cast<std::uint32_t>(std::atoi(next()));
-        else if (arg == "--scheme")
+        } else if (arg == "--scheme") {
             scheme = parseScheme(next());
-        else if (arg == "--batch")
+        } else if (arg == "--batch") {
             batch = static_cast<std::uint32_t>(std::atoi(next()));
-        else if (arg == "--dcc")
+        } else if (arg == "--dcc") {
             dcc = true;
-        else if (arg == "--co-mach")
+        } else if (arg == "--co-mach") {
             co_mach = true;
-        else if (arg == "--te")
+        } else if (arg == "--te") {
             te = true;
-        else if (arg == "--dvfs")
+        } else if (arg == "--dvfs") {
             dvfs = true;
-        else if (arg == "--machs")
+        } else if (arg == "--machs") {
             machs = static_cast<std::uint32_t>(std::atoi(next()));
-        else if (arg == "--entries")
+        } else if (arg == "--entries") {
             entries = static_cast<std::uint32_t>(std::atoi(next()));
-        else if (arg == "--write-queue")
+        } else if (arg == "--write-queue") {
             write_queue =
                 static_cast<std::uint32_t>(std::atoi(next()));
-        else if (arg == "--stats")
+        } else if (arg == "--stats") {
             stats_file = next();
-        else if (arg == "--csv")
+        } else if (arg == "--csv") {
             csv_file = next();
-        else if (arg == "--seed")
+        } else if (arg == "--seed") {
             seed = static_cast<std::uint64_t>(std::atoll(next()));
-        else
+        } else {
             usage(argv[0]);
+        }
     }
 
     PipelineConfig cfg;
     cfg.profile = scaledWorkload(video, frames, width, height);
-    if (seed != 0)
+    if (seed != 0) {
         cfg.profile.seed = seed;
+    }
     cfg.scheme = SchemeConfig::make(scheme, batch);
     cfg.scheme.dcc = dcc;
     cfg.scheme.co_mach = co_mach;
@@ -192,9 +201,11 @@ main(int argc, char **argv)
               << (r.all_verified ? "yes" : "no") << " ("
               << r.mach.collisions_undetected
               << " undetected collisions)\n";
-    if (!stats_file.empty())
+    if (!stats_file.empty()) {
         std::cout << "  stats dump        " << stats_file << "\n";
-    if (!csv_file.empty())
+    }
+    if (!csv_file.empty()) {
         std::cout << "  frame CSV         " << csv_file << "\n";
+    }
     return 0;
 }

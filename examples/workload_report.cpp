@@ -30,11 +30,13 @@ main(int argc, char **argv)
         argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 96;
 
     std::vector<std::string> keys;
-    for (int i = 2; i < argc; ++i)
+    for (int i = 2; i < argc; ++i) {
         keys.emplace_back(argv[i]);
+    }
     if (keys.empty()) {
-        for (const auto &p : workloadTable())
+        for (const auto &p : workloadTable()) {
             keys.push_back(p.key);
+        }
     }
 
     std::cout << std::left << std::setw(5) << "key" << std::right

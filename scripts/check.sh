@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Repo correctness gate.  Usage:
+#
+#   scripts/check.sh                 # build + test + lint (+tidy/format
+#                                    # when clang tools are installed)
+#   scripts/check.sh build|test      # werror build / ctest, release preset
+#   scripts/check.sh asan|tsan       # sanitizer presets, full suite
+#   scripts/check.sh lint            # tools/vstream_lint.py (+ self-test)
+#   scripts/check.sh tidy [files]    # clang-tidy; defaults to all of src/
+#   scripts/check.sh tidy-changed    # clang-tidy on files changed vs main
+#   scripts/check.sh format          # clang-format --dry-run on src/ tests/
+#
+# Steps that need clang-tidy/clang-format skip with a notice when the
+# tool is absent (the baked-in toolchain is gcc-only); CI installs them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CXX_GLOBS=(src tests bench examples tools)
+
+note() { printf '\n== %s\n' "$*"; }
+
+cxx_files() {
+    find src tests bench examples \
+         \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \) | sort
+}
+
+do_build() {
+    note "configure + build (werror preset)"
+    cmake --preset werror
+    cmake --build --preset werror -j"$(nproc)"
+}
+
+do_test() {
+    note "ctest (werror preset)"
+    ctest --preset werror
+}
+
+do_sanitizer() {
+    local preset=$1
+    note "configure + build ($preset preset)"
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j"$(nproc)"
+    note "ctest ($preset preset)"
+    ctest --preset "$preset"
+}
+
+do_lint() {
+    note "vstream_lint"
+    python3 tools/vstream_lint.py --self-test
+    python3 tools/vstream_lint.py --root .
+}
+
+tidy_db() {
+    # clang-tidy needs a compilation database; the release preset
+    # exports one (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+    if [ ! -f build/release/compile_commands.json ]; then
+        cmake --preset release >/dev/null
+    fi
+    echo build/release
+}
+
+do_tidy() {
+    if ! command -v clang-tidy >/dev/null; then
+        echo "clang-tidy not installed; skipping" >&2
+        return 0
+    fi
+    local db
+    db=$(tidy_db)
+    local files=("$@")
+    if [ ${#files[@]} -eq 0 ]; then
+        mapfile -t files < <(find src -name '*.cc' | sort)
+    fi
+    note "clang-tidy (${#files[@]} files)"
+    clang-tidy -p "$db" --quiet "${files[@]}"
+}
+
+do_tidy_changed() {
+    local base=${BASE_REF:-origin/main}
+    git rev-parse --verify -q "$base" >/dev/null || base=main
+    mapfile -t files < <(git diff --name-only "$base"...HEAD -- \
+                             'src/*.cc' | sort)
+    if [ ${#files[@]} -eq 0 ]; then
+        echo "no changed src/*.cc files vs $base; skipping clang-tidy"
+        return 0
+    fi
+    do_tidy "${files[@]}"
+}
+
+do_format() {
+    if ! command -v clang-format >/dev/null; then
+        echo "clang-format not installed; skipping" >&2
+        return 0
+    fi
+    note "clang-format (check only)"
+    mapfile -t files < <(cxx_files)
+    clang-format --dry-run -Werror "${files[@]}"
+}
+
+case "${1:-all}" in
+    build)        do_build ;;
+    test)         do_build; do_test ;;
+    asan)         do_sanitizer asan-ubsan ;;
+    tsan)         do_sanitizer tsan ;;
+    lint)         do_lint ;;
+    tidy)         shift; do_tidy "$@" ;;
+    tidy-changed) do_tidy_changed ;;
+    format)       do_format ;;
+    all)
+        do_lint
+        do_build
+        do_test
+        do_tidy_changed
+        do_format
+        ;;
+    *)
+        echo "unknown step: $1" >&2
+        exit 2
+        ;;
+esac

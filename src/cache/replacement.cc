@@ -22,23 +22,26 @@ ReplacementState::stamp(std::uint32_t set, std::uint32_t way)
 void
 ReplacementState::touch(std::uint32_t set, std::uint32_t way)
 {
-    if (policy_ == ReplPolicy::kLru)
+    if (policy_ == ReplPolicy::kLru) {
         stamp(set, way) = ++clock_;
+    }
     // FIFO and Random ignore hits.
 }
 
 void
 ReplacementState::fill(std::uint32_t set, std::uint32_t way)
 {
-    if (policy_ != ReplPolicy::kRandom)
+    if (policy_ != ReplPolicy::kRandom) {
         stamp(set, way) = ++clock_;
+    }
 }
 
 std::uint32_t
 ReplacementState::victim(std::uint32_t set)
 {
-    if (policy_ == ReplPolicy::kRandom)
+    if (policy_ == ReplPolicy::kRandom) {
         return static_cast<std::uint32_t>(rng_.uniformInt(0, ways_ - 1));
+    }
 
     std::uint32_t best = 0;
     std::uint64_t best_stamp = stamp(set, 0);

@@ -76,8 +76,9 @@ SetAssocCache::accessLine(Addr line_addr, MemOp op,
         if (l.valid && l.tag == tag) {
             ++hits_;
             repl_.touch(set, w);
-            if (op == MemOp::kWrite)
+            if (op == MemOp::kWrite) {
                 l.dirty = cfg_.write_back;
+            }
             return true;
         }
     }
@@ -133,10 +134,11 @@ SetAssocCache::access(Addr addr, std::uint32_t size, MemOp op)
     const Addr last = (addr + size - 1) >> line_shift_;
     for (Addr l = first; l <= last; ++l) {
         ++summary.lines;
-        if (accessLine(l << line_shift_, op, summary))
+        if (accessLine(l << line_shift_, op, summary)) {
             ++summary.hits;
-        else
+        } else {
             ++summary.misses;
+        }
     }
     return summary;
 }
@@ -149,8 +151,9 @@ SetAssocCache::contains(Addr addr) const
     const std::uint64_t tag = tagOf(line_addr);
     for (std::uint32_t w = 0; w < ways_; ++w) {
         const Line &l = line(set, w);
-        if (l.valid && l.tag == tag)
+        if (l.valid && l.tag == tag) {
             return true;
+        }
     }
     return false;
 }
@@ -167,8 +170,9 @@ SetAssocCache::invalidateAll()
 std::uint64_t
 SetAssocCache::invalidateRange(Addr addr, std::uint64_t size)
 {
-    if (size == 0)
+    if (size == 0) {
         return 0;
+    }
     std::uint64_t invalidated = 0;
     const Addr first = addr >> line_shift_;
     const Addr last = (addr + size - 1) >> line_shift_;
@@ -179,8 +183,9 @@ SetAssocCache::invalidateRange(Addr addr, std::uint64_t size)
         for (std::uint32_t set = 0; set < sets_; ++set) {
             for (std::uint32_t w = 0; w < ways_; ++w) {
                 Line &l = line(set, w);
-                if (!l.valid)
+                if (!l.valid) {
                     continue;
+                }
                 const Addr la = lineAddr(set, l.tag);
                 if (la >= (first << line_shift_) &&
                     la <= (last << line_shift_)) {
@@ -216,8 +221,9 @@ SetAssocCache::flush()
     for (std::uint32_t set = 0; set < sets_; ++set) {
         for (std::uint32_t w = 0; w < ways_; ++w) {
             Line &l = line(set, w);
-            if (l.valid && l.dirty)
+            if (l.valid && l.dirty) {
                 dirty_lines.push_back(lineAddr(set, l.tag));
+            }
             l.valid = false;
             l.dirty = false;
         }

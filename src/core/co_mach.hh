@@ -40,7 +40,9 @@ class CoMach
     std::uint64_t insertCount() const { return inserts_; }
 
   private:
-    const MachConfig &cfg_;
+    // By value: a reference member dangles when built from a
+    // temporary config (ASan stack-use-after-scope).
+    MachConfig cfg_;
     std::unique_ptr<MachCache> cache_;
     std::uint64_t inserts_ = 0;
 };

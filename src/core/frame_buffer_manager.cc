@@ -63,18 +63,22 @@ FrameBufferManager::release(std::uint64_t frame_index)
 BufferSlot *
 FrameBufferManager::find(std::uint64_t frame_index)
 {
-    for (auto &slot : slots_)
-        if (slot.in_use && slot.frame_index == frame_index)
+    for (auto &slot : slots_) {
+        if (slot.in_use && slot.frame_index == frame_index) {
             return &slot;
+        }
+    }
     return nullptr;
 }
 
 const BufferSlot *
 FrameBufferManager::find(std::uint64_t frame_index) const
 {
-    for (const auto &slot : slots_)
-        if (slot.in_use && slot.frame_index == frame_index)
+    for (const auto &slot : slots_) {
+        if (slot.in_use && slot.frame_index == frame_index) {
             return &slot;
+        }
+    }
     return nullptr;
 }
 
@@ -116,8 +120,9 @@ const std::vector<std::uint8_t> *
 FrameBufferManager::loadBlock(Addr addr) const
 {
     const BufferSlot *slot = slotContaining(addr);
-    if (slot == nullptr)
+    if (slot == nullptr) {
         return nullptr;
+    }
     const auto it = slot->blocks.find(addr);
     return it == slot->blocks.end() ? nullptr : &it->second;
 }
@@ -126,9 +131,11 @@ std::uint32_t
 FrameBufferManager::slotsInUse() const
 {
     std::uint32_t n = 0;
-    for (const auto &slot : slots_)
-        if (slot.in_use)
+    for (const auto &slot : slots_) {
+        if (slot.in_use) {
             ++n;
+        }
+    }
     return n;
 }
 

@@ -29,9 +29,11 @@ std::uint64_t
 FrameLayout::countStorage(MabStorage s) const
 {
     std::uint64_t n = 0;
-    for (const auto &r : records_)
-        if (r.storage == s)
+    for (const auto &r : records_) {
+        if (r.storage == s) {
             ++n;
+        }
+    }
     return n;
 }
 

@@ -13,8 +13,9 @@ MachArray::MachArray(const MachConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
     current_ = std::make_unique<MachCache>(cfg_);
-    if (cfg_.co_mach)
+    if (cfg_.co_mach) {
         co_mach_ = std::make_unique<CoMach>(cfg_);
+    }
 }
 
 void
@@ -23,12 +24,14 @@ MachArray::beginFrame()
     if (current_->validCount() > 0 || !history_.empty()) {
         current_->freeze();
         history_.push_front(std::move(*current_));
-        while (history_.size() > cfg_.num_machs - 1)
+        while (history_.size() > cfg_.num_machs - 1) {
             history_.pop_back();
+        }
     }
     current_ = std::make_unique<MachCache>(cfg_);
-    if (co_mach_)
+    if (co_mach_) {
         co_mach_->beginFrame();
+    }
 }
 
 MachLookupResult
@@ -40,8 +43,9 @@ MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
 
     // Current frame first (intra), then history newest-to-oldest.
     MachProbe probe = current_->lookup(digest, aux, truth);
-    if (probe.collision_detected)
+    if (probe.collision_detected) {
         result.collision_detected = true;
+    }
     if (probe.hit) {
         result.hit = true;
         result.inter = false;
@@ -52,8 +56,9 @@ MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
         std::uint32_t age = 1;
         for (auto &mach : history_) {
             probe = mach.lookup(digest, aux, truth);
-            if (probe.collision_detected)
+            if (probe.collision_detected) {
                 result.collision_detected = true;
+            }
             if (probe.hit) {
                 result.hit = true;
                 result.inter = true;
@@ -79,18 +84,21 @@ MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
     }
 
     if (result.hit) {
-        if (result.inter)
+        if (result.inter) {
             ++stats_.inter_hits;
-        else
+        } else {
             ++stats_.intra_hits;
+        }
         ++match_counts_[digest];
     } else {
         ++stats_.misses;
     }
-    if (result.collision_detected)
+    if (result.collision_detected) {
         ++stats_.collisions_detected;
-    if (result.collision_undetected)
+    }
+    if (result.collision_undetected) {
         ++stats_.collisions_undetected;
+    }
     return result;
 }
 

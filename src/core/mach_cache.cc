@@ -46,10 +46,12 @@ MachCache::lookup(std::uint32_t digest, std::uint16_t aux,
 
     for (std::uint32_t w = 0; w < ways_; ++w) {
         MachEntry &e = entry(set, w);
-        if (!e.valid || e.digest != digest)
+        if (!e.valid || e.digest != digest) {
             continue;
-        if (full_tags_ && e.aux != aux)
+        }
+        if (full_tags_ && e.aux != aux) {
             continue;
+        }
 
         if (cfg_.co_mach && !full_tags_ && e.aux != aux) {
             // Primary digest collided; the CRC16 check caught it.
@@ -85,8 +87,9 @@ MachCache::insert(std::uint32_t digest, std::uint16_t aux, Addr ptr,
             break;
         }
     }
-    if (way == ways_)
+    if (way == ways_) {
         way = repl_.victim(set);
+    }
 
     MachEntry &e = entry(set, way);
     e.valid = true;
@@ -101,9 +104,11 @@ std::uint32_t
 MachCache::validCount() const
 {
     std::uint32_t n = 0;
-    for (const auto &e : entries_)
-        if (e.valid)
+    for (const auto &e : entries_) {
+        if (e.valid) {
             ++n;
+        }
+    }
     return n;
 }
 
@@ -119,9 +124,11 @@ MachCache::validEntries() const
 {
     std::vector<const MachEntry *> out;
     out.reserve(entries_.size());
-    for (const auto &e : entries_)
-        if (e.valid)
+    for (const auto &e : entries_) {
+        if (e.valid) {
             out.push_back(&e);
+        }
+    }
     return out;
 }
 

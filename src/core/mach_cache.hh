@@ -101,7 +101,9 @@ class MachCache
     const MachEntry &entry(std::uint32_t set, std::uint32_t way) const;
     std::uint32_t setOf(std::uint32_t digest) const;
 
-    const MachConfig &cfg_;
+    // By value: a reference member dangles when the cache is built
+    // from a temporary config (ASan stack-use-after-scope).
+    MachConfig cfg_;
     std::uint32_t sets_;
     std::uint32_t ways_;
     bool full_tags_;

@@ -96,8 +96,9 @@ PipelineConfig::finalize()
     display.use_display_cache = scheme.display_cache;
     display.use_mach_buffer = scheme.mach_buffer;
     display.transaction_elimination = scheme.transaction_elimination;
-    if (scheme.mach)
+    if (scheme.mach) {
         display.mach_window = mach.num_machs;
+    }
 
     // MACH representation follows the scheme.
     mach.use_gradient = scheme.gradient;
@@ -122,16 +123,19 @@ PipelineConfig::validate() const
     decoder.validate();
     display.validate();
     mach.validate();
-    if (scheme.batch == 0)
+    if (scheme.batch == 0) {
         vs_fatal("batch size must be >= 1");
-    if (scheme.mach && scheme.layout == LayoutKind::kLinear)
+    }
+    if (scheme.mach && scheme.layout == LayoutKind::kLinear) {
         vs_fatal("MACH schemes require a pointer-based layout");
+    }
     if (scheme.mach_buffer &&
         scheme.layout != LayoutKind::kPointerDigest) {
         vs_fatal("the MACH buffer requires the pointer+digest layout");
     }
-    if (preroll_frames == 0)
+    if (preroll_frames == 0) {
         vs_fatal("need at least one pre-rolled frame");
+    }
 }
 
 } // namespace vstream

@@ -122,8 +122,9 @@ struct Playback
     Tick
     arrival(std::uint32_t i) const
     {
-        if (i < cfg.preroll_frames)
+        if (i < cfg.preroll_frames) {
             return 0;
+        }
         const std::uint64_t chunk =
             (i - cfg.preroll_frames) / chunk_frames;
         return (chunk + 1) * cfg.buffer_interval;
@@ -140,8 +141,9 @@ struct Playback
     Tick
     slotFreeTick() const
     {
-        if (live_slots.size() < pool_cap)
+        if (live_slots.size() < pool_cap) {
             return 0;
+        }
         return releaseTick(live_slots.front());
     }
 
@@ -153,11 +155,13 @@ struct Playback
     {
         const std::uint64_t need =
             live_slots.size() + cfg.scheme.batch;
-        if (need <= pool_cap)
+        if (need <= pool_cap) {
             return 0;
+        }
         const std::uint64_t kth = need - pool_cap - 1;
-        if (kth >= live_slots.size())
+        if (kth >= live_slots.size()) {
             return releaseTick(live_slots.back());
+        }
         return releaseTick(live_slots[kth]);
     }
 
@@ -200,8 +204,9 @@ struct Playback
     void
     spendIdle(Tick from, Tick to, std::uint32_t first, std::uint32_t last)
     {
-        if (to <= from)
+        if (to <= from) {
             return;
+        }
         const Tick window_ticks = to - from;
         const SleepDecision d =
             governor.decide(window_ticks, vd.frequency());
@@ -222,8 +227,9 @@ struct Playback
             result.energy.short_slack += d.energy_j;
         }
 
-        if (last < first || last >= frames)
+        if (last < first || last >= frames) {
             return;
+        }
         const auto n = static_cast<double>(last - first + 1);
         for (std::uint32_t f = first; f <= last; ++f) {
             FrameStateRecord &rec = result.frame_records[f];
@@ -344,8 +350,9 @@ VideoPipeline::run()
         // Decode everything that starts at or before this vsync.
         while (i < n) {
             const Tick start = p.nextStart(i);
-            if (start > p.vsync(v))
+            if (start > p.vsync(v)) {
                 break;
+            }
 
             // A sleep gap ends the previous "batch" (the run of
             // back-to-back decodes); its idle window is attributed
@@ -363,8 +370,9 @@ VideoPipeline::run()
         // Scan-out at this vsync.
         const Tick now = p.vsync(v);
         std::int64_t shown = last_shown;
-        if (v < p.decoded && p.finishes[v] <= now)
+        if (v < p.decoded && p.finishes[v] <= now) {
             shown = v;
+        }
 
         if (shown != static_cast<std::int64_t>(v)) {
             ++p.result.drops;
@@ -380,8 +388,9 @@ VideoPipeline::run()
                 const ScanStats scan = p.dc.scanOut(
                     p.layouts[static_cast<std::size_t>(shown)], now,
                     shown != static_cast<std::int64_t>(v));
-                if (cfg_.verify_display && !scan.verified)
+                if (cfg_.verify_display && !scan.verified) {
                     p.result.all_verified = false;
+                }
             }
         }
         last_shown = shown;
@@ -396,8 +405,9 @@ VideoPipeline::run()
     // Idle time before the very first decode (startup).
     if (n > 0 && !p.result.frame_records.empty()) {
         const Tick first_start = p.result.frame_records[0].start;
-        if (first_start > 0)
+        if (first_start > 0) {
             p.spendIdle(0, first_start, 1, 0); // totals only
+        }
     }
 
     // ---- assemble the result -----------------------------------------
@@ -414,14 +424,18 @@ VideoPipeline::run()
     r.energy.dc = cfg_.display.power_w * span_s;
 
     double overhead_w = 0.0;
-    if (cfg_.scheme.mach)
+    if (cfg_.scheme.mach) {
         overhead_w += cfg_.mach.mach_power_w;
-    if (cfg_.scheme.display_cache)
+    }
+    if (cfg_.scheme.display_cache) {
         overhead_w += cfg_.mach.display_cache_power_w;
-    if (cfg_.scheme.mach_buffer)
+    }
+    if (cfg_.scheme.mach_buffer) {
         overhead_w += cfg_.mach.mach_buffer_power_w;
-    if (cfg_.scheme.co_mach)
+    }
+    if (cfg_.scheme.co_mach) {
         overhead_w += cfg_.mach.co_mach_power_w;
+    }
     r.energy.mach_overhead = overhead_w * span_s;
 
     r.writeback = p.wb->totals();
@@ -472,8 +486,9 @@ VideoPipeline::run()
         p.vd.dumpStats(os);
         p.dc.dumpStats(os);
         p.mem.dumpStats(os);
-        if (p.machs)
+        if (p.machs) {
             p.machs->dumpStats(os, "vd.mach");
+        }
         stats::printStat(os, "pipeline.drops",
                          static_cast<double>(r.drops));
         stats::printStat(os, "pipeline.peakBuffers",

@@ -10,8 +10,9 @@ double
 WritebackTotals::savings(std::uint32_t mab_bytes) const
 {
     const auto baseline = baselineBytes(mab_bytes);
-    if (baseline == 0)
+    if (baseline == 0) {
         return 0.0;
+    }
     return 1.0 - static_cast<double>(totalBytes()) /
                      static_cast<double>(baseline);
 }
@@ -173,10 +174,11 @@ MachWriteback::writeMab(const Macroblock &mab, std::uint32_t idx, Tick now)
             base_buf_.append(cfg.base_bytes, now);
             frame_meta_bytes_ += cfg.base_bytes;
         }
-        if (hit.inter)
+        if (hit.inter) {
             ++totals_.inter_matches;
-        else
+        } else {
             ++totals_.intra_matches;
+        }
         last_tick_ = now;
         return;
     }
@@ -237,8 +239,9 @@ MachWriteback::finishFrame(Tick now)
 
         // Dump the frozen MACH image for the display's MACH buffer.
         std::vector<std::pair<std::uint32_t, Addr>> dump;
-        for (const MachEntry *e : machs_.current().validEntries())
+        for (const MachEntry *e : machs_.current().validEntries()) {
             dump.emplace_back(e->digest, e->ptr);
+        }
         const std::uint64_t dump_bytes =
             dump.size() * (cfg.digest_bytes + cfg.pointer_bytes);
         if (dump_bytes > 0) {

@@ -65,10 +65,12 @@ VideoDecoder::readReference(const BufferSlot &prev, std::uint32_t idx,
     // same position in the previous frame, giving MC reads the
     // address locality that makes the VD cache effective (Fig. 7a).
     std::int64_t ref_idx = static_cast<std::int64_t>(idx) + reach_off;
-    if (ref_idx < 0)
+    if (ref_idx < 0) {
         ref_idx = 0;
-    if (ref_idx >= static_cast<std::int64_t>(mab_count))
+    }
+    if (ref_idx >= static_cast<std::int64_t>(mab_count)) {
         ref_idx = mab_count - 1;
+    }
 
     const std::uint32_t mab_bytes =
         profile_.mab_dim * profile_.mab_dim * kBytesPerPixel;
@@ -145,6 +147,13 @@ VideoDecoder::dumpStats(std::ostream &os) const
     stats::printStat(os, name() + ".framesDecoded",
                      static_cast<double>(frames_decoded_));
     cache_->dumpStats(os);
+}
+
+void
+VideoDecoder::resetStats()
+{
+    frames_decoded_ = 0;
+    cache_->resetStats();
 }
 
 } // namespace vstream

@@ -73,6 +73,7 @@ class VideoDecoder : public SimObject
     const DecoderConfig &config() const { return cfg_; }
 
     void dumpStats(std::ostream &os) const override;
+    void resetStats() override;
 
   private:
     /** Read [addr, addr+size) through the VD cache, widened to the

@@ -40,6 +40,7 @@ class DisplayCache
     double missRate() const { return cache_->missRate(); }
 
     void invalidateAll() { cache_->invalidateAll(); }
+    void resetStats() { cache_->resetStats(); }
     void dumpStats(std::ostream &os) const { cache_->dumpStats(os); }
 
     const CacheConfig &config() const { return cache_->config(); }

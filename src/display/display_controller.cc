@@ -16,8 +16,9 @@ DisplayController::DisplayController(std::string name, EventQueue *queue,
     : SimObject(std::move(name), queue), mem_(mem), fbm_(fbm), cfg_(cfg)
 {
     cfg_.validate();
-    if (cfg_.use_display_cache)
+    if (cfg_.use_display_cache) {
         display_cache_ = std::make_unique<DisplayCache>(cfg_.display_cache);
+    }
     if (cfg_.use_mach_buffer) {
         mach_buffer_ = std::make_unique<MachBuffer>(
             cfg_.mach_buffer_entries, cfg_.mach_buffer_ways);
@@ -53,8 +54,9 @@ DisplayController::fetchBlock(Addr addr, std::uint32_t size, Tick now,
         display_cache_ ? display_cache_->lineSpan(addr, size)
                        : (static_cast<std::uint32_t>(
                              (addr + size - 1) / 64 - addr / 64 + 1));
-    if (span > 1)
+    if (span > 1) {
         ++stats.fragmented_fetches;
+    }
 
     if (display_cache_) {
         const std::vector<Addr> fills = display_cache_->access(addr, size);
@@ -125,8 +127,9 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
         stats.eliminated = true;
         ++totals_.frames_shown;
         ++totals_.eliminated_frames;
-        if (re_render)
+        if (re_render) {
             ++totals_.re_renders;
+        }
         return stats;
     }
 
@@ -158,15 +161,17 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
                            t, stats);
             stats.meta_bytes += layout.machDumpBytes();
             dumps_.push_front(layout.machDump());
-            while (dumps_.size() > cfg_.mach_window)
+            while (dumps_.size() > cfg_.mach_window) {
                 dumps_.pop_back();
+            }
         }
 
         // Digests present in this frame's dump: unique blocks worth
         // inserting into the MACH buffer as they stream past.
         std::unordered_set<std::uint32_t> dump_digests;
-        for (const auto &[d, ptr] : layout.machDump())
+        for (const auto &[d, ptr] : layout.machDump()) {
             dump_digests.insert(d);
+        }
 
         for (std::uint32_t i = 0; i < layout.mabCount(); ++i) {
             const MabRecord &rec = layout.record(i);
@@ -215,16 +220,18 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
     on_screen_checksum_ = layout.sourceChecksum();
 
     ++totals_.frames_shown;
-    if (re_render)
+    if (re_render) {
         ++totals_.re_renders;
+    }
     totals_.dram_requests += stats.dram_requests;
     totals_.bytes_read += stats.bytes_read;
     totals_.meta_bytes += stats.meta_bytes;
     totals_.digest_records += stats.digest_records;
     totals_.pointer_records += stats.pointer_records;
     totals_.fragmented_fetches += stats.fragmented_fetches;
-    if (!stats.verified)
+    if (!stats.verified) {
         ++totals_.verify_failures;
+    }
     return stats;
 }
 
@@ -241,10 +248,24 @@ DisplayController::dumpStats(std::ostream &os) const
                      static_cast<double>(totals_.bytes_read));
     stats::printStat(os, name() + ".verifyFailures",
                      static_cast<double>(totals_.verify_failures));
-    if (display_cache_)
+    if (display_cache_) {
         display_cache_->dumpStats(os);
-    if (mach_buffer_)
+    }
+    if (mach_buffer_) {
         mach_buffer_->dumpStats(os, name() + ".machBuffer");
+    }
+}
+
+void
+DisplayController::resetStats()
+{
+    totals_ = DisplayTotals{};
+    if (display_cache_) {
+        display_cache_->resetStats();
+    }
+    if (mach_buffer_) {
+        mach_buffer_->resetStats();
+    }
 }
 
 } // namespace vstream

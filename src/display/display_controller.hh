@@ -94,6 +94,7 @@ class DisplayController : public SimObject
     Tick framePeriod() const { return sim_clock::s / cfg_.refresh_hz; }
 
     void dumpStats(std::ostream &os) const override;
+    void resetStats() override;
 
   private:
     /** Stream @p bytes sequentially from @p base; returns end tick. */

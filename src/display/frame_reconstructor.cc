@@ -21,8 +21,9 @@ FrameReconstructor::rebuildMab(const std::vector<std::uint8_t> &stored,
               "stored block is not a square pixel block");
 
     Macroblock block(dim, stored);
-    if (!gradient_mode)
+    if (!gradient_mode) {
         return block;
+    }
     return Macroblock::fromGradient(block, rec.base);
 }
 
@@ -30,8 +31,9 @@ std::uint32_t
 FrameReconstructor::checksum(const std::vector<Macroblock> &mabs)
 {
     Crc32 crc;
-    for (const auto &m : mabs)
+    for (const auto &m : mabs) {
         crc.update(m.bytes().data(), m.bytes().size());
+    }
     return crc.digest();
 }
 

@@ -66,8 +66,9 @@ MachBuffer::insert(std::uint32_t digest,
             break;
         }
     }
-    if (way == ways_)
+    if (way == ways_) {
         way = repl_.victim(set);
+    }
 
     Entry &e = entry(set, way);
     e.valid = true;
@@ -75,6 +76,14 @@ MachBuffer::insert(std::uint32_t digest,
     e.block = block;
     repl_.fill(set, way);
     ++inserts_;
+}
+
+void
+MachBuffer::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+    inserts_ = 0;
 }
 
 void

@@ -40,6 +40,7 @@ class MachBuffer
 
     std::uint32_t entries() const { return sets_ * ways_; }
 
+    void resetStats();
     void dumpStats(std::ostream &os, const std::string &prefix) const;
 
   private:

@@ -14,8 +14,9 @@ makeCrc32Table()
     std::array<std::uint32_t, 256> table{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t c = i;
-        for (int k = 0; k < 8; ++k)
+        for (int k = 0; k < 8; ++k) {
             c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        }
         table[i] = c;
     }
     return table;
@@ -47,8 +48,9 @@ Crc32::update(const void *data, std::size_t len)
 {
     const auto *p = static_cast<const std::uint8_t *>(data);
     std::uint32_t c = state_;
-    for (std::size_t i = 0; i < len; ++i)
+    for (std::size_t i = 0; i < len; ++i) {
         c = crc32_table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    }
     state_ = c;
 }
 

@@ -25,12 +25,15 @@ hashKindName(HashKind kind)
 HashKind
 hashKindFromName(const std::string &name)
 {
-    if (name == "crc32")
+    if (name == "crc32") {
         return HashKind::kCrc32;
-    if (name == "md5")
+    }
+    if (name == "md5") {
         return HashKind::kMd5;
-    if (name == "sha1")
+    }
+    if (name == "sha1") {
         return HashKind::kSha1;
+    }
     vs_fatal("unknown hash kind '", name, "'");
 }
 

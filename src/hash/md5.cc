@@ -128,12 +128,14 @@ Md5::digest()
     const std::uint8_t pad = 0x80;
     update(&pad, 1);
     const std::uint8_t zero = 0x00;
-    while (buffer_len_ != 56)
+    while (buffer_len_ != 56) {
         update(&zero, 1);
+    }
 
     std::uint8_t len_bytes[8];
-    for (int i = 0; i < 8; ++i)
+    for (int i = 0; i < 8; ++i) {
         len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+    }
     // Bypass update() so total_len_ accounting does not matter here.
     std::memcpy(buffer_.data() + 56, len_bytes, 8);
     processBlock(buffer_.data());

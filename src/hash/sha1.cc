@@ -35,8 +35,9 @@ Sha1::processBlock(const std::uint8_t *block)
                (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
                static_cast<std::uint32_t>(block[i * 4 + 3]);
     }
-    for (int i = 16; i < 80; ++i)
+    for (int i = 16; i < 80; ++i) {
         w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
 
     std::uint32_t a = state_[0];
     std::uint32_t b = state_[1];
@@ -111,12 +112,14 @@ Sha1::digest()
     const std::uint8_t pad = 0x80;
     update(&pad, 1);
     const std::uint8_t zero = 0x00;
-    while (buffer_len_ != 56)
+    while (buffer_len_ != 56) {
         update(&zero, 1);
+    }
 
     std::uint8_t len_bytes[8];
-    for (int i = 0; i < 8; ++i)
+    for (int i = 0; i < 8; ++i) {
         len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+    }
     std::memcpy(buffer_.data() + 56, len_bytes, 8);
     processBlock(buffer_.data());
     buffer_len_ = 0;

@@ -75,8 +75,9 @@ AddressMap::decompose(Addr addr) const
     DramCoord coord;
     for (Field f : fieldOrder()) {
         const std::uint32_t bits = fieldBits(f);
-        if (bits == 0)
+        if (bits == 0) {
             continue;
+        }
         const auto value =
             static_cast<std::uint32_t>(a & ((1u << bits) - 1));
         a >>= bits;
@@ -107,8 +108,9 @@ AddressMap::compose(const DramCoord &coord) const
     // Re-insert the fields MSB-to-LSB (reverse of decompose).
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
         const std::uint32_t bits = fieldBits(*it);
-        if (bits == 0)
+        if (bits == 0) {
             continue;
+        }
         std::uint32_t value = 0;
         switch (*it) {
           case Field::kChannel:

@@ -6,10 +6,12 @@ namespace vstream
 bool
 DramBank::expireRow(Tick now, Tick timeout)
 {
-    if (!row_open_)
+    if (!row_open_) {
         return false;
-    if (now <= last_access_ || now - last_access_ <= timeout)
+    }
+    if (now <= last_access_ || now - last_access_ <= timeout) {
         return false;
+    }
     // The controller closed the row at last_access_ + timeout; by
     // `now` the precharge has long completed.
     row_open_ = false;
@@ -36,10 +38,12 @@ DramBank::precharge(Tick ready)
 void
 DramBank::touch(Tick when)
 {
-    if (when > last_access_)
+    if (when > last_access_) {
         last_access_ = when;
-    if (when > ready_at_)
+    }
+    if (when > ready_at_) {
         ready_at_ = when;
+    }
 }
 
 void

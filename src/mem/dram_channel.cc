@@ -41,8 +41,9 @@ DramChannel::occupyBus(Tick earliest, Tick duration)
 void
 DramChannel::reset()
 {
-    for (auto &b : banks_)
+    for (auto &b : banks_) {
         b.reset();
+    }
     bus_free_at_ = 0;
 }
 

@@ -56,20 +56,27 @@ DramConfig::rowsPerBank() const
 void
 DramConfig::validate() const
 {
-    if (channels == 0 || ranks_per_channel == 0 || banks_per_rank == 0)
+    if (channels == 0 || ranks_per_channel == 0 || banks_per_rank == 0) {
         vs_fatal("DRAM geometry must be non-zero");
-    if ((row_bytes & (row_bytes - 1)) != 0)
+    }
+    if ((row_bytes & (row_bytes - 1)) != 0) {
         vs_fatal("row_bytes must be a power of two");
-    if ((burst_length & (burst_length - 1)) != 0 || burst_length < 2)
+    }
+    if ((burst_length & (burst_length - 1)) != 0 || burst_length < 2) {
         vs_fatal("burst_length must be a power of two >= 2");
-    if ((channels & (channels - 1)) != 0)
+    }
+    if ((channels & (channels - 1)) != 0) {
         vs_fatal("channel count must be a power of two");
-    if ((banks_per_rank & (banks_per_rank - 1)) != 0)
+    }
+    if ((banks_per_rank & (banks_per_rank - 1)) != 0) {
         vs_fatal("banks_per_rank must be a power of two");
-    if (bytesPerBurst() == 0 || bytesPerBurst() > row_bytes)
+    }
+    if (bytesPerBurst() == 0 || bytesPerBurst() > row_bytes) {
         vs_fatal("burst size incompatible with row size");
-    if (rowsPerBank() == 0)
+    }
+    if (rowsPerBank() == 0) {
         vs_fatal("capacity too small for geometry");
+    }
 }
 
 } // namespace vstream

@@ -12,8 +12,9 @@ DramController::DramController(const DramConfig &cfg)
 {
     cfg_.validate();
     channels_.reserve(cfg_.channels);
-    for (std::uint32_t c = 0; c < cfg_.channels; ++c)
+    for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
         channels_.emplace_back(cfg_.ranks_per_channel, cfg_.banks_per_rank);
+    }
     write_queues_.resize(static_cast<std::size_t>(cfg_.channels) *
                          cfg_.ranks_per_channel * cfg_.banks_per_rank);
     next_refresh_.assign(cfg_.channels, cfg_.t_refi);
@@ -32,18 +33,21 @@ DramController::bankIndex(const DramCoord &coord) const
 Tick
 DramController::applyRefresh(std::uint32_t channel, Tick t)
 {
-    if (!cfg_.refresh_enabled)
+    if (!cfg_.refresh_enabled) {
         return t;
+    }
     Tick &next = next_refresh_[channel];
-    if (t < next)
+    if (t < next) {
         return t;
+    }
     // Jump to the refresh epoch containing t; refreshes the device
     // performed while idle did not block anyone.
     const std::uint64_t missed = (t - next) / cfg_.t_refi;
     next += missed * cfg_.t_refi;
     ++refreshes_;
-    if (t < next + cfg_.t_rfc)
+    if (t < next + cfg_.t_rfc) {
         t = next + cfg_.t_rfc;
+    }
     next += cfg_.t_refi;
     return t;
 }
@@ -60,8 +64,9 @@ DramController::accessBurst(const DramCoord &coord, MemOp op, Requester r,
     // Starvation bound: rows idle past the timeout were closed by the
     // controller in the meantime.  The precharge is attributed to the
     // requester whose access left the row open.
-    if (bank.expireRow(now, cfg_.row_open_timeout))
+    if (bank.expireRow(now, cfg_.row_open_timeout)) {
         energy_.recordPrecharge(r);
+    }
 
     Tick t = std::max(now, bank.readyAt());
     row_hit = false;
@@ -94,12 +99,14 @@ DramController::accessBurst(const DramCoord &coord, MemOp op, Requester r,
     // Closed-page: auto-precharge after the access; the next access
     // to this bank activates unconditionally (tRP off the critical
     // path, the precharge energy booked with the activation pair).
-    if (cfg_.page_policy == PagePolicy::kClosedPage)
+    if (cfg_.page_policy == PagePolicy::kClosedPage) {
         bank.precharge(finish);
+    }
 
     energy_.recordBurst(r, op, cfg_.bytesPerBurst());
-    if (row_hit)
+    if (row_hit) {
         energy_.recordRowHit(r);
+    }
     return finish;
 }
 
@@ -107,8 +114,9 @@ void
 DramController::drainBank(std::size_t bank_idx, Tick now)
 {
     auto &queue = write_queues_[bank_idx];
-    if (queue.empty())
+    if (queue.empty()) {
         return;
+    }
 
     // Row-sorted service order: one activation per distinct row in
     // the batch instead of one per scattered write.
@@ -150,21 +158,25 @@ DramController::access(const MemRequest &req, Tick now)
             // Posted write: enqueue and drain in batches.
             auto &queue = write_queues_[bankIndex(coord)];
             queue.push_back(PendingWrite{coord, req.requester});
-            if (queue.size() >= cfg_.write_queue_depth)
+            if (queue.size() >= cfg_.write_queue_depth) {
                 drainBank(bankIndex(coord), now);
+            }
         } else {
             bool row_hit = false;
             bool activated = false;
             const Tick burst_finish = accessBurst(
                 coord, req.op, req.requester, now, row_hit, activated);
             finish = std::max(finish, burst_finish);
-            if (row_hit)
+            if (row_hit) {
                 ++result.row_hits;
-            if (activated)
+            }
+            if (activated) {
                 ++result.activations;
+            }
         }
-        if (a == last)
+        if (a == last) {
             break;
+        }
     }
     result.finish_tick = finish;
     return result;
@@ -173,26 +185,30 @@ DramController::access(const MemRequest &req, Tick now)
 void
 DramController::flushWrites(Tick now)
 {
-    for (std::size_t i = 0; i < write_queues_.size(); ++i)
+    for (std::size_t i = 0; i < write_queues_.size(); ++i) {
         drainBank(i, now);
+    }
 }
 
 std::uint64_t
 DramController::pendingWrites() const
 {
     std::uint64_t n = 0;
-    for (const auto &q : write_queues_)
+    for (const auto &q : write_queues_) {
         n += q.size();
+    }
     return n;
 }
 
 void
 DramController::reset()
 {
-    for (auto &c : channels_)
+    for (auto &c : channels_) {
         c.reset();
-    for (auto &q : write_queues_)
+    }
+    for (auto &q : write_queues_) {
         q.clear();
+    }
     next_refresh_.assign(cfg_.channels, cfg_.t_refi);
     refreshes_ = 0;
     energy_.reset();

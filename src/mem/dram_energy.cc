@@ -68,8 +68,9 @@ DramActivityCounts
 DramEnergy::totalCounts() const
 {
     DramActivityCounts total;
-    for (const auto &c : per_requester_)
+    for (const auto &c : per_requester_) {
         total += c;
+    }
     return total;
 }
 
@@ -86,8 +87,9 @@ double
 DramEnergy::actPreEnergyTotal() const
 {
     double sum = 0.0;
-    for (std::size_t i = 0; i < per_requester_.size(); ++i)
+    for (std::size_t i = 0; i < per_requester_.size(); ++i) {
         sum += actPreEnergy(static_cast<Requester>(i));
+    }
     return sum;
 }
 
@@ -104,8 +106,9 @@ double
 DramEnergy::burstEnergyTotal() const
 {
     double sum = 0.0;
-    for (std::size_t i = 0; i < per_requester_.size(); ++i)
+    for (std::size_t i = 0; i < per_requester_.size(); ++i) {
         sum += burstEnergy(static_cast<Requester>(i));
+    }
     return sum;
 }
 
@@ -124,8 +127,9 @@ DramEnergy::dynamicEnergyTotal() const
 void
 DramEnergy::reset()
 {
-    for (auto &c : per_requester_)
+    for (auto &c : per_requester_) {
         c = DramActivityCounts{};
+    }
 }
 
 void

@@ -74,7 +74,9 @@ class DramEnergy
   private:
     static std::size_t index(Requester r);
 
-    const DramConfig &cfg_;
+    // By value: a reference member dangles when built from a
+    // temporary config (ASan stack-use-after-scope).
+    DramConfig cfg_;
     std::array<DramActivityCounts, 4> per_requester_{};
 };
 

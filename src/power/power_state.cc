@@ -80,8 +80,9 @@ VdPowerConfig::sleepPower(PowerState sleep_state) const
 void
 VdPowerConfig::validate() const
 {
-    if (freq_low_hz <= 0 || freq_high_hz < freq_low_hz)
+    if (freq_low_hz <= 0 || freq_high_hz < freq_low_hz) {
         vs_fatal("bad VD frequency configuration");
+    }
     if (p_s3_w > p_s1_w || p_s1_w > p_short_slack_w ||
         p_short_slack_w > p_active_low_w ||
         p_active_low_w > p_active_high_w) {

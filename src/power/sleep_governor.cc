@@ -14,8 +14,9 @@ double
 SleepGovernor::windowEnergy(PowerState state, Tick slack,
                             VdFrequency freq) const
 {
-    if (state == PowerState::kShortSlack)
+    if (state == PowerState::kShortSlack) {
         return cfg_.p_short_slack_w * ticksToSeconds(slack);
+    }
 
     const Tick trans = cfg_.roundTripLatency(state);
     vs_assert(slack >= trans, "window does not cover the transition");
@@ -37,8 +38,9 @@ SleepGovernor::decide(Tick slack, VdFrequency freq) const
 
     for (PowerState s : {PowerState::kSleepS1, PowerState::kSleepS3}) {
         const Tick trans = cfg_.roundTripLatency(s);
-        if (slack < trans)
+        if (slack < trans) {
             continue;
+        }
         const double e = windowEnergy(s, slack, freq);
         if (e < best.energy_j) {
             best.state = s;

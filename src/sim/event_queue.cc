@@ -60,8 +60,9 @@ EventQueue::deschedule(Event *ev)
 void
 EventQueue::reschedule(Event *ev, Tick when)
 {
-    if (ev->scheduled_)
+    if (ev->scheduled_) {
         deschedule(ev);
+    }
     schedule(ev, when);
 }
 
@@ -73,8 +74,9 @@ EventQueue::step()
         heap_.pop();
         Event *ev = top.event;
         // Skip entries invalidated by deschedule()/reschedule().
-        if (!ev->scheduled_ || ev->sequence_ != top.sequence)
+        if (!ev->scheduled_ || ev->sequence_ != top.sequence) {
             continue;
+        }
         vs_assert(top.when >= cur_tick_, "time went backwards");
         cur_tick_ = top.when;
         ev->scheduled_ = false;
@@ -96,8 +98,9 @@ EventQueue::run(Tick limit)
             heap_.pop();
             continue;
         }
-        if (top.when > limit)
+        if (top.when > limit) {
             break;
+        }
         step();
     }
     return cur_tick_;

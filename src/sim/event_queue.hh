@@ -148,10 +148,12 @@ class EventQueue
         bool
         operator()(const Entry &a, const Entry &b) const
         {
-            if (a.when != b.when)
+            if (a.when != b.when) {
                 return a.when > b.when;
-            if (a.priority != b.priority)
+            }
+            if (a.priority != b.priority) {
                 return a.priority > b.priority;
+            }
             return a.sequence > b.sequence;
         }
     };

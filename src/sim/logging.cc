@@ -38,15 +38,17 @@ void
 warnImpl(const std::string &msg)
 {
     warn_counter.fetch_add(1, std::memory_order_relaxed);
-    if (!quiet_mode.load(std::memory_order_relaxed))
+    if (!quiet_mode.load(std::memory_order_relaxed)) {
         std::cerr << "warn: " << msg << std::endl;
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet_mode.load(std::memory_order_relaxed))
+    if (!quiet_mode.load(std::memory_order_relaxed)) {
         std::cout << "info: " << msg << std::endl;
+    }
 }
 
 std::uint64_t

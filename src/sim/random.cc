@@ -36,8 +36,9 @@ void
 Random::seed(std::uint64_t seed_value)
 {
     std::uint64_t sm = seed_value;
-    for (auto &word : s_)
+    for (auto &word : s_) {
         word = splitMix64(sm);
+    }
     have_spare_ = false;
     spare_ = 0.0;
 }
@@ -76,8 +77,9 @@ Random::uniformInt(std::uint64_t lo, std::uint64_t hi)
 {
     vs_assert(lo <= hi, "uniformInt range inverted");
     const std::uint64_t span = hi - lo + 1;
-    if (span == 0)  // [0, 2^64-1]: full range
+    if (span == 0) { // [0, 2^64-1]: full range
         return next();
+    }
     const std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % span);
     std::uint64_t v;
     do {
@@ -89,10 +91,12 @@ Random::uniformInt(std::uint64_t lo, std::uint64_t hi)
 bool
 Random::chance(double p)
 {
-    if (p <= 0.0)
+    if (p <= 0.0) {
         return false;
-    if (p >= 1.0)
+    }
+    if (p >= 1.0) {
         return true;
+    }
     return uniform() < p;
 }
 
@@ -131,8 +135,9 @@ std::uint64_t
 Random::burstLength(double continue_prob, std::uint64_t cap)
 {
     std::uint64_t len = 1;
-    while (len < cap && chance(continue_prob))
+    while (len < cap && chance(continue_prob)) {
         ++len;
+    }
     return len;
 }
 

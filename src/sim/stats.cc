@@ -78,8 +78,9 @@ double
 SampleSeries::total() const
 {
     double t = 0.0;
-    for (double v : samples_)
+    for (double v : samples_) {
         t += v;
+    }
     return t;
 }
 
@@ -93,8 +94,9 @@ SampleSeries::mean() const
 double
 SampleSeries::percentile(double q) const
 {
-    if (samples_.empty())
+    if (samples_.empty()) {
         return 0.0;
+    }
     auto sorted_copy = sorted();
     q = std::clamp(q, 0.0, 1.0);
     const auto idx = static_cast<std::size_t>(
@@ -105,12 +107,15 @@ SampleSeries::percentile(double q) const
 double
 SampleSeries::fractionAbove(double threshold) const
 {
-    if (samples_.empty())
+    if (samples_.empty()) {
         return 0.0;
+    }
     std::uint64_t above = 0;
-    for (double v : samples_)
-        if (v > threshold)
+    for (double v : samples_) {
+        if (v > threshold) {
             ++above;
+        }
+    }
     return static_cast<double>(above) /
            static_cast<double>(samples_.size());
 }
@@ -175,8 +180,9 @@ printStat(std::ostream &os, const std::string &name, double value,
 {
     os << std::left << std::setw(44) << name << std::right << std::setw(16)
        << value;
-    if (!desc.empty())
+    if (!desc.empty()) {
         os << "  # " << desc;
+    }
     os << "\n";
 }
 

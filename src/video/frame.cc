@@ -47,8 +47,9 @@ std::uint32_t
 Frame::contentChecksum() const
 {
     Crc32 crc;
-    for (const auto &m : mabs_)
+    for (const auto &m : mabs_) {
         crc.update(m.bytes().data(), m.bytes().size());
+    }
     return crc.digest();
 }
 

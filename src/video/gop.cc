@@ -21,24 +21,29 @@ frameTypeChar(FrameType t)
 
 GopStructure::GopStructure(const std::string &pattern) : pattern_(pattern)
 {
-    if (pattern_.empty())
+    if (pattern_.empty()) {
         vs_fatal("empty GOP pattern");
+    }
     bool has_i = false;
     for (char c : pattern_) {
-        if (c != 'I' && c != 'P' && c != 'B')
+        if (c != 'I' && c != 'P' && c != 'B') {
             vs_fatal("bad GOP pattern character '", c, "'");
-        if (c == 'I')
+        }
+        if (c == 'I') {
             has_i = true;
+        }
     }
-    if (!has_i)
+    if (!has_i) {
         vs_fatal("GOP pattern must contain at least one I frame");
+    }
 }
 
 FrameType
 GopStructure::frameType(std::uint64_t index) const
 {
-    if (index == 0)
+    if (index == 0) {
         return FrameType::kI;
+    }
     switch (pattern_[index % pattern_.size()]) {
       case 'I':
         return FrameType::kI;
@@ -53,9 +58,11 @@ double
 GopStructure::typeFraction(FrameType t) const
 {
     std::uint32_t n = 0;
-    for (char c : pattern_)
-        if (c == frameTypeChar(t))
+    for (char c : pattern_) {
+        if (c == frameTypeChar(t)) {
             ++n;
+        }
+    }
     return static_cast<double>(n) / static_cast<double>(pattern_.size());
 }
 

@@ -43,8 +43,9 @@ Macroblock::setPixel(std::uint32_t i, const Pixel &p)
 void
 Macroblock::fill(const Pixel &p)
 {
-    for (std::uint32_t i = 0; i < pixelCount(); ++i)
+    for (std::uint32_t i = 0; i < pixelCount(); ++i) {
         setPixel(i, p);
+    }
 }
 
 std::uint32_t

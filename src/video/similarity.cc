@@ -82,8 +82,9 @@ analyzeSimilarity(const VideoProfile &profile, std::uint32_t max_frames,
                   std::uint32_t window, std::size_t top_k)
 {
     VideoProfile p = profile;
-    if (max_frames > 0 && p.frame_count > max_frames)
+    if (max_frames > 0 && p.frame_count > max_frames) {
         p.frame_count = max_frames;
+    }
 
     SyntheticVideo video(p);
     SimilarityReport report;

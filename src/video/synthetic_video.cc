@@ -94,8 +94,9 @@ Macroblock
 SyntheticVideo::uniqueMab()
 {
     Macroblock mab(profile_.mab_dim);
-    for (auto &byte : mab.bytes())
+    for (auto &byte : mab.bytes()) {
         byte = static_cast<std::uint8_t>(rng_.next());
+    }
     return mab;
 }
 
@@ -158,8 +159,9 @@ SyntheticVideo::nextFrame()
 
     // Scene cut: clear the copy window so following frames start
     // fresh (drives the I-frame-heavy trailer workloads).
-    if (idx > 0 && rng_.chance(profile_.scene_change_rate))
+    if (idx > 0 && rng_.chance(profile_.scene_change_rate)) {
         window_.clear();
+    }
 
     // Static frame: a verbatim repeat of the previous frame (the
     // content class that checksum-based display schemes eliminate).
@@ -178,8 +180,9 @@ SyntheticVideo::nextFrame()
             profile_.mabsPerFrame() * profile_.encoded_bytes_per_mab *
             0.2));
         window_.push_back(copy);
-        while (window_.size() > profile_.inter_window)
+        while (window_.size() > profile_.inter_window) {
             window_.pop_front();
+        }
         return copy;
     }
 
@@ -240,8 +243,9 @@ SyntheticVideo::nextFrame()
     }
 
     window_.push_back(frame);
-    while (window_.size() > profile_.inter_window)
+    while (window_.size() > profile_.inter_window) {
         window_.pop_front();
+    }
 
     return frame;
 }

@@ -1,9 +1,11 @@
 #include "video/trace.hh"
 
 #include <array>
+#include <bit>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <type_traits>
 
 #include "sim/logging.hh"
 #include "video/synthetic_video.hh"
@@ -29,36 +31,94 @@ crcUpdate(std::uint32_t state, const void *data, std::size_t len)
         std::array<std::uint32_t, 256> t{};
         for (std::uint32_t i = 0; i < 256; ++i) {
             std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
+            for (int k = 0; k < 8; ++k) {
                 c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            }
             t[i] = c;
         }
         return t;
     }();
     const auto *p = static_cast<const std::uint8_t *>(data);
-    for (std::size_t i = 0; i < len; ++i)
+    for (std::size_t i = 0; i < len; ++i) {
         state = table[(state ^ p[i]) & 0xffu] ^ (state >> 8);
+    }
     return state;
+}
+
+/**
+ * Unsigned integer with the same size as T, used as the transport
+ * representation: every POD field is bit_cast to its UintFor type and
+ * serialized byte-by-byte in little-endian order, so the on-disk
+ * format is independent of host endianness and no field is ever read
+ * or written through a misaligned or wrongly-typed pointer.
+ */
+template <std::size_t N> struct UintBySize;
+template <> struct UintBySize<1> { using type = std::uint8_t; };
+template <> struct UintBySize<2> { using type = std::uint16_t; };
+template <> struct UintBySize<4> { using type = std::uint32_t; };
+template <> struct UintBySize<8> { using type = std::uint64_t; };
+
+template <typename T>
+using UintFor = typename UintBySize<sizeof(T)>::type;
+
+template <typename T>
+std::array<std::uint8_t, sizeof(T)>
+toLittleEndian(const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto u = std::bit_cast<UintFor<T>>(value);
+    std::array<std::uint8_t, sizeof(T)> raw{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        raw[i] = static_cast<std::uint8_t>((u >> (8 * i)) & 0xffu);
+    }
+    return raw;
+}
+
+template <typename T>
+T
+fromLittleEndian(const std::array<std::uint8_t, sizeof(T)> &raw)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    UintFor<T> u = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        u = static_cast<UintFor<T>>(
+            u | (static_cast<UintFor<T>>(raw[i]) << (8 * i)));
+    }
+    return std::bit_cast<T>(u);
+}
+
+/** Write the little-endian bytes of @p value without updating a CRC. */
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &value)
+{
+    const auto raw = toLittleEndian(value);
+    os.write(reinterpret_cast<const char *>(raw.data()),
+             static_cast<std::streamsize>(raw.size()));
 }
 
 template <typename T>
 void
 writePod(std::ostream &os, std::uint32_t &crc_state, const T &value)
 {
-    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
-    crc_state = crcUpdate(crc_state, &value, sizeof(T));
+    const auto raw = toLittleEndian(value);
+    os.write(reinterpret_cast<const char *>(raw.data()),
+             static_cast<std::streamsize>(raw.size()));
+    crc_state = crcUpdate(crc_state, raw.data(), raw.size());
 }
 
 template <typename T>
 T
 readPod(std::istream &is, std::uint32_t &crc_state)
 {
-    T value{};
-    is.read(reinterpret_cast<char *>(&value), sizeof(T));
-    if (!is)
+    std::array<std::uint8_t, sizeof(T)> raw{};
+    is.read(reinterpret_cast<char *>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+    if (!is) {
         vs_fatal("truncated video trace");
-    crc_state = crcUpdate(crc_state, &value, sizeof(T));
-    return value;
+    }
+    crc_state = crcUpdate(crc_state, raw.data(), raw.size());
+    return fromLittleEndian<T>(raw);
 }
 
 } // namespace
@@ -110,7 +170,7 @@ TraceWriter::finish()
               "header announced ", expected_frames_,
               " frames but only ", frames_written_, " were appended");
     const std::uint32_t digest = ~running_crc_state_;
-    os_.write(reinterpret_cast<const char *>(&digest), sizeof(digest));
+    writeRaw(os_, digest);
     finished_ = true;
 }
 
@@ -119,18 +179,21 @@ TraceReader::TraceReader(std::istream &is)
 {
     char magic[4];
     is_.read(magic, sizeof(magic));
-    if (!is_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    if (!is_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
         vs_fatal("not a vstream video trace (bad magic)");
+    }
     const auto version = readPod<std::uint32_t>(is_, running_crc_state_);
-    if (version != kVersion)
+    if (version != kVersion) {
         vs_fatal("unsupported trace version ", version);
+    }
     frame_count_ = readPod<std::uint32_t>(is_, running_crc_state_);
     mabs_x_ = readPod<std::uint32_t>(is_, running_crc_state_);
     mabs_y_ = readPod<std::uint32_t>(is_, running_crc_state_);
     mab_dim_ = readPod<std::uint32_t>(is_, running_crc_state_);
     fps_ = readPod<std::uint32_t>(is_, running_crc_state_);
-    if (mabs_x_ == 0 || mabs_y_ == 0 || mab_dim_ == 0)
+    if (mabs_x_ == 0 || mabs_y_ == 0 || mab_dim_ == 0) {
         vs_fatal("degenerate trace geometry");
+    }
 }
 
 Frame
@@ -153,8 +216,9 @@ TraceReader::nextFrame()
     for (std::uint32_t i = 0; i < frame.mabCount(); ++i) {
         is_.read(reinterpret_cast<char *>(buf.data()),
                  static_cast<std::streamsize>(buf.size()));
-        if (!is_)
+        if (!is_) {
             vs_fatal("truncated video trace in frame ", frames_read_);
+        }
         running_crc_state_ =
             crcUpdate(running_crc_state_, buf.data(), buf.size());
         frame.mab(i) = Macroblock(mab_dim_, buf);
@@ -167,11 +231,13 @@ bool
 TraceReader::verifyTrailer()
 {
     vs_assert(done(), "trailer read before the last frame");
-    std::uint32_t stored = 0;
-    is_.read(reinterpret_cast<char *>(&stored), sizeof(stored));
-    if (!is_)
+    std::array<std::uint8_t, sizeof(std::uint32_t)> raw{};
+    is_.read(reinterpret_cast<char *>(raw.data()),
+             static_cast<std::streamsize>(raw.size()));
+    if (!is_) {
         return false;
-    return stored == ~running_crc_state_;
+    }
+    return fromLittleEndian<std::uint32_t>(raw) == ~running_crc_state_;
 }
 
 void
@@ -179,8 +245,9 @@ writeTrace(std::ostream &os, const VideoProfile &profile)
 {
     SyntheticVideo video(profile);
     TraceWriter writer(os, profile, profile.frame_count);
-    while (!video.done())
+    while (!video.done()) {
         writer.append(video.nextFrame());
+    }
     writer.finish();
 }
 
@@ -190,10 +257,12 @@ readTrace(std::istream &is)
     TraceReader reader(is);
     std::vector<Frame> frames;
     frames.reserve(reader.frameCount());
-    while (!reader.done())
+    while (!reader.done()) {
         frames.push_back(reader.nextFrame());
-    if (!reader.verifyTrailer())
+    }
+    if (!reader.verifyTrailer()) {
         vs_fatal("video trace failed its integrity check");
+    }
     return frames;
 }
 

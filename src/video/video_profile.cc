@@ -22,21 +22,27 @@ VideoProfile::framePeriodTicks() const
 void
 VideoProfile::validate() const
 {
-    if (mab_dim == 0 || width % mab_dim != 0 || height % mab_dim != 0)
+    if (mab_dim == 0 || width % mab_dim != 0 || height % mab_dim != 0) {
         vs_fatal("frame dimensions must be multiples of mab_dim (",
                  width, "x", height, ", mab_dim=", mab_dim, ")");
-    if (fps == 0 || frame_count == 0)
+    }
+    if (fps == 0 || frame_count == 0) {
         vs_fatal("fps and frame_count must be non-zero");
+    }
     const double p =
         intra_match_rate + inter_match_rate + gradient_shift_rate;
-    if (p > 1.0)
+    if (p > 1.0) {
         vs_fatal("similarity rates sum to ", p, " > 1 for ", key);
-    if (inter_window == 0)
+    }
+    if (inter_window == 0) {
         vs_fatal("inter_window must be >= 1");
-    if (mean_decode_frac <= 0.0 || complexity_sigma < 0.0)
+    }
+    if (mean_decode_frac <= 0.0 || complexity_sigma < 0.0) {
         vs_fatal("bad complexity parameters for ", key);
-    if (color_palette == 0)
+    }
+    if (color_palette == 0) {
         vs_fatal("color_palette must be >= 1");
+    }
 }
 
 } // namespace vstream

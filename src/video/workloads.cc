@@ -223,8 +223,9 @@ buildTable()
         t.push_back(p);
     }
 
-    for (const auto &p : t)
+    for (const auto &p : t) {
         p.validate();
+    }
     return t;
 }
 
@@ -240,9 +241,11 @@ workloadTable()
 VideoProfile
 workload(const std::string &key)
 {
-    for (const auto &p : workloadTable())
-        if (p.key == key)
+    for (const auto &p : workloadTable()) {
+        if (p.key == key) {
             return p;
+        }
+    }
     vs_fatal("unknown workload '", key, "'");
 }
 
@@ -251,12 +254,15 @@ scaledWorkload(const std::string &key, std::uint32_t max_frames,
                std::uint32_t width, std::uint32_t height)
 {
     VideoProfile p = workload(key);
-    if (max_frames > 0 && p.frame_count > max_frames)
+    if (max_frames > 0 && p.frame_count > max_frames) {
         p.frame_count = max_frames;
-    if (width > 0)
+    }
+    if (width > 0) {
         p.width = width;
-    if (height > 0)
+    }
+    if (height > 0) {
         p.height = height;
+    }
     p.validate();
     return p;
 }

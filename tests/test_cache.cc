@@ -174,18 +174,22 @@ TEST(Cache, StreamingWorkingSetLargerThanCacheThrashes)
 {
     SetAssocCache c("c", tinyCache(1024, 2));
     // Two passes over 4 KB > 1 KB cache: second pass misses too.
-    for (int pass = 0; pass < 2; ++pass)
-        for (Addr a = 0; a < 4096; a += 64)
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Addr a = 0; a < 4096; a += 64) {
             c.access(a, 64, MemOp::kRead);
+        }
+    }
     EXPECT_GT(c.missRate(), 0.9);
 }
 
 TEST(Cache, SmallWorkingSetFitsAfterWarmup)
 {
     SetAssocCache c("c", tinyCache(1024, 2));
-    for (int pass = 0; pass < 10; ++pass)
-        for (Addr a = 0; a < 512; a += 64)
+    for (int pass = 0; pass < 10; ++pass) {
+        for (Addr a = 0; a < 512; a += 64) {
             c.access(a, 64, MemOp::kRead);
+        }
+    }
     // 8 cold misses out of 80 accesses.
     EXPECT_NEAR(c.missRate(), 0.1, 1e-9);
 }
@@ -201,9 +205,11 @@ TEST_P(AssocSweep, HigherAssociativityNeverHurtsThisPattern)
     SetAssocCache c("c", tinyCache(4096, assoc));
     const std::uint32_t sets = c.config().numSets();
     // Touch `assoc` lines mapping to set 0 repeatedly: always fits.
-    for (int pass = 0; pass < 5; ++pass)
-        for (std::uint32_t w = 0; w < assoc; ++w)
+    for (int pass = 0; pass < 5; ++pass) {
+        for (std::uint32_t w = 0; w < assoc; ++w) {
             c.access(static_cast<Addr>(w) * sets * 64, 64, MemOp::kRead);
+        }
+    }
     EXPECT_EQ(c.missCount(), assoc);
 }
 
@@ -220,14 +226,17 @@ TEST_P(SizeSweep, MissRateMonotoneInSizeForLoopingPattern)
     // access patterns.
     const std::uint32_t size_kb = GetParam();
     SetAssocCache c("c", tinyCache(size_kb * 1024, 4));
-    for (int pass = 0; pass < 4; ++pass)
-        for (Addr a = 0; a < 64 * 1024; a += 64)
+    for (int pass = 0; pass < 4; ++pass) {
+        for (Addr a = 0; a < 64 * 1024; a += 64) {
             c.access(a, 64, MemOp::kRead);
+        }
+    }
     RecordProperty("missRate", c.missRate());
-    if (size_kb >= 64)
+    if (size_kb >= 64) {
         EXPECT_NEAR(c.missRate(), 0.25, 0.01); // cold misses only
-    else
+    } else {
         EXPECT_GT(c.missRate(), 0.9);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,

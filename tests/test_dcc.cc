@@ -50,8 +50,9 @@ TEST(Dcc, RandomNoiseIsIncompressible)
     int incompressible = 0;
     for (int t = 0; t < 50; ++t) {
         Macroblock m(4);
-        for (auto &b : m.bytes())
+        for (auto &b : m.bytes()) {
             b = static_cast<std::uint8_t>(rng.next());
+        }
         const DccResult r = dccCompress(m);
         if (!r.compressed) {
             // Raw fallback: original size plus the mode byte.
@@ -65,11 +66,12 @@ TEST(Dcc, RandomNoiseIsIncompressible)
 TEST(Dcc, GradientRampCompresses)
 {
     Macroblock m(4);
-    for (std::uint32_t y = 0; y < 4; ++y)
+    for (std::uint32_t y = 0; y < 4; ++y) {
         for (std::uint32_t x = 0; x < 4; ++x) {
             const auto v = static_cast<std::uint8_t>(50 + 4 * x + y);
             m.setPixel(y * 4 + x, Pixel{v, v, v});
         }
+    }
     const DccResult r = dccCompress(m);
     EXPECT_TRUE(r.compressed);
     // Max delta 15 -> 5 signed bits/channel: 34 of 48 bytes.
@@ -81,8 +83,9 @@ TEST(Dcc, NeverLargerThanRawPlusHeader)
     Random rng(22);
     for (int t = 0; t < 200; ++t) {
         Macroblock m(4);
-        for (auto &b : m.bytes())
+        for (auto &b : m.bytes()) {
             b = static_cast<std::uint8_t>(rng.next());
+        }
         const DccResult r = dccCompress(m);
         EXPECT_LE(r.compressed_bytes, 49u);
         EXPECT_GE(r.compressed_bytes, 5u);

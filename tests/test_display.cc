@@ -35,8 +35,9 @@ Macroblock
 randomMab(Random &rng)
 {
     Macroblock m(4);
-    for (auto &b : m.bytes())
+    for (auto &b : m.bytes()) {
         b = static_cast<std::uint8_t>(rng.next());
+    }
     return m;
 }
 
@@ -114,9 +115,10 @@ TEST(MachBuffer, LruEvictionInSet)
 {
     MachBuffer mb(8, 4); // 2 sets, 4 ways
     // Five digests in set 0 (even digests).
-    for (std::uint32_t i = 0; i < 5; ++i)
+    for (std::uint32_t i = 0; i < 5; ++i) {
         mb.insert(i * 2, std::vector<std::uint8_t>(48,
                   static_cast<std::uint8_t>(i)));
+    }
     EXPECT_EQ(mb.lookup(0), nullptr);   // evicted
     EXPECT_NE(mb.lookup(8), nullptr);
 }
@@ -209,8 +211,9 @@ makeFrame(const std::vector<Macroblock> &mabs, std::uint64_t idx)
 {
     Frame f(idx, FrameType::kI,
             static_cast<std::uint32_t>(mabs.size()), 1, 4);
-    for (std::uint32_t i = 0; i < mabs.size(); ++i)
+    for (std::uint32_t i = 0; i < mabs.size(); ++i) {
         f.mab(i) = mabs[i];
+    }
     return f;
 }
 
@@ -222,13 +225,15 @@ TEST(DisplayController, LinearScanReadsWholeFrameOnce)
     LinearWriteback wb(rig.mem, rig.fbm);
     Random rng(13);
     std::vector<Macroblock> mabs;
-    for (int i = 0; i < 8; ++i)
+    for (int i = 0; i < 8; ++i) {
         mabs.push_back(randomMab(rng));
+    }
     const Frame f = makeFrame(mabs, 0);
     BufferSlot &slot = rig.fbm.acquire(0);
     wb.beginFrame(f, slot, 0);
-    for (std::uint32_t i = 0; i < 8; ++i)
+    for (std::uint32_t i = 0; i < 8; ++i) {
         wb.writeMab(f.mab(i), i, 0);
+    }
     const FrameLayout layout = wb.finishFrame(0);
 
     const ScanStats s = dc.scanOut(layout, 0);
@@ -279,8 +284,9 @@ TEST_P(LayoutRoundTrip, LosslessAndCheaperWithMatches)
     const Frame f0 = makeFrame(mabs, 0);
     BufferSlot &s0 = rig.fbm.acquire(0);
     wb.beginFrame(f0, s0, 0);
-    for (std::uint32_t i = 0; i < f0.mabCount(); ++i)
+    for (std::uint32_t i = 0; i < f0.mabCount(); ++i) {
         wb.writeMab(f0.mab(i), i, 0);
+    }
     const FrameLayout l0 = wb.finishFrame(0);
     const ScanStats scan0 = dc.scanOut(l0, 0);
     EXPECT_TRUE(scan0.verified);
@@ -289,8 +295,9 @@ TEST_P(LayoutRoundTrip, LosslessAndCheaperWithMatches)
     const Frame f1 = makeFrame(mabs, 1);
     BufferSlot &s1 = rig.fbm.acquire(1);
     wb.beginFrame(f1, s1, 1000);
-    for (std::uint32_t i = 0; i < f1.mabCount(); ++i)
+    for (std::uint32_t i = 0; i < f1.mabCount(); ++i) {
         wb.writeMab(f1.mab(i), i, 1000);
+    }
     const FrameLayout l1 = wb.finishFrame(1000);
     const ScanStats scan1 = dc.scanOut(l1, 1000);
     EXPECT_TRUE(scan1.verified);
@@ -322,13 +329,15 @@ TEST(DisplayController, DisplayCacheCutsRepeatFetches)
         MachWriteback wb(rig.mem, rig.fbm, machs,
                          LayoutKind::kPointer);
         std::vector<Macroblock> mabs;
-        for (int i = 0; i < 16; ++i)
+        for (int i = 0; i < 16; ++i) {
             mabs.push_back(pure(static_cast<std::uint8_t>(i % 2)));
+        }
         const Frame f = makeFrame(mabs, 0);
         BufferSlot &slot = rig.fbm.acquire(0);
         wb.beginFrame(f, slot, 0);
-        for (std::uint32_t i = 0; i < 16; ++i)
+        for (std::uint32_t i = 0; i < 16; ++i) {
             wb.writeMab(f.mab(i), i, 0);
+        }
         const FrameLayout layout = wb.finishFrame(0);
         return dc.scanOut(layout, 0).dram_requests;
     };
@@ -343,8 +352,9 @@ TEST(DisplayController, ReRenderCountsAndReads)
     const Frame f = makeFrame({pure(1), pure(2), pure(3), pure(4)}, 0);
     BufferSlot &slot = rig.fbm.acquire(0);
     wb.beginFrame(f, slot, 0);
-    for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t i = 0; i < 4; ++i) {
         wb.writeMab(f.mab(i), i, 0);
+    }
     const FrameLayout layout = wb.finishFrame(0);
 
     dc.scanOut(layout, 0);
@@ -364,13 +374,15 @@ TEST(DisplayController, FragmentationCounted)
     MachWriteback wb(rig.mem, rig.fbm, machs, LayoutKind::kPointer);
     Random rng(15);
     std::vector<Macroblock> mabs;
-    for (int i = 0; i < 8; ++i)
+    for (int i = 0; i < 8; ++i) {
         mabs.push_back(randomMab(rng)); // all unique -> packed
+    }
     const Frame f = makeFrame(mabs, 0);
     BufferSlot &slot = rig.fbm.acquire(0);
     wb.beginFrame(f, slot, 0);
-    for (std::uint32_t i = 0; i < 8; ++i)
+    for (std::uint32_t i = 0; i < 8; ++i) {
         wb.writeMab(f.mab(i), i, 0);
+    }
     const FrameLayout layout = wb.finishFrame(0);
     const ScanStats s = dc.scanOut(layout, 0);
     // Offsets 0,48,96,144,192,240,288,336 -> straddles at 48,96,240,

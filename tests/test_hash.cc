@@ -49,8 +49,9 @@ TEST(Crc32, IncrementalMatchesOneShot)
 {
     const std::string data = "macroblock content caching";
     Crc32 crc;
-    for (char c : data)
+    for (char c : data) {
         crc.update(&c, 1);
+    }
     EXPECT_EQ(crc.digest(), Crc32::compute(data.data(), data.size()));
 }
 
@@ -147,8 +148,9 @@ TEST(Sha1, MillionAs)
 {
     Sha1 sha;
     const std::string chunk(1000, 'a');
-    for (int i = 0; i < 1000; ++i)
+    for (int i = 0; i < 1000; ++i) {
         sha.update(chunk.data(), chunk.size());
+    }
     EXPECT_EQ(Sha1::toHex(sha.digest()),
               "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
 }
@@ -193,8 +195,9 @@ TEST(Hasher, LowBitsUniformAcrossSets)
     const int n = 64 * 200;
     for (int i = 0; i < n; ++i) {
         std::uint8_t block[48];
-        for (auto &b : block)
+        for (auto &b : block) {
             b = static_cast<std::uint8_t>(rng.next());
+        }
         ++buckets[Crc32::compute(block, sizeof(block)) & 63u];
     }
     for (int i = 0; i < 64; ++i) {
@@ -212,10 +215,12 @@ TEST(Hasher, CollisionsRareAtSmallScale)
     int collisions = 0;
     for (int i = 0; i < 20000; ++i) {
         std::uint8_t block[48];
-        for (auto &b : block)
+        for (auto &b : block) {
             b = static_cast<std::uint8_t>(rng.next());
-        if (!seen.insert(Crc32::compute(block, sizeof(block))).second)
+        }
+        if (!seen.insert(Crc32::compute(block, sizeof(block))).second) {
             ++collisions;
+        }
     }
     // Birthday bound: E[collisions] ~ 20000^2 / 2^33 ~ 0.05.
     EXPECT_LE(collisions, 2);

@@ -30,8 +30,9 @@ TEST(FrameLayout, ConstructionDefaults)
     EXPECT_TRUE(l.gradientMode());
     EXPECT_EQ(l.totalBytes(), 0u);
     EXPECT_TRUE(l.machDump().empty());
-    for (std::uint32_t i = 0; i < 10; ++i)
+    for (std::uint32_t i = 0; i < 10; ++i) {
         EXPECT_EQ(l.record(i).storage, MabStorage::kUnique);
+    }
 }
 
 TEST(FrameLayout, CountStorage)

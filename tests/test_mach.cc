@@ -86,10 +86,11 @@ TEST(MachCache, LruEvictionWithinSet)
     }
     // The first (LRU) entry must be gone; the rest present.
     EXPECT_FALSE(cache.lookup(0, 0, blockOf(0)).hit);
-    for (std::uint32_t i = 1; i < 5; ++i)
+    for (std::uint32_t i = 1; i < 5; ++i) {
         EXPECT_TRUE(cache.lookup(i * sets, 0,
                                  blockOf(static_cast<std::uint8_t>(i)))
                         .hit);
+    }
 }
 
 TEST(MachCache, LookupRefreshesLru)
@@ -97,9 +98,10 @@ TEST(MachCache, LookupRefreshesLru)
     const MachConfig cfg = smallConfig();
     MachCache cache(cfg);
     const std::uint32_t sets = cfg.sets();
-    for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t i = 0; i < 4; ++i) {
         cache.insert(i * sets, 0, i,
                      blockOf(static_cast<std::uint8_t>(i)));
+    }
     // Touch entry 0, then insert a fifth: victim must be entry 1.
     cache.lookup(0, 0, blockOf(0));
     cache.insert(4 * sets, 0, 4, blockOf(4));
@@ -190,8 +192,9 @@ TEST(MachArray, HistoryBoundedByNumMachs)
     arr.beginFrame();
     arr.insertUnique(0x42, 0, 1, blockOf(9), false);
     // Age the entry past the window.
-    for (int i = 0; i < 3; ++i)
+    for (int i = 0; i < 3; ++i) {
         arr.beginFrame();
+    }
     EXPECT_FALSE(arr.lookup(0x42, 0, blockOf(9)).hit);
     EXPECT_LE(arr.history().size(), 2u);
 }
@@ -215,8 +218,9 @@ TEST(MachArray, MatchCountsFeedTopShares)
     arr.beginFrame();
     arr.insertUnique(0xa, 0, 1, blockOf(1), false);
     arr.insertUnique(0xb, 0, 2, blockOf(2), false);
-    for (int i = 0; i < 3; ++i)
+    for (int i = 0; i < 3; ++i) {
         arr.lookup(0xa, 0, blockOf(1));
+    }
     arr.lookup(0xb, 0, blockOf(2));
     const auto shares = arr.topMatchShares(4);
     ASSERT_EQ(shares.size(), 2u);
@@ -272,8 +276,9 @@ TEST(CoMach, RealCrc32CollisionIsDetected)
     std::vector<std::uint8_t> a, b;
     for (int i = 0; i < 500000; ++i) {
         std::vector<std::uint8_t> block(48);
-        for (auto &byte : block)
+        for (auto &byte : block) {
             byte = static_cast<std::uint8_t>(rng.next());
+        }
         const std::uint32_t d = Crc32::compute(block.data(), 48);
         auto [it, fresh] = seen.emplace(d, block);
         if (!fresh && it->second != block) {
@@ -327,8 +332,9 @@ TEST_P(MachWaySweep, CapacityIsEntriesRegardlessOfWays)
     MachCache cache(cfg);
     // Insert exactly `entries` digests with distinct set indices
     // spread uniformly: all must be resident.
-    for (std::uint32_t i = 0; i < cfg.entries; ++i)
+    for (std::uint32_t i = 0; i < cfg.entries; ++i) {
         cache.insert(i, 0, i, blockOf(static_cast<std::uint8_t>(i)));
+    }
     EXPECT_EQ(cache.validCount(), cfg.entries);
 }
 

@@ -287,12 +287,13 @@ TEST(DramController, StreamingBeatsScattered)
     DramController scattered(smallConfig());
 
     Tick t = 0;
-    for (Addr a = 0; a < 64 * 1024; a += 64)
+    for (Addr a = 0; a < 64 * 1024; a += 64) {
         t = dense
                 .access(MemRequest{a, 64, MemOp::kRead,
                                    Requester::kDisplayController},
                         t)
                 .finish_tick;
+    }
 
     t = 0;
     Addr a = 0;

@@ -122,9 +122,11 @@ TEST(FrameCsv, ExportsOneRowPerFrame)
     const std::string out = csv.str();
     // Header plus 10 rows.
     std::size_t lines = 0;
-    for (char c : out)
-        if (c == '\n')
+    for (char c : out) {
+        if (c == '\n') {
             ++lines;
+        }
+    }
     EXPECT_EQ(lines, 11u);
     EXPECT_NE(out.find("frame,start_ms"), std::string::npos);
     EXPECT_NE(out.find("dropped"), std::string::npos);
@@ -132,9 +134,11 @@ TEST(FrameCsv, ExportsOneRowPerFrame)
     const std::size_t first_row = out.find('\n') + 1;
     const std::size_t row_end = out.find('\n', first_row);
     std::size_t commas = 0;
-    for (std::size_t i = first_row; i < row_end; ++i)
-        if (out[i] == ',')
+    for (std::size_t i = first_row; i < row_end; ++i) {
+        if (out[i] == ',') {
             ++commas;
+        }
+    }
     EXPECT_EQ(commas, 13u);
 }
 

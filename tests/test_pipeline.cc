@@ -310,17 +310,19 @@ TEST_P(BatchSweep, DrainingKeepsSleepEventsRare)
                    static_cast<int>(r.sleep_events));
     // A 2-deep batch with its 4-slot pool still wakes almost per
     // frame pair; from 4-deep on the decoder sleeps per batch.
-    if (GetParam() >= 4)
+    if (GetParam() >= 4) {
         EXPECT_LT(r.sleep_events + 4, base.sleep_events);
-    else
+    } else {
         EXPECT_LE(r.sleep_events, base.sleep_events + 4);
+    }
     EXPECT_LT(r.energy.transition, base.energy.transition);
     // Deeper batches eliminate drops outright; even a 2-deep batch
     // must not drop more than the baseline.
-    if (GetParam() >= 4)
+    if (GetParam() >= 4) {
         EXPECT_EQ(r.drops, 0u);
-    else
+    } else {
         EXPECT_LE(r.drops, base.drops);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep,

@@ -192,9 +192,11 @@ TEST(EnergyBreakdown, RowHasTenColumns)
     e.dc = 1.0;
     std::string row = e.row();
     int tabs = 0;
-    for (char c : row)
-        if (c == '\t')
+    for (char c : row) {
+        if (c == '\t') {
             ++tabs;
+        }
+    }
     EXPECT_EQ(tabs, 9);
 }
 

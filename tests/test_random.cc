@@ -19,17 +19,20 @@ namespace
 TEST(Random, SameSeedSameSequence)
 {
     Random a(123), b(123);
-    for (int i = 0; i < 1000; ++i)
+    for (int i = 0; i < 1000; ++i) {
         ASSERT_EQ(a.next(), b.next()) << "diverged at " << i;
+    }
 }
 
 TEST(Random, DifferentSeedsDiverge)
 {
     Random a(1), b(2);
     int same = 0;
-    for (int i = 0; i < 100; ++i)
-        if (a.next() == b.next())
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) {
             ++same;
+        }
+    }
     EXPECT_EQ(same, 0);
 }
 
@@ -57,8 +60,9 @@ TEST(Random, UniformMeanNearHalf)
     Random r(6);
     double sum = 0.0;
     const int n = 100000;
-    for (int i = 0; i < n; ++i)
+    for (int i = 0; i < n; ++i) {
         sum += r.uniform();
+    }
     EXPECT_NEAR(sum / n, 0.5, 0.01);
 }
 
@@ -76,17 +80,20 @@ TEST(Random, UniformIntCoversRangeExactly)
 {
     Random r(8);
     std::vector<int> seen(10, 0);
-    for (int i = 0; i < 10000; ++i)
+    for (int i = 0; i < 10000; ++i) {
         ++seen[r.uniformInt(0, 9)];
-    for (int v = 0; v < 10; ++v)
+    }
+    for (int v = 0; v < 10; ++v) {
         EXPECT_GT(seen[v], 800) << "value " << v;
+    }
 }
 
 TEST(Random, UniformIntSingleton)
 {
     Random r(9);
-    for (int i = 0; i < 100; ++i)
+    for (int i = 0; i < 100; ++i) {
         EXPECT_EQ(r.uniformInt(42, 42), 42u);
+    }
 }
 
 TEST(RandomDeath, UniformIntInvertedRange)
@@ -111,9 +118,11 @@ TEST(Random, ChanceFrequency)
     Random r(12);
     int hits = 0;
     const int n = 100000;
-    for (int i = 0; i < n; ++i)
-        if (r.chance(0.3))
+    for (int i = 0; i < n; ++i) {
+        if (r.chance(0.3)) {
             ++hits;
+        }
+    }
     EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
 }
 
@@ -136,8 +145,9 @@ TEST(Random, GaussianShifted)
     Random r(14);
     double sum = 0.0;
     const int n = 50000;
-    for (int i = 0; i < n; ++i)
+    for (int i = 0; i < n; ++i) {
         sum += r.gaussian(10.0, 2.0);
+    }
     EXPECT_NEAR(sum / n, 10.0, 0.1);
 }
 
@@ -150,8 +160,9 @@ TEST(Random, LogNormalMeanMatchesTheory)
     const double mu = -0.5 * sigma * sigma;
     double sum = 0.0;
     const int n = 200000;
-    for (int i = 0; i < n; ++i)
+    for (int i = 0; i < n; ++i) {
         sum += r.logNormal(mu, sigma);
+    }
     EXPECT_NEAR(sum / n, 1.0, 0.01);
 }
 
@@ -203,8 +214,9 @@ TEST_P(RandomSeedSweep, UniformMeanStable)
     Random r(GetParam());
     double sum = 0.0;
     const int n = 20000;
-    for (int i = 0; i < n; ++i)
+    for (int i = 0; i < n; ++i) {
         sum += r.uniform();
+    }
     EXPECT_NEAR(sum / n, 0.5, 0.02);
 }
 

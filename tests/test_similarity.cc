@@ -132,8 +132,9 @@ TEST_P(WorkloadSimilarity, TopSharesDescendAndSumBelowOne)
     const SimilarityReport r = analyzeSimilarity(p);
     double sum = 0.0;
     for (std::size_t i = 0; i < r.top_gab_shares.size(); ++i) {
-        if (i > 0)
+        if (i > 0) {
             EXPECT_LE(r.top_gab_shares[i], r.top_gab_shares[i - 1]);
+        }
         sum += r.top_gab_shares[i];
     }
     EXPECT_LE(sum, 1.0 + 1e-9);

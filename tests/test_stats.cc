@@ -47,8 +47,9 @@ TEST(Distribution, WelfordMatchesDirect)
     }
     const double mean = sum / 8.0;
     double m2 = 0.0;
-    for (double v : vals)
+    for (double v : vals) {
         m2 += (v - mean) * (v - mean);
+    }
     EXPECT_EQ(d.count(), 8u);
     EXPECT_DOUBLE_EQ(d.mean(), mean);
     EXPECT_NEAR(d.variance(), m2 / 7.0, 1e-12);
@@ -80,8 +81,9 @@ TEST(Distribution, ResetClears)
 TEST(SampleSeries, PercentilesOnSortedCopy)
 {
     stats::SampleSeries s;
-    for (int i = 10; i >= 1; --i)
+    for (int i = 10; i >= 1; --i) {
         s.sample(i);
+    }
     EXPECT_EQ(s.count(), 10u);
     EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
     EXPECT_DOUBLE_EQ(s.percentile(1.0), 10.0);
@@ -100,8 +102,9 @@ TEST(SampleSeries, EmptyPercentileIsZero)
 TEST(SampleSeries, FractionAboveStrict)
 {
     stats::SampleSeries s;
-    for (double v : {1.0, 2.0, 3.0, 4.0})
+    for (double v : {1.0, 2.0, 3.0, 4.0}) {
         s.sample(v);
+    }
     EXPECT_DOUBLE_EQ(s.fractionAbove(2.0), 0.5);  // 3 and 4
     EXPECT_DOUBLE_EQ(s.fractionAbove(0.0), 1.0);
     EXPECT_DOUBLE_EQ(s.fractionAbove(4.0), 0.0);
@@ -121,8 +124,9 @@ TEST(SampleSeries, SortedIsAscendingAndPreservesSource)
 TEST(Histogram, BucketsAndBounds)
 {
     stats::Histogram h("h", 0.0, 10.0, 5);
-    for (double v : {0.0, 1.9, 2.0, 5.5, 9.99})
+    for (double v : {0.0, 1.9, 2.0, 5.5, 9.99}) {
         h.sample(v);
+    }
     h.sample(-1.0);  // underflow
     h.sample(10.0);  // overflow (hi is exclusive)
     h.sample(100.0); // overflow

@@ -45,8 +45,9 @@ TEST(Trace, RoundTripIsByteExact)
         EXPECT_DOUBLE_EQ(got.complexity(), want.complexity());
         EXPECT_EQ(got.encodedBytes(), want.encodedBytes());
         EXPECT_EQ(got.mabCount(), want.mabCount());
-        for (std::uint32_t i = 0; i < got.mabCount(); ++i)
+        for (std::uint32_t i = 0; i < got.mabCount(); ++i) {
             ASSERT_EQ(got.mab(i), want.mab(i));
+        }
     }
 }
 
@@ -95,8 +96,9 @@ TEST(Trace, CorruptionDetectedByTrailer)
 
     std::stringstream corrupt(bytes);
     TraceReader reader(corrupt);
-    while (!reader.done())
+    while (!reader.done()) {
         reader.nextFrame();
+    }
     EXPECT_FALSE(reader.verifyTrailer());
 }
 
@@ -133,6 +135,73 @@ TEST(TraceDeath, FinishRequiresAllFrames)
     SyntheticVideo video(p);
     writer.append(video.nextFrame());
     EXPECT_DEATH(writer.finish(), "announced");
+}
+
+TEST(Trace, OddSizedRecordsRoundTrip)
+{
+    // mab_dim=5 makes each macroblock record 75 bytes, so every
+    // multi-byte field after the first frame sits at an odd stream
+    // offset: a regression test for the memcpy/shift-based POD
+    // serialization (the old reinterpret_cast form read u64/double
+    // fields through misaligned pointers under ASan/UBSan).
+    VideoProfile p;
+    p.key = "OD";
+    p.width = 35;
+    p.height = 15;
+    p.mab_dim = 5;
+    p.frame_count = 5;
+    p.seed = 97;
+    ASSERT_EQ(p.mabsX(), 7u);
+    ASSERT_EQ(p.mabsY(), 3u);
+
+    std::stringstream buf;
+    writeTrace(buf, p);
+
+    TraceReader reader(buf);
+    EXPECT_EQ(reader.mabDim(), 5u);
+    EXPECT_EQ(reader.frameCount(), 5u);
+
+    SyntheticVideo original(p);
+    std::uint32_t frames = 0;
+    while (!reader.done()) {
+        const Frame got = reader.nextFrame();
+        const Frame want = original.nextFrame();
+        EXPECT_EQ(got.contentChecksum(), want.contentChecksum());
+        EXPECT_DOUBLE_EQ(got.complexity(), want.complexity());
+        EXPECT_EQ(got.encodedBytes(), want.encodedBytes());
+        ++frames;
+    }
+    EXPECT_EQ(frames, 5u);
+    EXPECT_TRUE(reader.verifyTrailer());
+}
+
+TEST(Trace, OnDiskFormatIsLittleEndianStable)
+{
+    // Pin the serialized header layout: u32 fields are written
+    // little-endian regardless of host endianness, so traces are
+    // portable and this byte pattern must never change silently.
+    const VideoProfile p = traceProfile(2);
+    std::stringstream buf;
+    writeTrace(buf, p);
+    const std::string bytes = buf.str();
+    ASSERT_GE(bytes.size(), 28u);
+
+    EXPECT_EQ(bytes.substr(0, 4), "VSTR");
+    const auto u8 = [&](std::size_t i) {
+        return static_cast<unsigned char>(bytes[i]);
+    };
+    const auto u32at = [&](std::size_t off) {
+        return static_cast<std::uint32_t>(u8(off)) |
+               (static_cast<std::uint32_t>(u8(off + 1)) << 8) |
+               (static_cast<std::uint32_t>(u8(off + 2)) << 16) |
+               (static_cast<std::uint32_t>(u8(off + 3)) << 24);
+    };
+    EXPECT_EQ(u32at(4), 1u);             // version
+    EXPECT_EQ(u32at(8), p.frame_count);  // frame count
+    EXPECT_EQ(u32at(12), p.mabsX());
+    EXPECT_EQ(u32at(16), p.mabsY());
+    EXPECT_EQ(u32at(20), p.mab_dim);
+    EXPECT_EQ(u32at(24), p.fps);
 }
 
 TEST(Trace, LargeFrameCountStreamsWithoutBloat)

@@ -66,12 +66,14 @@ TEST(TransactionElimination, SkipsIdenticalScan)
 
     LinearWriteback wb(mem, fbm);
     Frame f(0, FrameType::kI, 8, 1, 4);
-    for (std::uint32_t i = 0; i < 8; ++i)
+    for (std::uint32_t i = 0; i < 8; ++i) {
         f.mab(i).fill(Pixel{static_cast<std::uint8_t>(i), 0, 0});
+    }
     BufferSlot &slot = fbm.acquire(0);
     wb.beginFrame(f, slot, 0);
-    for (std::uint32_t i = 0; i < 8; ++i)
+    for (std::uint32_t i = 0; i < 8; ++i) {
         wb.writeMab(f.mab(i), i, 0);
+    }
     const FrameLayout layout = wb.finishFrame(0);
 
     const ScanStats first = dc.scanOut(layout, 0);

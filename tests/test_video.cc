@@ -27,8 +27,9 @@ Macroblock
 randomMab(Random &rng, std::uint32_t dim = 4)
 {
     Macroblock m(dim);
-    for (auto &b : m.bytes())
+    for (auto &b : m.bytes()) {
         b = static_cast<std::uint8_t>(rng.next());
+    }
     return m;
 }
 
@@ -46,8 +47,9 @@ TEST(Macroblock, FillMakesPureColor)
 {
     Macroblock m(4);
     m.fill(Pixel{1, 2, 3});
-    for (std::uint32_t i = 0; i < m.pixelCount(); ++i)
+    for (std::uint32_t i = 0; i < m.pixelCount(); ++i) {
         EXPECT_EQ(m.pixel(i), (Pixel{1, 2, 3}));
+    }
     EXPECT_EQ(m.base(), (Pixel{1, 2, 3}));
 }
 
@@ -56,8 +58,9 @@ TEST(Macroblock, GradientOfPureColorIsZero)
     Macroblock m(4);
     m.fill(Pixel{200, 100, 50});
     const Macroblock gab = m.gradient();
-    for (std::uint8_t b : gab.bytes())
+    for (std::uint8_t b : gab.bytes()) {
         EXPECT_EQ(b, 0);
+    }
 }
 
 TEST(Macroblock, GradientRoundTripIsLossless)
@@ -244,12 +247,14 @@ TEST(SyntheticVideo, IntraCopiesAreExactDuplicates)
     const Frame f = v.nextFrame();
     std::uint32_t checked = 0;
     for (std::uint32_t i = 0; i < f.mabCount(); ++i) {
-        if (f.origin(i) != MabOrigin::kIntraCopy)
+        if (f.origin(i) != MabOrigin::kIntraCopy) {
             continue;
+        }
         // An intra copy must match some earlier mab exactly.
         bool found = false;
-        for (std::uint32_t j = 0; j < i && !found; ++j)
+        for (std::uint32_t j = 0; j < i && !found; ++j) {
             found = (f.mab(j) == f.mab(i));
+        }
         EXPECT_TRUE(found) << "mab " << i;
         ++checked;
     }
@@ -268,16 +273,18 @@ TEST(SyntheticVideo, GradientShiftsMatchOnlyUnderGab)
     const Frame f = v.nextFrame();
     std::uint32_t gab_only = 0;
     for (std::uint32_t i = 0; i < f.mabCount(); ++i) {
-        if (f.origin(i) != MabOrigin::kGradientShift)
+        if (f.origin(i) != MabOrigin::kGradientShift) {
             continue;
+        }
         bool exact = false, gab = false;
         for (std::uint32_t j = 0; j < i; ++j) {
             exact = exact || f.mab(j) == f.mab(i);
             gab = gab || f.mab(j).gradient() == f.mab(i).gradient();
         }
         EXPECT_TRUE(gab) << "mab " << i;
-        if (!exact)
+        if (!exact) {
             ++gab_only;
+        }
     }
     EXPECT_GT(gab_only, 0u);
 }
@@ -288,8 +295,9 @@ TEST(SyntheticVideo, ComplexityMeanNearOne)
     p.frame_count = 400;
     SyntheticVideo v(p);
     double sum = 0.0;
-    while (!v.done())
+    while (!v.done()) {
         sum += v.nextFrame().complexity();
+    }
     EXPECT_NEAR(sum / 400.0, 1.0, 0.05);
 }
 
@@ -364,8 +372,9 @@ TEST_P(WorkloadSweep, GeneratorHonorsFrameTypeSchedule)
     VideoProfile p = scaledWorkload(p0.key, 12, 64, 32);
     const GopStructure gop(p.gop_pattern);
     SyntheticVideo v(p);
-    for (std::uint64_t i = 0; !v.done(); ++i)
+    for (std::uint64_t i = 0; !v.done(); ++i) {
         EXPECT_EQ(v.nextFrame().type(), gop.frameType(i));
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVideos, WorkloadSweep,

@@ -37,8 +37,9 @@ frameOfMabs(const std::vector<Macroblock> &mabs, std::uint64_t index = 0)
 {
     Frame f(index, FrameType::kI,
             static_cast<std::uint32_t>(mabs.size()), 1, mabs[0].dim());
-    for (std::uint32_t i = 0; i < mabs.size(); ++i)
+    for (std::uint32_t i = 0; i < mabs.size(); ++i) {
         f.mab(i) = mabs[i];
+    }
     return f;
 }
 
@@ -62,8 +63,9 @@ TEST(CoalescingBuffer, IssuesOnlyWhenFull)
                              writes.emplace_back(a, s);
                          });
     buf.rebase(1000);
-    for (int i = 0; i < 15; ++i)
+    for (int i = 0; i < 15; ++i) {
         buf.append(4, 0); // 60 bytes: below capacity
+    }
     EXPECT_TRUE(writes.empty());
     buf.append(4, 0); // 64th byte
     ASSERT_EQ(writes.size(), 1u);
@@ -186,8 +188,9 @@ TEST(LinearWriteback, WritesEveryMabAtItsLinearAddress)
 
     BufferSlot &slot = rig.fbm.acquire(0);
     wb.beginFrame(f, slot, 0);
-    for (std::uint32_t i = 0; i < f.mabCount(); ++i)
+    for (std::uint32_t i = 0; i < f.mabCount(); ++i) {
         wb.writeMab(f.mab(i), i, 0);
+    }
     const FrameLayout layout = wb.finishFrame(0);
 
     EXPECT_EQ(layout.kind(), LayoutKind::kLinear);
@@ -223,8 +226,9 @@ TEST(MachWriteback, DeduplicatesExactRepeats)
 
     BufferSlot &slot = rig.fbm.acquire(0);
     wb.beginFrame(f, slot, 0);
-    for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t i = 0; i < 4; ++i) {
         wb.writeMab(f.mab(i), i, 0);
+    }
     const FrameLayout layout = wb.finishFrame(0);
 
     EXPECT_EQ(wb.totals().unique_blocks, 2u);
@@ -251,15 +255,17 @@ TEST(MachWriteback, AllUniqueFramePaysMetadataOverhead)
     std::vector<Macroblock> mabs;
     for (int i = 0; i < 4; ++i) {
         Macroblock m(4);
-        for (auto &b : m.bytes())
+        for (auto &b : m.bytes()) {
             b = static_cast<std::uint8_t>(rng.next());
+        }
         mabs.push_back(m);
     }
     const Frame f = frameOfMabs(mabs);
     BufferSlot &slot = rig.fbm.acquire(0);
     wb.beginFrame(f, slot, 0);
-    for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t i = 0; i < 4; ++i) {
         wb.writeMab(f.mab(i), i, 0);
+    }
     wb.finishFrame(0);
     EXPECT_LT(wb.totals().savings(48), 0.0);
     EXPECT_EQ(wb.totals().totalBytes(), 4u * 52u);
@@ -275,16 +281,18 @@ TEST(MachWriteback, GabCatchesShiftedBlocks)
 
     Random rng(6);
     Macroblock base(4);
-    for (auto &b : base.bytes())
+    for (auto &b : base.bytes()) {
         b = static_cast<std::uint8_t>(rng.next());
+    }
     const auto mabs = std::vector<Macroblock>{
         base, base.shifted(10, 20, 30), base.shifted(1, 1, 1)};
     const Frame f = frameOfMabs(mabs);
 
     BufferSlot &slot = rig.fbm.acquire(0);
     wb.beginFrame(f, slot, 0);
-    for (std::uint32_t i = 0; i < 3; ++i)
+    for (std::uint32_t i = 0; i < 3; ++i) {
         wb.writeMab(f.mab(i), i, 0);
+    }
     const FrameLayout layout = wb.finishFrame(0);
 
     EXPECT_EQ(wb.totals().unique_blocks, 1u);
