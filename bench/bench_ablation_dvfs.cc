@@ -89,5 +89,16 @@ main()
                  "frequencies on energy but keeps dropping frames; "
                  "race-to-sleep dominates it on both axes - the "
                  "paper's Sec. 7 argument)\n";
+
+    Report rep("bench_ablation_dvfs", "Sec. 7",
+               "history-based DVFS vs race-to-sleep");
+    rep.metric("dvfsNormalizedEnergy", 0.0,
+               predicted.energy / base.energy);
+    rep.metric("dvfsDrops", 0.0,
+               static_cast<double>(predicted.drops));
+    rep.metric("raceToSleepNormalizedEnergy", 0.887,
+               rts.energy / base.energy);
+    rep.metric("raceToSleepDrops", 0.0,
+               static_cast<double>(rts.drops));
     return 0;
 }

@@ -26,6 +26,9 @@ main()
               << "rowHit%" << std::setw(13) << "acts/frame"
               << std::setw(9) << "drops" << "\n";
 
+    Report rep("bench_ablation_mapping", "Table 2",
+               "DRAM address-interleaving orders");
+
     double baseline = 0.0;
     for (AddrMapOrder order :
          {AddrMapOrder::kRoRaBaCoCh, AddrMapOrder::kRoRaBaChCo,
@@ -51,6 +54,10 @@ main()
         if (order == AddrMapOrder::kRoRaBaCoCh) {
             baseline = energy;
         }
+        rep.metric(std::string(addrMapOrderName(order)) +
+                       "NormalizedEnergy",
+                   order == AddrMapOrder::kRoRaBaCoCh ? 1.0 : 0.0,
+                   energy / baseline);
 
         std::cout << std::left << std::setw(14)
                   << addrMapOrderName(order) << std::right

@@ -37,12 +37,21 @@ run(const VideoProfile &p, bool te, bool mach)
 }
 
 void
-table(const char *title, const VideoProfile &p)
+table(const char *title, const VideoProfile &p, Report &rep)
 {
     const Cell none = run(p, false, false);
     const Cell te = run(p, true, false);
     const Cell mach = run(p, false, true);
     const Cell both = run(p, true, true);
+
+    rep.video(p.key, "teRelRequests",
+              te.dc_requests / none.dc_requests);
+    rep.video(p.key, "machRelRequests",
+              mach.dc_requests / none.dc_requests);
+    rep.video(p.key, "bothRelRequests",
+              both.dc_requests / none.dc_requests);
+    rep.video(p.key, "teEliminatedFrames",
+              static_cast<double>(te.eliminated));
 
     std::cout << title << " (" << p.key << ", static-frame rate "
               << std::fixed << std::setprecision(2)
@@ -75,12 +84,15 @@ main()
            "content; MACH works at block granularity and composes "
            "with it");
 
+    Report rep("bench_ablation_te", "Sec. 7",
+               "transaction elimination vs MACH");
+
     // Ordinary motion content: TE never fires.
-    table("moving content", benchWorkload("V5"));
+    table("moving content", benchWorkload("V5"), rep);
 
     // Static-heavy content (paused webcam / test card).
     VideoProfile static_heavy = benchWorkload("V4");
     static_heavy.static_frame_rate = 0.35;
-    table("static-heavy content", static_heavy);
+    table("static-heavy content", static_heavy, rep);
     return 0;
 }

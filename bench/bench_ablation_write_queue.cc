@@ -28,6 +28,9 @@ main()
               << std::setw(12) << "L acts/f" << std::setw(12)
               << "G acts/f" << "\n";
 
+    Report rep("bench_ablation_write_queue", "Sec. 7",
+               "DRAM posted-write queue depth");
+
     double l0 = 0.0;
     for (std::uint32_t depth : {0u, 8u, 32u, 128u}) {
         double le = 0.0, se = 0.0, ge = 0.0;
@@ -56,6 +59,10 @@ main()
         if (depth == 0) {
             l0 = le;
         }
+        const std::string d = "depth" + std::to_string(depth);
+        rep.metric(d + ".baselineNormalized", 0.0, le / l0);
+        rep.metric(d + ".raceToSleepNormalized", 0.0, se / l0);
+        rep.metric(d + ".gabNormalized", 0.0, ge / l0);
 
         std::cout << std::left << std::setw(8) << depth << std::right
                   << std::fixed << std::setprecision(4) << std::setw(11)

@@ -48,6 +48,9 @@ main()
               << "DCC(KB/f)" << std::setw(14) << "GAB+DCC(KB/f)"
               << std::setw(12) << "extraSave%" << "\n";
 
+    Report rep("bench_dcc_combo", "Sec. 6.2",
+               "GAB + DCC vs plain DCC");
+
     double sum_extra = 0.0;
     int n = 0;
     for (const auto &key : videoMix()) {
@@ -66,6 +69,7 @@ main()
         const double extra =
             1.0 - static_cast<double>(gab_dcc) /
                       static_cast<double>(dcc);
+        rep.video(key, "extraSaving", extra);
         sum_extra += extra;
         ++n;
 
@@ -80,5 +84,6 @@ main()
 
     std::cout << "\naverage extra saving of GAB+DCC over plain DCC: "
               << pct(sum_extra / n) << " (paper ~18%)\n";
+    rep.metric("extraSavingAvg", 0.18, sum_extra / n);
     return 0;
 }

@@ -23,6 +23,9 @@ main()
            "video pipeline ~29.7% / memory ~45.8% of energy; "
            "VD busy most of the frame time");
 
+    Report rep("bench_fig01_breakdown", "Fig. 1a",
+               "baseline time/energy breakdown");
+
     EnergyBreakdown energy;
     TimeBreakdown vd_time;
     Tick span = 0;
@@ -33,9 +36,22 @@ main()
         energy += r.energy;
         vd_time += r.vd_time;
         span += r.span;
+        rep.video(key, "energyJ", r.totalEnergy());
+        rep.video(key, "vdShare",
+                  (r.energy.vd_processing + r.energy.short_slack +
+                   r.energy.sleep + r.energy.transition) /
+                      r.totalEnergy());
+        rep.video(key, "memShare",
+                  r.energy.memoryTotal() / r.totalEnergy());
     }
 
     const double total = energy.total();
+    rep.metric("vdEnergyShare", 0.297,
+               (energy.vd_processing + energy.short_slack +
+                energy.sleep + energy.transition) /
+                   total);
+    rep.metric("dcEnergyShare", 0.0, energy.dc / total);
+    rep.metric("memEnergyShare", 0.458, energy.memoryTotal() / total);
     std::cout << "energy shares (of modelled system):\n";
     std::cout << "  video decoder (proc+slack+sleep+trans): "
               << pct((energy.vd_processing + energy.short_slack +

@@ -32,7 +32,9 @@ struct Regions
 };
 
 void
-report(const char *name, const std::vector<PipelineResult> &runs)
+report(const char *name, const std::vector<PipelineResult> &runs,
+       Report &rep, const std::string &prefix, double paper_region3,
+       double paper_region4)
 {
     Regions reg;
     stats::SampleSeries exec_ms("exec");
@@ -60,6 +62,12 @@ report(const char *name, const std::vector<PipelineResult> &runs)
     }
 
     const auto n = static_cast<double>(reg.frames);
+    rep.metric(prefix + ".regionIII_s1",
+               paper_region3, reg.s1 / n);
+    rep.metric(prefix + ".regionIV_s3",
+               paper_region4, reg.s3 / n);
+    rep.metric(prefix + ".transitionMsPerFrame", 0.0,
+               ticksToMs(trans_total) / n);
     std::cout << name << " (" << reg.frames << " frames)\n";
     std::cout << "  Region I   dropped      " << pct(reg.dropped / n)
               << "\n";
@@ -97,6 +105,9 @@ main()
            "baseline regions ~4/12/37/40+%; batching cuts "
            "transitions ~16x");
 
+    Report rep("bench_fig02_cdf", "Fig. 2",
+               "per-frame time/energy CDFs and regions");
+
     std::vector<PipelineResult> base, batched;
     for (const auto &key : videoMix()) {
         const VideoProfile p = benchWorkload(key, 120);
@@ -104,9 +115,14 @@ main()
             simulateScheme(p, SchemeConfig::make(Scheme::kBaseline)));
         batched.push_back(
             simulateScheme(p, SchemeConfig::make(Scheme::kBatching, 16)));
+        rep.video(key, "baselineDrops",
+                  static_cast<double>(base.back().drops));
+        rep.video(key, "batchingDrops",
+                  static_cast<double>(batched.back().drops));
     }
 
-    report("Baseline (Fig. 2b/2c)", base);
-    report("Batching x16 (Fig. 2d/2e)", batched);
+    report("Baseline (Fig. 2b/2c)", base, rep, "baseline", 0.37, 0.40);
+    report("Batching x16 (Fig. 2d/2e)", batched, rep, "batching", 0.0,
+           0.80);
     return 0;
 }

@@ -85,6 +85,9 @@ main()
               << "  (ms per frame)                             |"
               << "  (mJ per frame)\n";
 
+    Report rep("bench_fig04_batching", "Fig. 4",
+               "batching/racing/race-to-sleep state mix");
+
     const Agg base = runScheme(Scheme::kBaseline);
     const Agg batch = runScheme(Scheme::kBatching);
     const Agg race = runScheme(Scheme::kRacing);
@@ -94,6 +97,14 @@ main()
     row("Batching x16", batch);
     row("Racing", race);
     row("Race-to-Sleep", rts);
+
+    rep.metric("batchingTransitionEnergyCut", 0.86,
+               1.0 - batch.e_trans / base.e_trans);
+    rep.metric("racingTransitionEnergyGrowth", 0.0,
+               race.e_trans / base.e_trans);
+    rep.metric("raceToSleepS3MsPerFrame", 0.0,
+               ticksToMs(rts.time.s3) /
+                   static_cast<double>(rts.frames));
 
     std::cout << "\nbatching transition-energy cut: "
               << pct(1.0 - batch.e_trans / base.e_trans)

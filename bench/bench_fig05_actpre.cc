@@ -90,5 +90,11 @@ main()
               << " mJ/frame (paper ~0.5 mJ)\n";
     std::cout << "memory dynamic energy saved: " << mem_saved
               << " mJ/frame (paper ~1 mJ)\n";
+
+    Report rep("bench_fig05_actpre", "Fig. 5",
+               "Act/Pre behaviour, low vs high VD frequency");
+    rep.metric("actPreEnergyCut", 0.20, act_cut);
+    rep.metric("vdEnergyIncreaseMjPerFrame", 0.5, vd_extra);
+    rep.metric("memDynamicSavedMjPerFrame", 1.0, mem_saved);
     return 0;
 }

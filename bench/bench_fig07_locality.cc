@@ -98,6 +98,11 @@ similaritySweep()
     }
 
     const auto n = static_cast<double>(mabs);
+    Report rep("bench_fig07_locality", "Fig. 7",
+               "address locality vs value locality");
+    rep.metric("intraMatchShare", 0.42, intra / n);
+    rep.metric("interMatchShare", 0.15, inter / n);
+    rep.metric("noMatchShare", 0.43, none / n);
     std::cout << "  Intra-Match " << pct(intra / n)
               << "   (paper ~42%)\n";
     std::cout << "  Inter-Match " << pct(inter / n)

@@ -24,6 +24,9 @@ main()
            "mab ~13%, gab ~34% of frame-buffer bytes; gab's top "
            "digest ~58% of matches vs mab ~20%");
 
+    Report rep("bench_fig09_mach", "Fig. 9",
+               "MACH savings (mab vs gab vs optimal)");
+
     double mab_saved = 0.0, gab_saved = 0.0;
     double opt_mab = 0.0, opt_gab = 0.0;
     double top_mab = 0.0, top_gab = 0.0;
@@ -63,6 +66,8 @@ main()
                   << std::setw(10) << 100.0 * t1m << std::setw(10)
                   << 100.0 * t1g << "\n";
 
+        rep.video(p.key, "mabSavings", ms);
+        rep.video(p.key, "gabSavings", gs);
         mab_saved += ms;
         gab_saved += gs;
         opt_mab += sim.optimal_mab_savings;
@@ -79,6 +84,11 @@ main()
         }
         ++n;
     }
+
+    rep.metric("mabSavingsAvg", 0.13, mab_saved / n);
+    rep.metric("gabSavingsAvg", 0.34, gab_saved / n);
+    rep.metric("top1MabShare", 0.20, top_mab / n);
+    rep.metric("top1GabShare", 0.58, top_gab / n);
 
     std::cout << "\nFig. 9a averages:\n";
     std::cout << "  mab savings      " << pct(mab_saved / n)

@@ -46,6 +46,9 @@ main()
            "16 KB display cache suffices; combined savings ~33.5% of "
            "DC accesses; naive pointer layout would *add* >60%");
 
+    Report rep("bench_fig10_display", "Fig. 10",
+               "display cache and MACH buffer");
+
     // Baseline: linear scan.
     const std::uint64_t base =
         dcRequests(SchemeConfig::make(Scheme::kRaceToSleep));
@@ -70,6 +73,9 @@ main()
     auto rel = [&](std::uint64_t r) {
         return static_cast<double>(r) / static_cast<double>(base);
     };
+
+    rep.metric("naivePointerRelRequests", 1.6, rel(naive_req));
+    rep.metric("fullSchemeRelRequests", 0.665, rel(full_req));
 
     std::cout << "Fig. 10e: DC memory requests vs baseline scan\n";
     std::cout << "  baseline linear scan         1.000\n";
@@ -103,6 +109,12 @@ main()
     }
     const double recs =
         static_cast<double>(digest_recs + pointer_recs);
+    rep.metric("digestRecordShare", 0.38, digest_recs / recs);
+    rep.metric("pointerRecordShare", 0.62, pointer_recs / recs);
+    rep.metric("fragmentedPointerShare", 0.45,
+               static_cast<double>(fragmented) /
+                   static_cast<double>(pointer_recs));
+
     std::cout << "Fig. 10d: gab record types at the display\n";
     std::cout << "  indexed by digest  " << pct(digest_recs / recs)
               << "  (paper ~38%)\n";

@@ -20,30 +20,22 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hh"
 #include "core/video_pipeline.hh"
 #include "video/workloads.hh"
-
-namespace
-{
-
-std::uint32_t
-envU32(const char *name, std::uint32_t fallback)
-{
-    const char *v = std::getenv(name);
-    return v != nullptr ? static_cast<std::uint32_t>(std::atoi(v))
-                        : fallback;
-}
-
-} // namespace
 
 int
 main()
 {
     using namespace vstream;
+    using vstream::bench::envU32;
 
     const std::uint32_t frames = envU32("VSTREAM_FRAMES", 120);
     const std::uint32_t width = envU32("VSTREAM_WIDTH", 0);
     const std::uint32_t height = envU32("VSTREAM_HEIGHT", 0);
+
+    bench::Report rep("bench_fig11_energy", "Fig. 11",
+                      "normalized energy, 16 videos x 6 schemes");
 
     std::cout << "=== Fig. 11: normalized energy, 16 videos x 6 schemes "
                  "===\n";
@@ -132,6 +124,10 @@ main()
             }
             norm_sum[s] += r.totalEnergy() / baseline;
             breakdown_sum[s] += r.energy;
+            rep.video(p.key, schemeKey(s) + "EnergyJ",
+                      r.totalEnergy());
+            rep.video(p.key, schemeKey(s) + "Normalized",
+                      r.totalEnergy() / baseline);
             collisions += r.mach.collisions_undetected;
             // A frame-checksum mismatch is acceptable only when an
             // undetected digest collision explains it (Sec. 6.3; the
@@ -145,9 +141,16 @@ main()
     }
 
     const double n = static_cast<double>(workloadTable().size());
+    const std::map<Scheme, double> paper_avg = {
+        {Scheme::kBaseline, 1.0},  {Scheme::kBatching, 0.93},
+        {Scheme::kRacing, 1.12},   {Scheme::kRaceToSleep, 0.887},
+        {Scheme::kMab, 0.875},     {Scheme::kGab, 0.790},
+    };
     std::cout << std::left << std::setw(5) << "Avg" << std::right;
     for (Scheme s : schemes) {
         std::cout << std::setw(9) << norm_sum[s] / n;
+        rep.metric(schemeKey(s) + "NormalizedAvg", paper_avg.at(s),
+                   norm_sum[s] / n);
     }
     std::cout << "\n\npaper avg:  L 1.000, B ~0.93, R ~1.12, S 0.887, "
                  "M 0.875, G 0.790\n";

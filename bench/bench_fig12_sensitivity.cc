@@ -22,7 +22,7 @@ using namespace vstream;
 using namespace vstream::bench;
 
 void
-machCountSweep()
+machCountSweep(Report &rep)
 {
     std::cout << "Fig. 12a: extra frame buffers vs number of MACHs "
                  "(GAB, batch 16)\n";
@@ -37,6 +37,9 @@ machCountSweep()
         const PipelineResult r = pipe.run();
         const std::uint32_t extra =
             r.peak_buffers > 3 ? r.peak_buffers - 3 : 0;
+        if (machs == 8u) {
+            rep.metric("peakBuffersAt8Machs", 0.0, r.peak_buffers);
+        }
         // A 4K frame buffer is 24 MB.
         std::cout << "  " << std::left << std::setw(9) << machs
                   << std::setw(14) << r.peak_buffers << std::setw(13)
@@ -111,7 +114,7 @@ mabSizeSweep()
 }
 
 void
-hashStudy()
+hashStudy(Report &rep)
 {
     std::cout << "Fig. 12d: hash functions and collisions (GAB)\n";
     std::cout << "  hash     frames   undetected   detected(CO-MACH "
@@ -148,6 +151,8 @@ hashStudy()
         detected += r.mach.collisions_detected;
         frames_total += r.frames;
     }
+    rep.metric("coMachUndetectedCollisions", 0.0,
+               static_cast<double>(undetected));
     std::cout << "  " << std::left << std::setw(9) << "crc32+16"
               << std::setw(9) << frames_total << std::setw(13)
               << undetected << detected << " detected\n";
@@ -163,9 +168,11 @@ main()
     header("Fig. 12: sensitivity studies",
            "8 MACHs, 2K-entry MACH buffer, 4x4 mabs, CRC32(+CRC16) "
            "are the chosen design points");
-    machCountSweep();
+    Report rep("bench_fig12_sensitivity", "Fig. 12",
+               "sensitivity studies and collision analysis");
+    machCountSweep(rep);
     machBufferSweep();
     mabSizeSweep();
-    hashStudy();
+    hashStudy(rep);
     return 0;
 }

@@ -9,13 +9,17 @@
 #ifndef VSTREAM_BENCH_BENCH_UTIL_HH
 #define VSTREAM_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/video_pipeline.hh"
+#include "sim/json_writer.hh"
 #include "video/workloads.hh"
 
 namespace vstream
@@ -72,6 +76,121 @@ pct(double x, int precision = 1)
        << "%";
     return os.str();
 }
+
+/**
+ * Machine-readable result of one figure bench.
+ *
+ * When VSTREAM_STATS_JSON names a path, write() (called from the
+ * destructor) emits a "vstream-bench-1" JSON document there: the
+ * figure's headline metrics (paper value next to the measured one),
+ * the per-video values, and the wall-clock cost of the run.  With the
+ * variable unset the report is a no-op, so benches stay usable as
+ * plain console tools.  See docs/STATS.md for the format.
+ */
+class Report
+{
+  public:
+    Report(std::string bench, std::string figure, std::string title)
+        : bench_(std::move(bench)), figure_(std::move(figure)),
+          title_(std::move(title)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    Report(const Report &) = delete;
+    Report &operator=(const Report &) = delete;
+
+    ~Report() { write(); }
+
+    /** Record a headline metric with its paper reference point. */
+    void
+    metric(const std::string &name, double paper, double measured)
+    {
+        metrics_.push_back({name, paper, measured});
+    }
+
+    /** Record one value for one video (e.g. scheme key -> energy). */
+    void
+    video(const std::string &video_key, const std::string &name,
+          double value)
+    {
+        for (auto &[key, values] : videos_) {
+            if (key == video_key) {
+                values.emplace_back(name, value);
+                return;
+            }
+        }
+        videos_.push_back({video_key, {{name, value}}});
+    }
+
+    /** Write the JSON now (idempotent; also run by the destructor). */
+    void
+    write()
+    {
+        if (written_) {
+            return;
+        }
+        written_ = true;
+        const char *path = std::getenv("VSTREAM_STATS_JSON");
+        if (path == nullptr || path[0] == '\0') {
+            return;
+        }
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+
+        std::ofstream os(path);
+        JsonWriter w(os, /*pretty=*/true);
+        w.beginObject();
+        w.kv("schema", "vstream-bench-1");
+        w.kv("bench", bench_);
+        w.kv("figure", figure_);
+        w.kv("title", title_);
+        w.kv("wall_clock_seconds", wall);
+        w.key("metrics");
+        w.beginArray();
+        for (const Metric &m : metrics_) {
+            w.beginObject();
+            w.kv("name", m.name);
+            w.kv("paper", m.paper);
+            w.kv("measured", m.measured);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("videos");
+        w.beginObject();
+        for (const auto &[key, values] : videos_) {
+            w.key(key);
+            w.beginObject();
+            for (const auto &[name, value] : values) {
+                w.kv(name, value);
+            }
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
+
+  private:
+    struct Metric
+    {
+        std::string name;
+        double paper = 0.0;
+        double measured = 0.0;
+    };
+
+    std::string bench_;
+    std::string figure_;
+    std::string title_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<Metric> metrics_;
+    /** Insertion-ordered video -> (name, value) pairs. */
+    std::vector<std::pair<
+        std::string, std::vector<std::pair<std::string, double>>>>
+        videos_;
+    bool written_ = false;
+};
 
 } // namespace bench
 } // namespace vstream

@@ -21,9 +21,15 @@
  *     --machs N          number of MACHs (default 8)
  *     --entries N        entries per MACH (default 256)
  *     --write-queue N    DRAM posted-write queue depth (default 0)
- *     --stats FILE       dump per-component statistics
+ *     --stats FILE       dump per-component statistics (text)
+ *     --stats-json FILE  dump the same statistics as JSON
+ *     --stats-csv FILE   dump the same statistics as CSV
+ *     --trace-out FILE   record a Chrome/Perfetto trace of the run
  *     --csv FILE         dump per-frame records
  *     --seed N           content seed override
+ *
+ * Every value option also accepts the --opt=VALUE spelling.
+ * See docs/STATS.md and docs/TRACING.md for the output formats.
  */
 
 #include <cstdlib>
@@ -34,6 +40,7 @@
 #include <memory>
 
 #include "core/video_pipeline.hh"
+#include "sim/trace_event.hh"
 #include "video/workloads.hh"
 
 namespace
@@ -50,7 +57,9 @@ usage(const char *argv0)
                  "  [--scheme L|B|R|S|M|G] [--batch N] [--dcc] "
                  "[--co-mach] [--te] [--dvfs]\n"
                  "  [--machs N] [--entries N] [--write-queue N]\n"
-                 "  [--stats FILE] [--csv FILE] [--seed N]\n";
+                 "  [--stats FILE] [--stats-json FILE] "
+                 "[--stats-csv FILE]\n"
+                 "  [--trace-out FILE] [--csv FILE] [--seed N]\n";
     std::exit(2);
 }
 
@@ -89,29 +98,47 @@ main(int argc, char **argv)
     std::uint32_t machs = 8, entries = 256, write_queue = 0;
     Scheme scheme = Scheme::kGab;
     bool dcc = false, co_mach = false, te = false, dvfs = false;
-    std::string stats_file, csv_file;
+    std::string stats_file, stats_json_file, stats_csv_file;
+    std::string trace_file, csv_file;
     std::uint64_t seed = 0;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
+        std::string arg = argv[i];
+        // Accept both "--opt VALUE" and "--opt=VALUE".
+        std::string inline_value;
+        bool has_inline = false;
+        const std::size_t eq = arg.find('=');
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-' &&
+            eq != std::string::npos) {
+            inline_value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_inline = true;
+        }
+        auto next = [&]() -> std::string {
+            if (has_inline) {
+                return inline_value;
+            }
             if (i + 1 >= argc) {
                 usage(argv[0]);
             }
             return argv[++i];
         };
+        auto nextU32 = [&]() {
+            return static_cast<std::uint32_t>(
+                std::atoi(next().c_str()));
+        };
         if (arg == "--video") {
             video = next();
         } else if (arg == "--frames") {
-            frames = static_cast<std::uint32_t>(std::atoi(next()));
+            frames = nextU32();
         } else if (arg == "--width") {
-            width = static_cast<std::uint32_t>(std::atoi(next()));
+            width = nextU32();
         } else if (arg == "--height") {
-            height = static_cast<std::uint32_t>(std::atoi(next()));
+            height = nextU32();
         } else if (arg == "--scheme") {
             scheme = parseScheme(next());
         } else if (arg == "--batch") {
-            batch = static_cast<std::uint32_t>(std::atoi(next()));
+            batch = nextU32();
         } else if (arg == "--dcc") {
             dcc = true;
         } else if (arg == "--co-mach") {
@@ -121,18 +148,24 @@ main(int argc, char **argv)
         } else if (arg == "--dvfs") {
             dvfs = true;
         } else if (arg == "--machs") {
-            machs = static_cast<std::uint32_t>(std::atoi(next()));
+            machs = nextU32();
         } else if (arg == "--entries") {
-            entries = static_cast<std::uint32_t>(std::atoi(next()));
+            entries = nextU32();
         } else if (arg == "--write-queue") {
-            write_queue =
-                static_cast<std::uint32_t>(std::atoi(next()));
+            write_queue = nextU32();
         } else if (arg == "--stats") {
             stats_file = next();
+        } else if (arg == "--stats-json") {
+            stats_json_file = next();
+        } else if (arg == "--stats-csv") {
+            stats_csv_file = next();
+        } else if (arg == "--trace-out") {
+            trace_file = next();
         } else if (arg == "--csv") {
             csv_file = next();
         } else if (arg == "--seed") {
-            seed = static_cast<std::uint64_t>(std::atoll(next()));
+            seed = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
         } else {
             usage(argv[0]);
         }
@@ -152,10 +185,25 @@ main(int argc, char **argv)
     cfg.mach.entries = entries;
     cfg.dram.write_queue_depth = write_queue;
 
-    std::unique_ptr<std::ofstream> stats_os, csv_os;
+    std::unique_ptr<std::ofstream> stats_os, stats_json_os;
+    std::unique_ptr<std::ofstream> stats_csv_os, csv_os;
+    std::unique_ptr<TraceEventSink> trace;
     if (!stats_file.empty()) {
         stats_os = std::make_unique<std::ofstream>(stats_file);
         cfg.stats_out = stats_os.get();
+    }
+    if (!stats_json_file.empty()) {
+        stats_json_os =
+            std::make_unique<std::ofstream>(stats_json_file);
+        cfg.stats_json = stats_json_os.get();
+    }
+    if (!stats_csv_file.empty()) {
+        stats_csv_os = std::make_unique<std::ofstream>(stats_csv_file);
+        cfg.stats_csv = stats_csv_os.get();
+    }
+    if (!trace_file.empty()) {
+        trace = std::make_unique<TraceEventSink>();
+        cfg.trace = trace.get();
     }
     if (!csv_file.empty()) {
         csv_os = std::make_unique<std::ofstream>(csv_file);
@@ -203,6 +251,18 @@ main(int argc, char **argv)
               << " undetected collisions)\n";
     if (!stats_file.empty()) {
         std::cout << "  stats dump        " << stats_file << "\n";
+    }
+    if (!stats_json_file.empty()) {
+        std::cout << "  stats JSON        " << stats_json_file << "\n";
+    }
+    if (!stats_csv_file.empty()) {
+        std::cout << "  stats CSV         " << stats_csv_file << "\n";
+    }
+    if (trace) {
+        std::ofstream os(trace_file);
+        trace->writeJson(os);
+        std::cout << "  trace             " << trace_file << " ("
+                  << trace->eventCount() << " events)\n";
     }
     if (!csv_file.empty()) {
         std::cout << "  frame CSV         " << csv_file << "\n";

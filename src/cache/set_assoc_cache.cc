@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
-#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
 
 namespace vstream
 {
@@ -251,15 +251,18 @@ SetAssocCache::resetStats()
 }
 
 void
-SetAssocCache::dumpStats(std::ostream &os) const
+SetAssocCache::regStats(StatsRegistry &r) const
 {
-    stats::printStat(os, name_ + ".hits", static_cast<double>(hits_));
-    stats::printStat(os, name_ + ".misses", static_cast<double>(misses_));
-    stats::printStat(os, name_ + ".missRate", missRate());
-    stats::printStat(os, name_ + ".evictions",
-                     static_cast<double>(evictions_));
-    stats::printStat(os, name_ + ".writebacks",
-                     static_cast<double>(writebacks_));
+    r.addCallback(name_ + ".hits", "lines hit",
+                  [this] { return static_cast<double>(hits_); });
+    r.addCallback(name_ + ".misses", "lines missed",
+                  [this] { return static_cast<double>(misses_); });
+    r.addCallback(name_ + ".missRate", "misses / accesses",
+                  [this] { return missRate(); });
+    r.addCallback(name_ + ".evictions", "valid lines evicted",
+                  [this] { return static_cast<double>(evictions_); });
+    r.addCallback(name_ + ".writebacks", "dirty lines written back",
+                  [this] { return static_cast<double>(writebacks_); });
 }
 
 } // namespace vstream

@@ -24,6 +24,8 @@
 namespace vstream
 {
 
+class StatsRegistry;
+
 /** Outcome of a (possibly multi-line) cache access. */
 struct CacheAccessSummary
 {
@@ -84,7 +86,9 @@ class SetAssocCache
     double missRate() const;
 
     void resetStats();
-    void dumpStats(std::ostream &os) const;
+
+    /** Register hit/miss/eviction stats under this cache's name. */
+    void regStats(StatsRegistry &r) const;
 
   private:
     struct Line

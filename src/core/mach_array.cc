@@ -4,7 +4,7 @@
 #include <functional>
 
 #include "sim/logging.hh"
-#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
 
 namespace vstream
 {
@@ -150,21 +150,33 @@ MachArray::topMatchShares(std::size_t k) const
 }
 
 void
-MachArray::dumpStats(std::ostream &os, const std::string &prefix) const
+MachArray::regStats(StatsRegistry &r, const std::string &prefix) const
 {
-    stats::printStat(os, prefix + ".lookups",
-                     static_cast<double>(stats_.lookups));
-    stats::printStat(os, prefix + ".intraHits",
-                     static_cast<double>(stats_.intra_hits));
-    stats::printStat(os, prefix + ".interHits",
-                     static_cast<double>(stats_.inter_hits));
-    stats::printStat(os, prefix + ".misses",
-                     static_cast<double>(stats_.misses));
-    stats::printStat(os, prefix + ".hitRate", stats_.hitRate());
-    stats::printStat(os, prefix + ".collisionsDetected",
-                     static_cast<double>(stats_.collisions_detected));
-    stats::printStat(os, prefix + ".collisionsUndetected",
-                     static_cast<double>(stats_.collisions_undetected));
+    r.addCallback(prefix + ".lookups", "digest lookups issued", [this] {
+        return static_cast<double>(stats_.lookups);
+    });
+    r.addCallback(prefix + ".intraHits",
+                  "hits in the current frame's MACH", [this] {
+                      return static_cast<double>(stats_.intra_hits);
+                  });
+    r.addCallback(prefix + ".interHits", "hits in a frozen MACH",
+                  [this] {
+                      return static_cast<double>(stats_.inter_hits);
+                  });
+    r.addCallback(prefix + ".misses", "lookups missing every MACH",
+                  [this] { return static_cast<double>(stats_.misses); });
+    r.addCallback(prefix + ".hitRate", "hits / lookups",
+                  [this] { return stats_.hitRate(); });
+    r.addCallback(prefix + ".collisionsDetected",
+                  "digest collisions caught by CO-MACH", [this] {
+                      return static_cast<double>(
+                          stats_.collisions_detected);
+                  });
+    r.addCallback(prefix + ".collisionsUndetected",
+                  "digest collisions that corrupted a block", [this] {
+                      return static_cast<double>(
+                          stats_.collisions_undetected);
+                  });
 }
 
 } // namespace vstream

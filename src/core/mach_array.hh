@@ -25,6 +25,8 @@
 namespace vstream
 {
 
+class StatsRegistry;
+
 /** Combined outcome of searching all MACHs. */
 struct MachLookupResult
 {
@@ -100,7 +102,8 @@ class MachArray
         return co_mach_ ? co_mach_->insertCount() : 0;
     }
 
-    void dumpStats(std::ostream &os, const std::string &prefix) const;
+    /** Register lookup/hit/collision stats under @p prefix. */
+    void regStats(StatsRegistry &r, const std::string &prefix) const;
 
     /** Matches per digest (Fig. 9b's "top digests" distribution). */
     const std::unordered_map<std::uint32_t, std::uint64_t> &

@@ -26,6 +26,8 @@
 namespace vstream
 {
 
+class TraceEventSink;
+
 /** The six evaluated schemes. */
 enum class Scheme : std::uint8_t
 {
@@ -105,6 +107,19 @@ struct PipelineConfig
     /** When non-null, the pipeline dumps every component's detailed
      * statistics (gem5-style "name value" lines) here after the run. */
     std::ostream *stats_out = nullptr;
+
+    /** When non-null, the same registry is exported as JSON here
+     * (schema "vstream-stats-1", see docs/STATS.md). */
+    std::ostream *stats_json = nullptr;
+
+    /** When non-null, the same registry is exported as CSV here
+     * (one "name,kind,field,value" row per field). */
+    std::ostream *stats_csv = nullptr;
+
+    /** When non-null, the run's timeline (decode bursts, power-state
+     * dwells, scan-outs, DRAM counters) is recorded here in Chrome
+     * trace-event form (see docs/TRACING.md). */
+    TraceEventSink *trace = nullptr;
 
     /** When non-null, per-frame records are written here as CSV
      * (one row per frame: timings, state shares, energies, drops) -

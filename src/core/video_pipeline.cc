@@ -9,6 +9,8 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/stats_registry.hh"
+#include "sim/trace_event.hh"
 #include "video/synthetic_video.hh"
 
 namespace vstream
@@ -72,6 +74,16 @@ struct Playback
      * the history-based DVFS predictor. */
     double ewma_low_busy_s = 0.0;
 
+    // Observability: per-frame series for the stats registry, and
+    // the optional Chrome-trace sink with its tracks.
+    stats::SampleSeries frame_exec_ms;
+    stats::SampleSeries frame_slack_ms;
+    TraceEventSink *trace;
+    TraceEventSink::TrackId tr_vd = 0;
+    TraceEventSink::TrackId tr_power = 0;
+    TraceEventSink::TrackId tr_dc = 0;
+    TraceEventSink::TrackId tr_dram = 0;
+
     PipelineResult result;
 
     explicit Playback(const PipelineConfig &c)
@@ -98,6 +110,18 @@ struct Playback
                    (c.scheme.mach ? c.mach.num_machs - 1 : 0)),
           baseline_pacing(c.scheme.batch == 1)
     {
+        frame_exec_ms = stats::SampleSeries(
+            "", "per-frame decode busy time, ms");
+        frame_slack_ms = stats::SampleSeries(
+            "", "per-frame S0 slack before the deadline, ms");
+        trace = c.trace;
+        if (trace != nullptr) {
+            tr_vd = trace->track("vd.decode");
+            tr_power = trace->track("vd.power");
+            tr_dc = trace->track("dc.scanout");
+            tr_dram = trace->track("dram");
+            queue.setTraceSink(trace);
+        }
         if (c.scheme.mach) {
             machs = std::make_unique<MachArray>(c.mach);
             wb = std::make_unique<MachWriteback>(
@@ -210,6 +234,25 @@ struct Playback
         const Tick window_ticks = to - from;
         const SleepDecision d =
             governor.decide(window_ticks, vd.frequency());
+
+        if (trace != nullptr) {
+            // One lane shows where the idle window went: the
+            // transition overhead at the front, then the dwell in
+            // whichever state the governor picked.
+            if (d.state == PowerState::kSleepS1 ||
+                d.state == PowerState::kSleepS3) {
+                const char *state =
+                    d.state == PowerState::kSleepS1 ? "S1" : "S3";
+                if (d.transition_time > 0) {
+                    trace->complete(tr_power, "transition", from,
+                                    d.transition_time);
+                }
+                trace->complete(tr_power, state,
+                                from + d.transition_time, d.sleep_time);
+            } else {
+                trace->complete(tr_power, "slack", from, window_ticks);
+            }
+        }
 
         result.vd_time.transition += d.transition_time;
         result.energy.transition += d.transition_energy_j;
@@ -327,6 +370,93 @@ struct Playback
                      ticksToSeconds(r.busy());
         result.vd_time.execution += r.busy();
         result.energy.vd_processing += rec.e_exec;
+
+        frame_exec_ms.sample(ticksToMs(r.busy()));
+        if (rec.deadline > rec.finish) {
+            frame_slack_ms.sample(ticksToMs(rec.deadline - rec.finish));
+        } else {
+            frame_slack_ms.sample(0.0);
+        }
+        if (trace != nullptr) {
+            trace->complete(
+                tr_vd, "decode", r.start, r.busy(),
+                {{"frame", static_cast<double>(i)},
+                 {"stall_ms", ticksToMs(r.mem_stall)}});
+        }
+    }
+
+    /** Cumulative DRAM counter samples on the dram track. */
+    void
+    traceDramCounters(Tick now)
+    {
+        if (trace == nullptr) {
+            return;
+        }
+        const DramActivityCounts c = mem.energy().totalCounts();
+        trace->counter(tr_dram, "dram.bytes", now,
+                       static_cast<double>(c.bytes_read +
+                                           c.bytes_written));
+        trace->counter(tr_dram, "dram.activations", now,
+                       static_cast<double>(c.activations));
+    }
+
+    /** Register every stat of this playback into @p r. */
+    void
+    regStats(StatsRegistry &r)
+    {
+        vd.regStats(r);
+        dc.regStats(r);
+        mem.regStats(r);
+        if (machs) {
+            machs->regStats(r, "vd.mach");
+        }
+        r.add("pipeline.frameExecMs", frame_exec_ms);
+        r.add("pipeline.frameSlackMs", frame_slack_ms);
+        r.addCallback("pipeline.frames", "frames in the video", [this] {
+            return static_cast<double>(result.frames);
+        });
+        r.addCallback("pipeline.drops", "frames that missed a vsync",
+                      [this] {
+                          return static_cast<double>(result.drops);
+                      });
+        r.addCallback("pipeline.peakBuffers",
+                      "high-water mark of live frame buffers", [this] {
+                          return static_cast<double>(
+                              result.peak_buffers);
+                      });
+        r.addCallback("pipeline.sleepEvents",
+                      "idle windows spent in S1/S3", [this] {
+                          return static_cast<double>(
+                              result.sleep_events);
+                      });
+        r.addCallback("pipeline.spanSeconds", "simulated playback span",
+                      [this] { return ticksToSeconds(result.span); });
+        r.addCallback("pipeline.energyJ", "total system energy",
+                      [this] { return result.energy.total(); });
+        r.addCallback("pipeline.energy.dcJ", "display-controller energy",
+                      [this] { return result.energy.dc; });
+        r.addCallback("pipeline.energy.memBackgroundJ",
+                      "DRAM background energy",
+                      [this] { return result.energy.mem_background; });
+        r.addCallback("pipeline.energy.vdProcessingJ",
+                      "decoder active (S0 busy) energy",
+                      [this] { return result.energy.vd_processing; });
+        r.addCallback("pipeline.energy.sleepJ", "S1/S3 dwell energy",
+                      [this] { return result.energy.sleep; });
+        r.addCallback("pipeline.energy.shortSlackJ",
+                      "S0 idle (slack too short to sleep) energy",
+                      [this] { return result.energy.short_slack; });
+        r.addCallback("pipeline.energy.memBurstJ", "DRAM burst energy",
+                      [this] { return result.energy.mem_burst; });
+        r.addCallback("pipeline.energy.memActPreJ",
+                      "DRAM activate/precharge energy",
+                      [this] { return result.energy.mem_act_pre; });
+        r.addCallback("pipeline.energy.transitionJ",
+                      "power-state transition energy",
+                      [this] { return result.energy.transition; });
+        r.addCallback("pipeline.energy.machOverheadJ",
+                      "MACH/display-cache/buffer static overhead",
+                      [this] { return result.energy.mach_overhead; });
     }
 };
 
@@ -377,6 +507,10 @@ VideoPipeline::run()
         if (shown != static_cast<std::int64_t>(v)) {
             ++p.result.drops;
             p.result.frame_records[v].dropped = true;
+            if (p.trace != nullptr) {
+                p.trace->instant(p.tr_dc, "drop", now,
+                                 {{"frame", static_cast<double>(v)}});
+            }
         }
         if (shown >= 0) {
             // Re-rendering a frame older than the retention window
@@ -391,8 +525,17 @@ VideoPipeline::run()
                 if (cfg_.verify_display && !scan.verified) {
                     p.result.all_verified = false;
                 }
+                if (p.trace != nullptr) {
+                    p.trace->complete(
+                        p.tr_dc, "scanout", scan.start,
+                        scan.finish - scan.start,
+                        {{"frame", static_cast<double>(shown)},
+                         {"bytes", static_cast<double>(
+                                       scan.bytes_read)}});
+                }
             }
         }
+        p.traceDramCounters(now);
         last_shown = shown;
     }
 
@@ -479,23 +622,22 @@ VideoPipeline::run()
         }
     }
 
-    if (cfg_.stats_out != nullptr) {
-        std::ostream &os = *cfg_.stats_out;
-        os << "---- " << cfg_.profile.key << " / "
-           << schemeName(cfg_.scheme.scheme) << " ----\n";
-        p.vd.dumpStats(os);
-        p.dc.dumpStats(os);
-        p.mem.dumpStats(os);
-        if (p.machs) {
-            p.machs->dumpStats(os, "vd.mach");
+    if (cfg_.stats_out != nullptr || cfg_.stats_json != nullptr ||
+        cfg_.stats_csv != nullptr) {
+        StatsRegistry reg;
+        p.regStats(reg);
+        if (cfg_.stats_out != nullptr) {
+            std::ostream &os = *cfg_.stats_out;
+            os << "---- " << cfg_.profile.key << " / "
+               << schemeName(cfg_.scheme.scheme) << " ----\n";
+            reg.dumpText(os);
         }
-        stats::printStat(os, "pipeline.drops",
-                         static_cast<double>(r.drops));
-        stats::printStat(os, "pipeline.peakBuffers",
-                         static_cast<double>(r.peak_buffers));
-        stats::printStat(os, "pipeline.energyJ", r.energy.total());
-        stats::printStat(os, "pipeline.spanSeconds",
-                         ticksToSeconds(r.span));
+        if (cfg_.stats_json != nullptr) {
+            reg.dumpJson(*cfg_.stats_json);
+        }
+        if (cfg_.stats_csv != nullptr) {
+            reg.dumpCsv(*cfg_.stats_csv);
+        }
     }
     return r;
 }

@@ -4,7 +4,7 @@
 
 #include "sim/logging.hh"
 #include "sim/random.hh"
-#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
 
 namespace vstream
 {
@@ -142,11 +142,13 @@ VideoDecoder::decodeFrame(const Frame &frame, WritebackStage &wb,
 }
 
 void
-VideoDecoder::dumpStats(std::ostream &os) const
+VideoDecoder::regStats(StatsRegistry &r)
 {
-    stats::printStat(os, name() + ".framesDecoded",
-                     static_cast<double>(frames_decoded_));
-    cache_->dumpStats(os);
+    r.addCallback(name() + ".framesDecoded", "frames fully decoded",
+                  [this] {
+                      return static_cast<double>(frames_decoded_);
+                  });
+    cache_->regStats(r);
 }
 
 void

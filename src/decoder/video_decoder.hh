@@ -72,7 +72,7 @@ class VideoDecoder : public SimObject
     const DecodeCostModel &costModel() const { return cost_; }
     const DecoderConfig &config() const { return cfg_; }
 
-    void dumpStats(std::ostream &os) const override;
+    void regStats(StatsRegistry &r) override;
     void resetStats() override;
 
   private:

@@ -41,7 +41,7 @@ class DisplayCache
 
     void invalidateAll() { cache_->invalidateAll(); }
     void resetStats() { cache_->resetStats(); }
-    void dumpStats(std::ostream &os) const { cache_->dumpStats(os); }
+    void regStats(StatsRegistry &r) const { cache_->regStats(r); }
 
     const CacheConfig &config() const { return cache_->config(); }
 

@@ -4,7 +4,7 @@
 
 #include "display/frame_reconstructor.hh"
 #include "sim/logging.hh"
-#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
 
 namespace vstream
 {
@@ -236,23 +236,43 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
 }
 
 void
-DisplayController::dumpStats(std::ostream &os) const
+DisplayController::regStats(StatsRegistry &r)
 {
-    stats::printStat(os, name() + ".framesShown",
-                     static_cast<double>(totals_.frames_shown));
-    stats::printStat(os, name() + ".reRenders",
-                     static_cast<double>(totals_.re_renders));
-    stats::printStat(os, name() + ".dramRequests",
-                     static_cast<double>(totals_.dram_requests));
-    stats::printStat(os, name() + ".bytesRead",
-                     static_cast<double>(totals_.bytes_read));
-    stats::printStat(os, name() + ".verifyFailures",
-                     static_cast<double>(totals_.verify_failures));
+    r.addCallback(name() + ".framesShown", "frames scanned out",
+                  [this] {
+                      return static_cast<double>(totals_.frames_shown);
+                  });
+    r.addCallback(name() + ".reRenders",
+                  "stale frames shown again after a drop", [this] {
+                      return static_cast<double>(totals_.re_renders);
+                  });
+    r.addCallback(name() + ".dramRequests", "DRAM requests issued",
+                  [this] {
+                      return static_cast<double>(totals_.dram_requests);
+                  });
+    r.addCallback(name() + ".bytesRead", "frame-buffer bytes fetched",
+                  [this] {
+                      return static_cast<double>(totals_.bytes_read);
+                  });
+    r.addCallback(name() + ".metaBytes", "layout metadata bytes fetched",
+                  [this] {
+                      return static_cast<double>(totals_.meta_bytes);
+                  });
+    r.addCallback(name() + ".eliminatedFrames",
+                  "scans skipped by transaction elimination", [this] {
+                      return static_cast<double>(
+                          totals_.eliminated_frames);
+                  });
+    r.addCallback(name() + ".verifyFailures",
+                  "frames whose checksum mismatched", [this] {
+                      return static_cast<double>(
+                          totals_.verify_failures);
+                  });
     if (display_cache_) {
-        display_cache_->dumpStats(os);
+        display_cache_->regStats(r);
     }
     if (mach_buffer_) {
-        mach_buffer_->dumpStats(os, name() + ".machBuffer");
+        mach_buffer_->regStats(r, name() + ".machBuffer");
     }
 }
 

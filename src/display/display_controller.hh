@@ -93,7 +93,7 @@ class DisplayController : public SimObject
     /** Frame period in ticks. */
     Tick framePeriod() const { return sim_clock::s / cfg_.refresh_hz; }
 
-    void dumpStats(std::ostream &os) const override;
+    void regStats(StatsRegistry &r) override;
     void resetStats() override;
 
   private:

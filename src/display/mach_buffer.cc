@@ -1,7 +1,7 @@
 #include "display/mach_buffer.hh"
 
 #include "sim/logging.hh"
-#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
 
 namespace vstream
 {
@@ -87,13 +87,14 @@ MachBuffer::resetStats()
 }
 
 void
-MachBuffer::dumpStats(std::ostream &os, const std::string &prefix) const
+MachBuffer::regStats(StatsRegistry &r, const std::string &prefix) const
 {
-    stats::printStat(os, prefix + ".hits", static_cast<double>(hits_));
-    stats::printStat(os, prefix + ".misses",
-                     static_cast<double>(misses_));
-    stats::printStat(os, prefix + ".inserts",
-                     static_cast<double>(inserts_));
+    r.addCallback(prefix + ".hits", "digest records served here",
+                  [this] { return static_cast<double>(hits_); });
+    r.addCallback(prefix + ".misses", "digest records resolved via DRAM",
+                  [this] { return static_cast<double>(misses_); });
+    r.addCallback(prefix + ".inserts", "blocks installed",
+                  [this] { return static_cast<double>(inserts_); });
 }
 
 } // namespace vstream

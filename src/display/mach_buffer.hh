@@ -21,6 +21,8 @@
 namespace vstream
 {
 
+class StatsRegistry;
+
 /** Digest-indexed, set-associative block buffer. */
 class MachBuffer
 {
@@ -41,7 +43,9 @@ class MachBuffer
     std::uint32_t entries() const { return sets_ * ways_; }
 
     void resetStats();
-    void dumpStats(std::ostream &os, const std::string &prefix) const;
+
+    /** Register hit/miss/insert stats under @p prefix. */
+    void regStats(StatsRegistry &r, const std::string &prefix) const;
 
   private:
     struct Entry

@@ -1,7 +1,7 @@
 #include "mem/dram_energy.hh"
 
 #include "sim/logging.hh"
-#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
 
 namespace vstream
 {
@@ -133,22 +133,32 @@ DramEnergy::reset()
 }
 
 void
-DramEnergy::dump(std::ostream &os) const
+DramEnergy::regStats(StatsRegistry &reg, const std::string &prefix) const
 {
     for (std::size_t i = 0; i < per_requester_.size(); ++i) {
         const auto r = static_cast<Requester>(i);
-        const auto &c = per_requester_[i];
-        const std::string prefix = "dram." + requesterName(r) + ".";
-        stats::printStat(os, prefix + "activations",
-                         static_cast<double>(c.activations));
-        stats::printStat(os, prefix + "rowHits",
-                         static_cast<double>(c.row_hits));
-        stats::printStat(os, prefix + "bytesRead",
-                         static_cast<double>(c.bytes_read));
-        stats::printStat(os, prefix + "bytesWritten",
-                         static_cast<double>(c.bytes_written));
-        stats::printStat(os, prefix + "actPreEnergyJ", actPreEnergy(r));
-        stats::printStat(os, prefix + "burstEnergyJ", burstEnergy(r));
+        const DramActivityCounts *c = &per_requester_[i];
+        const std::string p =
+            prefix + "dram." + requesterName(r) + ".";
+        reg.addCallback(p + "activations", "row activations", [c] {
+            return static_cast<double>(c->activations);
+        });
+        reg.addCallback(p + "rowHits", "row-buffer hits", [c] {
+            return static_cast<double>(c->row_hits);
+        });
+        reg.addCallback(p + "bytesRead", "data burst bytes read", [c] {
+            return static_cast<double>(c->bytes_read);
+        });
+        reg.addCallback(p + "bytesWritten", "data burst bytes written",
+                        [c] {
+                            return static_cast<double>(c->bytes_written);
+                        });
+        reg.addCallback(p + "actPreEnergyJ",
+                        "activate/precharge energy, joules",
+                        [this, r] { return actPreEnergy(r); });
+        reg.addCallback(p + "burstEnergyJ",
+                        "data transfer energy, joules",
+                        [this, r] { return burstEnergy(r); });
     }
 }
 

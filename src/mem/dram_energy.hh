@@ -20,6 +20,8 @@
 namespace vstream
 {
 
+class StatsRegistry;
+
 /** Raw command counts for one requester. */
 struct DramActivityCounts
 {
@@ -69,7 +71,9 @@ class DramEnergy
     double dynamicEnergyTotal() const;
 
     void reset();
-    void dump(std::ostream &os) const;
+
+    /** Register per-requester counts/energies under @p prefix. */
+    void regStats(StatsRegistry &r, const std::string &prefix) const;
 
   private:
     static std::size_t index(Requester r);

@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
-#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
 
 namespace vstream
 {
@@ -63,13 +63,16 @@ MemorySystem::resetStats()
 }
 
 void
-MemorySystem::dumpStats(std::ostream &os) const
+MemorySystem::regStats(StatsRegistry &r)
 {
-    stats::printStat(os, name() + ".requests",
-                     static_cast<double>(request_count_));
-    stats::printStat(os, name() + ".allocatedBytes",
-                     static_cast<double>(next_free_));
-    ctrl_.energy().dump(os);
+    r.addCallback(name() + ".requests", "requests serviced", [this] {
+        return static_cast<double>(request_count_);
+    });
+    r.addCallback(name() + ".allocatedBytes",
+                  "bytes handed out by the bump allocator", [this] {
+                      return static_cast<double>(next_free_);
+                  });
+    ctrl_.energy().regStats(r, name() + ".");
 }
 
 } // namespace vstream

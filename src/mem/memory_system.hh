@@ -72,7 +72,7 @@ class MemorySystem : public SimObject
     std::uint64_t requestCount() const { return request_count_; }
 
     void resetStats() override;
-    void dumpStats(std::ostream &os) const override;
+    void regStats(StatsRegistry &r) override;
 
   private:
     DramController ctrl_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace_event.hh"
 
 namespace vstream
 {
@@ -82,10 +83,22 @@ EventQueue::step()
         ev->scheduled_ = false;
         --live_count_;
         ++processed_;
+        if (trace_ != nullptr) {
+            trace_->instant(trace_track_, ev->name(), cur_tick_);
+        }
         ev->process();
         return true;
     }
     return false;
+}
+
+void
+EventQueue::setTraceSink(TraceEventSink *sink)
+{
+    trace_ = sink;
+    if (trace_ != nullptr) {
+        trace_track_ = trace_->track("events");
+    }
 }
 
 Tick

@@ -23,6 +23,7 @@ namespace vstream
 {
 
 class EventQueue;
+class TraceEventSink;
 
 /**
  * A schedulable unit of work.
@@ -134,6 +135,13 @@ class EventQueue
     /** Total number of events processed since construction. */
     std::uint64_t processedCount() const { return processed_; }
 
+    /**
+     * Mirror every processed event into @p sink as an instant marker
+     * on an "events" track (null disables).  The sink must outlive
+     * the queue or be detached before it is destroyed.
+     */
+    void setTraceSink(TraceEventSink *sink);
+
   private:
     struct Entry
     {
@@ -159,6 +167,8 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+    TraceEventSink *trace_ = nullptr;
+    std::uint32_t trace_track_ = 0;
     Tick cur_tick_ = 0;
     std::uint64_t next_sequence_ = 0;
     std::uint64_t processed_ = 0;

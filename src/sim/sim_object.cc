@@ -4,6 +4,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/stats_registry.hh"
 
 namespace vstream
 {
@@ -15,5 +16,13 @@ SimObject::SimObject(std::string name, EventQueue *queue)
 }
 
 SimObject::~SimObject() = default;
+
+void
+SimObject::dumpStats(std::ostream &os)
+{
+    StatsRegistry r;
+    regStats(r);
+    r.dumpText(os);
+}
 
 } // namespace vstream

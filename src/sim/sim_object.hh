@@ -13,13 +13,17 @@ namespace vstream
 {
 
 class EventQueue;
+class StatsRegistry;
 
 /**
  * A named component of the simulated SoC.
  *
- * SimObjects share one EventQueue and report statistics through
- * dumpStats().  Construction order establishes the component tree; the
- * name is a dotted path such as "soc.vd.cache".
+ * SimObjects share one EventQueue and report statistics by
+ * registering them into a StatsRegistry (regStats()); the registry
+ * then drives every output format (text/JSON/CSV, see
+ * sim/stats_registry.hh).  Construction order establishes the
+ * component tree; the name is a dotted path such as "soc.vd.cache"
+ * and every registered stat lives under it.
  */
 class SimObject
 {
@@ -41,8 +45,20 @@ class SimObject
     /** Reset statistics (not architectural state). */
     virtual void resetStats() {}
 
-    /** Pretty-print statistics. */
-    virtual void dumpStats(std::ostream &os) const { (void)os; }
+    /**
+     * Register this object's stats under its name().
+     *
+     * The object must outlive @p r (stats are registered by
+     * pointer).  The default registers nothing.
+     */
+    virtual void regStats(StatsRegistry &r) { (void)r; }
+
+    /**
+     * Pretty-print statistics: builds a private registry via
+     * regStats() and text-dumps it.  Not virtual - per-object stat
+     * content belongs in regStats() so that every exporter sees it.
+     */
+    void dumpStats(std::ostream &os);
 
   private:
     std::string name_;

@@ -129,8 +129,8 @@ SampleSeries::sorted() const
 }
 
 Histogram::Histogram(std::string name, double lo, double hi,
-                     std::size_t buckets)
-    : name_(std::move(name)), lo_(lo), hi_(hi),
+                     std::size_t buckets, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc)), lo_(lo), hi_(hi),
       width_((hi - lo) / static_cast<double>(buckets)),
       buckets_(buckets, 0)
 {

@@ -61,6 +61,7 @@ class Distribution
     double total() const { return total_; }
 
     const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
 
   private:
     std::string name_;
@@ -102,6 +103,7 @@ class SampleSeries
 
     const std::vector<double> &samples() const { return samples_; }
     const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
 
   private:
     std::string name_;
@@ -113,7 +115,8 @@ class SampleSeries
 class Histogram
 {
   public:
-    Histogram(std::string name, double lo, double hi, std::size_t buckets);
+    Histogram(std::string name, double lo, double hi, std::size_t buckets,
+              std::string desc = "");
 
     void sample(double v);
     void reset();
@@ -126,10 +129,15 @@ class Histogram
     double bucketLow(std::size_t i) const;
     double bucketHigh(std::size_t i) const;
 
+    double low() const { return lo_; }
+    double high() const { return hi_; }
+
     const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
 
   private:
     std::string name_;
+    std::string desc_;
     double lo_;
     double hi_;
     double width_;

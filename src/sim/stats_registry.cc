@@ -1,0 +1,276 @@
+#include "sim/stats_registry.hh"
+
+#include <utility>
+
+#include "sim/json_writer.hh"
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+bool
+validStatName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.') {
+        return false;
+    }
+    bool prev_dot = false;
+    for (char c : name) {
+        if (c == '.') {
+            if (prev_dot) {
+                return false;
+            }
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        if (!ok) {
+            return false;
+        }
+    }
+    return true;
+}
+
+const char *
+StatsRegistry::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::kScalar:
+        return "scalar";
+      case Kind::kCallback:
+        return "scalar"; // callbacks are scalars to every consumer
+      case Kind::kDistribution:
+        return "distribution";
+      case Kind::kSeries:
+        return "series";
+      case Kind::kHistogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+StatsRegistry::Entry &
+StatsRegistry::insert(const std::string &name, Kind kind)
+{
+    vs_assert(validStatName(name), "bad stat name '", name,
+              "' (want dotted [A-Za-z0-9_] segments)");
+    auto [it, inserted] = entries_.try_emplace(name);
+    if (!inserted) {
+        vs_panic("duplicate stat registration: '", name, "'");
+    }
+    it->second.kind = kind;
+    return it->second;
+}
+
+void
+StatsRegistry::add(const std::string &name, stats::Scalar &s)
+{
+    Entry &e = insert(name, Kind::kScalar);
+    e.scalar = &s;
+    e.desc = s.desc();
+}
+
+void
+StatsRegistry::add(const std::string &name, stats::Distribution &d)
+{
+    Entry &e = insert(name, Kind::kDistribution);
+    e.dist = &d;
+    e.desc = d.desc();
+}
+
+void
+StatsRegistry::add(const std::string &name, stats::SampleSeries &s)
+{
+    Entry &e = insert(name, Kind::kSeries);
+    e.series = &s;
+    e.desc = s.desc();
+}
+
+void
+StatsRegistry::add(const std::string &name, stats::Histogram &h)
+{
+    Entry &e = insert(name, Kind::kHistogram);
+    e.histogram = &h;
+    e.desc = h.desc();
+}
+
+void
+StatsRegistry::addCallback(const std::string &name, std::string desc,
+                           std::function<double()> fn)
+{
+    vs_assert(fn != nullptr, "null stat callback for '", name, "'");
+    Entry &e = insert(name, Kind::kCallback);
+    e.desc = std::move(desc);
+    e.callback = std::move(fn);
+}
+
+bool
+StatsRegistry::contains(const std::string &name) const
+{
+    return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string>
+StatsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, e] : entries_) {
+        out.push_back(name);
+    }
+    return out;
+}
+
+double
+StatsRegistry::value(const std::string &name) const
+{
+    const auto it = entries_.find(name);
+    vs_assert(it != entries_.end(), "unknown stat '", name, "'");
+    const Entry &e = it->second;
+    switch (e.kind) {
+      case Kind::kScalar:
+        return e.scalar->value();
+      case Kind::kCallback:
+        return e.callback();
+      case Kind::kDistribution:
+        return e.dist->mean();
+      case Kind::kSeries:
+        return e.series->mean();
+      case Kind::kHistogram:
+        return static_cast<double>(e.histogram->count());
+    }
+    return 0.0;
+}
+
+std::vector<std::pair<std::string, double>>
+StatsRegistry::fields(const Entry &e)
+{
+    std::vector<std::pair<std::string, double>> out;
+    switch (e.kind) {
+      case Kind::kScalar:
+        out.emplace_back("value", e.scalar->value());
+        break;
+      case Kind::kCallback:
+        out.emplace_back("value", e.callback());
+        break;
+      case Kind::kDistribution:
+        out.emplace_back("count",
+                         static_cast<double>(e.dist->count()));
+        out.emplace_back("total", e.dist->total());
+        out.emplace_back("mean", e.dist->mean());
+        out.emplace_back("stddev", e.dist->stddev());
+        out.emplace_back("min", e.dist->min());
+        out.emplace_back("max", e.dist->max());
+        break;
+      case Kind::kSeries:
+        out.emplace_back("count",
+                         static_cast<double>(e.series->count()));
+        out.emplace_back("total", e.series->total());
+        out.emplace_back("mean", e.series->mean());
+        out.emplace_back("p50", e.series->percentile(0.50));
+        out.emplace_back("p90", e.series->percentile(0.90));
+        out.emplace_back("p99", e.series->percentile(0.99));
+        out.emplace_back("min", e.series->percentile(0.0));
+        out.emplace_back("max", e.series->percentile(1.0));
+        break;
+      case Kind::kHistogram:
+        out.emplace_back("count",
+                         static_cast<double>(e.histogram->count()));
+        out.emplace_back("underflow",
+                         static_cast<double>(e.histogram->underflow()));
+        out.emplace_back("overflow",
+                         static_cast<double>(e.histogram->overflow()));
+        break;
+    }
+    return out;
+}
+
+void
+StatsRegistry::dumpText(std::ostream &os) const
+{
+    for (const auto &[name, e] : entries_) {
+        if (e.kind == Kind::kScalar || e.kind == Kind::kCallback) {
+            stats::printStat(os, name, fields(e).front().second, e.desc);
+            continue;
+        }
+        // Aggregate kinds print one line per exported field, keeping
+        // the classic one-value-per-line text shape.
+        for (const auto &[field, v] : fields(e)) {
+            stats::printStat(os, name + "::" + field, v, e.desc);
+        }
+    }
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "vstream-stats-1");
+    w.key("stats");
+    w.beginObject();
+    for (const auto &[name, e] : entries_) {
+        w.key(name);
+        w.beginObject();
+        w.kv("kind", kindName(e.kind));
+        if (!e.desc.empty()) {
+            w.kv("desc", e.desc);
+        }
+        for (const auto &[field, v] : fields(e)) {
+            w.kv(field, v);
+        }
+        if (e.kind == Kind::kHistogram) {
+            const stats::Histogram &h = *e.histogram;
+            w.kv("lo", h.low());
+            w.kv("hi", h.high());
+            w.key("buckets");
+            w.beginArray();
+            for (std::size_t i = 0; i < h.buckets(); ++i) {
+                w.value(h.bucketCount(i));
+            }
+            w.endArray();
+        }
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+void
+StatsRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "name,kind,field,value\n";
+    for (const auto &[name, e] : entries_) {
+        for (const auto &[field, v] : fields(e)) {
+            os << name << ',' << kindName(e.kind) << ',' << field << ','
+               << jsonNumber(v) << '\n';
+        }
+    }
+}
+
+void
+StatsRegistry::resetAll()
+{
+    for (auto &[name, e] : entries_) {
+        switch (e.kind) {
+          case Kind::kScalar:
+            e.scalar->reset();
+            break;
+          case Kind::kCallback:
+            break; // owner resets the underlying counter
+          case Kind::kDistribution:
+            e.dist->reset();
+            break;
+          case Kind::kSeries:
+            e.series->reset();
+            break;
+          case Kind::kHistogram:
+            e.histogram->reset();
+            break;
+        }
+    }
+}
+
+} // namespace vstream

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Hierarchical statistics registry.
+ *
+ * Every stat-bearing component registers its Scalar / Distribution /
+ * SampleSeries / Histogram stats (or a read-only callback over a raw
+ * counter) under a hierarchical dotted name such as
+ * "vd.cache.missRate" or "mem.dram.vd.activations".  The registry is
+ * then the single source of truth for reporting: the text, JSON and
+ * CSV exporters all walk the same entry list, so a stat registered
+ * once shows up in every output format, and a stat that is *not*
+ * registered cannot be printed at all (tools/vstream_lint.py's
+ * registry-stats rule enforces this by banning direct printStat
+ * calls outside src/sim).
+ *
+ * The registry does not own the stats: components keep their
+ * counters, register pointers in regStats(), and the registry reads
+ * them at dump time.  This keeps the hot paths free of any
+ * registry involvement - incrementing a counter stays a plain
+ * member-variable increment; the registry is only walked when a dump
+ * is requested (see docs/STATS.md and DESIGN.md §11).
+ *
+ * Names must match [A-Za-z0-9_] segments separated by single dots;
+ * duplicate registration is a panic (two components writing the same
+ * name would silently shadow each other in every exporter).
+ */
+
+#ifndef VSTREAM_SIM_STATS_REGISTRY_HH
+#define VSTREAM_SIM_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace vstream
+{
+
+/** The hierarchical stat registry; see file comment. */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    // --- registration ---------------------------------------------------
+    // Each add() panics on an invalid or duplicate name.  The
+    // registered object must outlive the registry (in practice both
+    // live for one simulation run).
+
+    /** Register @p s under @p name (desc taken from the stat). */
+    void add(const std::string &name, stats::Scalar &s);
+    void add(const std::string &name, stats::Distribution &d);
+    void add(const std::string &name, stats::SampleSeries &s);
+    void add(const std::string &name, stats::Histogram &h);
+
+    /**
+     * Register a read-only scalar over an existing raw counter.
+     *
+     * The owning component remains responsible for resetting the
+     * underlying counter (resetStats()); resetAll() skips callbacks.
+     */
+    void addCallback(const std::string &name, std::string desc,
+                     std::function<double()> fn);
+
+    // --- queries --------------------------------------------------------
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** All registered names in hierarchical (lexicographic) order. */
+    std::vector<std::string> names() const;
+
+    /** Value of a scalar/callback stat; panics on unknown name. */
+    double value(const std::string &name) const;
+
+    // --- exporters ------------------------------------------------------
+
+    /** gem5-style "name value  # desc" lines, hierarchically sorted. */
+    void dumpText(std::ostream &os) const;
+
+    /** Flat JSON object keyed by dotted name; see docs/STATS.md. */
+    void dumpJson(std::ostream &os) const;
+
+    /** "name,kind,field,value" rows, one row per exported field. */
+    void dumpCsv(std::ostream &os) const;
+
+    // --- lifecycle ------------------------------------------------------
+
+    /** Reset every registered stat object (callbacks are skipped). */
+    void resetAll();
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        kScalar,
+        kCallback,
+        kDistribution,
+        kSeries,
+        kHistogram,
+    };
+
+    struct Entry
+    {
+        Kind kind = Kind::kScalar;
+        std::string desc;
+        stats::Scalar *scalar = nullptr;
+        stats::Distribution *dist = nullptr;
+        stats::SampleSeries *series = nullptr;
+        stats::Histogram *histogram = nullptr;
+        std::function<double()> callback;
+    };
+
+    static const char *kindName(Kind k);
+
+    /** Validate @p name and insert; panics on duplicates. */
+    Entry &insert(const std::string &name, Kind kind);
+
+    /** (field, value) pairs exported for @p e in every format. */
+    static std::vector<std::pair<std::string, double>>
+    fields(const Entry &e);
+
+    // Ordered map: iteration *is* the hierarchical dump order, and
+    // lookups during registration stay O(log n).
+    std::map<std::string, Entry> entries_;
+};
+
+/** True iff @p name is a well-formed dotted stat name. */
+bool validStatName(const std::string &name);
+
+} // namespace vstream
+
+#endif // VSTREAM_SIM_STATS_REGISTRY_HH

@@ -1,0 +1,152 @@
+#include "sim/trace_event.hh"
+
+#include <algorithm>
+
+#include "sim/json_writer.hh"
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+namespace
+{
+
+/** Ticks (ps) to Trace-Event-Format microseconds. */
+double
+ticksToTraceUs(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+} // namespace
+
+TraceEventSink::TrackId
+TraceEventSink::track(const std::string &name)
+{
+    for (TrackId i = 0; i < tracks_.size(); ++i) {
+        if (tracks_[i] == name) {
+            return i;
+        }
+    }
+    tracks_.push_back(name);
+    return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void
+TraceEventSink::complete(TrackId t, const std::string &name, Tick start,
+                         Tick duration, Args args)
+{
+    vs_assert(t < tracks_.size(), "unknown trace track ", t);
+    events_.push_back(
+        {'X', t, name, start, duration, 0.0, std::move(args)});
+}
+
+void
+TraceEventSink::instant(TrackId t, const std::string &name, Tick ts,
+                        Args args)
+{
+    vs_assert(t < tracks_.size(), "unknown trace track ", t);
+    events_.push_back({'i', t, name, ts, 0, 0.0, std::move(args)});
+}
+
+void
+TraceEventSink::counter(TrackId t, const std::string &name, Tick ts,
+                        double value)
+{
+    vs_assert(t < tracks_.size(), "unknown trace track ", t);
+    events_.push_back({'C', t, name, ts, 0, value, {}});
+}
+
+void
+TraceEventSink::writeJson(std::ostream &os) const
+{
+    // Sort a copy of the event indices by (track, ts, insertion) so
+    // each track's lane is monotonic in ts - Perfetto rejects
+    // overlapping/backwards slices within one thread.
+    std::vector<std::size_t> order(events_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         if (events_[a].tid != events_[b].tid) {
+                             return events_[a].tid < events_[b].tid;
+                         }
+                         return events_[a].ts < events_[b].ts;
+                     });
+
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Metadata: one process, one named thread per track.
+    w.beginObject();
+    w.kv("ph", "M");
+    w.kv("pid", std::uint64_t{0});
+    w.kv("name", "process_name");
+    w.key("args");
+    w.beginObject();
+    w.kv("name", "vstream");
+    w.endObject();
+    w.endObject();
+    for (TrackId t = 0; t < tracks_.size(); ++t) {
+        w.beginObject();
+        w.kv("ph", "M");
+        w.kv("pid", std::uint64_t{0});
+        w.kv("tid", static_cast<std::uint64_t>(t));
+        w.kv("name", "thread_name");
+        w.key("args");
+        w.beginObject();
+        w.kv("name", tracks_[t]);
+        w.endObject();
+        w.endObject();
+        // sort_index pins the lane order to track creation order.
+        w.beginObject();
+        w.kv("ph", "M");
+        w.kv("pid", std::uint64_t{0});
+        w.kv("tid", static_cast<std::uint64_t>(t));
+        w.kv("name", "thread_sort_index");
+        w.key("args");
+        w.beginObject();
+        w.kv("sort_index", static_cast<std::uint64_t>(t));
+        w.endObject();
+        w.endObject();
+    }
+
+    for (std::size_t idx : order) {
+        const TraceEvent &e = events_[idx];
+        w.beginObject();
+        w.kv("ph", std::string(1, e.ph));
+        w.kv("pid", std::uint64_t{0});
+        w.kv("tid", static_cast<std::uint64_t>(e.tid));
+        w.kv("name", e.name);
+        w.kv("ts", ticksToTraceUs(e.ts));
+        if (e.ph == 'X') {
+            w.kv("dur", ticksToTraceUs(e.dur));
+        }
+        if (e.ph == 'i') {
+            w.kv("s", "t"); // thread-scoped instant
+        }
+        if (e.ph == 'C') {
+            w.key("args");
+            w.beginObject();
+            w.kv("value", e.value);
+            w.endObject();
+        } else if (!e.args.empty()) {
+            w.key("args");
+            w.beginObject();
+            for (const auto &[k, v] : e.args) {
+                w.kv(k, v);
+            }
+            w.endObject();
+        }
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace vstream

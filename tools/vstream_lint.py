@@ -30,12 +30,20 @@ simulator, not of C++:
                        guards derived from their path, so a moved or
                        copied header cannot silently shadow another.
 
-  stats-reset-pairing  a SimObject subclass overriding dumpStats()
-                       must also override resetStats(): warm-up
-                       windows reset all stats, and a class that dumps
-                       counters it never resets reports stale numbers
-                       after a reset (exactly the drift Herglotz &
-                       Kaup warn about for energy models).
+  stats-reset-pairing  a SimObject subclass overriding regStats() (or
+                       the legacy dumpStats()) must also override
+                       resetStats(): warm-up windows reset all stats,
+                       and a class that dumps counters it never resets
+                       reports stale numbers after a reset (exactly
+                       the drift Herglotz & Kaup warn about for energy
+                       models).
+
+  registry-stats       outside src/sim, statistics reach the output
+                       through a StatsRegistry (regStats + the
+                       registry exporters); a direct stats::printStat
+                       call emits a line the registry does not know,
+                       so it is invisible to the JSON/CSV exporters
+                       and to dump-ordering guarantees.
 
   no-null-macro        nullptr, not NULL (modernize-use-nullptr
                        adjunct for the clang-tidy-less toolchain).
@@ -271,15 +279,29 @@ def class_body(code, open_pos):
 def check_stats_pairing(path, rel, code, findings):
     for m in CLASS_RE.finditer(code):
         body = class_body(code, m.end())
-        dumps = re.search(r'\bdumpStats\s*\(', body)
+        dumps = re.search(r'\b(dumpStats|regStats)\s*\(', body)
         resets = re.search(r'\bresetStats\s*\(', body)
         if dumps and not resets:
             line = code.count('\n', 0, m.start()) + 1
             findings.append(Finding(
                 rel, line, 'stats-reset-pairing',
-                'SimObject subclass %s overrides dumpStats but not '
+                'SimObject subclass %s overrides %s but not '
                 'resetStats; stale counters survive a stats reset'
-                % m.group(1)))
+                % (m.group(1), dumps.group(1))))
+
+
+PRINT_STAT_RE = re.compile(
+    r'(?<![A-Za-z0-9_])(?:stats\s*::\s*)?printStat\s*\(')
+
+
+def check_registry_stats(path, rel, code, findings):
+    if rel.startswith('src/sim/'):
+        return
+    for line, m in match_lines(code, PRINT_STAT_RE):
+        findings.append(Finding(
+            rel, line, 'registry-stats',
+            'direct printStat bypasses the StatsRegistry; register '
+            'the stat in regStats so the JSON/CSV exporters see it'))
 
 
 NULL_RE = re.compile(r'(?<![A-Za-z0-9_])NULL(?![A-Za-z0-9_])')
@@ -299,6 +321,7 @@ SRC_CHECKS = [
     check_determinism,
     check_include_guard,
     check_stats_pairing,
+    check_registry_stats,
     check_null_macro,
 ]
 
@@ -310,11 +333,16 @@ AUX_CHECKS = [
     check_null_macro,
 ]
 
+# Benches and examples report numbers users consume, so they must go
+# through the registry like src/ does; tests stay exempt because the
+# stats package's own unit tests exercise printStat directly.
+BENCH_CHECKS = AUX_CHECKS + [check_registry_stats]
+
 SCAN_DIRS = {
     'src': SRC_CHECKS,
     'tests': AUX_CHECKS,
-    'bench': AUX_CHECKS,
-    'examples': AUX_CHECKS,
+    'bench': BENCH_CHECKS,
+    'examples': BENCH_CHECKS,
 }
 
 EXTENSIONS = ('.cc', '.hh', '.h', '.cpp')
@@ -339,12 +367,13 @@ BAD_HEADER = '''\
 class Bad : public SimObject
 {
   public:
-    void dumpStats(std::ostream &os) const override;
+    void regStats(StatsRegistry &r) override;
   private:
     int *p_ = new int(3);
 };
 inline void f(int *q) { assert(q != NULL); delete q; std::abort(); }
 inline int g() { return rand(); }
+inline void h(std::ostream &os) { stats::printStat(os, "x", 1.0); }
 #endif
 '''
 
@@ -356,7 +385,7 @@ inline const char *s() { return "do not abort() on NULL"; }
 class Good : public SimObject
 {
   public:
-    void dumpStats(std::ostream &os) const override;
+    void regStats(StatsRegistry &r) override;
     void resetStats() override;
 };
 #endif
@@ -378,7 +407,8 @@ def self_test():
     fired = {f.rule for f in bad}
     expected = {'logging-discipline', 'no-naked-new',
                 'determinism-guard', 'include-guards',
-                'stats-reset-pairing', 'no-null-macro'}
+                'stats-reset-pairing', 'registry-stats',
+                'no-null-macro'}
     ok = True
     for rule in sorted(expected - fired):
         print('self-test: rule %s did not fire on the bad header'
@@ -412,7 +442,8 @@ def main(argv):
     if args.list_rules:
         for rule in ('logging-discipline', 'no-naked-new',
                      'determinism-guard', 'include-guards',
-                     'stats-reset-pairing', 'no-null-macro'):
+                     'stats-reset-pairing', 'registry-stats',
+                     'no-null-macro'):
             print(rule)
         return 0
 
