@@ -109,6 +109,20 @@ class Report
         metrics_.push_back({name, paper, measured});
     }
 
+    /**
+     * Accumulate fault-injection provenance (FaultTotals of one or
+     * more runs).  Benches that never inject leave this untouched and
+     * the report carries an all-zero block - explicit evidence the
+     * numbers come from a pristine run.
+     */
+    void
+    faults(const FaultTotals &t)
+    {
+        faults_injected_ += t.injected;
+        faults_recovered_ += t.recovered;
+        faults_abandoned_ += t.abandoned;
+    }
+
     /** Record one value for one video (e.g. scheme key -> energy). */
     void
     video(const std::string &video_key, const std::string &name,
@@ -148,6 +162,12 @@ class Report
         w.kv("figure", figure_);
         w.kv("title", title_);
         w.kv("wall_clock_seconds", wall);
+        w.key("faults");
+        w.beginObject();
+        w.kv("injected", static_cast<double>(faults_injected_));
+        w.kv("recovered", static_cast<double>(faults_recovered_));
+        w.kv("abandoned", static_cast<double>(faults_abandoned_));
+        w.endObject();
         w.key("metrics");
         w.beginArray();
         for (const Metric &m : metrics_) {
@@ -184,6 +204,9 @@ class Report
     std::string figure_;
     std::string title_;
     std::chrono::steady_clock::time_point start_;
+    std::uint64_t faults_injected_ = 0;
+    std::uint64_t faults_recovered_ = 0;
+    std::uint64_t faults_abandoned_ = 0;
     std::vector<Metric> metrics_;
     /** Insertion-ordered video -> (name, value) pairs. */
     std::vector<std::pair<

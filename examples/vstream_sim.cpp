@@ -28,6 +28,21 @@
  *     --csv FILE         dump per-frame records
  *     --seed N           content seed override
  *
+ * Robustness options (see docs/ROBUSTNESS.md):
+ *     --arrival-bandwidth MBPS  explicit network arrival model
+ *     --arrival-jitter SIGMA    lognormal jitter on transfer times
+ *     --arrival-preroll N       frames buffered before playback
+ *     --fault-seed N            fault-schedule RNG seed
+ *     --fault-stall SPEC        network-stall rule (needs len=...)
+ *     --fault-digest SPEC       MACH digest-collision rule
+ *     --fault-dram SPEC         DRAM burst-timeout rule
+ *     --fault-trace SPEC        trace-record corruption rule
+ *     --fault-retry N           DRAM retry budget (default 3)
+ *     --verify-on-hit           byte-compare MACH hits (catches
+ *                               collisions at a 48 B re-read cost)
+ *   SPEC = "p=0.01,from=200ms,until=1.5s,max=3,len=250ms" or
+ *   "at=1.2s" (one-shot).
+ *
  * Every value option also accepts the --opt=VALUE spelling.
  * See docs/STATS.md and docs/TRACING.md for the output formats.
  */
@@ -59,7 +74,12 @@ usage(const char *argv0)
                  "  [--machs N] [--entries N] [--write-queue N]\n"
                  "  [--stats FILE] [--stats-json FILE] "
                  "[--stats-csv FILE]\n"
-                 "  [--trace-out FILE] [--csv FILE] [--seed N]\n";
+                 "  [--trace-out FILE] [--csv FILE] [--seed N]\n"
+                 "  [--arrival-bandwidth MBPS] [--arrival-jitter S]\n"
+                 "  [--arrival-preroll N] [--fault-seed N]\n"
+                 "  [--fault-stall SPEC] [--fault-digest SPEC]\n"
+                 "  [--fault-dram SPEC] [--fault-trace SPEC]\n"
+                 "  [--fault-retry N] [--verify-on-hit]\n";
     std::exit(2);
 }
 
@@ -101,6 +121,10 @@ main(int argc, char **argv)
     std::string stats_file, stats_json_file, stats_csv_file;
     std::string trace_file, csv_file;
     std::uint64_t seed = 0;
+    double arrival_bandwidth = 0.0, arrival_jitter = 0.0;
+    std::uint32_t arrival_preroll = 0;
+    FaultConfig faults;
+    bool verify_on_hit = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -166,6 +190,31 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             seed = static_cast<std::uint64_t>(
                 std::atoll(next().c_str()));
+        } else if (arg == "--arrival-bandwidth") {
+            arrival_bandwidth = std::atof(next().c_str());
+        } else if (arg == "--arrival-jitter") {
+            arrival_jitter = std::atof(next().c_str());
+        } else if (arg == "--arrival-preroll") {
+            arrival_preroll = nextU32();
+        } else if (arg == "--fault-seed") {
+            faults.seed = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (arg == "--fault-stall") {
+            faults.rules.push_back(
+                parseFaultRule(FaultClass::kNetworkStall, next()));
+        } else if (arg == "--fault-digest") {
+            faults.rules.push_back(
+                parseFaultRule(FaultClass::kDigestCollision, next()));
+        } else if (arg == "--fault-dram") {
+            faults.rules.push_back(
+                parseFaultRule(FaultClass::kDramTimeout, next()));
+        } else if (arg == "--fault-trace") {
+            faults.rules.push_back(
+                parseFaultRule(FaultClass::kTraceCorrupt, next()));
+        } else if (arg == "--fault-retry") {
+            faults.dram_retry_limit = nextU32();
+        } else if (arg == "--verify-on-hit") {
+            verify_on_hit = true;
         } else {
             usage(argv[0]);
         }
@@ -183,7 +232,18 @@ main(int argc, char **argv)
     cfg.scheme.dvfs_slack = dvfs;
     cfg.mach.num_machs = machs;
     cfg.mach.entries = entries;
+    cfg.mach.verify_on_hit = verify_on_hit;
     cfg.dram.write_queue_depth = write_queue;
+    cfg.faults = faults;
+    if (arrival_bandwidth > 0.0) {
+        cfg.arrival.enabled = true;
+        cfg.arrival.bandwidth_mbps = arrival_bandwidth;
+        cfg.arrival.jitter_frac = arrival_jitter;
+    }
+    if (arrival_preroll > 0) {
+        cfg.preroll_frames = arrival_preroll;
+        cfg.arrival.preroll_frames = arrival_preroll;
+    }
 
     std::unique_ptr<std::ofstream> stats_os, stats_json_os;
     std::unique_ptr<std::ofstream> stats_csv_os, csv_os;
@@ -249,6 +309,25 @@ main(int argc, char **argv)
               << (r.all_verified ? "yes" : "no") << " ("
               << r.mach.collisions_undetected
               << " undetected collisions)\n";
+    if (r.faults.injected > 0 || r.underruns > 0 ||
+        r.batch_shrinks > 0) {
+        std::cout << "  faults            " << r.faults.injected
+                  << " injected, " << r.faults.recovered
+                  << " recovered, " << r.faults.abandoned
+                  << " abandoned\n";
+        std::cout << "  underruns         " << r.underruns << " ("
+                  << r.display.underrun_repeats
+                  << " repeat scan-outs, " << r.batch_shrinks
+                  << " shrunk batches)\n";
+    }
+    if (r.dram_retries > 0 || r.dram_abandoned > 0) {
+        std::cout << "  DRAM retries      " << r.dram_retries << " ("
+                  << r.dram_abandoned << " abandoned)\n";
+    }
+    if (r.mach.false_hits > 0) {
+        std::cout << "  false hits caught " << r.mach.false_hits
+                  << " (verify-on-hit)\n";
+    }
     if (!stats_file.empty()) {
         std::cout << "  stats dump        " << stats_file << "\n";
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 #include "sim/stats_registry.hh"
 
@@ -36,10 +37,24 @@ MachArray::beginFrame()
 
 MachLookupResult
 MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
-                  const std::vector<std::uint8_t> &truth)
+                  const std::vector<std::uint8_t> &truth, Tick now)
 {
     ++stats_.lookups;
     MachLookupResult result;
+
+    // Injected digest collision: pretend this block's digest (and
+    // CRC16 aux) happens to equal that of an earlier, different
+    // block, the worst case neither tag can distinguish.  The probe
+    // still compares against the real bytes, so a resident collider
+    // shows up as an undetected collision.
+    bool forged = false;
+    if (faults_ != nullptr && have_collider_ &&
+        collider_truth_ != truth &&
+        faults_->shouldInject(FaultClass::kDigestCollision, now)) {
+        digest = collider_digest_;
+        aux = collider_aux_;
+        forged = true;
+    }
 
     // Current frame first (intra), then history newest-to-oldest.
     MachProbe probe = current_->lookup(digest, aux, truth);
@@ -83,6 +98,27 @@ MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
         }
     }
 
+    if (forged && result.hit && result.collision_undetected) {
+        ++stats_.injected_collisions;
+    }
+
+    // Verify-on-hit byte compare: any hit whose stored bytes differ
+    // from the candidate (i.e. an undetected collision, injected or
+    // organic) is demoted to a miss and the caller falls back to the
+    // full 48 B unique write.
+    if (cfg_.verify_on_hit && result.hit &&
+        result.collision_undetected) {
+        ++stats_.false_hits;
+        if (faults_ != nullptr && forged) {
+            faults_->noteRecovered(FaultClass::kDigestCollision);
+        }
+        result.hit = false;
+        result.inter = false;
+        result.frame_age = 0;
+        result.ptr = 0;
+        result.collision_undetected = false;
+    }
+
     if (result.hit) {
         if (result.inter) {
             ++stats_.inter_hits;
@@ -108,6 +144,14 @@ MachArray::insertUnique(std::uint32_t digest, std::uint16_t aux, Addr ptr,
                         bool collided)
 {
     ++stats_.inserts;
+    // Remember one inserted block as the collision-injection target;
+    // refreshing it keeps the collider likely to still be resident.
+    if (faults_ != nullptr) {
+        have_collider_ = true;
+        collider_digest_ = digest;
+        collider_aux_ = aux;
+        collider_truth_ = truth;
+    }
     if (collided && co_mach_) {
         co_mach_->insert(digest, aux, ptr, truth);
         return;
@@ -176,6 +220,17 @@ MachArray::regStats(StatsRegistry &r, const std::string &prefix) const
                   "digest collisions that corrupted a block", [this] {
                       return static_cast<double>(
                           stats_.collisions_undetected);
+                  });
+    r.addCallback(prefix + ".injectedCollisions",
+                  "injected digest collisions that hit a wrong block",
+                  [this] {
+                      return static_cast<double>(
+                          stats_.injected_collisions);
+                  });
+    r.addCallback(prefix + ".falseHits",
+                  "hits demoted by the verify-on-hit byte compare",
+                  [this] {
+                      return static_cast<double>(stats_.false_hits);
                   });
 }
 

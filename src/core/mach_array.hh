@@ -21,10 +21,12 @@
 
 #include "core/co_mach.hh"
 #include "core/mach_cache.hh"
+#include "sim/ticks.hh"
 
 namespace vstream
 {
 
+class FaultInjector;
 class StatsRegistry;
 
 /** Combined outcome of searching all MACHs. */
@@ -50,6 +52,10 @@ struct MachStats
     std::uint64_t collisions_detected = 0;
     std::uint64_t collisions_undetected = 0;
     std::uint64_t inserts = 0;
+    /** Injected digest collisions that produced a wrong-block hit. */
+    std::uint64_t injected_collisions = 0;
+    /** Hits demoted to misses by the verify-on-hit byte compare. */
+    std::uint64_t false_hits = 0;
 
     std::uint64_t hits() const { return intra_hits + inter_hits; }
     double hitRate() const
@@ -72,9 +78,18 @@ class MachArray
      */
     void beginFrame();
 
-    /** Search every cache for @p digest. */
+    /**
+     * Search every cache for @p digest.
+     *
+     * @param now simulated time, the fault injector's opportunity
+     *        clock for FaultClass::kDigestCollision.
+     */
     MachLookupResult lookup(std::uint32_t digest, std::uint16_t aux,
-                            const std::vector<std::uint8_t> &truth);
+                            const std::vector<std::uint8_t> &truth,
+                            Tick now = 0);
+
+    /** Arm digest-collision injection (nullptr disables it). */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
     /**
      * Record a freshly written unique block.
@@ -125,6 +140,13 @@ class MachArray
     std::deque<MachCache> history_;
     std::unique_ptr<CoMach> co_mach_;
     MachStats stats_;
+    FaultInjector *faults_ = nullptr;
+    /** Snapshot of a previously inserted block whose digest a later
+     * lookup can be forged to collide with. */
+    bool have_collider_ = false;
+    std::uint32_t collider_digest_ = 0;
+    std::uint16_t collider_aux_ = 0;
+    std::vector<std::uint8_t> collider_truth_;
 };
 
 } // namespace vstream

@@ -34,6 +34,14 @@ struct MachConfig
 
     /** Enable the CO-MACH collision detector (CRC32||CRC16 tags). */
     bool co_mach = false;
+    /**
+     * Byte-compare the stored block against the candidate on every
+     * hit.  Catches even digest+aux collisions (including injected
+     * ones) at the cost of re-reading the 48 B block; a mismatch
+     * demotes the hit to a miss and the writeback falls back to a
+     * full unique write.
+     */
+    bool verify_on_hit = false;
     /** CO-MACH entries (1.5 KB at 10 B/entry ~= 128, 4-way). */
     std::uint32_t co_mach_entries = 128;
 

@@ -136,6 +136,8 @@ PipelineConfig::validate() const
     if (preroll_frames == 0) {
         vs_fatal("need at least one pre-rolled frame");
     }
+    faults.validate();
+    arrival.validate();
 }
 
 } // namespace vstream

@@ -21,6 +21,8 @@
 #include "display/display_config.hh"
 #include "mem/dram_config.hh"
 #include "power/power_state.hh"
+#include "sim/fault_injector.hh"
+#include "video/arrival_model.hh"
 #include "video/video_profile.hh"
 
 namespace vstream
@@ -103,6 +105,13 @@ struct PipelineConfig
 
     /** Verify every displayed frame against its source checksum. */
     bool verify_display = true;
+
+    // --- robustness -----------------------------------------------------
+    /** Fault-injection schedule (empty = pristine world, zero cost). */
+    FaultConfig faults;
+    /** Explicit network arrival model (disabled = seed chunk model,
+     * bit-identical results). */
+    ArrivalConfig arrival;
 
     /** When non-null, the pipeline dumps every component's detailed
      * statistics (gem5-style "name value" lines) here after the run. */

@@ -7,10 +7,12 @@
 
 #include "decoder/video_decoder.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/stats_registry.hh"
 #include "sim/trace_event.hh"
+#include "video/arrival_model.hh"
 #include "video/synthetic_video.hh"
 
 namespace vstream
@@ -53,6 +55,11 @@ struct Playback
     DisplayController dc;
     SleepGovernor governor;
     SyntheticVideo video;
+
+    // Robustness plumbing (both null in a pristine run: the fault
+    // paths stay untaken and results are bit-identical to the seed).
+    std::unique_ptr<FaultInjector> faults;
+    std::unique_ptr<ArrivalModel> arrivals;
 
     // Static schedule parameters.
     std::uint32_t frames;
@@ -131,6 +138,22 @@ struct Playback
         }
         vd.setFrequency(c.scheme.freq);
 
+        if (c.faults.enabled()) {
+            faults = std::make_unique<FaultInjector>("faults", &queue,
+                                                     c.faults);
+            mem.setFaultInjector(faults.get());
+            if (machs) {
+                machs->setFaultInjector(faults.get());
+            }
+        }
+        if (c.arrival.enabled) {
+            // The pipeline's preroll is the single source of truth.
+            ArrivalConfig acfg = c.arrival;
+            acfg.preroll_frames = c.preroll_frames;
+            arrivals = std::make_unique<ArrivalModel>(c.profile, acfg,
+                                                      faults.get());
+        }
+
         finishes.assign(frames, maxTick);
         slot_of.assign(frames, nullptr);
         layouts.reserve(frames);
@@ -146,12 +169,31 @@ struct Playback
     Tick
     arrival(std::uint32_t i) const
     {
+        if (arrivals) {
+            return arrivals->arrivalTick(i);
+        }
         if (i < cfg.preroll_frames) {
             return 0;
         }
         const std::uint64_t chunk =
             (i - cfg.preroll_frames) / chunk_frames;
         return (chunk + 1) * cfg.buffer_interval;
+    }
+
+    /** At a decoder wake-up for frame @p i, record whether fewer
+     * than a full batch of frames had been delivered (the shrunk
+     * batch the stalled network forces). */
+    void
+    noteBatchShrink(std::uint32_t i, Tick start)
+    {
+        if (!arrivals || cfg.scheme.batch <= 1) {
+            return;
+        }
+        const std::uint32_t j_last =
+            std::min(i + cfg.scheme.batch, frames) - 1;
+        if (arrival(j_last) > start) {
+            ++result.batch_shrinks;
+        }
     }
 
     /** Tick at which frame @p j's buffer may be recycled. */
@@ -429,6 +471,19 @@ struct Playback
                           return static_cast<double>(
                               result.sleep_events);
                       });
+        r.addCallback("pipeline.underruns",
+                      "vsyncs whose frame had not arrived", [this] {
+                          return static_cast<double>(
+                              result.underruns);
+                      });
+        r.addCallback("pipeline.batchShrinks",
+                      "decoder wake-ups with a partial batch", [this] {
+                          return static_cast<double>(
+                              result.batch_shrinks);
+                      });
+        if (faults) {
+            faults->regStats(r);
+        }
         r.addCallback("pipeline.spanSeconds", "simulated playback span",
                       [this] { return ticksToSeconds(result.span); });
         r.addCallback("pipeline.energyJ", "total system energy",
@@ -491,6 +546,7 @@ VideoPipeline::run()
                 p.spendIdle(prev_free, start, prev_batch_first,
                             i - 1);
                 prev_batch_first = i;
+                p.noteBatchShrink(i, start);
             }
             p.decodeOne(i, start);
             prev_free = p.decoder_free;
@@ -510,6 +566,16 @@ VideoPipeline::run()
             if (p.trace != nullptr) {
                 p.trace->instant(p.tr_dc, "drop", now,
                                  {{"frame", static_cast<double>(v)}});
+            }
+            // Streaming-buffer underrun: this vsync's frame had not
+            // even been delivered.  The pipeline degrades by showing
+            // the previous frame again (accounted at the DC) rather
+            // than panicking.
+            if (p.arrivals && p.arrival(v) > now) {
+                ++p.result.underruns;
+                if (shown >= 0) {
+                    p.dc.noteUnderrunRepeat();
+                }
             }
         }
         if (shown >= 0) {
@@ -601,6 +667,11 @@ VideoPipeline::run()
     if (p.dc.machBuffer() != nullptr) {
         r.mach_buffer_hits = p.dc.machBuffer()->hitCount();
         r.mach_buffer_misses = p.dc.machBuffer()->missCount();
+    }
+    r.dram_retries = p.mem.controller().retryCount();
+    r.dram_abandoned = p.mem.controller().abandonedCount();
+    if (p.faults) {
+        r.faults = p.faults->totals();
     }
 
     if (cfg_.frame_csv != nullptr) {

@@ -88,6 +88,18 @@ struct PipelineResult
     double vd_cache_miss_rate = 0.0;
     bool all_verified = true;
 
+    // --- robustness (all zero in a pristine run) ----------------------
+    /** Injection totals across every fault class. */
+    FaultTotals faults;
+    /** Vsyncs missed because the frame had not arrived yet. */
+    std::uint64_t underruns = 0;
+    /** Decoder wake-ups with fewer than a full batch delivered. */
+    std::uint64_t batch_shrinks = 0;
+    /** DRAM bursts re-issued after injected timeouts. */
+    std::uint64_t dram_retries = 0;
+    /** DRAM bursts abandoned after exhausting the retry budget. */
+    std::uint64_t dram_abandoned = 0;
+
     double totalEnergy() const { return energy.total(); }
     /** Fraction of the span the decoder spent in S3. */
     double s3Residency() const;

@@ -151,7 +151,8 @@ MachWriteback::writeMab(const Macroblock &mab, std::uint32_t idx, Tick now)
     rec.digest = digest;
     rec.base = mab.base();
 
-    const MachLookupResult hit = machs_.lookup(digest, aux, repr.bytes());
+    const MachLookupResult hit =
+        machs_.lookup(digest, aux, repr.bytes(), now);
 
     ++totals_.mabs;
 

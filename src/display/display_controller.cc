@@ -268,6 +268,11 @@ DisplayController::regStats(StatsRegistry &r)
                       return static_cast<double>(
                           totals_.verify_failures);
                   });
+    r.addCallback(name() + ".underrunRepeats",
+                  "frame repeats forced by a buffer underrun", [this] {
+                      return static_cast<double>(
+                          totals_.underrun_repeats);
+                  });
     if (display_cache_) {
         display_cache_->regStats(r);
     }

@@ -66,6 +66,9 @@ struct DisplayTotals
     std::uint64_t verify_failures = 0;
     /** Scans skipped by transaction elimination. */
     std::uint64_t eliminated_frames = 0;
+    /** Re-scans of the previous frame forced by a streaming-buffer
+     * underrun (the successor had not arrived by its vsync). */
+    std::uint64_t underrun_repeats = 0;
 };
 
 /** The DC IP. */
@@ -84,6 +87,11 @@ class DisplayController : public SimObject
      */
     ScanStats scanOut(const FrameLayout &layout, Tick now,
                       bool re_render = false);
+
+    /** Record that the frame just scanned out was a repeat forced by
+     * a streaming-buffer underrun (graceful degradation, not a
+     * panic). */
+    void noteUnderrunRepeat() { ++totals_.underrun_repeats; }
 
     const DisplayConfig &config() const { return cfg_; }
     const DisplayTotals &totals() const { return totals_; }

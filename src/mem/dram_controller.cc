@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace vstream
@@ -110,6 +111,40 @@ DramController::accessBurst(const DramCoord &coord, MemOp op, Requester r,
     return finish;
 }
 
+Tick
+DramController::burstWithRetry(const DramCoord &coord, MemOp op,
+                               Requester r, Tick now, bool &row_hit,
+                               bool &activated)
+{
+    Tick finish = accessBurst(coord, op, r, now, row_hit, activated);
+    if (faults_ == nullptr) {
+        return finish;
+    }
+    // A timed-out burst is re-issued from its own completion tick, so
+    // every retry pays the full burst latency and is charged to the
+    // energy ledger like any other access.
+    const std::uint32_t limit = faults_->config().dram_retry_limit;
+    std::uint32_t attempts = 0;
+    while (faults_->shouldInject(FaultClass::kDramTimeout, finish)) {
+        if (attempts >= limit) {
+            // Out of budget: give up on this burst and let the
+            // access complete; content-verification layers above
+            // (verify_on_hit, display verify) absorb the damage.
+            ++abandoned_;
+            faults_->noteAbandoned(FaultClass::kDramTimeout);
+            break;
+        }
+        ++attempts;
+        ++retries_;
+        bool retry_hit = false;
+        bool retry_act = false;
+        finish = accessBurst(coord, op, r, finish, retry_hit,
+                             retry_act);
+        faults_->noteRecovered(FaultClass::kDramTimeout);
+    }
+    return finish;
+}
+
 void
 DramController::drainBank(std::size_t bank_idx, Tick now)
 {
@@ -130,8 +165,8 @@ DramController::drainBank(std::size_t bank_idx, Tick now)
     bool activated = false;
     Tick t = now;
     for (const PendingWrite &w : queue) {
-        t = accessBurst(w.coord, MemOp::kWrite, w.requester, t,
-                        row_hit, activated);
+        t = burstWithRetry(w.coord, MemOp::kWrite, w.requester, t,
+                           row_hit, activated);
     }
     queue.clear();
 }
@@ -164,7 +199,7 @@ DramController::access(const MemRequest &req, Tick now)
         } else {
             bool row_hit = false;
             bool activated = false;
-            const Tick burst_finish = accessBurst(
+            const Tick burst_finish = burstWithRetry(
                 coord, req.op, req.requester, now, row_hit, activated);
             finish = std::max(finish, burst_finish);
             if (row_hit) {
@@ -211,6 +246,8 @@ DramController::reset()
     }
     next_refresh_.assign(cfg_.channels, cfg_.t_refi);
     refreshes_ = 0;
+    retries_ = 0;
+    abandoned_ = 0;
     energy_.reset();
 }
 

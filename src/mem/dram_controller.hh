@@ -26,6 +26,8 @@
 namespace vstream
 {
 
+class FaultInjector;
+
 /** The banked timing model behind MemorySystem. */
 class DramController
 {
@@ -53,6 +55,27 @@ class DramController
     /** All-bank refreshes performed (refresh_enabled only). */
     std::uint64_t refreshCount() const { return refreshes_; }
 
+    /**
+     * Arm transient-fault injection (class kDramTimeout); nullptr
+     * disables it.  A timed-out burst is re-issued up to the
+     * injector's dram_retry_limit; each retry re-runs the full burst
+     * (latency and energy are charged again).  Past the limit the
+     * burst is abandoned: the access completes with stale data and
+     * the caller's verification layers absorb the damage.
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /** Bursts re-issued after an injected timeout. */
+    std::uint64_t retryCount() const { return retries_; }
+    /** Bursts abandoned after exhausting the retry budget. */
+    std::uint64_t abandonedCount() const { return abandoned_; }
+    /** Zero the retry/abandon counters (stats reset, not state). */
+    void resetFaultStats()
+    {
+        retries_ = 0;
+        abandoned_ = 0;
+    }
+
     const DramConfig &config() const { return cfg_; }
     const AddressMap &addressMap() const { return map_; }
     DramEnergy &energy() { return energy_; }
@@ -72,6 +95,11 @@ class DramController
     Tick accessBurst(const DramCoord &coord, MemOp op, Requester r,
                      Tick now, bool &row_hit, bool &activated);
 
+    /** accessBurst plus the bounded-retry loop for injected
+     * timeouts. */
+    Tick burstWithRetry(const DramCoord &coord, MemOp op, Requester r,
+                        Tick now, bool &row_hit, bool &activated);
+
     /** Stall @p t over any refresh window it lands in. */
     Tick applyRefresh(std::uint32_t channel, Tick t);
 
@@ -88,6 +116,9 @@ class DramController
     std::vector<std::vector<PendingWrite>> write_queues_;
     std::vector<Tick> next_refresh_;
     std::uint64_t refreshes_ = 0;
+    FaultInjector *faults_ = nullptr;
+    std::uint64_t retries_ = 0;
+    std::uint64_t abandoned_ = 0;
 };
 
 } // namespace vstream

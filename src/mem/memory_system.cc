@@ -59,6 +59,7 @@ void
 MemorySystem::resetStats()
 {
     ctrl_.energy().reset();
+    ctrl_.resetFaultStats();
     request_count_ = 0;
 }
 
@@ -71,6 +72,15 @@ MemorySystem::regStats(StatsRegistry &r)
     r.addCallback(name() + ".allocatedBytes",
                   "bytes handed out by the bump allocator", [this] {
                       return static_cast<double>(next_free_);
+                  });
+    r.addCallback(name() + ".dram.retries",
+                  "bursts re-issued after an injected timeout", [this] {
+                      return static_cast<double>(ctrl_.retryCount());
+                  });
+    r.addCallback(name() + ".dram.abandoned",
+                  "bursts abandoned after exhausting retries", [this] {
+                      return static_cast<double>(
+                          ctrl_.abandonedCount());
                   });
     ctrl_.energy().regStats(r, name() + ".");
 }

@@ -65,6 +65,12 @@ class MemorySystem : public SimObject
     /** Drain any posted writes (see DramConfig::write_queue_depth). */
     void flushWrites(Tick now) { ctrl_.flushWrites(now); }
 
+    /** Arm DRAM transient-fault injection (nullptr disables it). */
+    void setFaultInjector(FaultInjector *faults)
+    {
+        ctrl_.setFaultInjector(faults);
+    }
+
     /** Background energy over a window of @p span ticks, joules. */
     double backgroundEnergy(Tick span) const;
 

@@ -1,0 +1,266 @@
+#include "sim/fault_injector.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+#include "sim/stats_registry.hh"
+
+namespace vstream
+{
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::kNetworkStall:
+        return "stall";
+      case FaultClass::kDigestCollision:
+        return "digest";
+      case FaultClass::kDramTimeout:
+        return "dram";
+      case FaultClass::kTraceCorrupt:
+        return "trace";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Parse "250ms" / "1.5s" / "400us" / bare "250" (ms) into ticks. */
+Tick
+parseTicks(const std::string &value, const std::string &spec)
+{
+    char *end = nullptr;
+    const double x = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || x < 0.0) {
+        vs_fatal("bad time '", value, "' in fault spec '", spec, "'");
+    }
+    const std::string unit(end);
+    double scale = static_cast<double>(sim_clock::ms);
+    if (unit == "ps") {
+        scale = static_cast<double>(sim_clock::ps);
+    } else if (unit == "ns") {
+        scale = static_cast<double>(sim_clock::ns);
+    } else if (unit == "us") {
+        scale = static_cast<double>(sim_clock::us);
+    } else if (unit == "ms" || unit.empty()) {
+        scale = static_cast<double>(sim_clock::ms);
+    } else if (unit == "s") {
+        scale = static_cast<double>(sim_clock::s);
+    } else {
+        vs_fatal("unknown time unit '", unit, "' in fault spec '", spec,
+                 "'");
+    }
+    return static_cast<Tick>(x * scale);
+}
+
+double
+parseProbability(const std::string &value, const std::string &spec)
+{
+    char *end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+        vs_fatal("bad probability '", value, "' in fault spec '", spec,
+                 "'");
+    }
+    return p;
+}
+
+} // namespace
+
+FaultRule
+parseFaultRule(FaultClass cls, const std::string &spec)
+{
+    FaultRule rule;
+    rule.cls = cls;
+
+    bool have_p = false;
+    bool have_max = false;
+    bool have_at = false;
+
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string field = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (field.empty()) {
+            continue;
+        }
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+            vs_fatal("fault spec field '", field,
+                     "' is not key=value (in '", spec, "')");
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "p") {
+            rule.probability = parseProbability(value, spec);
+            have_p = true;
+        } else if (key == "from") {
+            rule.from = parseTicks(value, spec);
+        } else if (key == "until") {
+            rule.until = parseTicks(value, spec);
+        } else if (key == "at") {
+            rule.from = parseTicks(value, spec);
+            have_at = true;
+        } else if (key == "max") {
+            rule.max_count = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "len") {
+            rule.duration = parseTicks(value, spec);
+        } else {
+            vs_fatal("unknown fault spec key '", key, "' (in '", spec,
+                     "')");
+        }
+    }
+
+    // "at=T" is a one-shot: fire exactly once, deterministically,
+    // from T onward, unless the spec overrides p/max itself.
+    if (have_at) {
+        if (!have_p) {
+            rule.probability = 1.0;
+        }
+        if (!have_max) {
+            rule.max_count = 1;
+        }
+    }
+    if (rule.until <= rule.from) {
+        vs_fatal("empty fault window in spec '", spec, "'");
+    }
+    return rule;
+}
+
+bool
+FaultConfig::anyRuleFor(FaultClass c) const
+{
+    for (const FaultRule &rule : rules) {
+        if (rule.cls == c) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+FaultConfig::validate() const
+{
+    for (const FaultRule &rule : rules) {
+        if (rule.probability < 0.0 || rule.probability > 1.0) {
+            vs_fatal("fault rule probability ", rule.probability,
+                     " outside [0, 1]");
+        }
+        if (rule.until <= rule.from) {
+            vs_fatal("fault rule window is empty");
+        }
+        if (rule.cls == FaultClass::kNetworkStall &&
+            rule.duration == 0) {
+            vs_fatal("network-stall rules need a duration (len=...)");
+        }
+    }
+}
+
+FaultInjector::FaultInjector(std::string name, EventQueue *queue,
+                             const FaultConfig &cfg)
+    : SimObject(std::move(name), queue), cfg_(cfg),
+      rule_fired_(cfg_.rules.size(), 0)
+{
+    cfg_.validate();
+    // Independent per-class streams: injections of one class never
+    // perturb another class's schedule.
+    std::uint64_t state = cfg_.seed;
+    for (std::size_t c = 0; c < kNumFaultClasses; ++c) {
+        rngs_[c].seed(splitMix64(state));
+    }
+}
+
+bool
+FaultInjector::shouldInject(FaultClass c, Tick now)
+{
+    if (!enabled()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < cfg_.rules.size(); ++i) {
+        const FaultRule &rule = cfg_.rules[i];
+        if (rule.cls != c || now < rule.from || now >= rule.until ||
+            rule_fired_[i] >= rule.max_count) {
+            continue;
+        }
+        if (rngs_[index(c)].chance(rule.probability)) {
+            ++rule_fired_[i];
+            ++injected_[index(c)];
+            return true;
+        }
+    }
+    return false;
+}
+
+Tick
+FaultInjector::injectStall(Tick now)
+{
+    if (!enabled()) {
+        return 0;
+    }
+    const std::size_t ci = index(FaultClass::kNetworkStall);
+    for (std::size_t i = 0; i < cfg_.rules.size(); ++i) {
+        const FaultRule &rule = cfg_.rules[i];
+        if (rule.cls != FaultClass::kNetworkStall || now < rule.from ||
+            now >= rule.until || rule_fired_[i] >= rule.max_count) {
+            continue;
+        }
+        if (rngs_[ci].chance(rule.probability)) {
+            ++rule_fired_[i];
+            ++injected_[ci];
+            return rule.duration;
+        }
+    }
+    return 0;
+}
+
+FaultTotals
+FaultInjector::totals() const
+{
+    FaultTotals t;
+    for (std::size_t c = 0; c < kNumFaultClasses; ++c) {
+        t.injected += injected_[c];
+        t.recovered += recovered_[c];
+        t.abandoned += abandoned_[c];
+    }
+    return t;
+}
+
+void
+FaultInjector::regStats(StatsRegistry &r)
+{
+    for (std::size_t c = 0; c < kNumFaultClasses; ++c) {
+        const auto cls = static_cast<FaultClass>(c);
+        const std::string base =
+            name() + "." + faultClassName(cls) + ".";
+        r.addCallback(base + "injected", "faults injected",
+                      [this, c] {
+                          return static_cast<double>(injected_[c]);
+                      });
+        r.addCallback(base + "recovered",
+                      "injected faults recovered from", [this, c] {
+                          return static_cast<double>(recovered_[c]);
+                      });
+        r.addCallback(base + "abandoned",
+                      "injected faults abandoned after retries",
+                      [this, c] {
+                          return static_cast<double>(abandoned_[c]);
+                      });
+    }
+}
+
+void
+FaultInjector::resetStats()
+{
+    injected_.fill(0);
+    recovered_.fill(0);
+    abandoned_.fill(0);
+    // rule_fired_ is architectural (max_count caps), not a stat.
+}
+
+} // namespace vstream

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <type_traits>
 
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 #include "video/synthetic_video.hh"
 
@@ -107,21 +108,52 @@ writePod(std::ostream &os, std::uint32_t &crc_state, const T &value)
     crc_state = crcUpdate(crc_state, raw.data(), raw.size());
 }
 
+/**
+ * Read one POD field; on a short read @p ok is cleared and the
+ * (zero-initialized) value is meaningless.  Recoverability lives
+ * here: every caller can turn a truncation into a TraceError instead
+ * of a process exit.
+ */
 template <typename T>
 T
-readPod(std::istream &is, std::uint32_t &crc_state)
+readPod(std::istream &is, std::uint32_t &crc_state, bool &ok)
 {
     std::array<std::uint8_t, sizeof(T)> raw{};
     is.read(reinterpret_cast<char *>(raw.data()),
             static_cast<std::streamsize>(raw.size()));
     if (!is) {
-        vs_fatal("truncated video trace");
+        ok = false;
+        return T{};
     }
     crc_state = crcUpdate(crc_state, raw.data(), raw.size());
     return fromLittleEndian<T>(raw);
 }
 
 } // namespace
+
+const char *
+traceErrorName(TraceError e)
+{
+    switch (e) {
+      case TraceError::kNone:
+        return "none";
+      case TraceError::kBadMagic:
+        return "bad-magic";
+      case TraceError::kBadVersion:
+        return "bad-version";
+      case TraceError::kBadGeometry:
+        return "bad-geometry";
+      case TraceError::kTruncatedHeader:
+        return "truncated-header";
+      case TraceError::kTruncatedFrame:
+        return "truncated-frame";
+      case TraceError::kCorruptRecord:
+        return "corrupt-record";
+      case TraceError::kBadCrc:
+        return "bad-crc";
+    }
+    return "?";
+}
 
 TraceWriter::TraceWriter(std::ostream &os, const VideoProfile &profile,
                          std::uint32_t frame_count)
@@ -180,31 +212,48 @@ TraceReader::TraceReader(std::istream &is)
     char magic[4];
     is_.read(magic, sizeof(magic));
     if (!is_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-        vs_fatal("not a vstream video trace (bad magic)");
+        error_ = TraceError::kBadMagic;
+        return;
     }
-    const auto version = readPod<std::uint32_t>(is_, running_crc_state_);
-    if (version != kVersion) {
-        vs_fatal("unsupported trace version ", version);
+    bool ok = true;
+    const auto version =
+        readPod<std::uint32_t>(is_, running_crc_state_, ok);
+    if (ok && version != kVersion) {
+        error_ = TraceError::kBadVersion;
+        return;
     }
-    frame_count_ = readPod<std::uint32_t>(is_, running_crc_state_);
-    mabs_x_ = readPod<std::uint32_t>(is_, running_crc_state_);
-    mabs_y_ = readPod<std::uint32_t>(is_, running_crc_state_);
-    mab_dim_ = readPod<std::uint32_t>(is_, running_crc_state_);
-    fps_ = readPod<std::uint32_t>(is_, running_crc_state_);
+    frame_count_ = readPod<std::uint32_t>(is_, running_crc_state_, ok);
+    mabs_x_ = readPod<std::uint32_t>(is_, running_crc_state_, ok);
+    mabs_y_ = readPod<std::uint32_t>(is_, running_crc_state_, ok);
+    mab_dim_ = readPod<std::uint32_t>(is_, running_crc_state_, ok);
+    fps_ = readPod<std::uint32_t>(is_, running_crc_state_, ok);
+    if (!ok) {
+        error_ = TraceError::kTruncatedHeader;
+        frame_count_ = 0;
+        return;
+    }
     if (mabs_x_ == 0 || mabs_y_ == 0 || mab_dim_ == 0) {
-        vs_fatal("degenerate trace geometry");
+        error_ = TraceError::kBadGeometry;
+        frame_count_ = 0;
     }
 }
 
-Frame
-TraceReader::nextFrame()
+std::optional<Frame>
+TraceReader::tryNextFrame()
 {
     vs_assert(!done(), "trace exhausted");
 
+    bool ok = true;
     const auto type = static_cast<FrameType>(
-        readPod<std::uint8_t>(is_, running_crc_state_));
-    const auto complexity = readPod<double>(is_, running_crc_state_);
-    const auto encoded = readPod<std::uint64_t>(is_, running_crc_state_);
+        readPod<std::uint8_t>(is_, running_crc_state_, ok));
+    const auto complexity =
+        readPod<double>(is_, running_crc_state_, ok);
+    const auto encoded =
+        readPod<std::uint64_t>(is_, running_crc_state_, ok);
+    if (!ok) {
+        error_ = TraceError::kTruncatedFrame;
+        return std::nullopt;
+    }
 
     Frame frame(frames_read_, type, mabs_x_, mabs_y_, mab_dim_);
     frame.setComplexity(complexity);
@@ -217,7 +266,8 @@ TraceReader::nextFrame()
         is_.read(reinterpret_cast<char *>(buf.data()),
                  static_cast<std::streamsize>(buf.size()));
         if (!is_) {
-            vs_fatal("truncated video trace in frame ", frames_read_);
+            error_ = TraceError::kTruncatedFrame;
+            return std::nullopt;
         }
         running_crc_state_ =
             crcUpdate(running_crc_state_, buf.data(), buf.size());
@@ -225,6 +275,16 @@ TraceReader::nextFrame()
     }
     ++frames_read_;
     return frame;
+}
+
+Frame
+TraceReader::nextFrame()
+{
+    std::optional<Frame> frame = tryNextFrame();
+    if (!frame.has_value()) {
+        vs_fatal("truncated video trace in frame ", frames_read_);
+    }
+    return *std::move(frame);
 }
 
 bool
@@ -235,9 +295,14 @@ TraceReader::verifyTrailer()
     is_.read(reinterpret_cast<char *>(raw.data()),
              static_cast<std::streamsize>(raw.size()));
     if (!is_) {
+        error_ = TraceError::kBadCrc;
         return false;
     }
-    return fromLittleEndian<std::uint32_t>(raw) == ~running_crc_state_;
+    if (fromLittleEndian<std::uint32_t>(raw) != ~running_crc_state_) {
+        error_ = TraceError::kBadCrc;
+        return false;
+    }
+    return true;
 }
 
 void
@@ -251,19 +316,85 @@ writeTrace(std::ostream &os, const VideoProfile &profile)
     writer.finish();
 }
 
+TraceLoadResult
+loadTrace(std::istream &is, TracePolicy policy, FaultInjector *faults)
+{
+    TraceReader reader(is);
+    TraceLoadResult result;
+    result.frames_expected = reader.frameCount();
+    if (reader.error() != TraceError::kNone) {
+        result.error = reader.error();
+        return result;
+    }
+
+    result.frames.reserve(reader.frameCount());
+    std::uint32_t record = 0;
+    while (!reader.done()) {
+        std::optional<Frame> frame = reader.tryNextFrame();
+        if (!frame.has_value()) {
+            result.error = reader.error();
+            if (policy == TracePolicy::kFailClean) {
+                result.frames.clear();
+            } else {
+                result.frames_skipped =
+                    result.frames_expected -
+                    static_cast<std::uint32_t>(result.frames.size());
+            }
+            return result;
+        }
+        // Injected record corruption is detected as if each record
+        // carried its own check: the loader knows which frame is bad
+        // and the policy decides whether to drop it or fail clean.
+        if (faults != nullptr &&
+            faults->shouldInject(FaultClass::kTraceCorrupt,
+                                 static_cast<Tick>(record))) {
+            if (policy == TracePolicy::kSkipFrame) {
+                ++result.frames_skipped;
+                faults->noteRecovered(FaultClass::kTraceCorrupt);
+            } else {
+                result.error = TraceError::kCorruptRecord;
+                result.frames.clear();
+                return result;
+            }
+        } else {
+            result.frames.push_back(*std::move(frame));
+        }
+        ++record;
+    }
+
+    if (!reader.verifyTrailer()) {
+        result.error = reader.error();
+        if (policy == TracePolicy::kFailClean) {
+            result.frames.clear();
+        }
+        // kSkipFrame keeps the frames: each record was individually
+        // well-formed even though the whole-trace digest disagrees.
+    }
+    return result;
+}
+
 std::vector<Frame>
 readTrace(std::istream &is)
 {
-    TraceReader reader(is);
-    std::vector<Frame> frames;
-    frames.reserve(reader.frameCount());
-    while (!reader.done()) {
-        frames.push_back(reader.nextFrame());
-    }
-    if (!reader.verifyTrailer()) {
+    TraceLoadResult result = loadTrace(is, TracePolicy::kFailClean);
+    switch (result.error) {
+      case TraceError::kNone:
+        break;
+      case TraceError::kBadMagic:
+        vs_fatal("not a vstream video trace (bad magic)");
+      case TraceError::kBadVersion:
+        vs_fatal("unsupported trace version");
+      case TraceError::kBadGeometry:
+        vs_fatal("degenerate trace geometry");
+      case TraceError::kTruncatedHeader:
+      case TraceError::kTruncatedFrame:
+      case TraceError::kCorruptRecord:
+        vs_fatal("truncated video trace (",
+                 traceErrorName(result.error), ")");
+      case TraceError::kBadCrc:
         vs_fatal("video trace failed its integrity check");
     }
-    return frames;
+    return std::move(result.frames);
 }
 
 } // namespace vstream

@@ -21,6 +21,7 @@
 #define VSTREAM_VIDEO_TRACE_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,47 @@ namespace vstream
 {
 
 class SyntheticVideo;
+class FaultInjector;
+
+/** Why a trace failed to load (kNone = intact). */
+enum class TraceError : std::uint8_t
+{
+    kNone,
+    kBadMagic,        // the stream is not a vstream trace
+    kBadVersion,      // format version not understood
+    kBadGeometry,     // degenerate header geometry
+    kTruncatedHeader, // stream ended inside the header
+    kTruncatedFrame,  // stream ended inside a frame record
+    kCorruptRecord,   // a frame record failed its integrity check
+    kBadCrc,          // whole-trace CRC trailer mismatch
+};
+
+/** Stable name for logs and error messages. */
+const char *traceErrorName(TraceError e);
+
+/** What to do with a damaged trace. */
+enum class TracePolicy : std::uint8_t
+{
+    /** Any damage discards every frame (the result carries only the
+     * error); the caller decides whether that is fatal. */
+    kFailClean,
+    /** Keep every intact frame, drop damaged ones, report how many
+     * were skipped. */
+    kSkipFrame,
+};
+
+/** Outcome of loading a whole trace. */
+struct TraceLoadResult
+{
+    std::vector<Frame> frames;
+    TraceError error = TraceError::kNone;
+    /** Frames the header announced. */
+    std::uint32_t frames_expected = 0;
+    /** Frames dropped under TracePolicy::kSkipFrame. */
+    std::uint32_t frames_skipped = 0;
+
+    bool ok() const { return error == TraceError::kNone; }
+};
 
 /** Writes frames to a binary trace stream. */
 class TraceWriter
@@ -63,11 +105,19 @@ class TraceWriter
     bool finished_ = false;
 };
 
-/** Reads frames back from a binary trace stream. */
+/**
+ * Reads frames back from a binary trace stream.
+ *
+ * Malformed input is recoverable: the constructor and tryNextFrame()
+ * record an error() instead of aborting, and done() reports true once
+ * the stream is unusable.  nextFrame() keeps the legacy fatal
+ * behaviour for callers that treat damage as unrecoverable.
+ */
 class TraceReader
 {
   public:
-    /** Parses the header; fatal on a malformed stream. */
+    /** Parses the header; on a malformed stream error() is set and
+     * the reader reads as exhausted. */
     explicit TraceReader(std::istream &is);
 
     std::uint32_t frameCount() const { return frame_count_; }
@@ -76,7 +126,21 @@ class TraceReader
     std::uint32_t mabDim() const { return mab_dim_; }
     std::uint32_t fps() const { return fps_; }
 
-    bool done() const { return frames_read_ >= frame_count_; }
+    /** First damage encountered so far (kNone when intact). */
+    TraceError error() const { return error_; }
+
+    bool done() const
+    {
+        return error_ != TraceError::kNone ||
+               frames_read_ >= frame_count_;
+    }
+
+    /**
+     * Read the next frame.
+     *
+     * @return nullopt on a truncated record (error() is then set).
+     */
+    std::optional<Frame> tryNextFrame();
 
     /** Read the next frame (fatal when done or corrupt). */
     Frame nextFrame();
@@ -84,12 +148,13 @@ class TraceReader
     /**
      * After the last frame, validates the CRC trailer.
      *
-     * @return true when the trace is intact.
+     * @return true when the trace is intact (else error() is set).
      */
     bool verifyTrailer();
 
   private:
     std::istream &is_;
+    TraceError error_ = TraceError::kNone;
     std::uint32_t frame_count_ = 0;
     std::uint32_t mabs_x_ = 0;
     std::uint32_t mabs_y_ = 0;
@@ -101,6 +166,19 @@ class TraceReader
 
 /** Convenience: generate @p profile's video and trace it to @p os. */
 void writeTrace(std::ostream &os, const VideoProfile &profile);
+
+/**
+ * Load a whole trace with recoverable error handling.
+ *
+ * @param policy what to do with damaged records
+ * @param faults optional record-corruption source (FaultClass::
+ *        kTraceCorrupt, opportunity clock = record index); injected
+ *        corruption is detected as if each record carried its own
+ *        check and handled per @p policy.
+ */
+TraceLoadResult loadTrace(std::istream &is,
+                          TracePolicy policy = TracePolicy::kFailClean,
+                          FaultInjector *faults = nullptr);
 
 /**
  * Convenience: load a whole trace into memory.

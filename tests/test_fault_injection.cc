@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: spec parsing, schedule
+ * determinism, graceful degradation across every pipeline layer, and
+ * the zero-cost-when-off guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/video_pipeline.hh"
+#include "sim/fault_injector.hh"
+#include "video/arrival_model.hh"
+#include "video/trace.hh"
+
+namespace vstream
+{
+namespace
+{
+
+VideoProfile
+tinyProfile(std::uint32_t frames = 48)
+{
+    VideoProfile p;
+    p.key = "FI";
+    p.width = 96;
+    p.height = 48;
+    p.frame_count = frames;
+    p.seed = 1337;
+    return p;
+}
+
+PipelineConfig
+faultyConfig(std::uint32_t frames = 48)
+{
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile(frames);
+    cfg.scheme = SchemeConfig::make(Scheme::kRaceToSleep);
+    cfg.arrival.enabled = true;
+    cfg.arrival.bandwidth_mbps = 2.0;
+    cfg.arrival.jitter_frac = 0.3;
+    cfg.arrival.seed = 99;
+    cfg.faults.seed = 7;
+    return cfg;
+}
+
+// ---- rule parsing ----------------------------------------------------
+
+TEST(FaultRule, ParsesFullSpec)
+{
+    const FaultRule r = parseFaultRule(
+        FaultClass::kNetworkStall,
+        "p=0.25,from=200ms,until=1.5s,max=3,len=250ms");
+    EXPECT_EQ(r.cls, FaultClass::kNetworkStall);
+    EXPECT_DOUBLE_EQ(r.probability, 0.25);
+    EXPECT_EQ(r.from, 200 * sim_clock::ms);
+    EXPECT_EQ(r.until, 1500 * sim_clock::ms);
+    EXPECT_EQ(r.max_count, 3u);
+    EXPECT_EQ(r.duration, 250 * sim_clock::ms);
+}
+
+TEST(FaultRule, AtIsOneShotShorthand)
+{
+    const FaultRule r =
+        parseFaultRule(FaultClass::kDramTimeout, "at=1.2s");
+    EXPECT_DOUBLE_EQ(r.probability, 1.0);
+    EXPECT_EQ(r.max_count, 1u);
+    EXPECT_EQ(r.from, 1200 * sim_clock::ms);
+    EXPECT_EQ(r.until, maxTick);
+}
+
+TEST(FaultRule, BareNumbersAreMilliseconds)
+{
+    const FaultRule r = parseFaultRule(FaultClass::kNetworkStall,
+                                       "at=250,len=100");
+    EXPECT_EQ(r.from, 250 * sim_clock::ms);
+    EXPECT_EQ(r.duration, 100 * sim_clock::ms);
+}
+
+TEST(FaultRuleDeath, RejectsMalformedSpecs)
+{
+    EXPECT_DEATH(
+        parseFaultRule(FaultClass::kNetworkStall, "p=1.5"),
+        "bad probability");
+    EXPECT_DEATH(
+        parseFaultRule(FaultClass::kNetworkStall, "nonsense"),
+        "not key=value");
+    EXPECT_DEATH(
+        parseFaultRule(FaultClass::kNetworkStall, "zzz=3"),
+        "unknown fault spec key");
+    EXPECT_DEATH(
+        parseFaultRule(FaultClass::kNetworkStall,
+                       "from=2s,until=1s"),
+        "empty fault window");
+    EXPECT_DEATH(
+        parseFaultRule(FaultClass::kNetworkStall, "at=1parsec"),
+        "unknown time unit");
+}
+
+TEST(FaultConfigDeath, StallRulesNeedDuration)
+{
+    FaultConfig cfg;
+    cfg.rules.push_back(
+        parseFaultRule(FaultClass::kNetworkStall, "p=0.5"));
+    EXPECT_DEATH(cfg.validate(), "need a duration");
+}
+
+// ---- injector determinism --------------------------------------------
+
+TEST(FaultInjector, SameSeedSameSchedule)
+{
+    FaultConfig cfg;
+    cfg.seed = 42;
+    cfg.rules.push_back(
+        parseFaultRule(FaultClass::kDramTimeout, "p=0.1"));
+    cfg.rules.push_back(
+        parseFaultRule(FaultClass::kDigestCollision, "p=0.05"));
+
+    FaultInjector a("a", nullptr, cfg);
+    FaultInjector b("b", nullptr, cfg);
+    for (Tick t = 0; t < 2000; ++t) {
+        ASSERT_EQ(a.shouldInject(FaultClass::kDramTimeout, t),
+                  b.shouldInject(FaultClass::kDramTimeout, t));
+        ASSERT_EQ(a.shouldInject(FaultClass::kDigestCollision, t),
+                  b.shouldInject(FaultClass::kDigestCollision, t));
+    }
+    EXPECT_EQ(a.injected(FaultClass::kDramTimeout),
+              b.injected(FaultClass::kDramTimeout));
+    EXPECT_GT(a.injected(FaultClass::kDramTimeout), 0u);
+}
+
+TEST(FaultInjector, ClassStreamsAreIndependent)
+{
+    // Drawing for one class must not perturb another class's
+    // schedule: run the dram stream alone, then interleaved with
+    // digest draws, and require identical dram decisions.
+    FaultConfig cfg;
+    cfg.seed = 42;
+    cfg.rules.push_back(
+        parseFaultRule(FaultClass::kDramTimeout, "p=0.1"));
+    cfg.rules.push_back(
+        parseFaultRule(FaultClass::kDigestCollision, "p=0.5"));
+
+    FaultInjector alone("alone", nullptr, cfg);
+    FaultInjector mixed("mixed", nullptr, cfg);
+    std::vector<bool> want, got;
+    for (Tick t = 0; t < 1000; ++t) {
+        want.push_back(
+            alone.shouldInject(FaultClass::kDramTimeout, t));
+        mixed.shouldInject(FaultClass::kDigestCollision, t);
+        got.push_back(
+            mixed.shouldInject(FaultClass::kDramTimeout, t));
+    }
+    EXPECT_EQ(want, got);
+}
+
+TEST(FaultInjector, WindowAndCapRespected)
+{
+    FaultConfig cfg;
+    cfg.rules.push_back(parseFaultRule(
+        FaultClass::kDramTimeout, "p=1,from=100,until=200,max=5"));
+    FaultInjector inj("inj", nullptr, cfg);
+
+    EXPECT_FALSE(
+        inj.shouldInject(FaultClass::kDramTimeout, 0));
+    EXPECT_FALSE(inj.shouldInject(FaultClass::kDramTimeout,
+                                  99 * sim_clock::ms));
+    std::uint64_t fired = 0;
+    for (Tick t = 100 * sim_clock::ms; t < 200 * sim_clock::ms;
+         t += sim_clock::ms) {
+        if (inj.shouldInject(FaultClass::kDramTimeout, t)) {
+            ++fired;
+        }
+    }
+    EXPECT_EQ(fired, 5u); // max= cap, not the window, limits it
+    EXPECT_FALSE(inj.shouldInject(FaultClass::kDramTimeout,
+                                  150 * sim_clock::ms));
+    EXPECT_EQ(inj.injected(FaultClass::kDramTimeout), 5u);
+}
+
+TEST(FaultInjector, DisabledInjectorIsInert)
+{
+    FaultInjector inj("inj", nullptr, FaultConfig{});
+    EXPECT_FALSE(inj.enabled());
+    EXPECT_FALSE(inj.shouldInject(FaultClass::kDramTimeout, 123));
+    EXPECT_EQ(inj.injectStall(123), 0u);
+    EXPECT_EQ(inj.totals().injected, 0u);
+}
+
+// ---- arrival model ---------------------------------------------------
+
+TEST(ArrivalModel, PrerollArrivesAtZeroRestIsMonotonic)
+{
+    ArrivalConfig cfg;
+    cfg.enabled = true;
+    cfg.bandwidth_mbps = 10.0;
+    cfg.jitter_frac = 0.4;
+    cfg.preroll_frames = 8;
+    cfg.seed = 5;
+    const VideoProfile p = tinyProfile(32);
+    ArrivalModel model(p, cfg, nullptr);
+
+    ASSERT_EQ(model.frameCount(), 32u);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(model.arrivalTick(i), 0u);
+    }
+    Tick prev = 0;
+    for (std::uint32_t i = 8; i < 32; ++i) {
+        EXPECT_GT(model.arrivalTick(i), prev);
+        prev = model.arrivalTick(i);
+    }
+    EXPECT_EQ(model.framesArrivedBy(0), 8u);
+    EXPECT_EQ(model.framesArrivedBy(prev), 32u);
+}
+
+TEST(ArrivalModel, InjectedStallDelaysEverythingAfter)
+{
+    ArrivalConfig cfg;
+    cfg.enabled = true;
+    cfg.bandwidth_mbps = 10.0;
+    cfg.preroll_frames = 4;
+    cfg.seed = 5;
+    const VideoProfile p = tinyProfile(24);
+
+    ArrivalModel clean(p, cfg, nullptr);
+
+    FaultConfig fcfg;
+    fcfg.rules.push_back(parseFaultRule(FaultClass::kNetworkStall,
+                                        "at=0ms,len=500ms"));
+    FaultInjector inj("inj", nullptr, fcfg);
+    ArrivalModel stalled(p, cfg, &inj);
+
+    EXPECT_EQ(stalled.stallTicks(), 500 * sim_clock::ms);
+    EXPECT_EQ(inj.injected(FaultClass::kNetworkStall), 1u);
+    // Everything from the stalled frame on shifts by the stall.
+    EXPECT_EQ(stalled.arrivalTick(23),
+              clean.arrivalTick(23) + 500 * sim_clock::ms);
+}
+
+// ---- end-to-end degradation ------------------------------------------
+
+TEST(FaultPipeline, UnderrunDegradesGracefully)
+{
+    PipelineConfig cfg = faultyConfig();
+    // The 2 Mbps timeline for this tiny clip ends ~113 ms in, so the
+    // stall must start inside that window to hit in-flight frames.
+    cfg.faults.rules.push_back(parseFaultRule(
+        FaultClass::kNetworkStall, "at=20ms,len=700ms"));
+    VideoPipeline pipe(std::move(cfg));
+    const PipelineResult r = pipe.run();
+
+    // The run completes (no panic) and the damage is accounted:
+    // missed vsyncs show the previous frame again.
+    EXPECT_GT(r.underruns, 0u);
+    EXPECT_GT(r.display.underrun_repeats, 0u);
+    EXPECT_GT(r.drops, 0u);
+    EXPECT_LE(r.display.underrun_repeats, r.underruns);
+    EXPECT_EQ(r.faults.injected, 1u);
+}
+
+TEST(FaultPipeline, FaultRunsAreDeterministic)
+{
+    auto make = [] {
+        PipelineConfig cfg = faultyConfig();
+        cfg.faults.rules.push_back(parseFaultRule(
+            FaultClass::kNetworkStall, "at=20ms,len=400ms"));
+        cfg.faults.rules.push_back(parseFaultRule(
+            FaultClass::kDramTimeout, "p=0.001"));
+        return cfg;
+    };
+    VideoPipeline p1(make()), p2(make());
+    const PipelineResult a = p1.run();
+    const PipelineResult b = p2.run();
+
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), b.totalEnergy());
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.underruns, b.underruns);
+    EXPECT_EQ(a.batch_shrinks, b.batch_shrinks);
+    EXPECT_EQ(a.dram_retries, b.dram_retries);
+    EXPECT_EQ(a.faults.injected, b.faults.injected);
+    EXPECT_EQ(a.faults.recovered, b.faults.recovered);
+    EXPECT_EQ(a.faults.abandoned, b.faults.abandoned);
+}
+
+TEST(FaultPipeline, DramRetriesAreBoundedAndAccounted)
+{
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.scheme = SchemeConfig::make(Scheme::kRaceToSleep);
+    cfg.faults.seed = 11;
+    cfg.faults.dram_retry_limit = 2;
+    cfg.faults.rules.push_back(
+        parseFaultRule(FaultClass::kDramTimeout, "p=0.6"));
+    VideoPipeline pipe(std::move(cfg));
+    const PipelineResult r = pipe.run();
+
+    EXPECT_GT(r.dram_retries, 0u);
+    EXPECT_GT(r.dram_abandoned, 0u); // p=.6 with limit 2 must abandon
+    EXPECT_EQ(r.faults.recovered + r.faults.abandoned,
+              r.faults.injected);
+    EXPECT_EQ(r.drops, 0u); // timing damage only, playback survives
+}
+
+TEST(FaultPipeline, VerifyOnHitCatchesAllInjectedCollisions)
+{
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.scheme = SchemeConfig::make(Scheme::kGab);
+    cfg.mach.verify_on_hit = true;
+    cfg.faults.seed = 23;
+    cfg.faults.rules.push_back(
+        parseFaultRule(FaultClass::kDigestCollision, "p=0.02"));
+    VideoPipeline pipe(std::move(cfg));
+    const PipelineResult r = pipe.run();
+
+    // Every injected collision that produced a wrong-block hit was
+    // caught by the byte compare and demoted to a miss...
+    EXPECT_GT(r.mach.injected_collisions, 0u);
+    EXPECT_EQ(r.mach.false_hits, r.mach.injected_collisions);
+    EXPECT_EQ(r.mach.collisions_undetected, 0u);
+    // ...so the displayed frames stay bit-exact.
+    EXPECT_TRUE(r.all_verified);
+}
+
+TEST(FaultPipeline, WithoutVerifyOnHitCollisionsCorrupt)
+{
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.scheme = SchemeConfig::make(Scheme::kGab);
+    cfg.faults.seed = 23;
+    cfg.faults.rules.push_back(
+        parseFaultRule(FaultClass::kDigestCollision, "p=0.02"));
+    VideoPipeline pipe(std::move(cfg));
+    const PipelineResult r = pipe.run();
+
+    EXPECT_GT(r.mach.collisions_undetected, 0u);
+    EXPECT_FALSE(r.all_verified);
+    EXPECT_EQ(r.drops, 0u); // corruption degrades, never crashes
+}
+
+TEST(FaultPipeline, ZeroCostWhenOff)
+{
+    // A default config (no rules, no arrival model) must reproduce
+    // the pristine pipeline bit-for-bit.
+    const PipelineResult base =
+        simulateScheme(tinyProfile(),
+                       SchemeConfig::make(Scheme::kGab));
+
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.scheme = SchemeConfig::make(Scheme::kGab);
+    VideoPipeline pipe(std::move(cfg));
+    const PipelineResult r = pipe.run();
+
+    EXPECT_DOUBLE_EQ(r.totalEnergy(), base.totalEnergy());
+    EXPECT_EQ(r.drops, base.drops);
+    EXPECT_EQ(r.mach.lookups, base.mach.lookups);
+    EXPECT_EQ(r.mach.false_hits, 0u);
+    EXPECT_EQ(r.underruns, 0u);
+    EXPECT_EQ(r.dram_retries, 0u);
+    EXPECT_EQ(r.faults.injected, 0u);
+}
+
+// ---- trace corruption through loadTrace ------------------------------
+
+TEST(FaultTrace, SkipFramePolicyDropsCorruptRecords)
+{
+    VideoProfile p = tinyProfile(10);
+    std::stringstream buf;
+    writeTrace(buf, p);
+
+    FaultConfig cfg;
+    cfg.seed = 3;
+    // Opportunity clock is the record index: corrupt records 2-5.
+    cfg.rules.push_back(parseFaultRule(FaultClass::kTraceCorrupt,
+                                       "p=1,from=0ps,until=4ps"));
+    // parseTicks: "2ps".."5ps" are literal ticks = record indices.
+    cfg.rules.back().from = 2;
+    cfg.rules.back().until = 6;
+    FaultInjector inj("inj", nullptr, cfg);
+
+    const TraceLoadResult r =
+        loadTrace(buf, TracePolicy::kSkipFrame, &inj);
+    EXPECT_EQ(r.error, TraceError::kNone);
+    EXPECT_EQ(r.frames_expected, 10u);
+    EXPECT_EQ(r.frames_skipped, 4u);
+    EXPECT_EQ(r.frames.size(), 6u);
+    EXPECT_EQ(inj.injected(FaultClass::kTraceCorrupt), 4u);
+    EXPECT_EQ(inj.recovered(FaultClass::kTraceCorrupt), 4u);
+}
+
+TEST(FaultTrace, FailCleanPolicyRejectsCorruptTrace)
+{
+    VideoProfile p = tinyProfile(6);
+    std::stringstream buf;
+    writeTrace(buf, p);
+
+    FaultConfig cfg;
+    cfg.seed = 3;
+    cfg.rules.push_back(
+        parseFaultRule(FaultClass::kTraceCorrupt, "p=1,max=1"));
+    FaultInjector inj("inj", nullptr, cfg);
+
+    const TraceLoadResult r =
+        loadTrace(buf, TracePolicy::kFailClean, &inj);
+    EXPECT_EQ(r.error, TraceError::kCorruptRecord);
+    EXPECT_TRUE(r.frames.empty());
+}
+
+} // namespace
+} // namespace vstream

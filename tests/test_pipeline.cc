@@ -84,6 +84,32 @@ TEST(PipelineConfigDeath, MachNeedsPointerLayout)
     EXPECT_DEATH(cfg.finalize(), "pointer-based layout");
 }
 
+TEST(PipelineConfigDeath, ZeroBatchRejected)
+{
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.scheme.batch = 0;
+    EXPECT_DEATH(cfg.validate(), "batch size must be >= 1");
+}
+
+TEST(PipelineConfigDeath, MachBufferNeedsPointerDigestLayout)
+{
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.scheme.mach = true;
+    cfg.scheme.mach_buffer = true;
+    cfg.scheme.layout = LayoutKind::kPointer;
+    EXPECT_DEATH(cfg.validate(), "pointer\\+digest layout");
+}
+
+TEST(PipelineConfigDeath, ZeroPrerollRejected)
+{
+    PipelineConfig cfg;
+    cfg.profile = tinyProfile();
+    cfg.preroll_frames = 0;
+    EXPECT_DEATH(cfg.validate(), "pre-rolled frame");
+}
+
 TEST(Pipeline, BatchingEliminatesDrops)
 {
     // Give the baseline a tail heavy enough to drop frames.

@@ -112,10 +112,108 @@ TEST(Trace, TruncationIsFatal)
     EXPECT_DEATH(readTrace(truncated), "truncated");
 }
 
-TEST(Trace, BadMagicIsFatal)
+TEST(Trace, BadMagicIsRecoverable)
+{
+    // The reader no longer aborts on junk input: it records the
+    // error and reads as exhausted, so callers choose the policy.
+    std::stringstream junk("not a trace at all, sorry");
+    TraceReader reader(junk);
+    EXPECT_EQ(reader.error(), TraceError::kBadMagic);
+    EXPECT_TRUE(reader.done());
+    EXPECT_EQ(reader.frameCount(), 0u);
+}
+
+TEST(Trace, BadMagicStillFatalThroughReadTrace)
 {
     std::stringstream junk("not a trace at all, sorry");
-    EXPECT_DEATH(TraceReader reader(junk), "bad magic");
+    EXPECT_DEATH(readTrace(junk), "bad magic");
+}
+
+TEST(Trace, LoadTraceCleanStream)
+{
+    const VideoProfile p = traceProfile(3);
+    std::stringstream buf;
+    writeTrace(buf, p);
+
+    const TraceLoadResult r = loadTrace(buf);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.error, TraceError::kNone);
+    EXPECT_EQ(r.frames_expected, 3u);
+    EXPECT_EQ(r.frames_skipped, 0u);
+    EXPECT_EQ(r.frames.size(), 3u);
+}
+
+TEST(Trace, LoadTraceBadMagic)
+{
+    std::stringstream junk("garbage bytes, not a trace");
+    const TraceLoadResult r = loadTrace(junk);
+    EXPECT_EQ(r.error, TraceError::kBadMagic);
+    EXPECT_TRUE(r.frames.empty());
+    EXPECT_STREQ(traceErrorName(r.error), "bad-magic");
+}
+
+TEST(Trace, LoadTraceTruncatedFailClean)
+{
+    const VideoProfile p = traceProfile(4);
+    std::stringstream buf;
+    writeTrace(buf, p);
+    const std::string bytes = buf.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+
+    const TraceLoadResult r =
+        loadTrace(truncated, TracePolicy::kFailClean);
+    EXPECT_EQ(r.error, TraceError::kTruncatedFrame);
+    EXPECT_TRUE(r.frames.empty());
+}
+
+TEST(Trace, LoadTraceTruncatedSkipFrameKeepsPrefix)
+{
+    const VideoProfile p = traceProfile(4);
+    std::stringstream buf;
+    writeTrace(buf, p);
+    const std::string bytes = buf.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+
+    const TraceLoadResult r =
+        loadTrace(truncated, TracePolicy::kSkipFrame);
+    EXPECT_EQ(r.error, TraceError::kTruncatedFrame);
+    EXPECT_EQ(r.frames_expected, 4u);
+    // Every intact leading frame survives; the damaged tail counts
+    // as skipped.
+    EXPECT_FALSE(r.frames.empty());
+    EXPECT_EQ(r.frames.size() + r.frames_skipped, 4u);
+}
+
+TEST(Trace, LoadTraceBadCrcFailClean)
+{
+    const VideoProfile p = traceProfile(2);
+    std::stringstream buf;
+    writeTrace(buf, p);
+    std::string bytes = buf.str();
+    bytes[bytes.size() / 2] ^= 0x40; // flip a payload bit
+
+    std::stringstream corrupt(bytes);
+    const TraceLoadResult r =
+        loadTrace(corrupt, TracePolicy::kFailClean);
+    EXPECT_EQ(r.error, TraceError::kBadCrc);
+    EXPECT_TRUE(r.frames.empty());
+}
+
+TEST(Trace, LoadTraceBadCrcSkipFrameKeepsFrames)
+{
+    const VideoProfile p = traceProfile(2);
+    std::stringstream buf;
+    writeTrace(buf, p);
+    std::string bytes = buf.str();
+    bytes[bytes.size() / 2] ^= 0x40;
+
+    std::stringstream corrupt(bytes);
+    const TraceLoadResult r =
+        loadTrace(corrupt, TracePolicy::kSkipFrame);
+    // The trailer disagrees, but each record parsed: the permissive
+    // policy keeps them and reports the damage.
+    EXPECT_EQ(r.error, TraceError::kBadCrc);
+    EXPECT_EQ(r.frames.size(), 2u);
 }
 
 TEST(TraceDeath, GeometryMismatchOnAppend)

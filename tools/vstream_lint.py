@@ -48,6 +48,13 @@ simulator, not of C++:
   no-null-macro        nullptr, not NULL (modernize-use-nullptr
                        adjunct for the clang-tidy-less toolchain).
 
+  no-unchecked-io      outside src/sim, a statement-position fread()
+                       or read() whose return value is discarded is a
+                       silent-truncation bug waiting to happen: the
+                       trace loader's graceful-degradation path
+                       depends on every short read being noticed and
+                       routed into a TraceError, not ignored.
+
 Exit status 0 when clean, 1 with findings, 2 on usage errors.
 """
 
@@ -313,6 +320,26 @@ def check_null_macro(path, rel, code, findings):
             rel, line, 'no-null-macro', 'NULL macro; use nullptr'))
 
 
+# Statement position only: the call must open a statement (start of
+# line or right after ';'/'{'/'}'), so member calls (.read, ->read)
+# and uses of the return value (if (fread(...)), n = fread(...)) do
+# not match -- those check or consume the result.
+UNCHECKED_IO_RE = re.compile(
+    r'(?:^|[;{}])[ \t]*((?:std\s*::\s*)?fread|read)\s*\(',
+    re.MULTILINE)
+
+
+def check_unchecked_io(path, rel, code, findings):
+    if rel.startswith('src/sim/'):
+        return
+    for line, m in match_lines(code, UNCHECKED_IO_RE):
+        findings.append(Finding(
+            rel, line, 'no-unchecked-io',
+            '%s() return value ignored; a short read must be '
+            'detected and handled (see src/video/trace.cc)'
+            % m.group(1)))
+
+
 # ---------------------------------------------------------------- driver
 
 SRC_CHECKS = [
@@ -323,6 +350,7 @@ SRC_CHECKS = [
     check_stats_pairing,
     check_registry_stats,
     check_null_macro,
+    check_unchecked_io,
 ]
 
 # Tests/benches/examples may use gtest ASSERT_* and ad-hoc printing,
@@ -336,7 +364,8 @@ AUX_CHECKS = [
 # Benches and examples report numbers users consume, so they must go
 # through the registry like src/ does; tests stay exempt because the
 # stats package's own unit tests exercise printStat directly.
-BENCH_CHECKS = AUX_CHECKS + [check_registry_stats]
+BENCH_CHECKS = AUX_CHECKS + [check_registry_stats,
+                             check_unchecked_io]
 
 SCAN_DIRS = {
     'src': SRC_CHECKS,
@@ -374,6 +403,7 @@ class Bad : public SimObject
 inline void f(int *q) { assert(q != NULL); delete q; std::abort(); }
 inline int g() { return rand(); }
 inline void h(std::ostream &os) { stats::printStat(os, "x", 1.0); }
+inline void i(char *buf, FILE *fp) { fread(buf, 1, 16, fp); }
 #endif
 '''
 
@@ -388,6 +418,14 @@ class Good : public SimObject
     void regStats(StatsRegistry &r) override;
     void resetStats() override;
 };
+inline bool i(char *buf, std::size_t n, FILE *fp)
+{
+    // Checked and member-call IO never fires no-unchecked-io:
+    if (fread(buf, 1, n, fp) != n) { return false; }
+    std::stringstream ss;
+    ss.read(buf, 4);
+    return bool(ss);
+}
 #endif
 '''
 
@@ -408,7 +446,7 @@ def self_test():
     expected = {'logging-discipline', 'no-naked-new',
                 'determinism-guard', 'include-guards',
                 'stats-reset-pairing', 'registry-stats',
-                'no-null-macro'}
+                'no-null-macro', 'no-unchecked-io'}
     ok = True
     for rule in sorted(expected - fired):
         print('self-test: rule %s did not fire on the bad header'
@@ -443,7 +481,7 @@ def main(argv):
         for rule in ('logging-discipline', 'no-naked-new',
                      'determinism-guard', 'include-guards',
                      'stats-reset-pairing', 'registry-stats',
-                     'no-null-macro'):
+                     'no-null-macro', 'no-unchecked-io'):
             print(rule)
         return 0
 
