@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Multi-session soak: hundreds of short sessions with mixed fault
+ * storms through the SessionManager.
+ *
+ * Five session mixes rotate across the fleet:
+ *
+ *   clean    no faults - doubles as the isolation oracle: its
+ *            serve-side energy/drops must be bit-identical to a solo
+ *            VideoPipeline run of the same config;
+ *   stall    an arrival-stall storm mid-playback (underruns degrade
+ *            the session, which recovers once the storm passes);
+ *   dram     a DRAM timeout storm dense enough to exhaust the
+ *            abandon budget (quarantine -> eviction);
+ *   digest   injected MACH collisions under verify-on-hit (false-hit
+ *            storm trips the circuit breaker; the storm ends, the
+ *            cooldown expires, the re-probe closes it again);
+ *   trace    a corrupted ingest trace (TraceError quarantines the
+ *            session at start).
+ *
+ * A few deliberately over-budget "whale" submissions exercise the
+ * rejection path.  Every seed is fixed and every per-session fault
+ * stream comes from FaultConfig::forSession, so two runs emit
+ * identical "vstream-soak-1" JSON (modulo wall_clock_seconds) - the
+ * CI soak-smoke job asserts exactly that, under ASan+UBSan.
+ *
+ * The harness verifies its own acceptance invariants (fatal faults
+ * resolve to Quarantined/Evicted, clean sessions are bit-identical
+ * to solo runs, tripped breakers recover) and exits non-zero when
+ * any fails.
+ */
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "bench_util.hh"
+#include "serve/session_manager.hh"
+#include "video/trace.hh"
+
+namespace
+{
+
+using namespace vstream;
+using namespace vstream::bench;
+
+constexpr std::size_t kNumMixes = 5;
+const char *const kMixNames[kNumMixes] = {"clean", "stall", "dram",
+                                          "digest", "trace"};
+
+/** The soak's base video: tiny and short, so hundreds of sessions
+ * fit in a CI smoke budget. */
+VideoProfile
+soakProfile(std::uint64_t id, std::uint32_t frames_n)
+{
+    VideoProfile p;
+    p.key = "S";
+    p.key += std::to_string(id);
+    p.width = 96;
+    p.height = 48;
+    p.frame_count = frames_n;
+    p.seed = 0x50a1u + id * 0x9e37u;
+    return p;
+}
+
+HealthConfig
+soakHealth()
+{
+    HealthConfig h;
+    h.window_vsyncs = 8;
+    h.degrade_drops = 3;
+    h.degrade_underruns = 2;
+    h.abandon_budget = 6;
+    h.quarantine_windows = 2;
+    h.recover_windows = 2;
+    h.evict_windows = 2;
+    return h;
+}
+
+BreakerConfig
+soakBreaker()
+{
+    BreakerConfig b;
+    b.false_hit_threshold = 0.02;
+    b.min_lookups = 32;
+    b.cooldown_base = static_cast<Tick>(100) * sim_clock::ms;
+    b.cooldown_cap = static_cast<Tick>(1) * sim_clock::s;
+    b.jitter_frac = 0.2;
+    return b;
+}
+
+/** A short intact ingest trace, serialized once and shared. */
+std::vector<std::uint8_t>
+makeTraceBlob()
+{
+    VideoProfile p;
+    p.key = "TB";
+    p.width = 32;
+    p.height = 16;
+    p.frame_count = 3;
+    p.seed = 777;
+    std::ostringstream os(std::ios::binary);
+    writeTrace(os, p);
+    const std::string s = os.str();
+    return {s.begin(), s.end()};
+}
+
+/** One session of mix @p mix (= id % kNumMixes). */
+SessionConfig
+makeSession(std::uint64_t id, std::uint32_t frames_n,
+            const std::vector<std::uint8_t> &intact_blob)
+{
+    const std::size_t mix = id % kNumMixes;
+    SessionConfig s;
+    s.id = id;
+    s.health = soakHealth();
+    s.breaker = soakBreaker();
+
+    PipelineConfig &cfg = s.pipeline;
+    cfg.profile = soakProfile(id, frames_n);
+    // Rotate the scheme so the fleet is heterogeneous; digest
+    // sessions need a MACH to break.
+    const Scheme schemes[] = {Scheme::kRaceToSleep, Scheme::kGab,
+                              Scheme::kMab, Scheme::kBatching};
+    cfg.scheme = SchemeConfig::make(
+        mix == 3 ? Scheme::kGab : schemes[(id / kNumMixes) % 4]);
+    cfg.faults.seed = 0xfa0175eedULL;
+
+    switch (mix) {
+    case 0: // clean
+        break;
+    case 1: // arrival-stall storm
+        cfg.arrival.enabled = true;
+        cfg.arrival.bandwidth_mbps = 2.0;
+        cfg.arrival.jitter_frac = 0.2;
+        cfg.preroll_frames = 2; // arrival preroll mirrors this
+        cfg.arrival.seed = 0xa441 + id;
+        // Delivery of the whole clip takes ~40ms at 2 Mbps, so the
+        // storm window covers early delivery; one long stall starves
+        // the first playback windows, then the link catches up.
+        cfg.faults.rules.push_back(parseFaultRule(
+            FaultClass::kNetworkStall,
+            "p=0.35,from=1ms,until=25ms,len=120ms"));
+        // Lax quarantine streak: this mix must degrade and recover,
+        // not evict.
+        s.health.quarantine_windows = 4;
+        break;
+    case 2: // DRAM timeout storm (abandon-budget exhaustion)
+        cfg.faults.dram_retry_limit = 2;
+        cfg.faults.rules.push_back(parseFaultRule(
+            FaultClass::kDramTimeout,
+            "p=0.6,from=250ms,until=650ms"));
+        break;
+    case 3: // MACH false-hit storm (breaker trip + recovery)
+        cfg.mach.verify_on_hit = true;
+        cfg.faults.rules.push_back(parseFaultRule(
+            FaultClass::kDigestCollision,
+            "p=0.2,from=150ms,until=700ms"));
+        break;
+    case 4: { // corrupted ingest trace
+        s.trace_blob = intact_blob;
+        // Flip one byte past the header, at an id-dependent offset.
+        const std::size_t off =
+            64 + (static_cast<std::size_t>(id) * 131) %
+                     (s.trace_blob.size() - 64);
+        s.trace_blob[off] ^= 0x5a;
+        break;
+    }
+    default:
+        break;
+    }
+    // Independent, reproducible per-session fault streams.
+    cfg.faults = cfg.faults.forSession(id);
+    return s;
+}
+
+/** A submission whose solo demand exceeds every budget. */
+SessionConfig
+makeWhale(std::uint64_t id)
+{
+    SessionConfig s;
+    s.id = id;
+    s.pipeline.profile = soakProfile(id, 48);
+    s.pipeline.profile.width = 1920;
+    s.pipeline.profile.height = 1080;
+    s.pipeline.scheme = SchemeConfig::make(Scheme::kRaceToSleep);
+    return s;
+}
+
+struct MixTally
+{
+    std::uint64_t sessions = 0;
+    std::array<std::uint64_t, kNumHealthStates> final_states{};
+    std::uint64_t breaker_trips = 0;
+    Tick degraded_dwell = 0;
+    double energy_j = 0.0;
+};
+
+bool
+check(bool ok, const char *what, int &failures)
+{
+    if (!ok) {
+        std::cout << "SOAK FAIL: " << what << "\n";
+        ++failures;
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Soak: mixed-fault session fleet through the "
+           "SessionManager",
+           "robustness extension - admission control, fault "
+           "domains, circuit breakers under storm load");
+
+    const std::uint32_t n_sessions =
+        envU32("VSTREAM_SOAK_SESSIONS", 120);
+    const std::uint32_t frames_n = frames(96);
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    ServeConfig serve;
+    serve.bandwidth_budget_mbps = 300.0;
+    serve.framebuffer_budget_bytes = 64ULL << 20;
+    serve.max_active = 24;
+    SessionManager mgr(serve);
+
+    const std::vector<std::uint8_t> intact_blob = makeTraceBlob();
+
+    // Whales first: both budgets reject them outright.
+    std::uint64_t next_id = 0;
+    for (int w = 0; w < 3; ++w) {
+        mgr.submit(makeWhale(1000 + next_id++));
+    }
+    std::vector<SessionConfig> solo_copies;
+    solo_copies.reserve(n_sessions);
+    for (std::uint32_t i = 0; i < n_sessions; ++i) {
+        SessionConfig s = makeSession(i, frames_n, intact_blob);
+        solo_copies.push_back(s);
+        mgr.submit(std::move(s));
+    }
+    mgr.runAll();
+
+    // ---- tallies ------------------------------------------------------
+    std::array<MixTally, kNumMixes> mixes{};
+    std::array<Tick, kNumHealthStates> dwell{};
+    FaultTotals faults;
+    std::uint64_t reprobes = 0;
+    std::uint64_t recovered_breakers = 0;
+    double aggregate_j = 0.0;
+    int failures = 0;
+
+    for (const SessionOutcome &o : mgr.outcomes()) {
+        const std::size_t mix = o.id % kNumMixes;
+        MixTally &t = mixes[mix];
+        ++t.sessions;
+        ++t.final_states[static_cast<std::size_t>(o.final_state)];
+        t.breaker_trips += o.breaker_trips;
+        t.degraded_dwell +=
+            o.dwell[static_cast<std::size_t>(HealthState::kDegraded)];
+        t.energy_j += o.result.totalEnergy();
+        aggregate_j += o.result.totalEnergy();
+        for (std::size_t st = 0; st < kNumHealthStates; ++st) {
+            dwell[st] += o.dwell[st];
+        }
+        faults.injected += o.result.faults.injected;
+        faults.recovered += o.result.faults.recovered;
+        faults.abandoned += o.result.faults.abandoned;
+        reprobes += o.breaker_reprobes;
+        if (o.breaker_trips > 0 &&
+            o.breaker_state == CircuitBreaker::State::kClosed) {
+            ++recovered_breakers;
+        }
+
+        // Fatal conditions must resolve inside the ladder.
+        if (mix == 2 || mix == 4) {
+            check(o.final_state == HealthState::kEvicted,
+                  "fatal-mix session did not end Evicted", failures);
+        }
+        if (mix == 4) {
+            check(o.trace_error != TraceError::kNone,
+                  "trace-mix session loaded a corrupt blob cleanly",
+                  failures);
+        }
+    }
+    check(mgr.outcomes().size() == n_sessions,
+          "not every submitted session completed", failures);
+    check(mgr.rejected() == 3, "whales were not all rejected",
+          failures);
+    check(mgr.queuedTotal() > 0,
+          "admission queue never engaged (raise the fleet size)",
+          failures);
+    check(mixes[3].breaker_trips > 0, "no breaker ever tripped",
+          failures);
+    check(mixes[1].degraded_dwell > 0,
+          "the stall mix never exercised the Degraded state",
+          failures);
+    check(recovered_breakers > 0,
+          "no tripped breaker recovered after its cooldown",
+          failures);
+
+    // ---- isolation oracle: clean sessions == solo runs ----------------
+    double baseline_j = 0.0;
+    double max_delta_j = 0.0;
+    for (std::uint32_t i = 0; i < n_sessions; ++i) {
+        if (i % kNumMixes != 0) {
+            continue;
+        }
+        VideoPipeline solo(solo_copies[i].pipeline);
+        const PipelineResult solo_r = solo.run();
+        baseline_j += solo_r.totalEnergy();
+        const SessionOutcome *o = nullptr;
+        for (const SessionOutcome &cand : mgr.outcomes()) {
+            if (cand.id == i) {
+                o = &cand;
+                break;
+            }
+        }
+        if (!check(o != nullptr, "clean session missing an outcome",
+                   failures)) {
+            continue;
+        }
+        const double delta = std::abs(solo_r.totalEnergy() -
+                                      o->result.totalEnergy());
+        max_delta_j = std::max(max_delta_j, delta);
+        check(solo_r.totalEnergy() == o->result.totalEnergy() &&
+                  solo_r.drops == o->result.drops,
+              "clean session diverged from its solo run", failures);
+    }
+
+    // ---- console summary ----------------------------------------------
+    std::cout << std::left << std::setw(10) << "mix" << std::right
+              << std::setw(10) << "sessions" << std::setw(10)
+              << "healthy" << std::setw(10) << "degraded"
+              << std::setw(13) << "quarantined" << std::setw(10)
+              << "evicted" << std::setw(8) << "trips" << std::setw(12)
+              << "energy mJ" << "\n";
+    std::cout << std::fixed << std::setprecision(2);
+    for (std::size_t m = 0; m < kNumMixes; ++m) {
+        const MixTally &t = mixes[m];
+        std::cout << std::left << std::setw(10) << kMixNames[m]
+                  << std::right << std::setw(10) << t.sessions
+                  << std::setw(10) << t.final_states[0]
+                  << std::setw(10) << t.final_states[1]
+                  << std::setw(13) << t.final_states[2]
+                  << std::setw(10) << t.final_states[3]
+                  << std::setw(8) << t.breaker_trips << std::setw(12)
+                  << t.energy_j * 1e3 << "\n";
+    }
+    std::cout << "\nadmitted " << mgr.admitted() << ", queued "
+              << mgr.queuedTotal() << ", rejected " << mgr.rejected()
+              << ", evicted " << mgr.evicted() << ", breaker trips "
+              << mgr.breakerTrips() << " (reprobes " << reprobes
+              << ", recovered " << recovered_breakers << ")\n";
+    std::cout << "aggregate energy " << aggregate_j * 1e3
+              << " mJ; clean-mix isolated baseline " << baseline_j * 1e3
+              << " mJ (max delta " << max_delta_j << " J)\n";
+    if (failures == 0) {
+        std::cout << "soak invariants: all holds\n";
+    }
+
+    // ---- vstream-soak-1 JSON ------------------------------------------
+    const char *path = std::getenv("VSTREAM_STATS_JSON");
+    if (path != nullptr && path[0] != '\0') {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        std::ofstream os(path);
+        JsonWriter w(os, /*pretty=*/true);
+        w.beginObject();
+        w.kv("schema", "vstream-soak-1");
+        w.kv("bench", "bench_soak");
+        w.kv("sessions", static_cast<double>(n_sessions));
+        w.kv("wall_clock_seconds", wall);
+        w.key("admission");
+        w.beginObject();
+        w.kv("admitted", static_cast<double>(mgr.admitted()));
+        w.kv("queued", static_cast<double>(mgr.queuedTotal()));
+        w.kv("rejected", static_cast<double>(mgr.rejected()));
+        w.endObject();
+        w.kv("evictions", static_cast<double>(mgr.evicted()));
+        w.key("breaker");
+        w.beginObject();
+        w.kv("trips", static_cast<double>(mgr.breakerTrips()));
+        w.kv("reprobes", static_cast<double>(reprobes));
+        w.kv("recoveredSessions",
+             static_cast<double>(recovered_breakers));
+        w.endObject();
+        w.key("finalStates");
+        w.beginObject();
+        for (std::size_t st = 0; st < kNumHealthStates; ++st) {
+            std::uint64_t count = 0;
+            for (const MixTally &t : mixes) {
+                count += t.final_states[st];
+            }
+            w.kv(healthStateName(static_cast<HealthState>(st)),
+                 static_cast<double>(count));
+        }
+        w.endObject();
+        w.key("dwellMs");
+        w.beginObject();
+        for (std::size_t st = 0; st < kNumHealthStates; ++st) {
+            w.kv(healthStateName(static_cast<HealthState>(st)),
+                 ticksToMs(dwell[st]));
+        }
+        w.endObject();
+        w.key("energy");
+        w.beginObject();
+        w.kv("aggregateJ", aggregate_j);
+        w.kv("cleanIsolatedBaselineJ", baseline_j);
+        w.kv("cleanIsolationMaxDeltaJ", max_delta_j);
+        w.endObject();
+        w.key("faults");
+        w.beginObject();
+        w.kv("injected", static_cast<double>(faults.injected));
+        w.kv("recovered", static_cast<double>(faults.recovered));
+        w.kv("abandoned", static_cast<double>(faults.abandoned));
+        w.endObject();
+        w.key("mixes");
+        w.beginObject();
+        for (std::size_t m = 0; m < kNumMixes; ++m) {
+            w.key(kMixNames[m]);
+            w.beginObject();
+            w.kv("sessions",
+                 static_cast<double>(mixes[m].sessions));
+            w.kv("evicted",
+                 static_cast<double>(mixes[m].final_states[3]));
+            w.kv("breakerTrips",
+                 static_cast<double>(mixes[m].breaker_trips));
+            w.kv("energyJ", mixes[m].energy_j);
+            w.endObject();
+        }
+        w.endObject();
+        w.kv("invariantFailures", static_cast<double>(failures));
+        w.endObject();
+    }
+
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * vstream_serve - the multi-session server front end.
+ *
+ * Drives N concurrent streaming sessions through the SessionManager:
+ * admission control against aggregate DRAM-bandwidth / frame-buffer
+ * budgets, per-session fault domains walking the Healthy -> Degraded
+ * -> Quarantined -> Evicted ladder, and the per-session MACH circuit
+ * breaker.  Fault rules given here are remixed per session with
+ * FaultConfig::forSession, so every session draws an independent
+ * fault stream from one schedule.
+ *
+ * Usage:
+ *   vstream_serve [options]
+ *     --sessions N          number of sessions (default 8)
+ *     --video KEY           workload V1..V16 (default V8)
+ *     --frames N            frames per session (default 300)
+ *     --scheme X            L|B|R|S|M|G (default G)
+ *     --batch N             batch depth (default 16)
+ *     --bandwidth MBPS      aggregate DRAM budget (default 2000)
+ *     --framebuffer MB      aggregate pool budget (default 64)
+ *     --max-active N        concurrent-session cap (default 64)
+ *     --no-queue            reject over-budget submissions outright
+ *     --window N            health window, vsyncs (default 32)
+ *     --verify-on-hit       byte-compare MACH hits
+ *     --stats-json FILE     dump serve.* statistics as JSON
+ *
+ * Robustness options (per-session; see docs/ROBUSTNESS.md):
+ *     --arrival-bandwidth MBPS, --arrival-jitter SIGMA,
+ *     --arrival-preroll N, --fault-seed N, --fault-retry N,
+ *     --fault-stall SPEC, --fault-digest SPEC, --fault-dram SPEC
+ *   SPEC = "p=0.01,from=200ms,until=1.5s,max=3,len=250ms".
+ *
+ * Every value option also accepts the --opt=VALUE spelling.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "serve/session_manager.hh"
+#include "sim/stats_registry.hh"
+#include "video/workloads.hh"
+
+namespace
+{
+
+using namespace vstream;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--sessions N] [--video V1..V16] [--frames N]\n"
+                 "  [--scheme L|B|R|S|M|G] [--batch N]\n"
+                 "  [--bandwidth MBPS] [--framebuffer MB] "
+                 "[--max-active N] [--no-queue]\n"
+                 "  [--window N] [--verify-on-hit] "
+                 "[--stats-json FILE]\n"
+                 "  [--arrival-bandwidth MBPS] [--arrival-jitter S] "
+                 "[--arrival-preroll N]\n"
+                 "  [--fault-seed N] [--fault-retry N] "
+                 "[--fault-stall SPEC]\n"
+                 "  [--fault-digest SPEC] [--fault-dram SPEC]\n";
+    std::exit(2);
+}
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "L") {
+        return Scheme::kBaseline;
+    }
+    if (s == "B") {
+        return Scheme::kBatching;
+    }
+    if (s == "R") {
+        return Scheme::kRacing;
+    }
+    if (s == "S") {
+        return Scheme::kRaceToSleep;
+    }
+    if (s == "M") {
+        return Scheme::kMab;
+    }
+    if (s == "G") {
+        return Scheme::kGab;
+    }
+    std::cerr << "unknown scheme '" << s << "'\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t sessions = 8, frames = 300, batch = 16, window = 32;
+    std::string video = "V8";
+    Scheme scheme = Scheme::kGab;
+    ServeConfig serve;
+    double arrival_bandwidth = 0.0, arrival_jitter = 0.0;
+    std::uint32_t arrival_preroll = 0;
+    FaultConfig faults;
+    bool verify_on_hit = false;
+    std::string stats_json_file;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        // Accept both "--opt VALUE" and "--opt=VALUE".
+        std::string inline_value;
+        bool has_inline = false;
+        const std::size_t eq = arg.find('=');
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-' &&
+            eq != std::string::npos) {
+            inline_value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_inline = true;
+        }
+        auto next = [&]() -> std::string {
+            if (has_inline) {
+                return inline_value;
+            }
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        auto nextU32 = [&]() {
+            return static_cast<std::uint32_t>(
+                std::atoi(next().c_str()));
+        };
+        if (arg == "--sessions") {
+            sessions = nextU32();
+        } else if (arg == "--video") {
+            video = next();
+        } else if (arg == "--frames") {
+            frames = nextU32();
+        } else if (arg == "--scheme") {
+            scheme = parseScheme(next());
+        } else if (arg == "--batch") {
+            batch = nextU32();
+        } else if (arg == "--bandwidth") {
+            serve.bandwidth_budget_mbps = std::atof(next().c_str());
+        } else if (arg == "--framebuffer") {
+            serve.framebuffer_budget_bytes =
+                static_cast<std::uint64_t>(
+                    std::atoll(next().c_str())) <<
+                20;
+        } else if (arg == "--max-active") {
+            serve.max_active = nextU32();
+        } else if (arg == "--no-queue") {
+            serve.queue_when_full = false;
+        } else if (arg == "--window") {
+            window = nextU32();
+        } else if (arg == "--verify-on-hit") {
+            verify_on_hit = true;
+        } else if (arg == "--stats-json") {
+            stats_json_file = next();
+        } else if (arg == "--arrival-bandwidth") {
+            arrival_bandwidth = std::atof(next().c_str());
+        } else if (arg == "--arrival-jitter") {
+            arrival_jitter = std::atof(next().c_str());
+        } else if (arg == "--arrival-preroll") {
+            arrival_preroll = nextU32();
+        } else if (arg == "--fault-seed") {
+            faults.seed = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (arg == "--fault-retry") {
+            faults.dram_retry_limit = nextU32();
+        } else if (arg == "--fault-stall") {
+            faults.rules.push_back(
+                parseFaultRule(FaultClass::kNetworkStall, next()));
+        } else if (arg == "--fault-digest") {
+            faults.rules.push_back(
+                parseFaultRule(FaultClass::kDigestCollision, next()));
+        } else if (arg == "--fault-dram") {
+            faults.rules.push_back(
+                parseFaultRule(FaultClass::kDramTimeout, next()));
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    SessionManager mgr(serve);
+
+    std::cout << "vstream_serve: " << sessions << " sessions of "
+              << video << " x " << frames << " frames, scheme "
+              << schemeName(scheme) << "\n"
+              << "budgets: " << serve.bandwidth_budget_mbps
+              << " MB/s, "
+              << (serve.framebuffer_budget_bytes >> 20)
+              << " MB frame buffers, max " << serve.max_active
+              << " active\n\n";
+
+    std::uint64_t submitted_rejected = 0;
+    for (std::uint32_t id = 0; id < sessions; ++id) {
+        SessionConfig s;
+        s.id = id;
+        s.health.window_vsyncs = window;
+        s.pipeline.profile = scaledWorkload(video, frames);
+        // Per-session content seed: sessions are peers, not clones.
+        s.pipeline.profile.seed += id * 0x9e3779b9u;
+        s.pipeline.scheme = SchemeConfig::make(scheme, batch);
+        s.pipeline.mach.verify_on_hit = verify_on_hit;
+        s.pipeline.faults = faults.forSession(id);
+        if (arrival_bandwidth > 0.0) {
+            s.pipeline.arrival.enabled = true;
+            s.pipeline.arrival.bandwidth_mbps = arrival_bandwidth;
+            s.pipeline.arrival.jitter_frac = arrival_jitter;
+        }
+        if (arrival_preroll > 0) {
+            s.pipeline.preroll_frames = arrival_preroll;
+        }
+        if (mgr.submit(std::move(s)) == Admission::kRejected) {
+            ++submitted_rejected;
+        }
+    }
+    mgr.runAll();
+
+    std::cout << std::left << std::setw(9) << "session" << std::right
+              << std::setw(13) << "final" << std::setw(8) << "trips"
+              << std::setw(12) << "breaker" << std::setw(12)
+              << "energy mJ" << std::setw(8) << "drops"
+              << std::setw(11) << "degr ms" << "\n";
+    std::cout << std::fixed << std::setprecision(2);
+    double total_j = 0.0;
+    for (const SessionOutcome &o : mgr.outcomes()) {
+        total_j += o.result.totalEnergy();
+        std::cout << std::left << std::setw(9) << o.id << std::right
+                  << std::setw(13) << healthStateName(o.final_state)
+                  << std::setw(8) << o.breaker_trips << std::setw(12)
+                  << breakerStateName(o.breaker_state) << std::setw(12)
+                  << o.result.totalEnergy() * 1e3 << std::setw(8)
+                  << o.result.drops << std::setw(11)
+                  << ticksToMs(o.dwell[static_cast<std::size_t>(
+                         HealthState::kDegraded)])
+                  << "\n";
+    }
+
+    std::cout << "\nadmitted " << mgr.admitted() << ", queued "
+              << mgr.queuedTotal() << ", rejected " << mgr.rejected()
+              << ", evicted " << mgr.evicted() << ", breaker trips "
+              << mgr.breakerTrips() << "\n"
+              << "aggregate energy " << total_j * 1e3 << " mJ over "
+              << ticksToMs(mgr.curTick()) << " ms served\n";
+
+    if (!stats_json_file.empty()) {
+        StatsRegistry reg;
+        mgr.regStats(reg);
+        std::ofstream os(stats_json_file);
+        reg.dumpJson(os);
+        std::cout << "stats JSON " << stats_json_file << "\n";
+    }
+    return submitted_rejected == sessions ? 1 : 0;
+}

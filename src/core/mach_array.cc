@@ -42,6 +42,14 @@ MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
     ++stats_.lookups;
     MachLookupResult result;
 
+    // Bypassed (circuit breaker open): every block is treated as
+    // unique so nothing stale in the caches can be matched.
+    if (bypass_) {
+        ++stats_.bypassed_lookups;
+        ++stats_.misses;
+        return result;
+    }
+
     // Injected digest collision: pretend this block's digest (and
     // CRC16 aux) happens to equal that of an earlier, different
     // block, the worst case neither tag can distinguish.  The probe
@@ -143,6 +151,12 @@ MachArray::insertUnique(std::uint32_t digest, std::uint16_t aux, Addr ptr,
                         const std::vector<std::uint8_t> &truth,
                         bool collided)
 {
+    if (bypass_) {
+        // The caller already paid for the unique write; recording it
+        // would let a later (re-probed) lookup hit a block whose
+        // digest path was never exercised.
+        return;
+    }
     ++stats_.inserts;
     // Remember one inserted block as the collision-injection target;
     // refreshing it keeps the collider likely to still be resident.
@@ -231,6 +245,12 @@ MachArray::regStats(StatsRegistry &r, const std::string &prefix) const
                   "hits demoted by the verify-on-hit byte compare",
                   [this] {
                       return static_cast<double>(stats_.false_hits);
+                  });
+    r.addCallback(prefix + ".bypassedLookups",
+                  "lookups forced to miss while the array was bypassed",
+                  [this] {
+                      return static_cast<double>(
+                          stats_.bypassed_lookups);
                   });
 }
 

@@ -56,6 +56,9 @@ struct MachStats
     std::uint64_t injected_collisions = 0;
     /** Hits demoted to misses by the verify-on-hit byte compare. */
     std::uint64_t false_hits = 0;
+    /** Lookups answered "miss" because the array was bypassed (the
+     * circuit-breaker fallback to full 48 B unique writes). */
+    std::uint64_t bypassed_lookups = 0;
 
     std::uint64_t hits() const { return intra_hits + inter_hits; }
     double hitRate() const
@@ -90,6 +93,16 @@ class MachArray
 
     /** Arm digest-collision injection (nullptr disables it). */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /**
+     * Bypass the array: every lookup misses (counted separately) and
+     * inserts are dropped, so the decoder writes every block as a
+     * full 48 B unique - the circuit breaker's safe fallback when
+     * verification keeps demoting hits.  Re-enabling resumes lookups
+     * against whatever survived in the caches.
+     */
+    void setBypass(bool on) { bypass_ = on; }
+    bool bypassed() const { return bypass_; }
 
     /**
      * Record a freshly written unique block.
@@ -141,6 +154,7 @@ class MachArray
     std::unique_ptr<CoMach> co_mach_;
     MachStats stats_;
     FaultInjector *faults_ = nullptr;
+    bool bypass_ = false;
     /** Snapshot of a previously inserted block whose digest a later
      * lookup can be forged to collide with. */
     bool have_collider_ = false;

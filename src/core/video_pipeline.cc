@@ -39,8 +39,7 @@ VideoPipeline::VideoPipeline(PipelineConfig cfg) : cfg_(std::move(cfg))
     cfg_.finalize();
 }
 
-namespace
-{
+VideoPipeline::~VideoPipeline() = default;
 
 /** Mutable state of one playback simulation. */
 struct Playback
@@ -77,6 +76,12 @@ struct Playback
     std::deque<std::uint64_t> live_slots;
     Tick decoder_free = 0;
     std::uint32_t decoded = 0;
+    // Vsync-loop state (lives here so the stepwise interface can
+    // suspend/resume the playback between vsyncs).
+    std::uint32_t next_decode = 0;  // next frame to decode
+    std::int64_t last_shown = -1;   // last frame on screen
+    Tick prev_free = 0;             // decoder idle-window start
+    std::uint32_t prev_batch_first = 0;
     /** EWMA of decode busy time normalized to the low P-state, for
      * the history-based DVFS predictor. */
     double ewma_low_busy_s = 0.0;
@@ -515,101 +520,186 @@ struct Playback
     }
 };
 
-} // namespace
+void
+VideoPipeline::start()
+{
+    vs_assert(!ran_, "a VideoPipeline may only simulate once");
+    ran_ = true;
+    p_ = std::make_unique<Playback>(cfg_);
+}
+
+bool
+VideoPipeline::stepDone() const
+{
+    vs_assert(p_ != nullptr, "start() must precede stepDone()");
+    return next_vsync_ >= p_->frames;
+}
+
+Tick
+VideoPipeline::nextVsyncTick() const
+{
+    vs_assert(p_ != nullptr && next_vsync_ < p_->frames,
+              "nextVsyncTick() needs a pending vsync");
+    return p_->vsync(next_vsync_);
+}
+
+void
+VideoPipeline::stepVsync()
+{
+    vs_assert(p_ != nullptr && !finished_,
+              "stepVsync() needs a started, unfinished playback");
+    Playback &p = *p_;
+    const std::uint32_t n = p.frames;
+    const std::uint32_t v = next_vsync_;
+    vs_assert(v < n, "stepVsync() past the last vsync");
+    ++next_vsync_;
+
+    // Decode everything that starts at or before this vsync.
+    while (p.next_decode < n) {
+        const Tick start = p.nextStart(p.next_decode);
+        if (start > p.vsync(v)) {
+            break;
+        }
+
+        // A sleep gap ends the previous "batch" (the run of
+        // back-to-back decodes); its idle window is attributed
+        // across the frames of that run.
+        if (p.next_decode > 0 && start > p.prev_free) {
+            p.spendIdle(p.prev_free, start, p.prev_batch_first,
+                        p.next_decode - 1);
+            p.prev_batch_first = p.next_decode;
+            p.noteBatchShrink(p.next_decode, start);
+        }
+        p.decodeOne(p.next_decode, start);
+        p.prev_free = p.decoder_free;
+        ++p.next_decode;
+    }
+
+    // Scan-out at this vsync.
+    const Tick now = p.vsync(v);
+    std::int64_t shown = p.last_shown;
+    if (v < p.decoded && p.finishes[v] <= now) {
+        shown = v;
+    }
+
+    if (shown != static_cast<std::int64_t>(v)) {
+        ++p.result.drops;
+        p.result.frame_records[v].dropped = true;
+        if (p.trace != nullptr) {
+            p.trace->instant(p.tr_dc, "drop", now,
+                             {{"frame", static_cast<double>(v)}});
+        }
+        // Streaming-buffer underrun: this vsync's frame had not
+        // even been delivered.  The pipeline degrades by showing
+        // the previous frame again (accounted at the DC) rather
+        // than panicking.
+        if (p.arrivals && p.arrival(v) > now) {
+            ++p.result.underruns;
+            if (shown >= 0) {
+                p.dc.noteUnderrunRepeat();
+            }
+        }
+    }
+    if (shown >= 0) {
+        // Re-rendering a frame older than the retention window
+        // would read a recycled buffer; show it without traffic.
+        const bool stale =
+            shown + 2 + static_cast<std::int64_t>(p.window) <=
+            static_cast<std::int64_t>(v);
+        if (!stale) {
+            const ScanStats scan = p.dc.scanOut(
+                p.layouts[static_cast<std::size_t>(shown)], now,
+                shown != static_cast<std::int64_t>(v));
+            if (cfg_.verify_display && !scan.verified) {
+                p.result.all_verified = false;
+            }
+            if (p.trace != nullptr) {
+                p.trace->complete(
+                    p.tr_dc, "scanout", scan.start,
+                    scan.finish - scan.start,
+                    {{"frame", static_cast<double>(shown)},
+                     {"bytes", static_cast<double>(
+                                   scan.bytes_read)}});
+            }
+        }
+    }
+    p.traceDramCounters(now);
+    p.last_shown = shown;
+}
+
+bool
+VideoPipeline::hasMach() const
+{
+    return p_ != nullptr ? p_->machs != nullptr : cfg_.scheme.mach;
+}
+
+void
+VideoPipeline::setMachBypass(bool on)
+{
+    vs_assert(p_ != nullptr, "start() must precede setMachBypass()");
+    if (p_->machs) {
+        p_->machs->setBypass(on);
+    }
+}
+
+const PipelineResult &
+VideoPipeline::liveResult() const
+{
+    vs_assert(p_ != nullptr, "start() must precede liveResult()");
+    return p_->result;
+}
+
+MachStats
+VideoPipeline::liveMachStats() const
+{
+    vs_assert(p_ != nullptr, "start() must precede liveMachStats()");
+    return p_->machs ? p_->machs->stats() : MachStats{};
+}
+
+std::uint64_t
+VideoPipeline::liveDramAbandoned() const
+{
+    vs_assert(p_ != nullptr,
+              "start() must precede liveDramAbandoned()");
+    return p_->mem.controller().abandonedCount();
+}
+
+std::uint64_t
+VideoPipeline::liveDramBytes() const
+{
+    vs_assert(p_ != nullptr, "start() must precede liveDramBytes()");
+    const DramActivityCounts c = p_->mem.energy().totalCounts();
+    return c.bytes_read + c.bytes_written;
+}
 
 PipelineResult
 VideoPipeline::run()
 {
-    vs_assert(!ran_, "VideoPipeline::run() may only be called once");
-    ran_ = true;
+    start();
+    while (!stepDone()) {
+        stepVsync();
+    }
+    return finish();
+}
 
-    Playback p(cfg_);
+PipelineResult
+VideoPipeline::finish()
+{
+    vs_assert(p_ != nullptr && !finished_,
+              "finish() needs a started, unfinished playback");
+    finished_ = true;
+    Playback &p = *p_;
     const std::uint32_t n = p.frames;
 
-    std::uint32_t i = 0;          // next frame to decode
-    std::int64_t last_shown = -1; // last frame on screen
-    Tick prev_free = 0;           // decoder idle-window start
-    std::uint32_t prev_batch_first = 0;
-
-    for (std::uint32_t v = 0; v < n; ++v) {
-        // Decode everything that starts at or before this vsync.
-        while (i < n) {
-            const Tick start = p.nextStart(i);
-            if (start > p.vsync(v)) {
-                break;
-            }
-
-            // A sleep gap ends the previous "batch" (the run of
-            // back-to-back decodes); its idle window is attributed
-            // across the frames of that run.
-            if (i > 0 && start > prev_free) {
-                p.spendIdle(prev_free, start, prev_batch_first,
-                            i - 1);
-                prev_batch_first = i;
-                p.noteBatchShrink(i, start);
-            }
-            p.decodeOne(i, start);
-            prev_free = p.decoder_free;
-            ++i;
-        }
-
-        // Scan-out at this vsync.
-        const Tick now = p.vsync(v);
-        std::int64_t shown = last_shown;
-        if (v < p.decoded && p.finishes[v] <= now) {
-            shown = v;
-        }
-
-        if (shown != static_cast<std::int64_t>(v)) {
-            ++p.result.drops;
-            p.result.frame_records[v].dropped = true;
-            if (p.trace != nullptr) {
-                p.trace->instant(p.tr_dc, "drop", now,
-                                 {{"frame", static_cast<double>(v)}});
-            }
-            // Streaming-buffer underrun: this vsync's frame had not
-            // even been delivered.  The pipeline degrades by showing
-            // the previous frame again (accounted at the DC) rather
-            // than panicking.
-            if (p.arrivals && p.arrival(v) > now) {
-                ++p.result.underruns;
-                if (shown >= 0) {
-                    p.dc.noteUnderrunRepeat();
-                }
-            }
-        }
-        if (shown >= 0) {
-            // Re-rendering a frame older than the retention window
-            // would read a recycled buffer; show it without traffic.
-            const bool stale =
-                shown + 2 + static_cast<std::int64_t>(p.window) <=
-                static_cast<std::int64_t>(v);
-            if (!stale) {
-                const ScanStats scan = p.dc.scanOut(
-                    p.layouts[static_cast<std::size_t>(shown)], now,
-                    shown != static_cast<std::int64_t>(v));
-                if (cfg_.verify_display && !scan.verified) {
-                    p.result.all_verified = false;
-                }
-                if (p.trace != nullptr) {
-                    p.trace->complete(
-                        p.tr_dc, "scanout", scan.start,
-                        scan.finish - scan.start,
-                        {{"frame", static_cast<double>(shown)},
-                         {"bytes", static_cast<double>(
-                                       scan.bytes_read)}});
-                }
-            }
-        }
-        p.traceDramCounters(now);
-        last_shown = shown;
-    }
-
-    // Close the decoder's final idle window at end of playback.
-    const Tick span = p.vsync(n - 1) + p.period;
+    // Close the decoder's final idle window.  A session terminated
+    // early (quarantine/eviction) closes at its last processed vsync
+    // rather than the nominal end of playback; stepping every vsync
+    // makes this identical to the classic one-shot run().
+    const std::uint32_t done = next_vsync_ > 0 ? next_vsync_ : 1;
+    const Tick span = p.vsync(done - 1) + p.period;
     if (p.decoder_free < span) {
-        p.spendIdle(std::max(prev_free, p.vsync(0)), span,
-                    prev_batch_first, n - 1);
+        p.spendIdle(std::max(p.prev_free, p.vsync(0)), span,
+                    p.prev_batch_first, done - 1);
     }
     // Idle time before the very first decode (startup).
     if (n > 0 && !p.result.frame_records.empty()) {

@@ -17,6 +17,7 @@
 #define VSTREAM_CORE_VIDEO_PIPELINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -107,21 +108,83 @@ struct PipelineResult
     double dropRate() const;
 };
 
-/** One-shot pipeline simulator. */
+struct Playback;
+
+/**
+ * Pipeline simulator.
+ *
+ * Two driving modes share one implementation:
+ *  - run() simulates the whole playback in one call (the classic
+ *    single-session mode every bench uses);
+ *  - start() / stepVsync() / finish() expose the same simulation one
+ *    vsync at a time, so a SessionManager can interleave many
+ *    sessions on a shared event queue (src/serve/).  Stepping the
+ *    pipeline to completion is bit-identical to run().
+ */
 class VideoPipeline
 {
   public:
     /** @param cfg finalized by the constructor (finalize() called). */
     explicit VideoPipeline(PipelineConfig cfg);
+    ~VideoPipeline();
+
+    VideoPipeline(const VideoPipeline &) = delete;
+    VideoPipeline &operator=(const VideoPipeline &) = delete;
 
     /** Simulate the full playback; may be called once per object. */
     PipelineResult run();
+
+    // --- stepwise interface (multi-session serving) -------------------
+
+    /** Allocate the substrates; must precede the first stepVsync(). */
+    void start();
+
+    /** All vsyncs processed (finish() may be called)? */
+    bool stepDone() const;
+
+    /** Local tick of the next pending vsync (valid until stepDone). */
+    Tick nextVsyncTick() const;
+
+    /** Process one vsync: decode everything due, scan out, account. */
+    void stepVsync();
+
+    /**
+     * Close the final idle window and assemble the result.
+     *
+     * May be called before stepDone() to terminate a session early
+     * (quarantine/eviction): the partial playback is accounted as-is.
+     */
+    PipelineResult finish();
+
+    // --- health/breaker hooks (read-only unless noted) ----------------
+
+    /** MACH present in this scheme (breaker has something to trip)? */
+    bool hasMach() const;
+
+    /** Bypass (true) or re-enable (false) the MACH array: the
+     * circuit-breaker fallback to full 48 B unique writes. */
+    void setMachBypass(bool on);
+
+    /** Live mid-run counters (drops, underruns, batch shrinks). */
+    const PipelineResult &liveResult() const;
+
+    /** Live MACH counters (falseHits drive the circuit breaker). */
+    MachStats liveMachStats() const;
+
+    /** DRAM bursts abandoned so far (abandon-budget health input). */
+    std::uint64_t liveDramAbandoned() const;
+
+    /** Bytes moved through DRAM so far (bandwidth accounting). */
+    std::uint64_t liveDramBytes() const;
 
     const PipelineConfig &config() const { return cfg_; }
 
   private:
     PipelineConfig cfg_;
+    std::unique_ptr<Playback> p_;
+    std::uint32_t next_vsync_ = 0;
     bool ran_ = false;
+    bool finished_ = false;
 };
 
 /** Convenience: simulate @p profile under @p scheme. */

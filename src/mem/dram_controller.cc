@@ -4,6 +4,7 @@
 
 #include "sim/fault_injector.hh"
 #include "sim/logging.hh"
+#include "sim/random.hh"
 
 namespace vstream
 {
@@ -120,9 +121,11 @@ DramController::burstWithRetry(const DramCoord &coord, MemOp op,
     if (faults_ == nullptr) {
         return finish;
     }
-    // A timed-out burst is re-issued from its own completion tick, so
-    // every retry pays the full burst latency and is charged to the
-    // energy ledger like any other access.
+    // A timed-out burst backs off (capped exponential, jittered so
+    // colliding retries from different banks spread out) and is then
+    // re-issued, so every retry pays the backoff wait plus the full
+    // burst latency and is charged to the energy ledger like any
+    // other access.
     const std::uint32_t limit = faults_->config().dram_retry_limit;
     std::uint32_t attempts = 0;
     while (faults_->shouldInject(FaultClass::kDramTimeout, finish)) {
@@ -136,13 +139,54 @@ DramController::burstWithRetry(const DramCoord &coord, MemOp op,
         }
         ++attempts;
         ++retries_;
+        const Tick delay = backoffDelay(attempts);
+        backoff_ticks_ += delay;
         bool retry_hit = false;
         bool retry_act = false;
-        finish = accessBurst(coord, op, r, finish, retry_hit,
+        finish = accessBurst(coord, op, r, finish + delay, retry_hit,
                              retry_act);
         faults_->noteRecovered(FaultClass::kDramTimeout);
     }
     return finish;
+}
+
+void
+DramController::setFaultInjector(FaultInjector *faults)
+{
+    faults_ = faults;
+    jitter_state_ = faults != nullptr
+                        ? faults->config().seed ^ 0xd2a0b0ffULL
+                        : 0;
+}
+
+Tick
+DramController::backoffDelay(std::uint32_t attempt)
+{
+    const FaultConfig &fc = faults_->config();
+    if (fc.dram_backoff_base == 0) {
+        return 0;
+    }
+    // min(cap, base << (attempt - 1)), shift guarded against
+    // overflowing past the cap.
+    Tick delay = fc.dram_backoff_base;
+    for (std::uint32_t k = 1; k < attempt; ++k) {
+        if (delay >= fc.dram_backoff_cap / 2) {
+            delay = fc.dram_backoff_cap;
+            break;
+        }
+        delay *= 2;
+    }
+    delay = std::min(delay, fc.dram_backoff_cap);
+    if (fc.dram_backoff_jitter > 0.0) {
+        // 53-bit uniform in [0, 1) from the dedicated SplitMix64
+        // stream; jitter only ever lengthens the wait.
+        const double u =
+            static_cast<double>(splitMix64(jitter_state_) >> 11) *
+            0x1.0p-53;
+        delay += static_cast<Tick>(static_cast<double>(delay) *
+                                   fc.dram_backoff_jitter * u);
+    }
+    return delay;
 }
 
 void

@@ -63,17 +63,20 @@ class DramController
      * burst is abandoned: the access completes with stale data and
      * the caller's verification layers absorb the damage.
      */
-    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+    void setFaultInjector(FaultInjector *faults);
 
     /** Bursts re-issued after an injected timeout. */
     std::uint64_t retryCount() const { return retries_; }
     /** Bursts abandoned after exhausting the retry budget. */
     std::uint64_t abandonedCount() const { return abandoned_; }
+    /** Total ticks spent backing off before burst re-issues. */
+    Tick backoffTicks() const { return backoff_ticks_; }
     /** Zero the retry/abandon counters (stats reset, not state). */
     void resetFaultStats()
     {
         retries_ = 0;
         abandoned_ = 0;
+        backoff_ticks_ = 0;
     }
 
     const DramConfig &config() const { return cfg_; }
@@ -116,9 +119,17 @@ class DramController
     std::vector<std::vector<PendingWrite>> write_queues_;
     std::vector<Tick> next_refresh_;
     std::uint64_t refreshes_ = 0;
+    /** Backoff delay before the @p attempt-th re-issue (capped
+     * exponential plus deterministic jitter). */
+    Tick backoffDelay(std::uint32_t attempt);
+
     FaultInjector *faults_ = nullptr;
     std::uint64_t retries_ = 0;
     std::uint64_t abandoned_ = 0;
+    Tick backoff_ticks_ = 0;
+    /** SplitMix64 state behind the backoff jitter (seeded from the
+     * fault schedule so delays are reproducible). */
+    std::uint64_t jitter_state_ = 0;
 };
 
 } // namespace vstream

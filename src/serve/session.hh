@@ -1,0 +1,126 @@
+/**
+ * @file
+ * One streaming session inside the multi-session server.
+ *
+ * A Session owns a full, private pipeline substrate (its own
+ * VideoPipeline with its own memory system, fault-rule set, and
+ * arrival timeline) plus the health machinery that contains its
+ * failures: the degradation ladder and the MACH circuit breaker.
+ * Because the substrate is private, a no-fault session produces
+ * energy/drop numbers bit-identical to a solo VideoPipeline run with
+ * the same PipelineConfig, no matter how many neighbours it is
+ * interleaved with - the isolation property tests/test_serve.cc
+ * pins down.
+ *
+ * The SessionManager drives the session one vsync at a time at
+ * absolute tick start_offset + local vsync tick; every
+ * HealthConfig::window_vsyncs vsyncs the session evaluates its
+ * window counters (drops, underruns, DRAM abandons, MACH false
+ * hits) and walks the ladder / trips the breaker.
+ */
+
+#ifndef VSTREAM_SERVE_SESSION_HH
+#define VSTREAM_SERVE_SESSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/video_pipeline.hh"
+#include "serve/health.hh"
+#include "video/trace.hh"
+
+namespace vstream
+{
+
+/** Everything needed to run one session under the manager. */
+struct SessionConfig
+{
+    /** Unique id; also the label in stats and the soak report. */
+    std::uint64_t id = 0;
+    /** The session's own video/scheme/faults/arrival bundle.  Use
+     * FaultConfig::forSession(id) when deriving many sessions from
+     * one schedule so their fault streams are independent. */
+    PipelineConfig pipeline;
+    HealthConfig health;
+    BreakerConfig breaker;
+    /** Optional serialized ingest trace validated at start: damage
+     * quarantines (kFailClean) or degrades (kSkipFrame with skipped
+     * frames) only this session. */
+    std::vector<std::uint8_t> trace_blob;
+    TracePolicy trace_policy = TracePolicy::kFailClean;
+};
+
+/** One admitted streaming session. */
+class Session
+{
+  public:
+    explicit Session(SessionConfig cfg);
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Admit at absolute tick @p start_offset: allocate the
+     * substrate and validate the ingest trace (if any). */
+    void start(Tick start_offset);
+
+    /** No more vsyncs wanted (playback complete or evicted). */
+    bool done() const;
+
+    /** Absolute tick of the next vsync (valid while !done()). */
+    Tick nextTick() const;
+
+    /** Process one vsync; on a window boundary, evaluate health. */
+    void stepVsync();
+
+    /** Close the playback (early when evicted) and cache the
+     * result; idempotent. */
+    void finalize(Tick now);
+
+    const PipelineResult &result() const;
+
+    std::uint64_t id() const { return cfg_.id; }
+    HealthState health() const { return ladder_.state(); }
+    const HealthLadder &ladder() const { return ladder_; }
+    const CircuitBreaker &breaker() const { return breaker_; }
+    /** Damage found in the ingest trace (kNone when intact). */
+    TraceError traceError() const { return trace_error_; }
+    Tick startOffset() const { return start_offset_; }
+    const SessionConfig &config() const { return cfg_; }
+
+    /** Estimated DRAM-bandwidth demand of @p cfg, MB/s (decode
+     * writes + display reads at the nominal frame rate). */
+    static double demandMBps(const PipelineConfig &cfg);
+
+    /** Estimated frame-buffer pool footprint of @p cfg, bytes. */
+    static std::uint64_t framebufferBytes(const PipelineConfig &cfg);
+
+  private:
+    void evaluateWindow(Tick now);
+
+    SessionConfig cfg_;
+    VideoPipeline pipeline_;
+    HealthLadder ladder_;
+    CircuitBreaker breaker_;
+    /** The session's own jitter stream (breaker cooldowns). */
+    Random rng_;
+    Tick start_offset_ = 0;
+    TraceError trace_error_ = TraceError::kNone;
+
+    // window bookkeeping
+    std::uint32_t vsyncs_ = 0;
+    std::uint64_t last_drops_ = 0;
+    std::uint64_t last_underruns_ = 0;
+    std::uint64_t last_lookups_ = 0;
+    std::uint64_t last_false_hits_ = 0;
+    std::uint32_t degraded_streak_ = 0;
+    std::uint32_t clean_streak_ = 0;
+    std::uint32_t quarantined_windows_ = 0;
+
+    bool started_ = false;
+    bool finalized_ = false;
+    PipelineResult result_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_SERVE_SESSION_HH

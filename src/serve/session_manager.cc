@@ -1,0 +1,221 @@
+#include "serve/session_manager.hh"
+
+#include <string>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/stats_registry.hh"
+
+namespace vstream
+{
+
+void
+ServeConfig::validate() const
+{
+    if (bandwidth_budget_mbps <= 0.0) {
+        vs_fatal("serve bandwidth budget must be positive, got ",
+                 bandwidth_budget_mbps, " MB/s");
+    }
+    if (framebuffer_budget_bytes == 0) {
+        vs_fatal("serve frame-buffer budget must be positive");
+    }
+    if (max_active == 0) {
+        vs_fatal("serve max_active must be >= 1");
+    }
+}
+
+SessionManager::SessionManager(ServeConfig cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+SessionManager::~SessionManager() = default;
+
+bool
+SessionManager::fits(double bw_mbps, std::uint64_t fb_bytes) const
+{
+    return active_.size() < cfg_.max_active &&
+           bw_reserved_ + bw_mbps <= cfg_.bandwidth_budget_mbps &&
+           fb_reserved_ + fb_bytes <= cfg_.framebuffer_budget_bytes;
+}
+
+bool
+SessionManager::couldEverFit(double bw_mbps,
+                             std::uint64_t fb_bytes) const
+{
+    return bw_mbps <= cfg_.bandwidth_budget_mbps &&
+           fb_bytes <= cfg_.framebuffer_budget_bytes;
+}
+
+Admission
+SessionManager::submit(SessionConfig cfg)
+{
+    const double bw = Session::demandMBps(cfg.pipeline);
+    const std::uint64_t fb = Session::framebufferBytes(cfg.pipeline);
+    if (fits(bw, fb)) {
+        activate(std::move(cfg), queue_.curTick());
+        return Admission::kAdmitted;
+    }
+    if (cfg_.queue_when_full && couldEverFit(bw, fb)) {
+        ++queued_;
+        waiting_.push_back(std::move(cfg));
+        return Admission::kQueued;
+    }
+    ++rejected_;
+    return Admission::kRejected;
+}
+
+void
+SessionManager::activate(SessionConfig cfg, Tick start_offset)
+{
+    ++admitted_;
+    Active a;
+    a.bw_mbps = Session::demandMBps(cfg.pipeline);
+    a.fb_bytes = Session::framebufferBytes(cfg.pipeline);
+    const std::uint64_t sid = cfg.id;
+    a.session = std::make_unique<Session>(std::move(cfg));
+    a.session->start(start_offset);
+    a.event = std::make_unique<LambdaEvent>(
+        "serve.session" + std::to_string(sid),
+        [this, sid] {
+            for (std::size_t slot = 0; slot < active_.size();
+                 ++slot) {
+                if (active_[slot].session->id() == sid) {
+                    stepActive(slot);
+                    return;
+                }
+            }
+            vs_panic("event fired for unknown session ", sid);
+        },
+        Event::kVsyncPriority);
+    bw_reserved_ += a.bw_mbps;
+    fb_reserved_ += a.fb_bytes;
+
+    const bool runnable = !a.session->done();
+    if (runnable) {
+        queue_.schedule(a.event.get(), a.session->nextTick());
+    }
+    active_.push_back(std::move(a));
+    if (!runnable) {
+        finalizeActive(active_.size() - 1);
+    }
+}
+
+void
+SessionManager::stepActive(std::size_t slot)
+{
+    Active &a = active_[slot];
+    a.session->stepVsync();
+    if (!a.session->done()) {
+        queue_.schedule(a.event.get(), a.session->nextTick());
+        return;
+    }
+    finalizeActive(slot);
+}
+
+void
+SessionManager::finalizeActive(std::size_t slot)
+{
+    Active a = std::move(active_[slot]);
+    active_.erase(active_.begin() +
+                  static_cast<std::ptrdiff_t>(slot));
+    a.session->finalize(queue_.curTick());
+
+    SessionOutcome o;
+    o.id = a.session->id();
+    o.final_state = a.session->health();
+    o.trace_error = a.session->traceError();
+    o.breaker_trips = a.session->breaker().trips();
+    o.breaker_reprobes = a.session->breaker().reprobes();
+    o.breaker_state = a.session->breaker().state();
+    for (std::size_t s = 0; s < kNumHealthStates; ++s) {
+        o.dwell[s] = a.session->ladder().dwell(
+            static_cast<HealthState>(s), queue_.curTick());
+    }
+    o.start_offset = a.session->startOffset();
+    o.end_tick = queue_.curTick();
+    o.result = a.session->result();
+    if (o.final_state == HealthState::kEvicted) {
+        ++evicted_;
+    }
+    breaker_trips_ += o.breaker_trips;
+    outcomes_.push_back(std::move(o));
+
+    bw_reserved_ -= a.bw_mbps;
+    vs_assert(fb_reserved_ >= a.fb_bytes,
+              "frame-buffer reservation underflow");
+    fb_reserved_ -= a.fb_bytes;
+    // The event may be the one firing right now; park it (and the
+    // session) until runAll() returns instead of destroying it
+    // mid-process().
+    retired_.push_back(std::move(a));
+
+    drainWaiting();
+}
+
+void
+SessionManager::drainWaiting()
+{
+    // Strict FIFO: no head-of-line skipping, so admission order is
+    // independent of session sizes and easy to reason about.
+    while (!waiting_.empty()) {
+        const SessionConfig &front = waiting_.front();
+        const double bw = Session::demandMBps(front.pipeline);
+        const std::uint64_t fb =
+            Session::framebufferBytes(front.pipeline);
+        if (!fits(bw, fb)) {
+            break;
+        }
+        SessionConfig cfg = std::move(waiting_.front());
+        waiting_.pop_front();
+        activate(std::move(cfg), queue_.curTick());
+    }
+}
+
+void
+SessionManager::runAll()
+{
+    queue_.run();
+    vs_assert(active_.empty(),
+              "event queue drained with sessions still active");
+    vs_assert(waiting_.empty(),
+              "event queue drained with sessions still queued");
+    retired_.clear();
+}
+
+void
+SessionManager::regStats(StatsRegistry &r)
+{
+    r.addCallback("serve.admitted", "sessions admitted (ever active)",
+                  [this] {
+                      return static_cast<double>(admitted_);
+                  });
+    r.addCallback("serve.rejected",
+                  "submissions rejected at admission", [this] {
+                      return static_cast<double>(rejected_);
+                  });
+    r.addCallback("serve.queued",
+                  "submissions that waited in the admission queue",
+                  [this] { return static_cast<double>(queued_); });
+    r.addCallback("serve.evicted", "sessions evicted by the ladder",
+                  [this] {
+                      return static_cast<double>(evicted_);
+                  });
+    r.addCallback("serve.breakerTrips",
+                  "MACH circuit-breaker trips across all sessions",
+                  [this] {
+                      return static_cast<double>(breaker_trips_);
+                  });
+    r.addCallback("serve.active", "sessions currently active", [this] {
+        return static_cast<double>(active_.size());
+    });
+    r.addCallback("serve.bandwidthReservedMBps",
+                  "estimated DRAM bandwidth reserved, MB/s",
+                  [this] { return bw_reserved_; });
+    r.addCallback("serve.framebufferReservedBytes",
+                  "frame-buffer pool bytes reserved", [this] {
+                      return static_cast<double>(fb_reserved_);
+                  });
+}
+
+} // namespace vstream

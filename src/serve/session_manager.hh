@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Multi-session server core.
+ *
+ * The SessionManager runs N concurrent streaming sessions over one
+ * shared timeline: every admitted session is driven by its own event
+ * on a shared EventQueue, stepping one vsync at absolute tick
+ * start_offset + local vsync tick, so sessions interleave
+ * deterministically (tick, priority, insertion order) regardless of
+ * how many run at once.
+ *
+ * Admission control guards two aggregate budgets - estimated DRAM
+ * bandwidth and frame-buffer pool bytes - plus a hard cap on active
+ * sessions.  Over-budget submissions are queued (admitted as
+ * finishing sessions release budget) or rejected when they could
+ * never fit.  Each session is its own fault domain: trace damage,
+ * arrival-stall storms, DRAM abandon-budget exhaustion, and MACH
+ * false-hit storms degrade, quarantine, or evict only that session
+ * (serve/health.hh) while neighbours keep bit-identical results.
+ */
+
+#ifndef VSTREAM_SERVE_SESSION_MANAGER_HH
+#define VSTREAM_SERVE_SESSION_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "serve/session.hh"
+#include "sim/event_queue.hh"
+
+namespace vstream
+{
+
+class StatsRegistry;
+
+/** Aggregate budgets guarded at admission. */
+struct ServeConfig
+{
+    /** Aggregate DRAM-bandwidth budget, MB/s (estimated demand of
+     * all active sessions must stay below this). */
+    double bandwidth_budget_mbps = 2000.0;
+    /** Aggregate frame-buffer pool budget, bytes. */
+    std::uint64_t framebuffer_budget_bytes = 64ULL << 20;
+    /** Hard cap on concurrently active sessions. */
+    std::uint32_t max_active = 64;
+    /** Queue over-budget submissions instead of rejecting them
+     * (sessions that could never fit are always rejected). */
+    bool queue_when_full = true;
+
+    void validate() const;
+};
+
+/** Outcome of one submit() call. */
+enum class Admission : std::uint8_t
+{
+    kAdmitted = 0,
+    kQueued,
+    kRejected,
+};
+
+/** Everything the soak report needs from one finished session. */
+struct SessionOutcome
+{
+    std::uint64_t id = 0;
+    HealthState final_state = HealthState::kHealthy;
+    TraceError trace_error = TraceError::kNone;
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_reprobes = 0;
+    /** Breaker state at the end of the session (a tripped session
+     * that ends kClosed recovered after its cooldown). */
+    CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+    /** Ticks dwelt in each ladder state. */
+    std::array<Tick, kNumHealthStates> dwell{};
+    Tick start_offset = 0;
+    Tick end_tick = 0;
+    PipelineResult result;
+};
+
+/** Admission control + shared-timeline driver + fault domains. */
+class SessionManager
+{
+  public:
+    explicit SessionManager(ServeConfig cfg);
+    ~SessionManager();
+
+    SessionManager(const SessionManager &) = delete;
+    SessionManager &operator=(const SessionManager &) = delete;
+
+    /**
+     * Submit a session.
+     *
+     * Admitted sessions start at the current tick; queued ones start
+     * when enough budget frees up.
+     */
+    Admission submit(SessionConfig cfg);
+
+    /** Drive every admitted (and eventually queued) session to
+     * completion or eviction. */
+    void runAll();
+
+    /** Finished sessions, in completion order. */
+    const std::vector<SessionOutcome> &outcomes() const
+    {
+        return outcomes_;
+    }
+
+    std::uint64_t admitted() const { return admitted_; }
+    std::uint64_t rejected() const { return rejected_; }
+    std::uint64_t queuedTotal() const { return queued_; }
+    std::uint64_t evicted() const { return evicted_; }
+    std::uint64_t breakerTrips() const { return breaker_trips_; }
+    std::size_t activeCount() const { return active_.size(); }
+    std::size_t waitingCount() const { return waiting_.size(); }
+
+    /** Estimated bandwidth currently reserved, MB/s. */
+    double bandwidthReservedMBps() const { return bw_reserved_; }
+    /** Frame-buffer bytes currently reserved. */
+    std::uint64_t framebufferReservedBytes() const
+    {
+        return fb_reserved_;
+    }
+
+    Tick curTick() const { return queue_.curTick(); }
+    const ServeConfig &config() const { return cfg_; }
+
+    /** Register serve.* counters (admitted/rejected/queued/...). */
+    void regStats(StatsRegistry &r);
+
+  private:
+    struct Active
+    {
+        std::unique_ptr<Session> session;
+        std::unique_ptr<LambdaEvent> event;
+        double bw_mbps = 0.0;
+        std::uint64_t fb_bytes = 0;
+    };
+
+    bool fits(double bw_mbps, std::uint64_t fb_bytes) const;
+    bool couldEverFit(double bw_mbps, std::uint64_t fb_bytes) const;
+    void activate(SessionConfig cfg, Tick start_offset);
+    void stepActive(std::size_t slot);
+    void finalizeActive(std::size_t slot);
+    void drainWaiting();
+
+    ServeConfig cfg_;
+    EventQueue queue_;
+    std::vector<Active> active_;
+    /** Finished Active records parked until runAll() returns (an
+     * event must not destroy itself mid-process()). */
+    std::vector<Active> retired_;
+    std::deque<SessionConfig> waiting_;
+    std::vector<SessionOutcome> outcomes_;
+
+    double bw_reserved_ = 0.0;
+    std::uint64_t fb_reserved_ = 0;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t queued_ = 0;
+    std::uint64_t evicted_ = 0;
+    std::uint64_t breaker_trips_ = 0;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_SERVE_SESSION_MANAGER_HH

@@ -160,6 +160,25 @@ FaultConfig::validate() const
             vs_fatal("network-stall rules need a duration (len=...)");
         }
     }
+    if (dram_backoff_jitter < 0.0 || dram_backoff_jitter > 1.0) {
+        vs_fatal("dram backoff jitter ", dram_backoff_jitter,
+                 " outside [0, 1]");
+    }
+    if (dram_backoff_cap < dram_backoff_base) {
+        vs_fatal("dram backoff cap ", dram_backoff_cap,
+                 " below base ", dram_backoff_base);
+    }
+}
+
+FaultConfig
+FaultConfig::forSession(std::uint64_t session_id) const
+{
+    FaultConfig scoped = *this;
+    // SplitMix the id into the seed rather than xor-ing it raw:
+    // neighbouring ids (0, 1, 2, ...) must land on unrelated streams.
+    std::uint64_t state = session_id + 0x517cc1b727220a95ULL;
+    scoped.seed = seed ^ splitMix64(state);
+    return scoped;
 }
 
 FaultInjector::FaultInjector(std::string name, EventQueue *queue,

@@ -89,11 +89,26 @@ struct FaultConfig
     std::uint64_t seed = 0x5eedf417u;
     /** Bounded-retry budget for timed-out DRAM bursts. */
     std::uint32_t dram_retry_limit = 3;
+    /** Delay before the first DRAM burst re-issue; doubles on every
+     * further retry (capped).  0 restores immediate re-issue. */
+    Tick dram_backoff_base = static_cast<Tick>(200) * sim_clock::ns;
+    /** Upper bound on a single backoff delay. */
+    Tick dram_backoff_cap = static_cast<Tick>(10) * sim_clock::us;
+    /** Uniform jitter fraction added on top of each backoff delay
+     * (in [0, 1]; deterministic, derived from the seed). */
+    double dram_backoff_jitter = 0.25;
     std::vector<FaultRule> rules;
 
     bool enabled() const { return !rules.empty(); }
     bool anyRuleFor(FaultClass c) const;
     void validate() const;
+
+    /**
+     * Derive the schedule for one serving session: same rules, seed
+     * remixed with @p session_id so concurrent sessions draw from
+     * independent (but reproducible) streams.
+     */
+    FaultConfig forSession(std::uint64_t session_id) const;
 };
 
 /** Cross-class injection totals (bench report provenance block). */

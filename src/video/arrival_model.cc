@@ -63,6 +63,7 @@ ArrivalModel::ArrivalModel(const VideoProfile &profile,
             if (stall > 0) {
                 now += stall;
                 total_stall_ += stall;
+                ++stall_events_;
             }
         }
         arrivals_[i] = now;

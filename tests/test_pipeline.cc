@@ -317,7 +317,7 @@ TEST(Pipeline, RunTwicePanics)
     cfg.profile = tinyProfile(10);
     VideoPipeline pipe(cfg);
     pipe.run();
-    EXPECT_DEATH(pipe.run(), "only be called once");
+    EXPECT_DEATH(pipe.run(), "only simulate once");
 }
 
 class BatchSweep : public ::testing::TestWithParam<std::uint32_t>

@@ -55,6 +55,14 @@ simulator, not of C++:
                        depends on every short read being noticed and
                        routed into a TraceError, not ignored.
 
+  no-unbounded-retry   an infinite loop (while (true) / for (;;))
+                       that retries, re-issues, or backs off must
+                       bound its attempts against a limit/cap/budget:
+                       under a fault storm an unbounded retry loop
+                       livelocks the simulated device instead of
+                       degrading (the abandon path in
+                       DramController::burstWithRetry is the model).
+
 Exit status 0 when clean, 1 with findings, 2 on usage errors.
 """
 
@@ -340,6 +348,30 @@ def check_unchecked_io(path, rel, code, findings):
             % m.group(1)))
 
 
+INF_LOOP_RE = re.compile(
+    r'(?<![A-Za-z0-9_])(?:while\s*\(\s*(?:true|1)\s*\)|'
+    r'for\s*\(\s*;\s*;\s*\))')
+RETRY_TOKEN_RE = re.compile(r'retry|reissue|resend|backoff',
+                            re.IGNORECASE)
+RETRY_BOUND_RE = re.compile(r'limit|max|cap|budget|attempt',
+                            re.IGNORECASE)
+
+
+def check_unbounded_retry(path, rel, code, findings):
+    for m in INF_LOOP_RE.finditer(code):
+        body = class_body(code, m.end())
+        if not body:
+            continue
+        if RETRY_TOKEN_RE.search(body) and \
+                not RETRY_BOUND_RE.search(body):
+            line = code.count('\n', 0, m.start()) + 1
+            findings.append(Finding(
+                rel, line, 'no-unbounded-retry',
+                'infinite loop retries without a bound; cap the '
+                'attempts against a limit/budget and abandon (see '
+                'DramController::burstWithRetry)'))
+
+
 # ---------------------------------------------------------------- driver
 
 SRC_CHECKS = [
@@ -351,6 +383,7 @@ SRC_CHECKS = [
     check_registry_stats,
     check_null_macro,
     check_unchecked_io,
+    check_unbounded_retry,
 ]
 
 # Tests/benches/examples may use gtest ASSERT_* and ad-hoc printing,
@@ -365,7 +398,8 @@ AUX_CHECKS = [
 # through the registry like src/ does; tests stay exempt because the
 # stats package's own unit tests exercise printStat directly.
 BENCH_CHECKS = AUX_CHECKS + [check_registry_stats,
-                             check_unchecked_io]
+                             check_unchecked_io,
+                             check_unbounded_retry]
 
 SCAN_DIRS = {
     'src': SRC_CHECKS,
@@ -404,6 +438,7 @@ inline void f(int *q) { assert(q != NULL); delete q; std::abort(); }
 inline int g() { return rand(); }
 inline void h(std::ostream &os) { stats::printStat(os, "x", 1.0); }
 inline void i(char *buf, FILE *fp) { fread(buf, 1, 16, fp); }
+inline void j() { while (true) { retryBurst(); } }
 #endif
 '''
 
@@ -426,6 +461,15 @@ inline bool i(char *buf, std::size_t n, FILE *fp)
     ss.read(buf, 4);
     return bool(ss);
 }
+inline void j(unsigned retry_limit)
+{
+    // A bounded retry loop never fires no-unbounded-retry:
+    unsigned attempts = 0;
+    while (true) {
+        if (++attempts > retry_limit) { break; }
+        retryBurst();
+    }
+}
 #endif
 '''
 
@@ -446,7 +490,8 @@ def self_test():
     expected = {'logging-discipline', 'no-naked-new',
                 'determinism-guard', 'include-guards',
                 'stats-reset-pairing', 'registry-stats',
-                'no-null-macro', 'no-unchecked-io'}
+                'no-null-macro', 'no-unchecked-io',
+                'no-unbounded-retry'}
     ok = True
     for rule in sorted(expected - fired):
         print('self-test: rule %s did not fire on the bad header'
@@ -481,7 +526,8 @@ def main(argv):
         for rule in ('logging-discipline', 'no-naked-new',
                      'determinism-guard', 'include-guards',
                      'stats-reset-pairing', 'registry-stats',
-                     'no-null-macro', 'no-unchecked-io'):
+                     'no-null-macro', 'no-unchecked-io',
+                     'no-unbounded-retry'):
             print(rule)
         return 0
 
