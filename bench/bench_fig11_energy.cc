@@ -11,6 +11,8 @@
  *
  * Environment: VSTREAM_FRAMES (default 120) caps frames per video;
  * VSTREAM_WIDTH/VSTREAM_HEIGHT override the simulated resolution.
+ * `--jobs N` (or VSTREAM_JOBS) fans the 16x6 video/scheme units
+ * across worker threads; output is byte-identical at any job count.
  */
 
 #include <cstdlib>
@@ -25,7 +27,7 @@
 #include "video/workloads.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vstream;
     using vstream::bench::envU32;
@@ -33,6 +35,7 @@ main()
     const std::uint32_t frames = envU32("VSTREAM_FRAMES", 120);
     const std::uint32_t width = envU32("VSTREAM_WIDTH", 0);
     const std::uint32_t height = envU32("VSTREAM_HEIGHT", 0);
+    const unsigned n_jobs = bench::jobs(argc, argv);
 
     bench::Report rep("bench_fig11_energy", "Fig. 11",
                       "normalized energy, 16 videos x 6 schemes");
@@ -103,7 +106,22 @@ main()
     bool all_ok = true;
     std::uint64_t collisions = 0;
 
-    for (const auto &wp : workloadTable()) {
+    // Fan the 16x6 video/scheme units across workers.  Each unit owns
+    // a private pipeline, and results land in canonical video-major /
+    // scheme-minor order, so the serial consumption loop below prints
+    // the exact bytes a --jobs 1 run would.
+    const auto &table = workloadTable();
+    const std::size_t n_schemes = schemes.size();
+    const std::vector<PipelineResult> results = parallelMap(
+        n_jobs, table.size() * n_schemes, [&](std::size_t u) {
+            const VideoProfile p = scaledWorkload(
+                table[u / n_schemes].key, frames, width, height);
+            return simulateScheme(
+                p, SchemeConfig::make(schemes[u % n_schemes]));
+        });
+
+    for (std::size_t vi = 0; vi < table.size(); ++vi) {
+        const auto &wp = table[vi];
         const VideoProfile p =
             scaledWorkload(wp.key, frames, width, height);
         double baseline = 0.0;
@@ -111,9 +129,9 @@ main()
 
         std::cout << std::left << std::setw(5) << p.key << std::right
                   << std::fixed << std::setprecision(3);
-        for (Scheme s : schemes) {
-            const PipelineResult r =
-                simulateScheme(p, SchemeConfig::make(s));
+        for (std::size_t si = 0; si < n_schemes; ++si) {
+            const Scheme s = schemes[si];
+            const PipelineResult &r = results[vi * n_schemes + si];
             if (s == Scheme::kBaseline) {
                 baseline = r.totalEnergy();
                 drops_l = r.drops;

@@ -50,26 +50,36 @@ machCountSweep(Report &rep)
 }
 
 void
-machBufferSweep()
+machBufferSweep(unsigned n_jobs)
 {
     std::cout << "Fig. 12b: MACH-buffer entries vs energy and DC "
                  "requests (GAB)\n";
     std::cout << "  entries   energy(norm)   dcRequests(norm)   "
                  "bufferMiss%\n";
-    double base_e = 0.0, base_req = 0.0;
-    for (std::uint32_t entries : {256u, 512u, 1024u, 2048u, 4096u}) {
-        double e = 0.0, req = 0.0, hits = 0.0, misses = 0.0;
-        for (const auto &key : videoMix()) {
+    const std::vector<std::uint32_t> entry_sweep = {256u, 512u, 1024u,
+                                                    2048u, 4096u};
+    const std::vector<std::string> mix = videoMix();
+    // One pipeline per (entries, video) cell, fanned across workers;
+    // the accumulation below walks the results in canonical order.
+    const std::vector<PipelineResult> results = parallelMap(
+        n_jobs, entry_sweep.size() * mix.size(), [&](std::size_t u) {
+            const std::uint32_t entries = entry_sweep[u / mix.size()];
             PipelineConfig cfg;
-            cfg.profile = benchWorkload(key, 48);
+            cfg.profile = benchWorkload(mix[u % mix.size()], 48);
             cfg.scheme = SchemeConfig::make(Scheme::kGab);
             cfg.display.mach_buffer_entries = entries;
             // Scale the buffer's power with its capacity (96 KB at
             // 2K entries per Table 2).
-            cfg.mach.mach_buffer_power_w =
-                25.4e-3 * entries / 2048.0;
+            cfg.mach.mach_buffer_power_w = 25.4e-3 * entries / 2048.0;
             VideoPipeline pipe(std::move(cfg));
-            const PipelineResult r = pipe.run();
+            return pipe.run();
+        });
+    double base_e = 0.0, base_req = 0.0;
+    for (std::size_t ei = 0; ei < entry_sweep.size(); ++ei) {
+        const std::uint32_t entries = entry_sweep[ei];
+        double e = 0.0, req = 0.0, hits = 0.0, misses = 0.0;
+        for (std::size_t vi = 0; vi < mix.size(); ++vi) {
+            const PipelineResult &r = results[ei * mix.size() + vi];
             e += r.totalEnergy();
             req += static_cast<double>(r.display.dram_requests);
             hits += static_cast<double>(r.mach_buffer_hits);
@@ -114,39 +124,52 @@ mabSizeSweep()
 }
 
 void
-hashStudy(Report &rep)
+hashStudy(Report &rep, unsigned n_jobs)
 {
     std::cout << "Fig. 12d: hash functions and collisions (GAB)\n";
     std::cout << "  hash     frames   undetected   detected(CO-MACH "
                  "off/on)\n";
-    for (HashKind kind :
-         {HashKind::kCrc32, HashKind::kMd5, HashKind::kSha1}) {
+    // Four configurations (three plain digests + CO-MACH) x 16
+    // videos, one pipeline per cell.  Config index 3 is CO-MACH.
+    const std::vector<HashKind> kinds = {HashKind::kCrc32,
+                                         HashKind::kMd5,
+                                         HashKind::kSha1};
+    const auto &table = workloadTable();
+    const std::vector<PipelineResult> results = parallelMap(
+        n_jobs, (kinds.size() + 1) * table.size(), [&](std::size_t u) {
+            const std::size_t ci = u / table.size();
+            PipelineConfig cfg;
+            cfg.profile =
+                scaledWorkload(table[u % table.size()].key, frames(48));
+            cfg.scheme = SchemeConfig::make(Scheme::kGab);
+            if (ci < kinds.size()) {
+                cfg.mach.hash = kinds[ci];
+            } else {
+                cfg.scheme.co_mach = true;
+            }
+            VideoPipeline pipe(std::move(cfg));
+            return pipe.run();
+        });
+
+    for (std::size_t ci = 0; ci < kinds.size(); ++ci) {
         std::uint64_t frames_total = 0;
         std::uint64_t undetected = 0;
-        for (const auto &wp : workloadTable()) {
-            PipelineConfig cfg;
-            cfg.profile = scaledWorkload(wp.key, frames(48));
-            cfg.scheme = SchemeConfig::make(Scheme::kGab);
-            cfg.mach.hash = kind;
-            VideoPipeline pipe(std::move(cfg));
-            const PipelineResult r = pipe.run();
+        for (std::size_t vi = 0; vi < table.size(); ++vi) {
+            const PipelineResult &r = results[ci * table.size() + vi];
             frames_total += r.frames;
             undetected += r.mach.collisions_undetected;
         }
         std::cout << "  " << std::left << std::setw(9)
-                  << hashKindName(kind) << std::setw(9) << frames_total
-                  << std::setw(13) << undetected << "-\n";
+                  << hashKindName(kinds[ci]) << std::setw(9)
+                  << frames_total << std::setw(13) << undetected
+                  << "-\n";
     }
 
-    // CO-MACH: rerun CRC32 with the 48-bit deep hash.
+    // CO-MACH: CRC32 with the 48-bit deep hash.
     std::uint64_t undetected = 0, detected = 0, frames_total = 0;
-    for (const auto &wp : workloadTable()) {
-        PipelineConfig cfg;
-        cfg.profile = scaledWorkload(wp.key, frames(48));
-        cfg.scheme = SchemeConfig::make(Scheme::kGab);
-        cfg.scheme.co_mach = true;
-        VideoPipeline pipe(std::move(cfg));
-        const PipelineResult r = pipe.run();
+    for (std::size_t vi = 0; vi < table.size(); ++vi) {
+        const PipelineResult &r =
+            results[kinds.size() * table.size() + vi];
         undetected += r.mach.collisions_undetected;
         detected += r.mach.collisions_detected;
         frames_total += r.frames;
@@ -163,16 +186,17 @@ hashStudy(Report &rep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned n_jobs = vstream::bench::jobs(argc, argv);
     header("Fig. 12: sensitivity studies",
            "8 MACHs, 2K-entry MACH buffer, 4x4 mabs, CRC32(+CRC16) "
            "are the chosen design points");
     Report rep("bench_fig12_sensitivity", "Fig. 12",
                "sensitivity studies and collision analysis");
     machCountSweep(rep);
-    machBufferSweep();
+    machBufferSweep(n_jobs);
     mabSizeSweep();
-    hashStudy(rep);
+    hashStudy(rep, n_jobs);
     return 0;
 }

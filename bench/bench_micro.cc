@@ -9,9 +9,13 @@
 
 #include "cache/set_assoc_cache.hh"
 #include "core/dcc.hh"
+#include "core/frame_buffer_manager.hh"
 #include "core/mach_array.hh"
+#include "hash/crc.hh"
 #include "hash/hasher.hh"
 #include "mem/dram_controller.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "video/macroblock.hh"
 #include "video/synthetic_video.hh"
@@ -48,6 +52,57 @@ BM_Digest(benchmark::State &state, HashKind kind)
 BENCHMARK_CAPTURE(BM_Digest, crc32, HashKind::kCrc32);
 BENCHMARK_CAPTURE(BM_Digest, md5, HashKind::kMd5);
 BENCHMARK_CAPTURE(BM_Digest, sha1, HashKind::kSha1);
+
+/** Per-kernel CRC32 throughput: 48 B (one mab) and 4 KB payloads.
+ * state.range(0) indexes availableCrc32Kernels(); range(1) is the
+ * payload size. */
+void
+BM_Crc32Kernel(benchmark::State &state)
+{
+    const std::vector<CrcKernel> kernels = availableCrc32Kernels();
+    if (static_cast<std::size_t>(state.range(0)) >= kernels.size()) {
+        state.SkipWithError("kernel not available on this host");
+        return;
+    }
+    const CrcKernel kernel =
+        kernels[static_cast<std::size_t>(state.range(0))];
+    const std::size_t len =
+        static_cast<std::size_t>(state.range(1));
+    Random rng(5);
+    std::vector<std::uint8_t> buf(len);
+    for (auto &b : buf) {
+        b = static_cast<std::uint8_t>(rng.next());
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crc32Step(kernel, 0xffffffffu, buf.data(), buf.size()));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * buf.size()));
+    state.SetLabel(crcKernelName(kernel));
+}
+BENCHMARK(BM_Crc32Kernel)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 2, 1),
+                   {48, 4096}});
+
+void
+BM_Crc16Kernel(benchmark::State &state)
+{
+    const bool sliced = state.range(0) != 0;
+    Random rng(6);
+    std::vector<std::uint8_t> buf(48);
+    for (auto &b : buf) {
+        b = static_cast<std::uint8_t>(rng.next());
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crc16Step(
+            sliced, std::uint16_t{0xffff}, buf.data(), buf.size()));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * buf.size()));
+    state.SetLabel(sliced ? "slice2" : "reference");
+}
+BENCHMARK(BM_Crc16Kernel)->Arg(0)->Arg(1);
 
 void
 BM_GradientTransform(benchmark::State &state)
@@ -131,6 +186,39 @@ BM_DccCompress(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DccCompress);
+
+/** The decoder's block-store write path: one frame of 4x4 mabs
+ * stored block by block into an acquired slot, then released. */
+void
+BM_FrameBufferWrite(benchmark::State &state)
+{
+    EventQueue queue;
+    MemorySystem mem("bm.mem", &queue, DramConfig{});
+    constexpr std::uint32_t kMabs = 256;
+    constexpr std::uint32_t kMabBytes = 48;
+    FrameBufferManager fbm(mem, kMabs, kMabBytes, 4096);
+    Random rng(7);
+    std::vector<std::vector<std::uint8_t>> blocks(kMabs);
+    for (auto &b : blocks) {
+        b.resize(kMabBytes);
+        for (auto &byte : b) {
+            byte = static_cast<std::uint8_t>(rng.next());
+        }
+    }
+    std::uint64_t frame = 0;
+    for (auto _ : state) {
+        BufferSlot &slot = fbm.acquire(frame);
+        for (std::uint32_t i = 0; i < kMabs; ++i) {
+            fbm.storeBlock(slot.data_base + i * kMabBytes, blocks[i]);
+        }
+        benchmark::DoNotOptimize(fbm.loadBlock(slot.data_base));
+        fbm.release(frame);
+        ++frame;
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * kMabs * kMabBytes));
+}
+BENCHMARK(BM_FrameBufferWrite);
 
 void
 BM_SyntheticFrame(benchmark::State &state)

@@ -24,6 +24,11 @@
  * identical "vstream-soak-1" JSON (modulo wall_clock_seconds) - the
  * CI soak-smoke job asserts exactly that, under ASan+UBSan.
  *
+ * `--jobs N` (or VSTREAM_JOBS) rehearses the session shards across
+ * worker threads (SessionManager::precompute) and fans the solo
+ * isolation oracle the same way; the JSON stays byte-identical at
+ * any job count because session evolution is offset-invariant.
+ *
  * The harness verifies its own acceptance invariants (fatal faults
  * resolve to Quarantined/Evicted, clean sessions are bit-identical
  * to solo runs, tripped breakers recover) and exits non-zero when
@@ -210,7 +215,7 @@ check(bool ok, const char *what, int &failures)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     header("Soak: mixed-fault session fleet through the "
            "SessionManager",
@@ -220,6 +225,7 @@ main()
     const std::uint32_t n_sessions =
         envU32("VSTREAM_SOAK_SESSIONS", 120);
     const std::uint32_t frames_n = frames(96);
+    const unsigned n_jobs = jobs(argc, argv);
     const auto wall_start = std::chrono::steady_clock::now();
 
     ServeConfig serve;
@@ -230,17 +236,25 @@ main()
 
     const std::vector<std::uint8_t> intact_blob = makeTraceBlob();
 
+    std::vector<SessionConfig> solo_copies;
+    solo_copies.reserve(n_sessions);
+    for (std::uint32_t i = 0; i < n_sessions; ++i) {
+        solo_copies.push_back(makeSession(i, frames_n, intact_blob));
+    }
+    if (n_jobs > 1) {
+        // Rehearse the fleet across workers; submission below then
+        // replays outcomes on the shared timeline.  (Whales are
+        // never admitted, so they are not rehearsed.)
+        mgr.precompute(solo_copies, n_jobs);
+    }
+
     // Whales first: both budgets reject them outright.
     std::uint64_t next_id = 0;
     for (int w = 0; w < 3; ++w) {
         mgr.submit(makeWhale(1000 + next_id++));
     }
-    std::vector<SessionConfig> solo_copies;
-    solo_copies.reserve(n_sessions);
     for (std::uint32_t i = 0; i < n_sessions; ++i) {
-        SessionConfig s = makeSession(i, frames_n, intact_blob);
-        solo_copies.push_back(s);
-        mgr.submit(std::move(s));
+        mgr.submit(solo_copies[i]);
     }
     mgr.runAll();
 
@@ -303,14 +317,22 @@ main()
           failures);
 
     // ---- isolation oracle: clean sessions == solo runs ----------------
+    std::vector<std::uint32_t> clean_ids;
+    for (std::uint32_t i = 0; i < n_sessions; ++i) {
+        if (i % kNumMixes == 0) {
+            clean_ids.push_back(i);
+        }
+    }
+    const std::vector<PipelineResult> solo_results = parallelMap(
+        n_jobs, clean_ids.size(), [&](std::size_t k) {
+            VideoPipeline solo(solo_copies[clean_ids[k]].pipeline);
+            return solo.run();
+        });
     double baseline_j = 0.0;
     double max_delta_j = 0.0;
-    for (std::uint32_t i = 0; i < n_sessions; ++i) {
-        if (i % kNumMixes != 0) {
-            continue;
-        }
-        VideoPipeline solo(solo_copies[i].pipeline);
-        const PipelineResult solo_r = solo.run();
+    for (std::size_t k = 0; k < clean_ids.size(); ++k) {
+        const std::uint32_t i = clean_ids[k];
+        const PipelineResult &solo_r = solo_results[k];
         baseline_j += solo_r.totalEnergy();
         const SessionOutcome *o = nullptr;
         for (const SessionOutcome &cand : mgr.outcomes()) {

@@ -15,11 +15,13 @@
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/video_pipeline.hh"
 #include "sim/json_writer.hh"
+#include "sim/parallel.hh"
 #include "video/workloads.hh"
 
 namespace vstream
@@ -56,6 +58,27 @@ inline std::vector<std::string>
 videoMix()
 {
     return {"V1", "V5", "V8", "V12"};
+}
+
+/**
+ * Worker count for the bench: `--jobs N` / `--jobs=N` on the command
+ * line wins, else the VSTREAM_JOBS environment default, else 1
+ * (serial).  Results are merged in canonical input order either way,
+ * so the output bytes never depend on this value.
+ */
+inline unsigned
+jobs(int argc, char **argv)
+{
+    unsigned j = defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            j = parseJobs(argv[++i]);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            j = parseJobs(arg.c_str() + 7);
+        }
+    }
+    return j;
 }
 
 inline void
@@ -128,12 +151,12 @@ class Report
     video(const std::string &video_key, const std::string &name,
           double value)
     {
-        for (auto &[key, values] : videos_) {
-            if (key == video_key) {
-                values.emplace_back(name, value);
-                return;
-            }
+        const auto it = video_index_.find(video_key);
+        if (it != video_index_.end()) {
+            videos_[it->second].second.emplace_back(name, value);
+            return;
         }
+        video_index_.emplace(video_key, videos_.size());
         videos_.push_back({video_key, {{name, value}}});
     }
 
@@ -212,6 +235,8 @@ class Report
     std::vector<std::pair<
         std::string, std::vector<std::pair<std::string, double>>>>
         videos_;
+    /** video key -> index in videos_, so video() stays O(1). */
+    std::unordered_map<std::string, std::size_t> video_index_;
     bool written_ = false;
 };
 

@@ -24,6 +24,8 @@
  *     --window N            health window, vsyncs (default 32)
  *     --verify-on-hit       byte-compare MACH hits
  *     --stats-json FILE     dump serve.* statistics as JSON
+ *     --jobs N              rehearse sessions across N threads
+ *                           (output identical at any job count)
  *
  * Robustness options (per-session; see docs/ROBUSTNESS.md):
  *     --arrival-bandwidth MBPS, --arrival-jitter SIGMA,
@@ -41,6 +43,7 @@
 #include <memory>
 
 #include "serve/session_manager.hh"
+#include "sim/parallel.hh"
 #include "sim/stats_registry.hh"
 #include "video/workloads.hh"
 
@@ -58,7 +61,7 @@ usage(const char *argv0)
                  "  [--bandwidth MBPS] [--framebuffer MB] "
                  "[--max-active N] [--no-queue]\n"
                  "  [--window N] [--verify-on-hit] "
-                 "[--stats-json FILE]\n"
+                 "[--stats-json FILE] [--jobs N]\n"
                  "  [--arrival-bandwidth MBPS] [--arrival-jitter S] "
                  "[--arrival-preroll N]\n"
                  "  [--fault-seed N] [--fault-retry N] "
@@ -106,6 +109,7 @@ main(int argc, char **argv)
     FaultConfig faults;
     bool verify_on_hit = false;
     std::string stats_json_file;
+    unsigned n_jobs = defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -159,6 +163,8 @@ main(int argc, char **argv)
             verify_on_hit = true;
         } else if (arg == "--stats-json") {
             stats_json_file = next();
+        } else if (arg == "--jobs") {
+            n_jobs = parseJobs(next().c_str());
         } else if (arg == "--arrival-bandwidth") {
             arrival_bandwidth = std::atof(next().c_str());
         } else if (arg == "--arrival-jitter") {
@@ -195,7 +201,8 @@ main(int argc, char **argv)
               << " MB frame buffers, max " << serve.max_active
               << " active\n\n";
 
-    std::uint64_t submitted_rejected = 0;
+    std::vector<SessionConfig> cfgs;
+    cfgs.reserve(sessions);
     for (std::uint32_t id = 0; id < sessions; ++id) {
         SessionConfig s;
         s.id = id;
@@ -214,6 +221,13 @@ main(int argc, char **argv)
         if (arrival_preroll > 0) {
             s.pipeline.preroll_frames = arrival_preroll;
         }
+        cfgs.push_back(std::move(s));
+    }
+    if (n_jobs > 1) {
+        mgr.precompute(cfgs, n_jobs);
+    }
+    std::uint64_t submitted_rejected = 0;
+    for (SessionConfig &s : cfgs) {
         if (mgr.submit(std::move(s)) == Admission::kRejected) {
             ++submitted_rejected;
         }

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Open-addressing hash containers for integer keys.
+ *
+ * The MACH hot loops (match counting, frame-buffer block offsets,
+ * similarity windows) all map small integer keys to small values and
+ * never erase individual entries — they only grow and are dropped
+ * wholesale.  std::unordered_map pays a node allocation per insert
+ * and a pointer chase per probe for that pattern; these tables keep
+ * every slot in one contiguous vector with power-of-two capacity and
+ * linear probing, so the common probe touches one cache line and
+ * insertion allocates only on growth.
+ *
+ * Deliberately minimal: no erase, no iterators (forEach instead), and
+ * keys must be trivially copyable integers.  Iteration order depends
+ * on hashing, so callers that feed output must sort — the same rule
+ * std::unordered_map already imposed.
+ */
+
+#ifndef VSTREAM_CORE_FLAT_TABLE_HH
+#define VSTREAM_CORE_FLAT_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+/** SplitMix64 finalizer: cheap, well-distributed integer hash. */
+constexpr std::uint64_t
+mixHash(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Flat open-addressing map from an integer key to a value.
+ * Insert-only (no per-entry erase); clear() drops everything.
+ */
+template <typename Key, typename Value>
+class FlatMap
+{
+    static_assert(std::is_integral_v<Key>,
+                  "FlatMap keys must be integers");
+
+  public:
+    FlatMap() = default;
+
+    /** Entries currently stored. */
+    std::size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+
+    /** Drop all entries but keep the allocation. */
+    void
+    clear()
+    {
+        for (Slot &s : slots_) {
+            s.used = false;
+        }
+        size_ = 0;
+    }
+
+    /** Pre-size so @p n entries insert without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t want = 16;
+        while (want * 3 < n * 4) { // keep load factor under 3/4
+            want <<= 1;
+        }
+        if (want > slots_.size()) {
+            rehash(want);
+        }
+    }
+
+    /** Pointer to the value for @p key, or nullptr if absent. */
+    // vstream:hot
+    Value *
+    find(Key key)
+    {
+        if (slots_.empty()) {
+            return nullptr;
+        }
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i =
+            static_cast<std::size_t>(
+                mixHash(static_cast<std::uint64_t>(key))) &
+            mask;
+        while (slots_[i].used) {
+            if (slots_[i].key == key) {
+                return &slots_[i].value;
+            }
+            i = (i + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    const Value *
+    find(Key key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    /**
+     * Value for @p key, inserting a value-initialized entry when
+     * absent (the ++counts[digest] idiom).
+     */
+    // vstream:hot
+    Value &
+    operator[](Key key)
+    {
+        if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+            rehash(slots_.empty() ? 16 : slots_.size() * 2);
+        }
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i =
+            static_cast<std::size_t>(
+                mixHash(static_cast<std::uint64_t>(key))) &
+            mask;
+        while (slots_[i].used) {
+            if (slots_[i].key == key) {
+                return slots_[i].value;
+            }
+            i = (i + 1) & mask;
+        }
+        slots_[i].used = true;
+        slots_[i].key = key;
+        slots_[i].value = Value{};
+        ++size_;
+        return slots_[i].value;
+    }
+
+    /** Visit every entry as fn(key, value); unspecified order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_) {
+            if (s.used) {
+                fn(s.key, s.value);
+            }
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Key key{};
+        Value value{};
+        bool used = false;
+    };
+
+    void
+    rehash(std::size_t capacity)
+    {
+        vs_assert((capacity & (capacity - 1)) == 0,
+                  "flat table capacity must be a power of two");
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(capacity, Slot{});
+        const std::size_t mask = capacity - 1;
+        for (const Slot &s : old) {
+            if (!s.used) {
+                continue;
+            }
+            std::size_t i =
+                static_cast<std::size_t>(
+                    mixHash(static_cast<std::uint64_t>(s.key))) &
+                mask;
+            while (slots_[i].used) {
+                i = (i + 1) & mask;
+            }
+            slots_[i] = s;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+};
+
+/** Flat open-addressing set of integer keys; insert-only. */
+template <typename Key>
+class FlatSet
+{
+    static_assert(std::is_integral_v<Key>,
+                  "FlatSet keys must be integers");
+
+  public:
+    FlatSet() = default;
+
+    std::size_t size() const { return map_.size(); }
+
+    bool empty() const { return map_.empty(); }
+
+    void clear() { map_.clear(); }
+
+    void reserve(std::size_t n) { map_.reserve(n); }
+
+    bool contains(Key key) const { return map_.find(key) != nullptr; }
+
+    /** Insert @p key; true when it was not present before. */
+    // vstream:hot
+    bool
+    insert(Key key)
+    {
+        const std::size_t before = map_.size();
+        map_[key] = true;
+        return map_.size() != before;
+    }
+
+  private:
+    FlatMap<Key, bool> map_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_CORE_FLAT_TABLE_HH

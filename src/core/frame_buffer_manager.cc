@@ -1,5 +1,7 @@
 #include "core/frame_buffer_manager.hh"
 
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace vstream
@@ -28,12 +30,14 @@ FrameBufferManager::acquire(std::uint64_t frame_index)
         if (!slot.in_use) {
             slot.in_use = true;
             slot.frame_index = frame_index;
-            slot.blocks.clear();
+            slot.arena.clear();
+            slot.block_index.clear();
             return slot;
         }
     }
 
     BufferSlot slot;
+    slot.arena.reserve(data_capacity_);
     slot.meta_base = mem_.allocate(meta_capacity_, "fb.meta");
     slot.data_base = mem_.allocate(data_capacity_, "fb.data");
     slot.mach_dump_base =
@@ -106,6 +110,7 @@ FrameBufferManager::slotContaining(Addr addr) const
     return nullptr;
 }
 
+// vstream:hot
 void
 FrameBufferManager::storeBlock(Addr addr,
                                const std::vector<std::uint8_t> &bytes)
@@ -113,18 +118,39 @@ FrameBufferManager::storeBlock(Addr addr,
     BufferSlot *slot = slotContaining(addr);
     vs_assert(slot != nullptr,
               "block store outside any frame buffer: addr=", addr);
-    slot->blocks[addr] = bytes;
+    const auto size = static_cast<std::uint32_t>(bytes.size());
+    std::uint64_t *packed = slot->block_index.find(addr);
+    if (packed != nullptr &&
+        static_cast<std::uint32_t>(*packed) == size) {
+        // Same-size overwrite: reuse the existing arena slab.
+        std::memcpy(slot->arena.data() + (*packed >> 32), bytes.data(),
+                    size);
+        return;
+    }
+    const std::uint64_t off = slot->arena.size();
+    slot->arena.insert(slot->arena.end(), bytes.begin(), bytes.end());
+    const std::uint64_t entry = (off << 32) | size;
+    if (packed != nullptr) {
+        *packed = entry; // old slab becomes frame-local garbage
+    } else {
+        slot->block_index[addr] = entry;
+    }
 }
 
-const std::vector<std::uint8_t> *
+// vstream:hot
+StoredBlock
 FrameBufferManager::loadBlock(Addr addr) const
 {
     const BufferSlot *slot = slotContaining(addr);
     if (slot == nullptr) {
-        return nullptr;
+        return {};
     }
-    const auto it = slot->blocks.find(addr);
-    return it == slot->blocks.end() ? nullptr : &it->second;
+    const std::uint64_t *packed = slot->block_index.find(addr);
+    if (packed == nullptr) {
+        return {};
+    }
+    return {slot->arena.data() + (*packed >> 32),
+            static_cast<std::uint32_t>(*packed)};
 }
 
 std::uint32_t

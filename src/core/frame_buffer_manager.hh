@@ -20,13 +20,33 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_table.hh"
 #include "mem/memory_system.hh"
 
 namespace vstream
 {
+
+/**
+ * View of block bytes stored in a slot's arena.
+ *
+ * Valid until the next storeBlock() into the same slot (arena growth
+ * may move the bytes); consume it before writing again.
+ */
+struct StoredBlock
+{
+    const std::uint8_t *data = nullptr;
+    std::uint32_t size = 0;
+
+    explicit operator bool() const { return data != nullptr; }
+
+    std::vector<std::uint8_t>
+    toVector() const
+    {
+        return std::vector<std::uint8_t>(data, data + size);
+    }
+};
 
 /** One reusable frame-buffer slot. */
 struct BufferSlot
@@ -39,8 +59,15 @@ struct BufferSlot
     std::uint64_t mach_dump_capacity = 0;
     bool in_use = false;
     std::uint64_t frame_index = 0;
-    /** Simulated contents: block address -> block bytes. */
-    std::unordered_map<Addr, std::vector<std::uint8_t>> blocks;
+    /**
+     * Simulated contents: blocks append into one frame-sized arena
+     * and block_index maps the block address to (offset << 32 | size)
+     * within it.  Replaces the old per-block
+     * unordered_map<Addr, vector<uint8_t>> whose every store paid a
+     * node plus a vector allocation.
+     */
+    std::vector<std::uint8_t> arena;
+    FlatMap<Addr, std::uint64_t> block_index;
 };
 
 /** Pool of frame buffers plus the simulated block store. */
@@ -71,8 +98,8 @@ class FrameBufferManager
     /** Record block bytes at @p addr (must fall inside some slot). */
     void storeBlock(Addr addr, const std::vector<std::uint8_t> &bytes);
 
-    /** Fetch block bytes at @p addr; nullptr when nothing stored. */
-    const std::vector<std::uint8_t> *loadBlock(Addr addr) const;
+    /** Fetch block bytes at @p addr; empty view when nothing stored. */
+    StoredBlock loadBlock(Addr addr) const;
 
     /** Slots ever allocated (== peak simultaneous buffers). */
     std::uint32_t slotsAllocated() const

@@ -191,10 +191,10 @@ MachArray::topMatchShares(std::size_t k) const
     std::vector<std::uint64_t> counts;
     counts.reserve(match_counts_.size());
     std::uint64_t total = 0;
-    for (const auto &[digest, n] : match_counts_) {
+    match_counts_.forEach([&](std::uint32_t, std::uint64_t n) {
         counts.push_back(n);
         total += n;
-    }
+    });
     std::sort(counts.begin(), counts.end(),
               std::greater<std::uint64_t>());
 

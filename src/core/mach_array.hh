@@ -17,9 +17,9 @@
 #include <deque>
 #include <memory>
 #include <ostream>
-#include <unordered_map>
 
 #include "core/co_mach.hh"
+#include "core/flat_table.hh"
 #include "core/mach_cache.hh"
 #include "sim/ticks.hh"
 
@@ -134,7 +134,7 @@ class MachArray
     void regStats(StatsRegistry &r, const std::string &prefix) const;
 
     /** Matches per digest (Fig. 9b's "top digests" distribution). */
-    const std::unordered_map<std::uint32_t, std::uint64_t> &
+    const FlatMap<std::uint32_t, std::uint64_t> &
     matchCounts() const
     {
         return match_counts_;
@@ -148,7 +148,7 @@ class MachArray
 
   private:
     MachConfig cfg_;
-    std::unordered_map<std::uint32_t, std::uint64_t> match_counts_;
+    FlatMap<std::uint32_t, std::uint64_t> match_counts_;
     std::unique_ptr<MachCache> current_;
     std::deque<MachCache> history_;
     std::unique_ptr<CoMach> co_mach_;

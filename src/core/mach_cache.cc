@@ -1,5 +1,7 @@
 #include "core/mach_cache.hh"
 
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace vstream
@@ -37,6 +39,22 @@ MachCache::setOf(std::uint32_t digest) const
     return digest & (sets_ - 1);
 }
 
+std::uint8_t *
+MachCache::truthAt(std::uint32_t set, std::uint32_t way)
+{
+    return truth_arena_.data() +
+           (static_cast<std::size_t>(set) * ways_ + way) *
+               truth_stride_;
+}
+
+const std::uint8_t *
+MachCache::truthAt(std::uint32_t set, std::uint32_t way) const
+{
+    return truth_arena_.data() +
+           (static_cast<std::size_t>(set) * ways_ + way) *
+               truth_stride_;
+}
+
 MachProbe
 MachCache::lookup(std::uint32_t digest, std::uint16_t aux,
                   const std::vector<std::uint8_t> &truth)
@@ -61,7 +79,9 @@ MachCache::lookup(std::uint32_t digest, std::uint16_t aux,
 
         probe.hit = true;
         probe.ptr = e.ptr;
-        if (e.truth != truth) {
+        if (truth.size() != truth_stride_ ||
+            std::memcmp(truthAt(set, w), truth.data(),
+                        truth.size()) != 0) {
             // The (possibly 48-bit) tag matched but the content
             // differs: an undetected collision.
             probe.collision_undetected = true;
@@ -77,6 +97,15 @@ MachCache::insert(std::uint32_t digest, std::uint16_t aux, Addr ptr,
                   const std::vector<std::uint8_t> &truth)
 {
     vs_assert(!frozen_, "insert into a frozen MACH");
+
+    if (truth_arena_.empty() && !truth.empty()) {
+        truth_stride_ = static_cast<std::uint32_t>(truth.size());
+        truth_arena_.assign(entries_.size() *
+                                static_cast<std::size_t>(truth_stride_),
+                            0);
+    }
+    vs_assert(truth.size() == truth_stride_,
+              "MACH truth size changed between inserts");
 
     const std::uint32_t set = setOf(digest);
 
@@ -96,7 +125,9 @@ MachCache::insert(std::uint32_t digest, std::uint16_t aux, Addr ptr,
     e.digest = digest;
     e.aux = aux;
     e.ptr = ptr;
-    e.truth = truth;
+    if (!truth.empty()) {
+        std::memcpy(truthAt(set, way), truth.data(), truth.size());
+    }
     repl_.fill(set, way);
 }
 

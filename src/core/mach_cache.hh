@@ -27,15 +27,18 @@
 namespace vstream
 {
 
-/** One MACH entry. */
+/**
+ * One MACH entry.  The ground-truth block bytes used for
+ * simulation-side collision verification live in the cache's shared
+ * arena (one fixed-stride slab per entry), not in the entry itself,
+ * so inserts never allocate.
+ */
 struct MachEntry
 {
     bool valid = false;
     std::uint32_t digest = 0;
     std::uint16_t aux = 0;
     Addr ptr = 0;
-    /** Ground-truth bytes (simulation-side collision verification). */
-    std::vector<std::uint8_t> truth;
 };
 
 /** Result of probing one MACH. */
@@ -101,6 +104,11 @@ class MachCache
     const MachEntry &entry(std::uint32_t set, std::uint32_t way) const;
     std::uint32_t setOf(std::uint32_t digest) const;
 
+    /** Arena slab of the entry at (set, way). */
+    std::uint8_t *truthAt(std::uint32_t set, std::uint32_t way);
+    const std::uint8_t *truthAt(std::uint32_t set,
+                                std::uint32_t way) const;
+
     // By value: a reference member dangles when the cache is built
     // from a temporary config (ASan stack-use-after-scope).
     MachConfig cfg_;
@@ -109,6 +117,10 @@ class MachCache
     bool full_tags_;
     bool frozen_ = false;
     std::vector<MachEntry> entries_;
+    /** Fixed per-entry byte stride, learned from the first insert
+     * (every block in one cache has the same size). */
+    std::uint32_t truth_stride_ = 0;
+    std::vector<std::uint8_t> truth_arena_;
     ReplacementState repl_;
 };
 

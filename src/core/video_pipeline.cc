@@ -800,7 +800,8 @@ VideoPipeline::finish()
             reg.dumpCsv(*cfg_.stats_csv);
         }
     }
-    return r;
+    // Move, don't copy: the result carries per-frame record vectors.
+    return std::move(p.result);
 }
 
 PipelineResult

@@ -45,6 +45,7 @@ LinearWriteback::beginFrame(const Frame &frame, BufferSlot &slot, Tick now)
     last_tick_ = now;
 }
 
+// vstream:hot
 void
 LinearWriteback::writeMab(const Macroblock &mab, std::uint32_t idx,
                           Tick now)
@@ -135,6 +136,7 @@ MachWriteback::beginFrame(const Frame &frame, BufferSlot &slot, Tick now)
     last_tick_ = now;
 }
 
+// vstream:hot
 void
 MachWriteback::writeMab(const Macroblock &mab, std::uint32_t idx, Tick now)
 {
@@ -143,7 +145,12 @@ MachWriteback::writeMab(const Macroblock &mab, std::uint32_t idx, Tick now)
     const bool gab_mode = cfg.use_gradient;
 
     // Representation stored in memory: the gab in gradient mode.
-    const Macroblock repr = gab_mode ? mab.gradient() : mab;
+    // The scratch block is reused across mabs, so the per-mab copy
+    // the old `Macroblock repr = mab.gradient()` paid is gone.
+    if (gab_mode) {
+        mab.gradientInto(gab_scratch_);
+    }
+    const Macroblock &repr = gab_mode ? gab_scratch_ : mab;
     const std::uint32_t digest = repr.digest(cfg.hash);
     const std::uint16_t aux = cfg.co_mach ? repr.auxDigest() : 0;
 

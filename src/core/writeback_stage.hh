@@ -142,6 +142,8 @@ class MachWriteback : public WritebackStage
     std::uint64_t frame_data_bytes_ = 0;
     std::uint64_t frame_meta_bytes_ = 0;
     Tick last_tick_ = 0;
+    /** Reused gradient-block storage for writeMab (gab mode). */
+    Macroblock gab_scratch_;
 };
 
 } // namespace vstream

@@ -85,7 +85,7 @@ DisplayController::fetchBlock(Addr addr, std::uint32_t size, Tick now,
     return t;
 }
 
-const std::vector<std::uint8_t> *
+StoredBlock
 DisplayController::resolveDigestMiss(const FrameLayout &layout,
                                      std::uint32_t digest, Tick &now,
                                      ScanStats &stats)
@@ -107,7 +107,7 @@ DisplayController::resolveDigestMiss(const FrameLayout &layout,
             }
         }
     }
-    return nullptr;
+    return {};
 }
 
 ScanStats
@@ -143,11 +143,11 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
             layout.mabBytes();
         t = streamRead(layout.dataBase(), frame_bytes, t, stats);
         for (std::uint32_t i = 0; i < layout.mabCount(); ++i) {
-            const auto *stored =
+            const StoredBlock stored =
                 fbm_.loadBlock(layout.record(i).data_addr);
-            vs_assert(stored != nullptr, "linear block missing");
+            vs_assert(stored, "linear block missing");
             shown.push_back(FrameReconstructor::rebuildMab(
-                *stored, layout.record(i), false));
+                stored, layout.record(i), false));
         }
     } else {
         // Metadata stream: pointers/digests (+ bases + bitmap).
@@ -175,18 +175,19 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
 
         for (std::uint32_t i = 0; i < layout.mabCount(); ++i) {
             const MabRecord &rec = layout.record(i);
-            const std::vector<std::uint8_t> *stored = nullptr;
+            StoredBlock stored;
 
             if (rec.storage == MabStorage::kInterDigest && mach_buffer_) {
                 ++stats.digest_records;
-                stored = mach_buffer_->lookup(rec.digest);
-                if (stored != nullptr) {
+                if (const auto *hit = mach_buffer_->lookup(rec.digest)) {
+                    stored = {hit->data(),
+                              static_cast<std::uint32_t>(hit->size())};
                     ++stats.mach_buffer_hits;
                 } else {
                     ++stats.mach_buffer_misses;
                     stored =
                         resolveDigestMiss(layout, rec.digest, t, stats);
-                    if (stored == nullptr) {
+                    if (!stored) {
                         // Dump aged out too: fall back to the block
                         // pointer the record still carries.
                         t = fetchBlock(rec.data_addr,
@@ -199,18 +200,19 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
                 t = fetchBlock(rec.data_addr, layout.mabBytes(), t,
                                stats);
                 stored = fbm_.loadBlock(rec.data_addr);
-                if (stored != nullptr && mach_buffer_ &&
+                if (stored && mach_buffer_ &&
                     rec.storage == MabStorage::kUnique &&
                     dump_digests.count(rec.digest) > 0) {
-                    mach_buffer_->insert(rec.digest, *stored);
+                    mach_buffer_->insert(rec.digest, stored.data,
+                                         stored.size);
                 }
             }
 
-            vs_assert(stored != nullptr,
+            vs_assert(stored,
                       "display could not locate block for mab ", i,
                       " of frame ", layout.frameIndex());
             shown.push_back(FrameReconstructor::rebuildMab(
-                *stored, rec, layout.gradientMode()));
+                stored, rec, layout.gradientMode()));
         }
     }
 

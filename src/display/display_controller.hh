@@ -114,9 +114,9 @@ class DisplayController : public SimObject
                     ScanStats &stats);
 
     /** Resolve a digest record on a MACH-buffer miss. */
-    const std::vector<std::uint8_t> *
-    resolveDigestMiss(const FrameLayout &layout, std::uint32_t digest,
-                      Tick &now, ScanStats &stats);
+    StoredBlock resolveDigestMiss(const FrameLayout &layout,
+                                  std::uint32_t digest, Tick &now,
+                                  ScanStats &stats);
 
     MemorySystem &mem_;
     FrameBufferManager &fbm_;

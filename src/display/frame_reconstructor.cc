@@ -10,17 +10,27 @@ Macroblock
 FrameReconstructor::rebuildMab(const std::vector<std::uint8_t> &stored,
                                const MabRecord &rec, bool gradient_mode)
 {
+    return rebuildMab(
+        StoredBlock{stored.data(),
+                    static_cast<std::uint32_t>(stored.size())},
+        rec, gradient_mode);
+}
+
+Macroblock
+FrameReconstructor::rebuildMab(const StoredBlock &stored,
+                               const MabRecord &rec, bool gradient_mode)
+{
     // Infer the block dimension from the stored byte count.
     std::uint32_t dim = 1;
     while (static_cast<std::size_t>(dim) * dim * kBytesPerPixel <
-           stored.size()) {
+           stored.size) {
         ++dim;
     }
     vs_assert(static_cast<std::size_t>(dim) * dim * kBytesPerPixel ==
-                  stored.size(),
+                  stored.size,
               "stored block is not a square pixel block");
 
-    Macroblock block(dim, stored);
+    Macroblock block(dim, stored.toVector());
     if (!gradient_mode) {
         return block;
     }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/frame_buffer_manager.hh"
 #include "core/framebuffer_layout.hh"
 #include "video/macroblock.hh"
 
@@ -32,6 +33,11 @@ class FrameReconstructor
      * base is added back per pixel (the vector-add the DC performs).
      */
     static Macroblock rebuildMab(const std::vector<std::uint8_t> &stored,
+                                 const MabRecord &rec,
+                                 bool gradient_mode);
+
+    /** Same, from an arena byte view. */
+    static Macroblock rebuildMab(const StoredBlock &stored,
                                  const MabRecord &rec,
                                  bool gradient_mode);
 

@@ -47,13 +47,21 @@ void
 MachBuffer::insert(std::uint32_t digest,
                    const std::vector<std::uint8_t> &block)
 {
+    insert(digest, block.data(),
+           static_cast<std::uint32_t>(block.size()));
+}
+
+void
+MachBuffer::insert(std::uint32_t digest, const std::uint8_t *data,
+                   std::uint32_t size)
+{
     const std::uint32_t set = setOf(digest);
 
     // Refresh an existing entry in place.
     for (std::uint32_t w = 0; w < ways_; ++w) {
         Entry &e = entry(set, w);
         if (e.valid && e.digest == digest) {
-            e.block = block;
+            e.block.assign(data, data + size);
             repl_.touch(set, w);
             return;
         }
@@ -73,7 +81,7 @@ MachBuffer::insert(std::uint32_t digest,
     Entry &e = entry(set, way);
     e.valid = true;
     e.digest = digest;
-    e.block = block;
+    e.block.assign(data, data + size);
     repl_.fill(set, way);
     ++inserts_;
 }

@@ -36,6 +36,10 @@ class MachBuffer
     void insert(std::uint32_t digest,
                 const std::vector<std::uint8_t> &block);
 
+    /** Same, from a raw byte view (the frame-buffer arena path). */
+    void insert(std::uint32_t digest, const std::uint8_t *data,
+                std::uint32_t size);
+
     std::uint64_t hitCount() const { return hits_; }
     std::uint64_t missCount() const { return misses_; }
     std::uint64_t insertCount() const { return inserts_; }

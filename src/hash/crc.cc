@@ -1,6 +1,18 @@
 #include "hash/crc.hh"
 
 #include <array>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VSTREAM_CRC_X86_CLMUL 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define VSTREAM_CRC_ARM 1
+#include <arm_acle.h>
+#endif
 
 namespace vstream
 {
@@ -8,19 +20,48 @@ namespace vstream
 namespace
 {
 
+// --- Table generation (constexpr, shared by every kernel) -----------
+
+constexpr std::uint32_t kCrc32Poly = 0xedb88320u; // IEEE, reflected
+
 constexpr std::array<std::uint32_t, 256>
 makeCrc32Table()
 {
     std::array<std::uint32_t, 256> table{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t c = i;
-        for (int k = 0; k < 8; ++k) {
-            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        for (int bit = 0; bit < 8; ++bit) {
+            c = (c & 1u) ? (kCrc32Poly ^ (c >> 1)) : (c >> 1);
         }
         table[i] = c;
     }
     return table;
 }
+
+/**
+ * Slicing-by-8 tables: kSlice32[k][b] is the CRC32 of byte b followed
+ * by k zero bytes, so eight independent table lookups advance the
+ * state by eight message bytes at once.  kSlice32[0] is the classic
+ * byte-at-a-time table the reference kernel walks.
+ */
+constexpr std::array<std::array<std::uint32_t, 256>, 8>
+makeCrc32SliceTables()
+{
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    t[0] = makeCrc32Table();
+    for (std::size_t k = 1; k < 8; ++k) {
+        for (std::uint32_t b = 0; b < 256; ++b) {
+            const std::uint32_t prev = t[k - 1][b];
+            t[k][b] = (prev >> 8) ^ t[0][prev & 0xffu];
+        }
+    }
+    return t;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kSlice32 =
+    makeCrc32SliceTables();
+
+constexpr std::uint16_t kCrc16Poly = 0x1021u; // CCITT, MSB-first
 
 constexpr std::array<std::uint16_t, 256>
 makeCrc16Table()
@@ -28,9 +69,9 @@ makeCrc16Table()
     std::array<std::uint16_t, 256> table{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint16_t c = static_cast<std::uint16_t>(i << 8);
-        for (int k = 0; k < 8; ++k) {
+        for (int bit = 0; bit < 8; ++bit) {
             c = (c & 0x8000u)
-                    ? static_cast<std::uint16_t>((c << 1) ^ 0x1021u)
+                    ? static_cast<std::uint16_t>((c << 1) ^ kCrc16Poly)
                     : static_cast<std::uint16_t>(c << 1);
         }
         table[i] = c;
@@ -38,48 +79,379 @@ makeCrc16Table()
     return table;
 }
 
-const auto crc32_table = makeCrc32Table();
-const auto crc16_table = makeCrc16Table();
+/** kSlice16[1][b] = CRC16 of byte b followed by one zero byte. */
+constexpr std::array<std::array<std::uint16_t, 256>, 2>
+makeCrc16SliceTables()
+{
+    std::array<std::array<std::uint16_t, 256>, 2> t{};
+    t[0] = makeCrc16Table();
+    for (std::uint32_t b = 0; b < 256; ++b) {
+        const std::uint16_t prev = t[0][b];
+        t[1][b] = static_cast<std::uint16_t>(
+            (prev << 8) ^ t[0][(prev >> 8) & 0xffu]);
+    }
+    return t;
+}
+
+constexpr std::array<std::array<std::uint16_t, 256>, 2> kSlice16 =
+    makeCrc16SliceTables();
+
+// --- CRC32 kernels --------------------------------------------------
+
+// vstream:hot
+std::uint32_t
+crc32Reference(std::uint32_t state, const std::uint8_t *p,
+               std::size_t len)
+{
+    std::uint32_t c = state;
+    for (std::size_t i = 0; i < len; ++i) {
+        c = kSlice32[0][(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    }
+    return c;
+}
+
+// vstream:hot
+std::uint32_t
+crc32Slice8(std::uint32_t state, const std::uint8_t *p, std::size_t len)
+{
+    std::uint32_t c = state;
+    while (len >= 8) {
+        // Explicit little-endian assembly keeps the kernel
+        // endian-agnostic; compilers fold each into one 32-bit load.
+        const std::uint32_t lo =
+            static_cast<std::uint32_t>(p[0]) |
+            (static_cast<std::uint32_t>(p[1]) << 8) |
+            (static_cast<std::uint32_t>(p[2]) << 16) |
+            (static_cast<std::uint32_t>(p[3]) << 24);
+        const std::uint32_t hi =
+            static_cast<std::uint32_t>(p[4]) |
+            (static_cast<std::uint32_t>(p[5]) << 8) |
+            (static_cast<std::uint32_t>(p[6]) << 16) |
+            (static_cast<std::uint32_t>(p[7]) << 24);
+        c ^= lo;
+        c = kSlice32[7][c & 0xffu] ^ kSlice32[6][(c >> 8) & 0xffu] ^
+            kSlice32[5][(c >> 16) & 0xffu] ^ kSlice32[4][c >> 24] ^
+            kSlice32[3][hi & 0xffu] ^ kSlice32[2][(hi >> 8) & 0xffu] ^
+            kSlice32[1][(hi >> 16) & 0xffu] ^ kSlice32[0][hi >> 24];
+        p += 8;
+        len -= 8;
+    }
+    return crc32Reference(c, p, len);
+}
+
+#ifdef VSTREAM_CRC_X86_CLMUL
+
+/**
+ * PCLMULQDQ folding for the IEEE polynomial (the classic "Fast CRC
+ * computation using PCLMULQDQ" construction).  Folds 64-byte blocks
+ * through four 128-bit accumulators, reduces to one, then Barrett-
+ * reduces to 32 bits.  Requires len to be a multiple of 16 and >= 64;
+ * the dispatcher feeds tail bytes to the slice-8 kernel.
+ */
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t
+crc32ClmulBlock(std::uint32_t state, const std::uint8_t *p,
+                std::size_t len)
+{
+    // Folding/reduction constants for reflected 0x04C11DB7.
+    const __m128i k1k2 = _mm_setr_epi32(0x54442bd4, 1,
+                                        static_cast<int>(0xc6e41596),
+                                        1);
+    const __m128i k3k4 = _mm_setr_epi32(0x751997d0, 1,
+                                        static_cast<int>(0xccaa009e),
+                                        0);
+    const __m128i k5k0 = _mm_setr_epi32(0x63cd6124, 1, 0, 0);
+    const __m128i poly_mu =
+        _mm_setr_epi32(static_cast<int>(0xdb710641), 1,
+                       static_cast<int>(0xf7011641), 1);
+    const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+
+    __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    __m128i x2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 16));
+    __m128i x3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 32));
+    __m128i x4 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p + 48));
+    x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(state)));
+    p += 64;
+    len -= 64;
+
+// Lambdas do not inherit the enclosing target attribute, so the fold
+// steps are macros.  FOLD(acc, k, d): acc = clmul-fold(acc, k) ^ d.
+#define VSTREAM_CRC_FOLD(acc, k, d)                                    \
+    (acc) = _mm_xor_si128(                                             \
+        (d), _mm_xor_si128(_mm_clmulepi64_si128((acc), (k), 0x00),     \
+                           _mm_clmulepi64_si128((acc), (k), 0x11)))
+#define VSTREAM_CRC_LOAD(q)                                            \
+    _mm_loadu_si128(reinterpret_cast<const __m128i *>(q))
+
+    while (len >= 64) {
+        VSTREAM_CRC_FOLD(x1, k1k2, VSTREAM_CRC_LOAD(p));
+        VSTREAM_CRC_FOLD(x2, k1k2, VSTREAM_CRC_LOAD(p + 16));
+        VSTREAM_CRC_FOLD(x3, k1k2, VSTREAM_CRC_LOAD(p + 32));
+        VSTREAM_CRC_FOLD(x4, k1k2, VSTREAM_CRC_LOAD(p + 48));
+        p += 64;
+        len -= 64;
+    }
+
+    VSTREAM_CRC_FOLD(x1, k3k4, x2);
+    VSTREAM_CRC_FOLD(x1, k3k4, x3);
+    VSTREAM_CRC_FOLD(x1, k3k4, x4);
+
+    while (len >= 16) {
+        VSTREAM_CRC_FOLD(x1, k3k4, VSTREAM_CRC_LOAD(p));
+        p += 16;
+        len -= 16;
+    }
+
+#undef VSTREAM_CRC_FOLD
+#undef VSTREAM_CRC_LOAD
+
+    // Fold 128 -> 64 bits.
+    x2 = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+    x1 = _mm_srli_si128(x1, 8);
+    x1 = _mm_xor_si128(x1, x2);
+
+    // Fold 64 -> 32 bits.
+    x2 = _mm_srli_si128(x1, 4);
+    x1 = _mm_and_si128(x1, mask32);
+    x1 = _mm_clmulepi64_si128(x1, k5k0, 0x00);
+    x1 = _mm_xor_si128(x1, x2);
+
+    // Barrett reduction.
+    x2 = _mm_and_si128(x1, mask32);
+    x2 = _mm_clmulepi64_si128(x2, poly_mu, 0x10);
+    x2 = _mm_and_si128(x2, mask32);
+    x2 = _mm_clmulepi64_si128(x2, poly_mu, 0x00);
+    x1 = _mm_xor_si128(x1, x2);
+    return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+// vstream:hot
+std::uint32_t
+crc32Hardware(std::uint32_t state, const std::uint8_t *p,
+              std::size_t len)
+{
+    if (len >= 64) {
+        const std::size_t chunk = len & ~static_cast<std::size_t>(15);
+        state = crc32ClmulBlock(state, p, chunk);
+        p += chunk;
+        len -= chunk;
+    }
+    return crc32Slice8(state, p, len);
+}
+
+bool
+crc32HardwareAvailable()
+{
+    return __builtin_cpu_supports("pclmul") &&
+           __builtin_cpu_supports("sse4.1");
+}
+
+#elif defined(VSTREAM_CRC_ARM)
+
+// vstream:hot
+std::uint32_t
+crc32Hardware(std::uint32_t state, const std::uint8_t *p,
+              std::size_t len)
+{
+    std::uint32_t c = state;
+    while (len >= 8) {
+        std::uint64_t v;
+        std::memcpy(&v, p, 8);
+        c = __crc32d(c, v);
+        p += 8;
+        len -= 8;
+    }
+    while (len > 0) {
+        c = __crc32b(c, *p++);
+        --len;
+    }
+    return c;
+}
+
+bool
+crc32HardwareAvailable()
+{
+    return true;
+}
+
+#else
+
+std::uint32_t
+crc32Hardware(std::uint32_t state, const std::uint8_t *p,
+              std::size_t len)
+{
+    return crc32Slice8(state, p, len);
+}
+
+bool
+crc32HardwareAvailable()
+{
+    return false;
+}
+
+#endif
+
+using Crc32Fn = std::uint32_t (*)(std::uint32_t, const std::uint8_t *,
+                                  std::size_t);
+
+Crc32Fn
+kernelFn(CrcKernel k)
+{
+    switch (k) {
+      case CrcKernel::kReference:
+        return crc32Reference;
+      case CrcKernel::kSlice8:
+        return crc32Slice8;
+      case CrcKernel::kHardware:
+        return crc32Hardware;
+    }
+    return crc32Reference;
+}
+
+/**
+ * Pick the dispatch target once, pre-main: the fastest available
+ * kernel unless VSTREAM_CRC_IMPL forces one.  All kernels are
+ * digest-identical, so the choice never affects simulation output.
+ */
+CrcKernel
+resolveCrc32Kernel()
+{
+    const CrcKernel best = crc32HardwareAvailable()
+                               ? CrcKernel::kHardware
+                               : CrcKernel::kSlice8;
+    const char *force = std::getenv("VSTREAM_CRC_IMPL");
+    if (force == nullptr) {
+        return best;
+    }
+    if (std::strcmp(force, "reference") == 0) {
+        return CrcKernel::kReference;
+    }
+    if (std::strcmp(force, "slice8") == 0) {
+        return CrcKernel::kSlice8;
+    }
+    if (std::strcmp(force, "hw") == 0 && crc32HardwareAvailable()) {
+        return CrcKernel::kHardware;
+    }
+    return best;
+}
+
+const CrcKernel kActiveKernel = resolveCrc32Kernel();
+const Crc32Fn kActiveFn = kernelFn(kActiveKernel);
+
+// --- CRC16 kernels --------------------------------------------------
+
+// vstream:hot
+std::uint16_t
+crc16Reference(std::uint16_t state, const std::uint8_t *p,
+               std::size_t len)
+{
+    std::uint16_t c = state;
+    for (std::size_t i = 0; i < len; ++i) {
+        c = static_cast<std::uint16_t>(
+            (c << 8) ^ kSlice16[0][((c >> 8) ^ p[i]) & 0xffu]);
+    }
+    return c;
+}
+
+// vstream:hot
+std::uint16_t
+crc16Slice2(std::uint16_t state, const std::uint8_t *p, std::size_t len)
+{
+    std::uint16_t c = state;
+    while (len >= 2) {
+        c = static_cast<std::uint16_t>(
+            kSlice16[1][((c >> 8) ^ p[0]) & 0xffu] ^
+            kSlice16[0][(c ^ p[1]) & 0xffu]);
+        p += 2;
+        len -= 2;
+    }
+    return crc16Reference(c, p, len);
+}
 
 } // namespace
 
+// --- Public API -----------------------------------------------------
+
+const char *
+crcKernelName(CrcKernel k)
+{
+    switch (k) {
+      case CrcKernel::kReference:
+        return "reference";
+      case CrcKernel::kSlice8:
+        return "slice8";
+      case CrcKernel::kHardware:
+        return "hw";
+    }
+    return "unknown";
+}
+
+std::vector<CrcKernel>
+availableCrc32Kernels()
+{
+    std::vector<CrcKernel> out{CrcKernel::kReference,
+                               CrcKernel::kSlice8};
+    if (crc32HardwareAvailable()) {
+        out.push_back(CrcKernel::kHardware);
+    }
+    return out;
+}
+
+CrcKernel
+activeCrc32Kernel()
+{
+    return kActiveKernel;
+}
+
+std::uint32_t
+crc32Step(CrcKernel k, std::uint32_t state, const void *data,
+          std::size_t len)
+{
+    return kernelFn(k)(state, static_cast<const std::uint8_t *>(data),
+                       len);
+}
+
+std::uint16_t
+crc16Step(bool sliced, std::uint16_t state, const void *data,
+          std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    return sliced ? crc16Slice2(state, p, len)
+                  : crc16Reference(state, p, len);
+}
+
+// vstream:hot
 void
 Crc32::update(const void *data, std::size_t len)
 {
-    const auto *p = static_cast<const std::uint8_t *>(data);
-    std::uint32_t c = state_;
-    for (std::size_t i = 0; i < len; ++i) {
-        c = crc32_table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
-    }
-    state_ = c;
+    state_ = kActiveFn(state_, static_cast<const std::uint8_t *>(data),
+                       len);
 }
 
 std::uint32_t
 Crc32::compute(const void *data, std::size_t len)
 {
-    Crc32 crc;
-    crc.update(data, len);
-    return crc.digest();
+    Crc32 h;
+    h.update(data, len);
+    return h.digest();
 }
 
+// vstream:hot
 void
 Crc16::update(const void *data, std::size_t len)
 {
-    const auto *p = static_cast<const std::uint8_t *>(data);
-    std::uint16_t c = state_;
-    for (std::size_t i = 0; i < len; ++i) {
-        c = static_cast<std::uint16_t>(
-            (c << 8) ^ crc16_table[((c >> 8) ^ p[i]) & 0xffu]);
-    }
-    state_ = c;
+    state_ = crc16Slice2(state_,
+                         static_cast<const std::uint8_t *>(data), len);
 }
 
 std::uint16_t
 Crc16::compute(const void *data, std::size_t len)
 {
-    Crc16 crc;
-    crc.update(data, len);
-    return crc.digest();
+    Crc16 h;
+    h.update(data, len);
+    return h.digest();
 }
 
 } // namespace vstream

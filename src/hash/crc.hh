@@ -6,6 +6,25 @@
  * 32-bit macroblock digest used to tag MACH entries; CRC16-CCITT
  * provides the auxiliary 16-bit field of the CO-MACH collision
  * detector (Sec. 6.3 of the paper).
+ *
+ * Both digests are the hot inner loop of MachWriteback::writeMab, so
+ * update() dispatches at startup to the fastest digest-stable kernel
+ * the host offers:
+ *
+ *   kReference  byte-at-a-time table walk (the original code; kept
+ *               as the oracle the equivalence tests compare against)
+ *   kSlice8     slicing-by-8 (CRC32) / slicing-by-2 (CRC16): eight
+ *               (two) bytes per iteration through precomputed tables
+ *   kHardware   carry-less-multiply folding on x86-64 (PCLMULQDQ)
+ *               or the ARMv8 CRC32 instructions on aarch64
+ *
+ * Every kernel computes the exact same IEEE/CCITT polynomial, so the
+ * digest - and therefore every MACH hit, collision and golden output
+ * - is identical no matter which kernel ran.  Note the x86 SSE4.2
+ * _mm_crc32 instruction family implements CRC-32C (polynomial
+ * 0x1EDC6F41), NOT IEEE, and cannot reproduce the repo's digests;
+ * the x86 hardware path therefore folds with PCLMULQDQ instead.
+ * VSTREAM_CRC_IMPL=reference|slice8|hw forces a kernel (tests).
  */
 
 #ifndef VSTREAM_HASH_CRC_HH
@@ -13,9 +32,38 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace vstream
 {
+
+/** One CRC inner-loop implementation; see file comment. */
+enum class CrcKernel : std::uint8_t
+{
+    kReference = 0,
+    kSlice8,
+    kHardware,
+};
+
+/** Human-readable kernel name ("reference", "slice8", "hw"). */
+const char *crcKernelName(CrcKernel k);
+
+/** Kernels usable on this host, reference first. */
+std::vector<CrcKernel> availableCrc32Kernels();
+
+/** The kernel Crc32::update() dispatched to at startup. */
+CrcKernel activeCrc32Kernel();
+
+/**
+ * Raw state-in/state-out CRC32 step with an explicit kernel (the
+ * test/bench hook; @p state is the internal pre-inverted form).
+ */
+std::uint32_t crc32Step(CrcKernel k, std::uint32_t state,
+                        const void *data, std::size_t len);
+
+/** Raw CRC16 step: the sliced kernel when @p sliced, else reference. */
+std::uint16_t crc16Step(bool sliced, std::uint16_t state,
+                        const void *data, std::size_t len);
 
 /** Incremental CRC32 (IEEE, reflected). */
 class Crc32

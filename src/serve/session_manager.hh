@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/session.hh"
@@ -96,6 +97,25 @@ class SessionManager
      */
     Admission submit(SessionConfig cfg);
 
+    /**
+     * Rehearse @p cfgs across up to @p jobs worker threads before
+     * they are submitted (the parallel soak path).
+     *
+     * Each rehearsal runs the session to completion detached at
+     * offset 0 on its own private substrate; when the session is
+     * later admitted, activate() replays the recorded outcome with
+     * one completion event instead of stepping vsync-by-vsync.  A
+     * session's evolution is offset-invariant - the breaker cooldown
+     * and ladder dwell are tick *differences*, and the pipeline runs
+     * on its own local clock - so a replayed outcome is identical to
+     * a live one, and every aggregate the soak report emits is
+     * byte-identical at any job count (the CI perf-smoke job asserts
+     * this).  Admission control is untouched: budgets, queueing and
+     * rejection still play out on the shared timeline.
+     */
+    void precompute(const std::vector<SessionConfig> &cfgs,
+                    unsigned jobs);
+
     /** Drive every admitted (and eventually queued) session to
      * completion or eviction. */
     void runAll();
@@ -131,10 +151,26 @@ class SessionManager
   private:
     struct Active
     {
-        std::unique_ptr<Session> session;
+        std::unique_ptr<Session> session; // null in replay mode
         std::unique_ptr<LambdaEvent> event;
         double bw_mbps = 0.0;
         std::uint64_t fb_bytes = 0;
+        std::uint64_t sid = 0;
+        Tick start_offset = 0;
+        /** Replaying a precompute() rehearsal instead of stepping a
+         * live session. */
+        bool replay = false;
+        SessionOutcome outcome; // rehearsed outcome (replay only)
+    };
+
+    /** A session run to completion detached at offset 0. */
+    struct Rehearsal
+    {
+        SessionOutcome outcome;
+        /** Local tick of the final vsync (0 when done at start). */
+        Tick local_end = 0;
+        /** Finished without stepping a single vsync. */
+        bool immediate = false;
     };
 
     bool fits(double bw_mbps, std::uint64_t fb_bytes) const;
@@ -152,6 +188,8 @@ class SessionManager
     std::vector<Active> retired_;
     std::deque<SessionConfig> waiting_;
     std::vector<SessionOutcome> outcomes_;
+    /** Rehearsals by session id, consumed at activation. */
+    std::unordered_map<std::uint64_t, Rehearsal> rehearsed_;
 
     double bw_reserved_ = 0.0;
     std::uint64_t fb_reserved_ = 0;

@@ -1,0 +1,88 @@
+#include "sim/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+unsigned
+effectiveJobs(unsigned requested, std::size_t n)
+{
+    if (requested <= 1 || n <= 1) {
+        return 1;
+    }
+    const std::size_t cap = n < requested ? n : requested;
+    return static_cast<unsigned>(cap);
+}
+
+unsigned
+parseJobs(const char *value)
+{
+    if (value == nullptr) {
+        return 1;
+    }
+    const long v = std::strtol(value, nullptr, 10);
+    return v > 0 ? static_cast<unsigned>(v) : 1;
+}
+
+unsigned
+defaultJobs()
+{
+    return parseJobs(std::getenv("VSTREAM_JOBS"));
+}
+
+void
+parallelFor(unsigned jobs, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    vs_assert(fn != nullptr, "parallelFor needs a callable");
+    const unsigned workers = effectiveJobs(jobs, n);
+    if (workers == 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            fn(i);
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) {
+                return;
+            }
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back(worker);
+    }
+    for (std::thread &t : pool) {
+        t.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace vstream

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic fan-out of independent work units across threads.
+ *
+ * The simulator's parallelism model is coarse: whole pipelines (one
+ * video x scheme unit) or whole session rehearsals run concurrently,
+ * each on a fully private substrate (EventQueue, MemorySystem, RNG
+ * streams), and the results are merged in canonical input order.
+ * Nothing inside a unit ever observes which thread ran it or in what
+ * order its siblings finished, so output is byte-identical to a
+ * serial run at any --jobs value - the determinism contract
+ * docs/PERFORMANCE.md spells out and tests/test_parallel.cc pins.
+ *
+ * parallelFor() is the only primitive: indices are claimed from a
+ * shared atomic counter and handed to the callable.  Determinism is
+ * the caller's side of the contract: fn(i) must write only to its
+ * own output slot and share no mutable state with its siblings.
+ */
+
+#ifndef VSTREAM_SIM_PARALLEL_HH
+#define VSTREAM_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vstream
+{
+
+/** Worker count actually used: @p requested clamped to [1, n]. */
+unsigned effectiveJobs(unsigned requested, std::size_t n);
+
+/** Parse a --jobs value; 0 or garbage falls back to 1 (serial). */
+unsigned parseJobs(const char *value);
+
+/** The VSTREAM_JOBS environment default; 1 (serial) when unset. */
+unsigned defaultJobs();
+
+/**
+ * Run fn(0) .. fn(n-1) across up to @p jobs threads.
+ *
+ * jobs <= 1 (or n <= 1) runs inline on the calling thread - no
+ * threads are created, so the serial path is bit-identical to a
+ * plain loop.  The first exception thrown by any unit is rethrown
+ * on the caller after every worker has joined.
+ */
+void parallelFor(unsigned jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Deterministic parallel map: returns {fn(0), ..., fn(n-1)} in
+ * canonical index order regardless of thread count or scheduling.
+ * R must be default-constructible and movable.
+ */
+template <typename Fn>
+auto
+parallelMap(unsigned jobs, std::size_t n, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{0}))>
+{
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<R> out(n);
+    parallelFor(jobs, n,
+                [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace vstream
+
+#endif // VSTREAM_SIM_PARALLEL_HH

@@ -1,5 +1,6 @@
 #include "sim/stats_registry.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/json_writer.hh"
@@ -56,12 +57,32 @@ StatsRegistry::insert(const std::string &name, Kind kind)
 {
     vs_assert(validStatName(name), "bad stat name '", name,
               "' (want dotted [A-Za-z0-9_] segments)");
-    auto [it, inserted] = entries_.try_emplace(name);
-    if (!inserted) {
+    if (index_.find(name) != index_.end()) {
         vs_panic("duplicate stat registration: '", name, "'");
     }
-    it->second.kind = kind;
-    return it->second;
+    Entry &e = pool_.emplace_back();
+    e.name = name;
+    e.kind = kind;
+    index_.emplace(name, &e);
+    sorted_.clear(); // view rebuilt lazily on the next dump
+    return e;
+}
+
+const std::vector<const StatsRegistry::Entry *> &
+StatsRegistry::sortedEntries() const
+{
+    if (sorted_.size() != pool_.size()) {
+        sorted_.clear();
+        sorted_.reserve(pool_.size());
+        for (const Entry &e : pool_) {
+            sorted_.push_back(&e);
+        }
+        std::sort(sorted_.begin(), sorted_.end(),
+                  [](const Entry *a, const Entry *b) {
+                      return a->name < b->name;
+                  });
+    }
+    return sorted_;
 }
 
 void
@@ -109,16 +130,16 @@ StatsRegistry::addCallback(const std::string &name, std::string desc,
 bool
 StatsRegistry::contains(const std::string &name) const
 {
-    return entries_.find(name) != entries_.end();
+    return index_.find(name) != index_.end();
 }
 
 std::vector<std::string>
 StatsRegistry::names() const
 {
     std::vector<std::string> out;
-    out.reserve(entries_.size());
-    for (const auto &[name, e] : entries_) {
-        out.push_back(name);
+    out.reserve(pool_.size());
+    for (const Entry *e : sortedEntries()) {
+        out.push_back(e->name);
     }
     return out;
 }
@@ -126,9 +147,9 @@ StatsRegistry::names() const
 double
 StatsRegistry::value(const std::string &name) const
 {
-    const auto it = entries_.find(name);
-    vs_assert(it != entries_.end(), "unknown stat '", name, "'");
-    const Entry &e = it->second;
+    const auto it = index_.find(name);
+    vs_assert(it != index_.end(), "unknown stat '", name, "'");
+    const Entry &e = *it->second;
     switch (e.kind) {
       case Kind::kScalar:
         return e.scalar->value();
@@ -148,6 +169,7 @@ std::vector<std::pair<std::string, double>>
 StatsRegistry::fields(const Entry &e)
 {
     std::vector<std::pair<std::string, double>> out;
+    out.reserve(8); // widest kind (series) exports eight fields
     switch (e.kind) {
       case Kind::kScalar:
         out.emplace_back("value", e.scalar->value());
@@ -190,15 +212,22 @@ StatsRegistry::fields(const Entry &e)
 void
 StatsRegistry::dumpText(std::ostream &os) const
 {
-    for (const auto &[name, e] : entries_) {
+    // One scratch line name reused across all aggregate entries so the
+    // dump loop does not allocate a fresh string per exported field.
+    std::string scratch;
+    for (const Entry *ep : sortedEntries()) {
+        const Entry &e = *ep;
         if (e.kind == Kind::kScalar || e.kind == Kind::kCallback) {
-            stats::printStat(os, name, fields(e).front().second, e.desc);
+            stats::printStat(os, e.name, fields(e).front().second, e.desc);
             continue;
         }
         // Aggregate kinds print one line per exported field, keeping
         // the classic one-value-per-line text shape.
         for (const auto &[field, v] : fields(e)) {
-            stats::printStat(os, name + "::" + field, v, e.desc);
+            scratch.assign(e.name);
+            scratch.append("::");
+            scratch.append(field);
+            stats::printStat(os, scratch, v, e.desc);
         }
     }
 }
@@ -211,8 +240,9 @@ StatsRegistry::dumpJson(std::ostream &os) const
     w.kv("schema", "vstream-stats-1");
     w.key("stats");
     w.beginObject();
-    for (const auto &[name, e] : entries_) {
-        w.key(name);
+    for (const Entry *ep : sortedEntries()) {
+        const Entry &e = *ep;
+        w.key(e.name);
         w.beginObject();
         w.kv("kind", kindName(e.kind));
         if (!e.desc.empty()) {
@@ -242,9 +272,10 @@ void
 StatsRegistry::dumpCsv(std::ostream &os) const
 {
     os << "name,kind,field,value\n";
-    for (const auto &[name, e] : entries_) {
+    for (const Entry *ep : sortedEntries()) {
+        const Entry &e = *ep;
         for (const auto &[field, v] : fields(e)) {
-            os << name << ',' << kindName(e.kind) << ',' << field << ','
+            os << e.name << ',' << kindName(e.kind) << ',' << field << ','
                << jsonNumber(v) << '\n';
         }
     }
@@ -253,7 +284,7 @@ StatsRegistry::dumpCsv(std::ostream &os) const
 void
 StatsRegistry::resetAll()
 {
-    for (auto &[name, e] : entries_) {
+    for (Entry &e : pool_) {
         switch (e.kind) {
           case Kind::kScalar:
             e.scalar->reset();

@@ -29,10 +29,11 @@
 #define VSTREAM_SIM_STATS_REGISTRY_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/stats.hh"
@@ -72,7 +73,7 @@ class StatsRegistry
     // --- queries --------------------------------------------------------
 
     bool contains(const std::string &name) const;
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return pool_.size(); }
 
     /** All registered names in hierarchical (lexicographic) order. */
     std::vector<std::string> names() const;
@@ -108,6 +109,7 @@ class StatsRegistry
 
     struct Entry
     {
+        std::string name;
         Kind kind = Kind::kScalar;
         std::string desc;
         stats::Scalar *scalar = nullptr;
@@ -126,9 +128,18 @@ class StatsRegistry
     static std::vector<std::pair<std::string, double>>
     fields(const Entry &e);
 
-    // Ordered map: iteration *is* the hierarchical dump order, and
-    // lookups during registration stay O(log n).
-    std::map<std::string, Entry> entries_;
+    /** Entries sorted by name - the hierarchical dump order.  Built
+     * lazily so registration stays O(1) amortized. */
+    const std::vector<const Entry *> &sortedEntries() const;
+
+    // Flat storage plus an O(1) name index.  Registration and the
+    // contains()/value() lookups that tests and exporters hammer no
+    // longer pay std::map's O(log n) string compares; the
+    // lexicographic order every dump format emits is recovered by the
+    // lazily sorted view, so output bytes are unchanged.
+    std::deque<Entry> pool_; // deque: growth keeps Entry pointers valid
+    std::unordered_map<std::string, Entry *> index_;
+    mutable std::vector<const Entry *> sorted_;
 };
 
 /** True iff @p name is a well-formed dotted stat name. */

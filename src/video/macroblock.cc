@@ -63,14 +63,29 @@ Macroblock::auxDigest() const
 Macroblock
 Macroblock::gradient() const
 {
-    const Pixel b = base();
     Macroblock gab(dim_);
-    for (std::size_t i = 0; i < bytes_.size(); i += kBytesPerPixel) {
-        gab.bytes_[i] = static_cast<std::uint8_t>(bytes_[i] - b.r);
-        gab.bytes_[i + 1] = static_cast<std::uint8_t>(bytes_[i + 1] - b.g);
-        gab.bytes_[i + 2] = static_cast<std::uint8_t>(bytes_[i + 2] - b.b);
-    }
+    gradientInto(gab);
     return gab;
+}
+
+// vstream:hot
+void
+Macroblock::gradientInto(Macroblock &out) const
+{
+    out.dim_ = dim_;
+    out.bytes_.resize(bytes_.size());
+    const Pixel b = base();
+    const std::uint8_t *src = bytes_.data();
+    std::uint8_t *dst = out.bytes_.data();
+    const std::size_t n = bytes_.size();
+    // Single pass, branch-light: one wrap-around subtract per byte
+    // with the channel base cycling r,g,b.
+    for (std::size_t i = 0; i + kBytesPerPixel <= n;
+         i += kBytesPerPixel) {
+        dst[i] = static_cast<std::uint8_t>(src[i] - b.r);
+        dst[i + 1] = static_cast<std::uint8_t>(src[i + 1] - b.g);
+        dst[i + 2] = static_cast<std::uint8_t>(src[i + 2] - b.b);
+    }
 }
 
 std::uint32_t

@@ -64,6 +64,13 @@ class Macroblock
      */
     Macroblock gradient() const;
 
+    /**
+     * In-place variant: write the gradient block into @p out, reusing
+     * its storage.  The per-mab workhorse of MachWriteback in GAB
+     * mode — no allocation once @p out has been sized.
+     */
+    void gradientInto(Macroblock &out) const;
+
     /** Digest of the gradient block. */
     std::uint32_t gradientDigest(HashKind kind) const;
 

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <deque>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "core/flat_table.hh"
+#include "sim/logging.hh"
 #include "video/synthetic_video.hh"
 
 namespace vstream
@@ -46,27 +45,37 @@ SimilarityReport::gabMatchFraction() const
 namespace
 {
 
-std::string
+/**
+ * 64-bit FNV-1a content key.  Replaces the old std::string key (one
+ * heap allocation + full-content compares per probe) with an integer
+ * the flat tables hash directly.
+ */
+// vstream:hot
+std::uint64_t
 keyOf(const std::vector<std::uint8_t> &bytes)
 {
-    return std::string(reinterpret_cast<const char *>(bytes.data()),
-                       bytes.size());
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::uint8_t b : bytes) {
+        h = (h ^ b) * 0x100000001b3ull;
+    }
+    return h;
 }
 
 std::vector<double>
-shares(const std::unordered_map<std::string, std::uint64_t> &counts,
+shares(const FlatMap<std::uint64_t, std::uint64_t> &counts,
        std::size_t k)
 {
     std::vector<std::uint64_t> sorted;
     sorted.reserve(counts.size());
     std::uint64_t total = 0;
-    for (const auto &[key, n] : counts) {
+    counts.forEach([&](std::uint64_t, std::uint64_t n) {
         sorted.push_back(n);
         total += n;
-    }
+    });
     std::sort(sorted.begin(), sorted.end(),
               std::greater<std::uint64_t>());
     std::vector<double> out;
+    out.reserve(std::min(k, sorted.size()));
     for (std::size_t i = 0; i < k && i < sorted.size(); ++i) {
         out.push_back(total ? static_cast<double>(sorted[i]) /
                                   static_cast<double>(total)
@@ -85,17 +94,19 @@ analyzeSimilarity(const VideoProfile &profile, std::uint32_t max_frames,
     if (max_frames > 0 && p.frame_count > max_frames) {
         p.frame_count = max_frames;
     }
+    vs_assert(p.frame_count > 0,
+              "similarity analysis of an empty video");
 
     SyntheticVideo video(p);
     SimilarityReport report;
     report.inter_age_hist.assign(window, 0);
 
     // Per-frame content sets for the window, newest at the front.
-    std::deque<std::unordered_set<std::string>> exact_window;
-    std::deque<std::unordered_set<std::string>> gab_window;
+    std::deque<FlatSet<std::uint64_t>> exact_window;
+    std::deque<FlatSet<std::uint64_t>> gab_window;
 
-    std::unordered_map<std::string, std::uint64_t> mab_match_counts;
-    std::unordered_map<std::string, std::uint64_t> gab_match_counts;
+    FlatMap<std::uint64_t, std::uint64_t> mab_match_counts;
+    FlatMap<std::uint64_t, std::uint64_t> gab_match_counts;
 
     // Optimal (unbounded) dedup byte counters.
     std::uint64_t opt_mab_bytes = 0;
@@ -104,25 +115,36 @@ analyzeSimilarity(const VideoProfile &profile, std::uint32_t max_frames,
         static_cast<std::uint64_t>(p.mab_dim) * p.mab_dim *
         kBytesPerPixel;
 
+    Macroblock gab_scratch(p.mab_dim);
+
     while (!video.done()) {
         const Frame frame = video.nextFrame();
-        std::unordered_set<std::string> cur_exact;
-        std::unordered_set<std::string> cur_gab;
+        if (frame.mabCount() == 0) {
+            vs_panic("similarity analysis hit an empty frame");
+        }
+        FlatSet<std::uint64_t> cur_exact;
+        FlatSet<std::uint64_t> cur_gab;
+        cur_exact.reserve(frame.mabCount());
+        cur_gab.reserve(frame.mabCount());
 
         for (std::uint32_t i = 0; i < frame.mabCount(); ++i) {
             ++report.mabs;
-            const std::string mk = keyOf(frame.mab(i).bytes());
-            const std::string gk = keyOf(frame.mab(i).gradient().bytes());
+            const Macroblock &mab = frame.mab(i);
+            mab.gradientInto(gab_scratch);
+            const std::uint64_t mk = keyOf(mab.bytes());
+            const std::uint64_t gk = keyOf(gab_scratch.bytes());
 
             // --- exact (mab) matching ------------------------------
-            bool matched = false;
-            if (cur_exact.count(mk)) {
+            // Single pass: insert() reports whether the key was
+            // already in the current frame (the old code paid a
+            // count() probe and then a second insert() probe).
+            bool matched = !cur_exact.insert(mk);
+            if (matched) {
                 ++report.intra_exact;
-                matched = true;
             } else {
                 std::uint32_t age = 0;
                 for (const auto &s : exact_window) {
-                    if (s.count(mk)) {
+                    if (s.contains(mk)) {
                         ++report.inter_exact;
                         ++report.inter_age_hist[age];
                         matched = true;
@@ -140,13 +162,12 @@ analyzeSimilarity(const VideoProfile &profile, std::uint32_t max_frames,
             }
 
             // --- gradient (gab) matching ---------------------------
-            bool gab_matched = false;
-            if (cur_gab.count(gk)) {
+            bool gab_matched = !cur_gab.insert(gk);
+            if (gab_matched) {
                 ++report.intra_gab;
-                gab_matched = true;
             } else {
                 for (const auto &s : gab_window) {
-                    if (s.count(gk)) {
+                    if (s.contains(gk)) {
                         ++report.inter_gab;
                         gab_matched = true;
                         break;
@@ -160,9 +181,6 @@ analyzeSimilarity(const VideoProfile &profile, std::uint32_t max_frames,
                 ++report.none_gab;
                 opt_gab_bytes += mab_bytes + 4 + 3;
             }
-
-            cur_exact.insert(mk);
-            cur_gab.insert(gk);
         }
 
         exact_window.push_front(std::move(cur_exact));

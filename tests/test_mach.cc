@@ -239,6 +239,122 @@ TEST(MachArray, MissesCounted)
     EXPECT_DOUBLE_EQ(arr.stats().hitRate(), 0.0);
 }
 
+/**
+ * Trace equivalence for the flat-table/arena MachCache: replay a
+ * recorded random trace against an independent map-based LRU model
+ * of the documented policy and demand identical per-op hits, misses
+ * and evictions.  This pins the open-addressing tables and the truth
+ * arena to the exact behaviour of the original node-based storage.
+ */
+TEST(MachCache, FlatTablesMatchReferenceModelOnRandomTrace)
+{
+    const MachConfig cfg = smallConfig();
+    MachCache cache(cfg);
+    const std::uint32_t sets = cfg.sets();
+
+    // Reference model: per set, tags in LRU order (front = LRU).
+    std::vector<std::vector<std::uint32_t>> model(sets);
+    auto model_find = [&](std::uint32_t digest) {
+        auto &set = model[digest & (sets - 1)];
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            if (set[i] == digest) {
+                return static_cast<std::ptrdiff_t>(i);
+            }
+        }
+        return static_cast<std::ptrdiff_t>(-1);
+    };
+
+    Random rng(0x77ace);
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+    for (int op = 0; op < 4000; ++op) {
+        // A small digest space keeps the sets colliding and evicting.
+        const std::uint32_t digest =
+            static_cast<std::uint32_t>(rng.next() % 96);
+        const auto truth =
+            blockOf(static_cast<std::uint8_t>(digest));
+        auto &set = model[digest & (sets - 1)];
+        const std::ptrdiff_t at = model_find(digest);
+
+        const MachProbe p = cache.lookup(digest, 0, truth);
+        EXPECT_EQ(p.hit, at >= 0) << "op " << op;
+        EXPECT_FALSE(p.collision_undetected);
+        if (at >= 0) {
+            ++hits;
+            // LRU refresh on hit.
+            set.erase(set.begin() + at);
+            set.push_back(digest);
+        } else {
+            ++misses;
+            // Mirror the writeback's insert-on-miss.
+            cache.insert(digest, 0, digest * 48, truth);
+            if (set.size() == cfg.ways) {
+                set.erase(set.begin());
+                ++evictions;
+            }
+            set.push_back(digest);
+        }
+    }
+
+    // The trace must actually have exercised all three behaviours.
+    EXPECT_GT(hits, 100u);
+    EXPECT_GT(misses, 100u);
+    EXPECT_GT(evictions, 100u);
+
+    // Residency after the trace matches the model exactly.
+    std::uint32_t resident = 0;
+    for (std::uint32_t digest = 0; digest < 96; ++digest) {
+        const bool want = model_find(digest) >= 0;
+        resident += want ? 1u : 0u;
+        EXPECT_EQ(cache
+                      .lookup(digest, 0,
+                              blockOf(static_cast<std::uint8_t>(
+                                  digest)))
+                      .hit,
+                  want)
+            << "digest " << digest;
+    }
+    EXPECT_EQ(cache.validCount(), resident);
+}
+
+/** The MachArray over the same idea: a recorded random trace of
+ * frames, inserts and lookups replayed twice must produce identical
+ * statistics, and the counts must conserve. */
+TEST(MachArray, RandomTraceIsDeterministicAndConserves)
+{
+    auto run = [] {
+        MachArray arr(smallConfig());
+        Random rng(0xa77);
+        arr.beginFrame();
+        for (int op = 0; op < 3000; ++op) {
+            const std::uint32_t digest =
+                static_cast<std::uint32_t>(rng.next() % 128);
+            const auto truth =
+                blockOf(static_cast<std::uint8_t>(digest));
+            if (op % 97 == 96) {
+                arr.beginFrame();
+            }
+            const auto r = arr.lookup(digest, 0, truth);
+            if (!r.hit) {
+                arr.insertUnique(digest, 0, digest * 48, truth,
+                                 false);
+            }
+        }
+        return arr.stats();
+    };
+    const MachStats a = run();
+    const MachStats b = run();
+    EXPECT_EQ(a.lookups, b.lookups);
+    EXPECT_EQ(a.intra_hits, b.intra_hits);
+    EXPECT_EQ(a.inter_hits, b.inter_hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.inserts, b.inserts);
+    EXPECT_EQ(a.collisions_undetected, b.collisions_undetected);
+    EXPECT_EQ(a.lookups, a.hits() + a.misses);
+    EXPECT_EQ(a.inserts, a.misses); // one insert per miss above
+    EXPECT_GT(a.hits(), 0u);
+    EXPECT_GT(a.misses, 0u);
+}
+
 TEST(CoMach, PerFrameReset)
 {
     MachConfig cfg = smallConfig();

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the parallel simulation driver: deterministic result
+ * order at any job count, inline serial fallback, jobs parsing, and
+ * exception propagation.  This pins the determinism contract that
+ * lets bench output stay byte-identical across --jobs values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/parallel.hh"
+
+namespace vstream
+{
+namespace
+{
+
+/** Keep @p v alive past the optimiser without volatile. */
+void
+benchmarkDoNotElide(std::uint64_t v)
+{
+    static std::atomic<std::uint64_t> sink{0};
+    sink.fetch_add(v, std::memory_order_relaxed);
+}
+
+TEST(Parallel, EffectiveJobsClampsToWorkAndFloorsAtOne)
+{
+    EXPECT_EQ(effectiveJobs(0, 10), 1u);
+    EXPECT_EQ(effectiveJobs(1, 10), 1u);
+    EXPECT_EQ(effectiveJobs(4, 10), 4u);
+    EXPECT_EQ(effectiveJobs(16, 3), 3u);
+    EXPECT_EQ(effectiveJobs(8, 0), 1u);
+    EXPECT_EQ(effectiveJobs(8, 1), 1u);
+}
+
+TEST(Parallel, ParseJobsFallsBackToSerial)
+{
+    EXPECT_EQ(parseJobs("8"), 8u);
+    EXPECT_EQ(parseJobs("1"), 1u);
+    EXPECT_EQ(parseJobs("0"), 1u);
+    EXPECT_EQ(parseJobs("-3"), 1u);
+    EXPECT_EQ(parseJobs("banana"), 1u);
+    EXPECT_EQ(parseJobs(""), 1u);
+}
+
+TEST(Parallel, ForVisitsEveryIndexExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        constexpr std::size_t n = 257;
+        std::vector<std::atomic<int>> visits(n);
+        parallelFor(jobs, n,
+                    [&](std::size_t i) { visits[i].fetch_add(1); });
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(visits[i].load(), 1) << "index " << i
+                                           << " jobs " << jobs;
+        }
+    }
+}
+
+TEST(Parallel, SerialPathRunsInline)
+{
+    // jobs <= 1 and n <= 1 must not spawn threads: every unit runs
+    // on the calling thread, in index order.
+    const std::thread::id self = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    parallelFor(1, 5, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), self);
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+
+    order.clear();
+    parallelFor(8, 1, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), self);
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0}));
+}
+
+TEST(Parallel, MapKeepsCanonicalOrderAtAnyJobCount)
+{
+    constexpr std::size_t n = 100;
+    const auto fn = [](std::size_t i) {
+        // Unequal unit costs so completion order differs from index
+        // order when threaded.
+        std::uint64_t spin = 0;
+        for (std::size_t k = 0; k < (i % 7) * 1000; ++k) {
+            spin += k;
+        }
+        benchmarkDoNotElide(spin);
+        return i * i + 1;
+    };
+    const std::vector<std::size_t> serial = parallelMap(1, n, fn);
+    for (unsigned jobs : {2u, 3u, 8u}) {
+        EXPECT_EQ(parallelMap(jobs, n, fn), serial)
+            << "jobs " << jobs;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(serial[i], i * i + 1);
+    }
+}
+
+TEST(Parallel, MapSupportsMoveOnlyResultsByValue)
+{
+    const std::vector<std::string> got =
+        parallelMap(4, 10, [](std::size_t i) {
+            return std::string(i, 'x');
+        });
+    ASSERT_EQ(got.size(), 10u);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], std::string(i, 'x'));
+    }
+}
+
+TEST(Parallel, FirstExceptionIsRethrownAfterJoin)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        std::atomic<int> ran{0};
+        bool threw = false;
+        try {
+            parallelFor(jobs, 64, [&](std::size_t i) {
+                ran.fetch_add(1);
+                if (i == 13) {
+                    throw std::runtime_error("unit 13 failed");
+                }
+            });
+        } catch (const std::runtime_error &e) {
+            threw = true;
+            EXPECT_STREQ(e.what(), "unit 13 failed");
+        }
+        EXPECT_TRUE(threw) << "jobs " << jobs;
+        EXPECT_GE(ran.load(), 1);
+    }
+}
+
+TEST(Parallel, ZeroUnitsIsANoOp)
+{
+    parallelFor(8, 0, [](std::size_t) { FAIL() << "ran a unit"; });
+    EXPECT_TRUE(parallelMap(8, 0, [](std::size_t) { return 1; })
+                    .empty());
+}
+
+} // namespace
+} // namespace vstream

@@ -140,10 +140,10 @@ TEST(FrameBufferManager, BlockStoreRoundTrip)
     BufferSlot &slot = rig.fbm.acquire(0);
     const std::vector<std::uint8_t> bytes(48, 0x5a);
     rig.fbm.storeBlock(slot.data_base + 96, bytes);
-    const auto *loaded = rig.fbm.loadBlock(slot.data_base + 96);
-    ASSERT_NE(loaded, nullptr);
-    EXPECT_EQ(*loaded, bytes);
-    EXPECT_EQ(rig.fbm.loadBlock(slot.data_base + 97), nullptr);
+    const StoredBlock loaded = rig.fbm.loadBlock(slot.data_base + 96);
+    ASSERT_TRUE(loaded);
+    EXPECT_EQ(loaded.toVector(), bytes);
+    EXPECT_FALSE(rig.fbm.loadBlock(slot.data_base + 97));
 }
 
 TEST(FrameBufferManager, RecycleClearsBlocks)
@@ -153,7 +153,7 @@ TEST(FrameBufferManager, RecycleClearsBlocks)
     rig.fbm.storeBlock(slot.data_base, std::vector<std::uint8_t>(48, 1));
     rig.fbm.release(0);
     rig.fbm.acquire(5);
-    EXPECT_EQ(rig.fbm.loadBlock(slot.data_base), nullptr);
+    EXPECT_FALSE(rig.fbm.loadBlock(slot.data_base));
 }
 
 TEST(FrameBufferManagerDeath, StoreOutsideSlotsPanics)
@@ -201,8 +201,7 @@ TEST(LinearWriteback, WritesEveryMabAtItsLinearAddress)
         EXPECT_EQ(layout.record(i).data_addr,
                   slot.data_base + i * 48u);
         // Duplicates are NOT deduplicated in the baseline.
-        EXPECT_NE(rig.fbm.loadBlock(layout.record(i).data_addr),
-                  nullptr);
+        EXPECT_TRUE(rig.fbm.loadBlock(layout.record(i).data_addr));
     }
     EXPECT_EQ(wb.totals().unique_blocks, 4u);
     EXPECT_DOUBLE_EQ(wb.totals().savings(48), 0.0);

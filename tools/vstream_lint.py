@@ -55,6 +55,17 @@ simulator, not of C++:
                        depends on every short read being noticed and
                        routed into a TraceError, not ignored.
 
+  no-hotpath-alloc     a function marked // vstream:hot (the per-mab
+                       kernels: CRC steps, the gradient transform,
+                       flat-table probes, frame-buffer block moves)
+                       must not allocate: no new and no std::string
+                       construction in its body.  One allocation per
+                       48 B mab dwarfs the kernel it sits in.  The
+                       marker lives in a comment, which the linter
+                       strips, so this check re-reads the raw text to
+                       find markers (offsets line up because the
+                       stripper is length-preserving).
+
   no-unbounded-retry   an infinite loop (while (true) / for (;;))
                        that retries, re-issues, or backs off must
                        bound its attempts against a limit/cap/budget:
@@ -348,6 +359,43 @@ def check_unchecked_io(path, rel, code, findings):
             % m.group(1)))
 
 
+HOT_MARK_RE = re.compile(r'//\s*vstream:hot')
+# std::string by value (declaration, temporary, return type) is a
+# construction; const std::string & / * / template args are not.
+HOT_STRING_RE = re.compile(
+    r'(?<![A-Za-z0-9_])std\s*::\s*string\b(?!\s*[&*>])')
+
+
+def check_hotpath_alloc(path, rel, code, findings):
+    # The marker is a comment, so find it in the raw text; the
+    # stripper is length-preserving, so raw offsets index straight
+    # into the stripped code.
+    try:
+        with open(path, encoding='utf-8', errors='replace') as f:
+            raw = f.read()
+    except OSError:
+        return
+    for m in HOT_MARK_RE.finditer(raw):
+        brace = code.find('{', m.end())
+        if brace < 0:
+            continue
+        body = class_body(code, m.end())
+        if not body:
+            continue
+        for bm in NAKED_NEW_RE.finditer(body):
+            line = code.count('\n', 0, brace + bm.start()) + 1
+            findings.append(Finding(
+                rel, line, 'no-hotpath-alloc',
+                'heap allocation inside a // vstream:hot function; '
+                'hot kernels must be allocation-free'))
+        for bm in HOT_STRING_RE.finditer(body):
+            line = code.count('\n', 0, brace + bm.start()) + 1
+            findings.append(Finding(
+                rel, line, 'no-hotpath-alloc',
+                'std::string constructed inside a // vstream:hot '
+                'function; hot kernels must be allocation-free'))
+
+
 INF_LOOP_RE = re.compile(
     r'(?<![A-Za-z0-9_])(?:while\s*\(\s*(?:true|1)\s*\)|'
     r'for\s*\(\s*;\s*;\s*\))')
@@ -384,6 +432,7 @@ SRC_CHECKS = [
     check_null_macro,
     check_unchecked_io,
     check_unbounded_retry,
+    check_hotpath_alloc,
 ]
 
 # Tests/benches/examples may use gtest ASSERT_* and ad-hoc printing,
@@ -399,7 +448,8 @@ AUX_CHECKS = [
 # stats package's own unit tests exercise printStat directly.
 BENCH_CHECKS = AUX_CHECKS + [check_registry_stats,
                              check_unchecked_io,
-                             check_unbounded_retry]
+                             check_unbounded_retry,
+                             check_hotpath_alloc]
 
 SCAN_DIRS = {
     'src': SRC_CHECKS,
@@ -439,6 +489,12 @@ inline int g() { return rand(); }
 inline void h(std::ostream &os) { stats::printStat(os, "x", 1.0); }
 inline void i(char *buf, FILE *fp) { fread(buf, 1, 16, fp); }
 inline void j() { while (true) { retryBurst(); } }
+// vstream:hot
+inline int *k()
+{
+    std::string name("scratch");
+    return new int(static_cast<int>(name.size()));
+}
 #endif
 '''
 
@@ -470,6 +526,17 @@ inline void j(unsigned retry_limit)
         retryBurst();
     }
 }
+// vstream:hot
+inline std::uint32_t k(const std::string &key, std::uint32_t seed)
+{
+    // Reads a std::string by reference and allocates nothing:
+    // never fires no-hotpath-alloc.
+    std::uint32_t h = seed;
+    for (char c : key) {
+        h = h * 31u + static_cast<std::uint8_t>(c);
+    }
+    return h;
+}
 #endif
 '''
 
@@ -491,7 +558,7 @@ def self_test():
                 'determinism-guard', 'include-guards',
                 'stats-reset-pairing', 'registry-stats',
                 'no-null-macro', 'no-unchecked-io',
-                'no-unbounded-retry'}
+                'no-unbounded-retry', 'no-hotpath-alloc'}
     ok = True
     for rule in sorted(expected - fired):
         print('self-test: rule %s did not fire on the bad header'
@@ -527,7 +594,7 @@ def main(argv):
                      'determinism-guard', 'include-guards',
                      'stats-reset-pairing', 'registry-stats',
                      'no-null-macro', 'no-unchecked-io',
-                     'no-unbounded-retry'):
+                     'no-unbounded-retry', 'no-hotpath-alloc'):
             print(rule)
         return 0
 
