@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared plumbing for the fuzz harnesses.
+ *
+ * Harnesses express their invariants with FUZZ_ASSERT rather than
+ * vs_assert: a violated invariant must abort even in builds where the
+ * library's assertions are compiled out, and must do so through a
+ * mechanism libFuzzer and the sanitizers recognise as a crash.
+ */
+
+#ifndef VSTREAM_FUZZ_FUZZ_COMMON_HH
+#define VSTREAM_FUZZ_FUZZ_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_ASSERT(cond)                                              \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            std::fprintf(stderr,                                       \
+                         "FUZZ_ASSERT failed: %s (%s:%d)\n", #cond,    \
+                         __FILE__, __LINE__);                          \
+            std::abort();                                              \
+        }                                                              \
+    } while (false)
+
+#endif // VSTREAM_FUZZ_FUZZ_COMMON_HH

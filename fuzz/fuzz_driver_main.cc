@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Standalone replay/mutation driver for the fuzz harnesses.
+ *
+ * The container's baked-in toolchain is gcc-only, and libFuzzer ships
+ * with Clang.  This driver gives every harness a main() with the same
+ * command-line shape libFuzzer uses, so the smoke ctests run under
+ * either compiler:
+ *
+ *   fuzz_<target> [-runs=N] [-max_len=N] corpus-file-or-dir...
+ *
+ * Behaviour: replay every corpus input once, then run N additional
+ * inputs derived from the corpus by *deterministic* mutation -- the
+ * mutation stream is a splitmix64 chain seeded from the run index and
+ * the seed bytes, never from the wall clock, so a failing run
+ * reproduces bit-for-bit.  Unknown "-flag" arguments are ignored
+ * (libFuzzer flags may appear in shared scripts).
+ *
+ * This is a smoke driver, not a coverage-guided fuzzer: it proves
+ * the harness invariants hold across the corpus and a bounded
+ * neighbourhood of it.  Deep exploration runs under Clang in CI.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace
+{
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** splitmix64: tiny, seedable, and plenty for mutation schedules. */
+std::uint64_t
+nextRand(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+bool
+readFile(const std::filesystem::path &path, Bytes &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return false;
+    }
+    out.assign(std::istreambuf_iterator<char>(is),
+               std::istreambuf_iterator<char>());
+    return true;
+}
+
+/** Corpus files from @p arg (file or directory), sorted by path so
+ * the replay order -- and hence the mutation schedule -- is stable
+ * across filesystems. */
+void
+collectInputs(const std::string &arg,
+              std::vector<std::filesystem::path> &out)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+        for (const fs::directory_entry &entry :
+             fs::directory_iterator(arg, ec)) {
+            if (entry.is_regular_file()) {
+                out.push_back(entry.path());
+            }
+        }
+    } else if (fs::is_regular_file(arg, ec)) {
+        out.push_back(arg);
+    } else {
+        std::fprintf(stderr, "fuzz driver: no such input: %s\n",
+                     arg.c_str());
+        std::exit(2);
+    }
+}
+
+/** One deterministic mutation of @p seed (flip / insert / delete /
+ * duplicate / truncate), bounded by @p max_len. */
+Bytes
+mutate(const Bytes &seed, std::uint64_t &rng, std::size_t max_len)
+{
+    Bytes out = seed;
+    const std::uint64_t edits = 1 + nextRand(rng) % 8;
+    for (std::uint64_t e = 0; e < edits; ++e) {
+        switch (nextRand(rng) % 5) {
+          case 0: // flip a byte
+            if (!out.empty()) {
+                out[nextRand(rng) % out.size()] ^=
+                    static_cast<std::uint8_t>(1 + nextRand(rng) % 255);
+            }
+            break;
+          case 1: // insert a byte
+            if (out.size() < max_len) {
+                out.insert(out.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   nextRand(rng) % (out.size() + 1)),
+                           static_cast<std::uint8_t>(nextRand(rng)));
+            }
+            break;
+          case 2: // delete a byte
+            if (!out.empty()) {
+                out.erase(out.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              nextRand(rng) % out.size()));
+            }
+            break;
+          case 3: // duplicate a chunk
+            if (!out.empty() && out.size() < max_len) {
+                const std::size_t at = nextRand(rng) % out.size();
+                const std::size_t len = std::min<std::size_t>(
+                    1 + nextRand(rng) % 16, out.size() - at);
+                Bytes chunk(out.begin() +
+                                static_cast<std::ptrdiff_t>(at),
+                            out.begin() +
+                                static_cast<std::ptrdiff_t>(at + len));
+                out.insert(out.begin() +
+                               static_cast<std::ptrdiff_t>(at),
+                           chunk.begin(), chunk.end());
+            }
+            break;
+          case 4: // truncate the tail
+            if (!out.empty()) {
+                out.resize(nextRand(rng) % out.size());
+            }
+            break;
+        }
+    }
+    if (out.size() > max_len) {
+        out.resize(max_len);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t runs = 0;
+    std::size_t max_len = 1 << 16;
+    std::vector<std::filesystem::path> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "-runs=", 6) == 0) {
+            runs = std::strtoull(arg + 6, nullptr, 10);
+        } else if (std::strncmp(arg, "-max_len=", 9) == 0) {
+            max_len = std::strtoull(arg + 9, nullptr, 10);
+        } else if (arg[0] == '-') {
+            // Tolerate libFuzzer flags in shared invocations.
+        } else {
+            collectInputs(arg, inputs);
+        }
+    }
+    std::sort(inputs.begin(), inputs.end());
+
+    std::vector<Bytes> seeds;
+    for (const std::filesystem::path &path : inputs) {
+        Bytes bytes;
+        if (!readFile(path, bytes)) {
+            std::fprintf(stderr, "fuzz driver: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+        seeds.push_back(std::move(bytes));
+    }
+
+    // Mutation phase: every run re-derives its RNG stream from the
+    // run index alone, so adding corpus files never reshuffles the
+    // mutations applied to existing ones.
+    if (seeds.empty()) {
+        seeds.emplace_back(); // mutate from the empty input
+    }
+    for (std::uint64_t run = 0; run < runs; ++run) {
+        std::uint64_t rng = 0x5eedf417ULL ^ (run * 0x100000001b3ULL);
+        const Bytes &seed = seeds[run % seeds.size()];
+        const Bytes input = mutate(seed, rng, max_len);
+        LLVMFuzzerTestOneInput(input.data(), input.size());
+    }
+
+    std::printf("fuzz driver: %zu seed inputs, %llu mutated runs\n",
+                seeds.size(),
+                static_cast<unsigned long long>(runs));
+    return 0;
+}

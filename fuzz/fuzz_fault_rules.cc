@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fuzz harness for the fault-rule spec parser (the text parser).
+ *
+ * Rule specs come from the command line / environment, so
+ * tryParseFaultRule() must reject any hostile spec gracefully: no
+ * process termination, no undefined behaviour (NaN or overlarge
+ * times must never reach a float-to-Tick cast), and on success a
+ * rule whose fields all satisfy the documented invariants.
+ *
+ * Built with -fsanitize=fuzzer under Clang; under GCC the fallback
+ * driver in fuzz_driver_main.cc replays and mutates the checked-in
+ * corpus (fuzz/corpus/fault_rules) instead.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fuzz_common.hh"
+#include "sim/fault_injector.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    // Specs are short key=value lists; cap the length so the fuzzer
+    // explores structure instead of megabyte-long field values.
+    constexpr std::size_t kMaxSpec = 4096;
+    const std::string spec(reinterpret_cast<const char *>(data),
+                           size < kMaxSpec ? size : kMaxSpec);
+
+    static constexpr vstream::FaultClass kClasses[] = {
+        vstream::FaultClass::kNetworkStall,
+        vstream::FaultClass::kDigestCollision,
+        vstream::FaultClass::kDramTimeout,
+        vstream::FaultClass::kTraceCorrupt,
+    };
+
+    for (const vstream::FaultClass cls : kClasses) {
+        vstream::FaultRule rule;
+        std::string error;
+        if (!vstream::tryParseFaultRule(cls, spec, rule, error)) {
+            // Rejection must come with a diagnostic.
+            FUZZ_ASSERT(!error.empty());
+            continue;
+        }
+        // An accepted rule obeys every documented field invariant;
+        // note both range forms are deliberately NaN-rejecting.
+        FUZZ_ASSERT(rule.cls == cls);
+        FUZZ_ASSERT(rule.probability >= 0.0 &&
+                    rule.probability <= 1.0);
+        FUZZ_ASSERT(rule.from < rule.until);
+        // Accepted specs round-trip through the fatal entry point
+        // without tripping it (the two parsers must agree).
+        const vstream::FaultRule again =
+            vstream::parseFaultRule(cls, spec);
+        FUZZ_ASSERT(again.probability == rule.probability);
+        FUZZ_ASSERT(again.from == rule.from);
+        FUZZ_ASSERT(again.until == rule.until);
+        FUZZ_ASSERT(again.max_count == rule.max_count);
+        FUZZ_ASSERT(again.duration == rule.duration);
+    }
+    return 0;
+}

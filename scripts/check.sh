@@ -5,7 +5,9 @@
 #                                    # when clang tools are installed)
 #   scripts/check.sh build|test      # werror build / ctest, release preset
 #   scripts/check.sh asan|tsan       # sanitizer presets, full suite
-#   scripts/check.sh lint            # tools/vstream_lint.py (+ self-test)
+#   scripts/check.sh analyze         # tools/vstream_analyze (+ self-test)
+#   scripts/check.sh lint            # alias for analyze (old name)
+#   scripts/check.sh fuzz            # fuzz preset: harness smoke runs
 #   scripts/check.sh tidy [files]    # clang-tidy; defaults to all of src/
 #   scripts/check.sh tidy-changed    # clang-tidy on files changed vs main
 #   scripts/check.sh format          # clang-format --dry-run on src/ tests/
@@ -45,10 +47,19 @@ do_sanitizer() {
     ctest --preset "$preset"
 }
 
-do_lint() {
-    note "vstream_lint"
-    python3 tools/vstream_lint.py --self-test
-    python3 tools/vstream_lint.py --root .
+do_analyze() {
+    note "vstream_analyze"
+    python3 tools/vstream_analyze --self-test
+    python3 tools/vstream_analyze --root .
+}
+
+do_fuzz() {
+    note "configure + build (fuzz preset)"
+    cmake --preset fuzz
+    cmake --build --preset fuzz -j"$(nproc)" \
+        --target fuzz_trace_loader fuzz_fault_rules
+    note "fuzz smoke (bounded runs over the checked-in corpora)"
+    ctest --preset fuzz
 }
 
 tidy_db() {
@@ -102,12 +113,13 @@ case "${1:-all}" in
     test)         do_build; do_test ;;
     asan)         do_sanitizer asan-ubsan ;;
     tsan)         do_sanitizer tsan ;;
-    lint)         do_lint ;;
+    analyze|lint) do_analyze ;;
+    fuzz)         do_fuzz ;;
     tidy)         shift; do_tidy "$@" ;;
     tidy-changed) do_tidy_changed ;;
     format)       do_format ;;
     all)
-        do_lint
+        do_analyze
         do_build
         do_test
         do_tidy_changed

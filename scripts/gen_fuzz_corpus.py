@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in fuzz seed corpora (stdlib only).
+
+    python3 scripts/gen_fuzz_corpus.py
+
+Writes fuzz/corpus/trace_loader/*.vstr (binary traces exercising
+every TraceError branch) and fuzz/corpus/fault_rules/*.txt (rule
+specs, valid and hostile).  The trace CRC is IEEE CRC32 over
+everything after the magic, which is exactly zlib.crc32, so valid
+seeds carry a genuinely matching trailer.
+
+The corpora are committed; rerun this script only when the trace
+format or the spec grammar changes, and commit the result.
+"""
+
+import os
+import struct
+import zlib
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORPUS = os.path.join(ROOT, 'fuzz', 'corpus')
+
+# Small geometry keeps seeds tiny: 2x2 macroblocks of 4x4 pixels
+# means 2*2*4*4*3 = 192 pixel bytes per frame.
+MABS_X, MABS_Y, MAB_DIM, FPS = 2, 2, 4, 60
+VERSION = 1
+
+
+def header(frames, mabs_x=MABS_X, mabs_y=MABS_Y, mab_dim=MAB_DIM,
+           fps=FPS, version=VERSION, magic=b'VSTR'):
+    return magic + struct.pack('<6I', version, frames, mabs_x,
+                               mabs_y, mab_dim, fps)
+
+
+def frame(ftype=0, complexity=1.0, encoded=4096, fill=0x42):
+    pixels = bytes([fill]) * (MABS_X * MABS_Y * MAB_DIM * MAB_DIM * 3)
+    return struct.pack('<BdQ', ftype, complexity, encoded) + pixels
+
+
+def sealed(body):
+    """Append the CRC32 trailer (over everything after the magic)."""
+    return body + struct.pack('<I', zlib.crc32(body[4:]))
+
+
+def trace_seeds():
+    valid = sealed(header(2) + frame(0) + frame(1, 2.5, 8192, 0x17))
+    seeds = {
+        'valid.vstr': valid,
+        'empty.vstr': sealed(header(0)),
+        'bad_magic.vstr': b'XSTR' + valid[4:],
+        'bad_version.vstr': sealed(header(1, version=9) + frame()),
+        'bad_crc.vstr': valid[:-1] + bytes([valid[-1] ^ 0xff]),
+        'truncated_header.vstr': header(1)[:17],
+        'truncated_frame.vstr': header(2) + frame() + frame()[:40],
+        # Geometry the loader must reject before any allocation.
+        'huge_geometry.vstr':
+            header(1, mabs_x=0xffffffff, mabs_y=0xffffffff),
+        'over_axis_cap.vstr': header(1, mabs_x=4097),
+        'over_frame_cap.vstr': header(1, mabs_x=2048, mabs_y=2048),
+        'zero_axis.vstr': header(1, mabs_y=0),
+        # Record fields the loader must flag as corrupt.
+        'bad_frame_type.vstr':
+            sealed(header(1) + frame(ftype=0x7f)),
+        'nan_complexity.vstr':
+            sealed(header(1) + frame(complexity=float('nan'))),
+        'huge_encoded.vstr':
+            sealed(header(1) + frame(encoded=1 << 41)),
+        # Announces far more frames than the stream carries.
+        'frame_count_lie.vstr': header(0xffffffff) + frame(),
+    }
+    return seeds
+
+
+def fault_rule_seeds():
+    specs = [
+        'p=0.01,from=200ms,until=1.5s,max=3,len=250ms',
+        'at=5ms',
+        'at=5ms,max=3,len=1ms',
+        'p=1,len=400us',
+        'from=1ps,until=9000000s',
+        'p=0.5',
+        '',
+        # Hostile: every one must be rejected with a diagnostic.
+        'p=nan',
+        'p=-0.5',
+        'p=1.5',
+        'at=inf',
+        'from=1e300s',
+        'at=-5ms',
+        'until=10000000s,at=1ms',
+        'max=-3',
+        'max=18446744073709551616',
+        'max=3x',
+        'until=',
+        'p=0.5,p',
+        'bogus=1',
+        'len=1q',
+        'p==0.5',
+    ]
+    return {'spec_%02d.txt' % i: spec.encode()
+            for i, spec in enumerate(specs)}
+
+
+def write_corpus(subdir, seeds):
+    path = os.path.join(CORPUS, subdir)
+    os.makedirs(path, exist_ok=True)
+    for name, data in sorted(seeds.items()):
+        with open(os.path.join(path, name), 'wb') as f:
+            f.write(data)
+    print('%-32s %d seeds' % (subdir + ':', len(seeds)))
+
+
+def main():
+    write_corpus('trace_loader', trace_seeds())
+    write_corpus('fault_rules', fault_rule_seeds())
+
+
+if __name__ == '__main__':
+    main()

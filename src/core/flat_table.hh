@@ -11,10 +11,17 @@
  * linear probing, so the common probe touches one cache line and
  * insertion allocates only on growth.
  *
- * Deliberately minimal: no erase, no iterators (forEach instead), and
- * keys must be trivially copyable integers.  Iteration order depends
- * on hashing, so callers that feed output must sort — the same rule
+ * Deliberately minimal: no iterators (forEach instead), and keys must
+ * be trivially copyable integers.  Iteration order depends on
+ * hashing, so callers that feed output must sort — the same rule
  * std::unordered_map already imposed.
+ *
+ * erase() uses tombstones: probes walk over them, inserts reuse
+ * them, and any rehash drops them.  A table that never erases never
+ * sees a tombstone, so its probe sequences, growth points and memory
+ * layout are bit-for-bit those of the original insert-only table —
+ * the determinism contract (byte-identical stats JSON) cannot shift
+ * for existing callers.
  */
 
 #ifndef VSTREAM_CORE_FLAT_TABLE_HH
@@ -23,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -42,7 +50,7 @@ mixHash(std::uint64_t x)
 
 /**
  * Flat open-addressing map from an integer key to a value.
- * Insert-only (no per-entry erase); clear() drops everything.
+ * Per-entry erase leaves a tombstone; clear() drops everything.
  */
 template <typename Key, typename Value>
 class FlatMap
@@ -56,16 +64,22 @@ class FlatMap
     /** Entries currently stored. */
     std::size_t size() const { return size_; }
 
+    /** Slots allocated (a power of two, or 0 before first insert).
+     * Exposed so tests can pin growth points and tombstone reuse. */
+    std::size_t capacity() const { return slots_.size(); }
+
     bool empty() const { return size_ == 0; }
 
-    /** Drop all entries but keep the allocation. */
+    /** Drop all entries (and tombstones) but keep the allocation. */
     void
     clear()
     {
         for (Slot &s : slots_) {
             s.used = false;
+            s.tomb = false;
         }
         size_ = 0;
+        tombs_ = 0;
     }
 
     /** Pre-size so @p n entries insert without rehashing. */
@@ -94,8 +108,8 @@ class FlatMap
             static_cast<std::size_t>(
                 mixHash(static_cast<std::uint64_t>(key))) &
             mask;
-        while (slots_[i].used) {
-            if (slots_[i].key == key) {
+        while (slots_[i].used || slots_[i].tomb) {
+            if (slots_[i].used && slots_[i].key == key) {
                 return &slots_[i].value;
             }
             i = (i + 1) & mask;
@@ -117,25 +131,71 @@ class FlatMap
     Value &
     operator[](Key key)
     {
-        if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
-            rehash(slots_.empty() ? 16 : slots_.size() * 2);
+        if (slots_.empty() ||
+            (size_ + tombs_ + 1) * 4 > slots_.size() * 3) {
+            // Grow only when live entries demand it; a table crossing
+            // the load threshold on tombstones alone rehashes at the
+            // same capacity, which reclaims every tombstone.
+            const std::size_t cap =
+                slots_.empty()
+                    ? 16
+                    : ((size_ + 1) * 4 > slots_.size() * 3
+                           ? slots_.size() * 2
+                           : slots_.size());
+            rehash(cap);
         }
         const std::size_t mask = slots_.size() - 1;
         std::size_t i =
             static_cast<std::size_t>(
                 mixHash(static_cast<std::uint64_t>(key))) &
             mask;
-        while (slots_[i].used) {
-            if (slots_[i].key == key) {
-                return slots_[i].value;
+        std::size_t first_tomb = kNoSlot;
+        while (slots_[i].used || slots_[i].tomb) {
+            if (slots_[i].used) {
+                if (slots_[i].key == key) {
+                    return slots_[i].value;
+                }
+            } else if (first_tomb == kNoSlot) {
+                first_tomb = i;
             }
             i = (i + 1) & mask;
+        }
+        if (first_tomb != kNoSlot) {
+            i = first_tomb;
+            slots_[i].tomb = false;
+            --tombs_;
         }
         slots_[i].used = true;
         slots_[i].key = key;
         slots_[i].value = Value{};
         ++size_;
         return slots_[i].value;
+    }
+
+    /** Remove @p key; true when it was present. */
+    bool
+    erase(Key key)
+    {
+        if (slots_.empty()) {
+            return false;
+        }
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i =
+            static_cast<std::size_t>(
+                mixHash(static_cast<std::uint64_t>(key))) &
+            mask;
+        while (slots_[i].used || slots_[i].tomb) {
+            if (slots_[i].used && slots_[i].key == key) {
+                slots_[i].used = false;
+                slots_[i].tomb = true;
+                slots_[i].value = Value{}; // release held resources
+                --size_;
+                ++tombs_;
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+        return false;
     }
 
     /** Visit every entry as fn(key, value); unspecified order. */
@@ -151,11 +211,15 @@ class FlatMap
     }
 
   private:
+    static constexpr std::size_t kNoSlot =
+        static_cast<std::size_t>(-1);
+
     struct Slot
     {
         Key key{};
         Value value{};
         bool used = false;
+        bool tomb = false;
     };
 
     void
@@ -164,11 +228,12 @@ class FlatMap
         vs_assert((capacity & (capacity - 1)) == 0,
                   "flat table capacity must be a power of two");
         std::vector<Slot> old = std::move(slots_);
-        slots_.assign(capacity, Slot{});
+        slots_.clear();
+        slots_.resize(capacity);
         const std::size_t mask = capacity - 1;
-        for (const Slot &s : old) {
+        for (Slot &s : old) {
             if (!s.used) {
-                continue;
+                continue; // empty or tombstone: dropped either way
             }
             std::size_t i =
                 static_cast<std::size_t>(
@@ -177,15 +242,17 @@ class FlatMap
             while (slots_[i].used) {
                 i = (i + 1) & mask;
             }
-            slots_[i] = s;
+            slots_[i] = std::move(s);
         }
+        tombs_ = 0;
     }
 
     std::vector<Slot> slots_;
     std::size_t size_ = 0;
+    std::size_t tombs_ = 0;
 };
 
-/** Flat open-addressing set of integer keys; insert-only. */
+/** Flat open-addressing set of integer keys. */
 template <typename Key>
 class FlatSet
 {
@@ -196,6 +263,8 @@ class FlatSet
     FlatSet() = default;
 
     std::size_t size() const { return map_.size(); }
+
+    std::size_t capacity() const { return map_.capacity(); }
 
     bool empty() const { return map_.empty(); }
 
@@ -214,6 +283,9 @@ class FlatSet
         map_[key] = true;
         return map_.size() != before;
     }
+
+    /** Remove @p key; true when it was present. */
+    bool erase(Key key) { return map_.erase(key); }
 
   private:
     FlatMap<Key, bool> map_;

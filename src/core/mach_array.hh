@@ -124,6 +124,11 @@ class MachArray
     std::uint64_t currentDumpBytes() const;
 
     const MachStats &stats() const { return stats_; }
+
+    /** Zero every counter registered by regStats(); the array
+     * contents (current and frozen MACHs) are untouched. */
+    void resetStats() { stats_ = MachStats{}; }
+
     const MachConfig &config() const { return cfg_; }
     std::uint64_t coMachInserts() const
     {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/flat_table.hh"
 #include "display/frame_reconstructor.hh"
 #include "sim/logging.hh"
 #include "sim/stats_registry.hh"
@@ -168,7 +169,7 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
 
         // Digests present in this frame's dump: unique blocks worth
         // inserting into the MACH buffer as they stream past.
-        std::unordered_set<std::uint32_t> dump_digests;
+        FlatSet<std::uint32_t> dump_digests;
         for (const auto &[d, ptr] : layout.machDump()) {
             dump_digests.insert(d);
         }
@@ -202,7 +203,7 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
                 stored = fbm_.loadBlock(rec.data_addr);
                 if (stored && mach_buffer_ &&
                     rec.storage == MabStorage::kUnique &&
-                    dump_digests.count(rec.digest) > 0) {
+                    dump_digests.contains(rec.digest)) {
                     mach_buffer_->insert(rec.digest, stored.data,
                                          stored.size);
                 }

@@ -18,7 +18,6 @@
 #include <deque>
 #include <memory>
 #include <ostream>
-#include <unordered_set>
 
 #include "core/frame_buffer_manager.hh"
 #include "core/framebuffer_layout.hh"

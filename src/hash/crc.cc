@@ -315,13 +315,18 @@ kernelFn(CrcKernel k)
  * kernel unless VSTREAM_CRC_IMPL forces one.  All kernels are
  * digest-identical, so the choice never affects simulation output.
  */
+// All kernels produce identical digests (test_crc), so the env read
+// can select an implementation but never perturb simulation output.
+// vstream:allow(determinism-source) digest-equivalent dispatch
 CrcKernel
 resolveCrc32Kernel()
 {
     const CrcKernel best = crc32HardwareAvailable()
                                ? CrcKernel::kHardware
                                : CrcKernel::kSlice8;
-    const char *force = std::getenv("VSTREAM_CRC_IMPL");
+    // Resolved once, pre-main, before any thread exists.
+    const char *force =
+        std::getenv("VSTREAM_CRC_IMPL"); // NOLINT(concurrency-mt-unsafe)
     if (force == nullptr) {
         return best;
     }

@@ -72,6 +72,10 @@ class DramEnergy
 
     void reset();
 
+    /** Stats-reset alias for reset(): every registered counter and
+     * derived energy restarts from zero. */
+    void resetStats() { reset(); }
+
     /** Register per-requester counts/energies under @p prefix. */
     void regStats(StatsRegistry &r, const std::string &prefix) const;
 

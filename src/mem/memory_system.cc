@@ -98,6 +98,9 @@ MemorySystem::regStats(StatsRegistry &r)
     r.addCallback(name() + ".requests", "requests serviced", [this] {
         return static_cast<double>(request_count_);
     });
+    // next_free_ is the bump-allocator watermark, not a counter:
+    // resetting it would hand out live addresses again.
+    // vstream:allow(stats-hygiene) architectural gauge, never reset
     r.addCallback(name() + ".allocatedBytes",
                   "bytes handed out by the bump allocator", [this] {
                       return static_cast<double>(next_free_);

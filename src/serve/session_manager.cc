@@ -77,15 +77,15 @@ SessionManager::activate(SessionConfig cfg, Tick start_offset)
     a.sid = sid;
     a.start_offset = start_offset;
 
-    const auto reh = rehearsed_.find(sid);
-    if (reh != rehearsed_.end()) {
+    Rehearsal *reh = rehearsed_.find(sid);
+    if (reh != nullptr) {
         // Replay: one completion event at the rehearsed end tick
         // stands in for the whole vsync-by-vsync walk.
         a.replay = true;
-        a.outcome = std::move(reh->second.outcome);
-        const Tick local_end = reh->second.local_end;
-        const bool immediate = reh->second.immediate;
-        rehearsed_.erase(reh);
+        a.outcome = std::move(reh->outcome);
+        const Tick local_end = reh->local_end;
+        const bool immediate = reh->immediate;
+        rehearsed_.erase(sid);
         a.event = std::make_unique<LambdaEvent>(
             "serve.session" + std::to_string(sid),
             [this, sid] {
@@ -169,10 +169,9 @@ SessionManager::precompute(const std::vector<SessionConfig> &cfgs,
             return r;
         });
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
-        const auto [it, inserted] =
-            rehearsed_.emplace(cfgs[i].id, std::move(rehearsals[i]));
-        vs_assert(inserted, "session ", cfgs[i].id,
-                  " rehearsed twice");
+        vs_assert(rehearsed_.find(cfgs[i].id) == nullptr,
+                  "session ", cfgs[i].id, " rehearsed twice");
+        rehearsed_[cfgs[i].id] = std::move(rehearsals[i]);
     }
 }
 
@@ -297,13 +296,25 @@ SessionManager::regStats(StatsRegistry &r)
     r.addCallback("serve.active", "sessions currently active", [this] {
         return static_cast<double>(active_.size());
     });
+    // vstream:allow(stats-hygiene) live gauge: tracks reservations
     r.addCallback("serve.bandwidthReservedMBps",
                   "estimated DRAM bandwidth reserved, MB/s",
                   [this] { return bw_reserved_; });
+    // vstream:allow(stats-hygiene) live gauge: tracks reservations
     r.addCallback("serve.framebufferReservedBytes",
                   "frame-buffer pool bytes reserved", [this] {
                       return static_cast<double>(fb_reserved_);
                   });
+}
+
+void
+SessionManager::resetStats()
+{
+    admitted_ = 0;
+    rejected_ = 0;
+    queued_ = 0;
+    evicted_ = 0;
+    breaker_trips_ = 0;
 }
 
 } // namespace vstream

@@ -25,9 +25,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_table.hh"
 #include "serve/session.hh"
 #include "sim/event_queue.hh"
 
@@ -148,6 +148,10 @@ class SessionManager
     /** Register serve.* counters (admitted/rejected/queued/...). */
     void regStats(StatsRegistry &r);
 
+    /** Zero the admission counters; live gauges (reservations,
+     * active count) are untouched. */
+    void resetStats();
+
   private:
     struct Active
     {
@@ -188,8 +192,10 @@ class SessionManager
     std::vector<Active> retired_;
     std::deque<SessionConfig> waiting_;
     std::vector<SessionOutcome> outcomes_;
-    /** Rehearsals by session id, consumed at activation. */
-    std::unordered_map<std::uint64_t, Rehearsal> rehearsed_;
+    /** Rehearsals by session id, consumed (erased) at activation.
+     * Never iterated, so the unordered probe order of the flat table
+     * cannot leak into output. */
+    FlatMap<std::uint64_t, Rehearsal> rehearsed_;
 
     double bw_reserved_ = 0.0;
     std::uint64_t fb_reserved_ = 0;

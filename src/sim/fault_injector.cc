@@ -1,5 +1,6 @@
 #include "sim/fault_injector.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "sim/logging.hh"
@@ -27,14 +28,24 @@ faultClassName(FaultClass c)
 namespace
 {
 
+/**
+ * Largest double guaranteed to static_cast into a Tick: the cast is
+ * undefined behaviour the moment the (truncated) value cannot be
+ * represented, so every float-to-tick conversion must stay strictly
+ * below this.  2^63 is exactly representable as a double and leaves
+ * the whole check in one comparison that is also false for NaN/inf.
+ */
+constexpr double kMaxTickDouble = 9223372036854775808.0; // 2^63
+
 /** Parse "250ms" / "1.5s" / "400us" / bare "250" (ms) into ticks. */
-Tick
-parseTicks(const std::string &value, const std::string &spec)
+bool
+tryParseTicks(const std::string &value, Tick &out, std::string &error)
 {
     char *end = nullptr;
     const double x = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || x < 0.0) {
-        vs_fatal("bad time '", value, "' in fault spec '", spec, "'");
+    if (end == value.c_str()) {
+        error = "bad time '" + value + "'";
+        return false;
     }
     const std::string unit(end);
     double scale = static_cast<double>(sim_clock::ms);
@@ -49,28 +60,66 @@ parseTicks(const std::string &value, const std::string &spec)
     } else if (unit == "s") {
         scale = static_cast<double>(sim_clock::s);
     } else {
-        vs_fatal("unknown time unit '", unit, "' in fault spec '", spec,
-                 "'");
+        error = "unknown time unit '" + unit + "'";
+        return false;
     }
-    return static_cast<Tick>(x * scale);
+    // !(x >= 0) rejects NaN along with negatives, and the product
+    // bound rejects +inf and anything whose tick count would leave
+    // the Tick range (a hostile "1e300s" must not reach the cast).
+    const double ticks = x * scale;
+    if (!(x >= 0.0) || !(ticks < kMaxTickDouble)) {
+        error = "time '" + value + "' is not a finite tick count";
+        return false;
+    }
+    out = static_cast<Tick>(ticks);
+    return true;
 }
 
-double
-parseProbability(const std::string &value, const std::string &spec)
+bool
+tryParseProbability(const std::string &value, double &out,
+                    std::string &error)
 {
     char *end = nullptr;
     const double p = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
-        vs_fatal("bad probability '", value, "' in fault spec '", spec,
-                 "'");
+    // The inclusive-range form is false for NaN, which the old
+    // "p < 0 || p > 1" rejection let straight through.
+    if (end == value.c_str() || *end != '\0' ||
+        !(p >= 0.0 && p <= 1.0)) {
+        error = "bad probability '" + value + "'";
+        return false;
     }
-    return p;
+    out = p;
+    return true;
+}
+
+bool
+tryParseCount(const std::string &value, std::uint64_t &out,
+              std::string &error)
+{
+    // strtoull's failure modes are all traps for untrusted input:
+    // "" and "abc" parse as 0, "-5" wraps to 2^64-5, and overflow
+    // clamps with errno nobody checks.  Accept plain digits only.
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+        error = "bad count '" + value + "'";
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE || end != value.c_str() + value.size()) {
+        error = "count '" + value + "' out of range";
+        return false;
+    }
+    out = v;
+    return true;
 }
 
 } // namespace
 
-FaultRule
-parseFaultRule(FaultClass cls, const std::string &spec)
+bool
+tryParseFaultRule(FaultClass cls, const std::string &spec,
+                  FaultRule &out, std::string &error)
 {
     FaultRule rule;
     rule.cls = cls;
@@ -92,28 +141,33 @@ parseFaultRule(FaultClass cls, const std::string &spec)
         }
         const std::size_t eq = field.find('=');
         if (eq == std::string::npos) {
-            vs_fatal("fault spec field '", field,
-                     "' is not key=value (in '", spec, "')");
+            error = "field '" + field + "' is not key=value";
+            return false;
         }
         const std::string key = field.substr(0, eq);
         const std::string value = field.substr(eq + 1);
+        bool ok = true;
         if (key == "p") {
-            rule.probability = parseProbability(value, spec);
+            ok = tryParseProbability(value, rule.probability, error);
             have_p = true;
         } else if (key == "from") {
-            rule.from = parseTicks(value, spec);
+            ok = tryParseTicks(value, rule.from, error);
         } else if (key == "until") {
-            rule.until = parseTicks(value, spec);
+            ok = tryParseTicks(value, rule.until, error);
         } else if (key == "at") {
-            rule.from = parseTicks(value, spec);
+            ok = tryParseTicks(value, rule.from, error);
             have_at = true;
         } else if (key == "max") {
-            rule.max_count = std::strtoull(value.c_str(), nullptr, 10);
+            ok = tryParseCount(value, rule.max_count, error);
+            have_max = true;
         } else if (key == "len") {
-            rule.duration = parseTicks(value, spec);
+            ok = tryParseTicks(value, rule.duration, error);
         } else {
-            vs_fatal("unknown fault spec key '", key, "' (in '", spec,
-                     "')");
+            error = "unknown key '" + key + "'";
+            return false;
+        }
+        if (!ok) {
+            return false;
         }
     }
 
@@ -128,7 +182,20 @@ parseFaultRule(FaultClass cls, const std::string &spec)
         }
     }
     if (rule.until <= rule.from) {
-        vs_fatal("empty fault window in spec '", spec, "'");
+        error = "empty fault window";
+        return false;
+    }
+    out = rule;
+    return true;
+}
+
+FaultRule
+parseFaultRule(FaultClass cls, const std::string &spec)
+{
+    FaultRule rule;
+    std::string error;
+    if (!tryParseFaultRule(cls, spec, rule, error)) {
+        vs_fatal("fault spec '", spec, "': ", error);
     }
     return rule;
 }

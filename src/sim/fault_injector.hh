@@ -82,6 +82,18 @@ struct FaultRule
  */
 FaultRule parseFaultRule(FaultClass cls, const std::string &spec);
 
+/**
+ * Recoverable variant of parseFaultRule for untrusted specs: no
+ * input, however hostile (NaN times, out-of-range probabilities,
+ * non-numeric counts, values past the Tick range), terminates the
+ * process or invokes undefined behaviour.
+ *
+ * @return true and fill @p out on success; false with a diagnostic
+ *         in @p error otherwise (@p out is then unspecified).
+ */
+bool tryParseFaultRule(FaultClass cls, const std::string &spec,
+                       FaultRule &out, std::string &error);
+
 /** Schedule plus knobs shared by the degradation paths. */
 struct FaultConfig
 {

@@ -31,10 +31,16 @@ parseJobs(const char *value)
     return v > 0 ? static_cast<unsigned>(v) : 1;
 }
 
+// VSTREAM_JOBS picks the worker count only; results are
+// jobs-invariant by construction (test_parallel and the CI
+// perf-smoke job pin byte-identical output at any job count), and
+// the variable is read once, before any worker spawns.
+// vstream:allow(determinism-source) thread count, not sim state
 unsigned
 defaultJobs()
 {
-    return parseJobs(std::getenv("VSTREAM_JOBS"));
+    return parseJobs(
+        std::getenv("VSTREAM_JOBS")); // NOLINT(concurrency-mt-unsafe)
 }
 
 void

@@ -69,6 +69,8 @@ Macroblock::gradient() const
 }
 
 // vstream:hot
+// vstream:allow(no-hotpath-alloc) sizes caller scratch once; the
+// resize is a no-op on every later frame (callers keep the scratch)
 void
 Macroblock::gradientInto(Macroblock &out) const
 {

@@ -1,7 +1,9 @@
 #include "video/trace.hh"
 
+#include <algorithm>
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -232,7 +234,16 @@ TraceReader::TraceReader(std::istream &is)
         frame_count_ = 0;
         return;
     }
-    if (mabs_x_ == 0 || mabs_y_ == 0 || mab_dim_ == 0) {
+    // Reject hostile geometry before a single Frame is constructed:
+    // Frame allocates mabs_x * mabs_y * dim^2 * 3 bytes eagerly, so
+    // an unchecked header is an out-of-memory (or a u32 overflow in
+    // mabCount()) waiting to happen.
+    if (mabs_x_ == 0 || mabs_y_ == 0 || mab_dim_ == 0 ||
+        mabs_x_ > kMaxTraceMabsPerAxis ||
+        mabs_y_ > kMaxTraceMabsPerAxis ||
+        mab_dim_ > kMaxTraceMabDim ||
+        static_cast<std::uint64_t>(mabs_x_) * mabs_y_ >
+            kMaxTraceMabsPerFrame) {
         error_ = TraceError::kBadGeometry;
         frame_count_ = 0;
     }
@@ -244,8 +255,8 @@ TraceReader::tryNextFrame()
     vs_assert(!done(), "trace exhausted");
 
     bool ok = true;
-    const auto type = static_cast<FrameType>(
-        readPod<std::uint8_t>(is_, running_crc_state_, ok));
+    const auto type_byte =
+        readPod<std::uint8_t>(is_, running_crc_state_, ok);
     const auto complexity =
         readPod<double>(is_, running_crc_state_, ok);
     const auto encoded =
@@ -254,6 +265,18 @@ TraceReader::tryNextFrame()
         error_ = TraceError::kTruncatedFrame;
         return std::nullopt;
     }
+    // Validate every record field before it reaches the simulator:
+    // an out-of-range type byte is not a FrameType, a NaN/negative/
+    // huge complexity poisons the tick arithmetic it multiplies, and
+    // an absurd encoded size overflows bandwidth math downstream.
+    if (type_byte > static_cast<std::uint8_t>(FrameType::kB) ||
+        !std::isfinite(complexity) || complexity < 0.0 ||
+        complexity > kMaxTraceComplexity ||
+        encoded > kMaxTraceEncodedBytes) {
+        error_ = TraceError::kCorruptRecord;
+        return std::nullopt;
+    }
+    const auto type = static_cast<FrameType>(type_byte);
 
     Frame frame(frames_read_, type, mabs_x_, mabs_y_, mab_dim_);
     frame.setComplexity(complexity);
@@ -327,7 +350,12 @@ loadTrace(std::istream &is, TracePolicy policy, FaultInjector *faults)
         return result;
     }
 
-    result.frames.reserve(reader.frameCount());
+    // The header's frame count is untrusted: reserve only a bounded
+    // amount up front and let push_back grow past it, so a header
+    // announcing four billion frames cannot demand the allocation
+    // before the (truncated) stream refutes it.
+    constexpr std::uint32_t kReserveCap = 4096;
+    result.frames.reserve(std::min(reader.frameCount(), kReserveCap));
     std::uint32_t record = 0;
     while (!reader.done()) {
         std::optional<Frame> frame = reader.tryNextFrame();

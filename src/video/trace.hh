@@ -50,6 +50,26 @@ enum class TraceError : std::uint8_t
 /** Stable name for logs and error messages. */
 const char *traceErrorName(TraceError e);
 
+/**
+ * Hard limits on untrusted header/record fields.
+ *
+ * Traces arrive from outside the process, so the loader treats every
+ * field as hostile: a header that announces absurd geometry must be
+ * rejected (kBadGeometry) *before* any frame allocation — Frame
+ * eagerly allocates mabs_x * mabs_y macroblocks of dim^2 * 3 bytes —
+ * and record fields that would poison downstream arithmetic (NaN
+ * complexity, astronomical encoded sizes, out-of-range frame types)
+ * are rejected as kCorruptRecord.  The caps are far above anything a
+ * real capture produces (the paper's largest config is 4K at
+ * mab_dim 16) while keeping the worst-case per-frame allocation
+ * bounded.
+ */
+constexpr std::uint32_t kMaxTraceMabsPerAxis = 4096;
+constexpr std::uint32_t kMaxTraceMabDim = 128;
+constexpr std::uint64_t kMaxTraceMabsPerFrame = 1u << 20;
+constexpr double kMaxTraceComplexity = 1e6;
+constexpr std::uint64_t kMaxTraceEncodedBytes = 1ull << 40;
+
 /** What to do with a damaged trace. */
 enum class TracePolicy : std::uint8_t
 {

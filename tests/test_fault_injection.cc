@@ -89,7 +89,7 @@ TEST(FaultRuleDeath, RejectsMalformedSpecs)
         "not key=value");
     EXPECT_DEATH(
         parseFaultRule(FaultClass::kNetworkStall, "zzz=3"),
-        "unknown fault spec key");
+        "unknown key");
     EXPECT_DEATH(
         parseFaultRule(FaultClass::kNetworkStall,
                        "from=2s,until=1s"),
@@ -97,6 +97,81 @@ TEST(FaultRuleDeath, RejectsMalformedSpecs)
     EXPECT_DEATH(
         parseFaultRule(FaultClass::kNetworkStall, "at=1parsec"),
         "unknown time unit");
+}
+
+TEST(FaultRule, TryParseAcceptsWhatParseAccepts)
+{
+    FaultRule rule;
+    std::string error;
+    ASSERT_TRUE(tryParseFaultRule(
+        FaultClass::kDramTimeout,
+        "p=0.01,from=200ms,until=1.5s,max=3,len=250ms", rule, error))
+        << error;
+    EXPECT_DOUBLE_EQ(rule.probability, 0.01);
+    EXPECT_EQ(rule.from, 200 * sim_clock::ms);
+    EXPECT_EQ(rule.until, 1500 * sim_clock::ms);
+    EXPECT_EQ(rule.max_count, 3u);
+    EXPECT_EQ(rule.duration, 250 * sim_clock::ms);
+}
+
+TEST(FaultRule, AtWithExplicitMaxKeepsIt)
+{
+    // Regression: the one-shot defaulting used to clobber an
+    // explicit max= because parsing max never recorded it was seen.
+    FaultRule rule;
+    std::string error;
+    ASSERT_TRUE(tryParseFaultRule(FaultClass::kNetworkStall,
+                                  "at=5ms,max=3,len=1ms", rule, error))
+        << error;
+    EXPECT_EQ(rule.max_count, 3u);
+    EXPECT_DOUBLE_EQ(rule.probability, 1.0); // still defaulted
+}
+
+TEST(FaultRule, TryParseRejectsHostileSpecs)
+{
+    // Every spec here used to either crash the process (fine for
+    // config files, useless for fuzzing) or worse: slip through the
+    // old validation into undefined behaviour at the float-to-Tick
+    // cast, or clobber max_count via strtoull's quiet failures.
+    const char *hostile[] = {
+        "p=nan",     // NaN passed "p < 0 || p > 1"
+        "p=inf",
+        "at=nan",    // NaN passed "x < 0", then UB at the cast
+        "at=inf",
+        "from=1e300s",       // finite, but 1e300 * scale > 2^63: UB
+        "len=999999999999s", // plausible-looking, still past 2^63
+        "max=",      // strtoull: quiet 0
+        "max=abc",   // strtoull: quiet 0
+        "max=-3",    // strtoull: wraps to 2^64 - 3
+        "max=18446744073709551616", // overflow clamps with errno
+        "max=3x",    // trailing junk
+        "p=0.5,p",   // field with no '='
+        "until=",    // empty value
+    };
+    for (const char *spec : hostile) {
+        FaultRule rule;
+        std::string error;
+        EXPECT_FALSE(tryParseFaultRule(FaultClass::kNetworkStall,
+                                       spec, rule, error))
+            << "accepted hostile spec: " << spec;
+        EXPECT_FALSE(error.empty()) << spec;
+    }
+}
+
+TEST(FaultRule, TryParseBoundaryTimes)
+{
+    FaultRule rule;
+    std::string error;
+    // The largest second count whose tick product stays below 2^63
+    // with ps resolution (1e12 ticks/s): 9.2e6 s is in range...
+    ASSERT_TRUE(tryParseFaultRule(FaultClass::kNetworkStall,
+                                  "at=9000000s,len=1ms", rule, error))
+        << error;
+    // ...while 1e7 s crosses 2^63 ticks and must be rejected, not
+    // wrapped or UB'd.
+    EXPECT_FALSE(tryParseFaultRule(FaultClass::kNetworkStall,
+                                   "at=10000000s,len=1ms", rule,
+                                   error));
 }
 
 TEST(FaultConfigDeath, StallRulesNeedDuration)

@@ -302,6 +302,142 @@ TEST(Trace, OnDiskFormatIsLittleEndianStable)
     EXPECT_EQ(u32at(24), p.fps);
 }
 
+// ---- hostile inputs --------------------------------------------------
+//
+// The loader consumes untrusted bytes (and is fuzzed as such, see
+// fuzz/fuzz_trace_loader.cc); these tests pin the specific defenses:
+// geometry caps checked before any frame allocation, bounded reserve
+// for the announced frame count, and per-record field validation.
+
+namespace hostile
+{
+
+void
+putU32(std::string &s, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        s.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+}
+
+/** A trace header with arbitrary (possibly absurd) geometry. */
+std::string
+header(std::uint32_t frames, std::uint32_t mabs_x, std::uint32_t mabs_y,
+       std::uint32_t mab_dim, std::uint32_t fps = 60)
+{
+    std::string s = "VSTR";
+    putU32(s, 1); // version
+    putU32(s, frames);
+    putU32(s, mabs_x);
+    putU32(s, mabs_y);
+    putU32(s, mab_dim);
+    putU32(s, fps);
+    return s;
+}
+
+} // namespace hostile
+
+TEST(Trace, HugeGeometryRejectedBeforeAllocation)
+{
+    // 2^32-1 x 2^32-1 macroblocks: the unchecked loader would
+    // overflow mabCount() and then try to allocate the frame.  Must
+    // come back kBadGeometry without touching a Frame.
+    std::stringstream buf(
+        hostile::header(1, 0xffffffffu, 0xffffffffu, 16));
+    TraceLoadResult r = loadTrace(buf, TracePolicy::kFailClean);
+    EXPECT_EQ(r.error, TraceError::kBadGeometry);
+    EXPECT_TRUE(r.frames.empty());
+}
+
+TEST(Trace, GeometryCapsEnforcedPerAxisAndPerFrame)
+{
+    {
+        // One axis past the cap.
+        std::stringstream buf(hostile::header(1, 4097, 1, 4));
+        EXPECT_EQ(loadTrace(buf, TracePolicy::kFailClean).error,
+                  TraceError::kBadGeometry);
+    }
+    {
+        // Axes individually fine, product past the per-frame cap.
+        std::stringstream buf(hostile::header(1, 2048, 2048, 4));
+        EXPECT_EQ(loadTrace(buf, TracePolicy::kFailClean).error,
+                  TraceError::kBadGeometry);
+    }
+    {
+        // Macroblock dimension past its cap.
+        std::stringstream buf(hostile::header(1, 2, 2, 129));
+        EXPECT_EQ(loadTrace(buf, TracePolicy::kFailClean).error,
+                  TraceError::kBadGeometry);
+    }
+    {
+        // Zero stays rejected as before.
+        std::stringstream buf(hostile::header(1, 0, 2, 4));
+        EXPECT_EQ(loadTrace(buf, TracePolicy::kFailClean).error,
+                  TraceError::kBadGeometry);
+    }
+}
+
+TEST(Trace, HugeFrameCountDoesNotPreallocate)
+{
+    // Four billion announced frames backed by zero bytes of payload:
+    // the loader must fail on truncation promptly instead of
+    // reserving 2^32 Frame objects up front.
+    std::stringstream buf(hostile::header(0xffffffffu, 2, 2, 4));
+    TraceLoadResult r = loadTrace(buf, TracePolicy::kFailClean);
+    EXPECT_EQ(r.error, TraceError::kTruncatedFrame);
+    EXPECT_EQ(r.frames_expected, 0xffffffffu);
+    EXPECT_TRUE(r.frames.empty());
+}
+
+TEST(Trace, InvalidFrameTypeByteIsCorruptRecord)
+{
+    const VideoProfile p = traceProfile(1);
+    std::stringstream good;
+    writeTrace(good, p);
+    std::string bytes = good.str();
+    // Frame record starts right after the 28-byte header; first
+    // byte is the FrameType.
+    bytes[28] = '\x7f';
+    std::stringstream buf(bytes);
+    TraceLoadResult r = loadTrace(buf, TracePolicy::kFailClean);
+    EXPECT_EQ(r.error, TraceError::kCorruptRecord);
+    EXPECT_TRUE(r.frames.empty());
+}
+
+TEST(Trace, NonFiniteComplexityIsCorruptRecord)
+{
+    const VideoProfile p = traceProfile(1);
+    std::stringstream good;
+    writeTrace(good, p);
+    std::string bytes = good.str();
+    // The f64 complexity sits at bytes 29..36; overwrite with the
+    // little-endian quiet NaN 0x7ff8000000000000.
+    const unsigned char nan_le[8] = {0, 0, 0, 0, 0, 0, 0xf8, 0x7f};
+    for (int i = 0; i < 8; ++i) {
+        bytes[29 + i] = static_cast<char>(nan_le[i]);
+    }
+    std::stringstream buf(bytes);
+    TraceLoadResult r = loadTrace(buf, TracePolicy::kFailClean);
+    EXPECT_EQ(r.error, TraceError::kCorruptRecord);
+    EXPECT_TRUE(r.frames.empty());
+}
+
+TEST(Trace, AbsurdEncodedBytesIsCorruptRecord)
+{
+    const VideoProfile p = traceProfile(1);
+    std::stringstream good;
+    writeTrace(good, p);
+    std::string bytes = good.str();
+    // The u64 encoded size sits at bytes 37..44.
+    for (int i = 0; i < 8; ++i) {
+        bytes[37 + i] = '\xff';
+    }
+    std::stringstream buf(bytes);
+    TraceLoadResult r = loadTrace(buf, TracePolicy::kFailClean);
+    EXPECT_EQ(r.error, TraceError::kCorruptRecord);
+    EXPECT_TRUE(r.frames.empty());
+}
+
 TEST(Trace, LargeFrameCountStreamsWithoutBloat)
 {
     // 20 frames of 64x32: the trace should be close to the raw pixel

@@ -1,0 +1,16 @@
+"""Entry point: `python3 tools/vstream_analyze ...` works directly
+(Python runs a directory by executing its __main__.py)."""
+
+import os
+import sys
+
+if __package__ in (None, ''):
+    # Invoked as `python3 tools/vstream_analyze`: the package dir
+    # itself is sys.path[0]; import the package from its parent.
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from vstream_analyze.cli import main
+else:
+    from .cli import main
+
+sys.exit(main(sys.argv[1:]))

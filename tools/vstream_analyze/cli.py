@@ -1,0 +1,68 @@
+"""Command-line driver.
+
+    python3 tools/vstream_analyze --root . [files...]
+    python3 tools/vstream_analyze --self-test
+    python3 tools/vstream_analyze --list-rules
+
+Exit status 0 when clean, 1 with findings, 2 on usage errors.
+"""
+
+import argparse
+import os
+import sys
+
+from . import rules
+from .project import Project, EXTENSIONS
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog='vstream_analyze',
+        description='cross-TU determinism & concurrency analyzer '
+                    '(see docs/ANALYSIS.md)')
+    parser.add_argument('--root', default='.',
+                        help='repository root (default: cwd)')
+    parser.add_argument('--list-rules', action='store_true',
+                        help='print rule names and exit')
+    parser.add_argument('--self-test', action='store_true',
+                        help='check every rule against synthetic '
+                             'violations and exit')
+    parser.add_argument('files', nargs='*',
+                        help='specific files (repo-relative) to '
+                             'report on; the cross-TU passes still '
+                             'see the whole project.  Default: all '
+                             'of src/tests/bench/examples')
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        from . import selftest
+        return selftest.run()
+
+    if args.list_rules:
+        for rule in rules.RULE_IDS:
+            print(rule)
+        return 0
+
+    root = os.path.abspath(args.root)
+    project = Project.load(root)
+
+    only = None
+    if args.files:
+        only = set()
+        for rel in args.files:
+            rel = os.path.relpath(os.path.join(root, rel), root)
+            rel = rel.replace(os.sep, '/')
+            if rel.endswith(EXTENSIONS):
+                only.add(rel)
+
+    findings = rules.run_all(project, only_rels=only)
+    scanned = len(only) if only is not None else len(project.files)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print('vstream_analyze: %d finding(s) in %d file(s) scanned'
+              % (len(findings), scanned), file=sys.stderr)
+        return 1
+    print('vstream_analyze: OK (%d files scanned)' % scanned)
+    return 0

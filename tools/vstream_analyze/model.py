@@ -1,0 +1,63 @@
+"""Findings, per-file state, and suppression handling."""
+
+import re
+
+from . import lexer
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return '%s:%d: [%s] %s' % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+ALLOW_RE = re.compile(r'vstream:allow\(([A-Za-z0-9_,\- ]+)\)')
+
+
+class SourceFile:
+    """One scanned file: raw text, length-preserving stripped view,
+    token stream, per-line suppression sets."""
+
+    def __init__(self, rel, raw):
+        self.rel = rel
+        self.raw = raw
+        self.code, self.tokens = lexer.scan(raw)
+        # line -> set of rule ids allowed on that line and the next
+        # (an allow comment suppresses its own line and the line
+        # after, so it can sit inline or on the line above).
+        self.allow = {}
+        for tok in self.tokens:
+            if tok.kind != 'comment':
+                continue
+            m = ALLOW_RE.search(tok.text)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(1).split(',')}
+            span = tok.text.count('\n') + 2
+            for off in range(span):
+                self.allow.setdefault(tok.line + off,
+                                      set()).update(rules)
+
+    def line_of(self, offset):
+        """1-based line of a stripped-view (== raw) offset."""
+        return self.code.count('\n', 0, offset) + 1
+
+    def allowed(self, line, rule):
+        return rule in self.allow.get(line, ())
+
+    def comments(self):
+        for tok in self.tokens:
+            if tok.kind == 'comment':
+                yield tok
+
+
+def match_lines(code, pattern):
+    """Yield (1-based line, match) for every match of @p pattern."""
+    for m in re.finditer(pattern, code):
+        yield code.count('\n', 0, m.start()) + 1, m

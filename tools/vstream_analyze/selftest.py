@@ -1,0 +1,416 @@
+"""Analyzer self-test: synthetic bad/good projects + lexer
+regressions.
+
+Every rule id must fire at least once on the bad inputs and never on
+the good inputs.  The lexer regressions pin the three historical
+stripper bugs (raw strings, line-continuation backslashes inside //
+comments, digit separators) so they cannot come back.
+"""
+
+import os
+import sys
+import tempfile
+
+from . import lexer
+from . import rules
+from .project import Project
+
+# -- stub project headers (clean; give the include graph real edges)
+
+STUB_STATS_REGISTRY = '''\
+#ifndef VSTREAM_SIM_STATS_REGISTRY_HH
+#define VSTREAM_SIM_STATS_REGISTRY_HH
+class StatsRegistry;
+#endif
+'''
+
+STUB_PARALLEL = '''\
+#ifndef VSTREAM_SIM_PARALLEL_HH
+#define VSTREAM_SIM_PARALLEL_HH
+void parallelForDecl();
+#endif
+'''
+
+# -- bad inputs: every rule must fire somewhere in these -------------
+
+BAD_HEADER = '''\
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+#include <cassert>
+#include <random>
+#include "sim/stats_registry.hh"
+class Bad : public SimObject
+{
+  public:
+    void regStats(StatsRegistry &r) override;
+  private:
+    int *p_ = new int(3);
+};
+inline void f(int *q) { assert(q != NULL); delete q; std::abort(); }
+inline int g() { return rand(); }
+inline void h(std::ostream &os) { stats::printStat(os, "x", 1.0); }
+inline void i(char *buf, FILE *fp) { fread(buf, 1, 16, fp); }
+inline void j() { while (true) { retryBurst(); } }
+// vstream:hot
+inline int *k()
+{
+    std::string name("scratch");
+    return new int(static_cast<int>(name.size()));
+}
+inline double wallSeconds()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    return static_cast<double>(time(nullptr));
+}
+inline const char *env() { return std::getenv("VSTREAM_X"); }
+inline std::size_t ptrHash(void *p)
+{
+    return std::hash<void *>{}(p);
+}
+inline void dumpCounts(std::ostream &os)
+{
+    std::unordered_map<std::uint32_t, int> counts;
+    for (const auto &kv : counts) {
+        os << kv.first;
+    }
+}
+#endif
+'''
+
+BAD_HOT = '''\
+#include "sim/stats_registry.hh"
+namespace bad
+{
+void helperGrow(std::vector<int> &v)
+{
+    v.push_back(1);
+}
+// vstream:hot
+void hotKernel(std::vector<int> &v)
+{
+    helperGrow(v);
+}
+} // namespace bad
+'''
+
+BAD_LOCK = '''\
+#include "sim/parallel.hh"
+class BadShard
+{
+  public:
+    void run(unsigned jobs);
+  private:
+    // vstream:shard_local
+    int scratch_ = 0;
+    // vstream:guarded_by(mutex_)
+    int shared_ = 0;
+};
+void
+BadShard::run(unsigned jobs)
+{
+    parallelFor(jobs, 8, [&](std::size_t i) {
+        scratch_ += static_cast<int>(i);
+        shared_ += 1;
+    });
+}
+'''
+
+BAD_STATS = '''\
+#include "sim/stats_registry.hh"
+class BadStatsA
+{
+  public:
+    void regStats(StatsRegistry &r);
+  private:
+    std::uint64_t hits_ = 0;
+};
+void
+BadStatsA::regStats(StatsRegistry &r)
+{
+    r.addCallback("bad.hits", "hits", [this] {
+        return static_cast<double>(hits_);
+    });
+}
+class BadStatsB
+{
+  public:
+    void regStats(StatsRegistry &r);
+    void resetStats();
+  private:
+    std::uint64_t good_ = 0;
+    std::uint64_t forgotten_ = 0;
+};
+void
+BadStatsB::regStats(StatsRegistry &r)
+{
+    r.addCallback("bad.good", "reset fine", [this] {
+        return static_cast<double>(good_);
+    });
+    r.addCallback("bad.forgotten", "never reset", [this] {
+        return static_cast<double>(forgotten_);
+    });
+}
+void
+BadStatsB::resetStats()
+{
+    good_ = 0;
+}
+'''
+
+# -- good inputs: zero findings expected -----------------------------
+
+GOOD_HEADER = '''\
+#ifndef VSTREAM_CORE_GOOD_HH
+#define VSTREAM_CORE_GOOD_HH
+// assert() in a comment, "abort()" and NULL in strings are fine:
+inline const char *s() { return "do not abort() on NULL"; }
+// Raw strings must be stripped to their closing delimiter, not the
+// first quote; everything here is literal content:
+inline const char *r()
+{
+    return R"(rand() NULL abort() "quoted" /* not a comment)";
+}
+// A line-continuation backslash extends this comment: rand() \\
+   srand(42); abort(); NULL
+inline int sep() { return 1'000'000 + 0xFF'FF; }
+class Good : public SimObject
+{
+  public:
+    void regStats(StatsRegistry &r) override;
+    void resetStats() override;
+};
+inline bool i(char *buf, std::size_t n, FILE *fp)
+{
+    // Checked and member-call IO never fires no-unchecked-io:
+    if (fread(buf, 1, n, fp) != n) { return false; }
+    std::stringstream ss;
+    ss.read(buf, 4);
+    return bool(ss);
+}
+inline void j(unsigned retry_limit)
+{
+    // A bounded retry loop never fires no-unbounded-retry:
+    unsigned attempts = 0;
+    while (true) {
+        if (++attempts > retry_limit) { break; }
+        retryBurst();
+    }
+}
+// vstream:hot
+inline std::uint32_t k(const std::string &key, std::uint32_t seed)
+{
+    // Reads a std::string by reference and allocates nothing:
+    // never fires no-hotpath-alloc.
+    std::uint32_t h = seed;
+    for (char c : key) {
+        h = h * 31u + static_cast<std::uint8_t>(c);
+    }
+    return h;
+}
+#endif
+'''
+
+GOOD_HOT = '''\
+#include "sim/stats_registry.hh"
+namespace good
+{
+int helperPure(int x)
+{
+    return x * 2;
+}
+// A deliberate, documented growth path right below a hot caller:
+// vstream:allow(no-hotpath-alloc) amortized growth; callers reserve
+void helperGrowAllowed(std::vector<int> &v)
+{
+    v.push_back(1);
+}
+// vstream:hot
+int hotKernel(std::vector<int> &v, int x)
+{
+    helperGrowAllowed(v);
+    return helperPure(x);
+}
+} // namespace good
+'''
+
+GOOD_LOCK = '''\
+#include "sim/parallel.hh"
+class GoodShard
+{
+  public:
+    void run(unsigned jobs);
+  private:
+    // vstream:shard_local
+    int merged_ = 0;
+    // vstream:guarded_by(mutex_)
+    int shared_ok_ = 0;
+};
+void
+GoodShard::run(unsigned jobs)
+{
+    parallelFor(jobs, 8, [&](std::size_t i) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shared_ok_ += static_cast<int>(i);
+    });
+    merged_ += 1; // outside the workers: fine
+}
+'''
+
+GOOD_STATS = '''\
+#include "sim/stats_registry.hh"
+class GoodStats
+{
+  public:
+    void regStats(StatsRegistry &r);
+    void resetStats();
+  private:
+    std::string name_;
+    std::uint64_t hits_ = 0;
+};
+void
+GoodStats::regStats(StatsRegistry &r)
+{
+    // name_ appears in the stat-name argument only: it titles the
+    // stat and must never be demanded in resetStats.
+    r.addCallback(name_ + ".hits", "hits", [this] {
+        return static_cast<double>(hits_);
+    });
+}
+void
+GoodStats::resetStats()
+{
+    hits_ = 0;
+}
+'''
+
+GOOD_ORDERED = '''\
+#include "sim/stats_registry.hh"
+#include "core/flat_table.hh"
+inline void dumpSorted(std::ostream &os)
+{
+    // FlatMap + a sorted snapshot is the sanctioned pattern.
+    vstream::FlatMap<std::uint32_t, int> counts;
+    std::vector<std::uint32_t> keys;
+    counts.forEach([&](std::uint32_t k, int) { keys.push_back(k); });
+    std::sort(keys.begin(), keys.end());
+    for (std::uint32_t k : keys) {
+        os << k;
+    }
+}
+'''
+
+STUB_FLAT_TABLE = '''\
+#ifndef VSTREAM_CORE_FLAT_TABLE_HH
+#define VSTREAM_CORE_FLAT_TABLE_HH
+namespace vstream { }
+#endif
+'''
+
+BAD_FILES = {
+    'src/core/bad.hh': BAD_HEADER,
+    'src/core/bad_hot.cc': BAD_HOT,
+    'src/core/bad_lock.cc': BAD_LOCK,
+    'src/core/bad_stats.cc': BAD_STATS,
+}
+
+GOOD_FILES = {
+    'src/core/good.hh': GOOD_HEADER,
+    'src/core/good_hot.cc': GOOD_HOT,
+    'src/core/good_lock.cc': GOOD_LOCK,
+    'src/core/good_stats.cc': GOOD_STATS,
+    'src/core/good_ordered.cc': GOOD_ORDERED,
+}
+
+STUB_FILES = {
+    'src/sim/stats_registry.hh': STUB_STATS_REGISTRY,
+    'src/sim/parallel.hh': STUB_PARALLEL,
+    'src/core/flat_table.hh': STUB_FLAT_TABLE,
+}
+
+
+def _lexer_regressions():
+    """Pin the three historical stripper bugs."""
+    failures = []
+
+    def check(cond, what):
+        if not cond:
+            failures.append(what)
+
+    # 1. Raw strings: content blanked through the delimiter, code
+    #    after the literal still visible.
+    raw = 'const char *s = R"(rand() "x" NULL)"; std::abort();'
+    code = lexer.strip_comments_and_strings(raw)
+    check(len(code) == len(raw), 'raw string: length preserved')
+    check('rand' not in code, 'raw string: content blanked')
+    check('NULL' not in code, 'raw string: NULL blanked')
+    check('std::abort' in code, 'raw string: code after survives')
+
+    # 2. Line-continuation backslash extends a // comment.
+    raw = '// comment \\\nrand();\nsrand(7);\n'
+    code = lexer.strip_comments_and_strings(raw)
+    check(len(code) == len(raw), 'comment splice: length preserved')
+    check('rand()' not in code.split('\n')[1],
+          'comment splice: spliced line is comment')
+    check('srand' in code, 'comment splice: next real line is code')
+
+    # 3. Digit separators are not char literals.
+    raw = "int x = 1'000'000; std::abort(); char c = '0';"
+    code = lexer.strip_comments_and_strings(raw)
+    check(len(code) == len(raw), 'digit sep: length preserved')
+    check('std::abort' in code, 'digit sep: code after survives')
+    check("'0'" not in code, 'digit sep: real char literal blanked')
+
+    # 4. Block comments do not nest (ISO C++): the first */ closes.
+    raw = '/* a /* b */ std::abort();'
+    code = lexer.strip_comments_and_strings(raw)
+    check('std::abort' in code, 'block comment: closes at first */')
+
+    # 5. Escaped quotes inside strings.
+    raw = 'const char *q = "a \\" rand() b"; srand(1);'
+    code = lexer.strip_comments_and_strings(raw)
+    check('rand()' not in code.replace('srand', ''),
+          'escaped quote: content blanked')
+    check('srand' in code, 'escaped quote: code after survives')
+
+    return failures
+
+
+def run():
+    failures = _lexer_regressions()
+    for what in failures:
+        print('self-test: lexer regression failed: %s' % what,
+              file=sys.stderr)
+
+    with tempfile.TemporaryDirectory() as root:
+        for rel, text in {**BAD_FILES, **GOOD_FILES,
+                          **STUB_FILES}.items():
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, 'w') as f:
+                f.write(text)
+        project = Project.load(root)
+        findings = rules.run_all(project)
+
+    bad_rules = {f.rule for f in findings if '/bad' in f.path}
+    good_hits = [f for f in findings
+                 if '/good' in f.path or '/sim/' in f.path]
+
+    ok = not failures
+    for rule in sorted(set(rules.RULE_IDS) - bad_rules):
+        print('self-test: rule %s did not fire on the bad inputs'
+              % rule, file=sys.stderr)
+        ok = False
+    for f in findings:
+        if f.rule not in rules.RULE_IDS:
+            print('self-test: unknown rule id %s' % f.rule,
+                  file=sys.stderr)
+            ok = False
+    for f in good_hits:
+        print('self-test: false positive on clean input: %s' % f,
+              file=sys.stderr)
+        ok = False
+
+    print('vstream_analyze self-test: %s (%d rules, %d synthetic '
+          'findings)' % ('OK' if ok else 'FAILED',
+                         len(rules.RULE_IDS), len(findings)))
+    return 0 if ok else 1

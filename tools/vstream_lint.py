@@ -1,638 +1,24 @@
 #!/usr/bin/env python3
-"""vstream-specific invariant linter.
+"""Compatibility shim: the linter grew into tools/vstream_analyze/.
 
-Enforces repo invariants that generic tools (clang-tidy, compiler
-warnings) cannot express because they are conventions of *this*
-simulator, not of C++:
+Everything vstream_lint did (and five new project-wide rules:
+determinism-source, ordered-iteration, lock-discipline, shard-local,
+stats-hygiene, plus call-graph-aware hot-path checking) now lives in
+the vstream_analyze package.  This shim keeps the old entry point
+working for scripts and muscle memory:
 
-  logging-discipline   src/ must report errors through vs_assert /
-                       vs_panic / vs_fatal (src/sim/logging.hh), never
-                       raw assert()/abort()/exit(): the vs_* forms
-                       carry file:line context and a formatted message
-                       into the simulation log, and death tests match
-                       on that output.
+    python3 tools/vstream_lint.py --root .
+    python3 tools/vstream_lint.py --self-test
 
-  no-naked-new         outside src/sim (which owns low-level event /
-                       object lifetime), heap objects are held by
-                       std::unique_ptr or containers; a naked new or
-                       delete is either a leak risk or a double-free
-                       risk that ASan can only catch dynamically.
-
-  determinism-guard    every stochastic element must draw from the
-                       explicitly seeded vstream::Random
-                       (src/sim/random.cc).  rand(), srand(),
-                       std::random_device, or <random> engines anywhere
-                       else silently break exact-reproducibility of a
-                       simulation from its seed -- the property every
-                       BENCH figure depends on.
-
-  include-guards       headers use #ifndef VSTREAM_<PATH>_<FILE>_HH
-                       guards derived from their path, so a moved or
-                       copied header cannot silently shadow another.
-
-  stats-reset-pairing  a SimObject subclass overriding regStats() (or
-                       the legacy dumpStats()) must also override
-                       resetStats(): warm-up windows reset all stats,
-                       and a class that dumps counters it never resets
-                       reports stale numbers after a reset (exactly
-                       the drift Herglotz & Kaup warn about for energy
-                       models).
-
-  registry-stats       outside src/sim, statistics reach the output
-                       through a StatsRegistry (regStats + the
-                       registry exporters); a direct stats::printStat
-                       call emits a line the registry does not know,
-                       so it is invisible to the JSON/CSV exporters
-                       and to dump-ordering guarantees.
-
-  no-null-macro        nullptr, not NULL (modernize-use-nullptr
-                       adjunct for the clang-tidy-less toolchain).
-
-  no-unchecked-io      outside src/sim, a statement-position fread()
-                       or read() whose return value is discarded is a
-                       silent-truncation bug waiting to happen: the
-                       trace loader's graceful-degradation path
-                       depends on every short read being noticed and
-                       routed into a TraceError, not ignored.
-
-  no-hotpath-alloc     a function marked // vstream:hot (the per-mab
-                       kernels: CRC steps, the gradient transform,
-                       flat-table probes, frame-buffer block moves)
-                       must not allocate: no new and no std::string
-                       construction in its body.  One allocation per
-                       48 B mab dwarfs the kernel it sits in.  The
-                       marker lives in a comment, which the linter
-                       strips, so this check re-reads the raw text to
-                       find markers (offsets line up because the
-                       stripper is length-preserving).
-
-  no-unbounded-retry   an infinite loop (while (true) / for (;;))
-                       that retries, re-issues, or backs off must
-                       bound its attempts against a limit/cap/budget:
-                       under a fault storm an unbounded retry loop
-                       livelocks the simulated device instead of
-                       degrading (the abandon path in
-                       DramController::burstWithRetry is the model).
-
-Exit status 0 when clean, 1 with findings, 2 on usage errors.
+See docs/ANALYSIS.md for the rule catalogue.
 """
 
-import argparse
 import os
-import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# --------------------------------------------------------------- helpers
-
-def strip_comments_and_strings(text):
-    """Replace comment and string-literal contents with spaces.
-
-    Line structure is preserved so reported line numbers stay valid.
-    """
-    out = []
-    i = 0
-    n = len(text)
-    state = None  # None | 'line' | 'block' | 'str' | 'chr'
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ''
-        if state is None:
-            if c == '/' and nxt == '/':
-                state = 'line'
-                out.append('  ')
-                i += 2
-            elif c == '/' and nxt == '*':
-                state = 'block'
-                out.append('  ')
-                i += 2
-            elif c == '"':
-                state = 'str'
-                out.append(c)
-                i += 1
-            elif c == "'":
-                state = 'chr'
-                out.append(c)
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == 'line':
-            if c == '\n':
-                state = None
-                out.append(c)
-            else:
-                out.append(' ')
-            i += 1
-        elif state == 'block':
-            if c == '*' and nxt == '/':
-                state = None
-                out.append('  ')
-                i += 2
-            else:
-                out.append(c if c == '\n' else ' ')
-                i += 1
-        elif state == 'str':
-            if c == '\\':
-                out.append('  ')
-                i += 2
-            elif c == '"':
-                state = None
-                out.append(c)
-                i += 1
-            else:
-                out.append(c if c == '\n' else ' ')
-                i += 1
-        elif state == 'chr':
-            if c == '\\':
-                out.append('  ')
-                i += 2
-            elif c == "'":
-                state = None
-                out.append(c)
-                i += 1
-            else:
-                out.append(' ')
-                i += 1
-    return ''.join(out)
-
-
-class Finding:
-    def __init__(self, path, line, rule, message):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self):
-        return '%s:%d: [%s] %s' % (self.path, self.line, self.rule,
-                                   self.message)
-
-
-def match_lines(code, pattern):
-    """Yield (1-based line, match) for every match of @p pattern."""
-    for m in re.finditer(pattern, code):
-        yield code.count('\n', 0, m.start()) + 1, m
-
-
-# ---------------------------------------------------------------- checks
-
-RAW_ASSERT_RE = re.compile(
-    r'(?<![A-Za-z0-9_])(?<!vs_)(?<!static_)assert\s*\(')
-RAW_ABORT_RE = re.compile(
-    r'(?<![A-Za-z0-9_])(?:std\s*::\s*)?(abort|exit|_Exit)\s*\(')
-CASSERT_RE = re.compile(r'#\s*include\s*<(cassert|assert\.h)>')
-
-
-def check_logging_discipline(path, rel, code, findings):
-    if rel.startswith('src/sim/logging.'):
-        return
-    for line, m in match_lines(code, RAW_ASSERT_RE):
-        findings.append(Finding(
-            rel, line, 'logging-discipline',
-            'raw assert(); use vs_assert from sim/logging.hh'))
-    for line, m in match_lines(code, RAW_ABORT_RE):
-        findings.append(Finding(
-            rel, line, 'logging-discipline',
-            '%s(); use vs_panic/vs_fatal from sim/logging.hh'
-            % m.group(1)))
-    for line, m in match_lines(code, CASSERT_RE):
-        findings.append(Finding(
-            rel, line, 'logging-discipline',
-            'includes <%s>; use sim/logging.hh instead' % m.group(1)))
-
-
-NAKED_NEW_RE = re.compile(r'(?<![A-Za-z0-9_])new\s+[A-Za-z_:<(]')
-NAKED_DELETE_RE = re.compile(r'(?<![A-Za-z0-9_])delete(\s*\[\s*\])?\s')
-
-
-def check_naked_new(path, rel, code, findings):
-    if rel.startswith('src/sim/'):
-        return
-    for line, m in match_lines(code, NAKED_NEW_RE):
-        findings.append(Finding(
-            rel, line, 'no-naked-new',
-            'naked new outside src/sim; use std::make_unique or a '
-            'container'))
-    for line, m in match_lines(code, NAKED_DELETE_RE):
-        # "= delete" (deleted special members) is not a deallocation.
-        start = code.rfind('\n', 0, m.start()) + 1
-        before = code[start:m.start()].rstrip()
-        if before.endswith('='):
-            continue
-        findings.append(Finding(
-            rel, line, 'no-naked-new',
-            'naked delete outside src/sim; prefer RAII ownership'))
-
-
-NONDET_RE = re.compile(
-    r'(?<![A-Za-z0-9_])(s?rand)\s*\(|'
-    r'std\s*::\s*(random_device|mt19937(_64)?|minstd_rand0?|'
-    r'default_random_engine)|'
-    r'#\s*include\s*<random>')
-
-
-def check_determinism(path, rel, code, findings):
-    if rel in ('src/sim/random.cc', 'src/sim/random.hh'):
-        return
-    for line, m in match_lines(code, NONDET_RE):
-        what = m.group(1) or m.group(2) or '<random>'
-        findings.append(Finding(
-            rel, line, 'determinism-guard',
-            '%s breaks seed-reproducibility; draw from '
-            'vstream::Random (sim/random.hh)' % what))
-
-
-GUARD_RE = re.compile(
-    r'#\s*ifndef\s+([A-Za-z0-9_]+)\s*\n\s*#\s*define\s+([A-Za-z0-9_]+)')
-
-
-def expected_guard(rel):
-    # src/mem/dram_bank.hh -> VSTREAM_MEM_DRAM_BANK_HH
-    parts = rel.split('/')
-    if parts[0] == 'src':
-        parts = parts[1:]
-    stem = '_'.join(parts)
-    return 'VSTREAM_' + re.sub(r'[^A-Za-z0-9]', '_', stem).upper()
-
-
-def check_include_guard(path, rel, code, findings):
-    if not rel.endswith(('.hh', '.h')):
-        return
-    m = GUARD_RE.search(code)
-    want = expected_guard(rel)
-    if not m:
-        findings.append(Finding(
-            rel, 1, 'include-guards',
-            'missing #ifndef/#define include guard (expected %s)'
-            % want))
-        return
-    line = code.count('\n', 0, m.start()) + 1
-    if m.group(1) != m.group(2):
-        findings.append(Finding(
-            rel, line, 'include-guards',
-            '#ifndef %s does not match #define %s'
-            % (m.group(1), m.group(2))))
-    if m.group(1) != want:
-        findings.append(Finding(
-            rel, line, 'include-guards',
-            'guard %s should be %s (derived from path)'
-            % (m.group(1), want)))
-
-
-CLASS_RE = re.compile(
-    r'class\s+([A-Za-z_][A-Za-z0-9_]*)\s*(?:final\s*)?'
-    r':\s*public\s+SimObject\b')
-
-
-def class_body(code, open_pos):
-    """Return the text of a class body given the position of its
-    header; empty string when the brace structure is surprising."""
-    brace = code.find('{', open_pos)
-    if brace < 0:
-        return ''
-    depth = 0
-    for i in range(brace, len(code)):
-        if code[i] == '{':
-            depth += 1
-        elif code[i] == '}':
-            depth -= 1
-            if depth == 0:
-                return code[brace:i]
-    return ''
-
-
-def check_stats_pairing(path, rel, code, findings):
-    for m in CLASS_RE.finditer(code):
-        body = class_body(code, m.end())
-        dumps = re.search(r'\b(dumpStats|regStats)\s*\(', body)
-        resets = re.search(r'\bresetStats\s*\(', body)
-        if dumps and not resets:
-            line = code.count('\n', 0, m.start()) + 1
-            findings.append(Finding(
-                rel, line, 'stats-reset-pairing',
-                'SimObject subclass %s overrides %s but not '
-                'resetStats; stale counters survive a stats reset'
-                % (m.group(1), dumps.group(1))))
-
-
-PRINT_STAT_RE = re.compile(
-    r'(?<![A-Za-z0-9_])(?:stats\s*::\s*)?printStat\s*\(')
-
-
-def check_registry_stats(path, rel, code, findings):
-    if rel.startswith('src/sim/'):
-        return
-    for line, m in match_lines(code, PRINT_STAT_RE):
-        findings.append(Finding(
-            rel, line, 'registry-stats',
-            'direct printStat bypasses the StatsRegistry; register '
-            'the stat in regStats so the JSON/CSV exporters see it'))
-
-
-NULL_RE = re.compile(r'(?<![A-Za-z0-9_])NULL(?![A-Za-z0-9_])')
-
-
-def check_null_macro(path, rel, code, findings):
-    for line, m in match_lines(code, NULL_RE):
-        findings.append(Finding(
-            rel, line, 'no-null-macro', 'NULL macro; use nullptr'))
-
-
-# Statement position only: the call must open a statement (start of
-# line or right after ';'/'{'/'}'), so member calls (.read, ->read)
-# and uses of the return value (if (fread(...)), n = fread(...)) do
-# not match -- those check or consume the result.
-UNCHECKED_IO_RE = re.compile(
-    r'(?:^|[;{}])[ \t]*((?:std\s*::\s*)?fread|read)\s*\(',
-    re.MULTILINE)
-
-
-def check_unchecked_io(path, rel, code, findings):
-    if rel.startswith('src/sim/'):
-        return
-    for line, m in match_lines(code, UNCHECKED_IO_RE):
-        findings.append(Finding(
-            rel, line, 'no-unchecked-io',
-            '%s() return value ignored; a short read must be '
-            'detected and handled (see src/video/trace.cc)'
-            % m.group(1)))
-
-
-HOT_MARK_RE = re.compile(r'//\s*vstream:hot')
-# std::string by value (declaration, temporary, return type) is a
-# construction; const std::string & / * / template args are not.
-HOT_STRING_RE = re.compile(
-    r'(?<![A-Za-z0-9_])std\s*::\s*string\b(?!\s*[&*>])')
-
-
-def check_hotpath_alloc(path, rel, code, findings):
-    # The marker is a comment, so find it in the raw text; the
-    # stripper is length-preserving, so raw offsets index straight
-    # into the stripped code.
-    try:
-        with open(path, encoding='utf-8', errors='replace') as f:
-            raw = f.read()
-    except OSError:
-        return
-    for m in HOT_MARK_RE.finditer(raw):
-        brace = code.find('{', m.end())
-        if brace < 0:
-            continue
-        body = class_body(code, m.end())
-        if not body:
-            continue
-        for bm in NAKED_NEW_RE.finditer(body):
-            line = code.count('\n', 0, brace + bm.start()) + 1
-            findings.append(Finding(
-                rel, line, 'no-hotpath-alloc',
-                'heap allocation inside a // vstream:hot function; '
-                'hot kernels must be allocation-free'))
-        for bm in HOT_STRING_RE.finditer(body):
-            line = code.count('\n', 0, brace + bm.start()) + 1
-            findings.append(Finding(
-                rel, line, 'no-hotpath-alloc',
-                'std::string constructed inside a // vstream:hot '
-                'function; hot kernels must be allocation-free'))
-
-
-INF_LOOP_RE = re.compile(
-    r'(?<![A-Za-z0-9_])(?:while\s*\(\s*(?:true|1)\s*\)|'
-    r'for\s*\(\s*;\s*;\s*\))')
-RETRY_TOKEN_RE = re.compile(r'retry|reissue|resend|backoff',
-                            re.IGNORECASE)
-RETRY_BOUND_RE = re.compile(r'limit|max|cap|budget|attempt',
-                            re.IGNORECASE)
-
-
-def check_unbounded_retry(path, rel, code, findings):
-    for m in INF_LOOP_RE.finditer(code):
-        body = class_body(code, m.end())
-        if not body:
-            continue
-        if RETRY_TOKEN_RE.search(body) and \
-                not RETRY_BOUND_RE.search(body):
-            line = code.count('\n', 0, m.start()) + 1
-            findings.append(Finding(
-                rel, line, 'no-unbounded-retry',
-                'infinite loop retries without a bound; cap the '
-                'attempts against a limit/budget and abandon (see '
-                'DramController::burstWithRetry)'))
-
-
-# ---------------------------------------------------------------- driver
-
-SRC_CHECKS = [
-    check_logging_discipline,
-    check_naked_new,
-    check_determinism,
-    check_include_guard,
-    check_stats_pairing,
-    check_registry_stats,
-    check_null_macro,
-    check_unchecked_io,
-    check_unbounded_retry,
-    check_hotpath_alloc,
-]
-
-# Tests/benches/examples may use gtest ASSERT_* and ad-hoc printing,
-# but determinism and guard naming still apply repo-wide.
-AUX_CHECKS = [
-    check_determinism,
-    check_include_guard,
-    check_null_macro,
-]
-
-# Benches and examples report numbers users consume, so they must go
-# through the registry like src/ does; tests stay exempt because the
-# stats package's own unit tests exercise printStat directly.
-BENCH_CHECKS = AUX_CHECKS + [check_registry_stats,
-                             check_unchecked_io,
-                             check_unbounded_retry,
-                             check_hotpath_alloc]
-
-SCAN_DIRS = {
-    'src': SRC_CHECKS,
-    'tests': AUX_CHECKS,
-    'bench': BENCH_CHECKS,
-    'examples': BENCH_CHECKS,
-}
-
-EXTENSIONS = ('.cc', '.hh', '.h', '.cpp')
-
-
-def lint_file(root, rel, checks):
-    path = os.path.join(root, rel)
-    with open(path, encoding='utf-8', errors='replace') as f:
-        raw = f.read()
-    code = strip_comments_and_strings(raw)
-    findings = []
-    for check in checks:
-        check(path, rel, code, findings)
-    return findings
-
-
-BAD_HEADER = '''\
-#ifndef WRONG_GUARD_HH
-#define WRONG_GUARD_HH
-#include <cassert>
-#include <random>
-class Bad : public SimObject
-{
-  public:
-    void regStats(StatsRegistry &r) override;
-  private:
-    int *p_ = new int(3);
-};
-inline void f(int *q) { assert(q != NULL); delete q; std::abort(); }
-inline int g() { return rand(); }
-inline void h(std::ostream &os) { stats::printStat(os, "x", 1.0); }
-inline void i(char *buf, FILE *fp) { fread(buf, 1, 16, fp); }
-inline void j() { while (true) { retryBurst(); } }
-// vstream:hot
-inline int *k()
-{
-    std::string name("scratch");
-    return new int(static_cast<int>(name.size()));
-}
-#endif
-'''
-
-GOOD_HEADER = '''\
-#ifndef VSTREAM_CORE_GOOD_HH
-#define VSTREAM_CORE_GOOD_HH
-// assert() in a comment, "abort()" and NULL in strings are fine:
-inline const char *s() { return "do not abort() on NULL"; }
-class Good : public SimObject
-{
-  public:
-    void regStats(StatsRegistry &r) override;
-    void resetStats() override;
-};
-inline bool i(char *buf, std::size_t n, FILE *fp)
-{
-    // Checked and member-call IO never fires no-unchecked-io:
-    if (fread(buf, 1, n, fp) != n) { return false; }
-    std::stringstream ss;
-    ss.read(buf, 4);
-    return bool(ss);
-}
-inline void j(unsigned retry_limit)
-{
-    // A bounded retry loop never fires no-unbounded-retry:
-    unsigned attempts = 0;
-    while (true) {
-        if (++attempts > retry_limit) { break; }
-        retryBurst();
-    }
-}
-// vstream:hot
-inline std::uint32_t k(const std::string &key, std::uint32_t seed)
-{
-    // Reads a std::string by reference and allocates nothing:
-    // never fires no-hotpath-alloc.
-    std::uint32_t h = seed;
-    for (char c : key) {
-        h = h * 31u + static_cast<std::uint8_t>(c);
-    }
-    return h;
-}
-#endif
-'''
-
-
-def self_test():
-    """Lint two synthetic headers and check every rule's behavior."""
-    import tempfile
-    with tempfile.TemporaryDirectory() as root:
-        core = os.path.join(root, 'src', 'core')
-        os.makedirs(core)
-        with open(os.path.join(core, 'bad.hh'), 'w') as f:
-            f.write(BAD_HEADER)
-        with open(os.path.join(core, 'good.hh'), 'w') as f:
-            f.write(GOOD_HEADER)
-        bad = lint_file(root, 'src/core/bad.hh', SRC_CHECKS)
-        good = lint_file(root, 'src/core/good.hh', SRC_CHECKS)
-    fired = {f.rule for f in bad}
-    expected = {'logging-discipline', 'no-naked-new',
-                'determinism-guard', 'include-guards',
-                'stats-reset-pairing', 'registry-stats',
-                'no-null-macro', 'no-unchecked-io',
-                'no-unbounded-retry', 'no-hotpath-alloc'}
-    ok = True
-    for rule in sorted(expected - fired):
-        print('self-test: rule %s did not fire on the bad header'
-              % rule, file=sys.stderr)
-        ok = False
-    for finding in good:
-        print('self-test: false positive on clean header: %s'
-              % finding, file=sys.stderr)
-        ok = False
-    print('vstream_lint self-test: %s' % ('OK' if ok else 'FAILED'))
-    return 0 if ok else 1
-
-
-def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument('--root', default='.',
-                        help='repository root (default: cwd)')
-    parser.add_argument('--list-rules', action='store_true',
-                        help='print rule names and exit')
-    parser.add_argument('--self-test', action='store_true',
-                        help='check every rule against synthetic '
-                             'violations and exit')
-    parser.add_argument('files', nargs='*',
-                        help='specific files (repo-relative) to lint; '
-                             'default: all of src/tests/bench/examples')
-    args = parser.parse_args(argv)
-
-    if args.self_test:
-        return self_test()
-
-    if args.list_rules:
-        for rule in ('logging-discipline', 'no-naked-new',
-                     'determinism-guard', 'include-guards',
-                     'stats-reset-pairing', 'registry-stats',
-                     'no-null-macro', 'no-unchecked-io',
-                     'no-unbounded-retry', 'no-hotpath-alloc'):
-            print(rule)
-        return 0
-
-    root = os.path.abspath(args.root)
-    targets = []
-    if args.files:
-        for rel in args.files:
-            rel = os.path.relpath(os.path.join(root, rel), root)
-            top = rel.split(os.sep)[0]
-            checks = SCAN_DIRS.get(top, AUX_CHECKS)
-            if rel.endswith(EXTENSIONS):
-                targets.append((rel, checks))
-    else:
-        for top, checks in sorted(SCAN_DIRS.items()):
-            base = os.path.join(root, top)
-            if not os.path.isdir(base):
-                continue
-            for dirpath, _, names in sorted(os.walk(base)):
-                for name in sorted(names):
-                    if not name.endswith(EXTENSIONS):
-                        continue
-                    rel = os.path.relpath(
-                        os.path.join(dirpath, name), root)
-                    targets.append((rel, checks))
-
-    findings = []
-    for rel, checks in targets:
-        findings.extend(lint_file(root, rel, checks))
-
-    for finding in findings:
-        print(finding)
-    if findings:
-        print('vstream_lint: %d finding(s) in %d file(s) scanned'
-              % (len(findings), len(targets)), file=sys.stderr)
-        return 1
-    print('vstream_lint: OK (%d files scanned)' % len(targets))
-    return 0
-
+from vstream_analyze.cli import main  # noqa: E402
 
 if __name__ == '__main__':
     sys.exit(main(sys.argv[1:]))
