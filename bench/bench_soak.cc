@@ -33,6 +33,15 @@
  * resolve to Quarantined/Evicted, clean sessions are bit-identical
  * to solo runs, tripped breakers recover) and exits non-zero when
  * any fails.
+ *
+ * `--shards N` switches to *fleet* mode: `--sessions M` short
+ * sessions (the same five mixes, scaled to ~0.4 s each) arrive via
+ * a seeded Poisson process with mid-stream leaves, routed by the
+ * Placer across N shards under one global budget, with stats folded
+ * into O(shards) mergeable snapshots.  Fleet JSON carries neither
+ * the shard nor the job count and is byte-identical at any value of
+ * either (the CI shard-smoke job and tests/test_shard.cc assert
+ * this); see docs/SERVING.md and docs/FORMATS.md.
  */
 
 #include <array>
@@ -41,6 +50,8 @@
 #include <sstream>
 
 #include "bench_util.hh"
+#include "serve/fleet_report.hh"
+#include "serve/placer.hh"
 #include "serve/session_manager.hh"
 #include "video/trace.hh"
 
@@ -193,15 +204,6 @@ makeWhale(std::uint64_t id)
     return s;
 }
 
-struct MixTally
-{
-    std::uint64_t sessions = 0;
-    std::array<std::uint64_t, kNumHealthStates> final_states{};
-    std::uint64_t breaker_trips = 0;
-    Tick degraded_dwell = 0;
-    double energy_j = 0.0;
-};
-
 bool
 check(bool ok, const char *what, int &failures)
 {
@@ -211,6 +213,219 @@ check(bool ok, const char *what, int &failures)
     }
     return ok;
 }
+
+// ---- fleet mode -------------------------------------------------------
+
+/** Every 1000th arrival is a whale: globally rejected, never
+ * rehearsed, so the rejection path stays exercised at fleet scale. */
+bool
+isFleetWhale(std::uint64_t id)
+{
+    return id % 1000 == 999;
+}
+
+/**
+ * One fleet session: the five soak mixes scaled to ~0.4 s of
+ * playback (24-32 frames at 48x24) so 100k rehearsals fit a
+ * single-machine soak, with fault windows tightened to land inside
+ * the shorter span.
+ */
+SessionConfig
+makeFleetSession(const ArrivalEvent &a,
+                 const std::vector<std::uint8_t> &intact_blob)
+{
+    const std::uint64_t id = a.id;
+    if (isFleetWhale(id)) {
+        return makeWhale(id);
+    }
+    const std::size_t mix = a.mix % kNumMixes;
+    SessionConfig s;
+    s.id = id;
+    s.stats_group = kMixNames[mix];
+    s.health = soakHealth();
+    s.breaker = soakBreaker();
+    // Shorter cooldown so tripped breakers can re-probe (and
+    // recover) inside a ~0.4 s session.
+    s.breaker.cooldown_base = static_cast<Tick>(50) * sim_clock::ms;
+    s.breaker.cooldown_cap = static_cast<Tick>(200) * sim_clock::ms;
+
+    PipelineConfig &cfg = s.pipeline;
+    cfg.profile = soakProfile(id, 24 + (id / 7 % 3) * 4);
+    cfg.profile.width = 48;
+    cfg.profile.height = 24;
+    const Scheme schemes[] = {Scheme::kRaceToSleep, Scheme::kGab,
+                              Scheme::kMab, Scheme::kBatching};
+    cfg.scheme = SchemeConfig::make(
+        mix == 3 ? Scheme::kGab : schemes[(id / kNumMixes) % 4]);
+    cfg.faults.seed = 0xfa0175eedULL;
+
+    switch (mix) {
+    case 0: // clean
+        break;
+    case 1: // arrival-stall storm
+        cfg.arrival.enabled = true;
+        cfg.arrival.bandwidth_mbps = 2.0;
+        cfg.arrival.jitter_frac = 0.2;
+        cfg.preroll_frames = 2;
+        cfg.arrival.seed = 0xa441 + id;
+        cfg.faults.rules.push_back(parseFaultRule(
+            FaultClass::kNetworkStall,
+            "p=0.35,from=1ms,until=25ms,len=60ms"));
+        s.health.quarantine_windows = 4;
+        break;
+    case 2: // DRAM timeout storm (abandon-budget exhaustion)
+        cfg.faults.dram_retry_limit = 2;
+        cfg.faults.rules.push_back(parseFaultRule(
+            FaultClass::kDramTimeout,
+            "p=0.6,from=50ms,until=350ms"));
+        break;
+    case 3: // MACH false-hit storm (breaker trip + recovery)
+        cfg.mach.verify_on_hit = true;
+        cfg.faults.rules.push_back(parseFaultRule(
+            FaultClass::kDigestCollision,
+            "p=0.25,from=20ms,until=200ms"));
+        break;
+    case 4: { // corrupted ingest trace
+        s.trace_blob = intact_blob;
+        const std::size_t off =
+            64 + (static_cast<std::size_t>(id) * 131) %
+                     (s.trace_blob.size() - 64);
+        s.trace_blob[off] ^= 0x5a;
+        break;
+    }
+    default:
+        break;
+    }
+    cfg.faults = cfg.faults.forSession(id);
+    return s;
+}
+
+/**
+ * Fleet soak: Poisson arrivals with mid-stream leaves through the
+ * Placer.  The emitted vstream-soak-1 JSON (mode "fleet") mentions
+ * neither the shard nor the job count; both are placement/execution
+ * detail outside the bytes.
+ */
+int
+runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
+         unsigned n_jobs)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    FleetConfig fleet;
+    fleet.serve.bandwidth_budget_mbps = 300.0;
+    fleet.serve.framebuffer_budget_bytes = 64ULL << 20;
+    fleet.serve.max_active = 224;
+    fleet.shards = n_shards;
+    fleet.jobs = n_jobs;
+    fleet.rebalance_period = static_cast<Tick>(1) * sim_clock::s;
+
+    PoissonArrivalConfig pa;
+    pa.seed = 0xf1ee7ULL;
+    pa.rate_per_s = 550.0;
+    pa.count = n_sessions;
+    pa.leave_probability = 0.3;
+    pa.min_watch = static_cast<Tick>(100) * sim_clock::ms;
+    pa.max_watch = static_cast<Tick>(350) * sim_clock::ms;
+    pa.num_mixes = kNumMixes;
+    const std::vector<ArrivalEvent> arrivals = poissonArrivals(pa);
+
+    const std::vector<std::uint8_t> intact_blob = makeTraceBlob();
+    Placer placer(fleet, [&](const ArrivalEvent &a) {
+        return makeFleetSession(a, intact_blob);
+    });
+    placer.run(arrivals);
+
+    const StatsSnapshot fleet_stats = placer.fleetSnapshot();
+    std::uint64_t expected_whales = 0;
+    for (const ArrivalEvent &a : arrivals) {
+        if (isFleetWhale(a.id)) {
+            ++expected_whales;
+        }
+    }
+
+    int failures = 0;
+    check(placer.admitted() + placer.rejected() == arrivals.size(),
+          "not every arrival was admitted or rejected", failures);
+    check(fleet_stats.count("sessions") == placer.admitted(),
+          "merged snapshot lost sessions", failures);
+    check(placer.rejected() == expected_whales,
+          "whales were not all rejected (or non-whales were)",
+          failures);
+    check(placer.queuedTotal() > 0,
+          "admission queue never engaged (raise the arrival rate)",
+          failures);
+    check(fleet_stats.count("state.evicted") > 0,
+          "no fleet session was ever evicted", failures);
+    check(fleet_stats.count("breaker.trips") > 0,
+          "no fleet breaker ever tripped", failures);
+    check(fleet_stats.count("leftEarly") > 0,
+          "no viewer ever left mid-stream", failures);
+    std::uint64_t absorbed = 0;
+    for (const Shard &sh : placer.shards()) {
+        absorbed += sh.absorbed();
+    }
+    check(absorbed == placer.admitted(),
+          "shard absorb count diverged from admissions", failures);
+
+    // ---- console summary ----------------------------------------------
+    std::cout << "fleet: " << n_sessions << " sessions, "
+              << placer.shards().size() << " shard(s)\n";
+    std::cout << "admitted " << placer.admitted() << ", queued "
+              << placer.queuedTotal() << ", rejected "
+              << placer.rejected() << " (whales " << expected_whales
+              << ")\n";
+    std::cout << "evicted " << fleet_stats.count("state.evicted")
+              << ", left early " << fleet_stats.count("leftEarly")
+              << ", breaker trips "
+              << fleet_stats.count("breaker.trips") << "\n";
+    std::cout << "peak active " << placer.peakActive()
+              << ", peak waiting " << placer.peakWaiting()
+              << ", virtual end " << std::fixed
+              << std::setprecision(2)
+              << ticksToMs(placer.endTick()) / 1e3 << " s, "
+              << placer.rebalances() << " rebalances\n";
+    const ScalarAgg *energy = fleet_stats.scalar("energyJ");
+    if (energy != nullptr) {
+        std::cout << "aggregate energy " << energy->sum() * 1e3
+                  << " mJ across " << energy->count
+                  << " sessions\n";
+    }
+    const HdrHistogram *span = fleet_stats.histogram("spanUs");
+    if (span != nullptr) {
+        std::cout << "session span p50 "
+                  << static_cast<double>(span->percentile(0.5)) / 1e3
+                  << " ms, p99 "
+                  << static_cast<double>(span->percentile(0.99)) /
+                         1e3
+                  << " ms\n";
+    }
+    if (failures == 0) {
+        std::cout << "fleet invariants: all hold\n";
+    }
+
+    // ---- vstream-soak-1 JSON (fleet mode) -----------------------------
+    const char *path = std::getenv("VSTREAM_STATS_JSON");
+    if (path != nullptr && path[0] != '\0') {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        std::ofstream os(path);
+        writeFleetReport(os, placer, "bench_soak", n_sessions, wall,
+                         static_cast<std::uint64_t>(failures));
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+struct MixTally
+{
+    std::uint64_t sessions = 0;
+    std::array<std::uint64_t, kNumHealthStates> final_states{};
+    std::uint64_t breaker_trips = 0;
+    Tick degraded_dwell = 0;
+    double energy_j = 0.0;
+};
 
 } // namespace
 
@@ -222,10 +437,19 @@ main(int argc, char **argv)
            "robustness extension - admission control, fault "
            "domains, circuit breakers under storm load");
 
-    const std::uint32_t n_sessions =
-        envU32("VSTREAM_SOAK_SESSIONS", 120);
-    const std::uint32_t frames_n = frames(96);
     const unsigned n_jobs = jobs(argc, argv);
+    const std::uint32_t n_shards = flagU32(argc, argv, "--shards", 0);
+    if (n_shards > 0) {
+        // Fleet mode: Poisson churn through the sharded Placer.
+        const std::uint32_t fleet_sessions = flagU32(
+            argc, argv, "--sessions",
+            envU32("VSTREAM_SOAK_SESSIONS", 2000));
+        return runFleet(fleet_sessions, n_shards, n_jobs);
+    }
+
+    const std::uint32_t n_sessions = flagU32(
+        argc, argv, "--sessions", envU32("VSTREAM_SOAK_SESSIONS", 120));
+    const std::uint32_t frames_n = frames(96);
     const auto wall_start = std::chrono::steady_clock::now();
 
     ServeConfig serve;

@@ -81,6 +81,25 @@ jobs(int argc, char **argv)
     return j;
 }
 
+/** `--name N` / `--name=N` u32 flag; @p fallback when absent. */
+inline std::uint32_t
+flagU32(int argc, char **argv, const std::string &name,
+        std::uint32_t fallback)
+{
+    std::uint32_t v = fallback;
+    const std::string eq = name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == name && i + 1 < argc) {
+            v = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (arg.rfind(eq, 0) == 0) {
+            v = static_cast<std::uint32_t>(
+                std::atoi(arg.c_str() + eq.size()));
+        }
+    }
+    return v;
+}
+
 inline void
 header(const std::string &title, const std::string &paper_note)
 {

@@ -27,6 +27,15 @@
  *     --jobs N              rehearse sessions across N threads
  *                           (output identical at any job count)
  *
+ * Fleet options (see docs/SERVING.md):
+ *     --shards N            route sessions across N shards under one
+ *                           global budget (fleet mode; JSON is
+ *                           byte-identical at any shard/job count)
+ *     --arrival-rate R      Poisson arrivals, sessions/s (default 550)
+ *     --leave-prob P        chance a viewer leaves mid-stream
+ *     --arrival-trace FILE  replay a text arrival trace instead
+ *                           (lines: <arrival_us> <watch_us> <mix>)
+ *
  * Robustness options (per-session; see docs/ROBUSTNESS.md):
  *     --arrival-bandwidth MBPS, --arrival-jitter SIGMA,
  *     --arrival-preroll N, --fault-seed N, --fault-retry N,
@@ -36,12 +45,14 @@
  * Every value option also accepts the --opt=VALUE spelling.
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
 
+#include "serve/fleet_report.hh"
 #include "serve/session_manager.hh"
 #include "sim/parallel.hh"
 #include "sim/stats_registry.hh"
@@ -62,6 +73,8 @@ usage(const char *argv0)
                  "[--max-active N] [--no-queue]\n"
                  "  [--window N] [--verify-on-hit] "
                  "[--stats-json FILE] [--jobs N]\n"
+                 "  [--shards N] [--arrival-rate R] "
+                 "[--leave-prob P] [--arrival-trace FILE]\n"
                  "  [--arrival-bandwidth MBPS] [--arrival-jitter S] "
                  "[--arrival-preroll N]\n"
                  "  [--fault-seed N] [--fault-retry N] "
@@ -110,6 +123,9 @@ main(int argc, char **argv)
     bool verify_on_hit = false;
     std::string stats_json_file;
     unsigned n_jobs = defaultJobs();
+    std::uint32_t shards = 0;
+    double arrival_rate = 550.0, leave_prob = 0.0;
+    std::string arrival_trace_file;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -165,6 +181,14 @@ main(int argc, char **argv)
             stats_json_file = next();
         } else if (arg == "--jobs") {
             n_jobs = parseJobs(next().c_str());
+        } else if (arg == "--shards") {
+            shards = nextU32();
+        } else if (arg == "--arrival-rate") {
+            arrival_rate = std::atof(next().c_str());
+        } else if (arg == "--leave-prob") {
+            leave_prob = std::atof(next().c_str());
+        } else if (arg == "--arrival-trace") {
+            arrival_trace_file = next();
         } else if (arg == "--arrival-bandwidth") {
             arrival_bandwidth = std::atof(next().c_str());
         } else if (arg == "--arrival-jitter") {
@@ -190,6 +214,98 @@ main(int argc, char **argv)
         }
     }
 
+    // A template SessionConfig for session @p id, shared by the
+    // single-manager and fleet paths.
+    auto makeSession = [&](std::uint64_t id) {
+        SessionConfig s;
+        s.id = id;
+        s.health.window_vsyncs = window;
+        s.pipeline.profile = scaledWorkload(video, frames);
+        // Per-session content seed: sessions are peers, not clones.
+        s.pipeline.profile.seed +=
+            static_cast<std::uint32_t>(id) * 0x9e3779b9u;
+        s.pipeline.scheme = SchemeConfig::make(scheme, batch);
+        s.pipeline.mach.verify_on_hit = verify_on_hit;
+        s.pipeline.faults = faults.forSession(id);
+        if (arrival_bandwidth > 0.0) {
+            s.pipeline.arrival.enabled = true;
+            s.pipeline.arrival.bandwidth_mbps = arrival_bandwidth;
+            s.pipeline.arrival.jitter_frac = arrival_jitter;
+        }
+        if (arrival_preroll > 0) {
+            s.pipeline.preroll_frames = arrival_preroll;
+        }
+        return s;
+    };
+
+    if (shards > 0) {
+        const auto wall_start = std::chrono::steady_clock::now();
+        FleetConfig fleet;
+        fleet.serve = serve;
+        fleet.shards = shards;
+        fleet.jobs = n_jobs;
+        fleet.rebalance_period = static_cast<Tick>(1) * sim_clock::s;
+
+        std::vector<ArrivalEvent> arrivals;
+        if (!arrival_trace_file.empty()) {
+            std::ifstream is(arrival_trace_file);
+            if (!is) {
+                std::cerr << "cannot open arrival trace '"
+                          << arrival_trace_file << "'\n";
+                return 2;
+            }
+            ArrivalTraceResult tr = parseArrivalTrace(is);
+            if (!tr.ok()) {
+                std::cerr << tr.error << "\n";
+                return 2;
+            }
+            arrivals = std::move(tr.events);
+        } else {
+            PoissonArrivalConfig pa;
+            pa.rate_per_s = arrival_rate;
+            pa.count = sessions;
+            pa.leave_probability = leave_prob;
+            pa.min_watch = static_cast<Tick>(100) * sim_clock::ms;
+            pa.max_watch =
+                static_cast<Tick>(frames) *
+                (static_cast<Tick>(sim_clock::s) / 60);
+            arrivals = poissonArrivals(pa);
+        }
+
+        std::cout << "vstream_serve fleet: " << arrivals.size()
+                  << " arrivals of " << video << " x " << frames
+                  << " frames across " << shards << " shard(s)\n\n";
+        Placer placer(fleet, [&](const ArrivalEvent &a) {
+            return makeSession(a.id);
+        });
+        placer.run(arrivals);
+
+        const StatsSnapshot fs = placer.fleetSnapshot();
+        std::cout << std::fixed << std::setprecision(2);
+        std::cout << "admitted " << placer.admitted() << ", queued "
+                  << placer.queuedTotal() << ", rejected "
+                  << placer.rejected() << ", evicted "
+                  << fs.count("state.evicted") << ", left early "
+                  << fs.count("leftEarly") << "\n";
+        const ScalarAgg *energy = fs.scalar("energyJ");
+        std::cout << "aggregate energy "
+                  << (energy != nullptr ? energy->sum() : 0.0) * 1e3
+                  << " mJ over " << ticksToMs(placer.endTick())
+                  << " ms served (peak " << placer.peakActive()
+                  << " active)\n";
+        if (!stats_json_file.empty()) {
+            const double wall =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+            std::ofstream os(stats_json_file);
+            writeFleetReport(os, placer, "vstream_serve",
+                             arrivals.size(), wall, 0);
+            std::cout << "stats JSON " << stats_json_file << "\n";
+        }
+        return placer.admitted() > 0 ? 0 : 1;
+    }
+
     SessionManager mgr(serve);
 
     std::cout << "vstream_serve: " << sessions << " sessions of "
@@ -204,24 +320,7 @@ main(int argc, char **argv)
     std::vector<SessionConfig> cfgs;
     cfgs.reserve(sessions);
     for (std::uint32_t id = 0; id < sessions; ++id) {
-        SessionConfig s;
-        s.id = id;
-        s.health.window_vsyncs = window;
-        s.pipeline.profile = scaledWorkload(video, frames);
-        // Per-session content seed: sessions are peers, not clones.
-        s.pipeline.profile.seed += id * 0x9e3779b9u;
-        s.pipeline.scheme = SchemeConfig::make(scheme, batch);
-        s.pipeline.mach.verify_on_hit = verify_on_hit;
-        s.pipeline.faults = faults.forSession(id);
-        if (arrival_bandwidth > 0.0) {
-            s.pipeline.arrival.enabled = true;
-            s.pipeline.arrival.bandwidth_mbps = arrival_bandwidth;
-            s.pipeline.arrival.jitter_frac = arrival_jitter;
-        }
-        if (arrival_preroll > 0) {
-            s.pipeline.preroll_frames = arrival_preroll;
-        }
-        cfgs.push_back(std::move(s));
+        cfgs.push_back(makeSession(id));
     }
     if (n_jobs > 1) {
         mgr.precompute(cfgs, n_jobs);

@@ -7,6 +7,7 @@
 #   scripts/check.sh asan|tsan       # sanitizer presets, full suite
 #   scripts/check.sh analyze         # tools/vstream_analyze (+ self-test)
 #   scripts/check.sh lint            # alias for analyze (old name)
+#   scripts/check.sh docs            # markdown link/anchor checker
 #   scripts/check.sh fuzz            # fuzz preset: harness smoke runs
 #   scripts/check.sh tidy [files]    # clang-tidy; defaults to all of src/
 #   scripts/check.sh tidy-changed    # clang-tidy on files changed vs main
@@ -51,6 +52,12 @@ do_analyze() {
     note "vstream_analyze"
     python3 tools/vstream_analyze --self-test
     python3 tools/vstream_analyze --root .
+}
+
+do_docs() {
+    note "check_docs (markdown links + anchors)"
+    python3 tools/check_docs.py --self-test
+    python3 tools/check_docs.py --root .
 }
 
 do_fuzz() {
@@ -114,12 +121,14 @@ case "${1:-all}" in
     asan)         do_sanitizer asan-ubsan ;;
     tsan)         do_sanitizer tsan ;;
     analyze|lint) do_analyze ;;
+    docs)         do_docs ;;
     fuzz)         do_fuzz ;;
     tidy)         shift; do_tidy "$@" ;;
     tidy-changed) do_tidy_changed ;;
     format)       do_format ;;
     all)
         do_analyze
+        do_docs
         do_build
         do_test
         do_tidy_changed

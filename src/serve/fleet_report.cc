@@ -1,0 +1,64 @@
+#include "serve/fleet_report.hh"
+
+#include "sim/json_writer.hh"
+
+namespace vstream
+{
+
+void
+writeFleetReport(std::ostream &os, const Placer &placer,
+                 const std::string &bench, std::uint64_t sessions,
+                 double wall_clock_seconds,
+                 std::uint64_t invariant_failures)
+{
+    const StatsSnapshot fleet = placer.fleetSnapshot();
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.kv("schema", "vstream-soak-1");
+    w.kv("bench", bench);
+    w.kv("mode", "fleet");
+    w.kv("sessions", static_cast<double>(sessions));
+    w.kv("wall_clock_seconds", wall_clock_seconds);
+    w.key("admission");
+    w.beginObject();
+    w.kv("admitted", static_cast<double>(placer.admitted()));
+    w.kv("queued", static_cast<double>(placer.queuedTotal()));
+    w.kv("rejected", static_cast<double>(placer.rejected()));
+    w.endObject();
+    w.kv("evictions",
+         static_cast<double>(fleet.count("state.evicted")));
+    w.kv("leftEarly",
+         static_cast<double>(fleet.count("leftEarly")));
+    w.key("breaker");
+    w.beginObject();
+    w.kv("trips",
+         static_cast<double>(fleet.count("breaker.trips")));
+    w.kv("reprobes",
+         static_cast<double>(fleet.count("breaker.reprobes")));
+    w.kv("recoveredSessions",
+         static_cast<double>(
+             fleet.count("breaker.recoveredSessions")));
+    w.endObject();
+    w.key("finalStates");
+    w.beginObject();
+    for (std::size_t st = 0; st < kNumHealthStates; ++st) {
+        const char *name =
+            healthStateName(static_cast<HealthState>(st));
+        w.kv(name, static_cast<double>(
+                       fleet.count(std::string("state.") + name)));
+    }
+    w.endObject();
+    w.key("peak");
+    w.beginObject();
+    w.kv("active", static_cast<double>(placer.peakActive()));
+    w.kv("waiting", static_cast<double>(placer.peakWaiting()));
+    w.endObject();
+    w.kv("virtualEndMs", ticksToMs(placer.endTick()));
+    w.key("fleet");
+    fleet.dumpJson(w);
+    w.kv("invariantFailures",
+         static_cast<double>(invariant_failures));
+    w.endObject();
+}
+
+} // namespace vstream

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Canonical fleet-mode "vstream-soak-1" JSON document.
+ *
+ * bench_soak --shards and vstream_serve --shards emit the same
+ * document shape through this one writer, so docs/FORMATS.md has a
+ * single source of truth to describe and the CI shard-smoke diff
+ * compares like with like.  Two fields are deliberately *absent*:
+ * the shard count and the job count.  Both are execution detail
+ * outside the byte-identity contract - the same fleet must produce
+ * the same bytes however it is partitioned.
+ */
+
+#ifndef VSTREAM_SERVE_FLEET_REPORT_HH
+#define VSTREAM_SERVE_FLEET_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "serve/placer.hh"
+
+namespace vstream
+{
+
+/**
+ * Write the fleet-mode vstream-soak-1 document for a completed
+ * @p placer run to @p os.
+ *
+ * @p bench names the emitting tool; @p sessions is the arrival
+ * count (admitted + rejected); @p wall_clock_seconds is the only
+ * non-deterministic field; @p invariant_failures is the emitter's
+ * self-check count (0 = all held).
+ */
+void writeFleetReport(std::ostream &os, const Placer &placer,
+                      const std::string &bench,
+                      std::uint64_t sessions,
+                      double wall_clock_seconds,
+                      std::uint64_t invariant_failures);
+
+} // namespace vstream
+
+#endif // VSTREAM_SERVE_FLEET_REPORT_HH

@@ -1,0 +1,285 @@
+#include "serve/placer.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+
+namespace vstream
+{
+
+void
+FleetConfig::validate() const
+{
+    serve.validate();
+    if (shards == 0) {
+        vs_fatal("fleet needs at least one shard");
+    }
+    if (rehearse_block == 0) {
+        vs_fatal("rehearse_block must be >= 1");
+    }
+}
+
+Placer::Placer(FleetConfig cfg, SessionFactory factory)
+    : cfg_(cfg), factory_(std::move(factory))
+{
+    cfg_.validate();
+    vs_assert(factory_ != nullptr, "fleet needs a session factory");
+    shards_.reserve(cfg_.shards);
+    for (std::uint32_t i = 0; i < cfg_.shards; ++i) {
+        shards_.emplace_back(i);
+    }
+    // Equal slices to start; rebalance() re-weights them later.
+    const double n = static_cast<double>(cfg_.shards);
+    for (Shard &s : shards_) {
+        s.setSlices(cfg_.serve.bandwidth_budget_mbps / n,
+                    static_cast<double>(
+                        cfg_.serve.framebuffer_budget_bytes) /
+                        n);
+    }
+    next_rebalance_ = cfg_.rebalance_period;
+}
+
+bool
+Placer::fits(double bw_mbps, std::uint64_t fb_bytes) const
+{
+    // Global admission, same predicate as SessionManager::fits -
+    // no term here may depend on the shard layout.
+    return active_.size() < cfg_.serve.max_active &&
+           bw_reserved_ + bw_mbps <=
+               cfg_.serve.bandwidth_budget_mbps &&
+           fb_reserved_ + fb_bytes <=
+               cfg_.serve.framebuffer_budget_bytes;
+}
+
+bool
+Placer::couldEverFit(double bw_mbps, std::uint64_t fb_bytes) const
+{
+    return bw_mbps <= cfg_.serve.bandwidth_budget_mbps &&
+           fb_bytes <= cfg_.serve.framebuffer_budget_bytes;
+}
+
+std::uint32_t
+Placer::pickShard() const
+{
+    // Least loaded; strict-less compare, so the lowest shard id
+    // wins ties (the deterministic tie-break the invariance tests
+    // rely on).
+    std::uint32_t best = 0;
+    double best_load = shards_[0].load();
+    for (std::uint32_t i = 1; i < shards_.size(); ++i) {
+        const double l = shards_[i].load();
+        if (l < best_load) {
+            best = i;
+            best_load = l;
+        }
+    }
+    return best;
+}
+
+void
+Placer::rebalance()
+{
+    ++rebalances_;
+    // Re-weight slices toward observed reservations, with a floor
+    // so an idle shard keeps attracting arrivals.  Purely advisory:
+    // slices weight pickShard() and nothing else, so this cannot
+    // change admission, timing, or any emitted stat.
+    double total_bw = 0.0;
+    double total_fb = 0.0;
+    for (const Shard &s : shards_) {
+        total_bw += s.bwReservedMBps();
+        total_fb += static_cast<double>(s.fbReservedBytes());
+    }
+    const double n = static_cast<double>(shards_.size());
+    const double floor_frac = 0.5 / n;
+    for (Shard &s : shards_) {
+        const double bw_share =
+            total_bw > 0.0 ? s.bwReservedMBps() / total_bw : 1.0 / n;
+        const double fb_share =
+            total_fb > 0.0
+                ? static_cast<double>(s.fbReservedBytes()) / total_fb
+                : 1.0 / n;
+        s.setSlices(cfg_.serve.bandwidth_budget_mbps *
+                        (floor_frac + 0.5 * bw_share),
+                    static_cast<double>(
+                        cfg_.serve.framebuffer_budget_bytes) *
+                        (floor_frac + 0.5 * fb_share));
+    }
+}
+
+void
+Placer::advanceTo(Tick t)
+{
+    vs_assert(t >= cur_tick_, "fleet timeline moved backwards");
+    for (;;) {
+        const bool have_finish =
+            !active_.empty() && active_.top().tick <= t;
+        const bool have_rebalance =
+            cfg_.rebalance_period > 0 && next_rebalance_ <= t;
+        if (!have_finish && !have_rebalance) {
+            break;
+        }
+        // Earliest event first; finishes win ties so a rebalance at
+        // tick R sees the budget already freed at R.
+        if (have_finish &&
+            (!have_rebalance ||
+             active_.top().tick <= next_rebalance_)) {
+            const Finish f = active_.top();
+            active_.pop();
+            cur_tick_ = std::max(cur_tick_, f.tick);
+            shards_[f.shard].release(f.bw_mbps, f.fb_bytes);
+            bw_reserved_ -= f.bw_mbps;
+            vs_assert(fb_reserved_ >= f.fb_bytes,
+                      "fleet frame-buffer reservation underflow");
+            fb_reserved_ -= f.fb_bytes;
+            drainWaiting();
+        } else {
+            cur_tick_ = std::max(cur_tick_, next_rebalance_);
+            rebalance();
+            next_rebalance_ += cfg_.rebalance_period;
+        }
+    }
+    cur_tick_ = std::max(cur_tick_, t);
+}
+
+void
+Placer::admit(Pending &&p, Tick start)
+{
+    ++admitted_;
+    const std::uint32_t sh = pickShard();
+    shards_[sh].reserve(p.bw_mbps, p.fb_bytes);
+    bw_reserved_ += p.bw_mbps;
+    fb_reserved_ += p.fb_bytes;
+
+    SessionOutcome o = std::move(p.reh.outcome);
+    const Tick finish_tick = start + p.reh.local_end;
+    o.start_offset = start;
+    o.end_tick = finish_tick;
+    // The ladder clock starts at construction, so a live session
+    // admitted at offset T dwells Healthy for T extra ticks before
+    // its first transition; mirror SessionManager's rebasing.
+    o.dwell[static_cast<std::size_t>(HealthState::kHealthy)] +=
+        start;
+    shards_[sh].absorb(o);
+    // o dies here: the only per-session residue is this heap entry.
+    active_.push(Finish{finish_tick, next_seq_++, sh, p.bw_mbps,
+                        p.fb_bytes});
+    peak_active_ = std::max<std::uint64_t>(peak_active_,
+                                           active_.size());
+}
+
+void
+Placer::drainWaiting()
+{
+    // Strict FIFO, as in SessionManager::drainWaiting: no
+    // head-of-line skipping, so admission order is independent of
+    // session sizes (and of everything shard-shaped).
+    while (!waiting_.empty()) {
+        const Pending &front = waiting_.front();
+        if (!fits(front.bw_mbps, front.fb_bytes)) {
+            break;
+        }
+        Pending p = std::move(waiting_.front());
+        waiting_.pop_front();
+        admit(std::move(p), cur_tick_);
+    }
+}
+
+void
+Placer::submitRehearsed(Pending &&p)
+{
+    if (fits(p.bw_mbps, p.fb_bytes)) {
+        admit(std::move(p), cur_tick_);
+        return;
+    }
+    if (cfg_.serve.queue_when_full &&
+        couldEverFit(p.bw_mbps, p.fb_bytes)) {
+        ++queued_;
+        waiting_.push_back(std::move(p));
+        peak_waiting_ = std::max<std::uint64_t>(peak_waiting_,
+                                                waiting_.size());
+        return;
+    }
+    ++rejected_;
+}
+
+void
+Placer::run(const std::vector<ArrivalEvent> &arrivals)
+{
+    vs_assert(!ran_, "a Placer runs one schedule");
+    ran_ = true;
+    std::size_t base = 0;
+    while (base < arrivals.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(cfg_.rehearse_block,
+                                  arrivals.size() - base);
+        // Build the block's configs serially (the factory may be
+        // stateful), then rehearse the admissible ones in parallel.
+        std::vector<SessionConfig> cfgs;
+        std::vector<double> bws(n, 0.0);
+        std::vector<std::uint64_t> fbs(n, 0);
+        std::vector<bool> whale(n, false);
+        cfgs.reserve(n);
+        std::vector<std::size_t> live;
+        live.reserve(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            const ArrivalEvent &a = arrivals[base + j];
+            vs_assert(j + base == 0 ||
+                          a.tick >= arrivals[base + j - 1].tick,
+                      "arrival schedule must be non-decreasing");
+            SessionConfig c = factory_(a);
+            c.id = a.id;
+            c.leave_after = a.leave_after;
+            bws[j] = Session::demandMBps(c.pipeline);
+            fbs[j] = Session::framebufferBytes(c.pipeline);
+            // Whales can never fit: reject without rehearsing (the
+            // decision is budget-only, so skipping the rehearsal
+            // cannot perturb the timeline).
+            whale[j] = !couldEverFit(bws[j], fbs[j]);
+            if (!whale[j]) {
+                live.push_back(j);
+            }
+            cfgs.push_back(std::move(c));
+        }
+        std::vector<RehearsedSession> rehs = parallelMap(
+            cfg_.jobs, live.size(), [&](std::size_t k) {
+                return rehearseSession(cfgs[live[k]]);
+            });
+        // Feed the block through the timeline in arrival order.
+        std::size_t next_live = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            advanceTo(arrivals[base + j].tick);
+            if (whale[j]) {
+                ++rejected_;
+                continue;
+            }
+            Pending p;
+            p.reh = std::move(rehs[next_live++]);
+            p.bw_mbps = bws[j];
+            p.fb_bytes = fbs[j];
+            submitRehearsed(std::move(p));
+        }
+        base += n;
+    }
+    // Drain: every finish frees budget, which admits more of the
+    // queue; couldEverFit guarantees the queue empties.
+    while (!active_.empty()) {
+        advanceTo(active_.top().tick);
+    }
+    vs_assert(waiting_.empty(),
+              "fleet drained with sessions still queued");
+}
+
+StatsSnapshot
+Placer::fleetSnapshot() const
+{
+    StatsSnapshot fleet;
+    for (const Shard &s : shards_) {
+        fleet.merge(s.snapshot());
+    }
+    return fleet;
+}
+
+} // namespace vstream

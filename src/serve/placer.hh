@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Fleet placer: global admission, least-loaded routing, rebalancing.
+ *
+ * The Placer drives an ArrivalSchedule through N Shards on one
+ * virtual serving timeline.  The division of labour is what makes
+ * the fleet's JSON byte-identical at any --shards count:
+ *
+ *  - *Admission is global.*  One budget pool (ServeConfig: DRAM
+ *    bandwidth, frame-buffer bytes, max_active), one strict-FIFO
+ *    wait queue, one whale-rejection rule - evaluated on the shared
+ *    timeline exactly as SessionManager does for a single shard.
+ *    Nothing about admit/queue/reject depends on the shard count.
+ *
+ *  - *Placement is advisory.*  Each shard owns a slice of the global
+ *    budget as a placement weight; arrivals route to the least-
+ *    loaded shard (strict-less compare, so the lowest id wins
+ *    ties), and a periodic rebalance re-weights slices toward
+ *    observed load.  Placement picks *where* a session's stats are
+ *    folded, never *whether* or *when* it runs - and because shard
+ *    snapshots merge exactly (sim/stats_snapshot.hh), the merged
+ *    fleet view is placement-independent.
+ *
+ *  - *Sessions are hermetic.*  Each arrival is rehearsed on its own
+ *    private substrate (serve/session.hh, rehearseSession) in
+ *    parallelMap blocks, then its outcome is absorbed into the
+ *    routed shard at admission time and discarded; only a (finish
+ *    tick, seq, shard, budget) heap entry stays resident.  Memory is
+ *    O(shards + active + waiting), not O(sessions).
+ *
+ * docs/SERVING.md walks through the whole flow; tests/test_shard.cc
+ * pins shard-count and jobs invariance plus rebalance neutrality.
+ */
+
+#ifndef VSTREAM_SERVE_PLACER_HH
+#define VSTREAM_SERVE_PLACER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "serve/arrivals.hh"
+#include "serve/session_manager.hh"
+#include "serve/shard.hh"
+
+namespace vstream
+{
+
+/** Fleet-level configuration: global budgets + shard layout. */
+struct FleetConfig
+{
+    /** Global admission budgets (shared semantics with the
+     * single-shard SessionManager). */
+    ServeConfig serve;
+    /** Shard count; slices start as an equal split of the global
+     * budget.  Any value >= 1 yields byte-identical fleet JSON. */
+    std::uint32_t shards = 1;
+    /** Rehearsal worker threads (parallelMap fan-out). */
+    unsigned jobs = 1;
+    /** Rehearse arrivals in blocks of this many sessions, bounding
+     * in-flight outcomes independently of the fleet size. */
+    std::uint32_t rehearse_block = 256;
+    /** Re-weight shard slices every this many ticks on the virtual
+     * timeline (0 = never).  Placement-only, hence stats-neutral. */
+    Tick rebalance_period = 0;
+
+    void validate() const;
+};
+
+/** Builds the SessionConfig for one arrival.  The Placer overwrites
+ * id and leave_after from the ArrivalEvent afterwards; everything
+ * else (including stats_group, typically derived from the event's
+ * mix) is the factory's to set. */
+using SessionFactory =
+    std::function<SessionConfig(const ArrivalEvent &)>;
+
+/** Global admission + least-loaded routing across Shards. */
+class Placer
+{
+  public:
+    Placer(FleetConfig cfg, SessionFactory factory);
+
+    Placer(const Placer &) = delete;
+    Placer &operator=(const Placer &) = delete;
+
+    /**
+     * Drive @p arrivals (non-decreasing ticks) to completion:
+     * rehearse in blocks, admit/queue/reject on the virtual
+     * timeline, fold outcomes into shards, drain the wait queue as
+     * budget frees.  Callable once.
+     */
+    void run(const std::vector<ArrivalEvent> &arrivals);
+
+    /** Merge of every shard's snapshot: the fleet-wide view.  Exact
+     * arithmetic makes it independent of shard count, placement and
+     * merge order. */
+    StatsSnapshot fleetSnapshot() const;
+
+    const std::vector<Shard> &shards() const { return shards_; }
+
+    std::uint64_t admitted() const { return admitted_; }
+    std::uint64_t queuedTotal() const { return queued_; }
+    std::uint64_t rejected() const { return rejected_; }
+    /** Slice re-weights performed.  Diagnostic only - never emitted
+     * in fleet JSON, since placement detail is outside the
+     * shard-count-invariance contract. */
+    std::uint64_t rebalances() const { return rebalances_; }
+    /** Peak concurrently-active sessions on the timeline. */
+    std::uint64_t peakActive() const { return peak_active_; }
+    /** Peak wait-queue depth (bounds pending-outcome memory). */
+    std::uint64_t peakWaiting() const { return peak_waiting_; }
+    /** Tick of the last session finish. */
+    Tick endTick() const { return cur_tick_; }
+
+  private:
+    /** A rehearsed session waiting for budget. */
+    struct Pending
+    {
+        RehearsedSession reh;
+        double bw_mbps = 0.0;
+        std::uint64_t fb_bytes = 0;
+    };
+
+    /** Resident footprint of one admitted session. */
+    struct Finish
+    {
+        Tick tick = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t shard = 0;
+        double bw_mbps = 0.0;
+        std::uint64_t fb_bytes = 0;
+
+        /** Min-heap order: earliest (tick, seq) first. */
+        bool
+        operator>(const Finish &o) const
+        {
+            if (tick != o.tick) {
+                return tick > o.tick;
+            }
+            return seq > o.seq;
+        }
+    };
+
+    bool fits(double bw_mbps, std::uint64_t fb_bytes) const;
+    bool couldEverFit(double bw_mbps, std::uint64_t fb_bytes) const;
+
+    /** Process finishes (and rebalance points) up to @p t, draining
+     * the wait queue as budget frees; leaves cur_tick_ == t. */
+    void advanceTo(Tick t);
+
+    /** Route + reserve + absorb @p p starting at @p start. */
+    void admit(Pending &&p, Tick start);
+
+    void submitRehearsed(Pending &&p);
+    void drainWaiting();
+    std::uint32_t pickShard() const;
+    void rebalance();
+
+    FleetConfig cfg_;
+    SessionFactory factory_;
+    // vstream:shard_local
+    std::vector<Shard> shards_;
+    // vstream:shard_local
+    std::priority_queue<Finish, std::vector<Finish>,
+                        std::greater<Finish>>
+        active_;
+    // vstream:shard_local
+    std::deque<Pending> waiting_;
+
+    Tick cur_tick_ = 0;
+    Tick next_rebalance_ = 0;
+    std::uint64_t next_seq_ = 0;
+    double bw_reserved_ = 0.0;
+    std::uint64_t fb_reserved_ = 0;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t queued_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t rebalances_ = 0;
+    std::uint64_t peak_active_ = 0;
+    std::uint64_t peak_waiting_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_SERVE_PLACER_HH

@@ -62,7 +62,21 @@ Session::start(Tick start_offset)
 bool
 Session::done() const
 {
-    return ladder_.evicted() || pipeline_.stepDone();
+    if (ladder_.evicted() || pipeline_.stepDone()) {
+        return true;
+    }
+    // Viewer departure: stop once the next vsync would land at or
+    // past the leave point on the session's local clock.
+    return cfg_.leave_after > 0 &&
+           pipeline_.nextVsyncTick() >= cfg_.leave_after;
+}
+
+bool
+Session::leftEarly() const
+{
+    return cfg_.leave_after > 0 && !ladder_.evicted() &&
+           !pipeline_.stepDone() &&
+           pipeline_.nextVsyncTick() >= cfg_.leave_after;
 }
 
 Tick
@@ -182,6 +196,37 @@ Session::demandMBps(const PipelineConfig &cfg)
         static_cast<double>(p.mab_dim * p.mab_dim * 3);
     // Decode writes each frame once, the display reads it once.
     return 2.0 * frame_bytes * static_cast<double>(p.fps) / 1e6;
+}
+
+RehearsedSession
+rehearseSession(const SessionConfig &cfg)
+{
+    Session s(cfg);
+    s.start(0);
+    RehearsedSession r;
+    r.immediate = s.done();
+    while (!s.done()) {
+        r.local_end = s.nextTick();
+        s.stepVsync();
+    }
+    const bool left_early = s.leftEarly();
+    s.finalize(r.local_end);
+    SessionOutcome &o = r.outcome;
+    o.id = s.id();
+    o.final_state = s.health();
+    o.trace_error = s.traceError();
+    o.breaker_trips = s.breaker().trips();
+    o.breaker_reprobes = s.breaker().reprobes();
+    o.breaker_state = s.breaker().state();
+    for (std::size_t st = 0; st < kNumHealthStates; ++st) {
+        o.dwell[st] = s.ladder().dwell(
+            static_cast<HealthState>(st), r.local_end);
+    }
+    o.left_early = left_early;
+    o.group = cfg.stats_group;
+    o.end_tick = r.local_end;
+    o.result = s.result();
+    return r;
 }
 
 std::uint64_t

@@ -22,7 +22,9 @@
 #ifndef VSTREAM_SERVE_SESSION_HH
 #define VSTREAM_SERVE_SESSION_HH
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/video_pipeline.hh"
@@ -48,6 +50,36 @@ struct SessionConfig
      * frames) only this session. */
     std::vector<std::uint8_t> trace_blob;
     TracePolicy trace_policy = TracePolicy::kFailClean;
+    /** Viewer departure: the session ends once its next vsync would
+     * land at or past this *local* tick (0 = watch to the end).
+     * Drives mid-simulation leave in the fleet arrival process. */
+    Tick leave_after = 0;
+    /** Aggregation label for fleet stats (e.g. the soak mix name);
+     * empty sessions fold only into the unlabelled totals. */
+    std::string stats_group;
+};
+
+/** Everything a soak/fleet report needs from one finished session. */
+struct SessionOutcome
+{
+    std::uint64_t id = 0;
+    HealthState final_state = HealthState::kHealthy;
+    TraceError trace_error = TraceError::kNone;
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_reprobes = 0;
+    /** Breaker state at the end of the session (a tripped session
+     * that ends kClosed recovered after its cooldown). */
+    CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+    /** Ticks dwelt in each ladder state. */
+    std::array<Tick, kNumHealthStates> dwell{};
+    /** The viewer left (SessionConfig::leave_after) before playback
+     * finished or the ladder evicted. */
+    bool left_early = false;
+    /** Aggregation label copied from SessionConfig::stats_group. */
+    std::string group;
+    Tick start_offset = 0;
+    Tick end_tick = 0;
+    PipelineResult result;
 };
 
 /** One admitted streaming session. */
@@ -63,8 +95,13 @@ class Session
      * substrate and validate the ingest trace (if any). */
     void start(Tick start_offset);
 
-    /** No more vsyncs wanted (playback complete or evicted). */
+    /** No more vsyncs wanted (playback complete, evicted, or the
+     * viewer left per SessionConfig::leave_after). */
     bool done() const;
+
+    /** done() because the viewer left, not because playback
+     * completed or the ladder evicted. */
+    bool leftEarly() const;
 
     /** Absolute tick of the next vsync (valid while !done()). */
     Tick nextTick() const;
@@ -120,6 +157,31 @@ class Session
     bool finalized_ = false;
     PipelineResult result_;
 };
+
+/** A session run to completion detached at local tick 0. */
+struct RehearsedSession
+{
+    SessionOutcome outcome;
+    /** Local tick of the final vsync (0 when done at start). */
+    Tick local_end = 0;
+    /** Finished without stepping a single vsync. */
+    bool immediate = false;
+};
+
+/**
+ * Rehearse @p cfg: run the session to completion on its own private
+ * substrate, detached at offset 0, and record the outcome.
+ *
+ * A session's evolution is offset-invariant - the breaker cooldown
+ * and ladder dwell are tick *differences*, and the pipeline runs on
+ * its own local clock - so a rehearsed outcome replayed at offset T
+ * is identical to a live session admitted at T (after rebasing
+ * start_offset/end_tick and the construction-to-admission Healthy
+ * dwell).  SessionManager::precompute and the fleet Placer both
+ * lean on this to fan rehearsals across parallelMap workers while
+ * keeping every aggregate byte-identical at any --jobs count.
+ */
+RehearsedSession rehearseSession(const SessionConfig &cfg);
 
 } // namespace vstream
 

@@ -77,7 +77,7 @@ SessionManager::activate(SessionConfig cfg, Tick start_offset)
     a.sid = sid;
     a.start_offset = start_offset;
 
-    Rehearsal *reh = rehearsed_.find(sid);
+    RehearsedSession *reh = rehearsed_.find(sid);
     if (reh != nullptr) {
         // Replay: one completion event at the rehearsed end tick
         // stands in for the whole vsync-by-vsync walk.
@@ -143,30 +143,9 @@ void
 SessionManager::precompute(const std::vector<SessionConfig> &cfgs,
                            unsigned jobs)
 {
-    std::vector<Rehearsal> rehearsals = parallelMap(
+    std::vector<RehearsedSession> rehearsals = parallelMap(
         jobs, cfgs.size(), [&](std::size_t i) {
-            Session s(cfgs[i]);
-            s.start(0);
-            Rehearsal r;
-            r.immediate = s.done();
-            while (!s.done()) {
-                r.local_end = s.nextTick();
-                s.stepVsync();
-            }
-            s.finalize(r.local_end);
-            SessionOutcome &o = r.outcome;
-            o.id = s.id();
-            o.final_state = s.health();
-            o.trace_error = s.traceError();
-            o.breaker_trips = s.breaker().trips();
-            o.breaker_reprobes = s.breaker().reprobes();
-            o.breaker_state = s.breaker().state();
-            for (std::size_t st = 0; st < kNumHealthStates; ++st) {
-                o.dwell[st] = s.ladder().dwell(
-                    static_cast<HealthState>(st), r.local_end);
-            }
-            o.result = s.result();
-            return r;
+            return rehearseSession(cfgs[i]);
         });
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
         vs_assert(rehearsed_.find(cfgs[i].id) == nullptr,
@@ -207,6 +186,9 @@ SessionManager::finalizeActive(std::size_t slot)
         o.dwell[static_cast<std::size_t>(HealthState::kHealthy)] +=
             a.start_offset;
     } else {
+        // leftEarly() reads the pre-finalize ladder (finalize folds
+        // a quarantined leaver into Evicted).
+        o.left_early = a.session->leftEarly();
         a.session->finalize(queue_.curTick());
         o.id = a.session->id();
         o.final_state = a.session->health();
@@ -220,6 +202,7 @@ SessionManager::finalizeActive(std::size_t slot)
         }
         o.start_offset = a.session->startOffset();
         o.end_tick = queue_.curTick();
+        o.group = a.session->config().stats_group;
         o.result = a.session->result();
     }
     if (o.final_state == HealthState::kEvicted) {

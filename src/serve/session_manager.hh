@@ -61,23 +61,8 @@ enum class Admission : std::uint8_t
     kRejected,
 };
 
-/** Everything the soak report needs from one finished session. */
-struct SessionOutcome
-{
-    std::uint64_t id = 0;
-    HealthState final_state = HealthState::kHealthy;
-    TraceError trace_error = TraceError::kNone;
-    std::uint64_t breaker_trips = 0;
-    std::uint64_t breaker_reprobes = 0;
-    /** Breaker state at the end of the session (a tripped session
-     * that ends kClosed recovered after its cooldown). */
-    CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
-    /** Ticks dwelt in each ladder state. */
-    std::array<Tick, kNumHealthStates> dwell{};
-    Tick start_offset = 0;
-    Tick end_tick = 0;
-    PipelineResult result;
-};
+// SessionOutcome lives in serve/session.hh (shared with the fleet
+// Placer, which aggregates outcomes without a SessionManager).
 
 /** Admission control + shared-timeline driver + fault domains. */
 class SessionManager
@@ -167,16 +152,6 @@ class SessionManager
         SessionOutcome outcome; // rehearsed outcome (replay only)
     };
 
-    /** A session run to completion detached at offset 0. */
-    struct Rehearsal
-    {
-        SessionOutcome outcome;
-        /** Local tick of the final vsync (0 when done at start). */
-        Tick local_end = 0;
-        /** Finished without stepping a single vsync. */
-        bool immediate = false;
-    };
-
     bool fits(double bw_mbps, std::uint64_t fb_bytes) const;
     bool couldEverFit(double bw_mbps, std::uint64_t fb_bytes) const;
     void activate(SessionConfig cfg, Tick start_offset);
@@ -195,7 +170,7 @@ class SessionManager
     /** Rehearsals by session id, consumed (erased) at activation.
      * Never iterated, so the unordered probe order of the flat table
      * cannot leak into output. */
-    FlatMap<std::uint64_t, Rehearsal> rehearsed_;
+    FlatMap<std::uint64_t, RehearsedSession> rehearsed_;
 
     double bw_reserved_ = 0.0;
     std::uint64_t fb_reserved_ = 0;

@@ -1,0 +1,109 @@
+#include "serve/shard.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+namespace
+{
+
+/** Whole microseconds of @p t (histogram unit for dwell/span). */
+std::uint64_t
+ticksToUs(Tick t)
+{
+    return t / sim_clock::us;
+}
+
+} // namespace
+
+void
+Shard::setSlices(double bw_mbps, double fb_bytes)
+{
+    vs_assert(bw_mbps > 0.0 && fb_bytes > 0.0,
+              "shard slices must be positive");
+    bw_slice_ = bw_mbps;
+    fb_slice_ = fb_bytes;
+}
+
+void
+Shard::reserve(double bw_mbps, std::uint64_t fb_bytes)
+{
+    bw_reserved_ += bw_mbps;
+    fb_reserved_ += fb_bytes;
+    ++active_;
+}
+
+void
+Shard::release(double bw_mbps, std::uint64_t fb_bytes)
+{
+    vs_assert(active_ > 0, "releasing on an idle shard");
+    vs_assert(fb_reserved_ >= fb_bytes,
+              "shard frame-buffer reservation underflow");
+    bw_reserved_ -= bw_mbps;
+    fb_reserved_ -= fb_bytes;
+    --active_;
+}
+
+double
+Shard::load() const
+{
+    vs_assert(bw_slice_ > 0.0 && fb_slice_ > 0.0,
+              "shard load() before setSlices()");
+    const double bw = bw_reserved_ / bw_slice_;
+    const double fb =
+        static_cast<double>(fb_reserved_) / fb_slice_;
+    return std::max(bw, fb);
+}
+
+void
+Shard::absorb(const SessionOutcome &o)
+{
+    ++absorbed_;
+    StatsSnapshot &s = snapshot_;
+    s.addCount("sessions");
+    s.addCount(std::string("state.") +
+               healthStateName(o.final_state));
+    s.addCount("breaker.trips", o.breaker_trips);
+    s.addCount("breaker.reprobes", o.breaker_reprobes);
+    if (o.breaker_trips > 0 &&
+        o.breaker_state == CircuitBreaker::State::kClosed) {
+        s.addCount("breaker.recoveredSessions");
+    }
+    if (o.left_early) {
+        s.addCount("leftEarly");
+    }
+    if (o.trace_error != TraceError::kNone) {
+        s.addCount("traceDamaged");
+    }
+    s.addCount("drops", o.result.drops);
+    s.addCount("underruns", o.result.underruns);
+    s.addCount("faults.injected", o.result.faults.injected);
+    s.addCount("faults.recovered", o.result.faults.recovered);
+    s.addCount("faults.abandoned", o.result.faults.abandoned);
+    s.addScalar("energyJ", o.result.totalEnergy());
+
+    static const char *const kDwellNames[kNumHealthStates] = {
+        "dwellUs.healthy", "dwellUs.degraded",
+        "dwellUs.quarantined", "dwellUs.evicted"};
+    for (std::size_t st = 0; st < kNumHealthStates; ++st) {
+        s.hist(kDwellNames[st]).record(ticksToUs(o.dwell[st]));
+    }
+    vs_assert(o.end_tick >= o.start_offset,
+              "session finished before it started");
+    s.hist("spanUs").record(ticksToUs(o.end_tick - o.start_offset));
+
+    if (!o.group.empty()) {
+        const std::string p = "mix." + o.group + ".";
+        s.addCount(p + "sessions");
+        if (o.final_state == HealthState::kEvicted) {
+            s.addCount(p + "evicted");
+        }
+        s.addCount(p + "breakerTrips", o.breaker_trips);
+        s.addScalar(p + "energyJ", o.result.totalEnergy());
+    }
+}
+
+} // namespace vstream

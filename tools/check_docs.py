@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Link-and-anchor checker for the repo's markdown documentation.
+
+Enforced rules (registered as the `vstream_docs` ctest and run by
+`scripts/check.sh docs`):
+
+ 1. Every file under docs/ is referenced from README.md - the README
+    is the table of contents, so an unlinked doc is unreachable.
+ 2. Every relative markdown link in the checked set resolves to an
+    existing file or directory in the repo.
+ 3. Every anchor (`file.md#section` or `#section`) resolves to a
+    heading in the target file, using GitHub's slug rules.
+
+Checked set: README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md and
+every docs/*.md.  External links (http/https/mailto) are ignored;
+this tool never touches the network.
+
+Usage: tools/check_docs.py [--root DIR]   (exit 0 = clean)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline markdown links: [text](target).  Good enough for this
+# repo's hand-written docs; reference-style links are not used.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+# Root-level docs that participate in link checking.  CHANGES.md is
+# an append-only log and ISSUE/PAPER/SNIPPETS are driver-managed
+# inputs, so they stay out of the gate.
+ROOT_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+             "ROADMAP.md")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup-ish punctuation, lowercase,
+    spaces to hyphens (consecutive hyphens are preserved)."""
+    text = heading.strip().lower()
+    # Inline code spans keep their text, drop the backticks.
+    text = text.replace("`", "")
+    out = []
+    for ch in text:
+        if ch.isalnum() or ch in "_-":
+            out.append(ch)
+        elif ch in " ":
+            out.append("-")
+        # Everything else (punctuation) is dropped.
+    return "".join(out)
+
+
+def md_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files = [root / name for name in ROOT_DOCS]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def headings(path: pathlib.Path) -> set[str]:
+    """Anchor slugs of every heading in @p path (with GitHub's
+    -1/-2 suffixing for duplicates)."""
+    seen: dict[str, int] = {}
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def links(path: pathlib.Path) -> list[tuple[int, str]]:
+    out = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            out.append((lineno, m.group(1)))
+    return out
+
+
+def check(root: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    files = md_files(root)
+    heading_cache: dict[pathlib.Path, set[str]] = {}
+
+    def anchors_of(path: pathlib.Path) -> set[str]:
+        if path not in heading_cache:
+            heading_cache[path] = headings(path)
+        return heading_cache[path]
+
+    referenced_docs: set[pathlib.Path] = set()
+
+    for f in files:
+        rel = f.relative_to(root)
+        for lineno, target in links(f):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                frag = target[1:]
+                if frag not in anchors_of(f):
+                    errors.append(f"{rel}:{lineno}: dead anchor "
+                                  f"'#{frag}'")
+                continue
+            path_part, _, frag = target.partition("#")
+            dest = (f.parent / path_part).resolve()
+            try:
+                dest_rel = dest.relative_to(root.resolve())
+            except ValueError:
+                errors.append(f"{rel}:{lineno}: link escapes the "
+                              f"repo: '{target}'")
+                continue
+            if not dest.exists():
+                errors.append(f"{rel}:{lineno}: dead link "
+                              f"'{target}'")
+                continue
+            if f.name == "README.md" and \
+                    str(dest_rel).startswith("docs/"):
+                referenced_docs.add(dest_rel)
+            if frag:
+                if not dest.is_file() or dest.suffix != ".md":
+                    errors.append(f"{rel}:{lineno}: anchor on "
+                                  f"non-markdown target '{target}'")
+                elif frag not in anchors_of(dest):
+                    errors.append(f"{rel}:{lineno}: dead anchor "
+                                  f"'{target}'")
+
+    # Rule 1: README reaches every doc.
+    for doc in sorted((root / "docs").glob("*.md")):
+        rel = doc.relative_to(root)
+        if rel not in referenced_docs:
+            errors.append(f"README.md: docs file '{rel}' is never "
+                          f"referenced")
+    return errors
+
+
+def self_test() -> int:
+    assert github_slug("Hello World") == "hello-world"
+    assert github_slug("The `--shards` flag") == "the---shards-flag"
+    assert github_slug("A / B (C)") == "a--b-c"
+    assert github_slug("vstream-soak-1") == "vstream-soak-1"
+    print("check_docs self-test OK")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of tools/)")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    errors = check(root)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(md_files(root))} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
