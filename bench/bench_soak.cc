@@ -304,11 +304,15 @@ makeFleetSession(const ArrivalEvent &a,
  * Fleet soak: Poisson arrivals with mid-stream leaves through the
  * Placer.  The emitted vstream-soak-1 JSON (mode "fleet") mentions
  * neither the shard nor the job count; both are placement/execution
- * detail outside the bytes.
+ * detail outside the bytes.  With a ChaosConfig the same schedule
+ * runs under shard crashes/brownouts, flash crowds, queue deadlines
+ * and shedding; everything the chaos layer did lands in the report's
+ * `recovery` block (docs/FORMATS.md).
  */
 int
 runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
-         unsigned n_jobs)
+         unsigned n_jobs, const ChaosConfig &chaos,
+         Tick queue_deadline)
 {
     const auto wall_start = std::chrono::steady_clock::now();
 
@@ -316,9 +320,11 @@ runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
     fleet.serve.bandwidth_budget_mbps = 300.0;
     fleet.serve.framebuffer_budget_bytes = 64ULL << 20;
     fleet.serve.max_active = 224;
+    fleet.serve.queue_deadline = queue_deadline;
     fleet.shards = n_shards;
     fleet.jobs = n_jobs;
     fleet.rebalance_period = static_cast<Tick>(1) * sim_clock::s;
+    fleet.chaos = chaos;
 
     PoissonArrivalConfig pa;
     pa.seed = 0xf1ee7ULL;
@@ -328,7 +334,11 @@ runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
     pa.min_watch = static_cast<Tick>(100) * sim_clock::ms;
     pa.max_watch = static_cast<Tick>(350) * sim_clock::ms;
     pa.num_mixes = kNumMixes;
-    const std::vector<ArrivalEvent> arrivals = poissonArrivals(pa);
+    // Flash crowds are offered load: they join the schedule before
+    // the Placer sees it, so whale counting and arrival totals
+    // cover them too.  With no flood rules this is the identity.
+    const std::vector<ArrivalEvent> arrivals =
+        withFlashCrowds(poissonArrivals(pa), fleet.chaos);
 
     const std::vector<std::uint8_t> intact_blob = makeTraceBlob();
     Placer placer(fleet, [&](const ArrivalEvent &a) {
@@ -337,6 +347,7 @@ runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
     placer.run(arrivals);
 
     const StatsSnapshot fleet_stats = placer.fleetSnapshot();
+    const RecoveryTotals &rec = placer.recovery();
     std::uint64_t expected_whales = 0;
     for (const ArrivalEvent &a : arrivals) {
         if (isFleetWhale(a.id)) {
@@ -345,8 +356,11 @@ runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
     }
 
     int failures = 0;
-    check(placer.admitted() + placer.rejected() == arrivals.size(),
-          "not every arrival was admitted or rejected", failures);
+    check(placer.admitted() + placer.rejected() + rec.shed +
+                  rec.queue_timeouts ==
+              arrivals.size(),
+          "arrivals not all admitted/rejected/shed/timed out",
+          failures);
     check(fleet_stats.count("sessions") == placer.admitted(),
           "merged snapshot lost sessions", failures);
     check(placer.rejected() == expected_whales,
@@ -385,6 +399,16 @@ runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
               << std::setprecision(2)
               << ticksToMs(placer.endTick()) / 1e3 << " s, "
               << placer.rebalances() << " rebalances\n";
+    if (rec.any()) {
+        std::cout << "recovery: " << rec.crashes << " crash(es), "
+                  << rec.brownouts << " brownout(s), restored "
+                  << rec.restored << " + replayed " << rec.replayed
+                  << ", failed over " << rec.failed_over << ", shed "
+                  << rec.shed << ", queue timeouts "
+                  << rec.queue_timeouts << " ("
+                  << placer.checkpointsTaken()
+                  << " checkpoint rounds)\n";
+    }
     const ScalarAgg *energy = fleet_stats.scalar("energyJ");
     if (energy != nullptr) {
         std::cout << "aggregate energy " << energy->sum() * 1e3
@@ -444,7 +468,35 @@ main(int argc, char **argv)
         const std::uint32_t fleet_sessions = flagU32(
             argc, argv, "--sessions",
             envU32("VSTREAM_SOAK_SESSIONS", 2000));
-        return runFleet(fleet_sessions, n_shards, n_jobs);
+        // Chaos knobs (all default off; see serve/chaos.hh for the
+        // rule grammar).  Times on these flags are milliseconds.
+        ChaosConfig chaos;
+        for (const std::string &spec :
+             flagStrs(argc, argv, "--chaos-crash")) {
+            chaos.rules.push_back(parseFleetFaultRule(
+                FleetFaultClass::kShardCrash, spec));
+        }
+        for (const std::string &spec :
+             flagStrs(argc, argv, "--chaos-brownout")) {
+            chaos.rules.push_back(parseFleetFaultRule(
+                FleetFaultClass::kShardBrownout, spec));
+        }
+        for (const std::string &spec :
+             flagStrs(argc, argv, "--chaos-flood")) {
+            chaos.rules.push_back(parseFleetFaultRule(
+                FleetFaultClass::kFlashCrowd, spec));
+        }
+        chaos.checkpoint_period =
+            static_cast<Tick>(flagU32(argc, argv,
+                                      "--checkpoint-period", 0)) *
+            sim_clock::ms;
+        chaos.shed_depth = flagU32(argc, argv, "--shed-depth", 0);
+        const Tick queue_deadline =
+            static_cast<Tick>(
+                flagU32(argc, argv, "--queue-deadline", 0)) *
+            sim_clock::ms;
+        return runFleet(fleet_sessions, n_shards, n_jobs, chaos,
+                        queue_deadline);
     }
 
     const std::uint32_t n_sessions = flagU32(

@@ -100,6 +100,24 @@ flagU32(int argc, char **argv, const std::string &name,
     return v;
 }
 
+/** Every occurrence of `--name V` / `--name=V`, in order (for
+ * repeatable flags like the chaos rule specs). */
+inline std::vector<std::string>
+flagStrs(int argc, char **argv, const std::string &name)
+{
+    std::vector<std::string> out;
+    const std::string eq = name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == name && i + 1 < argc) {
+            out.emplace_back(argv[++i]);
+        } else if (arg.rfind(eq, 0) == 0) {
+            out.push_back(arg.substr(eq.size()));
+        }
+    }
+    return out;
+}
+
 inline void
 header(const std::string &title, const std::string &paper_note)
 {

@@ -36,6 +36,17 @@
  *     --arrival-trace FILE  replay a text arrival trace instead
  *                           (lines: <arrival_us> <watch_us> <mix>)
  *
+ * Chaos options (fleet mode only; see docs/ROBUSTNESS.md):
+ *     --chaos-crash SPEC    crash a shard: "at=500ms,shard=1"
+ *     --chaos-brownout SPEC shrink a shard's budget slice:
+ *                           "at=300ms,shard=0,len=500ms,factor=0.5"
+ *     --chaos-flood SPEC    flash-crowd burst:
+ *                           "at=200ms,count=300,len=50ms[,mix=V8]"
+ *     --checkpoint-period MS  shard checkpoint cadence (default:
+ *                           on iff a crash rule is present)
+ *     --queue-deadline MS   expire sessions queued this long
+ *     --shed-depth N        shed arrivals once the wait queue holds N
+ *
  * Robustness options (per-session; see docs/ROBUSTNESS.md):
  *     --arrival-bandwidth MBPS, --arrival-jitter SIGMA,
  *     --arrival-preroll N, --fault-seed N, --fault-retry N,
@@ -75,6 +86,10 @@ usage(const char *argv0)
                  "[--stats-json FILE] [--jobs N]\n"
                  "  [--shards N] [--arrival-rate R] "
                  "[--leave-prob P] [--arrival-trace FILE]\n"
+                 "  [--chaos-crash SPEC] [--chaos-brownout SPEC] "
+                 "[--chaos-flood SPEC]\n"
+                 "  [--checkpoint-period MS] [--queue-deadline MS] "
+                 "[--shed-depth N]\n"
                  "  [--arrival-bandwidth MBPS] [--arrival-jitter S] "
                  "[--arrival-preroll N]\n"
                  "  [--fault-seed N] [--fault-retry N] "
@@ -126,6 +141,8 @@ main(int argc, char **argv)
     std::uint32_t shards = 0;
     double arrival_rate = 550.0, leave_prob = 0.0;
     std::string arrival_trace_file;
+    ChaosConfig chaos;
+    std::uint32_t shed_depth = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -189,6 +206,23 @@ main(int argc, char **argv)
             leave_prob = std::atof(next().c_str());
         } else if (arg == "--arrival-trace") {
             arrival_trace_file = next();
+        } else if (arg == "--chaos-crash") {
+            chaos.rules.push_back(parseFleetFaultRule(
+                FleetFaultClass::kShardCrash, next()));
+        } else if (arg == "--chaos-brownout") {
+            chaos.rules.push_back(parseFleetFaultRule(
+                FleetFaultClass::kShardBrownout, next()));
+        } else if (arg == "--chaos-flood") {
+            chaos.rules.push_back(parseFleetFaultRule(
+                FleetFaultClass::kFlashCrowd, next()));
+        } else if (arg == "--checkpoint-period") {
+            chaos.checkpoint_period =
+                static_cast<Tick>(nextU32()) * sim_clock::ms;
+        } else if (arg == "--queue-deadline") {
+            serve.queue_deadline =
+                static_cast<Tick>(nextU32()) * sim_clock::ms;
+        } else if (arg == "--shed-depth") {
+            shed_depth = nextU32();
         } else if (arg == "--arrival-bandwidth") {
             arrival_bandwidth = std::atof(next().c_str());
         } else if (arg == "--arrival-jitter") {
@@ -245,6 +279,8 @@ main(int argc, char **argv)
         fleet.shards = shards;
         fleet.jobs = n_jobs;
         fleet.rebalance_period = static_cast<Tick>(1) * sim_clock::s;
+        chaos.shed_depth = shed_depth;
+        fleet.chaos = chaos;
 
         std::vector<ArrivalEvent> arrivals;
         if (!arrival_trace_file.empty()) {
@@ -271,6 +307,7 @@ main(int argc, char **argv)
                 (static_cast<Tick>(sim_clock::s) / 60);
             arrivals = poissonArrivals(pa);
         }
+        arrivals = withFlashCrowds(std::move(arrivals), fleet.chaos);
 
         std::cout << "vstream_serve fleet: " << arrivals.size()
                   << " arrivals of " << video << " x " << frames
@@ -287,6 +324,16 @@ main(int argc, char **argv)
                   << placer.rejected() << ", evicted "
                   << fs.count("state.evicted") << ", left early "
                   << fs.count("leftEarly") << "\n";
+        const RecoveryTotals &rec = placer.recovery();
+        if (rec.any()) {
+            std::cout << "recovery: " << rec.crashes << " crash(es), "
+                      << rec.brownouts << " brownout(s), restored "
+                      << rec.restored << " + replayed "
+                      << rec.replayed << ", failed over "
+                      << rec.failed_over << ", shed " << rec.shed
+                      << ", queue timeouts " << rec.queue_timeouts
+                      << "\n";
+        }
         const ScalarAgg *energy = fs.scalar("energyJ");
         std::cout << "aggregate energy "
                   << (energy != nullptr ? energy->sum() : 0.0) * 1e3

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fuzz harness for the arrival-trace parser (the third untrusted
+ * parser: --arrival-trace files replay measured traffic).
+ *
+ * parseArrivalTrace() must reject any hostile trace gracefully - no
+ * process termination, no unbounded allocation, no overflowed
+ * microsecond-to-tick conversion - and on success return a schedule
+ * that satisfies the documented contract: events in non-decreasing
+ * tick order, ids sequential from first_id, ticks exactly
+ * `<arrival_us> * sim_clock::us`.
+ *
+ * Built with -fsanitize=fuzzer under Clang; under GCC the fallback
+ * driver in fuzz_driver_main.cc replays and mutates the checked-in
+ * corpus (fuzz/corpus/arrival_trace) instead.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "fuzz_common.hh"
+#include "serve/arrivals.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    // Traces are line-oriented; cap the size so the fuzzer explores
+    // line structure instead of megabyte-long documents.
+    constexpr std::size_t kMaxTrace = 1 << 16;
+    const std::string text(reinterpret_cast<const char *>(data),
+                           size < kMaxTrace ? size : kMaxTrace);
+
+    constexpr std::uint64_t kFirstId = 17;
+    std::istringstream is(text);
+    const vstream::ArrivalTraceResult r =
+        vstream::parseArrivalTrace(is, kFirstId);
+    if (!r.ok()) {
+        // Rejection must come with a diagnostic; a failed parse
+        // must not leak a partial schedule.
+        FUZZ_ASSERT(!r.error.empty());
+        FUZZ_ASSERT(r.events.empty());
+        return 0;
+    }
+    // An accepted schedule obeys the documented contract.
+    for (std::size_t i = 0; i < r.events.size(); ++i) {
+        const vstream::ArrivalEvent &e = r.events[i];
+        FUZZ_ASSERT(e.id == kFirstId + i);
+        FUZZ_ASSERT(e.tick % vstream::sim_clock::us == 0);
+        FUZZ_ASSERT(e.leave_after % vstream::sim_clock::us == 0);
+        if (i > 0) {
+            FUZZ_ASSERT(e.tick >= r.events[i - 1].tick);
+        }
+    }
+    // Parsing the same bytes again is deterministic.
+    std::istringstream again(text);
+    const vstream::ArrivalTraceResult r2 =
+        vstream::parseArrivalTrace(again, kFirstId);
+    FUZZ_ASSERT(r2.ok());
+    FUZZ_ASSERT(r2.events.size() == r.events.size());
+    return 0;
+}

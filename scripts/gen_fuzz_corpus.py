@@ -4,10 +4,11 @@
     python3 scripts/gen_fuzz_corpus.py
 
 Writes fuzz/corpus/trace_loader/*.vstr (binary traces exercising
-every TraceError branch) and fuzz/corpus/fault_rules/*.txt (rule
-specs, valid and hostile).  The trace CRC is IEEE CRC32 over
-everything after the magic, which is exactly zlib.crc32, so valid
-seeds carry a genuinely matching trailer.
+every TraceError branch), fuzz/corpus/fault_rules/*.txt (rule
+specs, valid and hostile), and fuzz/corpus/arrival_trace/*.txt
+(text arrival traces, valid and hostile).  The trace CRC is IEEE
+CRC32 over everything after the magic, which is exactly zlib.crc32,
+so valid seeds carry a genuinely matching trailer.
 
 The corpora are committed; rerun this script only when the trace
 format or the spec grammar changes, and commit the result.
@@ -101,6 +102,30 @@ def fault_rule_seeds():
             for i, spec in enumerate(specs)}
 
 
+def arrival_trace_seeds():
+    traces = [
+        # Valid: comments, blank lines, ties, zero-watch sessions.
+        '# measured traffic\n0 0 0\n1500 200000 1\n\n1500 0 2\n',
+        '0 0 0\n',
+        '',
+        '# only comments\n\n',
+        '100 200 3  # inline comment\n',
+        # Hostile: every one must be rejected with a diagnostic.
+        '100 200\n',                       # short line
+        '100 200 0 extra\n',               # trailing junk
+        '200 0 0\n100 0 0\n',              # out-of-order arrivals
+        '18446744073709551615 0 0\n',      # tick overflow
+        '-100 0 0\n',                      # negative time
+        '1e9 0 0\n',                       # non-integer time
+        'abc 0 0\n',                       # junk field
+        '100 0 4294967296\n',              # mix overflow
+        '0 18446744073709551615 0\n',      # watch overflow
+        '\x00\x01\x02\n',                  # binary noise
+    ]
+    return {'trace_%02d.txt' % i: t.encode()
+            for i, t in enumerate(traces)}
+
+
 def write_corpus(subdir, seeds):
     path = os.path.join(CORPUS, subdir)
     os.makedirs(path, exist_ok=True)
@@ -113,6 +138,7 @@ def write_corpus(subdir, seeds):
 def main():
     write_corpus('trace_loader', trace_seeds())
     write_corpus('fault_rules', fault_rule_seeds())
+    write_corpus('arrival_trace', arrival_trace_seeds())
 
 
 if __name__ == '__main__':

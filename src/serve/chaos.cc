@@ -1,0 +1,347 @@
+#include "serve/chaos.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+const char *
+fleetFaultClassName(FleetFaultClass c)
+{
+    switch (c) {
+      case FleetFaultClass::kShardCrash:
+        return "crash";
+      case FleetFaultClass::kShardBrownout:
+        return "brownout";
+      case FleetFaultClass::kFlashCrowd:
+        return "flood";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Largest double that still static_casts into a Tick; see
+ * sim/fault_injector.cc for the full rationale (2^63, one
+ * comparison, false for NaN/inf). */
+constexpr double kMaxTickDouble = 9223372036854775808.0; // 2^63
+
+/** Parse "250ms" / "1.5s" / "400us" / bare "250" (ms) into ticks. */
+bool
+tryParseTicks(const std::string &value, Tick &out, std::string &error)
+{
+    char *end = nullptr;
+    const double x = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) {
+        error = "bad time '" + value + "'";
+        return false;
+    }
+    const std::string unit(end);
+    double scale = static_cast<double>(sim_clock::ms);
+    if (unit == "ps") {
+        scale = static_cast<double>(sim_clock::ps);
+    } else if (unit == "ns") {
+        scale = static_cast<double>(sim_clock::ns);
+    } else if (unit == "us") {
+        scale = static_cast<double>(sim_clock::us);
+    } else if (unit == "ms" || unit.empty()) {
+        scale = static_cast<double>(sim_clock::ms);
+    } else if (unit == "s") {
+        scale = static_cast<double>(sim_clock::s);
+    } else {
+        error = "unknown time unit '" + unit + "'";
+        return false;
+    }
+    const double ticks = x * scale;
+    if (!(x >= 0.0) || !(ticks < kMaxTickDouble)) {
+        error = "time '" + value + "' is not a finite tick count";
+        return false;
+    }
+    out = static_cast<Tick>(ticks);
+    return true;
+}
+
+/** Plain digits only; see tryParseCount in sim/fault_injector.cc for
+ * why strtoull alone is a trap on untrusted input. */
+bool
+tryParseCount(const std::string &value, std::uint64_t &out,
+              std::string &error)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+        error = "bad count '" + value + "'";
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE || end != value.c_str() + value.size()) {
+        error = "count '" + value + "' out of range";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+tryParseU32(const std::string &value, std::uint32_t &out,
+            std::string &error)
+{
+    std::uint64_t v = 0;
+    if (!tryParseCount(value, v, error)) {
+        return false;
+    }
+    if (v > 0xffffffffULL) {
+        error = "value '" + value + "' out of range";
+        return false;
+    }
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+bool
+tryParseFactor(const std::string &value, double &out,
+               std::string &error)
+{
+    char *end = nullptr;
+    const double f = std::strtod(value.c_str(), &end);
+    // Inclusive-range form is false for NaN.
+    if (end == value.c_str() || *end != '\0' ||
+        !(f > 0.0 && f <= 1.0)) {
+        error = "bad factor '" + value + "' (need (0, 1])";
+        return false;
+    }
+    out = f;
+    return true;
+}
+
+} // namespace
+
+bool
+tryParseFleetFaultRule(FleetFaultClass cls, const std::string &spec,
+                       FleetFaultRule &out, std::string &error)
+{
+    FleetFaultRule rule;
+    rule.cls = cls;
+
+    bool have_at = false;
+    bool have_shard = false;
+    bool have_count = false;
+
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string field = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (field.empty()) {
+            continue;
+        }
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+            error = "field '" + field + "' is not key=value";
+            return false;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        bool ok = true;
+        if (key == "at") {
+            ok = tryParseTicks(value, rule.at, error);
+            have_at = true;
+        } else if (key == "shard") {
+            ok = tryParseU32(value, rule.shard, error);
+            have_shard = true;
+        } else if (key == "len") {
+            ok = tryParseTicks(value, rule.duration, error);
+        } else if (key == "factor") {
+            ok = tryParseFactor(value, rule.factor, error);
+        } else if (key == "count") {
+            ok = tryParseCount(value, rule.count, error);
+            have_count = true;
+        } else if (key == "mix") {
+            ok = tryParseU32(value, rule.mix, error);
+        } else {
+            error = "unknown key '" + key + "'";
+            return false;
+        }
+        if (!ok) {
+            return false;
+        }
+    }
+
+    if (!have_at) {
+        error = "rule needs at=TIME";
+        return false;
+    }
+    switch (cls) {
+      case FleetFaultClass::kShardCrash:
+        if (!have_shard) {
+            error = "crash needs shard=N";
+            return false;
+        }
+        break;
+      case FleetFaultClass::kShardBrownout:
+        if (!have_shard) {
+            error = "brownout needs shard=N";
+            return false;
+        }
+        if (rule.duration == 0) {
+            error = "brownout needs len=TIME";
+            return false;
+        }
+        break;
+      case FleetFaultClass::kFlashCrowd:
+        if (!have_count || rule.count == 0) {
+            error = "flood needs count=N (>= 1)";
+            return false;
+        }
+        break;
+    }
+    if (rule.at + rule.duration < rule.at) {
+        error = "rule window overflows the tick range";
+        return false;
+    }
+    out = rule;
+    return true;
+}
+
+FleetFaultRule
+parseFleetFaultRule(FleetFaultClass cls, const std::string &spec)
+{
+    FleetFaultRule rule;
+    std::string error;
+    if (!tryParseFleetFaultRule(cls, spec, rule, error)) {
+        vs_fatal("chaos spec '", spec, "': ", error);
+    }
+    return rule;
+}
+
+bool
+ChaosConfig::anyRuleFor(FleetFaultClass c) const
+{
+    for (const FleetFaultRule &rule : rules) {
+        if (rule.cls == c) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ChaosConfig::validate(std::uint32_t shards) const
+{
+    for (const FleetFaultRule &rule : rules) {
+        switch (rule.cls) {
+          case FleetFaultClass::kShardCrash:
+            // Crashing the only shard leaves nowhere to fail over
+            // to; recovery needs at least one survivor.
+            if (shards < 2) {
+                vs_fatal("crash rules need a fleet of >= 2 shards");
+            }
+            [[fallthrough]];
+          case FleetFaultClass::kShardBrownout:
+            if (rule.shard >= shards) {
+                vs_fatal("chaos rule targets shard ", rule.shard,
+                         " of a ", shards, "-shard fleet");
+            }
+            if (rule.cls == FleetFaultClass::kShardBrownout &&
+                rule.duration == 0) {
+                vs_fatal("brownout rules need a duration (len=...)");
+            }
+            break;
+          case FleetFaultClass::kFlashCrowd:
+            if (rule.count == 0) {
+                vs_fatal("flood rules need count >= 1");
+            }
+            break;
+        }
+        if (rule.factor <= 0.0 || rule.factor > 1.0) {
+            vs_fatal("chaos factor ", rule.factor,
+                     " outside (0, 1]");
+        }
+    }
+}
+
+void
+FleetLadder::transitionTo(FleetHealth next, Tick now)
+{
+    vs_assert(now >= entered_, "fleet ladder clock moved backwards");
+    dwell_[static_cast<std::size_t>(state_)] += now - entered_;
+    entered_ = now;
+    state_ = next;
+    ++transitions_;
+}
+
+Tick
+FleetLadder::dwell(FleetHealth s, Tick now) const
+{
+    Tick d = dwell_[static_cast<std::size_t>(s)];
+    if (s == state_) {
+        vs_assert(now >= entered_,
+                  "fleet ladder clock moved backwards");
+        d += now - entered_;
+    }
+    return d;
+}
+
+const char *
+fleetHealthName(FleetHealth s)
+{
+    switch (s) {
+      case FleetHealth::kHealthy:
+        return "healthy";
+      case FleetHealth::kBrownedOut:
+        return "brownedOut";
+      case FleetHealth::kShedding:
+        return "shedding";
+    }
+    return "?";
+}
+
+std::vector<ArrivalEvent>
+withFlashCrowds(std::vector<ArrivalEvent> base,
+                const ChaosConfig &chaos)
+{
+    if (!chaos.anyRuleFor(FleetFaultClass::kFlashCrowd)) {
+        return base;
+    }
+    std::uint64_t next_id = 0;
+    for (const ArrivalEvent &a : base) {
+        next_id = std::max(next_id, a.id + 1);
+    }
+    for (const FleetFaultRule &rule : chaos.rules) {
+        if (rule.cls != FleetFaultClass::kFlashCrowd) {
+            continue;
+        }
+        for (std::uint64_t i = 0; i < rule.count; ++i) {
+            ArrivalEvent a;
+            // Spread the burst evenly over [at, at + len]; 128-bit
+            // intermediate so duration * i cannot overflow.
+            a.tick = rule.at +
+                     static_cast<Tick>(
+                         static_cast<unsigned __int128>(
+                             rule.duration) *
+                         i / rule.count);
+            a.id = next_id++;
+            a.mix = rule.mix;
+            base.push_back(a);
+        }
+    }
+    // Stable: base arrivals keep their relative order at equal
+    // ticks, and flood arrivals land after them.
+    std::stable_sort(base.begin(), base.end(),
+                     [](const ArrivalEvent &a, const ArrivalEvent &b) {
+                         return a.tick < b.tick;
+                     });
+    return base;
+}
+
+} // namespace vstream

@@ -56,6 +56,23 @@ writeFleetReport(std::ostream &os, const Placer &placer,
     w.kv("virtualEndMs", ticksToMs(placer.endTick()));
     w.key("fleet");
     fleet.dumpJson(w);
+    // The recovery ledger appears only when the chaos layer did
+    // something: a chaos-off run stays byte-identical to the
+    // pre-chaos report (docs/FORMATS.md, "The recovery block").
+    const RecoveryTotals &rec = placer.recovery();
+    if (rec.any()) {
+        w.key("recovery");
+        w.beginObject();
+        w.kv("crashes", static_cast<double>(rec.crashes));
+        w.kv("brownouts", static_cast<double>(rec.brownouts));
+        w.kv("restored", static_cast<double>(rec.restored));
+        w.kv("replayed", static_cast<double>(rec.replayed));
+        w.kv("failedOver", static_cast<double>(rec.failed_over));
+        w.kv("shed", static_cast<double>(rec.shed));
+        w.kv("queueTimeouts",
+             static_cast<double>(rec.queue_timeouts));
+        w.endObject();
+    }
     w.kv("invariantFailures",
          static_cast<double>(invariant_failures));
     w.endObject();

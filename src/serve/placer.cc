@@ -19,6 +19,7 @@ FleetConfig::validate() const
     if (rehearse_block == 0) {
         vs_fatal("rehearse_block must be >= 1");
     }
+    chaos.validate(shards);
 }
 
 Placer::Placer(FleetConfig cfg, SessionFactory factory)
@@ -39,6 +40,48 @@ Placer::Placer(FleetConfig cfg, SessionFactory factory)
                         n);
     }
     next_rebalance_ = cfg_.rebalance_period;
+
+    // Chaos wiring.  With no crash rules and no checkpoint period
+    // the journals and checkpoints stay empty and none of the new
+    // event sources ever fires: the layer is inert.
+    journaling_ =
+        cfg_.chaos.anyRuleFor(FleetFaultClass::kShardCrash);
+    checkpointing_ =
+        journaling_ || cfg_.chaos.checkpoint_period > 0;
+    journals_.resize(cfg_.shards);
+    checkpoints_.resize(cfg_.shards);
+    brownout_depth_.assign(cfg_.shards, 0);
+    if (cfg_.chaos.checkpoint_period > 0) {
+        next_checkpoint_ = cfg_.chaos.checkpoint_period;
+    }
+    for (const FleetFaultRule &rule : cfg_.chaos.rules) {
+        switch (rule.cls) {
+          case FleetFaultClass::kShardCrash:
+            chaos_events_.push_back(
+                ChaosEvent{rule.at, ChaosEvent::Kind::kCrash,
+                           rule.shard, 1.0});
+            break;
+          case FleetFaultClass::kShardBrownout:
+            chaos_events_.push_back(
+                ChaosEvent{rule.at,
+                           ChaosEvent::Kind::kBrownoutStart,
+                           rule.shard, rule.factor});
+            chaos_events_.push_back(
+                ChaosEvent{rule.at + rule.duration,
+                           ChaosEvent::Kind::kBrownoutEnd,
+                           rule.shard, 1.0});
+            break;
+          case FleetFaultClass::kFlashCrowd:
+            // Floods enter through withFlashCrowds on the arrival
+            // schedule, not through the event loop.
+            break;
+        }
+    }
+    // Stable: same-tick events apply in rule order.
+    std::stable_sort(chaos_events_.begin(), chaos_events_.end(),
+                     [](const ChaosEvent &a, const ChaosEvent &b) {
+                         return a.tick < b.tick;
+                     });
 }
 
 bool
@@ -69,6 +112,24 @@ Placer::pickShard() const
     std::uint32_t best = 0;
     double best_load = shards_[0].load();
     for (std::uint32_t i = 1; i < shards_.size(); ++i) {
+        const double l = shards_[i].load();
+        if (l < best_load) {
+            best = i;
+            best_load = l;
+        }
+    }
+    return best;
+}
+
+std::uint32_t
+Placer::pickSurvivor(std::uint32_t crashed) const
+{
+    std::uint32_t best = crashed == 0 ? 1 : 0;
+    double best_load = shards_[best].load();
+    for (std::uint32_t i = best + 1; i < shards_.size(); ++i) {
+        if (i == crashed) {
+            continue;
+        }
         const double l = shards_[i].load();
         if (l < best_load) {
             best = i;
@@ -109,39 +170,241 @@ Placer::rebalance()
     }
 }
 
+Tick
+Placer::frontDeadline() const
+{
+    const Tick dl = cfg_.serve.queue_deadline;
+    const Tick enq = waiting_.front().enqueue;
+    // Saturate: a deadline past the tick range never fires.
+    return enq > maxTick - dl ? maxTick : enq + dl;
+}
+
 void
 Placer::advanceTo(Tick t)
 {
     vs_assert(t >= cur_tick_, "fleet timeline moved backwards");
     for (;;) {
-        const bool have_finish =
-            !active_.empty() && active_.top().tick <= t;
-        const bool have_rebalance =
-            cfg_.rebalance_period > 0 && next_rebalance_ <= t;
-        if (!have_finish && !have_rebalance) {
+        // Five event sources, ordered by (tick, source rank):
+        // finish < queue-timeout < checkpoint < chaos < rebalance.
+        // Finishes first so budget freed at T is visible to
+        // everything else at T (an admission wins a tie with the
+        // queue deadline); checkpoint-before-crash at the same tick
+        // means the crash loses nothing.
+        Tick best = maxTick;
+        int kind = -1;
+        if (!active_.empty()) {
+            best = active_.top().tick;
+            kind = 0;
+        }
+        if (cfg_.serve.queue_deadline > 0 && !waiting_.empty()) {
+            const Tick dl = frontDeadline();
+            if (dl < best) {
+                best = dl;
+                kind = 1;
+            }
+        }
+        if (checkpointing_ && next_checkpoint_ < best) {
+            best = next_checkpoint_;
+            kind = 2;
+        }
+        if (next_chaos_ < chaos_events_.size() &&
+            chaos_events_[next_chaos_].tick < best) {
+            best = chaos_events_[next_chaos_].tick;
+            kind = 3;
+        }
+        if (cfg_.rebalance_period > 0 && next_rebalance_ < best) {
+            best = next_rebalance_;
+            kind = 4;
+        }
+        if (kind < 0 || best > t) {
             break;
         }
-        // Earliest event first; finishes win ties so a rebalance at
-        // tick R sees the budget already freed at R.
-        if (have_finish &&
-            (!have_rebalance ||
-             active_.top().tick <= next_rebalance_)) {
-            const Finish f = active_.top();
-            active_.pop();
-            cur_tick_ = std::max(cur_tick_, f.tick);
-            shards_[f.shard].release(f.bw_mbps, f.fb_bytes);
-            bw_reserved_ -= f.bw_mbps;
-            vs_assert(fb_reserved_ >= f.fb_bytes,
-                      "fleet frame-buffer reservation underflow");
-            fb_reserved_ -= f.fb_bytes;
-            drainWaiting();
-        } else {
-            cur_tick_ = std::max(cur_tick_, next_rebalance_);
+        cur_tick_ = std::max(cur_tick_, best);
+        switch (kind) {
+          case 0:
+            finishOne();
+            break;
+          case 1:
+            expireFront();
+            break;
+          case 2:
+            takeAllCheckpoints();
+            next_checkpoint_ += cfg_.chaos.checkpoint_period;
+            break;
+          case 3:
+            applyChaos(chaos_events_[next_chaos_++]);
+            break;
+          default:
             rebalance();
             next_rebalance_ += cfg_.rebalance_period;
+            break;
         }
     }
     cur_tick_ = std::max(cur_tick_, t);
+}
+
+void
+Placer::finishOne()
+{
+    const Finish f = active_.top();
+    active_.pop();
+    const auto it = live_.find(f.seq);
+    vs_assert(it != live_.end(), "finish for unknown session");
+    Live &l = it->second;
+    shards_[l.shard].release(l.bw_mbps, l.fb_bytes);
+    bw_reserved_ -= l.bw_mbps;
+    vs_assert(fb_reserved_ >= l.fb_bytes,
+              "fleet frame-buffer reservation underflow");
+    fb_reserved_ -= l.fb_bytes;
+    // Fold-at-finish: the outcome becomes durable shard state only
+    // now, so a crash before this point cleanly unwinds the session
+    // (it is failed over, not half-counted).  The fold is exact and
+    // commutative, so the bytes cannot tell this apart from the
+    // fold-at-admit order.
+    shards_[l.shard].absorb(l.outcome);
+    if (journaling_) {
+        journals_[l.shard].push_back(
+            JournalEntry{l.arrival, l.start});
+    }
+    live_.erase(it);
+    drainWaiting();
+}
+
+void
+Placer::expireFront()
+{
+    // The front has the earliest enqueue tick (strict FIFO), hence
+    // the earliest deadline; it timed out before budget freed.
+    waiting_.pop_front();
+    ++recovery_.queue_timeouts;
+    updateFleetHealth();
+}
+
+void
+Placer::takeCheckpoint(std::uint32_t shard)
+{
+    ShardSnapshot snap;
+    snap.tick = cur_tick_;
+    snap.absorbed = shards_[shard].absorbed();
+    snap.stats = shards_[shard].snapshot();
+    checkpoints_[shard] = serializeShardSnapshot(snap);
+    // Everything up to here is inside the checkpoint; the journal
+    // restarts empty.
+    journals_[shard].clear();
+}
+
+void
+Placer::takeAllCheckpoints()
+{
+    ++checkpoints_taken_;
+    for (std::uint32_t i = 0; i < cfg_.shards; ++i) {
+        takeCheckpoint(i);
+    }
+}
+
+void
+Placer::applyChaos(const ChaosEvent &ev)
+{
+    switch (ev.kind) {
+      case ChaosEvent::Kind::kCrash:
+        crashShard(ev.shard);
+        break;
+      case ChaosEvent::Kind::kBrownoutStart:
+        ++recovery_.brownouts;
+        ++brownout_depth_[ev.shard];
+        shards_[ev.shard].setBrownoutFactor(ev.factor);
+        updateFleetHealth();
+        break;
+      case ChaosEvent::Kind::kBrownoutEnd:
+        vs_assert(brownout_depth_[ev.shard] > 0,
+                  "brownout end without a matching start");
+        if (--brownout_depth_[ev.shard] == 0) {
+            shards_[ev.shard].setBrownoutFactor(1.0);
+        }
+        updateFleetHealth();
+        break;
+    }
+}
+
+void
+Placer::crashShard(std::uint32_t shard)
+{
+    ++recovery_.crashes;
+    Shard &sh = shards_[shard];
+    sh.crashReset();
+
+    // Restore the last checkpoint *through the wire format*, so
+    // every recovery exercises the real serialization path.
+    vs_assert(!checkpoints_[shard].empty(),
+              "shard crashed before the tick-0 checkpoint");
+    ShardSnapshot snap;
+    std::string error;
+    if (!tryDeserializeShardSnapshot(checkpoints_[shard].data(),
+                                     checkpoints_[shard].size(),
+                                     snap, error)) {
+        vs_panic("shard ", shard, " checkpoint corrupt: ", error);
+    }
+    sh.restore(snap.stats, snap.absorbed);
+    recovery_.restored += snap.absorbed;
+
+    // Replay the finishes journaled since that checkpoint.  The
+    // factory is pure and rehearsal hermetic, so each replayed
+    // outcome is bit-identical to the one the crash destroyed.
+    for (const JournalEntry &e : journals_[shard]) {
+        SessionConfig c = factory_(e.arrival);
+        c.id = e.arrival.id;
+        c.leave_after = e.arrival.leave_after;
+        RehearsedSession reh = rehearseSession(c);
+        SessionOutcome o = std::move(reh.outcome);
+        o.start_offset = e.start;
+        o.end_tick = e.start + reh.local_end;
+        o.dwell[static_cast<std::size_t>(HealthState::kHealthy)] +=
+            e.start;
+        sh.absorb(o);
+        ++recovery_.replayed;
+    }
+    journals_[shard].clear();
+
+    // Fail the orphaned in-flight sessions over to survivors.  The
+    // crashed shard's reservations died with it; the survivors pick
+    // them up, and the *global* reservation never moved - failover
+    // cannot admit, reject or delay anyone.
+    for (auto &[seq, l] : live_) {
+        if (l.shard != shard) {
+            continue;
+        }
+        const std::uint32_t to = pickSurvivor(shard);
+        shards_[to].reserve(l.bw_mbps, l.fb_bytes);
+        l.shard = to;
+        ++recovery_.failed_over;
+    }
+
+    // Re-checkpoint immediately: a second crash of this shard must
+    // restore to *this* state, not double-replay the old journal.
+    takeCheckpoint(shard);
+}
+
+void
+Placer::updateFleetHealth()
+{
+    if (!cfg_.chaos.enabled()) {
+        return;
+    }
+    FleetHealth want = FleetHealth::kHealthy;
+    if (cfg_.chaos.shed_depth > 0 &&
+        waiting_.size() >= cfg_.chaos.shed_depth) {
+        want = FleetHealth::kShedding;
+    } else {
+        for (const std::uint32_t depth : brownout_depth_) {
+            if (depth > 0) {
+                want = FleetHealth::kBrownedOut;
+                break;
+            }
+        }
+    }
+    if (want != ladder_.state()) {
+        ladder_.transitionTo(want, cur_tick_);
+    }
 }
 
 void
@@ -153,19 +416,26 @@ Placer::admit(Pending &&p, Tick start)
     bw_reserved_ += p.bw_mbps;
     fb_reserved_ += p.fb_bytes;
 
-    SessionOutcome o = std::move(p.reh.outcome);
+    Live l;
+    l.outcome = std::move(p.reh.outcome);
     const Tick finish_tick = start + p.reh.local_end;
-    o.start_offset = start;
-    o.end_tick = finish_tick;
+    l.outcome.start_offset = start;
+    l.outcome.end_tick = finish_tick;
     // The ladder clock starts at construction, so a live session
     // admitted at offset T dwells Healthy for T extra ticks before
     // its first transition; mirror SessionManager's rebasing.
-    o.dwell[static_cast<std::size_t>(HealthState::kHealthy)] +=
+    l.outcome
+        .dwell[static_cast<std::size_t>(HealthState::kHealthy)] +=
         start;
-    shards_[sh].absorb(o);
-    // o dies here: the only per-session residue is this heap entry.
-    active_.push(Finish{finish_tick, next_seq_++, sh, p.bw_mbps,
-                        p.fb_bytes});
+    l.arrival = p.arrival;
+    l.start = start;
+    l.shard = sh;
+    l.bw_mbps = p.bw_mbps;
+    l.fb_bytes = p.fb_bytes;
+
+    const std::uint64_t seq = next_seq_++;
+    live_.emplace(seq, std::move(l));
+    active_.push(Finish{finish_tick, seq});
     peak_active_ = std::max<std::uint64_t>(peak_active_,
                                            active_.size());
 }
@@ -185,6 +455,7 @@ Placer::drainWaiting()
         waiting_.pop_front();
         admit(std::move(p), cur_tick_);
     }
+    updateFleetHealth();
 }
 
 void
@@ -196,10 +467,21 @@ Placer::submitRehearsed(Pending &&p)
     }
     if (cfg_.serve.queue_when_full &&
         couldEverFit(p.bw_mbps, p.fb_bytes)) {
+        // The shedding ladder: past the configured queue depth the
+        // fleet drops arrivals outright instead of letting the
+        // queue (and its deadline backlog) grow without bound.
+        if (cfg_.chaos.shed_depth > 0 &&
+            waiting_.size() >= cfg_.chaos.shed_depth) {
+            ++recovery_.shed;
+            updateFleetHealth();
+            return;
+        }
         ++queued_;
+        p.enqueue = cur_tick_;
         waiting_.push_back(std::move(p));
         peak_waiting_ = std::max<std::uint64_t>(peak_waiting_,
                                                 waiting_.size());
+        updateFleetHealth();
         return;
     }
     ++rejected_;
@@ -210,13 +492,19 @@ Placer::run(const std::vector<ArrivalEvent> &arrivals)
 {
     vs_assert(!ran_, "a Placer runs one schedule");
     ran_ = true;
+    if (checkpointing_) {
+        // The implicit tick-0 checkpoint: every crash has a
+        // restore point even before the first periodic one.
+        takeAllCheckpoints();
+    }
     std::size_t base = 0;
     while (base < arrivals.size()) {
         const std::size_t n =
             std::min<std::size_t>(cfg_.rehearse_block,
                                   arrivals.size() - base);
         // Build the block's configs serially (the factory may be
-        // stateful), then rehearse the admissible ones in parallel.
+        // stateful when journaling is off), then rehearse the
+        // admissible ones in parallel.
         std::vector<SessionConfig> cfgs;
         std::vector<double> bws(n, 0.0);
         std::vector<std::uint64_t> fbs(n, 0);
@@ -257,6 +545,7 @@ Placer::run(const std::vector<ArrivalEvent> &arrivals)
             }
             Pending p;
             p.reh = std::move(rehs[next_live++]);
+            p.arrival = arrivals[base + j];
             p.bw_mbps = bws[j];
             p.fb_bytes = fbs[j];
             submitRehearsed(std::move(p));
@@ -264,12 +553,15 @@ Placer::run(const std::vector<ArrivalEvent> &arrivals)
         base += n;
     }
     // Drain: every finish frees budget, which admits more of the
-    // queue; couldEverFit guarantees the queue empties.
+    // queue; couldEverFit guarantees the queue empties (deadline
+    // expiries along the way fire inside advanceTo).
     while (!active_.empty()) {
         advanceTo(active_.top().tick);
     }
     vs_assert(waiting_.empty(),
               "fleet drained with sessions still queued");
+    vs_assert(live_.empty(),
+              "fleet drained with sessions still in flight");
 }
 
 StatsSnapshot

@@ -1,6 +1,7 @@
 /**
  * @file
- * Fleet placer: global admission, least-loaded routing, rebalancing.
+ * Fleet placer: global admission, least-loaded routing, rebalancing,
+ * and fault-tolerant recovery.
  *
  * The Placer drives an ArrivalSchedule through N Shards on one
  * virtual serving timeline.  The division of labour is what makes
@@ -8,9 +9,10 @@
  *
  *  - *Admission is global.*  One budget pool (ServeConfig: DRAM
  *    bandwidth, frame-buffer bytes, max_active), one strict-FIFO
- *    wait queue, one whale-rejection rule - evaluated on the shared
- *    timeline exactly as SessionManager does for a single shard.
- *    Nothing about admit/queue/reject depends on the shard count.
+ *    wait queue with an optional deadline, one whale-rejection rule -
+ *    evaluated on the shared timeline exactly as SessionManager does
+ *    for a single shard.  Nothing about admit/queue/reject depends
+ *    on the shard count.
  *
  *  - *Placement is advisory.*  Each shard owns a slice of the global
  *    budget as a placement weight; arrivals route to the least-
@@ -23,13 +25,32 @@
  *
  *  - *Sessions are hermetic.*  Each arrival is rehearsed on its own
  *    private substrate (serve/session.hh, rehearseSession) in
- *    parallelMap blocks, then its outcome is absorbed into the
- *    routed shard at admission time and discarded; only a (finish
- *    tick, seq, shard, budget) heap entry stays resident.  Memory is
- *    O(shards + active + waiting), not O(sessions).
+ *    parallelMap blocks; its outcome stays resident only while the
+ *    session is in flight and is folded into the routed shard when
+ *    it finishes.  Memory is O(shards + active + waiting), not
+ *    O(sessions).
  *
- * docs/SERVING.md walks through the whole flow; tests/test_shard.cc
- * pins shard-count and jobs invariance plus rebalance neutrality.
+ *  - *Faults are recoverable.*  With a ChaosConfig (serve/chaos.hh)
+ *    the Placer periodically checkpoints each shard's durable state
+ *    as a ShardSnapshot and journals finishes between checkpoints.
+ *    A shard crash restores the last checkpoint, deterministically
+ *    replays the journal (the factory must be a pure function of
+ *    the arrival for this - both shipped harnesses are), and fails
+ *    in-flight sessions over to surviving shards under the same
+ *    global budget.  Because merge order cannot reach the bytes, a
+ *    recovered run's fleet report equals the unfailed run's, modulo
+ *    the explicit `recovery` block.  With chaos off the whole layer
+ *    is inert and the report is byte-identical to the pre-chaos
+ *    stack.
+ *
+ * Event ordering at equal ticks is pinned: finish < queue-timeout <
+ * checkpoint < chaos < rebalance - so budget freed at tick T is
+ * visible to everything else at T, an admission wins a tie with the
+ * queue deadline, and a checkpoint at the crash tick loses nothing.
+ *
+ * docs/SERVING.md walks the serving flow, docs/ROBUSTNESS.md the
+ * fault tolerance; tests/test_shard.cc pins shard-count and jobs
+ * invariance, tests/test_chaos.cc pins recovery equality.
  */
 
 #ifndef VSTREAM_SERVE_PLACER_HH
@@ -38,12 +59,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <queue>
 #include <vector>
 
 #include "serve/arrivals.hh"
+#include "serve/chaos.hh"
 #include "serve/session_manager.hh"
 #include "serve/shard.hh"
+#include "serve/snapshot.hh"
 
 namespace vstream
 {
@@ -65,6 +89,9 @@ struct FleetConfig
     /** Re-weight shard slices every this many ticks on the virtual
      * timeline (0 = never).  Placement-only, hence stats-neutral. */
     Tick rebalance_period = 0;
+    /** Fault injection + checkpoint/recovery policy; default is
+     * inert (serve/chaos.hh). */
+    ChaosConfig chaos;
 
     void validate() const;
 };
@@ -72,7 +99,9 @@ struct FleetConfig
 /** Builds the SessionConfig for one arrival.  The Placer overwrites
  * id and leave_after from the ArrivalEvent afterwards; everything
  * else (including stats_group, typically derived from the event's
- * mix) is the factory's to set. */
+ * mix) is the factory's to set.  With crash rules configured the
+ * factory must be *pure* - crash recovery replays journaled arrivals
+ * through it and the replayed config must match the original. */
 using SessionFactory =
     std::function<SessionConfig(const ArrivalEvent &)>;
 
@@ -88,8 +117,11 @@ class Placer
     /**
      * Drive @p arrivals (non-decreasing ticks) to completion:
      * rehearse in blocks, admit/queue/reject on the virtual
-     * timeline, fold outcomes into shards, drain the wait queue as
-     * budget frees.  Callable once.
+     * timeline, fold outcomes into shards as sessions finish, drain
+     * the wait queue as budget frees.  Inject flash crowds first
+     * with withFlashCrowds - floods are offered load, so they enter
+     * through the schedule, not behind the Placer's back.  Callable
+     * once.
      */
     void run(const std::vector<ArrivalEvent> &arrivals);
 
@@ -114,23 +146,38 @@ class Placer
     /** Tick of the last session finish. */
     Tick endTick() const { return cur_tick_; }
 
+    // --- fault tolerance ------------------------------------------------
+
+    /** The recovery ledger; all-zero on a clean run. */
+    const RecoveryTotals &recovery() const { return recovery_; }
+    /** Current fleet health (Healthy unless chaos degraded it). */
+    FleetHealth fleetHealth() const { return ladder_.state(); }
+    const FleetLadder &fleetLadder() const { return ladder_; }
+    /** Checkpoint rounds taken (each covers every shard). */
+    std::uint64_t checkpointsTaken() const
+    {
+        return checkpoints_taken_;
+    }
+
   private:
     /** A rehearsed session waiting for budget. */
     struct Pending
     {
         RehearsedSession reh;
+        /** The arrival it came from (journaled on finish). */
+        ArrivalEvent arrival;
         double bw_mbps = 0.0;
         std::uint64_t fb_bytes = 0;
+        /** Tick it entered the wait queue (deadline base). */
+        Tick enqueue = 0;
     };
 
-    /** Resident footprint of one admitted session. */
+    /** Heap entry for one admitted session; everything else lives
+     * in live_ so failover can re-home it. */
     struct Finish
     {
         Tick tick = 0;
         std::uint64_t seq = 0;
-        std::uint32_t shard = 0;
-        double bw_mbps = 0.0;
-        std::uint64_t fb_bytes = 0;
 
         /** Min-heap order: earliest (tick, seq) first. */
         bool
@@ -143,20 +190,76 @@ class Placer
         }
     };
 
+    /** Resident state of one in-flight session.  The outcome is
+     * rebased at admit and folded into its shard at finish, so a
+     * crash before the finish cleanly unwinds it. */
+    struct Live
+    {
+        SessionOutcome outcome;
+        ArrivalEvent arrival;
+        Tick start = 0;
+        std::uint32_t shard = 0;
+        double bw_mbps = 0.0;
+        std::uint64_t fb_bytes = 0;
+    };
+
+    /** One finish recorded since the shard's last checkpoint;
+     * replayed through the (pure) factory on crash recovery. */
+    struct JournalEntry
+    {
+        ArrivalEvent arrival;
+        Tick start = 0;
+    };
+
+    /** A chaos rule expanded onto the timeline (brownouts become a
+     * start/end pair). */
+    struct ChaosEvent
+    {
+        enum class Kind : std::uint8_t
+        {
+            kCrash = 0,
+            kBrownoutStart,
+            kBrownoutEnd,
+        };
+
+        Tick tick = 0;
+        Kind kind = Kind::kCrash;
+        std::uint32_t shard = 0;
+        double factor = 1.0;
+    };
+
     bool fits(double bw_mbps, std::uint64_t fb_bytes) const;
     bool couldEverFit(double bw_mbps, std::uint64_t fb_bytes) const;
 
-    /** Process finishes (and rebalance points) up to @p t, draining
-     * the wait queue as budget frees; leaves cur_tick_ == t. */
+    /** Process finishes, queue deadlines, checkpoints, chaos events
+     * and rebalance points up to @p t; leaves cur_tick_ == t. */
     void advanceTo(Tick t);
 
-    /** Route + reserve + absorb @p p starting at @p start. */
+    /** Pop the earliest finish: release budget, fold the outcome
+     * into its shard, journal it, drain the queue. */
+    void finishOne();
+
+    /** Expire the wait-queue front past its admission deadline. */
+    void expireFront();
+    /** Deadline of the wait-queue front (maxTick when unbounded). */
+    Tick frontDeadline() const;
+
+    /** Route + reserve @p p starting at @p start; the outcome goes
+     * resident until the finish event folds it in. */
     void admit(Pending &&p, Tick start);
 
     void submitRehearsed(Pending &&p);
     void drainWaiting();
     std::uint32_t pickShard() const;
     void rebalance();
+
+    void takeCheckpoint(std::uint32_t shard);
+    void takeAllCheckpoints();
+    void applyChaos(const ChaosEvent &ev);
+    void crashShard(std::uint32_t shard);
+    /** Least-loaded shard excluding @p crashed (failover target). */
+    std::uint32_t pickSurvivor(std::uint32_t crashed) const;
+    void updateFleetHealth();
 
     FleetConfig cfg_;
     SessionFactory factory_;
@@ -166,11 +269,28 @@ class Placer
     std::priority_queue<Finish, std::vector<Finish>,
                         std::greater<Finish>>
         active_;
-    // vstream:shard_local
+    /** In-flight sessions by admission seq.  Ordered map: crash
+     * failover iterates it, and that order must be deterministic. */
+    std::map<std::uint64_t, Live> live_;
+    /** Sessions waiting for budget; the front expires once it has
+     * queued past ServeConfig::queue_deadline. */
     std::deque<Pending> waiting_;
+
+    /** Per-shard finish journals since the last checkpoint (only
+     * populated when crash rules exist). */
+    std::vector<std::vector<JournalEntry>> journals_;
+    /** Per-shard serialized ShardSnapshot documents - kept as wire
+     * bytes so every restore exercises the real format. */
+    std::vector<std::vector<std::uint8_t>> checkpoints_;
+    /** Active brownouts per shard (overlaps nest). */
+    std::vector<std::uint32_t> brownout_depth_;
+    /** Chaos rules expanded and sorted by tick. */
+    std::vector<ChaosEvent> chaos_events_;
+    std::size_t next_chaos_ = 0;
 
     Tick cur_tick_ = 0;
     Tick next_rebalance_ = 0;
+    Tick next_checkpoint_ = maxTick;
     std::uint64_t next_seq_ = 0;
     double bw_reserved_ = 0.0;
     std::uint64_t fb_reserved_ = 0;
@@ -180,6 +300,11 @@ class Placer
     std::uint64_t rebalances_ = 0;
     std::uint64_t peak_active_ = 0;
     std::uint64_t peak_waiting_ = 0;
+    std::uint64_t checkpoints_taken_ = 0;
+    bool journaling_ = false;
+    bool checkpointing_ = false;
+    RecoveryTotals recovery_;
+    FleetLadder ladder_;
     bool ran_ = false;
 };
 

@@ -75,6 +75,9 @@ struct SessionOutcome
     /** The viewer left (SessionConfig::leave_after) before playback
      * finished or the ladder evicted. */
     bool left_early = false;
+    /** Expired in the admission queue (ServeConfig::queue_deadline)
+     * without ever running; only id/group/ticks are meaningful. */
+    bool queue_timeout = false;
     /** Aggregation label copied from SessionConfig::stats_group. */
     std::string group;
     Tick start_offset = 0;

@@ -59,11 +59,78 @@ SessionManager::submit(SessionConfig cfg)
     }
     if (cfg_.queue_when_full && couldEverFit(bw, fb)) {
         ++queued_;
-        waiting_.push_back(std::move(cfg));
+        waiting_.push_back(Waiting{std::move(cfg), queue_.curTick()});
+        armQueueTimer();
         return Admission::kQueued;
     }
     ++rejected_;
     return Admission::kRejected;
+}
+
+Tick
+SessionManager::queueDeadlineOf(const Waiting &w) const
+{
+    if (cfg_.queue_deadline == 0) {
+        return maxTick;
+    }
+    // Saturate: a deadline past the tick range never fires.
+    return w.enqueue > maxTick - cfg_.queue_deadline
+               ? maxTick
+               : w.enqueue + cfg_.queue_deadline;
+}
+
+void
+SessionManager::armQueueTimer()
+{
+    if (cfg_.queue_deadline == 0) {
+        return;
+    }
+    if (waiting_.empty()) {
+        if (queue_timer_ && queue_timer_->scheduled()) {
+            queue_.deschedule(queue_timer_.get());
+        }
+        return;
+    }
+    // Strict FIFO means the front has the earliest enqueue tick,
+    // hence the earliest deadline: one timer suffices.
+    const Tick dl = queueDeadlineOf(waiting_.front());
+    if (dl == maxTick) {
+        return;
+    }
+    if (queue_timer_ == nullptr) {
+        queue_timer_ = std::make_unique<LambdaEvent>(
+            "serve.queueDeadline", [this] { expireWaiting(); },
+            Event::kStatsPriority);
+    }
+    if (queue_timer_->scheduled()) {
+        if (queue_timer_->when() != dl) {
+            queue_.reschedule(queue_timer_.get(), dl);
+        }
+    } else {
+        queue_.schedule(queue_timer_.get(), dl);
+    }
+}
+
+void
+SessionManager::expireWaiting()
+{
+    const Tick now = queue_.curTick();
+    while (!waiting_.empty() &&
+           queueDeadlineOf(waiting_.front()) <= now) {
+        Waiting w = std::move(waiting_.front());
+        waiting_.pop_front();
+        ++queue_timeouts_;
+        // The session never ran: record a marker outcome (id/group
+        // and the queue span) so the caller can see who timed out.
+        SessionOutcome o;
+        o.id = w.cfg.id;
+        o.group = w.cfg.stats_group;
+        o.queue_timeout = true;
+        o.start_offset = w.enqueue;
+        o.end_tick = now;
+        outcomes_.push_back(std::move(o));
+    }
+    armQueueTimer();
 }
 
 void
@@ -229,17 +296,19 @@ SessionManager::drainWaiting()
     // Strict FIFO: no head-of-line skipping, so admission order is
     // independent of session sizes and easy to reason about.
     while (!waiting_.empty()) {
-        const SessionConfig &front = waiting_.front();
+        const SessionConfig &front = waiting_.front().cfg;
         const double bw = Session::demandMBps(front.pipeline);
         const std::uint64_t fb =
             Session::framebufferBytes(front.pipeline);
         if (!fits(bw, fb)) {
             break;
         }
-        SessionConfig cfg = std::move(waiting_.front());
+        SessionConfig cfg = std::move(waiting_.front().cfg);
         waiting_.pop_front();
         activate(std::move(cfg), queue_.curTick());
     }
+    // The front changed; the deadline timer must follow it.
+    armQueueTimer();
 }
 
 void
@@ -276,6 +345,11 @@ SessionManager::regStats(StatsRegistry &r)
                   [this] {
                       return static_cast<double>(breaker_trips_);
                   });
+    r.addCallback("serve.queueTimeouts",
+                  "queued sessions expired past the deadline",
+                  [this] {
+                      return static_cast<double>(queue_timeouts_);
+                  });
     r.addCallback("serve.active", "sessions currently active", [this] {
         return static_cast<double>(active_.size());
     });
@@ -298,6 +372,7 @@ SessionManager::resetStats()
     queued_ = 0;
     evicted_ = 0;
     breaker_trips_ = 0;
+    queue_timeouts_ = 0;
 }
 
 } // namespace vstream

@@ -49,6 +49,15 @@ struct ServeConfig
     /** Queue over-budget submissions instead of rejecting them
      * (sessions that could never fit are always rejected). */
     bool queue_when_full = true;
+    /**
+     * Admission-queue deadline in ticks (0 = wait forever, the
+     * legacy behaviour).  A session still queued this long after
+     * submission expires with a queue_timeout outcome instead of
+     * occupying the waitlist indefinitely - the bound the
+     * bounded-queue lint (tools/vstream_analyze) checks for.
+     * Shared by the fleet Placer (FleetConfig::serve).
+     */
+    Tick queue_deadline = 0;
 
     void validate() const;
 };
@@ -115,6 +124,8 @@ class SessionManager
     std::uint64_t rejected() const { return rejected_; }
     std::uint64_t queuedTotal() const { return queued_; }
     std::uint64_t evicted() const { return evicted_; }
+    /** Queued sessions expired past ServeConfig::queue_deadline. */
+    std::uint64_t queueTimeouts() const { return queue_timeouts_; }
     std::uint64_t breakerTrips() const { return breaker_trips_; }
     std::size_t activeCount() const { return active_.size(); }
     std::size_t waitingCount() const { return waiting_.size(); }
@@ -152,12 +163,27 @@ class SessionManager
         SessionOutcome outcome; // rehearsed outcome (replay only)
     };
 
+    /** One queued submission plus its deadline base. */
+    struct Waiting
+    {
+        SessionConfig cfg;
+        /** Tick it entered the queue; expires at enqueue +
+         * ServeConfig::queue_deadline. */
+        Tick enqueue = 0;
+    };
+
     bool fits(double bw_mbps, std::uint64_t fb_bytes) const;
     bool couldEverFit(double bw_mbps, std::uint64_t fb_bytes) const;
     void activate(SessionConfig cfg, Tick start_offset);
     void stepActive(std::size_t slot);
     void finalizeActive(std::size_t slot);
     void drainWaiting();
+    /** Deadline of @p w (maxTick when unbounded / saturated). */
+    Tick queueDeadlineOf(const Waiting &w) const;
+    /** (Re)point the deadline timer at the queue front. */
+    void armQueueTimer();
+    /** Timer callback: expire every overdue front entry. */
+    void expireWaiting();
 
     ServeConfig cfg_;
     EventQueue queue_;
@@ -165,7 +191,13 @@ class SessionManager
     /** Finished Active records parked until runAll() returns (an
      * event must not destroy itself mid-process()). */
     std::vector<Active> retired_;
-    std::deque<SessionConfig> waiting_;
+    /** FIFO admission queue; the front expires once queued past
+     * ServeConfig::queue_deadline (see expireWaiting). */
+    std::deque<Waiting> waiting_;
+    /** Single deadline timer, re-aimed at the queue front.  Stats
+     * priority: same-tick finishes (vsync priority) run first, so
+     * an admission wins the tie with the deadline. */
+    std::unique_ptr<LambdaEvent> queue_timer_;
     std::vector<SessionOutcome> outcomes_;
     /** Rehearsals by session id, consumed (erased) at activation.
      * Never iterated, so the unordered probe order of the flat table
@@ -179,6 +211,7 @@ class SessionManager
     std::uint64_t queued_ = 0;
     std::uint64_t evicted_ = 0;
     std::uint64_t breaker_trips_ = 0;
+    std::uint64_t queue_timeouts_ = 0;
 };
 
 } // namespace vstream

@@ -47,15 +47,43 @@ Shard::release(double bw_mbps, std::uint64_t fb_bytes)
     --active_;
 }
 
+void
+Shard::setBrownoutFactor(double f)
+{
+    vs_assert(f > 0.0 && f <= 1.0,
+              "brownout factor outside (0, 1]");
+    brownout_factor_ = f;
+}
+
 double
 Shard::load() const
 {
     vs_assert(bw_slice_ > 0.0 && fb_slice_ > 0.0,
               "shard load() before setSlices()");
-    const double bw = bw_reserved_ / bw_slice_;
-    const double fb =
-        static_cast<double>(fb_reserved_) / fb_slice_;
+    // A brownout shrinks the *effective* slice, inflating apparent
+    // load; since slices only weight placement, this steers
+    // arrivals away without touching admission.
+    const double bw = bw_reserved_ / (bw_slice_ * brownout_factor_);
+    const double fb = static_cast<double>(fb_reserved_) /
+                      (fb_slice_ * brownout_factor_);
     return std::max(bw, fb);
+}
+
+void
+Shard::crashReset()
+{
+    bw_reserved_ = 0.0;
+    fb_reserved_ = 0;
+    active_ = 0;
+    absorbed_ = 0;
+    snapshot_ = StatsSnapshot{};
+}
+
+void
+Shard::restore(const StatsSnapshot &stats, std::uint64_t absorbed)
+{
+    snapshot_ = stats;
+    absorbed_ = absorbed;
 }
 
 void

@@ -60,6 +60,18 @@ class Shard
     std::uint64_t fbReservedBytes() const { return fb_reserved_; }
     std::uint32_t active() const { return active_; }
 
+    /**
+     * Derate this shard's effective slice by @p f in (0, 1] (1.0 =
+     * full capacity).  A browned-out shard looks fuller to load(),
+     * so pickShard steers arrivals away - placement-only, exactly
+     * like setSlices, hence stats-neutral (tests/test_chaos.cc pins
+     * this).
+     */
+    void setBrownoutFactor(double f);
+
+    double brownoutFactor() const { return brownout_factor_; }
+    bool brownedOut() const { return brownout_factor_ < 1.0; }
+
     // --- stats ----------------------------------------------------------
 
     /**
@@ -73,10 +85,25 @@ class Shard
     const StatsSnapshot &snapshot() const { return snapshot_; }
     std::uint64_t absorbed() const { return absorbed_; }
 
+    // --- crash/restore (serve/chaos.hh) ---------------------------------
+
+    /**
+     * Lose everything resident: reservations, active count, stats,
+     * the absorb counter.  Slices and the brownout factor survive -
+     * they are the Placer's placement policy, not shard state.  The
+     * Placer follows up with restore() + failover.
+     */
+    void crashReset();
+
+    /** Adopt a checkpoint's stats and absorb count (after
+     * crashReset; see serve/snapshot.hh). */
+    void restore(const StatsSnapshot &stats, std::uint64_t absorbed);
+
   private:
     std::uint32_t id_;
     double bw_slice_ = 0.0;
     double fb_slice_ = 0.0;
+    double brownout_factor_ = 1.0;
     double bw_reserved_ = 0.0;
     std::uint64_t fb_reserved_ = 0;
     std::uint32_t active_ = 0;

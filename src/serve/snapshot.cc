@@ -1,0 +1,75 @@
+#include "serve/snapshot.hh"
+
+#include <algorithm>
+
+#include "sim/byte_io.hh"
+
+namespace vstream
+{
+
+namespace
+{
+
+constexpr std::uint8_t kMagic[4] = {'V', 'S', 'S', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeShardSnapshot(const ShardSnapshot &snap)
+{
+    std::vector<std::uint8_t> out;
+    // Byte-wise append: GCC 12's stringop-overflow analysis misfires
+    // on range-insert into a fresh vector under -Werror.
+    for (const std::uint8_t b : kMagic) {
+        out.push_back(b);
+    }
+    byte_io::putU32(out, kVersion);
+    byte_io::putU64(out, snap.tick);
+    byte_io::putU64(out, snap.absorbed);
+    snap.stats.serialize(out);
+    return out;
+}
+
+bool
+tryDeserializeShardSnapshot(const std::uint8_t *data,
+                            std::size_t size, ShardSnapshot &out,
+                            std::string &error)
+{
+    const std::uint8_t *p = data;
+    const std::uint8_t *end = data + size;
+    if (size < sizeof(kMagic) ||
+        !std::equal(kMagic, kMagic + sizeof(kMagic), p)) {
+        error = "bad shard snapshot magic";
+        return false;
+    }
+    p += sizeof(kMagic);
+    std::uint32_t version = 0;
+    if (!byte_io::getU32(p, end, version)) {
+        error = "shard snapshot header truncated";
+        return false;
+    }
+    if (version != kVersion) {
+        error = "unknown shard snapshot version";
+        return false;
+    }
+    ShardSnapshot snap;
+    std::uint64_t tick = 0;
+    if (!byte_io::getU64(p, end, tick) ||
+        !byte_io::getU64(p, end, snap.absorbed)) {
+        error = "shard snapshot header truncated";
+        return false;
+    }
+    snap.tick = tick;
+    if (!snap.stats.tryDeserialize(p, end, error)) {
+        return false;
+    }
+    if (p != end) {
+        error = "trailing bytes after shard snapshot";
+        return false;
+    }
+    out = std::move(snap);
+    return true;
+}
+
+} // namespace vstream

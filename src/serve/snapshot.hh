@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ShardSnapshot: the deterministic checkpoint of one shard.
+ *
+ * Crash recovery (serve/chaos.hh, serve/placer.hh) needs a frozen
+ * copy of a shard's durable state it can restore byte-exactly.  A
+ * shard's durable state is deliberately tiny: the tick the checkpoint
+ * was taken at, the number of session outcomes absorbed so far, and
+ * the mergeable StatsSnapshot those outcomes were folded into.
+ * Reservations and slices are *not* checkpointed - they describe
+ * in-flight sessions, which a crash by definition loses; the Placer
+ * reconstructs them during failover.
+ *
+ * Because every field of the stats snapshot is integer-exact
+ * (sim/stats_snapshot.hh), serialize -> deserialize -> serialize is
+ * bit-identical, and a restored shard merges exactly like the
+ * original: the foundation of the "recovered report equals the
+ * unfailed report" guarantee (tests/test_chaos.cc).
+ *
+ * Wire format (little-endian; sim/byte_io.hh):
+ *   magic "VSSS" | u32 version (1) | u64 tick | u64 absorbed |
+ *   StatsSnapshot payload
+ * Trailing bytes after the payload are rejected: a checkpoint is a
+ * whole document, not a stream element.
+ */
+
+#ifndef VSTREAM_SERVE_SNAPSHOT_HH
+#define VSTREAM_SERVE_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats_snapshot.hh"
+#include "sim/ticks.hh"
+
+namespace vstream
+{
+
+/** Frozen durable state of one shard at a checkpoint boundary. */
+struct ShardSnapshot
+{
+    /** Virtual tick the checkpoint was taken at. */
+    Tick tick = 0;
+    /** Outcomes absorbed into @ref stats when it was taken. */
+    std::uint64_t absorbed = 0;
+    /** The shard's mergeable stats at that point. */
+    StatsSnapshot stats;
+
+    bool operator==(const ShardSnapshot &other) const = default;
+};
+
+/** Serialize @p snap into a self-contained byte document. */
+std::vector<std::uint8_t>
+serializeShardSnapshot(const ShardSnapshot &snap);
+
+/**
+ * Parse a byte document produced by serializeShardSnapshot.
+ * Fail-closed: false with a diagnostic in @p error on a bad magic,
+ * unknown version, truncation, or trailing bytes; @p out is then
+ * unchanged.
+ */
+bool tryDeserializeShardSnapshot(const std::uint8_t *data,
+                                 std::size_t size, ShardSnapshot &out,
+                                 std::string &error);
+
+} // namespace vstream
+
+#endif // VSTREAM_SERVE_SNAPSHOT_HH

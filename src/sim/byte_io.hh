@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Little-endian byte (de)serialization helpers.
+ *
+ * The checkpoint formats (serve/snapshot.hh) and the stats snapshot
+ * serializers need one shared, exact wire idiom: fixed-width
+ * little-endian integers, doubles as IEEE-754 bit patterns (so a
+ * round trip is bit-identical, never "close"), and length-prefixed
+ * strings.  Writers append to a byte vector; readers are fail-closed
+ * cursors that refuse to read past @p end and leave the cursor
+ * untouched on failure, so a truncated or hostile buffer can never
+ * produce out-of-bounds reads or half-updated state.
+ */
+
+#ifndef VSTREAM_SIM_BYTE_IO_HH
+#define VSTREAM_SIM_BYTE_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vstream
+{
+namespace byte_io
+{
+
+inline void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) &
+                                                0xffu));
+    }
+}
+
+inline void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) &
+                                                0xffu));
+    }
+}
+
+inline void
+putI64(std::vector<std::uint8_t> &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+/** Doubles travel as their IEEE-754 bit pattern: round-tripping a
+ * checkpoint must be exact, not merely close. */
+inline void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+inline void
+putString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+inline bool
+getU32(const std::uint8_t *&p, const std::uint8_t *end,
+       std::uint32_t &v)
+{
+    if (end - p < 4) {
+        return false;
+    }
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    }
+    p += 4;
+    return true;
+}
+
+inline bool
+getU64(const std::uint8_t *&p, const std::uint8_t *end,
+       std::uint64_t &v)
+{
+    if (end - p < 8) {
+        return false;
+    }
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    p += 8;
+    return true;
+}
+
+inline bool
+getI64(const std::uint8_t *&p, const std::uint8_t *end,
+       std::int64_t &v)
+{
+    std::uint64_t u = 0;
+    if (!getU64(p, end, u)) {
+        return false;
+    }
+    v = static_cast<std::int64_t>(u);
+    return true;
+}
+
+inline bool
+getF64(const std::uint8_t *&p, const std::uint8_t *end, double &v)
+{
+    std::uint64_t bits = 0;
+    if (!getU64(p, end, bits)) {
+        return false;
+    }
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+}
+
+/** @p max_len caps the announced length so a hostile prefix cannot
+ * force a giant allocation before the bounds check. */
+inline bool
+getString(const std::uint8_t *&p, const std::uint8_t *end,
+          std::string &s, std::uint32_t max_len)
+{
+    const std::uint8_t *cursor = p;
+    std::uint32_t len = 0;
+    if (!getU32(cursor, end, len) || len > max_len ||
+        static_cast<std::size_t>(end - cursor) < len) {
+        return false;
+    }
+    s.assign(reinterpret_cast<const char *>(cursor), len);
+    p = cursor + len;
+    return true;
+}
+
+} // namespace byte_io
+} // namespace vstream
+
+#endif // VSTREAM_SIM_BYTE_IO_HH

@@ -121,6 +121,27 @@ class StatsSnapshot
      */
     void dumpJson(JsonWriter &jw) const;
 
+    // --- checkpoint serialization ---------------------------------------
+
+    /**
+     * Append the snapshot's exact state to @p out: counters,
+     * fixed-point scalar aggregates (int64 sums, doubles as IEEE-754
+     * bit patterns), and histograms, each in lexicographic key
+     * order.  Because every field is integer-exact, serialize ->
+     * deserialize -> serialize yields the same bytes, and a restored
+     * snapshot merges exactly like the original (the ShardSnapshot
+     * checkpoint contract; serve/snapshot.hh).
+     */
+    void serialize(std::vector<std::uint8_t> &out) const;
+
+    /**
+     * Rebuild from the cursor @p p (advanced past the payload on
+     * success).  Fail-closed: false with a diagnostic in @p error on
+     * truncation or malformed fields; *this is then unchanged.
+     */
+    bool tryDeserialize(const std::uint8_t *&p,
+                        const std::uint8_t *end, std::string &error);
+
   private:
     // Ordered maps: dump order is the key order, independent of
     // insertion (and hence of shard/job scheduling).

@@ -33,6 +33,7 @@ RULE_IDS = (
     'lock-discipline',
     'shard-local',
     'stats-hygiene',
+    'bounded-queue',
 )
 
 
@@ -635,6 +636,36 @@ def check_stats_hygiene(ctx):
 
 
 # ===================================================================
+# bounded-queue: waitlists need a deadline or eviction path
+# ===================================================================
+
+# A queue-like field whose name says it holds waiting work.  An
+# unbounded admission queue hides a livelock: entries that never fit
+# wait forever (the fleet brownout/flood scenarios make this real).
+QUEUE_FIELD_RE = re.compile(
+    r'std\s*::\s*(deque|queue|priority_queue|list)\s*<[^;{}()]*>\s*'
+    r'([A-Za-z_]\w*(?:waiting|waitlist|pending|backlog)\w*)\s*[;{=]',
+    re.IGNORECASE)
+# Evidence of a bound somewhere in the declaring TU: a deadline,
+# timeout, expiry, eviction, shedding, or TTL identifier.
+QUEUE_BOUND_RE = re.compile(
+    r'deadline|timeout|expir|evict|shed|ttl', re.IGNORECASE)
+
+
+def check_bounded_queue(ctx, sf):
+    for line, m in match_lines(sf.code, QUEUE_FIELD_RE):
+        if QUEUE_BOUND_RE.search(sf.code):
+            # The TU knows about deadlines/eviction; trust it.
+            continue
+        ctx.emit(sf, line, 'bounded-queue',
+                 'std::%s field %s looks like a wait queue but this '
+                 'TU has no deadline/timeout/eviction/shed path; '
+                 'bound it (see ServeConfig::queue_deadline) or '
+                 'suppress with a reason'
+                 % (m.group(1), m.group(2)))
+
+
+# ===================================================================
 # Rule sets per directory
 # ===================================================================
 
@@ -652,6 +683,7 @@ SRC_CHECKS = [
     check_determinism_source,
     check_ordered_iteration,
     check_lock_discipline,
+    check_bounded_queue,
 ]
 
 # Tests/benches/examples may use gtest ASSERT_* and ad-hoc printing,
@@ -672,6 +704,7 @@ BENCH_CHECKS = AUX_CHECKS + [
     check_hotpath_alloc,
     check_ordered_iteration,
     check_lock_discipline,
+    check_bounded_queue,
 ]
 
 SCAN_DIRS = {

@@ -157,6 +157,23 @@ BadStatsB::resetStats()
 }
 '''
 
+BAD_QUEUE = '''\
+#include "sim/stats_registry.hh"
+class BadAdmission
+{
+  public:
+    void submit(int job);
+  private:
+    std::deque<int> waiting_;
+    std::queue<int> retry_backlog_;
+};
+void
+BadAdmission::submit(int job)
+{
+    waiting_.push_back(job);
+}
+'''
+
 # -- good inputs: zero findings expected -----------------------------
 
 GOOD_HEADER = '''\
@@ -299,6 +316,25 @@ inline void dumpSorted(std::ostream &os)
 }
 '''
 
+GOOD_QUEUE = '''\
+#include "sim/stats_registry.hh"
+class GoodAdmission
+{
+  public:
+    void submit(int job);
+    void expireOverdue(long now);
+  private:
+    // Bounded: entries past deadline_ expire in expireOverdue().
+    std::deque<int> waiting_;
+    long deadline_ = 0;
+};
+void
+GoodAdmission::submit(int job)
+{
+    waiting_.push_back(job);
+}
+'''
+
 STUB_FLAT_TABLE = '''\
 #ifndef VSTREAM_CORE_FLAT_TABLE_HH
 #define VSTREAM_CORE_FLAT_TABLE_HH
@@ -311,6 +347,7 @@ BAD_FILES = {
     'src/core/bad_hot.cc': BAD_HOT,
     'src/core/bad_lock.cc': BAD_LOCK,
     'src/core/bad_stats.cc': BAD_STATS,
+    'src/core/bad_queue.cc': BAD_QUEUE,
 }
 
 GOOD_FILES = {
@@ -319,6 +356,7 @@ GOOD_FILES = {
     'src/core/good_lock.cc': GOOD_LOCK,
     'src/core/good_stats.cc': GOOD_STATS,
     'src/core/good_ordered.cc': GOOD_ORDERED,
+    'src/core/good_queue.cc': GOOD_QUEUE,
 }
 
 STUB_FILES = {
