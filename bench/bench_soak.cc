@@ -47,12 +47,14 @@
 #include <array>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <sstream>
 
 #include "bench_util.hh"
 #include "serve/fleet_report.hh"
 #include "serve/placer.hh"
 #include "serve/session_manager.hh"
+#include "video/library.hh"
 #include "video/trace.hh"
 
 namespace
@@ -232,7 +234,8 @@ isFleetWhale(std::uint64_t id)
  */
 SessionConfig
 makeFleetSession(const ArrivalEvent &a,
-                 const std::vector<std::uint8_t> &intact_blob)
+                 const std::vector<std::uint8_t> &intact_blob,
+                 const ZipfLibrary *library)
 {
     const std::uint64_t id = a.id;
     if (isFleetWhale(id)) {
@@ -253,6 +256,12 @@ makeFleetSession(const ArrivalEvent &a,
     cfg.profile = soakProfile(id, 24 + (id / 7 % 3) * 4);
     cfg.profile.width = 48;
     cfg.profile.height = 24;
+    if (library != nullptr) {
+        // Bind the session to its Zipf-drawn title: sessions on the
+        // same title decode byte-identical content, which is what
+        // the shared MACH tier dedups across sessions.
+        library->applyTo(cfg.profile, library->sampleTitle(id));
+    }
     const Scheme schemes[] = {Scheme::kRaceToSleep, Scheme::kGab,
                               Scheme::kMab, Scheme::kBatching};
     cfg.scheme = SchemeConfig::make(
@@ -312,7 +321,8 @@ makeFleetSession(const ArrivalEvent &a,
 int
 runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
          unsigned n_jobs, const ChaosConfig &chaos,
-         Tick queue_deadline)
+         Tick queue_deadline, const DedupConfig &dedup,
+         const std::string &library_spec)
 {
     const auto wall_start = std::chrono::steady_clock::now();
 
@@ -325,6 +335,13 @@ runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
     fleet.jobs = n_jobs;
     fleet.rebalance_period = static_cast<Tick>(1) * sim_clock::s;
     fleet.chaos = chaos;
+    fleet.dedup = dedup;
+
+    std::unique_ptr<ZipfLibrary> library;
+    if (!library_spec.empty()) {
+        library = std::make_unique<ZipfLibrary>(
+            parseLibrarySpec(library_spec));
+    }
 
     PoissonArrivalConfig pa;
     pa.seed = 0xf1ee7ULL;
@@ -342,7 +359,7 @@ runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
 
     const std::vector<std::uint8_t> intact_blob = makeTraceBlob();
     Placer placer(fleet, [&](const ArrivalEvent &a) {
-        return makeFleetSession(a, intact_blob);
+        return makeFleetSession(a, intact_blob, library.get());
     });
     placer.run(arrivals);
 
@@ -414,6 +431,14 @@ runFleet(std::uint32_t n_sessions, std::uint32_t n_shards,
         std::cout << "aggregate energy " << energy->sum() * 1e3
                   << " mJ across " << energy->count
                   << " sessions\n";
+    }
+    if (const SharedMachTier *tier = placer.dedupTier()) {
+        const DedupDomainStats t = tier->totals();
+        std::cout << "dedup: " << t.shared_hits
+                  << " shared hit(s), " << t.bytes_elided
+                  << " B elided, " << t.unique_published
+                  << " published, " << t.false_hits
+                  << " false hit(s), " << t.trips << " trip(s)\n";
     }
     const HdrHistogram *span = fleet_stats.histogram("spanUs");
     if (span != nullptr) {
@@ -495,8 +520,25 @@ main(int argc, char **argv)
             static_cast<Tick>(
                 flagU32(argc, argv, "--queue-deadline", 0)) *
             sim_clock::ms;
+        // Shared-MACH dedup knobs (default off; `--dedup off` runs
+        // are byte-identical to pre-dedup builds).
+        DedupConfig dedup;
+        const std::string dedup_mode =
+            flagStr(argc, argv, "--dedup", "off");
+        if (dedup_mode != "on" && dedup_mode != "off") {
+            std::cout << "bad --dedup value '" << dedup_mode
+                      << "' (need on|off)\n";
+            return 2;
+        }
+        dedup.enabled = dedup_mode == "on";
+        for (const std::string &spec :
+             flagStrs(argc, argv, "--dedup-poison")) {
+            dedup.poison.push_back(parseDedupPoisonRule(spec));
+        }
+        const std::string library_spec =
+            flagStr(argc, argv, "--library", "");
         return runFleet(fleet_sessions, n_shards, n_jobs, chaos,
-                        queue_deadline);
+                        queue_deadline, dedup, library_spec);
     }
 
     const std::uint32_t n_sessions = flagU32(

@@ -100,6 +100,25 @@ flagU32(int argc, char **argv, const std::string &name,
     return v;
 }
 
+/** `--name V` / `--name=V` string flag; @p fallback when absent
+ * (last occurrence wins, matching flagU32). */
+inline std::string
+flagStr(int argc, char **argv, const std::string &name,
+        const std::string &fallback)
+{
+    std::string v = fallback;
+    const std::string eq = name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == name && i + 1 < argc) {
+            v = argv[++i];
+        } else if (arg.rfind(eq, 0) == 0) {
+            v = arg.substr(eq.size());
+        }
+    }
+    return v;
+}
+
 /** Every occurrence of `--name V` / `--name=V`, in order (for
  * repeatable flags like the chaos rule specs). */
 inline std::vector<std::string>

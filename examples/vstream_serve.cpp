@@ -36,6 +36,15 @@
  *     --arrival-trace FILE  replay a text arrival trace instead
  *                           (lines: <arrival_us> <watch_us> <mix>)
  *
+ * Shared-MACH dedup options (see docs/ROBUSTNESS.md):
+ *     --dedup on|off        consult the shared cross-session MACH
+ *                           tier (default off; off is byte-identical
+ *                           to builds without the tier)
+ *     --library SPEC        draw session content from a Zipf
+ *                           catalogue: "titles=64,skew=0.9,seed=7"
+ *     --dedup-poison SPEC   forge digest collisions against one
+ *                           domain: "domain=1,rate=0.25,seed=9"
+ *
  * Chaos options (fleet mode only; see docs/ROBUSTNESS.md):
  *     --chaos-crash SPEC    crash a shard: "at=500ms,shard=1"
  *     --chaos-brownout SPEC shrink a shard's budget slice:
@@ -67,6 +76,7 @@
 #include "serve/session_manager.hh"
 #include "sim/parallel.hh"
 #include "sim/stats_registry.hh"
+#include "video/library.hh"
 #include "video/workloads.hh"
 
 namespace
@@ -86,6 +96,8 @@ usage(const char *argv0)
                  "[--stats-json FILE] [--jobs N]\n"
                  "  [--shards N] [--arrival-rate R] "
                  "[--leave-prob P] [--arrival-trace FILE]\n"
+                 "  [--dedup on|off] [--library SPEC] "
+                 "[--dedup-poison SPEC]\n"
                  "  [--chaos-crash SPEC] [--chaos-brownout SPEC] "
                  "[--chaos-flood SPEC]\n"
                  "  [--checkpoint-period MS] [--queue-deadline MS] "
@@ -143,6 +155,8 @@ main(int argc, char **argv)
     std::string arrival_trace_file;
     ChaosConfig chaos;
     std::uint32_t shed_depth = 0;
+    DedupConfig dedup;
+    std::string library_spec;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -206,6 +220,18 @@ main(int argc, char **argv)
             leave_prob = std::atof(next().c_str());
         } else if (arg == "--arrival-trace") {
             arrival_trace_file = next();
+        } else if (arg == "--dedup") {
+            const std::string v = next();
+            if (v != "on" && v != "off") {
+                std::cerr << "bad --dedup value '" << v
+                          << "' (need on|off)\n";
+                return 2;
+            }
+            dedup.enabled = v == "on";
+        } else if (arg == "--library") {
+            library_spec = next();
+        } else if (arg == "--dedup-poison") {
+            dedup.poison.push_back(parseDedupPoisonRule(next()));
         } else if (arg == "--chaos-crash") {
             chaos.rules.push_back(parseFleetFaultRule(
                 FleetFaultClass::kShardCrash, next()));
@@ -248,6 +274,12 @@ main(int argc, char **argv)
         }
     }
 
+    std::unique_ptr<ZipfLibrary> library;
+    if (!library_spec.empty()) {
+        library = std::make_unique<ZipfLibrary>(
+            parseLibrarySpec(library_spec));
+    }
+
     // A template SessionConfig for session @p id, shared by the
     // single-manager and fleet paths.
     auto makeSession = [&](std::uint64_t id) {
@@ -255,9 +287,18 @@ main(int argc, char **argv)
         s.id = id;
         s.health.window_vsyncs = window;
         s.pipeline.profile = scaledWorkload(video, frames);
-        // Per-session content seed: sessions are peers, not clones.
-        s.pipeline.profile.seed +=
-            static_cast<std::uint32_t>(id) * 0x9e3779b9u;
+        if (library != nullptr) {
+            // Library content: the Zipf draw decides the title, and
+            // sessions on the same title decode identical bytes.
+            library->applyTo(s.pipeline.profile,
+                             library->sampleTitle(id));
+        } else {
+            // Per-session content seed: sessions are peers, not
+            // clones.
+            s.pipeline.profile.seed +=
+                static_cast<std::uint32_t>(id) * 0x9e3779b9u;
+        }
+        s.dedup_record = dedup.enabled;
         s.pipeline.scheme = SchemeConfig::make(scheme, batch);
         s.pipeline.mach.verify_on_hit = verify_on_hit;
         s.pipeline.faults = faults.forSession(id);
@@ -281,6 +322,7 @@ main(int argc, char **argv)
         fleet.rebalance_period = static_cast<Tick>(1) * sim_clock::s;
         chaos.shed_depth = shed_depth;
         fleet.chaos = chaos;
+        fleet.dedup = dedup;
 
         std::vector<ArrivalEvent> arrivals;
         if (!arrival_trace_file.empty()) {
@@ -340,6 +382,14 @@ main(int argc, char **argv)
                   << " mJ over " << ticksToMs(placer.endTick())
                   << " ms served (peak " << placer.peakActive()
                   << " active)\n";
+        if (const SharedMachTier *tier = placer.dedupTier()) {
+            const DedupDomainStats t = tier->totals();
+            std::cout << "dedup: " << t.shared_hits
+                      << " shared hit(s), " << t.bytes_elided
+                      << " B elided, " << t.false_hits
+                      << " false hit(s), " << t.trips
+                      << " breaker trip(s)\n";
+        }
         if (!stats_json_file.empty()) {
             const double wall =
                 std::chrono::duration<double>(
@@ -354,6 +404,13 @@ main(int argc, char **argv)
     }
 
     SessionManager mgr(serve);
+    // Single-manager mode is one fault domain; poison rules must
+    // target domain 0.
+    std::unique_ptr<SharedMachTier> tier;
+    if (dedup.enabled) {
+        tier = std::make_unique<SharedMachTier>(dedup, 1);
+        mgr.setDedup(tier.get());
+    }
 
     std::cout << "vstream_serve: " << sessions << " sessions of "
               << video << " x " << frames << " frames, scheme "
@@ -406,6 +463,15 @@ main(int argc, char **argv)
               << mgr.breakerTrips() << "\n"
               << "aggregate energy " << total_j * 1e3 << " mJ over "
               << ticksToMs(mgr.curTick()) << " ms served\n";
+    if (tier != nullptr) {
+        const DedupSettle &t = mgr.dedupTotals();
+        std::cout << "dedup: " << t.shared_hits
+                  << " shared hit(s), " << t.self_hits
+                  << " self hit(s), " << t.bytes_elided
+                  << " B elided, " << t.false_hits
+                  << " false hit(s), " << tier->totals().trips
+                  << " breaker trip(s)\n";
+    }
 
     if (!stats_json_file.empty()) {
         StatsRegistry reg;

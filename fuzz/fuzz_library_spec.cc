@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fuzz harness for the content-library spec parser.
+ *
+ * Library specs ("titles=64,skew=0.9,seed=7") come from the command
+ * line, so tryParseLibrarySpec() must reject any hostile spec
+ * gracefully: no process termination, no NaN or out-of-range skew
+ * reaching the Zipf CDF, and on success a spec whose fields all
+ * satisfy the documented invariants.
+ *
+ * Built with -fsanitize=fuzzer under Clang; under GCC the fallback
+ * driver in fuzz_driver_main.cc replays and mutates the checked-in
+ * corpus (fuzz/corpus/library_spec) instead.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fuzz_common.hh"
+#include "video/library.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    // Specs are short key=value lists; cap the length so the fuzzer
+    // explores structure instead of megabyte-long field values.
+    constexpr std::size_t kMaxSpec = 4096;
+    const std::string spec(reinterpret_cast<const char *>(data),
+                           size < kMaxSpec ? size : kMaxSpec);
+
+    vstream::LibrarySpec lib;
+    std::string error;
+    if (!vstream::tryParseLibrarySpec(spec, lib, error)) {
+        // Rejection must come with a diagnostic.
+        FUZZ_ASSERT(!error.empty());
+        return 0;
+    }
+
+    // An accepted spec obeys every documented field invariant; the
+    // inclusive-range form is deliberately NaN-rejecting.
+    FUZZ_ASSERT(lib.titles >= 1 && lib.titles <= (1u << 20));
+    FUZZ_ASSERT(lib.skew >= 0.0 && lib.skew <= 16.0);
+
+    // Accepted specs round-trip through the fatal entry point
+    // without tripping it (the two parsers must agree).
+    const vstream::LibrarySpec again =
+        vstream::parseLibrarySpec(spec);
+    FUZZ_ASSERT(again.titles == lib.titles);
+    FUZZ_ASSERT(again.skew == lib.skew);
+    FUZZ_ASSERT(again.seed == lib.seed);
+
+    // The library construction path must hold for anything the
+    // parser admits: the CDF ends at exactly 1.0 and the draw for a
+    // fixed key is a pure function of the spec.
+    const vstream::ZipfLibrary library(lib);
+    const std::uint32_t title = library.sampleTitle(42);
+    FUZZ_ASSERT(title < lib.titles);
+    FUZZ_ASSERT(library.sampleTitle(42) == title);
+    return 0;
+}

@@ -102,6 +102,35 @@ def fault_rule_seeds():
             for i, spec in enumerate(specs)}
 
 
+def library_spec_seeds():
+    specs = [
+        'titles=64,skew=0.9,seed=7',
+        'titles=1',
+        'titles=16,skew=0',
+        'titles=1048576,skew=16',
+        'titles=8,seed=18446744073709551615',
+        'titles=4,,skew=1.2',
+        # Hostile: every one must be rejected with a diagnostic.
+        '',
+        'skew=0.9',
+        'titles=0',
+        'titles=1048577',
+        'titles=-4',
+        'titles=4294967296',
+        'titles=8,skew=nan',
+        'titles=8,skew=-0.1',
+        'titles=8,skew=16.5',
+        'titles=8,skew=1e400',
+        'titles=8,seed=12x',
+        'titles=8,bogus=1',
+        'titles=8,skew',
+        'titles==8',
+        'titles=8,skew=0.9,seed=99999999999999999999',
+    ]
+    return {'spec_%02d.txt' % i: spec.encode()
+            for i, spec in enumerate(specs)}
+
+
 def arrival_trace_seeds():
     traces = [
         # Valid: comments, blank lines, ties, zero-watch sessions.
@@ -138,6 +167,7 @@ def write_corpus(subdir, seeds):
 def main():
     write_corpus('trace_loader', trace_seeds())
     write_corpus('fault_rules', fault_rule_seeds())
+    write_corpus('library_spec', library_spec_seeds())
     write_corpus('arrival_trace', arrival_trace_seeds())
 
 

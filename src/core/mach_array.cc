@@ -158,6 +158,9 @@ MachArray::insertUnique(std::uint32_t digest, std::uint16_t aux, Addr ptr,
         return;
     }
     ++stats_.inserts;
+    if (write_observer_) {
+        write_observer_(digest, aux, truth);
+    }
     // Remember one inserted block as the collision-injection target;
     // refreshing it keeps the collider likely to still be resident.
     if (faults_ != nullptr) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <ostream>
 
@@ -28,6 +29,19 @@ namespace vstream
 
 class FaultInjector;
 class StatsRegistry;
+
+/**
+ * Observer of unique-block materializations (insertUnique calls).
+ *
+ * Receives the *original* digest/aux as computed by the writeback
+ * stage - digest-collision injection forges only the lookup path, so
+ * an observer sees ground truth even under fault injection.  Used by
+ * the shared dedup tier (serve/shared_mach.hh) to record which
+ * distinct blocks a session actually wrote to DRAM.
+ */
+using MachWriteObserver =
+    std::function<void(std::uint32_t digest, std::uint16_t aux,
+                       const std::vector<std::uint8_t> &truth)>;
 
 /** Combined outcome of searching all MACHs. */
 struct MachLookupResult
@@ -104,6 +118,14 @@ class MachArray
     void setBypass(bool on) { bypass_ = on; }
     bool bypassed() const { return bypass_; }
 
+    /** Attach @p obs to every future insertUnique() (empty function
+     * detaches).  Purely observational: the array's own behaviour
+     * and stats are unchanged. */
+    void setWriteObserver(MachWriteObserver obs)
+    {
+        write_observer_ = std::move(obs);
+    }
+
     /**
      * Record a freshly written unique block.
      *
@@ -159,6 +181,7 @@ class MachArray
     std::unique_ptr<CoMach> co_mach_;
     MachStats stats_;
     FaultInjector *faults_ = nullptr;
+    MachWriteObserver write_observer_;
     bool bypass_ = false;
     /** Snapshot of a previously inserted block whose digest a later
      * lookup can be forged to collide with. */

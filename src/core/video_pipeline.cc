@@ -662,6 +662,16 @@ VideoPipeline::setMachBypass(bool on)
     }
 }
 
+void
+VideoPipeline::setMachWriteObserver(MachWriteObserver obs)
+{
+    vs_assert(p_ != nullptr,
+              "start() must precede setMachWriteObserver()");
+    if (p_->machs) {
+        p_->machs->setWriteObserver(std::move(obs));
+    }
+}
+
 const PipelineResult &
 VideoPipeline::liveResult() const
 {

@@ -165,6 +165,11 @@ class VideoPipeline
      * circuit-breaker fallback to full 48 B unique writes. */
     void setMachBypass(bool on);
 
+    /** Attach @p obs to the MACH array's unique-block writes (no-op
+     * for schemes without MACH); the shared dedup tier's recording
+     * hook (serve/shared_mach.hh). */
+    void setMachWriteObserver(MachWriteObserver obs);
+
     /** Live mid-run counters (drops, underruns, batch shrinks). */
     const PipelineResult &liveResult() const;
 

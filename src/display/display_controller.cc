@@ -128,6 +128,10 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
         stats.eliminated = true;
         ++totals_.frames_shown;
         ++totals_.eliminated_frames;
+        // The panel keeps showing exactly this content; fold its
+        // checksum so the digest covers eliminated frames too.
+        totals_.pixel_digest = mixHash(
+            totals_.pixel_digest ^ layout.sourceChecksum());
         if (re_render) {
             ++totals_.re_renders;
         }
@@ -218,9 +222,11 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
     }
 
     stats.finish = t;
-    stats.verified =
-        FrameReconstructor::checksum(shown) == layout.sourceChecksum();
+    const std::uint32_t shown_sum = FrameReconstructor::checksum(shown);
+    stats.verified = shown_sum == layout.sourceChecksum();
     on_screen_checksum_ = layout.sourceChecksum();
+    totals_.pixel_digest =
+        mixHash(totals_.pixel_digest ^ shown_sum);
 
     ++totals_.frames_shown;
     if (re_render) {

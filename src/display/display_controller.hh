@@ -68,6 +68,12 @@ struct DisplayTotals
     /** Re-scans of the previous frame forced by a streaming-buffer
      * underrun (the successor had not arrived by its vsync). */
     std::uint64_t underrun_repeats = 0;
+    /** Order-sensitive hash over every scanned-out frame's pixel
+     * checksum: the "pixels" side of the dedup tier's traffic-not-
+     * pixels invariant (tests compare it across dedup on/off runs).
+     * Deliberately not a registered stat - it is a proof artifact,
+     * not a metric. */
+    std::uint64_t pixel_digest = 0;
 };
 
 /** The DC IP. */

@@ -73,6 +73,44 @@ writeFleetReport(std::ostream &os, const Placer &placer,
              static_cast<double>(rec.queue_timeouts));
         w.endObject();
     }
+    // The dedup block appears only when the shared tier exists: a
+    // dedup-off run stays byte-identical to the pre-dedup report
+    // (docs/FORMATS.md, "The dedup block").
+    if (const SharedMachTier *tier = placer.dedupTier()) {
+        const DedupDomainStats t = tier->totals();
+        w.key("dedup");
+        w.beginObject();
+        w.kv("sharedHits", static_cast<double>(t.shared_hits));
+        w.kv("selfHits", static_cast<double>(t.self_hits));
+        w.kv("bytesElided", static_cast<double>(t.bytes_elided));
+        w.kv("uniquePublished",
+             static_cast<double>(t.unique_published));
+        w.kv("falseHits", static_cast<double>(t.false_hits));
+        w.kv("blockedWrites",
+             static_cast<double>(t.blocked_writes));
+        w.kv("breakerTrips", static_cast<double>(t.trips));
+        w.key("domains");
+        w.beginObject();
+        for (std::uint32_t d = 0; d < tier->domains(); ++d) {
+            const DedupDomainStats &ds = tier->domainStats(d);
+            w.key(std::to_string(d));
+            w.beginObject();
+            w.kv("epoch", static_cast<double>(ds.epoch));
+            w.kv("trips", static_cast<double>(ds.trips));
+            w.kv("falseHits", static_cast<double>(ds.false_hits));
+            w.kv("sharedHits",
+                 static_cast<double>(ds.shared_hits));
+            w.kv("bytesElided",
+                 static_cast<double>(ds.bytes_elided));
+            w.kv("entries",
+                 static_cast<double>(tier->entries(d)));
+            w.kv("liveRefs",
+                 static_cast<double>(tier->liveRefs(d)));
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
     w.kv("invariantFailures",
          static_cast<double>(invariant_failures));
     w.endObject();

@@ -41,6 +41,14 @@ Placer::Placer(FleetConfig cfg, SessionFactory factory)
     }
     next_rebalance_ = cfg_.rebalance_period;
 
+    // Shared dedup tier: one fault domain per shard.  Off means the
+    // tier is never constructed and nothing downstream can observe
+    // it (zero-cost-when-off).
+    if (cfg_.dedup.enabled) {
+        dedup_ = std::make_unique<SharedMachTier>(cfg_.dedup,
+                                                  cfg_.shards);
+    }
+
     // Chaos wiring.  With no crash rules and no checkpoint period
     // the journals and checkpoints stay empty and none of the new
     // event sources ever fires: the layer is inert.
@@ -262,9 +270,22 @@ Placer::finishOne()
     // commutative, so the bytes cannot tell this apart from the
     // fold-at-admit order.
     shards_[l.shard].absorb(l.outcome);
+    if (dedup_) {
+        // Dedup accounting was settled at admit; it becomes durable
+        // together with the outcome, and the session's tier refs
+        // drop now that nothing cites them.
+        shards_[l.shard].absorbDedup(l.dedup_settle);
+        dedup_->release(l.dedup_lease);
+    }
     if (journaling_) {
-        journals_[l.shard].push_back(
-            JournalEntry{l.arrival, l.start});
+        JournalEntry e;
+        e.arrival = l.arrival;
+        e.start = l.start;
+        if (dedup_) {
+            e.dedup_settle = l.dedup_settle;
+            e.dedup_blocks = std::move(l.outcome.dedup);
+        }
+        journals_[l.shard].push_back(std::move(e));
     }
     live_.erase(it);
     drainWaiting();
@@ -332,6 +353,13 @@ Placer::crashShard(std::uint32_t shard)
     ++recovery_.crashes;
     Shard &sh = shards_[shard];
     sh.crashReset();
+    if (dedup_) {
+        // The crashed shard's fault domain dies with it: every entry
+        // drops, outstanding leases become void, and the epoch bump
+        // makes the wipe observable.  Neighbour domains are
+        // untouched - blast radius by construction.
+        dedup_->wipeDomain(shard);
+    }
 
     // Restore the last checkpoint *through the wire format*, so
     // every recovery exercises the real serialization path.
@@ -354,6 +382,7 @@ Placer::crashShard(std::uint32_t shard)
         SessionConfig c = factory_(e.arrival);
         c.id = e.arrival.id;
         c.leave_after = e.arrival.leave_after;
+        c.dedup_record = dedup_ != nullptr;
         RehearsedSession reh = rehearseSession(c);
         SessionOutcome o = std::move(reh.outcome);
         o.start_offset = e.start;
@@ -361,6 +390,13 @@ Placer::crashShard(std::uint32_t shard)
         o.dwell[static_cast<std::size_t>(HealthState::kHealthy)] +=
             e.start;
         sh.absorb(o);
+        if (dedup_) {
+            // Settlement depends on tier state at the *original*
+            // admit, so replay re-absorbs the journaled settle
+            // verbatim and rebuilds tier content stats-suppressed.
+            sh.absorbDedup(e.dedup_settle);
+            dedup_->republish(shard, e.dedup_blocks);
+        }
         ++recovery_.replayed;
     }
     journals_[shard].clear();
@@ -432,6 +468,14 @@ Placer::admit(Pending &&p, Tick start)
     l.shard = sh;
     l.bw_mbps = p.bw_mbps;
     l.fb_bytes = p.fb_bytes;
+
+    // Settle the session's block log against its shard's fault
+    // domain on the serial timeline; the acquired lease holds the
+    // cited entries resident until the session finishes.
+    if (dedup_ && l.outcome.dedup.any()) {
+        l.dedup_settle =
+            dedup_->publish(sh, l.outcome.dedup, l.dedup_lease);
+    }
 
     const std::uint64_t seq = next_seq_++;
     live_.emplace(seq, std::move(l));
@@ -520,6 +564,7 @@ Placer::run(const std::vector<ArrivalEvent> &arrivals)
             SessionConfig c = factory_(a);
             c.id = a.id;
             c.leave_after = a.leave_after;
+            c.dedup_record = dedup_ != nullptr;
             bws[j] = Session::demandMBps(c.pipeline);
             fbs[j] = Session::framebufferBytes(c.pipeline);
             // Whales can never fit: reject without rehearsing (the
@@ -562,6 +607,16 @@ Placer::run(const std::vector<ArrivalEvent> &arrivals)
               "fleet drained with sessions still queued");
     vs_assert(live_.empty(),
               "fleet drained with sessions still in flight");
+    if (dedup_) {
+        // Surface the per-domain aggregates through the shard
+        // snapshots so fleet reports can attribute poisoning (false
+        // hits, breaker trips) to its blast radius.
+        for (std::uint32_t d = 0; d < cfg_.shards; ++d) {
+            shards_[d].foldDedupDomain(dedup_->domainStats(d),
+                                       dedup_->entries(d),
+                                       dedup_->liveRefs(d), d);
+        }
+    }
 }
 
 StatsSnapshot

@@ -60,6 +60,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -67,6 +68,7 @@
 #include "serve/chaos.hh"
 #include "serve/session_manager.hh"
 #include "serve/shard.hh"
+#include "serve/shared_mach.hh"
 #include "serve/snapshot.hh"
 
 namespace vstream
@@ -92,6 +94,10 @@ struct FleetConfig
     /** Fault injection + checkpoint/recovery policy; default is
      * inert (serve/chaos.hh). */
     ChaosConfig chaos;
+    /** Shared MACH dedup tier policy; default is off, and off means
+     * the tier is never constructed and fleet JSON is byte-identical
+     * to pre-dedup builds (serve/shared_mach.hh). */
+    DedupConfig dedup;
 
     void validate() const;
 };
@@ -159,6 +165,10 @@ class Placer
         return checkpoints_taken_;
     }
 
+    /** The shared dedup tier (nullptr when dedup is off).  Fault
+     * domains map 1:1 onto shards. */
+    const SharedMachTier *dedupTier() const { return dedup_.get(); }
+
   private:
     /** A rehearsed session waiting for budget. */
     struct Pending
@@ -201,6 +211,11 @@ class Placer
         std::uint32_t shard = 0;
         double bw_mbps = 0.0;
         std::uint64_t fb_bytes = 0;
+        /** Settled dedup accounting (admit time); folded into the
+         * shard at finish. */
+        DedupSettle dedup_settle;
+        /** Tier refcounts this session holds until it finishes. */
+        DedupLease dedup_lease;
     };
 
     /** One finish recorded since the shard's last checkpoint;
@@ -209,6 +224,13 @@ class Placer
     {
         ArrivalEvent arrival;
         Tick start = 0;
+        /** Settled dedup accounting as of the original admission.
+         * Journaled, not recomputed: settlement depends on the tier
+         * state at admit time, which replay cannot reconstruct. */
+        DedupSettle dedup_settle;
+        /** The session's block log, for rebuilding tier content
+         * deterministically (stats-suppressed) after a crash. */
+        DedupRecord dedup_blocks;
     };
 
     /** A chaos rule expanded onto the timeline (brownouts become a
@@ -263,6 +285,10 @@ class Placer
 
     FleetConfig cfg_;
     SessionFactory factory_;
+    /** Cross-session shared state; only ever touched on the serial
+     * timeline (admit/finish/crash), never by rehearsal workers. */
+    // vstream:shard_local
+    std::unique_ptr<SharedMachTier> dedup_;
     // vstream:shard_local
     std::vector<Shard> shards_;
     // vstream:shard_local

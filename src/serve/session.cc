@@ -40,6 +40,17 @@ Session::start(Tick start_offset)
     start_offset_ = start_offset;
     pipeline_.start();
 
+    // Dedup recording observes unique-block writes into a private
+    // per-session log; the shared tier itself is only consulted
+    // serially at settle time, so rehearsal stays hermetic.
+    if (cfg_.dedup_record && pipeline_.hasMach()) {
+        pipeline_.setMachWriteObserver(
+            [this](std::uint32_t digest, std::uint16_t aux,
+                   const std::vector<std::uint8_t> &truth) {
+                dedup_recorder_.observe(digest, aux, truth);
+            });
+    }
+
     // Validate the ingest trace inside this session's fault domain:
     // damage lands on the ladder, never outside the session.
     if (!cfg_.trace_blob.empty()) {
@@ -187,6 +198,12 @@ Session::result() const
     return result_;
 }
 
+DedupRecord
+Session::takeDedup()
+{
+    return dedup_recorder_.take();
+}
+
 double
 Session::demandMBps(const PipelineConfig &cfg)
 {
@@ -226,6 +243,7 @@ rehearseSession(const SessionConfig &cfg)
     o.group = cfg.stats_group;
     o.end_tick = r.local_end;
     o.result = s.result();
+    o.dedup = s.takeDedup();
     return r;
 }
 

@@ -29,6 +29,7 @@
 
 #include "core/video_pipeline.hh"
 #include "serve/health.hh"
+#include "serve/shared_mach.hh"
 #include "video/trace.hh"
 
 namespace vstream
@@ -57,6 +58,11 @@ struct SessionConfig
     /** Aggregation label for fleet stats (e.g. the soak mix name);
      * empty sessions fold only into the unlabelled totals. */
     std::string stats_group;
+    /** Record distinct materialized MACH blocks during the run so
+     * the shared dedup tier can settle them serially at admission
+     * (serve/shared_mach.hh).  Off by default: with recording off
+     * the session is byte-identical to pre-dedup builds. */
+    bool dedup_record = false;
 };
 
 /** Everything a soak/fleet report needs from one finished session. */
@@ -83,6 +89,10 @@ struct SessionOutcome
     Tick start_offset = 0;
     Tick end_tick = 0;
     PipelineResult result;
+    /** The materialization log recorded during the run (empty when
+     * SessionConfig::dedup_record is off); settled against the
+     * shared tier by the placer / session manager. */
+    DedupRecord dedup;
 };
 
 /** One admitted streaming session. */
@@ -124,6 +134,9 @@ class Session
     const CircuitBreaker &breaker() const { return breaker_; }
     /** Damage found in the ingest trace (kNone when intact). */
     TraceError traceError() const { return trace_error_; }
+    /** Move the dedup materialization log out (empty when recording
+     * was off). */
+    DedupRecord takeDedup();
     Tick startOffset() const { return start_offset_; }
     const SessionConfig &config() const { return cfg_; }
 
@@ -141,6 +154,9 @@ class Session
     VideoPipeline pipeline_;
     HealthLadder ladder_;
     CircuitBreaker breaker_;
+    /** Per-session write log; private to this session's (possibly
+     * worker-thread) rehearsal. */
+    DedupRecorder dedup_recorder_;
     /** The session's own jitter stream (breaker cooldowns). */
     Random rng_;
     Tick start_offset_ = 0;

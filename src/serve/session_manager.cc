@@ -271,6 +271,18 @@ SessionManager::finalizeActive(std::size_t slot)
         o.end_tick = queue_.curTick();
         o.group = a.session->config().stats_group;
         o.result = a.session->result();
+        o.dedup = a.session->takeDedup();
+    }
+    if (dedup_tier_ != nullptr && o.dedup.any()) {
+        // Settle on the serial timeline, in completion order.  With
+        // one fault domain and no failover there is no lease
+        // lifetime to model beyond the session itself, so the refs
+        // release immediately (stale epochs still reclaim through
+        // the same path the fleet uses).
+        DedupLease lease;
+        dedup_totals_ +=
+            dedup_tier_->publish(dedup_domain_, o.dedup, lease);
+        dedup_tier_->release(lease);
     }
     if (o.final_state == HealthState::kEvicted) {
         ++evicted_;
@@ -323,6 +335,15 @@ SessionManager::runAll()
 }
 
 void
+SessionManager::setDedup(SharedMachTier *tier, std::uint32_t domain)
+{
+    vs_assert(tier == nullptr || domain < tier->domains(),
+              "dedup domain out of range for the attached tier");
+    dedup_tier_ = tier;
+    dedup_domain_ = domain;
+}
+
+void
 SessionManager::regStats(StatsRegistry &r)
 {
     r.addCallback("serve.admitted", "sessions admitted (ever active)",
@@ -362,6 +383,56 @@ SessionManager::regStats(StatsRegistry &r)
                   "frame-buffer pool bytes reserved", [this] {
                       return static_cast<double>(fb_reserved_);
                   });
+    if (dedup_tier_ == nullptr) {
+        // Dedup off: no serve.dedup.* keys at all, so stats dumps
+        // stay byte-identical to pre-dedup builds.
+        return;
+    }
+    r.addCallback("serve.dedup.sharedHits",
+                  "DRAM writes elided by citing another session's "
+                  "shared-tier block",
+                  [this] {
+                      return static_cast<double>(
+                          dedup_totals_.shared_hits);
+                  });
+    r.addCallback("serve.dedup.selfHits",
+                  "DRAM writes elided against the session's own "
+                  "published block",
+                  [this] {
+                      return static_cast<double>(
+                          dedup_totals_.self_hits);
+                  });
+    r.addCallback("serve.dedup.bytesElided",
+                  "DRAM write bytes elided by the shared tier",
+                  [this] {
+                      return static_cast<double>(
+                          dedup_totals_.bytes_elided);
+                  });
+    r.addCallback("serve.dedup.uniquePublished",
+                  "blocks published into the shared tier", [this] {
+                      return static_cast<double>(
+                          dedup_totals_.unique_published);
+                  });
+    r.addCallback("serve.dedup.falseHits",
+                  "shared-tier citations demoted by verify-on-hit",
+                  [this] {
+                      return static_cast<double>(
+                          dedup_totals_.false_hits);
+                  });
+    r.addCallback("serve.dedup.blockedWrites",
+                  "writes not considered for sharing (quarantine or "
+                  "stale-epoch drain)",
+                  [this] {
+                      return static_cast<double>(
+                          dedup_totals_.blocked_writes);
+                  });
+    r.addCallback("serve.dedup.breakerTrips",
+                  "shared-tier epoch bumps forced by false-hit "
+                  "storms",
+                  [this] {
+                      return static_cast<double>(
+                          dedup_tier_->totals().trips);
+                  });
 }
 
 void
@@ -373,6 +444,10 @@ SessionManager::resetStats()
     evicted_ = 0;
     breaker_trips_ = 0;
     queue_timeouts_ = 0;
+    dedup_totals_ = DedupSettle{};
+    if (dedup_tier_ != nullptr) {
+        dedup_tier_->resetStats();
+    }
 }
 
 } // namespace vstream

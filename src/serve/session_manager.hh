@@ -29,6 +29,7 @@
 
 #include "core/flat_table.hh"
 #include "serve/session.hh"
+#include "serve/shared_mach.hh"
 #include "sim/event_queue.hh"
 
 namespace vstream
@@ -141,6 +142,21 @@ class SessionManager
     Tick curTick() const { return queue_.curTick(); }
     const ServeConfig &config() const { return cfg_; }
 
+    /**
+     * Attach a shared MACH dedup tier (single-mode serving: the
+     * whole manager is one fault domain, @p domain).  Sessions whose
+     * config sets dedup_record have their materialization log
+     * settled against the tier when they finish; because a
+     * single-domain manager has no cross-session lease lifetime to
+     * model, the refs are released immediately after settling.
+     * Call before regStats() so the serve.dedup.* counters register.
+     */
+    void setDedup(SharedMachTier *tier, std::uint32_t domain = 0);
+
+    /** Settled dedup totals across finished sessions (zeros until a
+     * tier is attached and a recording session finishes). */
+    const DedupSettle &dedupTotals() const { return dedup_totals_; }
+
     /** Register serve.* counters (admitted/rejected/queued/...). */
     void regStats(StatsRegistry &r);
 
@@ -203,6 +219,14 @@ class SessionManager
      * Never iterated, so the unordered probe order of the flat table
      * cannot leak into output. */
     FlatMap<std::uint64_t, RehearsedSession> rehearsed_;
+
+    /** Optional shared dedup tier (not owned; single fault domain).
+     * Touched only from finalizeActive on the serial timeline. */
+    // vstream:shard_local
+    SharedMachTier *dedup_tier_ = nullptr;
+    std::uint32_t dedup_domain_ = 0;
+    /** Sum of every finished session's settle outcome. */
+    DedupSettle dedup_totals_;
 
     double bw_reserved_ = 0.0;
     std::uint64_t fb_reserved_ = 0;

@@ -134,4 +134,41 @@ Shard::absorb(const SessionOutcome &o)
     }
 }
 
+void
+Shard::absorbDedup(const DedupSettle &d)
+{
+    // Unconditional adds: a clean session contributes zeros, and the
+    // zero counters are what makes "no dedup activity" visible in a
+    // dedup-on report.  (Dedup-off runs never reach this function at
+    // all, so their snapshots carry no dedup.* keys.)
+    StatsSnapshot &s = snapshot_;
+    s.addCount("dedup.sharedHits", d.shared_hits);
+    s.addCount("dedup.selfHits", d.self_hits);
+    s.addCount("dedup.bytesElided", d.bytes_elided);
+    s.addCount("dedup.uniquePublished", d.unique_published);
+    s.addCount("dedup.falseHits", d.false_hits);
+    s.addCount("dedup.blockedWrites", d.blocked_writes);
+}
+
+void
+Shard::foldDedupDomain(const DedupDomainStats &st,
+                       std::uint64_t entries,
+                       std::uint64_t live_refs, std::uint32_t domain)
+{
+    StatsSnapshot &s = snapshot_;
+    const std::string p =
+        "dedup.domain." + std::to_string(domain) + ".";
+    s.addCount(p + "epoch", st.epoch);
+    s.addCount(p + "trips", st.trips);
+    s.addCount(p + "consults", st.consults);
+    s.addCount(p + "falseHits", st.false_hits);
+    s.addCount(p + "sharedHits", st.shared_hits);
+    s.addCount(p + "selfHits", st.self_hits);
+    s.addCount(p + "bytesElided", st.bytes_elided);
+    s.addCount(p + "uniquePublished", st.unique_published);
+    s.addCount(p + "blockedWrites", st.blocked_writes);
+    s.addCount(p + "entries", entries);
+    s.addCount(p + "liveRefs", live_refs);
+}
+
 } // namespace vstream

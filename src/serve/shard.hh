@@ -82,6 +82,24 @@ class Shard
      */
     void absorb(const SessionOutcome &o);
 
+    /**
+     * Fold one session's settled dedup accounting into the snapshot
+     * as "dedup.*" counters.  Only called when the fleet runs with
+     * dedup enabled, so dedup-off snapshots stay byte-identical to
+     * pre-dedup builds.
+     */
+    void absorbDedup(const DedupSettle &s);
+
+    /**
+     * Fold the cumulative aggregates of fault domain @p domain as
+     * "dedup.domain.<domain>.*" counters (end of run; attributes
+     * poisoning to its blast radius in the merged fleet view).
+     */
+    void foldDedupDomain(const DedupDomainStats &st,
+                         std::uint64_t entries,
+                         std::uint64_t live_refs,
+                         std::uint32_t domain);
+
     const StatsSnapshot &snapshot() const { return snapshot_; }
     std::uint64_t absorbed() const { return absorbed_; }
 

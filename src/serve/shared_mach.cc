@@ -1,0 +1,469 @@
+#include "serve/shared_mach.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+std::uint64_t
+DedupRecord::totalWrites() const
+{
+    std::uint64_t n = 0;
+    for (const DedupBlock &b : blocks) {
+        n += b.writes;
+    }
+    return n;
+}
+
+void
+DedupRecorder::observe(std::uint32_t digest, std::uint16_t aux,
+                       const std::vector<std::uint8_t> &truth)
+{
+    const std::uint64_t key = dedupKey(digest, aux);
+    if (const std::uint32_t *idx = index_.find(key)) {
+        DedupBlock &b = rec_.blocks[*idx];
+        if (b.truth != truth) {
+            // Organic collision inside one session: two different
+            // blocks share a (digest, aux).  Citing either from the
+            // shared tier would be a latent false hit, so neither is
+            // offered for dedup.
+            ++rec_.skipped_collisions;
+            return;
+        }
+        ++b.writes;
+        return;
+    }
+    index_[key] =
+        static_cast<std::uint32_t>(rec_.blocks.size());
+    DedupBlock b;
+    b.digest = digest;
+    b.aux = aux;
+    b.writes = 1;
+    b.truth = truth;
+    rec_.blocks.push_back(std::move(b));
+}
+
+DedupRecord
+DedupRecorder::take()
+{
+    DedupRecord out = std::move(rec_);
+    rec_ = DedupRecord{};
+    index_.clear();
+    return out;
+}
+
+namespace
+{
+
+/** Plain digits only; see tryParseCount in serve/chaos.cc. */
+bool
+tryParseCount(const std::string &value, std::uint64_t &out,
+              std::string &error)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+        error = "bad count '" + value + "'";
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE || end != value.c_str() + value.size()) {
+        error = "count '" + value + "' out of range";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+tryParseRate(const std::string &value, double &out, std::string &error)
+{
+    char *end = nullptr;
+    const double r = std::strtod(value.c_str(), &end);
+    // Inclusive-range form is false for NaN.
+    if (end == value.c_str() || *end != '\0' ||
+        !(r >= 0.0 && r <= 1.0)) {
+        error = "bad rate '" + value + "' (need [0, 1])";
+        return false;
+    }
+    out = r;
+    return true;
+}
+
+} // namespace
+
+bool
+tryParseDedupPoisonRule(const std::string &spec, DedupPoisonRule &out,
+                        std::string &error)
+{
+    DedupPoisonRule rule;
+    bool have_rate = false;
+
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string field = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (field.empty()) {
+            continue;
+        }
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+            error = "field '" + field + "' is not key=value";
+            return false;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        bool ok = true;
+        if (key == "domain") {
+            std::uint64_t d = 0;
+            ok = tryParseCount(value, d, error);
+            if (ok && d > 0xffffffffULL) {
+                error = "domain '" + value + "' out of range";
+                return false;
+            }
+            if (ok) {
+                rule.domain = static_cast<std::uint32_t>(d);
+            }
+        } else if (key == "rate") {
+            ok = tryParseRate(value, rule.rate, error);
+            have_rate = true;
+        } else if (key == "seed") {
+            ok = tryParseCount(value, rule.seed, error);
+        } else {
+            error = "unknown key '" + key + "'";
+            return false;
+        }
+        if (!ok) {
+            return false;
+        }
+    }
+
+    if (!have_rate) {
+        error = "poison rule needs rate=F";
+        return false;
+    }
+    out = rule;
+    return true;
+}
+
+DedupPoisonRule
+parseDedupPoisonRule(const std::string &spec)
+{
+    DedupPoisonRule rule;
+    std::string error;
+    if (!tryParseDedupPoisonRule(spec, rule, error)) {
+        vs_fatal("dedup poison spec '", spec, "': ", error);
+    }
+    return rule;
+}
+
+bool
+DedupSettle::any() const
+{
+    return shared_hits != 0 || self_hits != 0 || bytes_elided != 0 ||
+           unique_published != 0 || false_hits != 0 ||
+           blocked_writes != 0;
+}
+
+DedupSettle &
+DedupSettle::operator+=(const DedupSettle &o)
+{
+    shared_hits += o.shared_hits;
+    self_hits += o.self_hits;
+    bytes_elided += o.bytes_elided;
+    unique_published += o.unique_published;
+    false_hits += o.false_hits;
+    blocked_writes += o.blocked_writes;
+    return *this;
+}
+
+DedupDomainStats &
+DedupDomainStats::operator+=(const DedupDomainStats &o)
+{
+    // Epoch is structural, not additive: totals report the max.
+    epoch = epoch > o.epoch ? epoch : o.epoch;
+    trips += o.trips;
+    consults += o.consults;
+    false_hits += o.false_hits;
+    shared_hits += o.shared_hits;
+    self_hits += o.self_hits;
+    bytes_elided += o.bytes_elided;
+    unique_published += o.unique_published;
+    blocked_writes += o.blocked_writes;
+    return *this;
+}
+
+SharedMachTier::SharedMachTier(const DedupConfig &cfg,
+                               std::uint32_t domains)
+    : cfg_(cfg)
+{
+    vs_assert(domains >= 1, "shared tier needs >= 1 domain");
+    vs_assert(cfg_.breaker_window >= 1,
+              "dedup breaker window must be >= 1");
+    vs_assert(cfg_.breaker_false_hits >= 1,
+              "dedup breaker threshold must be >= 1");
+    domains_.resize(domains);
+    for (const DedupPoisonRule &rule : cfg_.poison) {
+        vs_assert(rule.domain < domains,
+                  "dedup poison rule targets a missing domain");
+        vs_assert(rule.rate >= 0.0 && rule.rate <= 1.0,
+                  "dedup poison rate outside [0, 1]");
+        domains_[rule.domain].poison = rule;
+    }
+}
+
+SharedMachTier::Domain &
+SharedMachTier::domainAt(std::uint32_t domain)
+{
+    vs_assert(domain < domains_.size(),
+              "dedup domain out of range");
+    return domains_[domain];
+}
+
+const SharedMachTier::Domain &
+SharedMachTier::domainAt(std::uint32_t domain) const
+{
+    vs_assert(domain < domains_.size(),
+              "dedup domain out of range");
+    return domains_[domain];
+}
+
+void
+SharedMachTier::tripBreaker(Domain &d)
+{
+    ++d.stats.trips;
+    ++d.stats.epoch;
+    d.window_consults = 0;
+    d.window_false = 0;
+    d.cooldown_left = cfg_.quarantine_consults;
+    // Unreferenced entries reclaim immediately; referenced ones are
+    // now stale (unciteable) and drain via release().
+    for (auto it = d.resident.begin(); it != d.resident.end();) {
+        if (it->second.refs == 0) {
+            it = d.resident.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+DedupSettle
+SharedMachTier::publish(std::uint32_t domain, const DedupRecord &rec,
+                        DedupLease &lease)
+{
+    Domain &d = domainAt(domain);
+    lease.domain = domain;
+    DedupSettle settle;
+
+    for (const DedupBlock &b : rec.blocks) {
+        const std::uint64_t size = b.truth.size();
+        if (d.cooldown_left > 0) {
+            // Quarantined: the domain ignores consults until the
+            // cooldown drains; every write stays a real write.
+            --d.cooldown_left;
+            settle.blocked_writes += b.writes;
+            d.stats.blocked_writes += b.writes;
+            continue;
+        }
+        ++d.stats.consults;
+        if (++d.window_consults > cfg_.breaker_window) {
+            d.window_consults = 1;
+            d.window_false = 0;
+        }
+
+        std::uint64_t key = dedupKey(b.digest, b.aux);
+        if (d.poison.rate > 0.0 && d.have_last_insert &&
+            d.last_insert != key) {
+            // Deterministic injected collision: forge the key onto
+            // the most recently published entry.  If its bytes
+            // differ, verify-on-hit must catch it.
+            const std::uint64_t draw = mixHash(
+                d.poison.seed ^ mixHash(key) ^
+                (d.stats.consults * 0x9e3779b97f4a7c15ULL));
+            const double x =
+                static_cast<double>(draw >> 11) * 0x1.0p-53;
+            if (x < d.poison.rate) {
+                key = d.last_insert;
+            }
+        }
+
+        auto it = d.resident.find(key);
+        if (it != d.resident.end() &&
+            it->second.epoch == d.stats.epoch) {
+            if (it->second.truth == b.truth) {
+                // Verified shared hit: every write of this block is
+                // elided from the DRAM accounting.
+                settle.shared_hits += b.writes;
+                settle.bytes_elided += b.writes * size;
+                d.stats.shared_hits += b.writes;
+                d.stats.bytes_elided += b.writes * size;
+                ++it->second.refs;
+                lease.keys.push_back(
+                    DedupLeaseKey{key, it->second.epoch});
+            } else {
+                // Verify-on-hit byte compare failed: fail closed (no
+                // citation, no insert) and feed the breaker.
+                ++settle.false_hits;
+                ++d.stats.false_hits;
+                if (++d.window_false >= cfg_.breaker_false_hits) {
+                    tripBreaker(d);
+                }
+            }
+        } else if (it != d.resident.end()) {
+            // The slot holds a stale-epoch entry still draining its
+            // refs; nothing can publish or cite here until it
+            // reclaims.
+            settle.blocked_writes += b.writes;
+            d.stats.blocked_writes += b.writes;
+        } else {
+            Entry e;
+            e.truth = b.truth;
+            e.epoch = d.stats.epoch;
+            e.refs = 1;
+            d.resident.emplace(key, std::move(e));
+            lease.keys.push_back(DedupLeaseKey{key, d.stats.epoch});
+            ++settle.unique_published;
+            ++d.stats.unique_published;
+            // The session's own repeat writes of this block are
+            // elided against its fresh entry.
+            settle.self_hits += b.writes - 1;
+            settle.bytes_elided += (b.writes - 1) * size;
+            d.stats.self_hits += b.writes - 1;
+            d.stats.bytes_elided += (b.writes - 1) * size;
+            d.have_last_insert = true;
+            d.last_insert = key;
+        }
+    }
+    return settle;
+}
+
+void
+SharedMachTier::release(const DedupLease &lease)
+{
+    Domain &d = domainAt(lease.domain);
+    for (const DedupLeaseKey &lk : lease.keys) {
+        auto it = d.resident.find(lk.key);
+        if (it == d.resident.end() ||
+            it->second.epoch != lk.epoch) {
+            // Wiped (crash) or replaced under a newer epoch: the
+            // lease was voided with the entry.
+            continue;
+        }
+        vs_assert(it->second.refs > 0,
+                  "dedup release underflows a refcount");
+        --it->second.refs;
+        if (it->second.refs == 0 &&
+            it->second.epoch != d.stats.epoch) {
+            // Quarantined epoch fully drained: reclaim.
+            d.resident.erase(it);
+        }
+    }
+}
+
+void
+SharedMachTier::republish(std::uint32_t domain,
+                          const DedupRecord &rec)
+{
+    Domain &d = domainAt(domain);
+    for (const DedupBlock &b : rec.blocks) {
+        const std::uint64_t key = dedupKey(b.digest, b.aux);
+        auto it = d.resident.find(key);
+        if (it != d.resident.end()) {
+            // First journal entry wins; a differing-content later
+            // block stays out (fail closed).
+            continue;
+        }
+        Entry e;
+        e.truth = b.truth;
+        e.epoch = d.stats.epoch;
+        e.refs = 0;
+        d.resident.emplace(key, std::move(e));
+        d.have_last_insert = true;
+        d.last_insert = key;
+    }
+}
+
+void
+SharedMachTier::wipeDomain(std::uint32_t domain)
+{
+    Domain &d = domainAt(domain);
+    d.resident.clear();
+    ++d.stats.epoch;
+    d.window_consults = 0;
+    d.window_false = 0;
+    d.cooldown_left = 0;
+    d.have_last_insert = false;
+    d.last_insert = 0;
+}
+
+const DedupDomainStats &
+SharedMachTier::domainStats(std::uint32_t domain) const
+{
+    return domainAt(domain).stats;
+}
+
+DedupDomainStats
+SharedMachTier::totals() const
+{
+    DedupDomainStats total;
+    for (const Domain &d : domains_) {
+        total += d.stats;
+    }
+    return total;
+}
+
+std::uint64_t
+SharedMachTier::entries(std::uint32_t domain) const
+{
+    return domainAt(domain).resident.size();
+}
+
+std::uint64_t
+SharedMachTier::liveRefs(std::uint32_t domain) const
+{
+    std::uint64_t refs = 0;
+    for (const auto &kv : domainAt(domain).resident) {
+        refs += kv.second.refs;
+    }
+    return refs;
+}
+
+std::uint64_t
+SharedMachTier::staleEntries(std::uint32_t domain) const
+{
+    const Domain &d = domainAt(domain);
+    std::uint64_t n = 0;
+    for (const auto &kv : d.resident) {
+        if (kv.second.epoch != d.stats.epoch) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+bool
+SharedMachTier::quarantined(std::uint32_t domain) const
+{
+    return domainAt(domain).cooldown_left > 0;
+}
+
+void
+SharedMachTier::resetStats()
+{
+    for (Domain &d : domains_) {
+        const std::uint64_t epoch = d.stats.epoch;
+        d.stats = DedupDomainStats{};
+        d.stats.epoch = epoch;
+    }
+}
+
+} // namespace vstream

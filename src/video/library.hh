@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared content library with Zipf popularity.
+ *
+ * At fleet scale the dedup win comes from many sessions decoding the
+ * *same* popular titles.  A ZipfLibrary maps a session to a title by a
+ * deterministic Zipf(s) draw and rewrites the session's VideoProfile
+ * so that two sessions on the same title generate byte-identical
+ * content (same generator seed), which is exactly what the shared
+ * MACH tier (serve/shared_mach.hh) dedups across sessions.
+ *
+ * The library spec string ("titles=64,skew=0.9,seed=7") comes from
+ * the CLI and is therefore parsed fail-closed, mirroring the chaos
+ * rule grammar in serve/chaos.cc.
+ */
+
+#ifndef VSTREAM_VIDEO_LIBRARY_HH
+#define VSTREAM_VIDEO_LIBRARY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/video_profile.hh"
+
+namespace vstream
+{
+
+/** library_title value meaning "standalone content, not a library
+ * member" (the default for every profile). */
+inline constexpr std::uint32_t kNoLibraryTitle = 0xffffffffu;
+
+/** Parsed "titles=N,skew=F,seed=N" library spec. */
+struct LibrarySpec
+{
+    /** Number of distinct titles in the catalogue (>= 1). */
+    std::uint32_t titles = 1;
+    /** Zipf exponent; 0 is uniform, larger skews toward title 0. */
+    double skew = 0.8;
+    /** Seed for both the popularity draw and per-title content. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Parse @p spec into @p out.  Returns false (and sets @p error) on
+ * any malformed, non-finite, or out-of-range field; @p out is only
+ * written on success.  titles=N is required.
+ */
+bool tryParseLibrarySpec(const std::string &spec, LibrarySpec &out,
+                         std::string &error);
+
+/** Parse-or-die wrapper for CLI use. */
+LibrarySpec parseLibrarySpec(const std::string &spec);
+
+/**
+ * A catalogue of @c titles synthetic videos with Zipf(s) popularity.
+ *
+ * sampleTitle() is a pure function of (spec, key): the same session
+ * id always lands on the same title regardless of arrival order or
+ * job count, which keeps fleet runs seed/jobs-invariant.
+ */
+class ZipfLibrary
+{
+  public:
+    explicit ZipfLibrary(LibrarySpec spec);
+
+    const LibrarySpec &spec() const { return spec_; }
+
+    /** Deterministic Zipf draw for @p key (e.g. the session id). */
+    std::uint32_t sampleTitle(std::uint64_t key) const;
+
+    /** Normalized popularity weight of @p title. */
+    double weight(std::uint32_t title) const;
+
+    /**
+     * Rebind @p profile to @p title: the content identity fields
+     * (key, seed, library_title) are rewritten so every session on
+     * the same title decodes byte-identical macroblocks.  Geometry
+     * and complexity knobs are left alone.
+     */
+    void applyTo(VideoProfile &profile, std::uint32_t title) const;
+
+  private:
+    LibrarySpec spec_;
+    /** Cumulative popularity, cdf_[t] = P(title <= t); size titles. */
+    std::vector<double> cdf_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_VIDEO_LIBRARY_HH

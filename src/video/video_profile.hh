@@ -41,6 +41,11 @@ struct VideoProfile
     /** RNG seed; same seed => byte-identical video. */
     std::uint64_t seed = 1;
 
+    /** Title index when this profile was bound to a shared content
+     * library (ZipfLibrary::applyTo); 0xffffffff (kNoLibraryTitle)
+     * for standalone content. */
+    std::uint32_t library_title = 0xffffffffu;
+
     // --- content similarity (drives MACH, Figs. 7b/9) -------------------
     /** P(mab exactly copies an earlier mab of the same frame). */
     double intra_match_rate = 0.42;

@@ -32,6 +32,7 @@ RULE_IDS = (
     'ordered-iteration',
     'lock-discipline',
     'shard-local',
+    'shared-state-guarded',
     'stats-hygiene',
     'bounded-queue',
 )
@@ -666,6 +667,54 @@ def check_bounded_queue(ctx, sf):
 
 
 # ===================================================================
+# shared-state-guarded: cross-session state must declare its guard
+# ===================================================================
+
+# A member declaration by the repo's trailing-underscore convention:
+# type tokens, a separator, then the field name with an optional
+# default initializer.  The mandatory [\s&*] separator before the
+# name keeps plain assignments (`field_ = 0;`) from matching.
+GUARDED_FIELD_DECL_RE = re.compile(
+    r'^[ \t]*(?!return\b|delete\b|using\b|typedef\b|case\b)'
+    r'[A-Za-z_][\w:<>,&*\t ]*?[\w>&*][\s&*]+([A-Za-z_]\w*_)\s*'
+    r'(?:=[^;=]*|\{[^;]*\})?;',
+    re.MULTILINE)
+# Outside the shared tier's own TUs, only names that advertise
+# cross-session scope are held to the annotation requirement.
+SHARED_NAME_RE = re.compile(r'^(?:shared_|global_)\w*$')
+SHARED_TIER_TU_RE = re.compile(r'^src/serve/shared_mach\.(?:hh|cc)$')
+
+
+def _annotated_in_file(project, field, rel):
+    for ann in project.annotations.get(field, ()):
+        if ann.sf.rel == rel:
+            return True
+    return False
+
+
+def check_shared_state_guarded(ctx, sf):
+    """The shared MACH tier is the first cross-session state in the
+    tree, so every field it declares - and any field elsewhere whose
+    name claims shared/global scope - must say how it is safe:
+    vstream:guarded_by(mutex) for locked state, vstream:shard_local
+    for state confined to one serial domain."""
+    tier_tu = SHARED_TIER_TU_RE.match(sf.rel) is not None
+    for line, m in match_lines(sf.code, GUARDED_FIELD_DECL_RE):
+        field = m.group(1)
+        if not tier_tu and not SHARED_NAME_RE.match(field):
+            continue
+        if _annotated_in_file(ctx.project, field, sf.rel):
+            continue
+        ctx.emit(sf, line, 'shared-state-guarded',
+                 'field %s %s but carries neither '
+                 'vstream:guarded_by(mutex) nor vstream:shard_local; '
+                 'annotate how it is safe or suppress with a reason'
+                 % (field,
+                    'is declared in the shared MACH tier' if tier_tu
+                    else 'names cross-session shared state'))
+
+
+# ===================================================================
 # Rule sets per directory
 # ===================================================================
 
@@ -683,6 +732,7 @@ SRC_CHECKS = [
     check_determinism_source,
     check_ordered_iteration,
     check_lock_discipline,
+    check_shared_state_guarded,
     check_bounded_queue,
 ]
 

@@ -174,6 +174,25 @@ BadAdmission::submit(int job)
 }
 '''
 
+BAD_SHARED = '''\
+#include "sim/stats_registry.hh"
+class BadTier
+{
+  public:
+    void publish(int key);
+  private:
+    // Cross-session state with no guarded_by/shard_local story:
+    // shared-state-guarded must fire.
+    std::map<int, int> shared_blocks_;
+    int global_epoch_ = 0;
+};
+void
+BadTier::publish(int key)
+{
+    shared_blocks_[key] = global_epoch_;
+}
+'''
+
 # -- good inputs: zero findings expected -----------------------------
 
 GOOD_HEADER = '''\
@@ -335,6 +354,27 @@ GoodAdmission::submit(int job)
 }
 '''
 
+GOOD_SHARED = '''\
+#include "sim/stats_registry.hh"
+class GoodTier
+{
+  public:
+    void publish(int key);
+  private:
+    // Annotated cross-session state never fires
+    // shared-state-guarded:
+    // vstream:guarded_by(mu_)
+    std::map<int, int> shared_blocks_;
+    // vstream:shard_local
+    int global_epoch_ = 0;
+};
+void
+GoodTier::publish(int key)
+{
+    shared_blocks_[key] = global_epoch_;
+}
+'''
+
 STUB_FLAT_TABLE = '''\
 #ifndef VSTREAM_CORE_FLAT_TABLE_HH
 #define VSTREAM_CORE_FLAT_TABLE_HH
@@ -348,6 +388,7 @@ BAD_FILES = {
     'src/core/bad_lock.cc': BAD_LOCK,
     'src/core/bad_stats.cc': BAD_STATS,
     'src/core/bad_queue.cc': BAD_QUEUE,
+    'src/core/bad_shared.cc': BAD_SHARED,
 }
 
 GOOD_FILES = {
@@ -357,6 +398,7 @@ GOOD_FILES = {
     'src/core/good_stats.cc': GOOD_STATS,
     'src/core/good_ordered.cc': GOOD_ORDERED,
     'src/core/good_queue.cc': GOOD_QUEUE,
+    'src/core/good_shared.cc': GOOD_SHARED,
 }
 
 STUB_FILES = {
