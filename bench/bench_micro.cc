@@ -7,17 +7,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "cache/set_assoc_cache.hh"
 #include "core/dcc.hh"
 #include "core/frame_buffer_manager.hh"
 #include "core/mach_array.hh"
+#include "core/surface_pool.hh"
 #include "hash/crc.hh"
 #include "hash/hasher.hh"
 #include "mem/dram_controller.hh"
 #include "mem/memory_system.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel.hh"
 #include "sim/random.hh"
 #include "video/macroblock.hh"
+#include "video/pixel_kernels.hh"
 #include "video/synthetic_video.hh"
 #include "video/workloads.hh"
 
@@ -114,6 +119,132 @@ BM_GradientTransform(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GradientTransform);
+
+/** Per-kernel gradient transform: state.range(0) indexes
+ * availableGradientKernels(); range(1) is the payload size (48 B =
+ * one 4x4 mab, 768 B = one 16x16 mab, 3 KB = four 16x16 mabs). */
+void
+BM_GradientKernel(benchmark::State &state)
+{
+    const std::vector<GradientKernel> kernels =
+        availableGradientKernels();
+    if (static_cast<std::size_t>(state.range(0)) >= kernels.size()) {
+        state.SkipWithError("kernel not available on this host");
+        return;
+    }
+    const GradientKernel kernel =
+        kernels[static_cast<std::size_t>(state.range(0))];
+    const std::size_t len = static_cast<std::size_t>(state.range(1));
+    Random rng(8);
+    std::vector<std::uint8_t> src(len);
+    for (auto &b : src) {
+        b = static_cast<std::uint8_t>(rng.next());
+    }
+    std::vector<std::uint8_t> dst(len);
+    const Pixel base{201, 45, 96};
+    for (auto _ : state) {
+        gradientSubWith(kernel, dst.data(), src.data(), len, base);
+        benchmark::DoNotOptimize(dst.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * len));
+    state.SetLabel(gradientKernelName(kernel));
+}
+BENCHMARK(BM_GradientKernel)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 2, 1),
+                   {48, 768, 3072}});
+
+/** Per-kernel block-equality probe on identical blocks (the MACH
+ * verify-on-hit worst case: every byte is compared). */
+void
+BM_SimilarityKernel(benchmark::State &state)
+{
+    const std::vector<SimilarityKernel> kernels =
+        availableSimilarityKernels();
+    if (static_cast<std::size_t>(state.range(0)) >= kernels.size()) {
+        state.SkipWithError("kernel not available on this host");
+        return;
+    }
+    const SimilarityKernel kernel =
+        kernels[static_cast<std::size_t>(state.range(0))];
+    const std::size_t len = static_cast<std::size_t>(state.range(1));
+    Random rng(9);
+    std::vector<std::uint8_t> a(len);
+    for (auto &b : a) {
+        b = static_cast<std::uint8_t>(rng.next());
+    }
+    std::vector<std::uint8_t> b = a;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            blockEqualWith(kernel, a.data(), b.data(), len));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * len));
+    state.SetLabel(similarityKernelName(kernel));
+}
+BENCHMARK(BM_SimilarityKernel)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 2, 1), {48, 768}});
+
+/** One frame of per-mab digests, block by block: the pre-batching
+ * whole-frame digest cost BM_FrameDigestBatch is measured against. */
+void
+BM_FrameDigest(benchmark::State &state)
+{
+    constexpr std::size_t kMabs = 256;
+    constexpr std::size_t kMabBytes = 48;
+    Random rng(10);
+    std::vector<std::vector<std::uint8_t>> storage(kMabs);
+    std::vector<const std::uint8_t *> blocks(kMabs);
+    for (std::size_t i = 0; i < kMabs; ++i) {
+        storage[i].resize(kMabBytes);
+        for (auto &byte : storage[i]) {
+            byte = static_cast<std::uint8_t>(rng.next());
+        }
+        blocks[i] = storage[i].data();
+    }
+    std::vector<std::uint32_t> digests(kMabs);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kMabs; ++i) {
+            digests[i] =
+                digest32(HashKind::kCrc32, blocks[i], kMabBytes);
+        }
+        benchmark::DoNotOptimize(digests.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * kMabs * kMabBytes));
+}
+BENCHMARK(BM_FrameDigest);
+
+/** The batched path MachWriteback::beginFrame runs: all mabs of a
+ * frame through one digest32Batch dispatch (4-way interleaved CRC). */
+void
+BM_FrameDigestBatch(benchmark::State &state)
+{
+    constexpr std::size_t kMabs = 256;
+    constexpr std::size_t kMabBytes = 48;
+    Random rng(10);
+    std::vector<std::vector<std::uint8_t>> storage(kMabs);
+    std::vector<const std::uint8_t *> blocks(kMabs);
+    for (std::size_t i = 0; i < kMabs; ++i) {
+        storage[i].resize(kMabBytes);
+        for (auto &byte : storage[i]) {
+            byte = static_cast<std::uint8_t>(rng.next());
+        }
+        blocks[i] = storage[i].data();
+    }
+    std::vector<std::uint32_t> digests(kMabs);
+    for (auto _ : state) {
+        digest32Batch(HashKind::kCrc32, blocks.data(), kMabBytes,
+                      kMabs, digests.data());
+        benchmark::DoNotOptimize(digests.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * kMabs * kMabBytes));
+}
+BENCHMARK(BM_FrameDigestBatch);
 
 void
 BM_MachLookup(benchmark::State &state)
@@ -233,6 +364,94 @@ BM_SyntheticFrame(benchmark::State &state)
         state.iterations() * p.mabsPerFrame()));
 }
 BENCHMARK(BM_SyntheticFrame);
+
+/** The zero-alloc generation path the pipeline runs: frame contents
+ * land in a reused scratch Frame (compare against BM_SyntheticFrame,
+ * which constructs and returns a fresh Frame per call). */
+void
+BM_SyntheticFrameInto(benchmark::State &state)
+{
+    VideoProfile p = workload("V8");
+    p.frame_count = 1000000;
+    SyntheticVideo video(p);
+    Frame scratch;
+    for (auto _ : state) {
+        video.nextFrameInto(scratch);
+        benchmark::DoNotOptimize(scratch.mabCount());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * p.mabsPerFrame()));
+}
+BENCHMARK(BM_SyntheticFrameInto);
+
+/** Steady-state borrow/return churn through the recycled pool,
+ * against constructing an equivalent surface fresh each time
+ * (BM_SurfaceFreshAlloc): the allocator cost the pool removes. */
+void
+BM_SurfacePoolAcquireRelease(benchmark::State &state)
+{
+    SurfacePool<std::vector<std::uint8_t>> pool("bm");
+    // Warmup construction: one 16x16x3-byte surface.
+    {
+        auto &s = pool.acquire(
+            [] { return std::vector<std::uint8_t>(768); });
+        pool.release(s);
+    }
+    for (auto _ : state) {
+        auto &s = pool.acquire();
+        benchmark::DoNotOptimize(s.data());
+        pool.release(s);
+    }
+}
+BENCHMARK(BM_SurfacePoolAcquireRelease);
+
+void
+BM_SurfaceFreshAlloc(benchmark::State &state)
+{
+    for (auto _ : state) {
+        std::vector<std::uint8_t> s(768);
+        benchmark::DoNotOptimize(s.data());
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_SurfaceFreshAlloc);
+
+/** Fan-out dispatch cost through the persistent pool at range(0)
+ * workers (64 trivial units), against BM_ThreadSpawnJoin's
+ * spawn-per-call model that parallelFor replaced. */
+void
+BM_ParallelForDispatch(benchmark::State &state)
+{
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    // Warm the pool so spawn cost is not billed to the loop.
+    parallelFor(jobs, 64, [](std::size_t) {});
+    for (auto _ : state) {
+        parallelFor(jobs, 64, [](std::size_t i) {
+            benchmark::DoNotOptimize(i);
+        });
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 64));
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(4);
+
+void
+BM_ThreadSpawnJoin(benchmark::State &state)
+{
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        std::vector<std::thread> workers;
+        for (unsigned w = 0; w < jobs; ++w) {
+            workers.emplace_back([] {});
+        }
+        for (std::thread &t : workers) {
+            t.join();
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * jobs));
+}
+BENCHMARK(BM_ThreadSpawnJoin)->Arg(1)->Arg(4);
 
 } // namespace
 

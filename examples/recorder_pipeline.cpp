@@ -63,7 +63,8 @@ main(int argc, char **argv)
             // encoder drains.
             fbm.release(slot_cycle >= 4 ? slot_cycle - 4 : ~0ULL);
             BufferSlot &slot = fbm.acquire(slot_cycle++);
-            camera.beginFrame(frame, slot, now);
+            FrameLayout layout;
+            camera.beginFrame(frame, slot, now, layout);
             for (std::uint32_t i = 0; i < frame.mabCount(); ++i) {
                 camera.writeMab(frame.mab(i), i, now);
             }

@@ -1,5 +1,7 @@
 #include "cache/replacement.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace vstream
@@ -34,6 +36,14 @@ ReplacementState::fill(std::uint32_t set, std::uint32_t way)
     if (policy_ != ReplPolicy::kRandom) {
         stamp(set, way) = ++clock_;
     }
+}
+
+void
+ReplacementState::reset(std::uint64_t seed)
+{
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    clock_ = 0;
+    rng_.seed(seed);
 }
 
 std::uint32_t

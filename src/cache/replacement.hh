@@ -36,6 +36,13 @@ class ReplacementState
     /** Choose the victim way in @p set (all ways assumed valid). */
     std::uint32_t victim(std::uint32_t set);
 
+    /**
+     * Restore the freshly constructed state (stamps, clock, rng) so a
+     * recycled cache replays the exact victim sequence a new one
+     * would.  Keeps the stamp storage.
+     */
+    void reset(std::uint64_t seed = 0x5eedULL);
+
     ReplPolicy policy() const { return policy_; }
 
   private:

@@ -64,6 +64,8 @@ SetAssocCache::line(std::uint32_t set, std::uint32_t way) const
     return lines_[static_cast<std::size_t>(set) * ways_ + way];
 }
 
+// vstream:allow(no-hotpath-alloc) appends into the caller's reused
+// summary scratch; its vectors keep their capacity across accesses
 bool
 SetAssocCache::accessLine(Addr line_addr, MemOp op,
                           CacheAccessSummary &summary)
@@ -127,9 +129,23 @@ SetAssocCache::accessLine(Addr line_addr, MemOp op,
 CacheAccessSummary
 SetAssocCache::access(Addr addr, std::uint32_t size, MemOp op)
 {
+    CacheAccessSummary summary;
+    accessInto(addr, size, op, summary);
+    return summary;
+}
+
+// vstream:hot
+void
+SetAssocCache::accessInto(Addr addr, std::uint32_t size, MemOp op,
+                          CacheAccessSummary &summary)
+{
     vs_assert(size > 0, "zero-size cache access");
 
-    CacheAccessSummary summary;
+    summary.lines = 0;
+    summary.hits = 0;
+    summary.misses = 0;
+    summary.writebacks.clear();
+    summary.fills.clear();
     const Addr first = addr >> line_shift_;
     const Addr last = (addr + size - 1) >> line_shift_;
     for (Addr l = first; l <= last; ++l) {
@@ -140,7 +156,6 @@ SetAssocCache::access(Addr addr, std::uint32_t size, MemOp op)
             ++summary.misses;
         }
     }
-    return summary;
 }
 
 bool

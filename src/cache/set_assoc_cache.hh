@@ -55,6 +55,14 @@ class SetAssocCache
      */
     CacheAccessSummary access(Addr addr, std::uint32_t size, MemOp op);
 
+    /**
+     * Zero-alloc variant of access(): results land in @p summary,
+     * whose vectors are cleared and reused (hot paths pass a member
+     * scratch so steady-state accesses never allocate).
+     */
+    void accessInto(Addr addr, std::uint32_t size, MemOp op,
+                    CacheAccessSummary &summary);
+
     /** Probe without updating any state. */
     bool contains(Addr addr) const;
 

@@ -13,8 +13,9 @@ CoMach::CoMach(const MachConfig &cfg)
 void
 CoMach::beginFrame()
 {
-    cache_ = std::make_unique<MachCache>(cfg_, cfg_.co_mach_entries,
-                                         /*full_tags=*/true);
+    // Recycle in place: the entry array and truth arena are reused,
+    // so frame boundaries cost no heap traffic.
+    cache_->recycle();
 }
 
 MachProbe

@@ -26,39 +26,39 @@ FrameBufferManager::FrameBufferManager(MemorySystem &mem,
 BufferSlot &
 FrameBufferManager::acquire(std::uint64_t frame_index)
 {
-    for (auto &slot : slots_) {
-        if (!slot.in_use) {
-            slot.in_use = true;
-            slot.frame_index = frame_index;
-            slot.arena.clear();
-            slot.block_index.clear();
-            return slot;
-        }
-    }
-
-    BufferSlot slot;
-    slot.arena.reserve(data_capacity_);
-    slot.meta_base = mem_.allocate(meta_capacity_, "fb.meta");
-    slot.data_base = mem_.allocate(data_capacity_, "fb.data");
-    slot.mach_dump_base =
-        mach_dump_capacity_
-            ? mem_.allocate(mach_dump_capacity_, "fb.machdump")
-            : 0;
-    slot.meta_capacity = meta_capacity_;
-    slot.data_capacity = data_capacity_;
-    slot.mach_dump_capacity = mach_dump_capacity_;
+    // The pool recycles the lowest-indexed free slot (preserving the
+    // historical first-free scan order) or constructs a new one; the
+    // make callback runs only on growth, so the DRAM regions are
+    // allocated exactly once per slot.
+    BufferSlot &slot = slots_.acquire([this] {
+        BufferSlot fresh;
+        fresh.arena.reserve(data_capacity_);
+        fresh.meta_base = mem_.allocate(meta_capacity_, "fb.meta");
+        fresh.data_base = mem_.allocate(data_capacity_, "fb.data");
+        fresh.mach_dump_base =
+            mach_dump_capacity_
+                ? mem_.allocate(mach_dump_capacity_, "fb.machdump")
+                : 0;
+        fresh.meta_capacity = meta_capacity_;
+        fresh.data_capacity = data_capacity_;
+        fresh.mach_dump_capacity = mach_dump_capacity_;
+        return fresh;
+    });
     slot.in_use = true;
     slot.frame_index = frame_index;
-    slots_.push_back(std::move(slot));
-    return slots_.back();
+    slot.arena.clear();
+    slot.block_index.clear();
+    return slot;
 }
 
 void
 FrameBufferManager::release(std::uint64_t frame_index)
 {
-    for (auto &slot : slots_) {
+    for (std::size_t i = 0; i < slots_.allocated(); ++i) {
+        BufferSlot &slot = slots_.at(i);
         if (slot.in_use && slot.frame_index == frame_index) {
             slot.in_use = false;
+            slots_.release(slot);
             return;
         }
     }
@@ -67,7 +67,8 @@ FrameBufferManager::release(std::uint64_t frame_index)
 BufferSlot *
 FrameBufferManager::find(std::uint64_t frame_index)
 {
-    for (auto &slot : slots_) {
+    for (std::size_t i = 0; i < slots_.allocated(); ++i) {
+        BufferSlot &slot = slots_.at(i);
         if (slot.in_use && slot.frame_index == frame_index) {
             return &slot;
         }
@@ -78,7 +79,8 @@ FrameBufferManager::find(std::uint64_t frame_index)
 const BufferSlot *
 FrameBufferManager::find(std::uint64_t frame_index) const
 {
-    for (const auto &slot : slots_) {
+    for (std::size_t i = 0; i < slots_.allocated(); ++i) {
+        const BufferSlot &slot = slots_.at(i);
         if (slot.in_use && slot.frame_index == frame_index) {
             return &slot;
         }
@@ -89,7 +91,8 @@ FrameBufferManager::find(std::uint64_t frame_index) const
 BufferSlot *
 FrameBufferManager::slotContaining(Addr addr)
 {
-    for (auto &slot : slots_) {
+    for (std::size_t i = 0; i < slots_.allocated(); ++i) {
+        BufferSlot &slot = slots_.at(i);
         if (addr >= slot.data_base &&
             addr < slot.data_base + slot.data_capacity) {
             return &slot;
@@ -101,7 +104,8 @@ FrameBufferManager::slotContaining(Addr addr)
 const BufferSlot *
 FrameBufferManager::slotContaining(Addr addr) const
 {
-    for (const auto &slot : slots_) {
+    for (std::size_t i = 0; i < slots_.allocated(); ++i) {
+        const BufferSlot &slot = slots_.at(i);
         if (addr >= slot.data_base &&
             addr < slot.data_base + slot.data_capacity) {
             return &slot;
@@ -156,19 +160,13 @@ FrameBufferManager::loadBlock(Addr addr) const
 std::uint32_t
 FrameBufferManager::slotsInUse() const
 {
-    std::uint32_t n = 0;
-    for (const auto &slot : slots_) {
-        if (slot.in_use) {
-            ++n;
-        }
-    }
-    return n;
+    return static_cast<std::uint32_t>(slots_.stats().live);
 }
 
 std::uint64_t
 FrameBufferManager::poolBytes() const
 {
-    return static_cast<std::uint64_t>(slots_.size()) *
+    return static_cast<std::uint64_t>(slots_.allocated()) *
            (meta_capacity_ + data_capacity_ + mach_dump_capacity_);
 }
 

@@ -19,10 +19,10 @@
 #define VSTREAM_CORE_FRAME_BUFFER_MANAGER_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "core/flat_table.hh"
+#include "core/surface_pool.hh"
 #include "mem/memory_system.hh"
 
 namespace vstream
@@ -104,7 +104,7 @@ class FrameBufferManager
     /** Slots ever allocated (== peak simultaneous buffers). */
     std::uint32_t slotsAllocated() const
     {
-        return static_cast<std::uint32_t>(slots_.size());
+        return static_cast<std::uint32_t>(slots_.allocated());
     }
 
     /** Slots currently holding live frames. */
@@ -116,6 +116,9 @@ class FrameBufferManager
     /** Per-slot worst-case decoded size (the data region size). */
     std::uint64_t dataCapacity() const { return data_capacity_; }
 
+    /** The underlying slot pool's counters (recycle visibility). */
+    const SurfacePoolStats &poolStats() const { return slots_.stats(); }
+
   private:
     BufferSlot *slotContaining(Addr addr);
     const BufferSlot *slotContaining(Addr addr) const;
@@ -124,8 +127,12 @@ class FrameBufferManager
     std::uint64_t meta_capacity_;
     std::uint64_t data_capacity_;
     std::uint64_t mach_dump_capacity_;
-    /** Deque: growth must not invalidate references handed out. */
-    std::deque<BufferSlot> slots_;
+    /**
+     * Slot-stable recycled pool; lowest-index-first acquisition
+     * preserves the DRAM address assignment order the simulated
+     * timing (and golden outputs) depend on.
+     */
+    SurfacePool<BufferSlot> slots_{"fbm.slots"};
 };
 
 } // namespace vstream

@@ -66,7 +66,20 @@ struct MabRecord
 class FrameLayout
 {
   public:
+    /** Empty layout awaiting reinit() (pooled storage). */
+    FrameLayout() = default;
+
     FrameLayout(std::uint64_t frame_index, LayoutKind kind,
+                std::uint32_t mab_count, std::uint32_t mab_bytes,
+                bool gradient_mode);
+
+    /**
+     * Reset to the state the equivalent constructor would produce,
+     * keeping the record and dump storage: a recycled layout serves
+     * a new frame with zero heap allocation once its capacity has
+     * grown to the stream's mab count.
+     */
+    void reinit(std::uint64_t frame_index, LayoutKind kind,
                 std::uint32_t mab_count, std::uint32_t mab_bytes,
                 bool gradient_mode);
 
@@ -129,11 +142,18 @@ class FrameLayout
         mach_dump_ = std::move(dump);
     }
 
+    /** Mutable dump for in-place building (keeps pooled capacity). */
+    std::vector<std::pair<std::uint32_t, Addr>> &
+    machDumpMutable()
+    {
+        return mach_dump_;
+    }
+
   private:
-    std::uint64_t frame_index_;
-    LayoutKind kind_;
-    std::uint32_t mab_bytes_;
-    bool gradient_mode_;
+    std::uint64_t frame_index_ = 0;
+    LayoutKind kind_ = LayoutKind::kLinear;
+    std::uint32_t mab_bytes_ = 0;
+    bool gradient_mode_ = false;
     std::vector<MabRecord> records_;
     Addr meta_base_ = 0;
     Addr data_base_ = 0;

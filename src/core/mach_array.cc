@@ -6,6 +6,7 @@
 #include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 #include "sim/stats_registry.hh"
+#include "video/pixel_kernels.hh"
 
 namespace vstream
 {
@@ -13,7 +14,11 @@ namespace vstream
 MachArray::MachArray(const MachConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
-    current_ = std::make_unique<MachCache>(cfg_);
+    ring_.reserve(cfg_.num_machs);
+    ring_.emplace_back(cfg_);
+    // Pre-size the Fig. 9b match tracker so steady-state lookups
+    // never rehash it (see MachConfig::match_track_reserve).
+    match_counts_.reserve(cfg_.match_track_reserve);
     if (cfg_.co_mach) {
         co_mach_ = std::make_unique<CoMach>(cfg_);
     }
@@ -22,14 +27,21 @@ MachArray::MachArray(const MachConfig &cfg) : cfg_(cfg)
 void
 MachArray::beginFrame()
 {
-    if (current_->validCount() > 0 || !history_.empty()) {
-        current_->freeze();
-        history_.push_front(std::move(*current_));
-        while (history_.size() > cfg_.num_machs - 1) {
-            history_.pop_back();
+    if (ring_[cur_].validCount() > 0 || hist_count_ > 0) {
+        ring_[cur_].freeze();
+        if (ring_.size() < cfg_.num_machs) {
+            // vstream:allow(no-hotpath-alloc) warmup-only growth: the
+            // ring reaches num_machs caches within the first frames
+            // and recycles in place forever after
+            ring_.emplace_back(cfg_);
+            cur_ = ring_.size() - 1;
+        } else {
+            cur_ = (cur_ + 1) % ring_.size();
+            ring_[cur_].recycle();
         }
+        const std::uint32_t cap = cfg_.num_machs - 1;
+        hist_count_ = hist_count_ < cap ? hist_count_ + 1 : cap;
     }
-    current_ = std::make_unique<MachCache>(cfg_);
     if (co_mach_) {
         co_mach_->beginFrame();
     }
@@ -57,7 +69,7 @@ MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
     // shows up as an undetected collision.
     bool forged = false;
     if (faults_ != nullptr && have_collider_ &&
-        collider_truth_ != truth &&
+        !blockEqual(collider_truth_, truth) &&
         faults_->shouldInject(FaultClass::kDigestCollision, now)) {
         digest = collider_digest_;
         aux = collider_aux_;
@@ -65,7 +77,7 @@ MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
     }
 
     // Current frame first (intra), then history newest-to-oldest.
-    MachProbe probe = current_->lookup(digest, aux, truth);
+    MachProbe probe = ring_[cur_].lookup(digest, aux, truth);
     if (probe.collision_detected) {
         result.collision_detected = true;
     }
@@ -76,8 +88,9 @@ MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
         result.ptr = probe.ptr;
         result.collision_undetected = probe.collision_undetected;
     } else {
-        std::uint32_t age = 1;
-        for (auto &mach : history_) {
+        const std::size_t size = ring_.size();
+        for (std::uint32_t age = 1; age <= hist_count_; ++age) {
+            MachCache &mach = ring_[(cur_ + size - age) % size];
             probe = mach.lookup(digest, aux, truth);
             if (probe.collision_detected) {
                 result.collision_detected = true;
@@ -90,7 +103,6 @@ MachArray::lookup(std::uint32_t digest, std::uint16_t aux,
                 result.collision_undetected = probe.collision_undetected;
                 break;
             }
-            ++age;
         }
     }
 
@@ -173,19 +185,28 @@ MachArray::insertUnique(std::uint32_t digest, std::uint16_t aux, Addr ptr,
         co_mach_->insert(digest, aux, ptr, truth);
         return;
     }
-    current_->insert(digest, aux, ptr, truth);
+    ring_[cur_].insert(digest, aux, ptr, truth);
 }
 
 const MachCache &
 MachArray::current() const
 {
-    return *current_;
+    return ring_[cur_];
+}
+
+const MachCache &
+MachArray::historyAt(std::uint32_t age) const
+{
+    vs_assert(age >= 1 && age <= hist_count_,
+              "MACH history age out of range: ", age);
+    const std::size_t size = ring_.size();
+    return ring_[(cur_ + size - age) % size];
 }
 
 std::uint64_t
 MachArray::currentDumpBytes() const
 {
-    return current_->dumpBytes();
+    return ring_[cur_].dumpBytes();
 }
 
 std::vector<double>

@@ -14,10 +14,10 @@
 #define VSTREAM_CORE_MACH_ARRAY_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <ostream>
+#include <vector>
 
 #include "core/co_mach.hh"
 #include "core/flat_table.hh"
@@ -139,8 +139,11 @@ class MachArray
     /** The MACH of the frame being decoded. */
     const MachCache &current() const;
 
-    /** Frozen MACHs, newest first. */
-    const std::deque<MachCache> &history() const { return history_; }
+    /** Number of frozen history MACHs currently held. */
+    std::uint32_t historyDepth() const { return hist_count_; }
+
+    /** Frozen MACH @p age frames old (1 = previous frame). */
+    const MachCache &historyAt(std::uint32_t age) const;
 
     /** Metadata image size of the current MACH when dumped. */
     std::uint64_t currentDumpBytes() const;
@@ -176,8 +179,16 @@ class MachArray
   private:
     MachConfig cfg_;
     FlatMap<std::uint32_t, std::uint64_t> match_counts_;
-    std::unique_ptr<MachCache> current_;
-    std::deque<MachCache> history_;
+    /**
+     * Fixed ring of at most num_machs caches: ring_[cur_] is the
+     * frame being decoded and age-a history lives at
+     * (cur_ - a) mod ring_.size().  Advancing a frame recycles the
+     * aged-out cache in place, so frame boundaries perform zero heap
+     * allocation once the ring is full.
+     */
+    std::vector<MachCache> ring_;
+    std::size_t cur_ = 0;
+    std::uint32_t hist_count_ = 0;
     std::unique_ptr<CoMach> co_mach_;
     MachStats stats_;
     FaultInjector *faults_ = nullptr;

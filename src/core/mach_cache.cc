@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "video/pixel_kernels.hh"
 
 namespace vstream
 {
@@ -80,8 +81,8 @@ MachCache::lookup(std::uint32_t digest, std::uint16_t aux,
         probe.hit = true;
         probe.ptr = e.ptr;
         if (truth.size() != truth_stride_ ||
-            std::memcmp(truthAt(set, w), truth.data(),
-                        truth.size()) != 0) {
+            !blockEqual(truthAt(set, w), truth.data(),
+                        truth.size())) {
             // The (possibly 48-bit) tag matched but the content
             // differs: an undetected collision.
             probe.collision_undetected = true;
@@ -129,6 +130,16 @@ MachCache::insert(std::uint32_t digest, std::uint16_t aux, Addr ptr,
         std::memcpy(truthAt(set, way), truth.data(), truth.size());
     }
     repl_.fill(set, way);
+}
+
+void
+MachCache::recycle()
+{
+    for (MachEntry &e : entries_) {
+        e.valid = false;
+    }
+    frozen_ = false;
+    repl_.reset();
 }
 
 std::uint32_t

@@ -86,6 +86,15 @@ class MachCache
     void freeze() { frozen_ = true; }
     bool frozen() const { return frozen_; }
 
+    /**
+     * Return to the freshly constructed state without releasing any
+     * storage: entries invalidated, freeze lifted, replacement state
+     * re-seeded.  The truth arena (whose stride is fixed for a whole
+     * stream) is kept, so recycled frames insert with zero heap
+     * allocation.
+     */
+    void recycle();
+
     /** Number of valid entries. */
     std::uint32_t validCount() const;
 
@@ -95,6 +104,18 @@ class MachCache
 
     /** All valid entries (for the display-side MACH-buffer load). */
     std::vector<const MachEntry *> validEntries() const;
+
+    /** Visit every valid entry in index order without allocating. */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const MachEntry &e : entries_) {
+            if (e.valid) {
+                fn(e);
+            }
+        }
+    }
 
     std::uint32_t sets() const { return sets_; }
     std::uint32_t ways() const { return ways_; }

@@ -11,6 +11,7 @@
 #ifndef VSTREAM_CORE_MACH_CONFIG_HH
 #define VSTREAM_CORE_MACH_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "hash/hasher.hh"
@@ -52,6 +53,15 @@ struct MachConfig
 
     /** Coalescing-buffer size for metadata write combining. */
     std::uint32_t coalesce_bytes = 64;
+
+    /**
+     * Pre-sized capacity of the per-digest match-count table that
+     * feeds the Fig. 9b top-match shares.  Reserving it up front
+     * keeps steady-state serving allocation-free for digest
+     * populations up to this size; larger populations grow the table
+     * geometrically (a handful of rehashes over a whole playback).
+     */
+    std::size_t match_track_reserve = 16384;
 
     // --- power overheads (paper Table 2 / Sec. 6.3) --------------------
     /** 8 KB MACH at the VD. */

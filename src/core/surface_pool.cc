@@ -1,0 +1,30 @@
+#include "core/surface_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace vstream
+{
+
+void
+surfacePoolPanicDoubleRelease(const std::string &name)
+{
+    vs_panic("surface pool '", name,
+             "': release of a surface that is not borrowed "
+             "(double release)");
+}
+
+void
+surfacePoolPanicForeign(const std::string &name)
+{
+    vs_panic("surface pool '", name,
+             "': release of a surface this pool does not own");
+}
+
+void
+surfacePoolPanicExhausted(const std::string &name, std::size_t max_live)
+{
+    vs_panic("surface pool '", name, "' exhausted: max_live=",
+             max_live, " surfaces already borrowed");
+}
+
+} // namespace vstream

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Recycled surface allocator for the zero-alloc serving hot path.
+ *
+ * Modeled on the surface_pool/videoframe_allocator shape of hardware
+ * video stacks: a fixed set of heavy surfaces (frame-buffer slots,
+ * frame layouts, scratch frames) is constructed during warmup and
+ * borrowed/returned forever after, so steady-state serving performs
+ * zero heap allocation.  The pool is *slot-stable*: surfaces are
+ * never moved or destroyed once constructed, so borrowed references
+ * stay valid for the surface's whole borrow (FrameBufferManager hands
+ * BufferSlot references across the decode pipeline).
+ *
+ * Acquisition order is deterministic and load-bearing: acquire()
+ * always returns the lowest-indexed free surface, which preserves the
+ * first-free slot-selection order the frame-buffer manager's DRAM
+ * address assignment (and therefore simulation output) depends on.
+ *
+ * Discipline violations are programming errors and panic:
+ * double-release, releasing a surface the pool does not own, and
+ * exceeding an optional max_live bound.
+ */
+
+#ifndef VSTREAM_CORE_SURFACE_POOL_HH
+#define VSTREAM_CORE_SURFACE_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace vstream
+{
+
+/** Aggregate pool counters (warmup vs steady-state visibility). */
+struct SurfacePoolStats
+{
+    /** Total acquire() calls. */
+    std::uint64_t acquires = 0;
+    /** Acquires served by recycling a free surface (no construction). */
+    std::uint64_t recycles = 0;
+    /** Surfaces ever constructed (== allocated()). */
+    std::uint64_t constructed = 0;
+    /** Total release() calls. */
+    std::uint64_t releases = 0;
+    /** Surfaces currently borrowed. */
+    std::size_t live = 0;
+    /** High-water mark of simultaneous borrows. */
+    std::size_t peak_live = 0;
+};
+
+/** Panic helpers shared by every instantiation (surface_pool.cc). */
+[[noreturn]] void surfacePoolPanicDoubleRelease(const std::string &name);
+[[noreturn]] void surfacePoolPanicForeign(const std::string &name);
+[[noreturn]] void surfacePoolPanicExhausted(const std::string &name,
+                                            std::size_t max_live);
+
+/** Slot-stable borrow pool of recycled surfaces; see file comment. */
+template <typename Surface>
+class SurfacePool
+{
+  public:
+    /**
+     * @param name     diagnostic name used in panic messages
+     * @param max_live optional bound on simultaneous borrows
+     *                 (0 = unbounded); exceeding it panics
+     */
+    explicit SurfacePool(std::string name, std::size_t max_live = 0)
+        : name_(std::move(name)), max_live_(max_live)
+    {
+    }
+
+    /**
+     * Borrow the lowest-indexed free surface; when none is free,
+     * construct a new one with @p make (called only on growth, so
+     * construction side effects - DRAM region allocation, capacity
+     * reservation - happen exactly once per surface).  Recycled
+     * surfaces are returned as-is; the caller reinitialises logical
+     * state and keeps the storage.
+     */
+    template <typename Make>
+    Surface &
+    acquire(Make &&make)
+    {
+        ++stats_.acquires;
+        for (Entry &e : entries_) {
+            if (!e.live) {
+                e.live = true;
+                ++stats_.recycles;
+                noteBorrow();
+                return e.surface;
+            }
+        }
+        if (max_live_ != 0 && stats_.live >= max_live_) {
+            surfacePoolPanicExhausted(name_, max_live_);
+        }
+        // vstream:allow(no-hotpath-alloc) pool growth is the one
+        // place surfaces are built; steady state always recycles
+        entries_.push_back(Entry{make(), true});
+        ++stats_.constructed;
+        noteBorrow();
+        return entries_.back().surface;
+    }
+
+    /** Borrow with default construction on growth. */
+    Surface &
+    acquire()
+    {
+        return acquire([] { return Surface{}; });
+    }
+
+    /**
+     * Return a borrowed surface.  Panics on double release and on
+     * surfaces the pool never constructed.
+     */
+    void
+    release(Surface &s)
+    {
+        for (Entry &e : entries_) {
+            if (&e.surface != &s) {
+                continue;
+            }
+            if (!e.live) {
+                surfacePoolPanicDoubleRelease(name_);
+            }
+            e.live = false;
+            ++stats_.releases;
+            --stats_.live;
+            return;
+        }
+        surfacePoolPanicForeign(name_);
+    }
+
+    /** Surfaces ever constructed (slot-stable: never shrinks). */
+    std::size_t allocated() const { return entries_.size(); }
+
+    /** Surface at index @p i (constructed order; stable). */
+    Surface &at(std::size_t i) { return entries_[i].surface; }
+    const Surface &at(std::size_t i) const
+    {
+        return entries_[i].surface;
+    }
+
+    /** True when the surface at index @p i is currently borrowed. */
+    bool liveAt(std::size_t i) const { return entries_[i].live; }
+
+    const SurfacePoolStats &stats() const { return stats_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        Surface surface;
+        bool live = false;
+    };
+
+    void
+    noteBorrow()
+    {
+        ++stats_.live;
+        if (stats_.live > stats_.peak_live) {
+            stats_.peak_live = stats_.live;
+        }
+    }
+
+    std::string name_;
+    std::size_t max_live_;
+    /** Deque: growth must not invalidate borrowed references. */
+    std::deque<Entry> entries_;
+    SurfacePoolStats stats_;
+};
+
+} // namespace vstream
+
+#endif // VSTREAM_CORE_SURFACE_POOL_HH

@@ -1,10 +1,11 @@
 #include "core/video_pipeline.hh"
 
 #include <algorithm>
-#include <deque>
 #include <memory>
 #include <utility>
+#include <vector>
 
+#include "core/surface_pool.hh"
 #include "decoder/video_decoder.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault_injector.hh"
@@ -41,6 +42,47 @@ VideoPipeline::VideoPipeline(PipelineConfig cfg) : cfg_(std::move(cfg))
 
 VideoPipeline::~VideoPipeline() = default;
 
+/**
+ * Fixed-capacity FIFO of frame indices backed by a vector ring.  The
+ * live-slot window is bounded by pool_cap, so unlike a deque it never
+ * churns allocator nodes in steady state.
+ */
+struct LiveSlotRing
+{
+    std::vector<std::uint64_t> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+
+    void init(std::size_t cap) { buf.assign(cap, 0); }
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::uint64_t front() const { return buf[head]; }
+    std::uint64_t back() const
+    {
+        return buf[(head + count - 1) % buf.size()];
+    }
+    std::uint64_t operator[](std::size_t i) const
+    {
+        return buf[(head + i) % buf.size()];
+    }
+
+    void
+    push_back(std::uint64_t v)
+    {
+        vs_assert(count < buf.size(), "live-slot ring overflow");
+        buf[(head + count) % buf.size()] = v;
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        vs_assert(count > 0, "pop from empty live-slot ring");
+        head = (head + 1) % buf.size();
+        --count;
+    }
+};
+
 /** Mutable state of one playback simulation. */
 struct Playback
 {
@@ -69,11 +111,17 @@ struct Playback
     std::uint32_t pool_cap;
     bool baseline_pacing;
 
-    // Decode bookkeeping.
+    // Decode bookkeeping.  Layouts are borrowed from a recycled pool
+    // sized by the live-slot window, so steady-state decode performs
+    // no layout allocation; a recycled frame's pointer goes null.
     std::vector<Tick> finishes;
-    std::vector<FrameLayout> layouts;
+    SurfacePool<FrameLayout> layout_pool{"pipeline.layouts"};
+    std::vector<FrameLayout *> layouts;
+    /** Recycled scratch the generator writes each frame into, so
+     * steady-state decode allocates no frame storage. */
+    Frame frame_scratch;
     std::vector<BufferSlot *> slot_of;
-    std::deque<std::uint64_t> live_slots;
+    LiveSlotRing live_slots;
     Tick decoder_free = 0;
     std::uint32_t decoded = 0;
     // Vsync-loop state (lives here so the stepwise interface can
@@ -162,6 +210,9 @@ struct Playback
         finishes.assign(frames, maxTick);
         slot_of.assign(frames, nullptr);
         layouts.reserve(frames);
+        live_slots.init(pool_cap);
+        frame_exec_ms.reserve(frames);
+        frame_slack_ms.reserve(frames);
         result.frame_records.resize(frames);
         result.video_key = c.profile.key;
         result.scheme = c.scheme.scheme;
@@ -339,15 +390,14 @@ struct Playback
         }
     }
 
-    /** Drop the record payload of a recycled frame's layout (bounds
-     * host memory on long runs; the frame can no longer be shown). */
+    /** Return a recycled frame's layout to the pool (bounds host
+     * memory on long runs; the frame can no longer be shown). */
     void
     dropLayoutPayload(std::uint64_t j)
     {
-        if (j < layouts.size()) {
-            layouts[j] = FrameLayout(j, layouts[j].kind(), 0,
-                                     layouts[j].mabBytes(),
-                                     layouts[j].gradientMode());
+        if (j < layouts.size() && layouts[j] != nullptr) {
+            layout_pool.release(*layouts[j]);
+            layouts[j] = nullptr;
         }
     }
 
@@ -370,7 +420,8 @@ struct Playback
             live_slots.pop_front();
         }
 
-        const Frame frame = video.nextFrame();
+        video.nextFrameInto(frame_scratch);
+        const Frame &frame = frame_scratch;
         BufferSlot &slot = fbm.acquire(i);
         slot_of[i] = &slot;
         live_slots.push_back(i);
@@ -389,9 +440,11 @@ struct Playback
                                  : VdFrequency::kHigh);
         }
 
+        FrameLayout &layout = layout_pool.acquire();
         const FrameDecodeResult r =
-            vd.decodeFrame(frame, *wb, slot, prev, start);
-        layouts.push_back(wb->finishFrame(r.finish));
+            vd.decodeFrame(frame, *wb, slot, prev, start, layout);
+        wb->finishFrame(r.finish);
+        layouts.push_back(&layout);
 
         if (cfg.scheme.dvfs_slack) {
             const double low_equiv_s =
@@ -627,8 +680,12 @@ VideoPipeline::stepVsync()
             shown + 2 + static_cast<std::int64_t>(p.window) <=
             static_cast<std::int64_t>(v);
         if (!stale) {
+            FrameLayout *shown_layout =
+                p.layouts[static_cast<std::size_t>(shown)];
+            vs_assert(shown_layout != nullptr,
+                      "scan-out of a recycled layout");
             const ScanStats scan = p.dc.scanOut(
-                p.layouts[static_cast<std::size_t>(shown)], now,
+                *shown_layout, now,
                 shown != static_cast<std::int64_t>(v));
             if (cfg_.verify_display && !scan.verified) {
                 p.result.all_verified = false;

@@ -1,6 +1,7 @@
 #include "core/writeback_stage.hh"
 
 #include "core/dcc.hh"
+#include "hash/hasher.hh"
 #include "sim/logging.hh"
 
 namespace vstream
@@ -32,12 +33,14 @@ LinearWriteback::LinearWriteback(MemorySystem &mem, FrameBufferManager &fbm)
 }
 
 void
-LinearWriteback::beginFrame(const Frame &frame, BufferSlot &slot, Tick now)
+LinearWriteback::beginFrame(const Frame &frame, BufferSlot &slot, Tick now,
+                            FrameLayout &layout)
 {
     slot_ = &slot;
     mab_bytes_ = frame.mab(0).sizeBytes();
-    layout_.emplace(frame.index(), LayoutKind::kLinear, frame.mabCount(),
-                    mab_bytes_, /*gradient_mode=*/false);
+    layout.reinit(frame.index(), LayoutKind::kLinear, frame.mabCount(),
+                  mab_bytes_, /*gradient_mode=*/false);
+    layout_ = &layout;
     layout_->setDataBase(slot.data_base);
     layout_->setMetaBase(slot.meta_base);
     layout_->setSourceChecksum(frame.contentChecksum());
@@ -50,7 +53,7 @@ void
 LinearWriteback::writeMab(const Macroblock &mab, std::uint32_t idx,
                           Tick now)
 {
-    vs_assert(layout_.has_value(), "writeMab outside a frame");
+    vs_assert(layout_ != nullptr, "writeMab outside a frame");
     const Addr addr =
         slot_->data_base + static_cast<Addr>(idx) * mab_bytes_;
     fbm_.storeBlock(addr, mab.bytes());
@@ -67,19 +70,17 @@ LinearWriteback::writeMab(const Macroblock &mab, std::uint32_t idx,
     last_tick_ = now;
 }
 
-FrameLayout
+void
 LinearWriteback::finishFrame(Tick now)
 {
-    vs_assert(layout_.has_value(), "finishFrame outside a frame");
+    vs_assert(layout_ != nullptr, "finishFrame outside a frame");
     data_buf_.flush(now);
     layout_->setDataBytes(static_cast<std::uint64_t>(
                               layout_->mabCount()) *
                           mab_bytes_);
     layout_->setMetaBytes(0);
-    FrameLayout out = std::move(*layout_);
-    layout_.reset();
+    layout_ = nullptr;
     slot_ = nullptr;
-    return out;
 }
 
 // ---------------------------------------------------------------------
@@ -112,13 +113,15 @@ MachWriteback::MachWriteback(MemorySystem &mem, FrameBufferManager &fbm,
 }
 
 void
-MachWriteback::beginFrame(const Frame &frame, BufferSlot &slot, Tick now)
+MachWriteback::beginFrame(const Frame &frame, BufferSlot &slot, Tick now,
+                          FrameLayout &layout)
 {
     slot_ = &slot;
     mab_bytes_ = frame.mab(0).sizeBytes();
     machs_.beginFrame();
-    layout_.emplace(frame.index(), layout_kind_, frame.mabCount(),
-                    mab_bytes_, machs_.config().use_gradient);
+    layout.reinit(frame.index(), layout_kind_, frame.mabCount(),
+                  mab_bytes_, machs_.config().use_gradient);
+    layout_ = &layout;
     layout_->setDataBase(slot.data_base);
     layout_->setMetaBase(slot.meta_base);
     layout_->setMachDumpBase(slot.mach_dump_base);
@@ -134,25 +137,55 @@ MachWriteback::beginFrame(const Frame &frame, BufferSlot &slot, Tick now)
     frame_data_bytes_ = 0;
     frame_meta_bytes_ = 0;
     last_tick_ = now;
+
+    // Whole-frame precompute: run the gab transform over every mab,
+    // then digest all blocks in one batched dispatch call instead of
+    // re-entering the hash kernel per mab.  The scratch vectors size
+    // themselves on the first frame (the mab count is fixed for a
+    // stream) and are reused allocation-free afterwards.
+    const MachConfig &cfg = machs_.config();
+    const bool gab_mode = cfg.use_gradient;
+    const std::uint32_t count = frame.mabCount();
+    frame_ = &frame;
+    // vstream:allow(no-hotpath-alloc) first-frame sizing only; every
+    // later resize is a no-op at the stream's fixed mab count
+    gabs_.resize(gab_mode ? count : 0);
+    block_ptrs_.resize(count);
+    digests_.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (gab_mode) {
+            frame.mab(i).gradientInto(gabs_[i]);
+            block_ptrs_[i] = gabs_[i].bytes().data();
+        } else {
+            block_ptrs_[i] = frame.mab(i).bytes().data();
+        }
+    }
+    digest32Batch(cfg.hash, block_ptrs_.data(), mab_bytes_, count,
+                  digests_.data());
+    if (cfg.co_mach) {
+        auxes_.resize(count);
+        auxDigest16Batch(block_ptrs_.data(), mab_bytes_, count,
+                         auxes_.data());
+    }
 }
 
 // vstream:hot
 void
 MachWriteback::writeMab(const Macroblock &mab, std::uint32_t idx, Tick now)
 {
-    vs_assert(layout_.has_value(), "writeMab outside a frame");
+    vs_assert(layout_ != nullptr, "writeMab outside a frame");
+    vs_assert(frame_ != nullptr && idx < frame_->mabCount() &&
+                  &mab == &frame_->mab(idx),
+              "writeMab must walk the frame given to beginFrame");
     const MachConfig &cfg = machs_.config();
     const bool gab_mode = cfg.use_gradient;
 
     // Representation stored in memory: the gab in gradient mode.
-    // The scratch block is reused across mabs, so the per-mab copy
-    // the old `Macroblock repr = mab.gradient()` paid is gone.
-    if (gab_mode) {
-        mab.gradientInto(gab_scratch_);
-    }
-    const Macroblock &repr = gab_mode ? gab_scratch_ : mab;
-    const std::uint32_t digest = repr.digest(cfg.hash);
-    const std::uint16_t aux = cfg.co_mach ? repr.auxDigest() : 0;
+    // Both the gab bytes and the digests were precomputed for the
+    // whole frame by beginFrame()'s batched pass.
+    const Macroblock &repr = gab_mode ? gabs_[idx] : mab;
+    const std::uint32_t digest = digests_[idx];
+    const std::uint16_t aux = cfg.co_mach ? auxes_[idx] : 0;
 
     MabRecord &rec = layout_->record(idx);
     rec.digest = digest;
@@ -225,10 +258,10 @@ MachWriteback::writeMab(const Macroblock &mab, std::uint32_t idx, Tick now)
     last_tick_ = now;
 }
 
-FrameLayout
+void
 MachWriteback::finishFrame(Tick now)
 {
-    vs_assert(layout_.has_value(), "finishFrame outside a frame");
+    vs_assert(layout_ != nullptr, "finishFrame outside a frame");
     const MachConfig &cfg = machs_.config();
 
     data_buf_.flush(now);
@@ -245,11 +278,19 @@ MachWriteback::finishFrame(Tick now)
         ++totals_.dram_write_requests;
         frame_meta_bytes_ += bitmap_bytes;
 
-        // Dump the frozen MACH image for the display's MACH buffer.
-        std::vector<std::pair<std::uint32_t, Addr>> dump;
-        for (const MachEntry *e : machs_.current().validEntries()) {
-            dump.emplace_back(e->digest, e->ptr);
-        }
+        // Dump the frozen MACH image for the display's MACH buffer,
+        // built in place so a recycled layout reuses its capacity.
+        // A dump never exceeds the MACH's entry count, so reserving
+        // that bound up front makes the growth warmup-only instead of
+        // chasing the largest dump seen so far.
+        auto &dump = layout_->machDumpMutable();
+        // vstream:allow(no-hotpath-alloc) bounded one-time reserve:
+        // no-op once the recycled layout has reached cfg.entries
+        dump.reserve(cfg.entries);
+        dump.clear();
+        machs_.current().forEachValid([&](const MachEntry &e) {
+            dump.emplace_back(e.digest, e.ptr);
+        });
         const std::uint64_t dump_bytes =
             dump.size() * (cfg.digest_bytes + cfg.pointer_bytes);
         if (dump_bytes > 0) {
@@ -258,7 +299,6 @@ MachWriteback::finishFrame(Tick now)
                        Requester::kVideoDecoder, now);
             ++totals_.dram_write_requests;
         }
-        layout_->setMachDump(std::move(dump));
         layout_->setMachDumpBytes(dump_bytes);
         totals_.dump_bytes += dump_bytes;
     }
@@ -267,10 +307,9 @@ MachWriteback::finishFrame(Tick now)
     layout_->setDataBytes(frame_data_bytes_);
     layout_->setMetaBytes(frame_meta_bytes_);
 
-    FrameLayout out = std::move(*layout_);
-    layout_.reset();
+    layout_ = nullptr;
     slot_ = nullptr;
-    return out;
+    frame_ = nullptr;
 }
 
 } // namespace vstream

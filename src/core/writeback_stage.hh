@@ -16,8 +16,7 @@
 #define VSTREAM_CORE_WRITEBACK_STAGE_HH
 
 #include <cstdint>
-#include <memory>
-#include <optional>
+#include <vector>
 
 #include "core/coalescing_buffer.hh"
 #include "core/frame_buffer_manager.hh"
@@ -65,16 +64,22 @@ class WritebackStage
   public:
     virtual ~WritebackStage() = default;
 
-    /** Begin writing @p frame into @p slot. */
+    /**
+     * Begin writing @p frame into @p slot.
+     *
+     * @param layout caller-owned (typically pooled) storage the stage
+     *               reinitialises and fills in place; it must outlive
+     *               the matching finishFrame().
+     */
     virtual void beginFrame(const Frame &frame, BufferSlot &slot,
-                            Tick now) = 0;
+                            Tick now, FrameLayout &layout) = 0;
 
     /** Write mab @p idx of the current frame (posted; no stall). */
     virtual void writeMab(const Macroblock &mab, std::uint32_t idx,
                           Tick now) = 0;
 
-    /** Finish the frame; returns its layout for the display. */
-    virtual FrameLayout finishFrame(Tick now) = 0;
+    /** Finish the frame, finalising the layout given to beginFrame(). */
+    virtual void finishFrame(Tick now) = 0;
 
     const WritebackTotals &totals() const { return totals_; }
 
@@ -88,17 +93,17 @@ class LinearWriteback : public WritebackStage
   public:
     LinearWriteback(MemorySystem &mem, FrameBufferManager &fbm);
 
-    void beginFrame(const Frame &frame, BufferSlot &slot,
-                    Tick now) override;
+    void beginFrame(const Frame &frame, BufferSlot &slot, Tick now,
+                    FrameLayout &layout) override;
     void writeMab(const Macroblock &mab, std::uint32_t idx,
                   Tick now) override;
-    FrameLayout finishFrame(Tick now) override;
+    void finishFrame(Tick now) override;
 
   private:
     MemorySystem &mem_;
     FrameBufferManager &fbm_;
     CoalescingBuffer data_buf_;
-    std::optional<FrameLayout> layout_;
+    FrameLayout *layout_ = nullptr;
     BufferSlot *slot_ = nullptr;
     std::uint32_t mab_bytes_ = 0;
     Tick last_tick_ = 0;
@@ -117,11 +122,11 @@ class MachWriteback : public WritebackStage
                   MachArray &machs, LayoutKind layout_kind,
                   bool use_dcc = false);
 
-    void beginFrame(const Frame &frame, BufferSlot &slot,
-                    Tick now) override;
+    void beginFrame(const Frame &frame, BufferSlot &slot, Tick now,
+                    FrameLayout &layout) override;
     void writeMab(const Macroblock &mab, std::uint32_t idx,
                   Tick now) override;
-    FrameLayout finishFrame(Tick now) override;
+    void finishFrame(Tick now) override;
 
     MachArray &machs() { return machs_; }
 
@@ -136,14 +141,24 @@ class MachWriteback : public WritebackStage
     CoalescingBuffer meta_buf_;
     CoalescingBuffer base_buf_;
 
-    std::optional<FrameLayout> layout_;
+    FrameLayout *layout_ = nullptr;
     BufferSlot *slot_ = nullptr;
     std::uint32_t mab_bytes_ = 0;
     std::uint64_t frame_data_bytes_ = 0;
     std::uint64_t frame_meta_bytes_ = 0;
     Tick last_tick_ = 0;
-    /** Reused gradient-block storage for writeMab (gab mode). */
-    Macroblock gab_scratch_;
+
+    /**
+     * Whole-frame precompute, filled by beginFrame() and consumed by
+     * writeMab(idx): the gab transform of every mab plus all primary
+     * (and, with CO-MACH, auxiliary) digests from one batched
+     * dispatch call.  All storage is reused across frames.
+     */
+    const Frame *frame_ = nullptr;
+    std::vector<Macroblock> gabs_;
+    std::vector<const std::uint8_t *> block_ptrs_;
+    std::vector<std::uint32_t> digests_;
+    std::vector<std::uint16_t> auxes_;
 };
 
 } // namespace vstream

@@ -33,8 +33,9 @@ VideoDecoder::readThroughCache(Addr addr, std::uint32_t size, Tick now,
     const Addr lo = addr / pf * pf;
     const Addr hi = (addr + size + pf - 1) / pf * pf;
 
-    const CacheAccessSummary s = cache_->access(
-        lo, static_cast<std::uint32_t>(hi - lo), MemOp::kRead);
+    CacheAccessSummary &s = access_scratch_;
+    cache_->accessInto(lo, static_cast<std::uint32_t>(hi - lo),
+                       MemOp::kRead, s);
     Tick t = now;
     for (Addr fill : s.fills) {
         const MemResult r = mem_.read(fill, cfg_.cache.line_bytes,
@@ -83,7 +84,7 @@ VideoDecoder::readReference(const BufferSlot &prev, std::uint32_t idx,
 FrameDecodeResult
 VideoDecoder::decodeFrame(const Frame &frame, WritebackStage &wb,
                           BufferSlot &slot, const BufferSlot *prev_slot,
-                          Tick start)
+                          Tick start, FrameLayout &layout)
 {
     FrameDecodeResult result;
     result.start = start;
@@ -101,7 +102,7 @@ VideoDecoder::decodeFrame(const Frame &frame, WritebackStage &wb,
     // occupant.
     cache_->invalidateRange(slot.data_base, slot.data_capacity);
 
-    wb.beginFrame(frame, slot, start);
+    wb.beginFrame(frame, slot, start, layout);
 
     const double hz = cfg_.power.frequencyHz(freq_);
     const std::uint32_t mab_count = frame.mabCount();

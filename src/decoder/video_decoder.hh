@@ -63,10 +63,13 @@ class VideoDecoder : public SimObject
      * @param slot      this frame's buffer
      * @param prev_slot previous frame's buffer (MC references), may
      *                  be null for the first/I frames
+     * @param layout    caller-owned (pooled) layout storage the
+     *                  writeback stage fills in place
      */
     FrameDecodeResult decodeFrame(const Frame &frame, WritebackStage &wb,
                                   BufferSlot &slot,
-                                  const BufferSlot *prev_slot, Tick start);
+                                  const BufferSlot *prev_slot, Tick start,
+                                  FrameLayout &layout);
 
     SetAssocCache &cache() { return *cache_; }
     const DecodeCostModel &costModel() const { return cost_; }
@@ -98,6 +101,10 @@ class VideoDecoder : public SimObject
 
     Addr encoded_region_ = 0;
     std::uint64_t encoded_cursor_ = 0;
+
+    /** Reused cache-access scratch: readThroughCache runs per mab
+     * and must not construct fresh summary vectors each call. */
+    CacheAccessSummary access_scratch_;
 
     std::uint64_t frames_decoded_ = 0;
 };

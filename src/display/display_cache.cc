@@ -15,6 +15,15 @@ DisplayCache::access(Addr addr, std::uint32_t size)
     return s.fills;
 }
 
+// vstream:hot
+const std::vector<Addr> &
+DisplayCache::accessInto(Addr addr, std::uint32_t size,
+                         CacheAccessSummary &scratch)
+{
+    cache_->accessInto(addr, size, MemOp::kRead, scratch);
+    return scratch.fills;
+}
+
 std::uint32_t
 DisplayCache::lineSpan(Addr addr, std::uint32_t size) const
 {

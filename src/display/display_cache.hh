@@ -32,6 +32,15 @@ class DisplayCache
      */
     std::vector<Addr> access(Addr addr, std::uint32_t size);
 
+    /**
+     * Zero-alloc variant of access(): the missing line addresses land
+     * in @p scratch.fills (cleared and reused).
+     *
+     * @return scratch.fills, for convenience.
+     */
+    const std::vector<Addr> &accessInto(Addr addr, std::uint32_t size,
+                                        CacheAccessSummary &scratch);
+
     /** Number of lines [addr, addr+size) spans. */
     std::uint32_t lineSpan(Addr addr, std::uint32_t size) const;
 

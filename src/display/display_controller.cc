@@ -60,7 +60,8 @@ DisplayController::fetchBlock(Addr addr, std::uint32_t size, Tick now,
     }
 
     if (display_cache_) {
-        const std::vector<Addr> fills = display_cache_->access(addr, size);
+        const std::vector<Addr> &fills =
+            display_cache_->accessInto(addr, size, access_scratch_);
         stats.display_cache_hits += span - fills.size();
         stats.display_cache_misses += fills.size();
         for (Addr line : fills) {
@@ -100,8 +101,8 @@ DisplayController::resolveDigestMiss(const FrameLayout &layout,
     ++stats.dram_requests;
     stats.bytes_read += 64;
 
-    for (const auto &dump : dumps_) {
-        for (const auto &[d, ptr] : dump) {
+    for (std::size_t k = 0; k < dump_count_; ++k) {
+        for (const auto &[d, ptr] : dumpAt(k)) {
             if (d == digest) {
                 now = fetchBlock(ptr, layout.mabBytes(), now, stats);
                 return fbm_.loadBlock(ptr);
@@ -109,6 +110,41 @@ DisplayController::resolveDigestMiss(const FrameLayout &layout,
         }
     }
     return {};
+}
+
+// vstream:hot
+// vstream:allow(no-hotpath-alloc) warmup-only: ring slots reserved
+// to the per-frame mab bound once, then recycled allocation-free
+void
+DisplayController::pushDump(const MachDumpVec &dump,
+                            std::size_t cap_hint)
+{
+    const std::size_t cap = cfg_.mach_window;
+    if (cap == 0) {
+        return;
+    }
+    if (dump_ring_.size() < cap && dump_next_ == dump_ring_.size()) {
+        dump_ring_.push_back(dump);
+        // A dump lists at most one entry per mab of the frame, so
+        // reserving the mab count makes every later recycle of this
+        // slot allocation-free no matter how dump sizes vary.
+        dump_ring_.back().reserve(cap_hint);
+        dump_next_ = dump_ring_.size() % cap;
+    } else {
+        MachDumpVec &slot = dump_ring_[dump_next_];
+        slot.reserve(cap_hint);
+        slot.assign(dump.begin(), dump.end());
+        dump_next_ = (dump_next_ + 1) % cap;
+    }
+    dump_count_ = std::min(dump_count_ + 1, cap);
+}
+
+const DisplayController::MachDumpVec &
+DisplayController::dumpAt(std::size_t i) const
+{
+    vs_assert(i < dump_count_, "dump ring index out of range");
+    const std::size_t cap = cfg_.mach_window;
+    return dump_ring_[(dump_next_ + cap - 1 - i) % cap];
 }
 
 ScanStats
@@ -138,8 +174,10 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
         return stats;
     }
 
-    std::vector<Macroblock> shown;
-    shown.reserve(layout.mabCount());
+    // vstream:allow(no-hotpath-alloc) first-frame sizing only; later
+    // scan-outs reuse the reconstructed-mab scratch storage
+    std::vector<Macroblock> &shown = shown_scratch_;
+    shown.resize(layout.mabCount());
 
     if (layout.kind() == LayoutKind::kLinear) {
         // Baseline: stream the whole decoded frame.
@@ -151,8 +189,8 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
             const StoredBlock stored =
                 fbm_.loadBlock(layout.record(i).data_addr);
             vs_assert(stored, "linear block missing");
-            shown.push_back(FrameReconstructor::rebuildMab(
-                stored, layout.record(i), false));
+            FrameReconstructor::rebuildMabInto(stored, layout.record(i),
+                                               false, shown[i]);
         }
     } else {
         // Metadata stream: pointers/digests (+ bases + bitmap).
@@ -165,15 +203,13 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
             t = streamRead(layout.machDumpBase(), layout.machDumpBytes(),
                            t, stats);
             stats.meta_bytes += layout.machDumpBytes();
-            dumps_.push_front(layout.machDump());
-            while (dumps_.size() > cfg_.mach_window) {
-                dumps_.pop_back();
-            }
+            pushDump(layout.machDump(), layout.mabCount());
         }
 
         // Digests present in this frame's dump: unique blocks worth
         // inserting into the MACH buffer as they stream past.
-        FlatSet<std::uint32_t> dump_digests;
+        FlatSet<std::uint32_t> &dump_digests = dump_digest_scratch_;
+        dump_digests.clear();
         for (const auto &[d, ptr] : layout.machDump()) {
             dump_digests.insert(d);
         }
@@ -216,8 +252,8 @@ DisplayController::scanOut(const FrameLayout &layout, Tick now,
             vs_assert(stored,
                       "display could not locate block for mab ", i,
                       " of frame ", layout.frameIndex());
-            shown.push_back(FrameReconstructor::rebuildMab(
-                stored, rec, layout.gradientMode()));
+            FrameReconstructor::rebuildMabInto(
+                stored, rec, layout.gradientMode(), shown[i]);
         }
     }
 

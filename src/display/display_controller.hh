@@ -15,10 +15,12 @@
 #define VSTREAM_DISPLAY_DISPLAY_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <ostream>
+#include <vector>
 
+#include "cache/set_assoc_cache.hh"
+#include "core/flat_table.hh"
 #include "core/frame_buffer_manager.hh"
 #include "core/framebuffer_layout.hh"
 #include "display/display_cache.hh"
@@ -26,6 +28,7 @@
 #include "display/mach_buffer.hh"
 #include "mem/memory_system.hh"
 #include "sim/sim_object.hh"
+#include "video/macroblock.hh"
 
 namespace vstream
 {
@@ -123,14 +126,36 @@ class DisplayController : public SimObject
                                   std::uint32_t digest, Tick &now,
                                   ScanStats &stats);
 
+    using MachDumpVec = std::vector<std::pair<std::uint32_t, Addr>>;
+
+    /** Copy @p dump into the dump ring as the newest entry. */
+    /** Retire @p dump into the recycled ring; @p cap_hint (the
+     * frame's mab count) bounds any dump size, so ring slots are
+     * reserved once and recycled allocation-free. */
+    void pushDump(const MachDumpVec &dump, std::size_t cap_hint);
+    /** Dump @p i of the ring, 0 = newest. */
+    const MachDumpVec &dumpAt(std::size_t i) const;
+
     MemorySystem &mem_;
     FrameBufferManager &fbm_;
     DisplayConfig cfg_;
     std::unique_ptr<DisplayCache> display_cache_;
     std::unique_ptr<MachBuffer> mach_buffer_;
 
-    /** MACH dumps of recent frames (digest -> ptr), newest first. */
-    std::deque<std::vector<std::pair<std::uint32_t, Addr>>> dumps_;
+    /**
+     * MACH dumps of recent frames (digest -> ptr).  A recycled ring
+     * of cfg_.mach_window slots refreshed by copy-assignment (which
+     * reuses each slot's capacity), so the steady-state scan-out
+     * keeps no per-frame dump allocation.
+     */
+    std::vector<MachDumpVec> dump_ring_;
+    std::size_t dump_next_ = 0;
+    std::size_t dump_count_ = 0;
+
+    // Scratch reused across scan-outs (zero-alloc steady state).
+    std::vector<Macroblock> shown_scratch_;
+    FlatSet<std::uint32_t> dump_digest_scratch_;
+    CacheAccessSummary access_scratch_;
 
     /** Checksum of the frame currently on the panel (transaction
      * elimination); ~0 when nothing has been shown yet. */

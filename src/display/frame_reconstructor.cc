@@ -20,6 +20,17 @@ Macroblock
 FrameReconstructor::rebuildMab(const StoredBlock &stored,
                                const MabRecord &rec, bool gradient_mode)
 {
+    Macroblock out(1);
+    rebuildMabInto(stored, rec, gradient_mode, out);
+    return out;
+}
+
+// vstream:hot
+void
+FrameReconstructor::rebuildMabInto(const StoredBlock &stored,
+                                   const MabRecord &rec,
+                                   bool gradient_mode, Macroblock &out)
+{
     // Infer the block dimension from the stored byte count.
     std::uint32_t dim = 1;
     while (static_cast<std::size_t>(dim) * dim * kBytesPerPixel <
@@ -30,11 +41,10 @@ FrameReconstructor::rebuildMab(const StoredBlock &stored,
                   stored.size,
               "stored block is not a square pixel block");
 
-    Macroblock block(dim, stored.toVector());
-    if (!gradient_mode) {
-        return block;
+    out.assignBytes(dim, stored.data, stored.size);
+    if (gradient_mode) {
+        out.addBase(rec.base);
     }
-    return Macroblock::fromGradient(block, rec.base);
 }
 
 std::uint32_t

@@ -42,6 +42,14 @@ class FrameReconstructor
                                  bool gradient_mode);
 
     /**
+     * Zero-alloc variant: rebuild into @p out, reusing its storage —
+     * the per-mab workhorse of DisplayController::scanOut.
+     */
+    static void rebuildMabInto(const StoredBlock &stored,
+                               const MabRecord &rec, bool gradient_mode,
+                               Macroblock &out);
+
+    /**
      * Checksum a sequence of reconstructed mabs (same CRC the decoder
      * used on the source frame).
      */

@@ -65,6 +65,23 @@ std::uint32_t crc32Step(CrcKernel k, std::uint32_t state,
 std::uint16_t crc16Step(bool sliced, std::uint16_t state,
                         const void *data, std::size_t len);
 
+/**
+ * Batched CRC32 over @p count equal-length blocks (the whole-frame
+ * digest path): four independent digest states advance in lockstep
+ * through the slicing-by-8 tables, so the per-lookup latency that
+ * serialises a single short-block CRC is hidden behind instruction-
+ * level parallelism across blocks.  Each out[i] is bit-identical to
+ * Crc32::compute(blocks[i], block_len).
+ */
+void crc32Batch(const std::uint8_t *const *blocks,
+                std::size_t block_len, std::size_t count,
+                std::uint32_t *out);
+
+/** Batched CRC16-CCITT: the slicing-by-2 analogue of crc32Batch. */
+void crc16Batch(const std::uint8_t *const *blocks,
+                std::size_t block_len, std::size_t count,
+                std::uint16_t *out);
+
 /** Incremental CRC32 (IEEE, reflected). */
 class Crc32
 {

@@ -57,4 +57,37 @@ auxDigest16(const void *data, std::size_t len)
     return Crc16::compute(data, len);
 }
 
+// vstream:hot
+void
+digest32Batch(HashKind kind, const std::uint8_t *const *blocks,
+              std::size_t block_len, std::size_t count,
+              std::uint32_t *out)
+{
+    switch (kind) {
+      case HashKind::kCrc32:
+        crc32Batch(blocks, block_len, count, out);
+        return;
+      case HashKind::kMd5:
+        for (std::size_t i = 0; i < count; ++i) {
+            out[i] = Md5::compute32(blocks[i], block_len);
+        }
+        return;
+      case HashKind::kSha1:
+        for (std::size_t i = 0; i < count; ++i) {
+            out[i] = Sha1::compute32(blocks[i], block_len);
+        }
+        return;
+    }
+    vs_panic("unreachable hash kind");
+}
+
+// vstream:hot
+void
+auxDigest16Batch(const std::uint8_t *const *blocks,
+                 std::size_t block_len, std::size_t count,
+                 std::uint16_t *out)
+{
+    crc16Batch(blocks, block_len, count, out);
+}
+
 } // namespace vstream

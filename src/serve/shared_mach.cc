@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "sim/logging.hh"
+#include "video/pixel_kernels.hh"
 
 namespace vstream
 {
@@ -25,7 +26,7 @@ DedupRecorder::observe(std::uint32_t digest, std::uint16_t aux,
     const std::uint64_t key = dedupKey(digest, aux);
     if (const std::uint32_t *idx = index_.find(key)) {
         DedupBlock &b = rec_.blocks[*idx];
-        if (b.truth != truth) {
+        if (!blockEqual(b.truth, truth)) {
             // Organic collision inside one session: two different
             // blocks share a (digest, aux).  Citing either from the
             // shared tier would be a latent false hit, so neither is
@@ -299,7 +300,7 @@ SharedMachTier::publish(std::uint32_t domain, const DedupRecord &rec,
         auto it = d.resident.find(key);
         if (it != d.resident.end() &&
             it->second.epoch == d.stats.epoch) {
-            if (it->second.truth == b.truth) {
+            if (blockEqual(it->second.truth, b.truth)) {
                 // Verified shared hit: every write of this block is
                 // elided from the DRAM accounting.
                 settle.shared_hits += b.writes;

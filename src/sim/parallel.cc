@@ -1,15 +1,21 @@
 #include "sim/parallel.hh"
 
-#include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
-#include <thread>
+#include <utility>
 
 #include "sim/logging.hh"
 
 namespace vstream
 {
+
+namespace
+{
+
+/** Set for the lifetime of a pool worker thread (nested-call guard). */
+thread_local bool t_on_pool_worker = false;
+
+} // namespace
 
 unsigned
 effectiveJobs(unsigned requested, std::size_t n)
@@ -43,52 +49,149 @@ defaultJobs()
         std::getenv("VSTREAM_JOBS")); // NOLINT(concurrency-mt-unsafe)
 }
 
+ThreadPool &
+ThreadPool::instance()
+{
+    // Function-local static: constructed on first threaded call,
+    // destroyed (workers joined) at process exit.
+    static ThreadPool pool;
+    return pool;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_on_pool_worker;
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_) {
+        t.join();
+    }
+}
+
+void
+ThreadPool::drain(const std::function<void(std::size_t)> &fn,
+                  std::size_t n)
+{
+    for (;;) {
+        const std::size_t i =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+            return;
+        }
+        try {
+            fn(i);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (!first_error_) {
+                first_error_ = std::current_exception();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_on_pool_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_) {
+                return;
+            }
+            seen = generation_;
+            fn = fn_;
+            n = n_;
+        }
+        drain(*fn, n);
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (--running_helpers_ == 0) {
+                done_cv_.notify_one();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::run(unsigned workers, std::size_t n,
+                const std::function<void(std::size_t)> &fn)
+{
+    vs_assert(workers >= 2, "threaded run needs >= 2 workers");
+    const std::size_t want_helpers = workers - 1;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        // Grow lazily to the largest helper count ever requested;
+        // existing workers are reused, so steady state spawns zero.
+        while (workers_.size() < want_helpers) {
+            // vstream:allow(no-hotpath-alloc) warmup-only growth;
+            // the spawn counter pins that steady state adds none
+            workers_.emplace_back([this] { workerLoop(); });
+            spawned_.fetch_add(1, std::memory_order_relaxed);
+            alive_.fetch_add(1, std::memory_order_relaxed);
+        }
+        fn_ = &fn;
+        n_ = n;
+        next_.store(0, std::memory_order_relaxed);
+        first_error_ = nullptr;
+        // Every alive worker joins every job: the index counter
+        // hands excess workers an empty claim immediately, and the
+        // full barrier below keeps job state ownership simple.
+        running_helpers_ = workers_.size();
+        ++generation_;
+    }
+    work_cv_.notify_all();
+
+    // The caller is worker zero.  Mark it as a pool worker for the
+    // duration of its drain so a nested parallelFor issued from one
+    // of its units runs inline instead of re-entering run() and
+    // clobbering the in-flight job state.
+    t_on_pool_worker = true;
+    drain(fn, n);
+    t_on_pool_worker = false;
+
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] { return running_helpers_ == 0; });
+        fn_ = nullptr;
+        n_ = 0;
+        err = std::exchange(first_error_, nullptr);
+    }
+    if (err) {
+        std::rethrow_exception(err);
+    }
+}
+
 void
 parallelFor(unsigned jobs, std::size_t n,
             const std::function<void(std::size_t)> &fn)
 {
     vs_assert(fn != nullptr, "parallelFor needs a callable");
     const unsigned workers = effectiveJobs(jobs, n);
-    if (workers == 1) {
+    // Serial path - and nested fan-out from inside a pool worker,
+    // which runs inline so the pool cannot deadlock on itself.
+    if (workers == 1 || ThreadPool::onWorkerThread()) {
         for (std::size_t i = 0; i < n; ++i) {
             fn(i);
         }
         return;
     }
-
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n) {
-                return;
-            }
-            try {
-                fn(i);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) {
-                    first_error = std::current_exception();
-                }
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back(worker);
-    }
-    for (std::thread &t : pool) {
-        t.join();
-    }
-    if (first_error) {
-        std::rethrow_exception(first_error);
-    }
+    ThreadPool::instance().run(workers, n, fn);
 }
 
 } // namespace vstream

@@ -85,6 +85,10 @@ class SampleSeries
     void sample(double v) { samples_.push_back(v); }
     void reset() { samples_.clear(); }
 
+    /** Pre-size for @p n samples (hot loops pre-reserve so sampling
+     * never reallocates mid-run). */
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
     std::uint64_t count() const { return samples_.size(); }
     double total() const;
     double mean() const;

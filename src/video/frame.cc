@@ -1,5 +1,7 @@
 #include "video/frame.hh"
 
+#include <algorithm>
+
 #include "hash/crc.hh"
 #include "sim/logging.hh"
 
@@ -15,6 +17,31 @@ Frame::Frame(std::uint64_t index, FrameType type, std::uint32_t mabs_x,
                MabOrigin::kUnique)
 {
     vs_assert(mabs_x_ > 0 && mabs_y_ > 0, "empty frame");
+}
+
+// vstream:hot
+// vstream:allow(no-hotpath-alloc) geometry changes only on the first
+// call (or a profile switch); the steady-state path reuses storage
+void
+Frame::reinit(std::uint64_t index, FrameType type, std::uint32_t mabs_x,
+              std::uint32_t mabs_y, std::uint32_t mab_dim)
+{
+    vs_assert(mabs_x > 0 && mabs_y > 0, "empty frame");
+    index_ = index;
+    type_ = type;
+    if (mabs_x_ != mabs_x || mabs_y_ != mabs_y || mab_dim_ != mab_dim) {
+        const std::size_t count =
+            static_cast<std::size_t>(mabs_x) * mabs_y;
+        mabs_.assign(count, Macroblock(mab_dim));
+        origins_.assign(count, MabOrigin::kUnique);
+        mabs_x_ = mabs_x;
+        mabs_y_ = mabs_y;
+        mab_dim_ = mab_dim;
+    } else {
+        std::fill(origins_.begin(), origins_.end(), MabOrigin::kUnique);
+    }
+    complexity_ = 1.0;
+    encoded_bytes_ = 0;
 }
 
 std::uint64_t

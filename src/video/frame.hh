@@ -30,8 +30,20 @@ enum class MabOrigin : std::uint8_t
 class Frame
 {
   public:
+    /** Empty shell; call reinit() before use.  Exists so generators
+     * can keep a recycled scratch frame (zero-alloc steady state). */
+    Frame() = default;
+
     Frame(std::uint64_t index, FrameType type, std::uint32_t mabs_x,
           std::uint32_t mabs_y, std::uint32_t mab_dim);
+
+    /**
+     * Re-stamp this frame for a new position in the stream, reusing
+     * the macroblock storage when the geometry is unchanged.  Resets
+     * complexity, encoded bytes, and all origins.
+     */
+    void reinit(std::uint64_t index, FrameType type, std::uint32_t mabs_x,
+                std::uint32_t mabs_y, std::uint32_t mab_dim);
 
     std::uint64_t index() const { return index_; }
     FrameType type() const { return type_; }
@@ -65,11 +77,11 @@ class Frame
     std::uint32_t contentChecksum() const;
 
   private:
-    std::uint64_t index_;
-    FrameType type_;
-    std::uint32_t mabs_x_;
-    std::uint32_t mabs_y_;
-    std::uint32_t mab_dim_;
+    std::uint64_t index_ = 0;
+    FrameType type_ = FrameType::kI;
+    std::uint32_t mabs_x_ = 0;
+    std::uint32_t mabs_y_ = 0;
+    std::uint32_t mab_dim_ = 0;
     double complexity_ = 1.0;
     std::uint64_t encoded_bytes_ = 0;
     std::vector<Macroblock> mabs_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "video/pixel_kernels.hh"
 
 namespace vstream
 {
@@ -48,6 +49,28 @@ Macroblock::fill(const Pixel &p)
     }
 }
 
+// vstream:hot
+// vstream:allow(no-hotpath-alloc) assign reuses capacity; it grows
+// only the first time a scratch block sees this dimension
+void
+Macroblock::assignBytes(std::uint32_t dim, const std::uint8_t *data,
+                        std::size_t len)
+{
+    vs_assert(len == static_cast<std::size_t>(dim) * dim * kBytesPerPixel,
+              "macroblock byte count does not match dimension");
+    dim_ = dim;
+    bytes_.assign(data, data + len);
+}
+
+// vstream:hot
+void
+Macroblock::addBase(const Pixel &p)
+{
+    // Exact-alias add: the kernels load each chunk before storing it,
+    // so src == dst is safe.
+    gradientAdd(bytes_.data(), bytes_.data(), bytes_.size(), p);
+}
+
 std::uint32_t
 Macroblock::digest(HashKind kind) const
 {
@@ -76,18 +99,10 @@ Macroblock::gradientInto(Macroblock &out) const
 {
     out.dim_ = dim_;
     out.bytes_.resize(bytes_.size());
-    const Pixel b = base();
-    const std::uint8_t *src = bytes_.data();
-    std::uint8_t *dst = out.bytes_.data();
-    const std::size_t n = bytes_.size();
-    // Single pass, branch-light: one wrap-around subtract per byte
-    // with the channel base cycling r,g,b.
-    for (std::size_t i = 0; i + kBytesPerPixel <= n;
-         i += kBytesPerPixel) {
-        dst[i] = static_cast<std::uint8_t>(src[i] - b.r);
-        dst[i + 1] = static_cast<std::uint8_t>(src[i + 1] - b.g);
-        dst[i + 2] = static_cast<std::uint8_t>(src[i + 2] - b.b);
-    }
+    // One wrap-around subtract per byte with the channel base cycling
+    // r,g,b - dispatched to the startup-selected SIMD kernel.
+    gradientSub(out.bytes_.data(), bytes_.data(), bytes_.size(),
+                base());
 }
 
 std::uint32_t
@@ -100,30 +115,49 @@ Macroblock
 Macroblock::fromGradient(const Macroblock &gab, const Pixel &p)
 {
     Macroblock mab(gab.dim_);
-    for (std::size_t i = 0; i < gab.bytes_.size(); i += kBytesPerPixel) {
-        mab.bytes_[i] = static_cast<std::uint8_t>(gab.bytes_[i] + p.r);
-        mab.bytes_[i + 1] = static_cast<std::uint8_t>(gab.bytes_[i + 1] + p.g);
-        mab.bytes_[i + 2] = static_cast<std::uint8_t>(gab.bytes_[i + 2] + p.b);
-    }
+    fromGradientInto(gab, p, mab);
     return mab;
+}
+
+// vstream:hot
+// vstream:allow(no-hotpath-alloc) sizes caller scratch once; the
+// resize is a no-op on every later frame (callers keep the scratch)
+void
+Macroblock::fromGradientInto(const Macroblock &gab, const Pixel &p,
+                             Macroblock &out)
+{
+    out.dim_ = gab.dim_;
+    out.bytes_.resize(gab.bytes_.size());
+    gradientAdd(out.bytes_.data(), gab.bytes_.data(),
+                gab.bytes_.size(), p);
 }
 
 Macroblock
 Macroblock::shifted(std::uint8_t dr, std::uint8_t dg, std::uint8_t db) const
 {
     Macroblock out(dim_);
-    for (std::size_t i = 0; i < bytes_.size(); i += kBytesPerPixel) {
-        out.bytes_[i] = static_cast<std::uint8_t>(bytes_[i] + dr);
-        out.bytes_[i + 1] = static_cast<std::uint8_t>(bytes_[i + 1] + dg);
-        out.bytes_[i + 2] = static_cast<std::uint8_t>(bytes_[i + 2] + db);
-    }
+    gradientAdd(out.bytes_.data(), bytes_.data(), bytes_.size(),
+                Pixel{dr, dg, db});
     return out;
+}
+
+// vstream:hot
+// vstream:allow(no-hotpath-alloc) sizes caller scratch once; the
+// resize is a no-op on every later frame (callers keep the scratch)
+void
+Macroblock::shiftedInto(std::uint8_t dr, std::uint8_t dg, std::uint8_t db,
+                        Macroblock &out) const
+{
+    out.dim_ = dim_;
+    out.bytes_.resize(bytes_.size());
+    gradientAdd(out.bytes_.data(), bytes_.data(), bytes_.size(),
+                Pixel{dr, dg, db});
 }
 
 bool
 Macroblock::operator==(const Macroblock &o) const
 {
-    return dim_ == o.dim_ && bytes_ == o.bytes_;
+    return dim_ == o.dim_ && blockEqual(bytes_, o.bytes_);
 }
 
 } // namespace vstream

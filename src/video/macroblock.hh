@@ -52,6 +52,15 @@ class Macroblock
     /** Fill every pixel with @p p (a "pure colour" block). */
     void fill(const Pixel &p);
 
+    /** Replace the content with @p len raw bytes of a @p dim block,
+     * reusing this block's storage. */
+    void assignBytes(std::uint32_t dim, const std::uint8_t *data,
+                     std::size_t len);
+
+    /** Add @p p to every pixel in place (wrap-around) — the DC's gab
+     * base re-add at scan-out. */
+    void addBase(const Pixel &p);
+
     /** 32-bit content digest under @p kind. */
     std::uint32_t digest(HashKind kind) const;
 
@@ -77,10 +86,24 @@ class Macroblock
     /** Reconstruct a mab from its gradient block and base pixel. */
     static Macroblock fromGradient(const Macroblock &gab, const Pixel &p);
 
+    /**
+     * In-place reconstruction into @p out, reusing its storage — the
+     * scan-out workhorse of FrameReconstructor in GAB mode.
+     */
+    static void fromGradientInto(const Macroblock &gab, const Pixel &p,
+                                 Macroblock &out);
+
     /** Add a constant offset to every pixel (wrap-around); the result
      * has the same gradient block but a different base. */
     Macroblock shifted(std::uint8_t dr, std::uint8_t dg,
                        std::uint8_t db) const;
+
+    /**
+     * In-place variant of shifted(): write into @p out, reusing its
+     * storage.  @p out may alias this block (exact overlap only).
+     */
+    void shiftedInto(std::uint8_t dr, std::uint8_t dg, std::uint8_t db,
+                     Macroblock &out) const;
 
     bool operator==(const Macroblock &o) const;
     bool operator!=(const Macroblock &o) const { return !(*this == o); }

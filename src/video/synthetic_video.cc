@@ -68,7 +68,33 @@ SyntheticVideo::reset()
 {
     rng_.seed(profile_.seed);
     next_index_ = 0;
-    window_.clear();
+    win_next_ = 0;
+    win_size_ = 0;
+}
+
+const Frame &
+SyntheticVideo::windowAt(std::size_t i) const
+{
+    vs_assert(i < win_size_, "window index out of range");
+    const std::size_t cap = profile_.inter_window;
+    return window_ring_[(win_next_ + cap - win_size_ + i) % cap];
+}
+
+// vstream:hot
+// vstream:allow(no-hotpath-alloc) warmup-only growth: the ring fills
+// to inter_window slots once, then recycles them by copy-assignment
+void
+SyntheticVideo::pushWindow(const Frame &frame)
+{
+    const std::size_t cap = profile_.inter_window;
+    if (window_ring_.size() < cap && win_next_ == window_ring_.size()) {
+        window_ring_.push_back(frame);
+        win_next_ = window_ring_.size() % cap;
+    } else {
+        window_ring_[win_next_] = frame;
+        win_next_ = (win_next_ + 1) % cap;
+    }
+    win_size_ = std::min(win_size_ + 1, cap);
 }
 
 Pixel
@@ -90,21 +116,21 @@ SyntheticVideo::paletteColor()
                  static_cast<std::uint8_t>(h >> 16)};
 }
 
-Macroblock
-SyntheticVideo::uniqueMab()
+// vstream:hot
+void
+SyntheticVideo::uniqueMabInto(Macroblock &mab)
 {
-    Macroblock mab(profile_.mab_dim);
     for (auto &byte : mab.bytes()) {
         byte = static_cast<std::uint8_t>(rng_.next());
     }
-    return mab;
 }
 
-Macroblock
-SyntheticVideo::smoothMab()
+// vstream:hot
+void
+SyntheticVideo::smoothMabInto(Macroblock &mab)
 {
     const auto ramp_idx = rng_.uniformInt(0, ramps_.size() - 1);
-    return Macroblock::fromGradient(ramps_[ramp_idx], paletteColor());
+    Macroblock::fromGradientInto(ramps_[ramp_idx], paletteColor(), mab);
 }
 
 std::uint32_t
@@ -124,15 +150,15 @@ SyntheticVideo::intraSource(std::uint32_t i)
 const Macroblock &
 SyntheticVideo::windowMabNear(std::uint32_t i)
 {
-    vs_assert(!window_.empty(), "no window frame to copy from");
+    vs_assert(win_size_ > 0, "no window frame to copy from");
     // Bias toward recent frames: the paper finds matches beyond 16
     // frames are <1%, and most inter matches are near.
     const std::size_t which =
-        window_.size() - 1 -
+        win_size_ - 1 -
         std::min<std::size_t>(static_cast<std::size_t>(
-                                  rng_.burstLength(0.6, window_.size()) - 1),
-                              window_.size() - 1);
-    const Frame &f = window_[which];
+                                  rng_.burstLength(0.6, win_size_) - 1),
+                              win_size_ - 1);
+    const Frame &f = windowAt(which);
 
     // Mostly the co-located block (still content / slow pans), with
     // a small motion offset; occasionally anywhere in the frame.
@@ -152,6 +178,15 @@ SyntheticVideo::windowMabNear(std::uint32_t i)
 Frame
 SyntheticVideo::nextFrame()
 {
+    Frame frame;
+    nextFrameInto(frame);
+    return frame;
+}
+
+// vstream:hot
+void
+SyntheticVideo::nextFrameInto(Frame &out)
+{
     vs_assert(!done(), "video '", profile_.key, "' exhausted");
 
     const GopStructure gop(profile_.gop_pattern);
@@ -160,34 +195,32 @@ SyntheticVideo::nextFrame()
     // Scene cut: clear the copy window so following frames start
     // fresh (drives the I-frame-heavy trailer workloads).
     if (idx > 0 && rng_.chance(profile_.scene_change_rate)) {
-        window_.clear();
+        win_size_ = 0;
     }
 
     // Static frame: a verbatim repeat of the previous frame (the
     // content class that checksum-based display schemes eliminate).
-    if (idx > 0 && !window_.empty() &&
+    if (idx > 0 && win_size_ > 0 &&
         rng_.chance(profile_.static_frame_rate)) {
-        Frame frame = window_.back();
+        const Frame &prev = windowAt(win_size_ - 1);
         // Re-stamp the per-frame metadata for this position.
-        Frame copy(idx, gop.frameType(idx), profile_.mabsX(),
+        out.reinit(idx, gop.frameType(idx), profile_.mabsX(),
                    profile_.mabsY(), profile_.mab_dim);
-        for (std::uint32_t i = 0; i < copy.mabCount(); ++i) {
-            copy.mab(i) = frame.mab(i);
-            copy.setOrigin(i, MabOrigin::kInterCopy);
+        for (std::uint32_t i = 0; i < out.mabCount(); ++i) {
+            out.mab(i) = prev.mab(i);
+            out.setOrigin(i, MabOrigin::kInterCopy);
         }
-        copy.setComplexity(0.6); // repeats decode cheaply
-        copy.setEncodedBytes(static_cast<std::uint64_t>(
+        out.setComplexity(0.6); // repeats decode cheaply
+        out.setEncodedBytes(static_cast<std::uint64_t>(
             profile_.mabsPerFrame() * profile_.encoded_bytes_per_mab *
             0.2));
-        window_.push_back(copy);
-        while (window_.size() > profile_.inter_window) {
-            window_.pop_front();
-        }
-        return copy;
+        pushWindow(out);
+        return;
     }
 
-    Frame frame(idx, gop.frameType(idx), profile_.mabsX(),
-                profile_.mabsY(), profile_.mab_dim);
+    out.reinit(idx, gop.frameType(idx), profile_.mabsX(),
+               profile_.mabsY(), profile_.mab_dim);
+    Frame &frame = out;
 
     // Per-frame decode complexity: lognormal with unit mean, capped.
     const double mu =
@@ -215,7 +248,7 @@ SyntheticVideo::nextFrame()
             const auto src = intraSource(i);
             frame.mab(i) = frame.mab(src);
             frame.setOrigin(i, MabOrigin::kIntraCopy);
-        } else if (r < p_inter && !window_.empty()) {
+        } else if (r < p_inter && win_size_ > 0) {
             frame.mab(i) = windowMabNear(i);
             frame.setOrigin(i, MabOrigin::kInterCopy);
         } else if (r < p_grad && i > 0) {
@@ -228,26 +261,21 @@ SyntheticVideo::nextFrame()
                 rng_.uniformInt(0, 255));
             const auto db = static_cast<std::uint8_t>(
                 rng_.uniformInt(0, 255));
-            frame.mab(i) = frame.mab(src).shifted(dr, dg, db);
+            frame.mab(src).shiftedInto(dr, dg, db, frame.mab(i));
             frame.setOrigin(i, MabOrigin::kGradientShift);
         } else if (rng_.chance(profile_.pure_color_rate)) {
             frame.mab(i).fill(paletteColor());
             frame.setOrigin(i, MabOrigin::kPureColor);
         } else if (rng_.chance(profile_.smooth_rate)) {
-            frame.mab(i) = smoothMab();
+            smoothMabInto(frame.mab(i));
             frame.setOrigin(i, MabOrigin::kGradientShift);
         } else {
-            frame.mab(i) = uniqueMab();
+            uniqueMabInto(frame.mab(i));
             frame.setOrigin(i, MabOrigin::kUnique);
         }
     }
 
-    window_.push_back(frame);
-    while (window_.size() > profile_.inter_window) {
-        window_.pop_front();
-    }
-
-    return frame;
+    pushWindow(frame);
 }
 
 } // namespace vstream

@@ -14,8 +14,6 @@
 #define VSTREAM_VIDEO_SYNTHETIC_VIDEO_HH
 
 #include <cstdint>
-#include <deque>
-#include <memory>
 #include <vector>
 
 #include "sim/random.hh"
@@ -37,6 +35,14 @@ class SyntheticVideo
     /** Generate the next frame (fatal when done()). */
     Frame nextFrame();
 
+    /**
+     * Generate the next frame into @p out, reusing its storage
+     * (fatal when done()).  Identical content and rng consumption to
+     * nextFrame(); the serving hot path uses this with a recycled
+     * scratch frame so steady-state generation never allocates.
+     */
+    void nextFrameInto(Frame &out);
+
     std::uint64_t framesEmitted() const { return next_index_; }
 
     /** Restart the stream from frame 0 (same content). */
@@ -46,19 +52,33 @@ class SyntheticVideo
 
   private:
     Pixel paletteColor();
-    Macroblock uniqueMab();
-    Macroblock smoothMab();
+    void uniqueMabInto(Macroblock &mab);
+    void smoothMabInto(Macroblock &mab);
     /** Index of an earlier mab of the current frame to copy from
      * (locality-biased). */
     std::uint32_t intraSource(std::uint32_t i);
     /** A mab from a recent window frame, near position @p i. */
     const Macroblock &windowMabNear(std::uint32_t i);
 
+    /** Frame @p i of the logical window, 0 = oldest. */
+    const Frame &windowAt(std::size_t i) const;
+    /** Copy @p frame into the window ring as the newest entry. */
+    void pushWindow(const Frame &frame);
+
     VideoProfile profile_;
     Random rng_;
     std::uint64_t next_index_ = 0;
-    /** Most recent inter_window frames, newest at the back. */
-    std::deque<Frame> window_;
+    /**
+     * Ring of the most recent inter_window frames.  Slots grow once
+     * up to profile_.inter_window and are then recycled by
+     * copy-assignment (which reuses macroblock storage), so the
+     * steady-state window never allocates.  win_size_ is the live
+     * logical window (reset on scene cuts), win_next_ the slot the
+     * next frame lands in.
+     */
+    std::vector<Frame> window_ring_;
+    std::size_t win_next_ = 0;
+    std::size_t win_size_ = 0;
     /** Cached ramp patterns (gradient blocks with zero base). */
     std::vector<Macroblock> ramps_;
 };

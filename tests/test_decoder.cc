@@ -98,11 +98,12 @@ TEST(VideoDecoder, DecodeTimeNearCalibration)
     double total_ms = 0.0;
     Tick t = 0;
     const BufferSlot *prev = nullptr;
+    FrameLayout layout;
     for (int i = 0; i < 8; ++i) {
         const Frame f = video.nextFrame();
         BufferSlot &slot = rig.fbm.acquire(i);
         const FrameDecodeResult r =
-            rig.vd.decodeFrame(f, rig.wb, slot, prev, t);
+            rig.vd.decodeFrame(f, rig.wb, slot, prev, t, layout);
         rig.wb.finishFrame(r.finish);
         total_ms += ticksToMs(r.busy());
         t = r.finish;
@@ -129,9 +130,11 @@ TEST(VideoDecoder, HighFrequencyRoughlyHalvesComputeTime)
 
     BufferSlot &sa = low.fbm.acquire(0);
     BufferSlot &sb = high.fbm.acquire(0);
-    const auto ra = low.vd.decodeFrame(fa, low.wb, sa, nullptr, 0);
+    FrameLayout la, lb;
+    const auto ra = low.vd.decodeFrame(fa, low.wb, sa, nullptr, 0, la);
     low.wb.finishFrame(ra.finish);
-    const auto rb = high.vd.decodeFrame(fb, high.wb, sb, nullptr, 0);
+    const auto rb =
+        high.vd.decodeFrame(fb, high.wb, sb, nullptr, 0, lb);
     high.wb.finishFrame(rb.finish);
 
     const double ratio = static_cast<double>(rb.busy()) /
@@ -149,8 +152,9 @@ TEST(VideoDecoder, DeterministicAcrossInstances)
     const Frame fb = vb.nextFrame();
     BufferSlot &sa = a.fbm.acquire(0);
     BufferSlot &sb = b.fbm.acquire(0);
-    const auto ra = a.vd.decodeFrame(fa, a.wb, sa, nullptr, 0);
-    const auto rb = b.vd.decodeFrame(fb, b.wb, sb, nullptr, 0);
+    FrameLayout la, lb;
+    const auto ra = a.vd.decodeFrame(fa, a.wb, sa, nullptr, 0, la);
+    const auto rb = b.vd.decodeFrame(fb, b.wb, sb, nullptr, 0, lb);
     EXPECT_EQ(ra.finish, rb.finish);
     EXPECT_EQ(ra.mem_stall, rb.mem_stall);
 }
@@ -166,13 +170,14 @@ TEST(VideoDecoder, PFramesIssueReferenceReads)
     const Frame f1 = video.nextFrame(); // P
 
     BufferSlot &s0 = rig.fbm.acquire(0);
-    const auto r0 = rig.vd.decodeFrame(f0, rig.wb, s0, nullptr, 0);
+    FrameLayout l0, l1;
+    const auto r0 = rig.vd.decodeFrame(f0, rig.wb, s0, nullptr, 0, l0);
     rig.wb.finishFrame(r0.finish);
     EXPECT_EQ(r0.mc_reads, 0u); // I frame: no motion compensation
 
     BufferSlot &s1 = rig.fbm.acquire(1);
     const auto r1 =
-        rig.vd.decodeFrame(f1, rig.wb, s1, &s0, r0.finish);
+        rig.vd.decodeFrame(f1, rig.wb, s1, &s0, r0.finish, l1);
     rig.wb.finishFrame(r1.finish);
     EXPECT_EQ(r1.mc_reads, f1.mabCount());
     EXPECT_GT(r1.mem_stall, 0u);
@@ -185,7 +190,9 @@ TEST(VideoDecoder, EncodedBytesReadMatchFrame)
     DecoderRig rig(p);
     const Frame f = video.nextFrame();
     BufferSlot &slot = rig.fbm.acquire(0);
-    const auto r = rig.vd.decodeFrame(f, rig.wb, slot, nullptr, 0);
+    FrameLayout layout;
+    const auto r =
+        rig.vd.decodeFrame(f, rig.wb, slot, nullptr, 0, layout);
     rig.wb.finishFrame(r.finish);
     EXPECT_EQ(r.encoded_bytes, f.encodedBytes());
     EXPECT_EQ(r.mabs, f.mabCount());
@@ -201,7 +208,9 @@ TEST(VideoDecoder, MemStallWithinBusyTime)
     DecoderRig rig(p);
     const Frame f = video.nextFrame();
     BufferSlot &slot = rig.fbm.acquire(0);
-    const auto r = rig.vd.decodeFrame(f, rig.wb, slot, nullptr, 1000);
+    FrameLayout layout;
+    const auto r =
+        rig.vd.decodeFrame(f, rig.wb, slot, nullptr, 1000, layout);
     EXPECT_GE(r.start, 1000u);
     EXPECT_LE(r.mem_stall, r.busy());
     rig.wb.finishFrame(r.finish);
@@ -237,7 +246,9 @@ TEST_P(FrequencySweep, TrafficVolumeIndependentOfFrequency)
         DecoderRig rig(p);
         rig.vd.setFrequency(freq);
         BufferSlot &slot = rig.fbm.acquire(0);
-        const auto r = rig.vd.decodeFrame(f, rig.wb, slot, nullptr, 0);
+        FrameLayout layout;
+        const auto r =
+            rig.vd.decodeFrame(f, rig.wb, slot, nullptr, 0, layout);
         rig.wb.finishFrame(r.finish);
         return rig.mem.energy().counts(Requester::kVideoDecoder);
     };

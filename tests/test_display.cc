@@ -230,11 +230,12 @@ TEST(DisplayController, LinearScanReadsWholeFrameOnce)
     }
     const Frame f = makeFrame(mabs, 0);
     BufferSlot &slot = rig.fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     for (std::uint32_t i = 0; i < 8; ++i) {
         wb.writeMab(f.mab(i), i, 0);
     }
-    const FrameLayout layout = wb.finishFrame(0);
+    wb.finishFrame(0);
 
     const ScanStats s = dc.scanOut(layout, 0);
     EXPECT_TRUE(s.verified);
@@ -283,22 +284,24 @@ TEST_P(LayoutRoundTrip, LosslessAndCheaperWithMatches)
                                     pure(200)};
     const Frame f0 = makeFrame(mabs, 0);
     BufferSlot &s0 = rig.fbm.acquire(0);
-    wb.beginFrame(f0, s0, 0);
+    FrameLayout l0;
+    wb.beginFrame(f0, s0, 0, l0);
     for (std::uint32_t i = 0; i < f0.mabCount(); ++i) {
         wb.writeMab(f0.mab(i), i, 0);
     }
-    const FrameLayout l0 = wb.finishFrame(0);
+    wb.finishFrame(0);
     const ScanStats scan0 = dc.scanOut(l0, 0);
     EXPECT_TRUE(scan0.verified);
 
     // Frame 1 repeats frame 0 entirely: inter matches everywhere.
     const Frame f1 = makeFrame(mabs, 1);
     BufferSlot &s1 = rig.fbm.acquire(1);
-    wb.beginFrame(f1, s1, 1000);
+    FrameLayout l1;
+    wb.beginFrame(f1, s1, 1000, l1);
     for (std::uint32_t i = 0; i < f1.mabCount(); ++i) {
         wb.writeMab(f1.mab(i), i, 1000);
     }
-    const FrameLayout l1 = wb.finishFrame(1000);
+    wb.finishFrame(1000);
     const ScanStats scan1 = dc.scanOut(l1, 1000);
     EXPECT_TRUE(scan1.verified);
     EXPECT_GT(wb.totals().inter_matches, 0u);
@@ -334,11 +337,12 @@ TEST(DisplayController, DisplayCacheCutsRepeatFetches)
         }
         const Frame f = makeFrame(mabs, 0);
         BufferSlot &slot = rig.fbm.acquire(0);
-        wb.beginFrame(f, slot, 0);
+        FrameLayout layout;
+        wb.beginFrame(f, slot, 0, layout);
         for (std::uint32_t i = 0; i < 16; ++i) {
             wb.writeMab(f.mab(i), i, 0);
         }
-        const FrameLayout layout = wb.finishFrame(0);
+        wb.finishFrame(0);
         return dc.scanOut(layout, 0).dram_requests;
     };
     EXPECT_LT(run(true), run(false));
@@ -351,11 +355,12 @@ TEST(DisplayController, ReRenderCountsAndReads)
     LinearWriteback wb(rig.mem, rig.fbm);
     const Frame f = makeFrame({pure(1), pure(2), pure(3), pure(4)}, 0);
     BufferSlot &slot = rig.fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     for (std::uint32_t i = 0; i < 4; ++i) {
         wb.writeMab(f.mab(i), i, 0);
     }
-    const FrameLayout layout = wb.finishFrame(0);
+    wb.finishFrame(0);
 
     dc.scanOut(layout, 0);
     dc.scanOut(layout, 1000, /*re_render=*/true);
@@ -379,11 +384,12 @@ TEST(DisplayController, FragmentationCounted)
     }
     const Frame f = makeFrame(mabs, 0);
     BufferSlot &slot = rig.fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     for (std::uint32_t i = 0; i < 8; ++i) {
         wb.writeMab(f.mab(i), i, 0);
     }
-    const FrameLayout layout = wb.finishFrame(0);
+    wb.finishFrame(0);
     const ScanStats s = dc.scanOut(layout, 0);
     // Offsets 0,48,96,144,192,240,288,336 -> straddles at 48,96,240,
     // 288 (paper: >45% of pointer fetches fragment).

@@ -196,7 +196,7 @@ TEST(MachArray, HistoryBoundedByNumMachs)
         arr.beginFrame();
     }
     EXPECT_FALSE(arr.lookup(0x42, 0, blockOf(9)).hit);
-    EXPECT_LE(arr.history().size(), 2u);
+    EXPECT_LE(arr.historyDepth(), 2u);
 }
 
 TEST(MachArray, CurrentFrameWinsOverHistory)

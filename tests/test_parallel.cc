@@ -141,6 +141,62 @@ TEST(Parallel, FirstExceptionIsRethrownAfterJoin)
     }
 }
 
+TEST(Parallel, PoolSpawnsOnceThenReusesWorkers)
+{
+    // Warmup: the first threaded call at this width spawns helpers.
+    parallelFor(4, 64, [](std::size_t i) {
+        benchmarkDoNotElide(i);
+    });
+    const std::uint64_t spawned =
+        ThreadPool::instance().threadsSpawned();
+    EXPECT_GE(spawned, 3u); // jobs=4 -> caller + >= 3 helpers ever
+
+    // Steady state: repeated fan-out at or below the warmed width
+    // must not spawn a single additional thread.
+    for (int round = 0; round < 25; ++round) {
+        parallelFor(1 + round % 4, 64, [](std::size_t i) {
+            benchmarkDoNotElide(i * 3);
+        });
+    }
+    EXPECT_EQ(ThreadPool::instance().threadsSpawned(), spawned);
+    EXPECT_GE(ThreadPool::instance().workersAlive(), 3u);
+}
+
+TEST(Parallel, NestedFanOutRunsInlineOnTheOwningThread)
+{
+    // A parallelFor issued from inside a running unit - whether the
+    // unit landed on a pool worker or on the caller thread - must run
+    // inline and serially: no re-entry into the pool, no new spawns.
+    parallelFor(2, 8, [](std::size_t) {});
+    const std::uint64_t spawned =
+        ThreadPool::instance().threadsSpawned();
+
+    constexpr std::size_t kOuter = 4;
+    constexpr std::size_t kInner = 16;
+    std::vector<std::thread::id> unit_thread(kOuter);
+    std::vector<std::vector<std::thread::id>> inner_thread(
+        kOuter, std::vector<std::thread::id>(kInner));
+    std::vector<std::vector<std::size_t>> inner_order(kOuter);
+    parallelFor(2, kOuter, [&](std::size_t u) {
+        unit_thread[u] = std::this_thread::get_id();
+        parallelFor(8, kInner, [&](std::size_t i) {
+            inner_thread[u][i] = std::this_thread::get_id();
+            inner_order[u].push_back(i);
+        });
+    });
+
+    for (std::size_t u = 0; u < kOuter; ++u) {
+        std::vector<std::size_t> want(kInner);
+        for (std::size_t i = 0; i < kInner; ++i) {
+            want[i] = i;
+            EXPECT_EQ(inner_thread[u][i], unit_thread[u])
+                << "unit " << u << " inner " << i;
+        }
+        EXPECT_EQ(inner_order[u], want) << "unit " << u;
+    }
+    EXPECT_EQ(ThreadPool::instance().threadsSpawned(), spawned);
+}
+
 TEST(Parallel, ZeroUnitsIsANoOp)
 {
     parallelFor(8, 0, [](std::size_t) { FAIL() << "ran a unit"; });

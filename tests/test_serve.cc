@@ -8,9 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "serve/session_manager.hh"
+#include "sim/parallel.hh"
 #include "sim/random.hh"
 #include "video/trace.hh"
 
@@ -433,6 +437,44 @@ TEST(SessionBreaker, StormTripsAndCooldownRecovers)
     EXPECT_EQ(o.breaker_state, CircuitBreaker::State::kClosed);
     EXPECT_EQ(o.final_state, HealthState::kHealthy);
     EXPECT_EQ(mgr.breakerTrips(), o.breaker_trips);
+}
+
+// ---------------------------------------------------------------------
+// Rehearsal fan-out rides the persistent pool: no per-wave spawns
+// ---------------------------------------------------------------------
+
+TEST(Rehearsal, PrecomputeWavesSpawnThreadsOnlyOnce)
+{
+    const auto makeWave = [](std::uint64_t base) {
+        std::vector<SessionConfig> wave;
+        for (std::uint64_t i = 0; i < 6; ++i) {
+            wave.push_back(tinySession(base + i));
+        }
+        return wave;
+    };
+
+    // Warmup wave: the pool grows to the requested width here (and
+    // only here - parallelMap used to spawn+join per call).
+    {
+        SessionManager warm(ServeConfig{});
+        warm.precompute(makeWave(0), 4);
+    }
+    const std::uint64_t spawned =
+        ThreadPool::instance().threadsSpawned();
+
+    // Steady state: every later rehearsal wave - including the full
+    // precompute -> submit -> replay cycle - reuses the warm workers.
+    for (std::uint64_t round = 0; round < 3; ++round) {
+        SessionManager mgr(ServeConfig{});
+        std::vector<SessionConfig> wave = makeWave(100 * (round + 1));
+        mgr.precompute(wave, 4);
+        for (SessionConfig &s : wave) {
+            ASSERT_EQ(mgr.submit(std::move(s)), Admission::kAdmitted);
+        }
+        mgr.runAll();
+        EXPECT_EQ(mgr.outcomes().size(), 6u);
+    }
+    EXPECT_EQ(ThreadPool::instance().threadsSpawned(), spawned);
 }
 
 } // namespace

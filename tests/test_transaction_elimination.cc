@@ -70,11 +70,12 @@ TEST(TransactionElimination, SkipsIdenticalScan)
         f.mab(i).fill(Pixel{static_cast<std::uint8_t>(i), 0, 0});
     }
     BufferSlot &slot = fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     for (std::uint32_t i = 0; i < 8; ++i) {
         wb.writeMab(f.mab(i), i, 0);
     }
-    const FrameLayout layout = wb.finishFrame(0);
+    wb.finishFrame(0);
 
     const ScanStats first = dc.scanOut(layout, 0);
     EXPECT_FALSE(first.eliminated);

@@ -187,11 +187,12 @@ TEST(LinearWriteback, WritesEveryMabAtItsLinearAddress)
     const Frame f = frameOfMabs(mabs);
 
     BufferSlot &slot = rig.fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     for (std::uint32_t i = 0; i < f.mabCount(); ++i) {
         wb.writeMab(f.mab(i), i, 0);
     }
-    const FrameLayout layout = wb.finishFrame(0);
+    wb.finishFrame(0);
 
     EXPECT_EQ(layout.kind(), LayoutKind::kLinear);
     EXPECT_EQ(layout.dataBytes(), 4u * 48u);
@@ -224,11 +225,12 @@ TEST(MachWriteback, DeduplicatesExactRepeats)
     const Frame f = frameOfMabs(mabs);
 
     BufferSlot &slot = rig.fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     for (std::uint32_t i = 0; i < 4; ++i) {
         wb.writeMab(f.mab(i), i, 0);
     }
-    const FrameLayout layout = wb.finishFrame(0);
+    wb.finishFrame(0);
 
     EXPECT_EQ(wb.totals().unique_blocks, 2u);
     EXPECT_EQ(wb.totals().intra_matches, 2u);
@@ -261,7 +263,8 @@ TEST(MachWriteback, AllUniqueFramePaysMetadataOverhead)
     }
     const Frame f = frameOfMabs(mabs);
     BufferSlot &slot = rig.fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     for (std::uint32_t i = 0; i < 4; ++i) {
         wb.writeMab(f.mab(i), i, 0);
     }
@@ -288,11 +291,12 @@ TEST(MachWriteback, GabCatchesShiftedBlocks)
     const Frame f = frameOfMabs(mabs);
 
     BufferSlot &slot = rig.fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     for (std::uint32_t i = 0; i < 3; ++i) {
         wb.writeMab(f.mab(i), i, 0);
     }
-    const FrameLayout layout = wb.finishFrame(0);
+    wb.finishFrame(0);
 
     EXPECT_EQ(wb.totals().unique_blocks, 1u);
     EXPECT_EQ(wb.totals().intra_matches, 2u);
@@ -315,7 +319,8 @@ TEST(MachWriteback, MabModeMissesShiftedBlocks)
         std::vector<Macroblock>{base, base.shifted(1, 2, 3)};
     const Frame f = frameOfMabs(mabs);
     BufferSlot &slot = rig.fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     wb.writeMab(f.mab(0), 0, 0);
     wb.writeMab(f.mab(1), 1, 0);
     wb.finishFrame(0);
@@ -335,20 +340,22 @@ TEST(MachWriteback, InterMatchesBecomeDigestsInLayoutIii)
         std::vector<Macroblock>{pure(9, 9, 9), pure(8, 8, 8)};
     const Frame f0 = frameOfMabs(mabs0, 0);
     BufferSlot &s0 = rig.fbm.acquire(0);
-    wb.beginFrame(f0, s0, 0);
+    FrameLayout l0;
+    wb.beginFrame(f0, s0, 0, l0);
     wb.writeMab(f0.mab(0), 0, 0);
     wb.writeMab(f0.mab(1), 1, 0);
-    const FrameLayout l0 = wb.finishFrame(0);
+    wb.finishFrame(0);
     EXPECT_EQ(l0.machDump().size(), 2u);
     EXPECT_GT(l0.machDumpBytes(), 0u);
 
     // Frame 1 repeats frame 0's content: inter matches as digests.
     const Frame f1 = frameOfMabs(mabs0, 1);
     BufferSlot &s1 = rig.fbm.acquire(1);
-    wb.beginFrame(f1, s1, 0);
+    FrameLayout l1;
+    wb.beginFrame(f1, s1, 0, l1);
     wb.writeMab(f1.mab(0), 0, 0);
     wb.writeMab(f1.mab(1), 1, 0);
-    const FrameLayout l1 = wb.finishFrame(0);
+    wb.finishFrame(0);
 
     EXPECT_EQ(l1.record(0).storage, MabStorage::kInterDigest);
     EXPECT_EQ(l1.record(1).storage, MabStorage::kInterDigest);
@@ -368,10 +375,11 @@ TEST(MachWriteback, DccShrinksUniqueBlocks)
         std::vector<Macroblock>{pure(4, 4, 4), pure(200, 1, 7)};
     const Frame f = frameOfMabs(mabs);
     BufferSlot &slot = rig.fbm.acquire(0);
-    wb.beginFrame(f, slot, 0);
+    FrameLayout layout;
+    wb.beginFrame(f, slot, 0, layout);
     wb.writeMab(f.mab(0), 0, 0);
     wb.writeMab(f.mab(1), 1, 0);
-    const FrameLayout layout = wb.finishFrame(0);
+    wb.finishFrame(0);
 
     // Pure-colour blocks compress to a handful of bytes.
     EXPECT_LT(layout.dataBytes(), 2u * 48u / 2);

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Steady-state zero-allocation test for the serving hot path.
+ *
+ * This binary replaces the global allocation functions with counting
+ * wrappers, warms a stepwise pipeline past every amortised growth
+ * phase (surface pools, window/dump rings, MACH tables, DRAM queues,
+ * event-queue storage), and then asserts that a window of further
+ * vsyncs performs *zero* heap allocations - the acceptance criterion
+ * the SurfacePool / ring-buffer / scratch-reuse rewrites exist for.
+ * The simulation is fully deterministic, so the allocation count in
+ * the measured window is a stable, reproducible quantity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include "core/video_pipeline.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<int> g_trace_budget{0};
+
+void
+maybeTraceAlloc()
+{
+    if (g_trace_budget.load(std::memory_order_relaxed) <= 0) {
+        return;
+    }
+    if (g_trace_budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+        return;
+    }
+    void *frames[24];
+    const int depth = backtrace(frames, 24);
+    backtrace_symbols_fd(frames, depth, STDERR_FILENO);
+    const char nl[] = "----\n";
+    (void)!write(STDERR_FILENO, nl, sizeof(nl) - 1);
+}
+
+void *
+countedAlloc(std::size_t n)
+{
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    maybeTraceAlloc();
+    if (void *p = std::malloc(n ? n : 1)) { // NOLINT
+        return p;
+    }
+    throw std::bad_alloc{};
+}
+
+void *
+countedAlignedAlloc(std::size_t n, std::size_t align)
+{
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(align, (n + align - 1) /
+                                                align * align)) {
+        return p;
+    }
+    throw std::bad_alloc{};
+}
+
+} // namespace
+
+// Counting replacements for every allocation entry point the
+// pipeline can reach.  Deletes deliberately uninstrumented: the test
+// pins "no allocation", not leak balance (asan owns that).
+void *
+operator new(std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t a)
+{
+    return countedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t a)
+{
+    return countedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p); // NOLINT
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p); // NOLINT
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p); // NOLINT
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p); // NOLINT
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p); // NOLINT
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p); // NOLINT
+}
+
+namespace vstream
+{
+namespace
+{
+
+VideoProfile
+steadyProfile(std::uint32_t frames)
+{
+    VideoProfile p;
+    p.key = "Z";
+    p.width = 96;
+    p.height = 48;
+    p.frame_count = frames;
+    p.seed = 4242;
+    return p;
+}
+
+/** Vsyncs stepped before the measured window opens. */
+constexpr int kWarmupVsyncs = 240;
+/** Vsyncs whose allocation delta must be exactly zero. */
+constexpr int kMeasuredVsyncs = 96;
+
+void
+expectZeroAllocSteadyState(Scheme scheme, std::uint32_t batch)
+{
+    PipelineConfig cfg;
+    cfg.profile = steadyProfile(420);
+    cfg.scheme = SchemeConfig::make(scheme, batch);
+    VideoPipeline vp(std::move(cfg));
+    vp.start();
+
+    int stepped = 0;
+    while (!vp.stepDone() && stepped < kWarmupVsyncs) {
+        vp.stepVsync();
+        ++stepped;
+    }
+    ASSERT_FALSE(vp.stepDone())
+        << "profile too short to leave a measured window";
+
+    const std::uint64_t before =
+        g_news.load(std::memory_order_relaxed);
+    if (std::getenv("VSTREAM_ALLOC_TRACE") != nullptr) { // NOLINT
+        g_trace_budget.store(24, std::memory_order_relaxed);
+    }
+    int measured = 0;
+    while (!vp.stepDone() && measured < kMeasuredVsyncs) {
+        vp.stepVsync();
+        ++measured;
+    }
+    const std::uint64_t delta =
+        g_news.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(delta, 0u)
+        << schemeName(scheme) << ": " << delta << " allocations in "
+        << measured << " steady-state vsyncs after " << stepped
+        << " warmup vsyncs";
+
+    // Drain and finish so the run is a complete, valid playback.
+    while (!vp.stepDone()) {
+        vp.stepVsync();
+    }
+    const PipelineResult r = vp.finish();
+    EXPECT_EQ(r.frames, 420u);
+}
+
+TEST(ZeroAlloc, GabServingSteadyStateAllocatesNothing)
+{
+    // The full paper stack: MACH + gradient + pointer-digest layout
+    // + display cache + MACH buffer - the widest hot path there is.
+    expectZeroAllocSteadyState(Scheme::kGab, 8);
+}
+
+TEST(ZeroAlloc, BaselineSteadyStateAllocatesNothing)
+{
+    expectZeroAllocSteadyState(Scheme::kBaseline, 1);
+}
+
+TEST(ZeroAlloc, RaceToSleepSteadyStateAllocatesNothing)
+{
+    expectZeroAllocSteadyState(Scheme::kRaceToSleep, 1);
+}
+
+} // namespace
+} // namespace vstream

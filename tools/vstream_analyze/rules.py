@@ -35,6 +35,7 @@ RULE_IDS = (
     'shared-state-guarded',
     'stats-hygiene',
     'bounded-queue',
+    'surface-pool-discipline',
 )
 
 
@@ -314,6 +315,57 @@ def check_hotpath_alloc(ctx, sf):
             ctx.emit(sf, sf.line_of(off), 'no-hotpath-alloc',
                      '%s inside a // vstream:hot function; hot '
                      'kernels must be allocation-free' % what)
+
+
+# ===================================================================
+# surface-pool-discipline: hot paths take buffers from the pool
+# ===================================================================
+
+# Raw C allocators evade the C++-centric no-hotpath-alloc detectors
+# entirely; in this codebase every hot-path buffer comes from a
+# recycled SurfacePool or a member scratch, so a malloc-family call
+# in a hot body is always a pool bypass.
+MALLOC_FAMILY_RE = re.compile(
+    r'(?<![\w.>:])(malloc|calloc|realloc|aligned_alloc|strdup)\s*\(')
+# A hot body declaring an owning local container allocates on every
+# call.  References and pointers do not own (the `&`/`*` between the
+# template arguments and the name breaks the match), so binding a
+# pool slot or member scratch by reference stays clean.
+LOCAL_CONTAINER_RE = re.compile(
+    r'(?<![:\w])std\s*::\s*'
+    r'(vector|deque|string|list|map|set|unordered_map|unordered_set)'
+    r'\b\s*(?:<[^;{}&]*>)?\s+[A-Za-z_]\w*\s*[;({=]')
+
+
+def check_surface_pool(ctx, sf):
+    """Zero-alloc serving discipline: a // vstream:hot body must not
+    source buffers outside the SurfacePool/member-scratch pattern."""
+    for tok in sf.comments():
+        if not HOT_MARK_RE.search(tok.text):
+            continue
+        mark_off = sf.raw.find(tok.text)
+        if mark_off < 0:
+            continue
+        brace = sf.code.find('{', mark_off + len(tok.text))
+        if brace < 0:
+            continue
+        end = find_matching(sf.code, brace)
+        if end < 0:
+            continue
+        body = sf.code[brace:end]
+        for m in MALLOC_FAMILY_RE.finditer(body):
+            ctx.emit(sf, sf.line_of(brace + m.start()),
+                     'surface-pool-discipline',
+                     '%s() inside a // vstream:hot function bypasses '
+                     'the SurfacePool tier; acquire a recycled '
+                     'surface or use a member scratch' % m.group(1))
+        for m in LOCAL_CONTAINER_RE.finditer(body):
+            ctx.emit(sf, sf.line_of(brace + m.start()),
+                     'surface-pool-discipline',
+                     'owning local std::%s in a // vstream:hot '
+                     'function allocates on every call; bind a '
+                     'SurfacePool slot or a member scratch by '
+                     'reference instead' % m.group(1))
 
 
 def check_hotpath_propagation(ctx):
@@ -729,6 +781,7 @@ SRC_CHECKS = [
     check_unchecked_io,
     check_unbounded_retry,
     check_hotpath_alloc,
+    check_surface_pool,
     check_determinism_source,
     check_ordered_iteration,
     check_lock_discipline,
@@ -752,6 +805,7 @@ BENCH_CHECKS = AUX_CHECKS + [
     check_unchecked_io,
     check_unbounded_retry,
     check_hotpath_alloc,
+    check_surface_pool,
     check_ordered_iteration,
     check_lock_discipline,
     check_bounded_queue,

@@ -90,6 +90,16 @@ void hotKernel(std::vector<int> &v)
 {
     helperGrow(v);
 }
+// vstream:hot
+void hotRawBuffer(std::size_t n)
+{
+    // malloc bypasses the SurfacePool tier, and the owning local
+    // vector allocates on every call: surface-pool-discipline.
+    char *raw = static_cast<char *>(malloc(n));
+    std::vector<char> scratch;
+    scratch.push_back(raw[0]);
+    free(raw);
+}
 } // namespace bad
 '''
 
@@ -265,6 +275,15 @@ int hotKernel(std::vector<int> &v, int x)
 {
     helperGrowAllowed(v);
     return helperPure(x);
+}
+// vstream:hot
+int hotScratchReuse(std::vector<int> &scratch)
+{
+    // Reference bindings to a caller-owned (pooled) scratch never
+    // fire surface-pool-discipline; only owning locals do.
+    const std::vector<int> &view = scratch;
+    scratch.clear();
+    return helperPure(static_cast<int>(view.size()));
 }
 } // namespace good
 '''
